@@ -1,0 +1,72 @@
+// Extension (paper Section 7 future work): dynamic reallocation of power
+// across application phases.
+//
+// A phased application (compute-bound solve + bandwidth-bound exchange) runs
+// under one power budget three ways:
+//   blended-static    one solve against the iteration-weighted blend
+//                     (violates the budget in the underestimated phase),
+//   worst-case static the deployable static baseline (safe but slow),
+//   dynamic           re-solve at every phase boundary (safe AND fast).
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/dynamic.hpp"
+#include "util/csv.hpp"
+
+using namespace vapb;
+
+int main(int argc, char** argv) {
+  const std::size_t n = bench::module_count(argc, argv, 384);
+  std::printf("== Extension: phase-aware dynamic power reallocation "
+              "(%zu modules) ==\n\n",
+              n);
+  cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), n);
+  core::Campaign campaign(cluster, bench::full_allocation(n));
+
+  // HPL-like: compute-dominated update phases alternating with
+  // bandwidth-dominated swap phases.
+  core::PhasedApplication app = core::hpl_like_application(2, 6, 4);
+
+  util::CsvWriter csv("ext_dynamic_phases.csv",
+                      {"cm_w", "variant", "scheme", "makespan_s",
+                       "peak_power_kw", "energy_mj"});
+  for (core::SchemeKind scheme :
+       {core::SchemeKind::kVaPc, core::SchemeKind::kVaFs}) {
+    std::printf("scheme: %s\n", core::scheme_name(scheme).c_str());
+    std::printf("  %-8s %-18s %10s %12s %10s\n", "Cm", "variant", "makespan",
+                "peak power", "energy");
+    for (double cm : {90.0, 80.0, 70.0}) {
+      double budget = cm * static_cast<double>(n);
+      struct Row {
+        const char* variant;
+        core::DynamicRunResult r;
+      };
+      Row rows[] = {
+          {"blended-static",
+           core::run_phased_static(campaign, app, scheme, budget)},
+          {"worst-case-static",
+           core::run_phased_static_worstcase(campaign, app, scheme, budget)},
+          {"dynamic", core::run_phased_dynamic(campaign, app, scheme, budget)},
+      };
+      for (const Row& row : rows) {
+        bool violated = row.r.peak_power_w > budget * 1.01;
+        std::printf("  %-8s %-18s %9.1fs %9.1f kW%s %7.1f MJ\n",
+                    (util::fmt_double(cm, 0) + " W").c_str(), row.variant,
+                    row.r.makespan_s, row.r.peak_power_w / 1000.0,
+                    violated ? "!" : " ", row.r.energy_j / 1e6);
+        csv.row({util::fmt_double(cm, 0), row.variant,
+                 core::scheme_name(scheme),
+                 util::fmt_double(row.r.makespan_s, 3),
+                 util::fmt_double(row.r.peak_power_w / 1000.0, 3),
+                 util::fmt_double(row.r.energy_j / 1e6, 3)});
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "'!' marks a budget violation. The blended static either violates the\n"
+      "budget (DRAM of the bandwidth phase is an uncapped consequence) or\n"
+      "wastes it; dynamic re-budgeting adheres in every phase and recovers\n"
+      "the worst-case static's performance loss.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Extension: what if vendors *power-binned* processors?
+//
+// Section 2.1 notes that vendors bin by frequency but not by power, which is
+// why power inhomogeneity exists at all. This bench sorts the fleet by
+// module power into k bins and schedules a job entirely inside one bin: as
+// bins narrow, the variation-unaware schemes recover most of the
+// variation-aware schemes' advantage — quantifying how much of the paper's
+// speedup is purchasable at the factory instead of in software.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "util/csv.hpp"
+
+using namespace vapb;
+
+int main(int argc, char** argv) {
+  const std::size_t fleet = bench::module_count(argc, argv, 1536);
+  const std::size_t job_modules = fleet / 8;
+  std::printf("== Extension: power binning (%zu-module fleet, %zu-module "
+              "job) ==\n\n",
+              fleet, job_modules);
+  cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), fleet);
+  const workloads::Workload& w = workloads::mhd();
+  const double cm = 70.0;
+
+  // Rank the fleet by uncapped module power under the job's workload.
+  std::vector<hw::ModuleId> ranked(fleet);
+  for (std::size_t i = 0; i < fleet; ++i) {
+    ranked[i] = static_cast<hw::ModuleId>(i);
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](hw::ModuleId a, hw::ModuleId b) {
+    return cluster.module(a).module_power_w(w.profile, 2.7) <
+           cluster.module(b).module_power_w(w.profile, 2.7);
+  });
+
+  util::CsvWriter csv("ext_power_binning.csv",
+                      {"bins", "pc_speedup", "vafs_speedup", "bin_vp"});
+  std::printf("%-18s %10s %12s %12s\n", "binning", "bin Vp", "Pc vs Naive",
+              "VaFs vs Naive");
+  for (std::size_t bins : {1, 2, 4, 8}) {
+    // Sample the job's modules *across* one bin (strided over the bin's
+    // power range): with one bin that is the whole fleet's spread, with
+    // many bins only that bin's narrow slice.
+    std::size_t bin_size = fleet / bins;
+    std::size_t start = (bins / 2) * bin_size;
+    std::size_t stride = bin_size / job_modules;
+    std::vector<hw::ModuleId> alloc;
+    alloc.reserve(job_modules);
+    for (std::size_t k = 0; k < job_modules; ++k) {
+      alloc.push_back(ranked[start + k * stride]);
+    }
+    std::sort(alloc.begin(), alloc.end());
+
+    core::Campaign campaign(cluster, alloc);
+    core::CellResult cell = campaign.run_cell(
+        w, cm * static_cast<double>(job_modules),
+        {core::SchemeKind::kNaive, core::SchemeKind::kPc,
+         core::SchemeKind::kVaFs});
+    double bin_vp = campaign.uncapped(w).vp();
+    double pc = cell.scheme(core::SchemeKind::kPc).speedup_vs_naive;
+    double vafs = cell.scheme(core::SchemeKind::kVaFs).speedup_vs_naive;
+    std::printf("%2zu bin%s %9s %10.2f %11.2fx %11.2fx\n", bins,
+                bins == 1 ? " (none)" : "s       ", "", bin_vp, pc, vafs);
+    csv.row_numeric({static_cast<double>(bins), pc, vafs, bin_vp});
+  }
+  std::printf(
+      "\nNarrower power bins shrink within-allocation variation (bin Vp),\n"
+      "closing the gap between variation-unaware (Pc) and variation-aware\n"
+      "(VaFs) budgeting — software mitigation and factory binning are\n"
+      "substitutes. Series written to ext_power_binning.csv\n");
+  return 0;
+}

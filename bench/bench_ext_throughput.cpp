@@ -1,0 +1,72 @@
+// Extension (paper Section 7): system throughput under a global power
+// budget. A realistic job stream runs through the power-aware batch queue
+// once per budgeting scheme; variation-aware budgeting drains the queue
+// faster, which compounds into shorter waits for everyone behind.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/batch.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+using namespace vapb;
+
+int main(int argc, char** argv) {
+  const std::size_t fleet = bench::module_count(argc, argv, 384);
+  const double budget = static_cast<double>(fleet) * 58.0;  // overprovisioned
+  std::printf("== Extension: batch throughput under a %s system budget "
+              "(%zu modules) ==\n\n",
+              util::fmt_watts(budget).c_str(), fleet);
+
+  cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), fleet);
+  core::Pvt pvt = core::Pvt::generate(cluster, workloads::pvt_microbench(),
+                                      cluster.seed().fork("batch-pvt"));
+  core::RunConfig run_cfg;
+  run_cfg.iterations = 6;
+  core::BatchSimulator sim(cluster, pvt, budget, run_cfg);
+
+  // A mixed stream: sizes and arrival gaps drawn deterministically.
+  util::Rng rng(bench::master_seed().fork("stream"));
+  std::vector<const workloads::Workload*> mix = {
+      &workloads::mhd(), &workloads::bt(), &workloads::dgemm(),
+      &workloads::sp(), &workloads::mvmc()};
+  std::vector<core::BatchJob> stream;
+  double t = 0.0;
+  for (int k = 0; k < 14; ++k) {
+    core::BatchJob job;
+    job.name = "job" + std::to_string(k);
+    job.app = mix[k % mix.size()];
+    job.modules = static_cast<std::size_t>(
+        fleet / 8 + rng.uniform_index(fleet / 4));
+    job.arrival_s = t;
+    job.iterations = 6;
+    t += rng.uniform(2.0, 10.0);
+    stream.push_back(job);
+  }
+
+  util::CsvWriter csv("ext_throughput.csv",
+                      {"scheme", "makespan_s", "mean_wait_s",
+                       "jobs_per_hour", "power_utilization"});
+  std::printf("%-8s %12s %12s %12s %12s\n", "scheme", "makespan",
+              "mean wait", "jobs/hour", "power util");
+  for (core::SchemeKind scheme :
+       {core::SchemeKind::kNaive, core::SchemeKind::kPc,
+        core::SchemeKind::kVaPc, core::SchemeKind::kVaFs}) {
+    core::BatchConfig cfg;
+    cfg.scheme = scheme;
+    core::BatchResult r = sim.run(stream, cfg, bench::master_seed());
+    std::printf("%-8s %11.1fs %11.1fs %12.1f %11.1f%%\n",
+                core::scheme_name(scheme).c_str(), r.makespan_s,
+                r.mean_wait_s, r.throughput_jobs_per_hour,
+                r.power_utilization * 100.0);
+    csv.row({core::scheme_name(scheme), util::fmt_double(r.makespan_s, 2),
+             util::fmt_double(r.mean_wait_s, 2),
+             util::fmt_double(r.throughput_jobs_per_hour, 2),
+             util::fmt_double(r.power_utilization, 4)});
+  }
+  std::printf(
+      "\nSame job stream, same budget: per-job speedups from variation-aware\n"
+      "budgeting compound into system-level throughput and shorter queue\n"
+      "waits. Written to ext_throughput.csv\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 3: cumulative MPI_Sendrecv time per rank for 64-module MHD under
+// uniform module caps — the synchronization wait absorbs the frequency
+// variation and grows dramatically as the cap tightens.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "stats/summary.hpp"
+#include "util/csv.hpp"
+
+using namespace vapb;
+
+int main() {
+  const std::size_t n = 64;
+  std::printf("== Figure 3: MHD synchronization overhead (64 modules) ==\n\n");
+  cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), n);
+  core::Campaign campaign(cluster, bench::full_allocation(n));
+  const workloads::Workload& w = workloads::mhd();
+
+  util::CsvWriter csv("fig3_mhd_sync.csv", {"cm_w", "rank", "sendrecv_s",
+                                            "module_w"});
+  std::printf("%-14s %10s %10s %6s %6s\n", "Cm", "min sync", "max sync", "Vt",
+              "Vp");
+  const core::RunMetrics& base = campaign.uncapped(w);
+  {
+    auto s = stats::summarize(base.des.sendrecv_times());
+    double vt_sync = s.min > 1e-6 ? s.max / s.min : s.max / 1e-6;
+    std::printf("%-14s %9.2fs %9.2fs %6.1f %6.2f\n", "No", s.min, s.max,
+                vt_sync, base.vp());
+    for (std::size_t r = 0; r < n; ++r) {
+      csv.row_numeric({0.0, static_cast<double>(r),
+                       base.des.ranks[r].sendrecv_s,
+                       base.modules[r].op.module_w()});
+    }
+  }
+  for (double cm : {90.0, 80.0, 70.0, 60.0}) {
+    core::CellResult cell = campaign.run_cell(w, cm * n,
+                                              {core::SchemeKind::kPc});
+    const core::RunMetrics& m = cell.scheme(core::SchemeKind::kPc).metrics;
+    auto s = stats::summarize(m.des.sendrecv_times());
+    // The paper's Vt here is over per-rank sendrecv times (one rank has
+    // near-zero overhead, hence the huge values).
+    double vt_sync = s.min > 1e-6 ? s.max / s.min : s.max / 1e-6;
+    std::printf("%-14s %9.2fs %9.2fs %6.1f %6.2f\n",
+                (util::fmt_double(cm, 0) + " W").c_str(), s.min, s.max,
+                vt_sync, m.vp());
+    for (std::size_t r = 0; r < n; ++r) {
+      csv.row_numeric({cm, static_cast<double>(r), m.des.ranks[r].sendrecv_s,
+                       m.modules[r].op.module_w()});
+    }
+  }
+  std::printf(
+      "\nPaper: constraining power inflates per-rank MPI_Sendrecv wait times\n"
+      "(Vt over sync times reaches 57 at Cm=60) while total runtimes stay\n"
+      "uniform. Per-rank series written to fig3_mhd_sync.csv\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 7: speedup of every budgeting scheme relative to Naive, for each
+// evaluation benchmark at each of its power-constrained (Table 4 "X")
+// system budgets. The paper's headline: VaFs max 5.40X / mean 1.86X,
+// VaPc max 4.03X / mean 1.72X.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "stats/bootstrap.hpp"
+#include "util/csv.hpp"
+
+using namespace vapb;
+
+int main(int argc, char** argv) {
+  const std::size_t n = bench::module_count(argc, argv);
+  std::printf("== Figure 7: speedup vs Naive (%zu modules) ==\n\n", n);
+  cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), n);
+  core::Campaign campaign(cluster, bench::full_allocation(n));
+
+  util::CsvWriter csv("fig7_speedup.csv",
+                      {"workload", "cs_kw", "scheme", "speedup"});
+  struct Best {
+    double max_speedup = 0.0;
+    std::string where;
+    double sum = 0.0;
+    int count = 0;
+    std::vector<double> all;
+  };
+  Best vafs, vapc;
+
+  for (auto* w : workloads::evaluation_suite()) {
+    std::printf("%s\n", w->name.c_str());
+    std::printf("  %-12s %8s %8s %8s %8s %8s %8s\n", "Cs", "Naive", "Pc",
+                "VaPcOr", "VaPc", "VaFsOr", "VaFs");
+    for (double cm : bench::checked_cm(w->name)) {
+      double budget = cm * static_cast<double>(n);
+      core::CellResult cell = campaign.run_cell(*w, budget);
+      std::printf("  %-12s", bench::cs_label(cm, n).c_str());
+      for (const auto& s : cell.schemes) {
+        std::printf(" %7.2fx", s.speedup_vs_naive);
+        csv.row({w->name, util::fmt_double(budget / 1000.0, 1),
+                 core::scheme_name(s.kind),
+                 util::fmt_double(s.speedup_vs_naive, 4)});
+        auto track = [&](Best& b) {
+          if (s.speedup_vs_naive > b.max_speedup) {
+            b.max_speedup = s.speedup_vs_naive;
+            b.where = w->name + " @ " + bench::cs_label(cm, n);
+          }
+          b.sum += s.speedup_vs_naive;
+          ++b.count;
+          b.all.push_back(s.speedup_vs_naive);
+        };
+        if (s.kind == core::SchemeKind::kVaFs) track(vafs);
+        if (s.kind == core::SchemeKind::kVaPc) track(vapc);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  util::Rng ci_rng(bench::master_seed().fork("fig7-ci"));
+  auto ci_vafs = stats::bootstrap_mean_ci(vafs.all, 0.95, 2000, ci_rng);
+  auto ci_vapc = stats::bootstrap_mean_ci(vapc.all, 0.95, 2000, ci_rng);
+  std::printf("VaFs: max %.2fx (%s), mean %.2fx [95%% CI %.2f-%.2f] over %d "
+              "cells  [paper: 5.40x max, 1.86x mean]\n",
+              vafs.max_speedup, vafs.where.c_str(), vafs.sum / vafs.count,
+              ci_vafs.lo, ci_vafs.hi, vafs.count);
+  std::printf("VaPc: max %.2fx (%s), mean %.2fx [95%% CI %.2f-%.2f] over %d "
+              "cells  [paper: 4.03x max, 1.72x mean]\n",
+              vapc.max_speedup, vapc.where.c_str(), vapc.sum / vapc.count,
+              ci_vapc.lo, ci_vapc.hi, vapc.count);
+  std::printf("Full grid written to fig7_speedup.csv\n");
+  return 0;
+}

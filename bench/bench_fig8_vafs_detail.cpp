@@ -1,0 +1,83 @@
+// Figure 8: detailed power-performance behaviour of the VaFs scheme.
+//   (i)  *DGEMM and MHD: normalized execution time vs module power across
+//        the Cs grid — VaFs trades higher power variation (Vp) for near-flat
+//        execution time (Vt), the mirror image of Figure 2(iii);
+//   (ii) 64-module MHD: cumulative synchronization time per rank — the
+//        Figure 3 pathology is gone under VaFs.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "stats/summary.hpp"
+#include "util/csv.hpp"
+
+using namespace vapb;
+
+namespace {
+
+void panel_i(core::Campaign& campaign, const workloads::Workload& w,
+             const std::vector<double>& cms, std::size_t n,
+             const std::string& tag) {
+  const core::RunMetrics& base = campaign.uncapped(w);
+  util::CsvWriter csv("fig8i_" + tag + ".csv",
+                      {"cs_kw", "module", "norm_time", "module_w"});
+  std::printf("%-8s (i) VaFs power-performance:\n", w.name.c_str());
+  std::printf("   %-12s %6s %6s\n", "Cs", "Vt", "Vp");
+  std::printf("   %-12s %6.2f %6.2f\n", "No", 1.0, base.vp());
+  for (double cm : cms) {
+    double budget = cm * static_cast<double>(n);
+    core::CellResult cell =
+        campaign.run_cell(w, budget, {core::SchemeKind::kVaFs});
+    const auto& m = cell.scheme(core::SchemeKind::kVaFs).metrics;
+    double vt = core::vt_normalized(m, base);
+    std::printf("   %-12s %6.2f %6.2f\n", bench::cs_label(cm, n).c_str(), vt,
+                m.vp());
+    auto norm = core::normalized_times(m, base);
+    for (std::size_t i = 0; i < m.modules.size(); ++i) {
+      csv.row_numeric({budget / 1000.0, static_cast<double>(i), norm[i],
+                       m.modules[i].op.module_w()});
+    }
+  }
+}
+
+void panel_ii() {
+  const std::size_t n = 64;
+  cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), n);
+  core::Campaign campaign(cluster, bench::full_allocation(n));
+  const workloads::Workload& w = workloads::mhd();
+  util::CsvWriter csv("fig8ii_mhd_sync.csv",
+                      {"cm_w", "rank", "sendrecv_s", "module_w"});
+  std::printf("\nMHD (ii) 64-module synchronization under VaFs:\n");
+  std::printf("   %-14s %10s %10s %6s %6s\n", "Cm", "min sync", "max sync",
+              "Vt", "Vp");
+  for (double cm : {90.0, 80.0, 70.0, 60.0}) {
+    core::CellResult cell =
+        campaign.run_cell(w, cm * n, {core::SchemeKind::kVaFs});
+    const auto& m = cell.scheme(core::SchemeKind::kVaFs).metrics;
+    auto s = stats::summarize(m.des.sendrecv_times());
+    std::printf("   %-14s %9.2fs %9.2fs %6.2f %6.2f\n",
+                (util::fmt_double(cm, 0) + " W").c_str(), s.min, s.max,
+                m.vt_raw(), m.vp());
+    for (std::size_t r = 0; r < n; ++r) {
+      csv.row_numeric({cm, static_cast<double>(r), m.des.ranks[r].sendrecv_s,
+                       m.modules[r].op.module_w()});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = bench::module_count(argc, argv);
+  std::printf("== Figure 8: VaFs detailed behaviour (%zu modules) ==\n\n", n);
+  cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), n);
+  core::Campaign campaign(cluster, bench::full_allocation(n));
+  panel_i(campaign, workloads::dgemm(), {110, 100, 90, 80, 70}, n, "dgemm");
+  panel_i(campaign, workloads::mhd(), {90, 80, 70, 60}, n, "mhd");
+  panel_ii();
+  std::printf(
+      "\nPaper: *DGEMM Vt drops from 1.64 (uniform caps) to ~1.12 under VaFs\n"
+      "while Vp rises 1.21 -> 1.41; MHD sync-time variation collapses\n"
+      "(Vt ~1.7 vs up to 57 under uniform caps).\n"
+      "Series written to fig8i_{dgemm,mhd}.csv and fig8ii_mhd_sync.csv\n");
+  return 0;
+}

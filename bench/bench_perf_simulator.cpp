@@ -1,0 +1,113 @@
+// Simulator micro-performance (google-benchmark): cost of the building
+// blocks that the experiment benches compose — cluster fabrication, PVT
+// generation, the budgeting solve, operating-point resolution and the
+// discrete-event engine at increasing rank counts.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/campaign.hpp"
+#include "workloads/catalog.hpp"
+#include "workloads/programs.hpp"
+
+using namespace vapb;
+
+namespace {
+
+void BM_ClusterFabrication(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    cluster::Cluster c(hw::ha8k(), util::SeedSequence(1), n);
+    benchmark::DoNotOptimize(c.module(0).variation().cpu_dyn);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ClusterFabrication)->Arg(64)->Arg(512)->Arg(1920);
+
+void BM_PvtGeneration(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  cluster::Cluster c(hw::ha8k(), util::SeedSequence(1), n);
+  for (auto _ : state) {
+    core::Pvt pvt = core::Pvt::generate(c, workloads::pvt_microbench(),
+                                        util::SeedSequence(2),
+                                        /*measure_seconds=*/0.05);
+    benchmark::DoNotOptimize(pvt.entry(0).cpu_max);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PvtGeneration)->Arg(64)->Arg(512)->Arg(1920);
+
+void BM_BudgetSolve(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  cluster::Cluster c(hw::ha8k(), util::SeedSequence(1), n);
+  std::vector<hw::ModuleId> alloc(n);
+  std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+  core::Pmt pmt = core::oracle_pmt(c, alloc, workloads::mhd(),
+                                   util::SeedSequence(3));
+  for (auto _ : state) {
+    core::BudgetResult r = core::solve_budget(pmt, 70.0 * n);
+    benchmark::DoNotOptimize(r.alpha);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BudgetSolve)->Arg(64)->Arg(1920);
+
+void BM_RaplOperatingPoint(benchmark::State& state) {
+  cluster::Cluster c(hw::ha8k(), util::SeedSequence(1), 1);
+  hw::Rapl rapl(c.module(0));
+  rapl.set_cpu_limit_w(70.0);
+  const auto& p = workloads::dgemm().profile;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rapl.operating_point(p).perf_freq_ghz);
+  }
+}
+BENCHMARK(BM_RaplOperatingPoint);
+
+void BM_DesEngineHalo3D(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto programs = workloads::build_programs(
+      workloads::mhd(), n, 10, [](std::size_t r, int) {
+        return 1.0 + 0.001 * static_cast<double>(r % 7);
+      });
+  des::Engine engine;
+  for (auto _ : state) {
+    des::RunResult r = engine.run(programs);
+    benchmark::DoNotOptimize(r.makespan_s);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * 10);
+}
+BENCHMARK(BM_DesEngineHalo3D)->Arg(64)->Arg(512)->Arg(1920);
+
+void BM_DesEngineAllreduce(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto programs = workloads::build_programs(
+      workloads::mvmc(), n, 10, [](std::size_t, int) { return 1.0; });
+  des::Engine engine;
+  for (auto _ : state) {
+    des::RunResult r = engine.run(programs);
+    benchmark::DoNotOptimize(r.makespan_s);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * 10);
+}
+BENCHMARK(BM_DesEngineAllreduce)->Arg(64)->Arg(1920);
+
+void BM_EndToEndScheme(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  cluster::Cluster c(hw::ha8k(), util::SeedSequence(1), n);
+  std::vector<hw::ModuleId> alloc(n);
+  std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+  core::RunConfig cfg;
+  cfg.iterations = 5;
+  core::Campaign campaign(c, alloc, cfg);
+  const auto& w = workloads::mhd();
+  const auto& test = campaign.test_run(w);
+  core::Runner runner(c, alloc, cfg);
+  for (auto _ : state) {
+    core::RunMetrics m = runner.run_scheme(w, core::SchemeKind::kVaPc,
+                                           70.0 * n, campaign.pvt(), test);
+    benchmark::DoNotOptimize(m.makespan_s);
+  }
+}
+BENCHMARK(BM_EndToEndScheme)->Arg(64)->Arg(512);
+
+}  // namespace

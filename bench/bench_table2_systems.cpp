@@ -1,0 +1,45 @@
+// Table 2: the four architectures under consideration, from the simulator's
+// presets, plus each fleet's realized manufacturing-variation spread.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "cluster/cluster.hpp"
+#include "stats/variation.hpp"
+
+using namespace vapb;
+
+int main() {
+  std::printf("== Table 2: Architectures Under Consideration ==\n\n");
+  util::Table table({"Site", "Microarch", "Nodes", "Procs/Node", "Cores/Proc",
+                     "CPU Freq", "Mem/Node", "TDP", "Power Msrmt",
+                     "fleet CPU-power spread"});
+  for (const hw::ArchSpec& spec : hw::all_archs()) {
+    // Realized spread: each module's *STREAM CPU power at nominal frequency.
+    std::size_t n = std::min<std::size_t>(
+        static_cast<std::size_t>(spec.total_modules()), 2048);
+    cluster::Cluster cluster(spec, bench::master_seed(), n);
+    std::vector<double> powers;
+    powers.reserve(n);
+    for (const auto& m : cluster.modules()) {
+      powers.push_back(m.cpu_power_w(workloads::pvt_microbench().profile,
+                                     spec.nominal_freq_ghz));
+    }
+    table.add_row();
+    table.add_cell(spec.system);
+    table.add_cell(spec.microarch);
+    table.add_cell(static_cast<long long>(spec.total_nodes));
+    table.add_cell(static_cast<long long>(spec.procs_per_node));
+    table.add_cell(static_cast<long long>(spec.cores_per_proc));
+    table.add_cell(util::fmt_ghz(spec.nominal_freq_ghz));
+    table.add_cell(std::to_string(spec.memory_per_node_gb) + " GB");
+    table.add_cell(spec.tdp_cpu_w >= 1000
+                       ? "Unreported"
+                       : util::fmt_watts(spec.tdp_cpu_w));
+    table.add_cell(hw::sensor_spec(spec.measurement).name);
+    table.add_cell(util::fmt_double(stats::spread_percent(powers), 1) + " %");
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\nCab DRAM power measurement unavailable (BIOS restriction);\n"
+              "Vulcan power is observed per node board (32 compute cards).\n");
+  return 0;
+}

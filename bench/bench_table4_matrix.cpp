@@ -1,0 +1,53 @@
+// Table 4: the benchmark x system-power-constraint scenario matrix.
+//   X = power constrained (evaluated), . = not sufficiently constrained,
+//   - = too constrained to operate at fmin.
+#include <cstdio>
+#include <string>
+
+#include "bench/common.hpp"
+
+using namespace vapb;
+
+int main(int argc, char** argv) {
+  const std::size_t n = bench::module_count(argc, argv);
+  std::printf("== Table 4: power constraints on HA8K (%zu modules) ==\n\n", n);
+  cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), n);
+  core::Campaign campaign(cluster, bench::full_allocation(n));
+
+  const std::vector<double> cms{110, 100, 90, 80, 70, 60, 50};
+  std::vector<std::string> headers{"benchmark"};
+  for (double cm : cms) {
+    headers.push_back("Cs=" + bench::cs_label(cm, n) + " (Cm=" +
+                      util::fmt_double(cm, 0) + "W)");
+  }
+  util::Table table(headers);
+  const std::vector<std::pair<std::string, std::string>> paper = {
+      {"*DGEMM", "XXXXX--"}, {"*STREAM", ".XXX---"}, {"MHD", "..XXXX-"},
+      {"NPB-BT", "...XXXX"}, {"NPB-SP", "...XXXX"},  {"mVMC", "...XXX-"}};
+  bool all_match = true;
+  for (auto* w : workloads::evaluation_suite()) {
+    table.add_row();
+    table.add_cell(w->name);
+    std::string row;
+    for (double cm : cms) {
+      core::CellClass c = campaign.classify(*w, cm * static_cast<double>(n));
+      char mark = c == core::CellClass::kValid ? 'X'
+                  : c == core::CellClass::kUnconstrained ? '.' : '-';
+      row += mark;
+      table.add_cell(std::string(1, mark));
+    }
+    for (const auto& [name, expected] : paper) {
+      if (name == w->name && expected != row) {
+        all_match = false;
+        std::printf("MISMATCH %s: got %s, paper %s\n", name.c_str(),
+                    row.c_str(), expected.c_str());
+      }
+    }
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\nPaper matrix:  *DGEMM XXXXX-- | *STREAM .XXX--- | "
+              "MHD ..XXXX- | NPB-BT ...XXXX | NPB-SP ...XXXX | mVMC ...XXX-\n");
+  std::printf("classification %s the paper's Table 4.\n",
+              all_match ? "MATCHES" : "differs from");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Every bench accepts the module count as argv[1] (or the
+// VAPB_BENCH_MODULES environment variable); the default is the paper's full
+// 1,920-module HA8K configuration. CSV series are written next to the
+// binary as <bench>_<series>.csv for plotting.
+#pragma once
+
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::bench {
+
+inline std::size_t module_count(int argc, char** argv,
+                                std::size_t fallback = 1920) {
+  if (argc > 1) return std::strtoul(argv[1], nullptr, 10);
+  if (const char* env = std::getenv("VAPB_BENCH_MODULES")) {
+    return std::strtoul(env, nullptr, 10);
+  }
+  return fallback;
+}
+
+/// The paper's master seed convention: all benches share one fleet.
+inline util::SeedSequence master_seed() { return util::SeedSequence(2015); }
+
+inline std::vector<hw::ModuleId> full_allocation(std::size_t n) {
+  std::vector<hw::ModuleId> alloc(n);
+  std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+  return alloc;
+}
+
+/// The checked ("X") cells of Table 4, as average W per module (Cm).
+/// Cs [kW] in the paper = Cm * 1920 / 1000.
+inline std::vector<double> checked_cm(const std::string& workload) {
+  if (workload == "*DGEMM") return {110, 100, 90, 80, 70};
+  if (workload == "*STREAM") return {100, 90, 80};
+  if (workload == "MHD") return {90, 80, 70, 60};
+  if (workload == "NPB-BT") return {80, 70, 60, 50};
+  if (workload == "NPB-SP") return {80, 70, 60, 50};
+  if (workload == "mVMC") return {80, 70, 60};
+  throw InvalidArgument("no Table 4 row for " + workload);
+}
+
+inline std::string cs_label(double cm_w, std::size_t n) {
+  return util::fmt_double(cm_w * static_cast<double>(n) / 1000.0, 1) + " kW";
+}
+
+}  // namespace vapb::bench

@@ -1,0 +1,58 @@
+// A full evaluation campaign on one benchmark: sweep the system power
+// constraint across the paper's Table-4 grid and print, for every feasible
+// cell, the speedup of each scheme over Naive — one panel of Figure 7.
+//
+// Usage: budgeting_campaign [workload] [modules]
+//   workload: *DGEMM | *STREAM | MHD | NPB-BT | NPB-SP | mVMC  (default MHD)
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "core/campaign.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/catalog.hpp"
+
+using namespace vapb;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "MHD";
+  const std::size_t n = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 192;
+  const workloads::Workload& w = workloads::by_name(name);
+
+  cluster::Cluster cluster(hw::ha8k(), util::SeedSequence(2015), n);
+  std::vector<hw::ModuleId> alloc(n);
+  std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+  core::Campaign campaign(cluster, alloc);
+
+  std::printf("workload: %s (%s)\n", w.name.c_str(), w.description.c_str());
+  std::printf("modules:  %zu of HA8K, PVT microbenchmark: %s\n", n,
+              campaign.pvt().microbench_name().c_str());
+  std::printf("PMT calibration error vs oracle: %.1f%%\n\n",
+              100.0 * campaign.calibration_error(w));
+
+  util::Table table({"Cm [W]", "Cs [kW]", "cell", "Naive", "Pc", "VaPcOr",
+                     "VaPc", "VaFsOr", "VaFs"});
+  for (double cm : {110.0, 100.0, 90.0, 80.0, 70.0, 60.0, 50.0}) {
+    double budget = cm * static_cast<double>(n);
+    core::CellResult cell = campaign.run_cell(w, budget);
+    table.add_row();
+    table.add_cell(cm, 0);
+    table.add_cell(budget / 1000.0, 1);
+    table.add_cell(core::cell_class_name(cell.cls));
+    for (const auto& s : cell.schemes) {
+      if (!s.metrics.feasible) {
+        table.add_cell("-");
+      } else {
+        table.add_cell(util::fmt_double(s.speedup_vs_naive, 2) + "x");
+      }
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "cell: X = power constrained (the paper's check-marks), unconstrained\n"
+      "= budget not binding (no speedup available), infeasible = modules\n"
+      "cannot run even at fmin.\n");
+  return 0;
+}

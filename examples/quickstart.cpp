@@ -1,0 +1,59 @@
+// Quickstart: the complete variation-aware power budgeting pipeline on a
+// simulated HA8K slice, in ~60 lines.
+//
+//   1. fabricate a cluster (each module gets its own silicon),
+//   2. generate the system PVT once with the *STREAM microbenchmark,
+//   3. run the application twice on ONE module (fmax + fmin test runs),
+//   4. calibrate the application's PMT and solve for alpha,
+//   5. run under the derived per-module allocations and compare with the
+//      naive uniform scheme.
+#include <cstdio>
+#include <numeric>
+
+#include "core/campaign.hpp"
+#include "util/strings.hpp"
+#include "workloads/catalog.hpp"
+
+using namespace vapb;
+
+int main() {
+  // 1. A 128-module slice of the HA8K system (Table 2), master seed 2015.
+  const std::size_t n = 128;
+  cluster::Cluster cluster(hw::ha8k(), util::SeedSequence(2015), n);
+  std::vector<hw::ModuleId> allocation(n);
+  std::iota(allocation.begin(), allocation.end(), hw::ModuleId{0});
+
+  // 2-3. The campaign object owns the PVT and caches test runs.
+  core::Campaign campaign(cluster, allocation);
+  const workloads::Workload& app = workloads::mhd();
+
+  // 4. Solve the budgeting problem at a 70 W/module application budget.
+  const double budget_w = 70.0 * static_cast<double>(n);
+  core::Pmt pmt = core::calibrate_pmt(campaign.pvt(), campaign.test_run(app),
+                                      allocation, cluster.spec().ladder);
+  core::BudgetResult solved = core::solve_budget(pmt, budget_w);
+  std::printf("application: %s\n", app.name.c_str());
+  std::printf("budget:      %s (%zu modules)\n",
+              util::fmt_watts(budget_w).c_str(), n);
+  std::printf("alpha:       %.3f  ->  common frequency %s\n", solved.alpha,
+              util::fmt_ghz(solved.target_freq_ghz).c_str());
+  std::printf("allocations: min %s, max %s (variation-aware, non-uniform)\n",
+              util::fmt_watts(solved.allocations.front().module_w).c_str(),
+              util::fmt_watts(solved.allocations.back().module_w).c_str());
+
+  // 5. Execute under each scheme and compare.
+  core::CellResult cell = campaign.run_cell(app, budget_w);
+  std::printf("\n%-8s %10s %8s %8s %8s %10s\n", "scheme", "makespan", "Vf",
+              "Vp", "Vt", "speedup");
+  for (const auto& s : cell.schemes) {
+    double vt = core::vt_normalized(s.metrics, *cell.uncapped);
+    std::printf("%-8s %9.1fs %8.2f %8.2f %8.2f %9.2fx\n",
+                s.metrics.scheme.c_str(), s.metrics.makespan_s,
+                s.metrics.vf(), s.metrics.vp(), vt, s.speedup_vs_naive);
+  }
+  std::printf(
+      "\nThe variation-aware schemes (VaPc/VaFs) equalize frequency by\n"
+      "allocating power unevenly; the naive TDP-based scheme leaves the\n"
+      "slowest module gating the whole application.\n");
+  return 0;
+}

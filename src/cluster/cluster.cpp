@@ -1,0 +1,31 @@
+#include "cluster/cluster.hpp"
+
+#include "util/error.hpp"
+
+namespace vapb::cluster {
+
+Cluster::Cluster(hw::ArchSpec spec, util::SeedSequence master_seed,
+                 std::size_t module_count)
+    : spec_(std::move(spec)), seed_(master_seed.fork("cluster")) {
+  std::size_t n = module_count ? module_count
+                               : static_cast<std::size_t>(spec_.total_modules());
+  VAPB_REQUIRE_MSG(n > 0, "cluster needs at least one module");
+  util::SeedSequence fab = master_seed.fork("fabrication");
+  modules_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto id = static_cast<hw::ModuleId>(i);
+    hw::ModuleVariation v = hw::draw_variation(spec_.variation, fab, id);
+    modules_.emplace_back(id, v, spec_.ladder, spec_.tdp_cpu_w, fab);
+  }
+}
+
+const hw::Module& Cluster::module(hw::ModuleId id) const {
+  if (id >= modules_.size()) {
+    throw InvalidArgument("module id " + std::to_string(id) +
+                          " out of range (cluster has " +
+                          std::to_string(modules_.size()) + ")");
+  }
+  return modules_[id];
+}
+
+}  // namespace vapb::cluster

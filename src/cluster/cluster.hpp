@@ -1,0 +1,40 @@
+// A simulated production system: the full fleet of modules fabricated for an
+// architecture, each with its own manufacturing variation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/arch.hpp"
+#include "hw/module.hpp"
+#include "util/rng.hpp"
+
+namespace vapb::cluster {
+
+class Cluster {
+ public:
+  /// Fabricates `spec.total_modules()` modules (or `module_count` if
+  /// non-zero, for scaled-down experiments) with variation drawn from
+  /// `spec.variation` under the given master seed.
+  Cluster(hw::ArchSpec spec, util::SeedSequence master_seed,
+          std::size_t module_count = 0);
+
+  [[nodiscard]] const hw::ArchSpec& spec() const { return spec_; }
+  [[nodiscard]] std::size_t size() const { return modules_.size(); }
+
+  [[nodiscard]] const hw::Module& module(hw::ModuleId id) const;
+  [[nodiscard]] const std::vector<hw::Module>& modules() const {
+    return modules_;
+  }
+
+  /// Seed subtree for components attached to this cluster (sensors, RAPL
+  /// jitter, workload noise); stable across runs.
+  [[nodiscard]] const util::SeedSequence& seed() const { return seed_; }
+
+ private:
+  hw::ArchSpec spec_;
+  util::SeedSequence seed_;
+  std::vector<hw::Module> modules_;
+};
+
+}  // namespace vapb::cluster

@@ -1,0 +1,76 @@
+#include "cluster/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace vapb::cluster {
+
+std::vector<hw::ModuleId> Scheduler::allocate(
+    std::size_t count, AllocationPolicy policy, util::SeedSequence seed,
+    const hw::PowerProfile* ranking_profile) const {
+  const std::size_t n = cluster_.size();
+  if (count == 0) throw InvalidArgument("Scheduler: count must be > 0");
+  if (count > n) {
+    throw InvalidArgument("Scheduler: requested " + std::to_string(count) +
+                          " modules, cluster has " + std::to_string(n));
+  }
+  std::vector<hw::ModuleId> all(n);
+  std::iota(all.begin(), all.end(), hw::ModuleId{0});
+
+  switch (policy) {
+    case AllocationPolicy::kContiguous: {
+      // Deterministic random block start, modelling whichever rack range the
+      // batch system happened to drain.
+      util::Rng rng(seed.fork("contiguous"));
+      std::size_t start = static_cast<std::size_t>(
+          rng.uniform_index(n - count + 1));
+      return {all.begin() + static_cast<std::ptrdiff_t>(start),
+              all.begin() + static_cast<std::ptrdiff_t>(start + count)};
+    }
+    case AllocationPolicy::kRandom: {
+      util::Rng rng(seed.fork("random"));
+      rng.shuffle(all);
+      all.resize(count);
+      std::sort(all.begin(), all.end());
+      return all;
+    }
+    case AllocationPolicy::kStrided: {
+      std::vector<hw::ModuleId> out;
+      out.reserve(count);
+      std::size_t stride = n / count;
+      if (stride == 0) stride = 1;
+      for (std::size_t i = 0; out.size() < count; i += stride) {
+        out.push_back(all[i % n]);
+      }
+      return out;
+    }
+    case AllocationPolicy::kWorstPower:
+    case AllocationPolicy::kBestPower: {
+      if (ranking_profile == nullptr) {
+        throw InvalidArgument(
+            "Scheduler: power-ordered policy needs a ranking profile");
+      }
+      std::vector<std::pair<double, hw::ModuleId>> ranked;
+      ranked.reserve(n);
+      for (auto id : all) {
+        const auto& m = cluster_.module(id);
+        ranked.emplace_back(
+            m.module_power_w(*ranking_profile, m.ladder().fmax()), id);
+      }
+      std::sort(ranked.begin(), ranked.end());
+      if (policy == AllocationPolicy::kWorstPower) {
+        std::reverse(ranked.begin(), ranked.end());
+      }
+      std::vector<hw::ModuleId> out;
+      out.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) out.push_back(ranked[i].second);
+      std::sort(out.begin(), out.end());
+      return out;
+    }
+  }
+  throw InternalError("Scheduler: unhandled policy");
+}
+
+}  // namespace vapb::cluster

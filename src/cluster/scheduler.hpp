@@ -1,0 +1,41 @@
+// Job scheduler: picks which physical modules a job runs on.
+//
+// The paper's framework takes the scheduler's module list as an *input*
+// (Figure 4) — the budgeting algorithm must cope with whatever silicon the
+// scheduler hands it. Different policies let experiments probe how allocation
+// luck interacts with variation-aware budgeting.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "hw/module.hpp"
+#include "util/rng.hpp"
+
+namespace vapb::cluster {
+
+enum class AllocationPolicy {
+  kContiguous,      ///< first-fit block of module ids (rack-contiguous)
+  kRandom,          ///< uniformly random subset (fragmented system)
+  kStrided,         ///< every k-th module (spreads across racks)
+  kWorstPower,      ///< adversarial: the most power-hungry modules (per a profile)
+  kBestPower,       ///< the most power-efficient modules
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const Cluster& cluster) : cluster_(cluster) {}
+
+  /// Allocates `count` module ids under `policy`. Power-ordered policies rank
+  /// modules by module power at fmax under `ranking_profile` (required for
+  /// kWorstPower / kBestPower, ignored otherwise).
+  /// Throws InvalidArgument if count == 0 or count > cluster size.
+  [[nodiscard]] std::vector<hw::ModuleId> allocate(
+      std::size_t count, AllocationPolicy policy, util::SeedSequence seed,
+      const hw::PowerProfile* ranking_profile = nullptr) const;
+
+ private:
+  const Cluster& cluster_;
+};
+
+}  // namespace vapb::cluster

@@ -1,0 +1,226 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "util/error.hpp"
+
+namespace vapb::core {
+
+namespace {
+
+/// Running-job bookkeeping inside the event loop.
+struct Running {
+  std::size_t job_index;
+  std::vector<hw::ModuleId> alloc;
+  double budget_w;
+  double finish_s;
+};
+
+std::optional<std::vector<hw::ModuleId>> take_contiguous(
+    std::vector<bool>& used, std::size_t count) {
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    run = used[i] ? 0 : run + 1;
+    if (run == count) {
+      std::vector<hw::ModuleId> out;
+      out.reserve(count);
+      for (std::size_t k = i + 1 - count; k <= i; ++k) {
+        used[k] = true;
+        out.push_back(static_cast<hw::ModuleId>(k));
+      }
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+BatchSimulator::BatchSimulator(const cluster::Cluster& cluster, const Pvt& pvt,
+                               double system_budget_w, RunConfig run_config)
+    : cluster_(cluster),
+      pvt_(pvt),
+      system_budget_w_(system_budget_w),
+      run_config_(run_config) {
+  if (system_budget_w_ <= 0.0) {
+    throw InvalidArgument("BatchSimulator: budget must be positive");
+  }
+  if (pvt_.size() != cluster_.size()) {
+    throw InvalidArgument("BatchSimulator: PVT does not cover the cluster");
+  }
+}
+
+BatchResult BatchSimulator::run(const std::vector<BatchJob>& jobs,
+                                const BatchConfig& config,
+                                util::SeedSequence seed) const {
+  BatchResult result;
+  result.jobs.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) result.jobs[i].job = jobs[i];
+
+  // Arrival order (stable for equal arrival times).
+  std::vector<std::size_t> pending_order(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) pending_order[i] = i;
+  std::stable_sort(pending_order.begin(), pending_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return jobs[a].arrival_s < jobs[b].arrival_s;
+                   });
+
+  std::vector<bool> used(cluster_.size(), false);
+  double committed_w = 0.0;
+  std::vector<Running> running;
+  std::vector<std::size_t> queue;  // arrived, not yet started
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+  double power_time_integral = 0.0;
+  double last_event = 0.0;
+
+  // Screen out jobs that can never start.
+  auto screen = [&](std::size_t j) -> bool {
+    const BatchJob& job = jobs[j];
+    if (job.app == nullptr || job.modules == 0 ||
+        job.modules > cluster_.size()) {
+      result.jobs[j].reject_reason = "impossible request";
+      return false;
+    }
+    return true;
+  };
+
+  // Tries to start job j at `now`; returns true on success.
+  auto try_start = [&](std::size_t j) -> bool {
+    const BatchJob& job = jobs[j];
+    std::vector<bool> trial = used;
+    auto alloc = take_contiguous(trial, job.modules);
+    if (!alloc) return false;
+
+    TestRunResult test = single_module_test_run(
+        cluster_, alloc->front(), *job.app, seed.fork("batch-test", j));
+    Pmt pmt = calibrate_pmt(pvt_, test, *alloc, cluster_.spec().ladder);
+    double available = system_budget_w_ - committed_w;
+    if (pmt.total_min_w() > available) return false;  // wait for power
+    double grant = std::min(pmt.total_max_w(), available);
+
+    RunConfig cfg = run_config_;
+    if (job.iterations > 0) cfg.iterations = job.iterations;
+    Runner runner(cluster_, *alloc, cfg);
+    Pmt scheme_table =
+        scheme_pmt(config.scheme, cluster_, *alloc, *job.app, pvt_, test,
+                   seed.fork("batch-scheme", j));
+    BudgetResult solved = solve_budget(scheme_table, grant);
+    RunMetrics metrics =
+        runner.run_budgeted(*job.app, enforcement_of(config.scheme), solved,
+                            scheme_name(config.scheme), grant);
+
+    used = trial;
+    committed_w += grant;
+    running.push_back(Running{j, std::move(*alloc), grant,
+                              now + metrics.makespan_s});
+    JobOutcome& out = result.jobs[j];
+    out.completed = true;
+    out.start_s = now;
+    out.finish_s = now + metrics.makespan_s;
+    out.budget_w = grant;
+    out.alpha = metrics.alpha;
+    return true;
+  };
+
+  auto advance_accounting = [&](double t) {
+    power_time_integral += committed_w * (t - last_event);
+    last_event = t;
+  };
+
+  std::size_t screened_out = 0;
+  for (;;) {
+    // Start whatever fits from the queue (FCFS head, then backfill).
+    bool started = true;
+    while (started) {
+      started = false;
+      for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+        if (try_start(queue[qi])) {
+          queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(qi));
+          started = true;
+          break;
+        }
+        if (!config.backfill) break;  // strict FCFS: only the head may start
+      }
+    }
+
+    // Next event: arrival or completion.
+    double next_completion = std::numeric_limits<double>::infinity();
+    for (const Running& r : running) {
+      next_completion = std::min(next_completion, r.finish_s);
+    }
+    double next_arrival_t = next_arrival < pending_order.size()
+                                ? jobs[pending_order[next_arrival]].arrival_s
+                                : std::numeric_limits<double>::infinity();
+    if (!std::isfinite(next_completion) && !std::isfinite(next_arrival_t)) {
+      break;  // drained
+    }
+    if (next_arrival_t <= next_completion) {
+      now = std::max(now, next_arrival_t);
+      advance_accounting(now);
+      std::size_t j = pending_order[next_arrival++];
+      if (screen(j)) {
+        queue.push_back(j);
+      } else {
+        ++screened_out;
+      }
+    } else {
+      now = next_completion;
+      advance_accounting(now);
+      for (std::size_t ri = 0; ri < running.size();) {
+        if (running[ri].finish_s <= now + 1e-12) {
+          for (auto id : running[ri].alloc) used[id] = false;
+          committed_w -= running[ri].budget_w;
+          running.erase(running.begin() + static_cast<std::ptrdiff_t>(ri));
+        } else {
+          ++ri;
+        }
+      }
+    }
+    // A queued job whose fmin floor exceeds the *whole* budget will never
+    // start; drop it to guarantee termination.
+    for (std::size_t qi = 0; qi < queue.size();) {
+      const BatchJob& job = jobs[queue[qi]];
+      TestRunResult test =
+          single_module_test_run(cluster_, 0, *job.app,
+                                 seed.fork("batch-screen", queue[qi]));
+      std::vector<hw::ModuleId> probe(job.modules);
+      for (std::size_t k = 0; k < job.modules; ++k) {
+        probe[k] = static_cast<hw::ModuleId>(k);
+      }
+      Pmt pmt = calibrate_pmt(pvt_, test, probe, cluster_.spec().ladder);
+      if (pmt.total_min_w() > system_budget_w_) {
+        result.jobs[queue[qi]].reject_reason =
+            "fmin floor exceeds the system budget";
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(qi));
+        ++screened_out;
+      } else {
+        ++qi;
+      }
+    }
+  }
+
+  double completed = 0.0;
+  double wait_sum = 0.0;
+  for (const JobOutcome& out : result.jobs) {
+    if (!out.completed) continue;
+    completed += 1.0;
+    wait_sum += out.wait_s();
+    result.makespan_s = std::max(result.makespan_s, out.finish_s);
+  }
+  if (completed > 0.0) {
+    result.mean_wait_s = wait_sum / completed;
+    if (result.makespan_s > 0.0) {
+      result.throughput_jobs_per_hour =
+          completed / result.makespan_s * 3600.0;
+      result.power_utilization =
+          power_time_integral / (system_budget_w_ * result.makespan_s);
+    }
+  }
+  return result;
+}
+
+}  // namespace vapb::core

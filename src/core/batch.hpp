@@ -1,0 +1,81 @@
+// Batch-queue simulation under a system-wide power budget.
+//
+// The paper's conclusion points at "analyzing multiple applications under a
+// system-level power constraint and optimizing for overall system
+// throughput". This module simulates a power-constrained batch system: jobs
+// arrive over time, a FCFS queue (with optional backfill) admits them when
+// both free modules and power headroom exist, each admitted job receives an
+// application-level budget and runs under a chosen budgeting scheme, and the
+// simulator reports per-job waits, system makespan, throughput and power
+// utilization. Comparing schemes on the same job stream quantifies what
+// variation awareness buys at the *system* level, not just per job.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/pvt.hpp"
+#include "core/runner.hpp"
+
+namespace vapb::core {
+
+struct BatchJob {
+  std::string name;
+  const workloads::Workload* app = nullptr;
+  std::size_t modules = 0;
+  double arrival_s = 0.0;
+  int iterations = 0;  ///< 0 = the workload's default
+};
+
+struct BatchConfig {
+  SchemeKind scheme = SchemeKind::kVaFs;
+  /// When the queue head does not fit, later jobs that do fit may start
+  /// (EASY-style backfill without reservations).
+  bool backfill = true;
+};
+
+struct JobOutcome {
+  BatchJob job;
+  bool completed = false;   ///< false: never admitted (malformed/impossible)
+  std::string reject_reason;
+  double start_s = 0.0;
+  double finish_s = 0.0;
+  double budget_w = 0.0;
+  double alpha = 0.0;
+
+  [[nodiscard]] double wait_s() const { return start_s - job.arrival_s; }
+  [[nodiscard]] double runtime_s() const { return finish_s - start_s; }
+};
+
+struct BatchResult {
+  std::vector<JobOutcome> jobs;     ///< in input order
+  double makespan_s = 0.0;          ///< last completion time
+  double mean_wait_s = 0.0;         ///< over completed jobs
+  double throughput_jobs_per_hour = 0.0;
+  /// Time-averaged committed power divided by the system budget.
+  double power_utilization = 0.0;
+};
+
+class BatchSimulator {
+ public:
+  /// Throws InvalidArgument for a non-positive budget or a PVT that does not
+  /// cover the cluster.
+  BatchSimulator(const cluster::Cluster& cluster, const Pvt& pvt,
+                 double system_budget_w, RunConfig run_config = {});
+
+  /// Simulates the stream to completion. A job that can never start (more
+  /// modules than the machine, or an fmin floor above the whole budget) is
+  /// marked completed=false with a reason; everything else eventually runs.
+  [[nodiscard]] BatchResult run(const std::vector<BatchJob>& jobs,
+                                const BatchConfig& config,
+                                util::SeedSequence seed) const;
+
+ private:
+  const cluster::Cluster& cluster_;
+  const Pvt& pvt_;
+  double system_budget_w_;
+  RunConfig run_config_;
+};
+
+}  // namespace vapb::core

@@ -1,0 +1,60 @@
+#include "core/budget.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vapb::core {
+
+BudgetResult solve_budget(const Pmt& pmt, double budget_w) {
+  if (budget_w <= 0.0) throw InvalidArgument("solve_budget: budget <= 0");
+
+  BudgetResult r;
+  const double total_min = pmt.total_min_w();
+  const double total_max = pmt.total_max_w();
+
+  double alpha;
+  if (total_max - total_min <= 1e-12) {
+    // Degenerate PMT (fmax == fmin power): any alpha realizes the same
+    // power; use 1 so the frequency target is fmax.
+    alpha = budget_w >= total_min ? 1.0 : 0.0;
+  } else {
+    alpha = (budget_w - total_min) / (total_max - total_min);  // Eq. 6
+  }
+  r.fits_at_fmin = budget_w >= total_min;
+  r.constrained = alpha < 1.0;
+  r.alpha = std::clamp(alpha, 0.0, 1.0);
+  r.target_freq_ghz = pmt.freq_at(r.alpha);
+
+  // Best effort below the table's fmin floor: shrink every allocation
+  // proportionally so the predicted total still meets the budget (the caps
+  // then land below the predicted fmin powers and RAPL throttles).
+  const double scale =
+      r.fits_at_fmin ? 1.0 : budget_w / total_min;
+
+  r.allocations.reserve(pmt.size());
+  for (const PmtEntry& e : pmt.entries()) {
+    ModuleBudget mb;
+    mb.module_w = e.module_at(r.alpha) * scale;      // Eq. 7
+    mb.dram_w = e.dram_at(r.alpha) * scale;
+    mb.cpu_cap_w = mb.module_w - mb.dram_w;          // Eq. 8-9
+    VAPB_REQUIRE_MSG(mb.cpu_cap_w > 0.0,
+                     "derived CPU cap must be positive (bad PMT?)");
+    r.allocations.push_back(mb);
+    r.predicted_total_w += mb.module_w;
+  }
+  return r;
+}
+
+BudgetResult solve_budget_strict(const Pmt& pmt, double budget_w) {
+  BudgetResult r = solve_budget(pmt, budget_w);
+  if (!r.fits_at_fmin) {
+    throw InfeasibleBudget(
+        "budget " + util::fmt_watts(budget_w) + " is below the fmin floor " +
+        util::fmt_watts(pmt.total_min_w()) + " of the allocated modules");
+  }
+  return r;
+}
+
+}  // namespace vapb::core

@@ -1,0 +1,51 @@
+// The variation-aware power budgeting solve (paper Section 5.1, Eq. 1-9).
+//
+// Given an application's PMT over its allocated modules and an application-
+// level power budget, find the largest common frequency coefficient alpha in
+// [0, 1] whose total predicted module power fits the budget, then derive each
+// module's individual power allocation and CPU cap.
+#pragma once
+
+#include <vector>
+
+#include "core/pmt.hpp"
+
+namespace vapb::core {
+
+/// Per-module output of the budgeting solve.
+struct ModuleBudget {
+  double module_w = 0.0;   ///< P^module_i (Eq. 7)
+  double cpu_cap_w = 0.0;  ///< P^cpu_i (Eq. 8-9)
+  double dram_w = 0.0;     ///< predicted DRAM power at alpha
+};
+
+struct BudgetResult {
+  /// False when, according to this PMT, even alpha = 0 (fmin everywhere)
+  /// exceeds the budget. The solve still produces best-effort allocations at
+  /// alpha = 0 — a scheme with a pessimistic table must still run (the paper
+  /// ran every non-"-" cell); whether a cell is *truly* inoperable is decided
+  /// against ground truth by Campaign::classify.
+  bool fits_at_fmin = true;
+
+  /// False when the budget exceeds the fmax requirement, i.e. the power
+  /// constraint is not binding (alpha clamped to 1) — Table 4's "•" cells.
+  bool constrained = false;
+
+  double alpha = 0.0;          ///< common coefficient (clamped to [0, 1])
+  double target_freq_ghz = 0;  ///< f = alpha (fmax - fmin) + fmin (Eq. 1)
+  double predicted_total_w = 0.0;  ///< sum of module allocations
+
+  std::vector<ModuleBudget> allocations;  ///< aligned with the PMT entries
+};
+
+/// Solves Eq. 6 with alpha clamped to [0, 1] and derives per-module
+/// allocations (Eq. 7-9). Never throws for tight budgets — inspect
+/// `fits_at_fmin`.
+BudgetResult solve_budget(const Pmt& pmt, double budget_w);
+
+/// Like solve_budget but throws InfeasibleBudget when the budget cannot be
+/// met at fmin. For callers that treat infeasibility as an error (e.g. a
+/// resource manager rejecting a job).
+BudgetResult solve_budget_strict(const Pmt& pmt, double budget_w);
+
+}  // namespace vapb::core

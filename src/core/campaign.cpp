@@ -1,0 +1,120 @@
+#include "core/campaign.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::core {
+
+std::string cell_class_name(CellClass c) {
+  switch (c) {
+    case CellClass::kValid:
+      return "X";
+    case CellClass::kUnconstrained:
+      return "unconstrained";
+    case CellClass::kInfeasible:
+      return "infeasible";
+  }
+  throw InternalError("unhandled cell class");
+}
+
+const SchemeOutcome& CellResult::scheme(SchemeKind kind) const {
+  for (const auto& s : schemes) {
+    if (s.kind == kind) return s;
+  }
+  throw InvalidArgument("CellResult: scheme not present: " +
+                        scheme_name(kind));
+}
+
+Campaign::Campaign(const cluster::Cluster& cluster,
+                   std::vector<hw::ModuleId> allocation, RunConfig config,
+                   const workloads::Workload* microbench)
+    : cluster_(cluster),
+      config_(config),
+      runner_(cluster, std::move(allocation), config),
+      pvt_(Pvt::generate(cluster,
+                         microbench ? *microbench
+                                    : workloads::pvt_microbench(),
+                         cluster.seed().fork("pvt"))) {}
+
+const TestRunResult& Campaign::test_run(const workloads::Workload& w) {
+  auto it = test_runs_.find(w.name);
+  if (it == test_runs_.end()) {
+    TestRunResult r =
+        single_module_test_run(cluster_, runner_.allocation().front(), w,
+                               cluster_.seed().fork("test-run").fork(w.name));
+    it = test_runs_.emplace(w.name, r).first;
+  }
+  return it->second;
+}
+
+const Pmt& Campaign::oracle(const workloads::Workload& w) {
+  auto it = oracles_.find(w.name);
+  if (it == oracles_.end()) {
+    it = oracles_
+             .emplace(w.name,
+                      oracle_pmt(cluster_, runner_.allocation(), w,
+                                 cluster_.seed().fork("oracle").fork(w.name)))
+             .first;
+  }
+  return it->second;
+}
+
+const RunMetrics& Campaign::uncapped(const workloads::Workload& w) {
+  auto it = baselines_.find(w.name);
+  if (it == baselines_.end()) {
+    it = baselines_.emplace(w.name, runner_.run_uncapped(w)).first;
+  }
+  return it->second;
+}
+
+CellClass Campaign::classify(const workloads::Workload& w, double budget_w) {
+  const Pmt& truth = oracle(w);
+  if (budget_w < truth.total_min_w()) return CellClass::kInfeasible;
+  if (budget_w >= truth.total_max_w()) return CellClass::kUnconstrained;
+  return CellClass::kValid;
+}
+
+CellResult Campaign::run_cell(const workloads::Workload& w, double budget_w,
+                              const std::vector<SchemeKind>& schemes) {
+  CellResult cell;
+  cell.cls = classify(w, budget_w);
+  cell.uncapped = &uncapped(w);
+
+  const TestRunResult& test = test_run(w);
+  std::optional<double> naive_makespan;
+  for (SchemeKind kind : schemes) {
+    SchemeOutcome out;
+    out.kind = kind;
+    if (cell.cls == CellClass::kInfeasible) {
+      // "-" cell: the modules cannot be operated at this budget; the paper
+      // does not run these.
+      out.metrics.workload = w.name;
+      out.metrics.scheme = scheme_name(kind);
+      out.metrics.budget_w = budget_w;
+      out.metrics.feasible = false;
+    } else {
+      out.metrics = runner_.run_scheme(w, kind, budget_w, pvt_, test);
+      if (kind == SchemeKind::kNaive) naive_makespan = out.metrics.makespan_s;
+    }
+    cell.schemes.push_back(std::move(out));
+  }
+  for (auto& s : cell.schemes) {
+    if (naive_makespan && s.metrics.feasible && s.metrics.makespan_s > 0.0) {
+      s.speedup_vs_naive = *naive_makespan / s.metrics.makespan_s;
+    } else {
+      s.speedup_vs_naive = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  return cell;
+}
+
+double Campaign::calibration_error(const workloads::Workload& w) {
+  Pmt predicted = calibrate_pmt(pvt_, test_run(w), runner_.allocation(),
+                                cluster_.spec().ladder);
+  return pmt_prediction_error(predicted, oracle(w));
+}
+
+}  // namespace vapb::core

@@ -1,0 +1,87 @@
+// Campaign driver: evaluates workloads x budgets x schemes on a fixed module
+// allocation, caching the expensive shared artifacts (PVT, single-module
+// test runs, uncapped baselines, oracle PMTs). This is the machinery behind
+// Table 4, Figure 7 and Figure 9.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace vapb::core {
+
+/// Table 4 cell classification.
+enum class CellClass {
+  kValid,          ///< "X": power-constrained and runnable
+  kUnconstrained,  ///< "•": budget not binding, no improvement possible
+  kInfeasible,     ///< "-": cannot run even at fmin
+};
+
+std::string cell_class_name(CellClass c);
+
+struct SchemeOutcome {
+  SchemeKind kind;
+  RunMetrics metrics;
+  /// makespan(Naive)/makespan(this); NaN when Naive itself is infeasible.
+  double speedup_vs_naive = 0.0;
+};
+
+struct CellResult {
+  CellClass cls = CellClass::kValid;
+  const RunMetrics* uncapped = nullptr;  ///< owned by the campaign cache
+  std::vector<SchemeOutcome> schemes;
+
+  [[nodiscard]] const SchemeOutcome& scheme(SchemeKind kind) const;
+};
+
+class Campaign {
+ public:
+  /// Generates the system PVT with the paper's *STREAM microbenchmark
+  /// (override with `microbench` for the PVT-choice ablation).
+  Campaign(const cluster::Cluster& cluster,
+           std::vector<hw::ModuleId> allocation, RunConfig config = {},
+           const workloads::Workload* microbench = nullptr);
+
+  [[nodiscard]] const Pvt& pvt() const { return pvt_; }
+  [[nodiscard]] const Runner& runner() const { return runner_; }
+  [[nodiscard]] const cluster::Cluster& cluster() const { return cluster_; }
+  [[nodiscard]] const RunConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<hw::ModuleId>& allocation() const {
+    return runner_.allocation();
+  }
+
+  /// Single-module test run of `w` (cached; uses the first allocated module).
+  const TestRunResult& test_run(const workloads::Workload& w);
+
+  /// Oracle PMT of `w` over the allocation (cached).
+  const Pmt& oracle(const workloads::Workload& w);
+
+  /// Uncapped baseline run of `w` (cached).
+  const RunMetrics& uncapped(const workloads::Workload& w);
+
+  /// Classifies a (workload, budget) cell against the ground truth: compares
+  /// the budget with the true fmax/fmin power requirements (oracle PMT).
+  CellClass classify(const workloads::Workload& w, double budget_w);
+
+  /// Runs every scheme at the given application budget. Schemes whose own
+  /// table makes the budget infeasible produce metrics with feasible=false.
+  CellResult run_cell(const workloads::Workload& w, double budget_w,
+                      const std::vector<SchemeKind>& schemes = all_schemes());
+
+  /// PVT-calibrated PMT prediction error vs the oracle (Section 5.3).
+  double calibration_error(const workloads::Workload& w);
+
+ private:
+  const cluster::Cluster& cluster_;
+  RunConfig config_;
+  Runner runner_;
+  Pvt pvt_;
+  std::map<std::string, TestRunResult> test_runs_;
+  std::map<std::string, Pmt> oracles_;
+  std::map<std::string, RunMetrics> baselines_;
+};
+
+}  // namespace vapb::core

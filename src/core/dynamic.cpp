@@ -1,0 +1,163 @@
+#include "core/dynamic.hpp"
+
+#include <optional>
+
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::core {
+
+namespace {
+
+void validate(const PhasedApplication& app) {
+  if (app.phases.empty()) {
+    throw InvalidArgument("phased application '" + app.name + "' has no phases");
+  }
+  for (const Phase& p : app.phases) {
+    if (p.workload == nullptr || p.iterations <= 0) {
+      throw InvalidArgument("phased application '" + app.name +
+                            "' has a malformed phase");
+    }
+  }
+}
+
+void accumulate(DynamicRunResult& out, const RunMetrics& m, double alpha,
+                double freq) {
+  PhaseOutcome ph;
+  ph.workload = m.workload;
+  ph.alpha = alpha;
+  ph.target_freq_ghz = freq;
+  ph.makespan_s = m.makespan_s;
+  ph.avg_power_w = m.total_power_w;
+  out.phases.push_back(ph);
+  out.makespan_s += m.makespan_s;
+  out.energy_j += m.total_power_w * m.makespan_s;
+  out.peak_power_w = std::max(out.peak_power_w, m.total_power_w);
+}
+
+}  // namespace
+
+workloads::Workload PhasedApplication::blended() const {
+  validate(*this);
+  workloads::Workload out;
+  out.name = name + "-blended";
+  out.description = "iteration-weighted blend of " +
+                    std::to_string(phases.size()) + " phases";
+  double total = 0.0;
+  for (const Phase& p : phases) total += p.iterations;
+  auto& prof = out.profile;
+  prof = hw::PowerProfile{};
+  prof.name = out.name;
+  out.iter_seconds_nominal = 0.0;
+  out.cpu_fraction = 0.0;
+  out.runtime_noise_frac = 0.0;
+  out.per_rank_noise_frac = 0.0;
+  prof.cpu_sensitivity = 0.0;
+  prof.dram_sensitivity = 0.0;
+  for (const Phase& p : phases) {
+    double w = p.iterations / total;
+    const auto& pp = p.workload->profile;
+    prof.cpu_static_w += w * pp.cpu_static_w;
+    prof.cpu_dyn_w_per_ghz += w * pp.cpu_dyn_w_per_ghz;
+    prof.dram_static_w += w * pp.dram_static_w;
+    prof.dram_dyn_w_per_ghz += w * pp.dram_dyn_w_per_ghz;
+    prof.cpu_sensitivity += w * pp.cpu_sensitivity;
+    prof.dram_sensitivity += w * pp.dram_sensitivity;
+    prof.idiosyncrasy_sd = std::max(prof.idiosyncrasy_sd, pp.idiosyncrasy_sd);
+    out.iter_seconds_nominal += w * p.workload->iter_seconds_nominal;
+    out.cpu_fraction += w * p.workload->cpu_fraction;
+    out.runtime_noise_frac += w * p.workload->runtime_noise_frac;
+    out.per_rank_noise_frac += w * p.workload->per_rank_noise_frac;
+    out.nominal_freq_ghz = p.workload->nominal_freq_ghz;
+  }
+  out.comm = workloads::CommPattern::kNone;  // blend is a power model only
+  out.default_iterations = static_cast<int>(total);
+  return out;
+}
+
+DynamicRunResult run_phased_dynamic(Campaign& campaign,
+                                    const PhasedApplication& app,
+                                    SchemeKind scheme, double budget_w) {
+  validate(app);
+  DynamicRunResult out;
+  for (const Phase& p : app.phases) {
+    RunConfig cfg = campaign.config();
+    cfg.iterations = p.iterations;
+    Runner runner(campaign.cluster(), campaign.allocation(), cfg);
+    RunMetrics m = runner.run_scheme(*p.workload, scheme, budget_w,
+                                     campaign.pvt(),
+                                     campaign.test_run(*p.workload));
+    accumulate(out, m, m.alpha, m.target_freq_ghz);
+  }
+  return out;
+}
+
+DynamicRunResult run_phased_static(Campaign& campaign,
+                                   const PhasedApplication& app,
+                                   SchemeKind scheme, double budget_w) {
+  validate(app);
+  // One solve against the blended power model...
+  workloads::Workload blend = app.blended();
+  Pmt pmt = scheme_pmt(scheme, campaign.cluster(), campaign.allocation(),
+                       blend, campaign.pvt(), campaign.test_run(blend),
+                       campaign.cluster().seed().fork("static-blend"));
+  BudgetResult solved = solve_budget(pmt, budget_w);
+
+  // ...applied unchanged to every phase (which executes with its own true
+  // power/performance characteristics).
+  DynamicRunResult out;
+  for (const Phase& p : app.phases) {
+    RunConfig cfg = campaign.config();
+    cfg.iterations = p.iterations;
+    Runner runner(campaign.cluster(), campaign.allocation(), cfg);
+    RunMetrics m = runner.run_budgeted(*p.workload, enforcement_of(scheme),
+                                       solved, "static-" + app.name, budget_w);
+    accumulate(out, m, solved.alpha, solved.target_freq_ghz);
+  }
+  return out;
+}
+
+PhasedApplication hpl_like_application(int panels, int update_iters,
+                                       int swap_iters) {
+  if (panels <= 0 || update_iters <= 0 || swap_iters <= 0) {
+    throw InvalidArgument("hpl_like_application: counts must be positive");
+  }
+  PhasedApplication app;
+  app.name = "HPL-like";
+  app.phases.reserve(static_cast<std::size_t>(panels) * 2);
+  for (int p = 0; p < panels; ++p) {
+    app.phases.push_back({&workloads::dgemm(), update_iters});
+    app.phases.push_back({&workloads::stream(), swap_iters});
+  }
+  return app;
+}
+
+DynamicRunResult run_phased_static_worstcase(Campaign& campaign,
+                                             const PhasedApplication& app,
+                                             SchemeKind scheme,
+                                             double budget_w) {
+  validate(app);
+  // Solve every phase, keep the most conservative (lowest-alpha) result.
+  std::optional<BudgetResult> binding;
+  for (const Phase& p : app.phases) {
+    Pmt pmt = scheme_pmt(scheme, campaign.cluster(), campaign.allocation(),
+                         *p.workload, campaign.pvt(),
+                         campaign.test_run(*p.workload),
+                         campaign.cluster().seed().fork("static-worst"));
+    BudgetResult solved = solve_budget(pmt, budget_w);
+    if (!binding || solved.alpha < binding->alpha) binding = solved;
+  }
+  DynamicRunResult out;
+  for (const Phase& p : app.phases) {
+    RunConfig cfg = campaign.config();
+    cfg.iterations = p.iterations;
+    Runner runner(campaign.cluster(), campaign.allocation(), cfg);
+    RunMetrics m =
+        runner.run_budgeted(*p.workload, enforcement_of(scheme), *binding,
+                            "static-worst-" + app.name, budget_w);
+    accumulate(out, m, binding->alpha, binding->target_freq_ghz);
+  }
+  return out;
+}
+
+}  // namespace vapb::core

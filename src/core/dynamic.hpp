@@ -1,0 +1,90 @@
+// Phase-aware dynamic power reallocation (the paper's second future-work
+// direction: "explore dynamic reallocation of power within and between HPC
+// applications by analyzing their phase behavior").
+//
+// Real applications alternate between phases with different power/
+// performance characteristics (e.g. a compute-bound solve followed by a
+// bandwidth-bound exchange). A *static* budget must be solved against a
+// single blended profile, so during compute-light phases power is left on
+// the table and during compute-heavy phases the common frequency is lower
+// than the phase could afford. The dynamic budgeter re-runs the alpha solve
+// at every phase boundary against that phase's own calibrated PMT.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/runner.hpp"
+
+namespace vapb::core {
+
+/// One phase of a phased application: a workload model plus how many
+/// iterations of it run before the next phase boundary.
+struct Phase {
+  const workloads::Workload* workload = nullptr;
+  int iterations = 0;
+};
+
+struct PhasedApplication {
+  std::string name;
+  std::vector<Phase> phases;
+
+  /// A blended single-profile view of the application (iteration-weighted
+  /// average of the phase power profiles and timing) — what a phase-blind
+  /// test run would measure. Used by the static baseline.
+  [[nodiscard]] workloads::Workload blended() const;
+};
+
+struct PhaseOutcome {
+  std::string workload;
+  double alpha = 0.0;
+  double target_freq_ghz = 0.0;
+  double makespan_s = 0.0;
+  double avg_power_w = 0.0;
+};
+
+struct DynamicRunResult {
+  std::vector<PhaseOutcome> phases;
+  double makespan_s = 0.0;       ///< sum of phase makespans
+  double peak_power_w = 0.0;     ///< max over phases of total power
+  double energy_j = 0.0;         ///< integral of total power over time
+};
+
+/// Runs `app` under `scheme` with the budget re-solved at every phase
+/// boundary (each phase gets its own calibrated PMT). The budget applies to
+/// every phase individually — the constraint is a power cap, not an energy
+/// cap. Throws InvalidArgument on an empty phase list.
+DynamicRunResult run_phased_dynamic(Campaign& campaign,
+                                    const PhasedApplication& app,
+                                    SchemeKind scheme, double budget_w);
+
+/// The static baseline: one solve against the blended profile, the same
+/// allocation applied to every phase (each phase still *executes* with its
+/// own true characteristics, so a blended cap mispredicts both phases —
+/// in particular it can violate the budget during the phase whose DRAM or
+/// CPU demand the blend underestimates).
+DynamicRunResult run_phased_static(Campaign& campaign,
+                                   const PhasedApplication& app,
+                                   SchemeKind scheme, double budget_w);
+
+/// An HPL-like phased application: compute-dominated panel/update phases
+/// (the *DGEMM kernel the paper notes is "the main kernel for the High
+/// Performance Linpack benchmark") alternating with bandwidth-dominated
+/// swap/broadcast phases. The canonical input for the dynamic-vs-static
+/// comparison.
+PhasedApplication hpl_like_application(int panels = 4,
+                                       int update_iters = 6,
+                                       int swap_iters = 2);
+
+/// The *safe* static baseline an operator would actually deploy: solve each
+/// phase separately and apply the most conservative result (the phase with
+/// the smallest alpha) to the whole run. Adheres to the budget in every
+/// phase, at the cost of running the other phases slower than they could —
+/// exactly the loss dynamic reallocation recovers.
+DynamicRunResult run_phased_static_worstcase(Campaign& campaign,
+                                             const PhasedApplication& app,
+                                             SchemeKind scheme,
+                                             double budget_w);
+
+}  // namespace vapb::core

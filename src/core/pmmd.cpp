@@ -1,0 +1,35 @@
+#include "core/pmmd.hpp"
+
+#include "util/error.hpp"
+
+namespace vapb::core {
+
+PmmdSession::PmmdSession(const PmmdPlan& plan, std::vector<hw::Rapl>& rapls,
+                         std::vector<hw::CpufreqGovernor>& governors)
+    : rapls_(rapls), governors_(governors) {
+  if (plan.settings.size() != rapls.size() ||
+      plan.settings.size() != governors.size()) {
+    throw InvalidArgument("PmmdSession: controller count mismatch");
+  }
+  for (std::size_t i = 0; i < plan.settings.size(); ++i) {
+    const PmmdSetting& s = plan.settings[i];
+    if (plan.enforcement == Enforcement::kPowerCap) {
+      if (!s.cpu_cap_w) {
+        throw InvalidArgument("PmmdSession: power-cap plan missing cap");
+      }
+      rapls[i].set_cpu_limit_w(*s.cpu_cap_w);
+    } else {
+      if (!s.freq_ghz) {
+        throw InvalidArgument("PmmdSession: freq-select plan missing freq");
+      }
+      governors[i].set_frequency_ghz(*s.freq_ghz);
+    }
+  }
+}
+
+PmmdSession::~PmmdSession() {
+  for (auto& r : rapls_) r.clear_cpu_limit();
+  for (auto& g : governors_) g.clear();
+}
+
+}  // namespace vapb::core

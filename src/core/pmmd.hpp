@@ -1,0 +1,53 @@
+// Power Measurement and Management Directives (PMMDs).
+//
+// The paper instruments applications (via TAU) with directives placed just
+// after MPI_Init and just before MPI_Finalize that delimit the region of
+// interest and apply/release the module-level power settings. This is the
+// analogous programmatic surface: a plan of per-module settings plus an RAII
+// session that applies them to the hardware controls on entry and restores
+// the defaults on exit.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/schemes.hpp"
+#include "hw/cpufreq.hpp"
+#include "hw/rapl.hpp"
+
+namespace vapb::core {
+
+/// One module's power-management setting.
+struct PmmdSetting {
+  hw::ModuleId module = 0;
+  std::optional<double> cpu_cap_w;    ///< set for power-capping schemes
+  std::optional<double> freq_ghz;     ///< set for frequency-selection schemes
+};
+
+struct PmmdPlan {
+  Enforcement enforcement = Enforcement::kPowerCap;
+  std::vector<PmmdSetting> settings;
+};
+
+/// RAII region: applies the plan's settings to the per-module controllers on
+/// construction (the "just after MPI_Init" directive) and clears them on
+/// destruction (the "just before MPI_Finalize" directive).
+///
+/// `rapls` and `governors` are indexed in the same order as plan.settings.
+/// Throws InvalidArgument on size mismatch or when a setting is missing the
+/// field its enforcement requires.
+class PmmdSession {
+ public:
+  PmmdSession(const PmmdPlan& plan, std::vector<hw::Rapl>& rapls,
+              std::vector<hw::CpufreqGovernor>& governors);
+  ~PmmdSession();
+
+  PmmdSession(const PmmdSession&) = delete;
+  PmmdSession& operator=(const PmmdSession&) = delete;
+
+ private:
+  std::vector<hw::Rapl>& rapls_;
+  std::vector<hw::CpufreqGovernor>& governors_;
+};
+
+}  // namespace vapb::core

@@ -1,0 +1,114 @@
+#include "core/pmt.hpp"
+
+#include <cmath>
+
+#include "hw/sensor.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vapb::core {
+
+Pmt::Pmt(std::vector<PmtEntry> entries, double fmax_ghz, double fmin_ghz)
+    : entries_(std::move(entries)), fmax_(fmax_ghz), fmin_(fmin_ghz) {
+  VAPB_REQUIRE_MSG(!entries_.empty(), "PMT needs at least one entry");
+  if (!(fmin_ > 0.0) || !(fmax_ >= fmin_)) {
+    throw ConfigError("Pmt: need 0 < fmin <= fmax");
+  }
+}
+
+const PmtEntry& Pmt::entry(std::size_t k) const {
+  if (k >= entries_.size()) {
+    throw InvalidArgument("Pmt: entry index out of range");
+  }
+  return entries_[k];
+}
+
+double Pmt::total_min_w() const {
+  double s = 0.0;
+  for (const auto& e : entries_) s += e.module_min_w();
+  return s;
+}
+
+double Pmt::total_max_w() const {
+  double s = 0.0;
+  for (const auto& e : entries_) s += e.module_max_w();
+  return s;
+}
+
+Pmt calibrate_pmt(const Pvt& pvt, const TestRunResult& test,
+                  std::span<const hw::ModuleId> allocation,
+                  const hw::FrequencyLadder& ladder) {
+  if (allocation.empty()) throw InvalidArgument("calibrate_pmt: no modules");
+  const PvtEntry& k = pvt.entry(test.module);
+  VAPB_REQUIRE_MSG(k.cpu_max > 0 && k.dram_max > 0 && k.cpu_min > 0 &&
+                       k.dram_min > 0,
+                   "test module has non-positive PVT scales");
+  // Fleet-average estimates from the single test module (Figure 6).
+  const double avg_cpu_max = test.cpu_max_w / k.cpu_max;
+  const double avg_dram_max = test.dram_max_w / k.dram_max;
+  const double avg_cpu_min = test.cpu_min_w / k.cpu_min;
+  const double avg_dram_min = test.dram_min_w / k.dram_min;
+
+  std::vector<PmtEntry> entries;
+  entries.reserve(allocation.size());
+  for (hw::ModuleId id : allocation) {
+    const PvtEntry& s = pvt.entry(id);
+    entries.push_back(PmtEntry{avg_cpu_max * s.cpu_max,
+                               avg_dram_max * s.dram_max,
+                               avg_cpu_min * s.cpu_min,
+                               avg_dram_min * s.dram_min});
+  }
+  return Pmt(std::move(entries), ladder.fmax(), ladder.fmin());
+}
+
+Pmt oracle_pmt(const cluster::Cluster& cluster,
+               std::span<const hw::ModuleId> allocation,
+               const workloads::Workload& app, util::SeedSequence seed) {
+  if (allocation.empty()) throw InvalidArgument("oracle_pmt: no modules");
+  const auto& ladder = cluster.spec().ladder;
+  std::vector<PmtEntry> entries(allocation.size());
+  util::parallel_for(allocation.size(), [&](std::size_t i) {
+    TestRunResult r = single_module_test_run(cluster, allocation[i], app,
+                                             seed.fork("oracle", i));
+    entries[i] = PmtEntry{r.cpu_max_w, r.dram_max_w, r.cpu_min_w, r.dram_min_w};
+  });
+  return Pmt(std::move(entries), ladder.fmax(), ladder.fmin());
+}
+
+Pmt constant_pmt(PmtEntry entry, std::size_t n,
+                 const hw::FrequencyLadder& ladder) {
+  if (n == 0) throw InvalidArgument("constant_pmt: n == 0");
+  return Pmt(std::vector<PmtEntry>(n, entry), ladder.fmax(), ladder.fmin());
+}
+
+Pmt averaged_pmt(const Pmt& pmt) {
+  PmtEntry avg{};
+  for (const auto& e : pmt.entries()) {
+    avg.cpu_max_w += e.cpu_max_w;
+    avg.dram_max_w += e.dram_max_w;
+    avg.cpu_min_w += e.cpu_min_w;
+    avg.dram_min_w += e.dram_min_w;
+  }
+  const auto n = static_cast<double>(pmt.size());
+  avg.cpu_max_w /= n;
+  avg.dram_max_w /= n;
+  avg.cpu_min_w /= n;
+  avg.dram_min_w /= n;
+  return Pmt(std::vector<PmtEntry>(pmt.size(), avg), pmt.fmax_ghz(),
+             pmt.fmin_ghz());
+}
+
+double pmt_prediction_error(const Pmt& predicted, const Pmt& truth) {
+  if (predicted.size() != truth.size()) {
+    throw InvalidArgument("pmt_prediction_error: size mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    double t = truth.entry(i).module_max_w();
+    VAPB_REQUIRE_MSG(t > 0.0, "oracle PMT has non-positive power");
+    sum += std::abs(predicted.entry(i).module_max_w() - t) / t;
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+}  // namespace vapb::core

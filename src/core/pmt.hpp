@@ -1,0 +1,96 @@
+// Power Model Table (PMT) — application-dependent, per-module power
+// predictions at fmax and fmin (paper Section 5.2, Figure 6).
+//
+// Three constructions:
+//  * calibrate_pmt  — the paper's scheme: single-module test run scaled
+//                     through the PVT (what VaPc/VaFs use);
+//  * oracle_pmt     — measure the application on every module
+//                     (VaPcOr/VaFsOr);
+//  * constant_pmt   — the same entry for every module (Naive's TDP-based
+//                     table, and Pc's fleet-average table).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/pvt.hpp"
+#include "core/test_run.hpp"
+#include "workloads/workload.hpp"
+
+namespace vapb::core {
+
+struct PmtEntry {
+  double cpu_max_w = 0.0;
+  double dram_max_w = 0.0;
+  double cpu_min_w = 0.0;
+  double dram_min_w = 0.0;
+
+  [[nodiscard]] double module_max_w() const { return cpu_max_w + dram_max_w; }
+  [[nodiscard]] double module_min_w() const { return cpu_min_w + dram_min_w; }
+
+  /// Interpolated predictions at coefficient alpha (paper Eq. 2-4).
+  [[nodiscard]] double cpu_at(double alpha) const {
+    return alpha * (cpu_max_w - cpu_min_w) + cpu_min_w;
+  }
+  [[nodiscard]] double dram_at(double alpha) const {
+    return alpha * (dram_max_w - dram_min_w) + dram_min_w;
+  }
+  [[nodiscard]] double module_at(double alpha) const {
+    return cpu_at(alpha) + dram_at(alpha);
+  }
+};
+
+/// A PMT covers exactly the modules allocated to the application, in
+/// allocation order: entry k describes allocation[k].
+class Pmt {
+ public:
+  Pmt(std::vector<PmtEntry> entries, double fmax_ghz, double fmin_ghz);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const PmtEntry& entry(std::size_t k) const;
+  [[nodiscard]] const std::vector<PmtEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] double fmax_ghz() const { return fmax_; }
+  [[nodiscard]] double fmin_ghz() const { return fmin_; }
+
+  /// Frequency realized by coefficient alpha (paper Eq. 1).
+  [[nodiscard]] double freq_at(double alpha) const {
+    return alpha * (fmax_ - fmin_) + fmin_;
+  }
+
+  /// Sums of module_min / module_max across entries.
+  [[nodiscard]] double total_min_w() const;
+  [[nodiscard]] double total_max_w() const;
+
+ private:
+  std::vector<PmtEntry> entries_;
+  double fmax_, fmin_;
+};
+
+/// The paper's calibration (Figure 6): divide the test-run measurements by
+/// the test module's PVT scales to estimate the fleet averages, then multiply
+/// by each allocated module's scales.
+Pmt calibrate_pmt(const Pvt& pvt, const TestRunResult& test,
+                  std::span<const hw::ModuleId> allocation,
+                  const hw::FrequencyLadder& ladder);
+
+/// Perfect calibration: runs the application on every allocated module.
+Pmt oracle_pmt(const cluster::Cluster& cluster,
+               std::span<const hw::ModuleId> allocation,
+               const workloads::Workload& app, util::SeedSequence seed);
+
+/// The same entry replicated for n modules.
+Pmt constant_pmt(PmtEntry entry, std::size_t n,
+                 const hw::FrequencyLadder& ladder);
+
+/// Fleet-average version of an existing PMT (Pc's table: application-
+/// dependent but variation-unaware).
+Pmt averaged_pmt(const Pmt& pmt);
+
+/// Mean absolute relative error of `predicted` vs `truth` on module power at
+/// fmax — the Section 5.3 prediction-accuracy metric.
+double pmt_prediction_error(const Pmt& predicted, const Pmt& truth);
+
+}  // namespace vapb::core

@@ -1,0 +1,106 @@
+#include "core/pvt.hpp"
+
+#include <sstream>
+
+#include "hw/sensor.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vapb::core {
+
+Pvt::Pvt(std::string microbench_name, std::vector<PvtEntry> entries)
+    : microbench_name_(std::move(microbench_name)),
+      entries_(std::move(entries)) {
+  VAPB_REQUIRE_MSG(!entries_.empty(), "PVT needs at least one entry");
+}
+
+const PvtEntry& Pvt::entry(hw::ModuleId id) const {
+  if (id >= entries_.size()) {
+    throw InvalidArgument("PVT: module id " + std::to_string(id) +
+                          " out of range");
+  }
+  return entries_[id];
+}
+
+Pvt Pvt::generate(const cluster::Cluster& cluster,
+                  const workloads::Workload& micro, util::SeedSequence seed,
+                  double measure_seconds) {
+  const std::size_t n = cluster.size();
+  const double fmax = cluster.spec().ladder.fmax();
+  const double fmin = cluster.spec().ladder.fmin();
+
+  struct Raw {
+    double cpu_max, dram_max, cpu_min, dram_min;
+  };
+  std::vector<Raw> raw(n);
+  util::parallel_for(n, [&](std::size_t i) {
+    const hw::Module& m = cluster.module(static_cast<hw::ModuleId>(i));
+    hw::Sensor sensor(cluster.spec().measurement,
+                      seed.fork("pvt-sensor", i), micro.runtime_noise_frac);
+    raw[i].cpu_max = sensor.measure_avg_w(m.cpu_power_w(micro.profile, fmax),
+                                          measure_seconds);
+    raw[i].dram_max = sensor.measure_avg_w(m.dram_power_w(micro.profile, fmax),
+                                           measure_seconds);
+    raw[i].cpu_min = sensor.measure_avg_w(m.cpu_power_w(micro.profile, fmin),
+                                          measure_seconds);
+    raw[i].dram_min = sensor.measure_avg_w(m.dram_power_w(micro.profile, fmin),
+                                           measure_seconds);
+  });
+
+  Raw avg{0, 0, 0, 0};
+  for (const Raw& r : raw) {
+    avg.cpu_max += r.cpu_max;
+    avg.dram_max += r.dram_max;
+    avg.cpu_min += r.cpu_min;
+    avg.dram_min += r.dram_min;
+  }
+  const auto dn = static_cast<double>(n);
+  avg.cpu_max /= dn;
+  avg.dram_max /= dn;
+  avg.cpu_min /= dn;
+  avg.dram_min /= dn;
+  VAPB_REQUIRE_MSG(avg.cpu_max > 0 && avg.dram_max > 0 && avg.cpu_min > 0 &&
+                       avg.dram_min > 0,
+                   "PVT generation measured non-positive average power");
+
+  std::vector<PvtEntry> entries(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    entries[i].cpu_max = raw[i].cpu_max / avg.cpu_max;
+    entries[i].dram_max = raw[i].dram_max / avg.dram_max;
+    entries[i].cpu_min = raw[i].cpu_min / avg.cpu_min;
+    entries[i].dram_min = raw[i].dram_min / avg.dram_min;
+  }
+  return Pvt(micro.name, std::move(entries));
+}
+
+std::string Pvt::serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "pvt-v1 " << microbench_name_ << " " << entries_.size() << "\n";
+  for (const PvtEntry& e : entries_) {
+    os << e.cpu_max << " " << e.dram_max << " " << e.cpu_min << " "
+       << e.dram_min << "\n";
+  }
+  return os.str();
+}
+
+Pvt Pvt::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic, name;
+  std::size_t n = 0;
+  if (!(is >> magic >> name >> n) || magic != "pvt-v1") {
+    throw InvalidArgument("Pvt::deserialize: bad header");
+  }
+  std::vector<PvtEntry> entries(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(is >> entries[i].cpu_max >> entries[i].dram_max >>
+          entries[i].cpu_min >> entries[i].dram_min)) {
+      throw InvalidArgument("Pvt::deserialize: truncated at entry " +
+                            std::to_string(i));
+    }
+  }
+  return Pvt(name, std::move(entries));
+}
+
+}  // namespace vapb::core

@@ -1,0 +1,55 @@
+// Power Variation Table (PVT) — the application-independent description of a
+// system's manufacturing variability (paper Section 5.2).
+//
+// Generated once, at system installation time, by running a representative
+// microbenchmark on every module at the maximum and minimum CPU frequencies
+// and recording each module's CPU and DRAM power relative to the fleet
+// average. Four scales per module: {CPU, DRAM} x {fmax, fmin}.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "workloads/workload.hpp"
+
+namespace vapb::core {
+
+/// Variation scales for one module (1.0 = fleet average).
+struct PvtEntry {
+  double cpu_max = 1.0;   ///< CPU power scale at fmax
+  double dram_max = 1.0;  ///< DRAM power scale at fmax
+  double cpu_min = 1.0;   ///< CPU power scale at fmin
+  double dram_min = 1.0;  ///< DRAM power scale at fmin
+};
+
+class Pvt {
+ public:
+  /// Generates the PVT for `cluster` with microbenchmark `micro`, measuring
+  /// each module's power through the architecture's RAPL sensor model.
+  /// Runs the per-module measurements on the global thread pool.
+  /// `measure_seconds` is the per-module measurement duration.
+  static Pvt generate(const cluster::Cluster& cluster,
+                      const workloads::Workload& micro,
+                      util::SeedSequence seed, double measure_seconds = 1.0);
+
+  Pvt(std::string microbench_name, std::vector<PvtEntry> entries);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const PvtEntry& entry(hw::ModuleId id) const;
+  [[nodiscard]] const std::vector<PvtEntry>& entries() const { return entries_; }
+  [[nodiscard]] const std::string& microbench_name() const {
+    return microbench_name_;
+  }
+
+  /// Round-trip text serialization (one line per module), so a generated PVT
+  /// can be installed as a system file and reloaded.
+  [[nodiscard]] std::string serialize() const;
+  static Pvt deserialize(const std::string& text);
+
+ private:
+  std::string microbench_name_;
+  std::vector<PvtEntry> entries_;
+};
+
+}  // namespace vapb::core

@@ -1,0 +1,117 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vapb::core {
+
+namespace {
+
+std::string md_row(const std::vector<std::string>& cells) {
+  return "| " + util::join(cells, " | ") + " |\n";
+}
+
+std::string md_rule(std::size_t columns) {
+  std::vector<std::string> dashes(columns, "---");
+  return md_row(dashes);
+}
+
+}  // namespace
+
+std::string markdown_report(
+    Campaign& campaign, const std::vector<const workloads::Workload*>& apps,
+    const ReportOptions& options) {
+  if (apps.empty()) throw InvalidArgument("markdown_report: no workloads");
+  if (options.cm_grid_w.empty()) {
+    throw InvalidArgument("markdown_report: empty budget grid");
+  }
+  if (options.schemes.empty()) {
+    throw InvalidArgument("markdown_report: no schemes");
+  }
+  const auto n = static_cast<double>(campaign.allocation().size());
+
+  std::ostringstream md;
+  md << "# " << options.title << "\n\n";
+  md << campaign.allocation().size() << " modules of "
+     << campaign.cluster().spec().system << ", PVT microbenchmark `"
+     << campaign.pvt().microbench_name() << "`.\n\n";
+
+  // -- Classification matrix -------------------------------------------------
+  md << "## Scenario classification\n\n";
+  {
+    std::vector<std::string> head{"benchmark"};
+    for (double cm : options.cm_grid_w) {
+      head.push_back("Cm=" + util::fmt_double(cm, 0) + "W");
+    }
+    md << md_row(head) << md_rule(head.size());
+    for (auto* w : apps) {
+      std::vector<std::string> row{w->name};
+      for (double cm : options.cm_grid_w) {
+        CellClass c = campaign.classify(*w, cm * n);
+        row.push_back(c == CellClass::kValid ? "X"
+                      : c == CellClass::kUnconstrained ? "." : "-");
+      }
+      md << md_row(row);
+    }
+    md << "\n";
+  }
+
+  // -- Speedups (and optionally power) per workload --------------------------
+  for (auto* w : apps) {
+    md << "## " << w->name << "\n\n";
+    std::vector<std::string> head{"Cs"};
+    for (SchemeKind k : options.schemes) head.push_back(scheme_name(k));
+    md << md_row(head) << md_rule(head.size());
+
+    std::vector<std::string> power_rows;
+    for (double cm : options.cm_grid_w) {
+      double budget = cm * n;
+      CellResult cell = campaign.run_cell(*w, budget, options.schemes);
+      std::vector<std::string> row{
+          util::fmt_double(budget / 1000.0, 1) + " kW"};
+      std::vector<std::string> prow = row;
+      for (const auto& s : cell.schemes) {
+        if (!s.metrics.feasible) {
+          row.push_back("-");
+          prow.push_back("-");
+          continue;
+        }
+        row.push_back(std::isnan(s.speedup_vs_naive)
+                          ? std::string("n/a")
+                          : util::fmt_double(s.speedup_vs_naive, 2) + "x");
+        bool violated = s.metrics.total_power_w > budget * 1.01;
+        prow.push_back(
+            util::fmt_double(s.metrics.total_power_w / 1000.0, 1) +
+            (violated ? " kW **!**" : " kW"));
+      }
+      md << md_row(row);
+      if (options.include_power_table) power_rows.push_back(md_row(prow));
+    }
+    md << "\n";
+    if (options.include_power_table) {
+      md << "Total power (limit per row as above; `!` = violation):\n\n";
+      md << md_row(head) << md_rule(head.size());
+      for (const auto& r : power_rows) md << r;
+      md << "\n";
+    }
+  }
+
+  // -- Calibration ------------------------------------------------------------
+  if (options.include_calibration) {
+    md << "## PMT calibration error vs oracle\n\n";
+    md << md_row({"benchmark", "mean abs error"}) << md_rule(2);
+    for (auto* w : apps) {
+      md << md_row({w->name,
+                    util::fmt_double(100.0 * campaign.calibration_error(*w),
+                                     1) +
+                        " %"});
+    }
+    md << "\n";
+  }
+  return md.str();
+}
+
+}  // namespace vapb::core

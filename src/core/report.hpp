@@ -1,0 +1,31 @@
+// Markdown report generation from campaign results — turns a sweep into the
+// kind of per-experiment record EXPERIMENTS.md keeps, programmatically
+// (vapbctl's `report` subcommand).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace vapb::core {
+
+struct ReportOptions {
+  std::string title = "VAPB campaign report";
+  /// Cm grid (average W per module) swept for each workload.
+  std::vector<double> cm_grid_w = {110, 100, 90, 80, 70, 60, 50};
+  /// Schemes to include, in column order.
+  std::vector<SchemeKind> schemes = all_schemes();
+  bool include_power_table = true;
+  bool include_calibration = true;
+};
+
+/// Runs the sweep for `apps` on `campaign` and renders a Markdown document:
+/// a Table-4-style classification matrix, a speedup table per workload, an
+/// optional total-power table with violation flags, and the calibration
+/// error summary. Throws InvalidArgument on an empty workload list or grid.
+std::string markdown_report(Campaign& campaign,
+                            const std::vector<const workloads::Workload*>& apps,
+                            const ReportOptions& options = {});
+
+}  // namespace vapb::core

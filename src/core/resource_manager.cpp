@@ -1,0 +1,170 @@
+#include "core/resource_manager.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vapb::core {
+
+ResourceManager::ResourceManager(const cluster::Cluster& cluster,
+                                 const Pvt& pvt, double system_budget_w)
+    : cluster_(cluster), pvt_(pvt), system_budget_w_(system_budget_w) {
+  if (system_budget_w_ <= 0.0) {
+    throw InvalidArgument("ResourceManager: budget must be positive");
+  }
+  if (pvt_.size() != cluster_.size()) {
+    throw InvalidArgument("ResourceManager: PVT covers " +
+                          std::to_string(pvt_.size()) + " modules, cluster has " +
+                          std::to_string(cluster_.size()));
+  }
+}
+
+std::optional<std::vector<hw::ModuleId>> ResourceManager::take_contiguous(
+    std::vector<bool>& used, std::size_t count) const {
+  const std::size_t n = used.size();
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    run = used[i] ? 0 : run + 1;
+    if (run == count) {
+      std::vector<hw::ModuleId> out;
+      out.reserve(count);
+      for (std::size_t k = i + 1 - count; k <= i; ++k) {
+        used[k] = true;
+        out.push_back(static_cast<hw::ModuleId>(k));
+      }
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+ScheduleResult ResourceManager::schedule(
+    const std::vector<JobRequest>& requests, PowerSharePolicy policy,
+    util::SeedSequence seed) const {
+  ScheduleResult result;
+  std::vector<bool> used(cluster_.size(), false);
+
+  // Pass 1: allocate modules and calibrate each admissible job's PMT.
+  struct Pending {
+    JobRequest req;
+    std::vector<hw::ModuleId> alloc;
+    Pmt pmt;
+    double floor_w;   // fmin requirement
+    double demand_w;  // fmax requirement
+  };
+  std::vector<Pending> pending;
+  for (const JobRequest& req : requests) {
+    if (req.app == nullptr || req.modules == 0) {
+      result.rejected.emplace_back(req, "malformed request");
+      continue;
+    }
+    auto alloc = take_contiguous(used, req.modules);
+    if (!alloc) {
+      result.rejected.emplace_back(req, "not enough free modules");
+      continue;
+    }
+    TestRunResult test = single_module_test_run(
+        cluster_, alloc->front(), *req.app, seed.fork("rm-test", pending.size()));
+    Pmt pmt = calibrate_pmt(pvt_, test, *alloc, cluster_.spec().ladder);
+    double floor = pmt.total_min_w();
+    double demand = pmt.total_max_w();
+    pending.push_back(Pending{req, std::move(*alloc), std::move(pmt), floor,
+                              demand});
+  }
+
+  // Pass 2: admission by fmin floor, in order.
+  double committed_floor = 0.0;
+  std::vector<Pending> admitted;
+  for (Pending& p : pending) {
+    if (committed_floor + p.floor_w > system_budget_w_) {
+      for (auto id : p.alloc) used[id] = false;  // release the block
+      result.rejected.emplace_back(
+          p.req, "insufficient power: fmin floor " +
+                     util::fmt_watts(p.floor_w) + " does not fit");
+      continue;
+    }
+    committed_floor += p.floor_w;
+    admitted.push_back(std::move(p));
+  }
+  if (admitted.empty()) return result;
+
+  // Pass 3: split the budget.
+  std::size_t total_modules = 0;
+  double total_demand = 0.0, total_floor = 0.0;
+  for (const Pending& p : admitted) {
+    total_modules += p.alloc.size();
+    total_demand += p.demand_w;
+    total_floor += p.floor_w;
+  }
+  std::vector<double> budgets(admitted.size(), 0.0);
+  switch (policy) {
+    case PowerSharePolicy::kUniformPerModule:
+      for (std::size_t k = 0; k < admitted.size(); ++k) {
+        budgets[k] = system_budget_w_ *
+                     static_cast<double>(admitted[k].alloc.size()) /
+                     static_cast<double>(total_modules);
+      }
+      break;
+    case PowerSharePolicy::kProportionalDemand:
+      for (std::size_t k = 0; k < admitted.size(); ++k) {
+        budgets[k] = system_budget_w_ * admitted[k].demand_w / total_demand;
+      }
+      break;
+    case PowerSharePolicy::kFminFirstThenDemand: {
+      double spare = system_budget_w_ - total_floor;
+      double headroom = std::max(1e-9, total_demand - total_floor);
+      for (std::size_t k = 0; k < admitted.size(); ++k) {
+        budgets[k] = admitted[k].floor_w +
+                     spare * (admitted[k].demand_w - admitted[k].floor_w) /
+                         headroom;
+      }
+      break;
+    }
+  }
+
+  // Clamp: never below the floor, never above the demand; return any excess
+  // to a second proportional round so the budget is not wasted.
+  double excess = 0.0;
+  for (std::size_t k = 0; k < admitted.size(); ++k) {
+    if (budgets[k] < admitted[k].floor_w) {
+      excess -= admitted[k].floor_w - budgets[k];
+      budgets[k] = admitted[k].floor_w;
+    } else if (budgets[k] > admitted[k].demand_w) {
+      excess += budgets[k] - admitted[k].demand_w;
+      budgets[k] = admitted[k].demand_w;
+    }
+  }
+  if (excess > 0.0) {
+    for (std::size_t k = 0; k < admitted.size() && excess > 1e-9; ++k) {
+      double room = admitted[k].demand_w - budgets[k];
+      double add = std::min(room, excess);
+      budgets[k] += add;
+      excess -= add;
+    }
+  }
+  // A negative excess means floors exceeded some share; the admission pass
+  // guarantees the floors themselves fit, so shrink over-floor grants.
+  if (excess < 0.0) {
+    for (std::size_t k = 0; k < admitted.size() && excess < -1e-9; ++k) {
+      double room = budgets[k] - admitted[k].floor_w;
+      double cut = std::min(room, -excess);
+      budgets[k] -= cut;
+      excess += cut;
+    }
+  }
+
+  // Pass 4: hand each job to the budgeting solve.
+  for (std::size_t k = 0; k < admitted.size(); ++k) {
+    Pending& p = admitted[k];
+    JobGrant grant{std::move(p.req), std::move(p.alloc), budgets[k],
+                   solve_budget(p.pmt, budgets[k]), std::move(p.pmt)};
+    result.power_committed_w += grant.budget_w;
+    result.granted.push_back(std::move(grant));
+  }
+  VAPB_REQUIRE_MSG(result.power_committed_w <= system_budget_w_ * (1 + 1e-9),
+                   "resource manager overcommitted the system budget");
+  return result;
+}
+
+}  // namespace vapb::core

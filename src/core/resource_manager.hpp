@@ -1,0 +1,88 @@
+// RMAP-style power-aware resource manager (the paper's Section-7 future-work
+// direction: "integrating our work with a power-aware resource manager such
+// as RMAP, which can determine application-level power constraints and
+// physical node allocations in a fair yet intelligent manner by using
+// hardware overprovisioning").
+//
+// The manager owns a system-wide power budget and a fleet. For each job it
+//   1. allocates physical modules from the free pool,
+//   2. estimates the job's power demand from the PVT + the application's
+//      single-module test run (the same cheap machinery the budgeting
+//      algorithm uses),
+//   3. assigns the job an application-level power budget under the chosen
+//      sharing policy, never below the job's fmin floor,
+// and hands the (modules, budget) pair to the variation-aware budgeting
+// framework. On an overprovisioned system (more modules than the budget can
+// power at fmax) jobs are admitted at reduced alpha rather than rejected, as
+// long as their fmin floor fits.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/budget.hpp"
+#include "core/pvt.hpp"
+#include "core/test_run.hpp"
+#include "workloads/workload.hpp"
+
+namespace vapb::core {
+
+struct JobRequest {
+  std::string name;
+  const workloads::Workload* app = nullptr;
+  std::size_t modules = 0;
+};
+
+/// How the system budget is split among admitted jobs.
+enum class PowerSharePolicy {
+  kUniformPerModule,     ///< every module gets the same share of the budget
+  kProportionalDemand,   ///< proportional to the job's predicted fmax demand
+  kFminFirstThenDemand,  ///< guarantee every job its fmin floor, split the
+                         ///< remainder proportional to (demand - floor)
+};
+
+struct JobGrant {
+  JobRequest request;
+  std::vector<hw::ModuleId> allocation;  ///< disjoint across grants
+  double budget_w = 0.0;                 ///< application-level power budget
+  BudgetResult budget;                   ///< variation-aware solve result
+  Pmt pmt;                               ///< the job's calibrated PMT
+};
+
+struct ScheduleResult {
+  std::vector<JobGrant> granted;
+  std::vector<std::pair<JobRequest, std::string>> rejected;  ///< with reason
+  double power_committed_w = 0.0;
+};
+
+class ResourceManager {
+ public:
+  /// Throws InvalidArgument when the budget is non-positive or the PVT does
+  /// not cover the cluster.
+  ResourceManager(const cluster::Cluster& cluster, const Pvt& pvt,
+                  double system_budget_w);
+
+  [[nodiscard]] double system_budget_w() const { return system_budget_w_; }
+
+  /// Admits requests in order. A request is rejected when not enough free
+  /// modules remain or when the remaining power cannot cover its fmin floor.
+  /// Module allocation is first-fit contiguous from the free pool.
+  /// The sum of granted budgets never exceeds the system budget, and every
+  /// grant's budget is at least its PMT fmin floor.
+  [[nodiscard]] ScheduleResult schedule(const std::vector<JobRequest>& requests,
+                                        PowerSharePolicy policy,
+                                        util::SeedSequence seed) const;
+
+ private:
+  /// Finds a contiguous block of `count` free modules; nullopt if none.
+  [[nodiscard]] std::optional<std::vector<hw::ModuleId>> take_contiguous(
+      std::vector<bool>& used, std::size_t count) const;
+
+  const cluster::Cluster& cluster_;
+  const Pvt& pvt_;
+  double system_budget_w_;
+};
+
+}  // namespace vapb::core

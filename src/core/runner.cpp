@@ -1,0 +1,250 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "stats/variation.hpp"
+#include "util/error.hpp"
+
+namespace vapb::core {
+
+namespace {
+
+std::vector<double> collect(const std::vector<ModuleOutcome>& mods,
+                            double (*f)(const ModuleOutcome&)) {
+  std::vector<double> out;
+  out.reserve(mods.size());
+  for (const auto& m : mods) out.push_back(f(m));
+  return out;
+}
+
+}  // namespace
+
+double RunMetrics::vp() const {
+  return stats::worst_case_ratio(module_powers_w());
+}
+
+double RunMetrics::vf() const {
+  return stats::worst_case_ratio(perf_freqs_ghz());
+}
+
+double RunMetrics::vt_raw() const {
+  return stats::worst_case_ratio(des.finish_times());
+}
+
+std::vector<double> RunMetrics::module_powers_w() const {
+  return collect(modules,
+                 +[](const ModuleOutcome& m) { return m.op.module_w(); });
+}
+
+std::vector<double> RunMetrics::cpu_powers_w() const {
+  return collect(modules, +[](const ModuleOutcome& m) { return m.op.cpu_w; });
+}
+
+std::vector<double> RunMetrics::dram_powers_w() const {
+  return collect(modules, +[](const ModuleOutcome& m) { return m.op.dram_w; });
+}
+
+std::vector<double> RunMetrics::perf_freqs_ghz() const {
+  return collect(modules,
+                 +[](const ModuleOutcome& m) { return m.op.perf_freq_ghz; });
+}
+
+Runner::Runner(const cluster::Cluster& cluster,
+               std::vector<hw::ModuleId> allocation, RunConfig config)
+    : cluster_(cluster),
+      allocation_(std::move(allocation)),
+      config_(config) {
+  if (allocation_.empty()) throw InvalidArgument("Runner: empty allocation");
+  std::set<hw::ModuleId> unique;
+  for (auto id : allocation_) {
+    static_cast<void>(cluster_.module(id));  // validates range
+    if (!unique.insert(id).second) {
+      // A duplicate would silently double-count power and run two ranks on
+      // one socket.
+      throw InvalidArgument("Runner: module " + std::to_string(id) +
+                            " appears twice in the allocation");
+    }
+  }
+}
+
+RunMetrics Runner::run_uncapped(const workloads::Workload& w) const {
+  std::vector<hw::OperatingPoint> ops;
+  ops.reserve(allocation_.size());
+  for (auto id : allocation_) {
+    hw::Rapl rapl(cluster_.module(id), config_.rapl);
+    ops.push_back(rapl.operating_point(w.profile, config_.turbo));
+  }
+  RunMetrics m = execute(w, ops, /*rapl_jitter=*/false, "Uncapped");
+  m.budget_w = 0.0;
+  m.constrained = false;
+  m.alpha = 1.0;
+  m.target_freq_ghz = cluster_.spec().ladder.fmax();
+  return m;
+}
+
+RunMetrics Runner::run_scheme(const workloads::Workload& w, SchemeKind scheme,
+                              double budget_w, const Pvt& pvt,
+                              const TestRunResult& test) const {
+  util::SeedSequence seed =
+      cluster_.seed().fork(w.name).fork(scheme_name(scheme));
+  Pmt pmt = scheme_pmt(scheme, cluster_, allocation_, w, pvt, test, seed);
+  BudgetResult budget = solve_budget(pmt, budget_w);
+  return run_budgeted(w, enforcement_of(scheme), budget, scheme_name(scheme),
+                      budget_w);
+}
+
+RunMetrics Runner::run_budgeted(const workloads::Workload& w,
+                                Enforcement enforcement,
+                                const BudgetResult& budget,
+                                const std::string& label,
+                                double budget_w) const {
+  if (budget.allocations.size() != allocation_.size()) {
+    throw InvalidArgument("run_budgeted: budget covers " +
+                          std::to_string(budget.allocations.size()) +
+                          " modules, allocation has " +
+                          std::to_string(allocation_.size()));
+  }
+
+  // Materialize the hardware controllers and apply the plan (PMMD region).
+  std::vector<hw::Rapl> rapls;
+  std::vector<hw::CpufreqGovernor> governors;
+  rapls.reserve(allocation_.size());
+  governors.reserve(allocation_.size());
+  for (auto id : allocation_) {
+    rapls.emplace_back(cluster_.module(id), config_.rapl);
+    governors.emplace_back(cluster_.module(id));
+  }
+
+  PmmdPlan plan;
+  plan.enforcement = enforcement;
+  plan.settings.reserve(allocation_.size());
+  for (std::size_t i = 0; i < allocation_.size(); ++i) {
+    PmmdSetting s;
+    s.module = allocation_[i];
+    if (enforcement == Enforcement::kPowerCap) {
+      s.cpu_cap_w = budget.allocations[i].cpu_cap_w;
+    } else {
+      s.freq_ghz = budget.target_freq_ghz;
+    }
+    plan.settings.push_back(s);
+  }
+  PmmdSession session(plan, rapls, governors);
+
+  std::vector<hw::OperatingPoint> ops;
+  ops.reserve(allocation_.size());
+  for (std::size_t i = 0; i < allocation_.size(); ++i) {
+    if (enforcement == Enforcement::kPowerCap) {
+      ops.push_back(rapls[i].operating_point(w.profile));
+    } else {
+      ops.push_back(governors[i].operating_point(w.profile));
+    }
+  }
+
+  RunMetrics m = execute(
+      w, ops, /*rapl_jitter=*/enforcement == Enforcement::kPowerCap, label);
+  m.budget_w = budget_w;
+  m.alpha = budget.alpha;
+  m.target_freq_ghz = budget.target_freq_ghz;
+  m.constrained = budget.constrained;
+  for (std::size_t i = 0; i < allocation_.size(); ++i) {
+    m.modules[i].alloc_module_w = budget.allocations[i].module_w;
+    if (enforcement == Enforcement::kPowerCap) {
+      m.modules[i].cpu_cap_w = budget.allocations[i].cpu_cap_w;
+    }
+  }
+  return m;
+}
+
+RunMetrics Runner::execute(const workloads::Workload& w,
+                           const std::vector<hw::OperatingPoint>& ops,
+                           bool rapl_jitter, const std::string& label) const {
+  const std::size_t n = allocation_.size();
+  const auto& ladder = cluster_.spec().ladder;
+  const int iterations =
+      config_.iterations > 0 ? config_.iterations : w.default_iterations;
+
+  util::SeedSequence run_seed = cluster_.seed()
+                                    .fork("execute")
+                                    .fork(w.name)
+                                    .fork(label)
+                                    .fork("salt", config_.run_salt);
+
+  // Persistent per-rank efficiency factors for this run (NUMA/OS placement).
+  std::vector<double> rank_factor(n, 1.0);
+  if (w.per_rank_noise_frac > 0.0) {
+    for (std::size_t r = 0; r < n; ++r) {
+      util::Rng rng(run_seed.fork("rank-noise", r));
+      rank_factor[r] =
+          std::max(0.5, 1.0 + w.per_rank_noise_frac * rng.normal());
+    }
+  }
+
+  const double jitter_sd = config_.rapl.control_jitter_sd_ghz;
+  workloads::ComputeTimeFn compute = [&](std::size_t rank, int iter) {
+    const hw::OperatingPoint& op = ops[rank];
+    util::Rng rng(run_seed.fork(
+        "iter", static_cast<std::uint64_t>(rank) * 1000003ULL +
+                    static_cast<std::uint64_t>(iter)));
+    double t;
+    if (rapl_jitter && !op.throttled && jitter_sd > 0.0) {
+      // RAPL's dynamic control dithers the clock around the sustained point.
+      double f = op.perf_freq_ghz + jitter_sd * rng.normal();
+      f = std::clamp(f, ladder.fmin() * (1.0 - config_.rapl.control_perf_penalty),
+                     cluster_.module(allocation_[rank]).max_freq_ghz());
+      t = w.iter_seconds_at(f);
+    } else {
+      t = w.iter_seconds(op);
+    }
+    t *= rank_factor[rank];
+    if (w.runtime_noise_frac > 0.0) {
+      t *= std::max(0.2, 1.0 + w.runtime_noise_frac * rng.normal());
+    }
+    return t;
+  };
+
+  auto programs = workloads::build_programs(w, n, iterations, compute);
+  des::Engine engine(config_.network);
+
+  RunMetrics m;
+  m.workload = w.name;
+  m.scheme = label;
+  m.des = engine.run(programs);
+  m.makespan_s = m.des.makespan_s;
+  m.modules.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.modules[i].id = allocation_[i];
+    m.modules[i].op = ops[i];
+    m.total_power_w += ops[i].module_w();
+    m.total_cpu_power_w += ops[i].cpu_w;
+    m.total_dram_power_w += ops[i].dram_w;
+  }
+  return m;
+}
+
+std::vector<double> normalized_times(const RunMetrics& run,
+                                     const RunMetrics& baseline) {
+  if (run.des.ranks.size() != baseline.des.ranks.size()) {
+    throw InvalidArgument("normalized_times: rank count mismatch");
+  }
+  std::vector<double> out;
+  out.reserve(run.des.ranks.size());
+  for (std::size_t r = 0; r < run.des.ranks.size(); ++r) {
+    double base = baseline.des.ranks[r].finish_time_s;
+    VAPB_REQUIRE_MSG(base > 0.0, "baseline rank time must be positive");
+    out.push_back(run.des.ranks[r].finish_time_s / base);
+  }
+  return out;
+}
+
+double vt_normalized(const RunMetrics& run, const RunMetrics& baseline) {
+  return stats::worst_case_ratio(normalized_times(run, baseline));
+}
+
+double speedup(const RunMetrics& run, const RunMetrics& baseline) {
+  VAPB_REQUIRE_MSG(run.makespan_s > 0.0, "run has zero makespan");
+  return baseline.makespan_s / run.makespan_s;
+}
+
+}  // namespace vapb::core

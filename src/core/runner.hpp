@@ -1,0 +1,116 @@
+// End-to-end application execution under a power-allocation scheme:
+// build the scheme's PMT, solve the budget, apply the per-module settings
+// (RAPL caps or cpufreq frequencies) through a PMMD session, execute the
+// workload on the discrete-event MPI runtime, and collect the paper's
+// metrics (Vp, Vf, Vt, makespan, total power).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/budget.hpp"
+#include "core/pmmd.hpp"
+#include "core/schemes.hpp"
+#include "des/engine.hpp"
+#include "workloads/programs.hpp"
+
+namespace vapb::core {
+
+struct RunConfig {
+  int iterations = 0;  ///< 0 = the workload's default
+  bool turbo = false;  ///< allow opportunistic turbo when uncapped
+  hw::RaplConfig rapl{};
+  des::NetworkModel network{};
+  /// Distinguishes repeated runs of the same configuration (fresh noise).
+  std::uint64_t run_salt = 0;
+};
+
+/// Where one module ended up during the run.
+struct ModuleOutcome {
+  hw::ModuleId id = 0;
+  double alloc_module_w = 0.0;  ///< scheme's module power allocation (0 = none)
+  double cpu_cap_w = 0.0;       ///< enforced RAPL cap (0 = none)
+  hw::OperatingPoint op;        ///< sustained operating point
+};
+
+struct RunMetrics {
+  std::string workload;
+  std::string scheme;   ///< scheme label, or "Uncapped"
+  double budget_w = 0.0;  ///< application-level constraint (0 = none)
+
+  bool feasible = true;     ///< false: modules cannot run even at fmin
+  bool constrained = true;  ///< false: the budget was not binding
+
+  double alpha = 1.0;
+  double target_freq_ghz = 0.0;
+
+  std::vector<ModuleOutcome> modules;
+  des::RunResult des;
+  double makespan_s = 0.0;
+  double total_power_w = 0.0;      ///< sum of sustained module powers
+  double total_cpu_power_w = 0.0;
+  double total_dram_power_w = 0.0;
+
+  // Paper Table 3 metrics over this run.
+  [[nodiscard]] double vp() const;  ///< module power max/min
+  [[nodiscard]] double vf() const;  ///< perf-frequency max/min
+  [[nodiscard]] double vt_raw() const;  ///< per-rank finish time max/min
+
+  [[nodiscard]] std::vector<double> module_powers_w() const;
+  [[nodiscard]] std::vector<double> cpu_powers_w() const;
+  [[nodiscard]] std::vector<double> dram_powers_w() const;
+  [[nodiscard]] std::vector<double> perf_freqs_ghz() const;
+};
+
+class Runner {
+ public:
+  /// `allocation` — the module ids the scheduler granted the job (one MPI
+  /// rank per module, the paper's configuration).
+  Runner(const cluster::Cluster& cluster,
+         std::vector<hw::ModuleId> allocation, RunConfig config = {});
+
+  [[nodiscard]] const std::vector<hw::ModuleId>& allocation() const {
+    return allocation_;
+  }
+
+  /// Unconstrained reference run (the normalization baseline).
+  [[nodiscard]] RunMetrics run_uncapped(const workloads::Workload& w) const;
+
+  /// Full pipeline for one scheme at one application-level budget.
+  [[nodiscard]] RunMetrics run_scheme(const workloads::Workload& w,
+                                      SchemeKind scheme, double budget_w,
+                                      const Pvt& pvt,
+                                      const TestRunResult& test) const;
+
+  /// Lower-level entry: execute under an explicit budgeting result.
+  [[nodiscard]] RunMetrics run_budgeted(const workloads::Workload& w,
+                                        Enforcement enforcement,
+                                        const BudgetResult& budget,
+                                        const std::string& label,
+                                        double budget_w) const;
+
+ private:
+  [[nodiscard]] RunMetrics execute(const workloads::Workload& w,
+                                   const std::vector<hw::OperatingPoint>& ops,
+                                   bool rapl_jitter,
+                                   const std::string& label) const;
+
+  const cluster::Cluster& cluster_;
+  std::vector<hw::ModuleId> allocation_;
+  RunConfig config_;
+};
+
+/// Per-rank execution times of `run` normalized to `baseline` (the paper's
+/// Figure 2(iii)/8(i) x-axis). Both runs must cover the same ranks.
+std::vector<double> normalized_times(const RunMetrics& run,
+                                     const RunMetrics& baseline);
+
+/// Worst-case normalized-execution-time variation (Vt as the paper uses it).
+double vt_normalized(const RunMetrics& run, const RunMetrics& baseline);
+
+/// makespan(baseline) / makespan(run) — Figure 7's speedup metric when
+/// `baseline` is the Naive run at the same budget.
+double speedup(const RunMetrics& run, const RunMetrics& baseline);
+
+}  // namespace vapb::core

@@ -1,0 +1,76 @@
+#include "core/schemes.hpp"
+
+#include "util/error.hpp"
+
+namespace vapb::core {
+
+Enforcement enforcement_of(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kNaive:
+    case SchemeKind::kPc:
+    case SchemeKind::kVaPc:
+    case SchemeKind::kVaPcOr:
+      return Enforcement::kPowerCap;
+    case SchemeKind::kVaFs:
+    case SchemeKind::kVaFsOr:
+      return Enforcement::kFreqSelect;
+  }
+  throw InternalError("unhandled scheme");
+}
+
+bool is_variation_aware(SchemeKind kind) {
+  return kind == SchemeKind::kVaPc || kind == SchemeKind::kVaPcOr ||
+         kind == SchemeKind::kVaFs || kind == SchemeKind::kVaFsOr;
+}
+
+bool is_oracle(SchemeKind kind) {
+  return kind == SchemeKind::kVaPcOr || kind == SchemeKind::kVaFsOr;
+}
+
+std::string scheme_name(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kNaive:
+      return "Naive";
+    case SchemeKind::kPc:
+      return "Pc";
+    case SchemeKind::kVaPcOr:
+      return "VaPcOr";
+    case SchemeKind::kVaPc:
+      return "VaPc";
+    case SchemeKind::kVaFsOr:
+      return "VaFsOr";
+    case SchemeKind::kVaFs:
+      return "VaFs";
+  }
+  throw InternalError("unhandled scheme");
+}
+
+std::vector<SchemeKind> all_schemes() {
+  return {SchemeKind::kNaive,  SchemeKind::kPc,   SchemeKind::kVaPcOr,
+          SchemeKind::kVaPc,   SchemeKind::kVaFsOr, SchemeKind::kVaFs};
+}
+
+Pmt scheme_pmt(SchemeKind kind, const cluster::Cluster& cluster,
+               std::span<const hw::ModuleId> allocation,
+               const workloads::Workload& app, const Pvt& pvt,
+               const TestRunResult& test, util::SeedSequence seed,
+               const NaiveTable& naive) {
+  const auto& ladder = cluster.spec().ladder;
+  switch (kind) {
+    case SchemeKind::kNaive:
+      return constant_pmt(PmtEntry{naive.tdp_cpu_w, naive.tdp_dram_w,
+                                   naive.min_cpu_w, naive.min_dram_w},
+                          allocation.size(), ladder);
+    case SchemeKind::kPc:
+      return averaged_pmt(calibrate_pmt(pvt, test, allocation, ladder));
+    case SchemeKind::kVaPc:
+    case SchemeKind::kVaFs:
+      return calibrate_pmt(pvt, test, allocation, ladder);
+    case SchemeKind::kVaPcOr:
+    case SchemeKind::kVaFsOr:
+      return oracle_pmt(cluster, allocation, app, seed.fork("oracle-pmt"));
+  }
+  throw InternalError("unhandled scheme");
+}
+
+}  // namespace vapb::core

@@ -1,0 +1,58 @@
+// The six power-allocation schemes of the evaluation (paper Section 6):
+//
+//   Naive   — application-independent, variation-unaware: PMT maxima from
+//             TDP, minima empirical; uniform allocations; RAPL capping.
+//   Pc      — application-dependent, variation-unaware: fleet-average PMT;
+//             uniform allocations; RAPL capping.
+//   VaPc    — application-dependent, variation-aware (PVT-calibrated PMT);
+//             RAPL capping.
+//   VaPcOr  — VaPc with an oracle PMT (application measured on every module).
+//   VaFs    — variation-aware with static frequency selection (cpufrequtils).
+//   VaFsOr  — VaFs with an oracle PMT.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pmt.hpp"
+#include "core/pvt.hpp"
+
+namespace vapb::core {
+
+enum class SchemeKind { kNaive, kPc, kVaPc, kVaPcOr, kVaFs, kVaFsOr };
+
+enum class Enforcement {
+  kPowerCap,    ///< RAPL CPU power cap per module
+  kFreqSelect,  ///< cpufrequtils static frequency per module
+};
+
+[[nodiscard]] Enforcement enforcement_of(SchemeKind kind);
+[[nodiscard]] bool is_variation_aware(SchemeKind kind);
+[[nodiscard]] bool is_oracle(SchemeKind kind);
+[[nodiscard]] std::string scheme_name(SchemeKind kind);
+
+/// All schemes in Figure 7's legend order.
+std::vector<SchemeKind> all_schemes();
+
+/// Naive's TDP-based table values (HA8K: 130 W CPU / 62 W DRAM TDP; the
+/// empirical minima the paper reports are 40 W CPU / 10 W DRAM).
+struct NaiveTable {
+  double tdp_cpu_w = 130.0;
+  double tdp_dram_w = 62.0;
+  double min_cpu_w = 40.0;
+  double min_dram_w = 10.0;
+};
+
+/// Builds the PMT a scheme would use for `app` on `allocation`.
+///  * kNaive         — constant TDP-based table (`naive`);
+///  * kPc            — fleet average of the calibrated table;
+///  * kVaPc / kVaFs  — PVT-calibrated from the single-module test run;
+///  * kVaPcOr/kVaFsOr— oracle (per-module measurement).
+/// `test` must be the single-module test run of `app`; `pvt` the system PVT.
+Pmt scheme_pmt(SchemeKind kind, const cluster::Cluster& cluster,
+               std::span<const hw::ModuleId> allocation,
+               const workloads::Workload& app, const Pvt& pvt,
+               const TestRunResult& test, util::SeedSequence seed,
+               const NaiveTable& naive = {});
+
+}  // namespace vapb::core

@@ -1,0 +1,33 @@
+#include "core/test_run.hpp"
+
+#include "hw/sensor.hpp"
+
+namespace vapb::core {
+
+TestRunResult single_module_test_run(const cluster::Cluster& cluster,
+                                     hw::ModuleId module,
+                                     const workloads::Workload& app,
+                                     util::SeedSequence seed,
+                                     double measure_seconds) {
+  const hw::Module& m = cluster.module(module);
+  const double fmax = m.ladder().fmax();
+  const double fmin = m.ladder().fmin();
+  hw::Sensor sensor(cluster.spec().measurement, seed.fork("test-run", module),
+                    app.runtime_noise_frac);
+
+  TestRunResult r;
+  r.module = module;
+  r.fmax_ghz = fmax;
+  r.fmin_ghz = fmin;
+  r.cpu_max_w =
+      sensor.measure_avg_w(m.cpu_power_w(app.profile, fmax), measure_seconds);
+  r.dram_max_w =
+      sensor.measure_avg_w(m.dram_power_w(app.profile, fmax), measure_seconds);
+  r.cpu_min_w =
+      sensor.measure_avg_w(m.cpu_power_w(app.profile, fmin), measure_seconds);
+  r.dram_min_w =
+      sensor.measure_avg_w(m.dram_power_w(app.profile, fmin), measure_seconds);
+  return r;
+}
+
+}  // namespace vapb::core

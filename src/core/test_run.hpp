@@ -1,0 +1,30 @@
+// Single-module application test runs (paper Section 5, step 2): two cheap
+// runs of the target application on one module — at fmax and at fmin — whose
+// measured CPU/DRAM power, combined with the PVT, calibrates the
+// application-specific Power Model Table.
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "workloads/workload.hpp"
+
+namespace vapb::core {
+
+struct TestRunResult {
+  hw::ModuleId module = 0;  ///< which module the test ran on
+  double fmax_ghz = 0.0;
+  double fmin_ghz = 0.0;
+  double cpu_max_w = 0.0;   ///< measured CPU power at fmax
+  double dram_max_w = 0.0;
+  double cpu_min_w = 0.0;   ///< measured CPU power at fmin
+  double dram_min_w = 0.0;
+};
+
+/// Runs the application on `module` at the ladder's fmax and fmin, measuring
+/// power with the architecture's sensor over `measure_seconds` each.
+TestRunResult single_module_test_run(const cluster::Cluster& cluster,
+                                     hw::ModuleId module,
+                                     const workloads::Workload& app,
+                                     util::SeedSequence seed,
+                                     double measure_seconds = 10.0);
+
+}  // namespace vapb::core

@@ -1,0 +1,49 @@
+// Discrete-event execution of SPMD rank programs.
+//
+// Semantics:
+//  * ComputeOp advances the rank's local clock.
+//  * HaloExchangeOp at a rank's k-th exchange phase completes once every peer
+//    has arrived at *its* k-th exchange phase; the rank then pays the
+//    transfer cost once per peer. Peer sets must be symmetric.
+//  * AllreduceOp / BarrierOp complete for everyone when the last rank
+//    arrives, plus the collective cost.
+//
+// The engine validates SPMD alignment (every rank has the same sequence of
+// communication ops) and throws DeadlockError when no rank can make progress.
+#pragma once
+
+#include <vector>
+
+#include "des/network.hpp"
+#include "des/program.hpp"
+#include "util/error.hpp"
+
+namespace vapb::des {
+
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+struct RunResult {
+  std::vector<RankStats> ranks;
+  double makespan_s = 0.0;  ///< finish time of the slowest rank
+
+  [[nodiscard]] std::vector<double> finish_times() const;
+  [[nodiscard]] std::vector<double> sendrecv_times() const;
+};
+
+class Engine {
+ public:
+  explicit Engine(NetworkModel network = {}) : network_(network) {}
+
+  /// Executes the programs (one per rank) to completion.
+  /// Throws InvalidArgument when `programs` is empty or peer sets are not
+  /// symmetric; DeadlockError when execution stalls (misaligned programs).
+  [[nodiscard]] RunResult run(const std::vector<RankProgram>& programs) const;
+
+ private:
+  NetworkModel network_;
+};
+
+}  // namespace vapb::des

@@ -1,0 +1,58 @@
+// Interconnect cost model: LogP-flavoured (per-message latency plus a
+// bandwidth term), with an optional two-tier hierarchy distinguishing
+// intra-node transfers (shared memory between the two sockets of an HA8K
+// node) from inter-node transfers (the fabric). Deliberately simple — the
+// paper's effects come from compute-time imbalance, with the network only
+// propagating waits.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace vapb::des {
+
+struct NetworkModel {
+  // Inter-node fabric.
+  double latency_s = 2e-6;               ///< per-message software+wire latency
+  double bandwidth_bytes_per_s = 5e9;    ///< point-to-point bandwidth
+
+  // Intra-node tier (shared-memory transport). Used for rank pairs that map
+  // to the same node when ranks_per_node > 1.
+  double intra_latency_s = 4e-7;
+  double intra_bandwidth_bytes_per_s = 2e10;
+
+  /// Ranks per node for the hierarchy mapping; 1 disables the intra tier
+  /// (every pair is inter-node). HA8K runs one rank per socket, two sockets
+  /// per node.
+  std::uint32_t ranks_per_node = 1;
+
+  [[nodiscard]] bool same_node(std::uint32_t a, std::uint32_t b) const {
+    return ranks_per_node > 1 && a / ranks_per_node == b / ranks_per_node;
+  }
+
+  /// Cost of moving `bytes` point-to-point over the fabric tier.
+  [[nodiscard]] double p2p_cost_s(double bytes) const {
+    return latency_s + bytes / bandwidth_bytes_per_s;
+  }
+
+  /// Cost of moving `bytes` between two specific ranks (tier-aware).
+  [[nodiscard]] double p2p_cost_s(std::uint32_t a, std::uint32_t b,
+                                  double bytes) const {
+    if (same_node(a, b)) {
+      return intra_latency_s + bytes / intra_bandwidth_bytes_per_s;
+    }
+    return p2p_cost_s(bytes);
+  }
+
+  /// Cost of a tree-based collective over `ranks` participants, after the
+  /// last participant arrives.
+  [[nodiscard]] double collective_cost_s(std::size_t ranks,
+                                         double bytes) const {
+    if (ranks <= 1) return 0.0;
+    double stages = std::ceil(std::log2(static_cast<double>(ranks)));
+    return stages * (latency_s + bytes / bandwidth_bytes_per_s);
+  }
+};
+
+}  // namespace vapb::des

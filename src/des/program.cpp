@@ -1,0 +1,56 @@
+#include "des/program.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vapb::des::topology {
+
+std::vector<RankId> chain_1d(RankId rank, std::size_t nranks) {
+  VAPB_REQUIRE_MSG(rank < nranks, "rank out of range");
+  std::vector<RankId> peers;
+  if (rank > 0) peers.push_back(rank - 1);
+  if (rank + 1 < nranks) peers.push_back(static_cast<RankId>(rank + 1));
+  return peers;
+}
+
+std::vector<RankId> grid_3d(RankId rank, std::size_t dx, std::size_t dy,
+                            std::size_t dz) {
+  VAPB_REQUIRE_MSG(dx * dy * dz > rank, "rank out of grid");
+  const std::size_t r = rank;
+  const std::size_t x = r % dx;
+  const std::size_t y = (r / dx) % dy;
+  const std::size_t z = r / (dx * dy);
+  std::vector<RankId> peers;
+  auto flat = [&](std::size_t xi, std::size_t yi, std::size_t zi) {
+    return static_cast<RankId>(xi + dx * (yi + dy * zi));
+  };
+  if (x > 0) peers.push_back(flat(x - 1, y, z));
+  if (x + 1 < dx) peers.push_back(flat(x + 1, y, z));
+  if (y > 0) peers.push_back(flat(x, y - 1, z));
+  if (y + 1 < dy) peers.push_back(flat(x, y + 1, z));
+  if (z > 0) peers.push_back(flat(x, y, z - 1));
+  if (z + 1 < dz) peers.push_back(flat(x, y, z + 1));
+  return peers;
+}
+
+std::array<std::size_t, 3> balanced_dims_3d(std::size_t nranks) {
+  VAPB_REQUIRE_MSG(nranks > 0, "need at least one rank");
+  // Pick dx as the largest divisor <= cube root, then split the rest.
+  auto largest_divisor_leq = [](std::size_t n, std::size_t cap) {
+    std::size_t best = 1;
+    for (std::size_t d = 1; d <= cap; ++d) {
+      if (n % d == 0) best = d;
+    }
+    return best;
+  };
+  auto cbrt_floor = static_cast<std::size_t>(std::cbrt(static_cast<double>(nranks)) + 1e-9);
+  std::size_t dx = largest_divisor_leq(nranks, std::max<std::size_t>(1, cbrt_floor));
+  std::size_t rest = nranks / dx;
+  auto sqrt_floor = static_cast<std::size_t>(std::sqrt(static_cast<double>(rest)) + 1e-9);
+  std::size_t dy = largest_divisor_leq(rest, std::max<std::size_t>(1, sqrt_floor));
+  std::size_t dz = rest / dy;
+  return {dx, dy, dz};
+}
+
+}  // namespace vapb::des::topology

@@ -1,0 +1,84 @@
+// Rank programs: the op sequence each MPI rank executes in the simulator.
+//
+// Programs are SPMD: every rank has the same sequence of communication ops
+// (compute durations and neighbour lists may differ per rank). Halo exchange
+// models MPI_Sendrecv with the full neighbour set of a stencil step;
+// allreduce/barrier model global synchronization.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+namespace vapb::des {
+
+using RankId = std::uint32_t;
+
+/// Local computation for a fixed duration (already resolved against the
+/// module's operating frequency by the workload model).
+struct ComputeOp {
+  double seconds = 0.0;
+};
+
+/// Neighbour halo exchange (MPI_Sendrecv with each peer). Completes, for a
+/// given rank, once all its peers have reached the same exchange phase; the
+/// transfer cost is paid once per peer.
+struct HaloExchangeOp {
+  std::vector<RankId> peers;
+  double bytes_per_peer = 0.0;
+};
+
+/// Global reduction (MPI_Allreduce): completes for everyone when the last
+/// rank arrives, plus the collective cost.
+struct AllreduceOp {
+  double bytes = 0.0;
+};
+
+/// Global barrier.
+struct BarrierOp {};
+
+using Op = std::variant<ComputeOp, HaloExchangeOp, AllreduceOp, BarrierOp>;
+
+struct RankProgram {
+  std::vector<Op> ops;
+
+  void compute(double seconds) { ops.emplace_back(ComputeOp{seconds}); }
+  void halo_exchange(std::vector<RankId> peers, double bytes_per_peer) {
+    ops.emplace_back(HaloExchangeOp{std::move(peers), bytes_per_peer});
+  }
+  void allreduce(double bytes) { ops.emplace_back(AllreduceOp{bytes}); }
+  void barrier() { ops.emplace_back(BarrierOp{}); }
+};
+
+/// Per-rank accounting after a run.
+struct RankStats {
+  double compute_s = 0.0;    ///< time spent in ComputeOps
+  double wait_s = 0.0;       ///< blocked waiting for peers/collectives
+  double transfer_s = 0.0;   ///< time paying message/collective costs
+  double sendrecv_s = 0.0;   ///< cumulative time inside halo exchanges
+                             ///< (wait + transfer) — Figure 3's x-axis
+  double collective_s = 0.0; ///< cumulative time inside allreduce/barrier
+  double finish_time_s = 0.0;
+
+  [[nodiscard]] double total_comm_s() const { return wait_s + transfer_s; }
+};
+
+/// Neighbour topology helpers used by the workload program generators.
+namespace topology {
+
+/// Peers of `rank` on an open 1-D chain (1 or 2 peers).
+std::vector<RankId> chain_1d(RankId rank, std::size_t nranks);
+
+/// Peers of `rank` on an open 3-D grid with dims (dx, dy, dz),
+/// dx*dy*dz == nranks (up to 6 peers).
+std::vector<RankId> grid_3d(RankId rank, std::size_t dx, std::size_t dy,
+                            std::size_t dz);
+
+/// Factorizes nranks into the most cubic (dx, dy, dz) possible.
+std::array<std::size_t, 3> balanced_dims_3d(std::size_t nranks);
+
+}  // namespace topology
+
+}  // namespace vapb::des

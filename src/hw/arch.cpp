@@ -1,0 +1,129 @@
+#include "hw/arch.hpp"
+
+namespace vapb::hw {
+
+ArchSpec cab() {
+  ArchSpec a;
+  a.system = "Cab (LLNL)";
+  a.microarch = "Intel E5-2670 Sandy Bridge";
+  a.total_nodes = 1296;
+  a.procs_per_node = 2;
+  a.cores_per_proc = 8;
+  a.nominal_freq_ghz = 2.6;
+  a.memory_per_node_gb = 32;
+  a.tdp_cpu_w = 115.0;
+  a.tdp_dram_w = 0.0;  // DRAM readings unavailable (BIOS restriction)
+  a.measurement = SensorKind::kRapl;
+  a.supports_power_capping = true;  // RAPL present (caps not enforced in study)
+  a.dram_measurement_available = false;
+  a.ladder = FrequencyLadder(1.2, 2.6, 0.1, 3.3);
+  // ~23% max CPU power spread over 2,386 sockets; strict frequency binning.
+  a.variation.cpu_dyn_sd = 0.036;
+  a.variation.cpu_dyn_lo = 0.91;
+  a.variation.cpu_dyn_hi = 1.10;
+  a.variation.cpu_static_sd = 0.05;
+  a.variation.cpu_static_lo = 0.87;
+  a.variation.cpu_static_hi = 1.15;
+  a.variation.dram_sd = 0.10;
+  a.variation.dram_lo = 0.65;
+  a.variation.dram_hi = 1.40;
+  return a;
+}
+
+ArchSpec vulcan() {
+  ArchSpec a;
+  a.system = "BG/Q Vulcan (LLNL)";
+  a.microarch = "IBM PowerPC A2";
+  // 24,576 compute nodes; power is observed per node board (32 nodes), so a
+  // "module" is a node board: 768 boards.
+  a.total_nodes = 768;
+  a.procs_per_node = 1;
+  a.cores_per_proc = 16;
+  a.nominal_freq_ghz = 1.6;
+  a.memory_per_node_gb = 16;
+  a.tdp_cpu_w = 2000.0;  // per node board; rack max 100 kW, 32 boards/rack
+  a.tdp_dram_w = 0.0;
+  a.measurement = SensorKind::kBgqEmon;
+  a.supports_power_capping = false;
+  a.dram_measurement_available = true;
+  a.module_granularity = "node board";
+  a.ladder = FrequencyLadder(1.6, 1.6, 0.1);  // fixed-frequency A2
+  // ~11% spread across node boards; no frequency variation.
+  a.variation.cpu_dyn_sd = 0.019;
+  a.variation.cpu_dyn_lo = 0.952;
+  a.variation.cpu_dyn_hi = 1.052;
+  a.variation.cpu_static_sd = 0.025;
+  a.variation.cpu_static_lo = 0.93;
+  a.variation.cpu_static_hi = 1.07;
+  a.variation.dram_sd = 0.06;
+  a.variation.dram_lo = 0.80;
+  a.variation.dram_hi = 1.22;
+  return a;
+}
+
+ArchSpec teller() {
+  ArchSpec a;
+  a.system = "Teller (SNL)";
+  a.microarch = "AMD A10-5800K Piledriver";
+  a.total_nodes = 104;
+  a.procs_per_node = 1;
+  a.cores_per_proc = 4;
+  a.nominal_freq_ghz = 3.8;
+  a.memory_per_node_gb = 16;
+  a.tdp_cpu_w = 100.0;
+  a.tdp_dram_w = 0.0;
+  a.measurement = SensorKind::kPowerInsight;
+  a.supports_power_capping = false;
+  a.dram_measurement_available = true;
+  a.ladder = FrequencyLadder(1.4, 3.8, 0.2, 4.2);
+  // ~21% power spread AND ~17% performance spread over 64 sockets;
+  // more power <-> faster part (Turbo Core pushing harder on leakier dies).
+  a.variation.cpu_dyn_sd = 0.042;
+  a.variation.cpu_dyn_lo = 0.90;
+  a.variation.cpu_dyn_hi = 1.11;
+  a.variation.cpu_static_sd = 0.05;
+  a.variation.cpu_static_lo = 0.87;
+  a.variation.cpu_static_hi = 1.14;
+  a.variation.dram_sd = 0.08;
+  a.variation.dram_lo = 0.75;
+  a.variation.dram_hi = 1.28;
+  a.variation.freq_sd = 0.052;
+  a.variation.freq_lo = 0.845;
+  a.variation.freq_hi = 1.02;
+  a.variation.freq_power_corr = 0.6;
+  return a;
+}
+
+ArchSpec ha8k() {
+  ArchSpec a;
+  a.system = "HA8K (Kyushu Univ.)";
+  a.microarch = "Intel E5-2697v2 Ivy Bridge";
+  a.total_nodes = 960;
+  a.procs_per_node = 2;
+  a.cores_per_proc = 12;
+  a.nominal_freq_ghz = 2.7;
+  a.memory_per_node_gb = 256;
+  a.tdp_cpu_w = 130.0;
+  a.tdp_dram_w = 62.0;
+  a.measurement = SensorKind::kRapl;
+  a.supports_power_capping = true;
+  a.dram_measurement_available = true;
+  a.ladder = FrequencyLadder(1.2, 2.7, 0.1, 3.0);
+  // Calibrated to Figure 2: module Vp ~1.3 uncapped (band 1.2-1.5 across
+  // benchmarks), DRAM Vp ~2.8 over 1,920 modules.
+  a.variation.cpu_dyn_sd = 0.042;
+  a.variation.cpu_dyn_lo = 0.865;
+  a.variation.cpu_dyn_hi = 1.155;
+  a.variation.cpu_static_sd = 0.06;
+  a.variation.cpu_static_lo = 0.82;
+  a.variation.cpu_static_hi = 1.19;
+  a.variation.cpu_dyn_static_corr = 0.7;
+  a.variation.dram_sd = 0.17;
+  a.variation.dram_lo = 0.40;
+  a.variation.dram_hi = 1.55;
+  return a;
+}
+
+std::vector<ArchSpec> all_archs() { return {cab(), vulcan(), teller(), ha8k()}; }
+
+}  // namespace vapb::hw

@@ -1,0 +1,61 @@
+// Architecture specifications for the four production systems the paper
+// studies (Table 2), including the variation-distribution parameters
+// calibrated against the spreads reported in Section 4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/ladder.hpp"
+#include "hw/sensor.hpp"
+#include "hw/variation.hpp"
+
+namespace vapb::hw {
+
+struct ArchSpec {
+  std::string system;           ///< e.g. "Cab (LLNL)"
+  std::string microarch;        ///< e.g. "Intel E5-2670 Sandy Bridge"
+  int total_nodes = 0;
+  int procs_per_node = 1;
+  int cores_per_proc = 1;
+  double nominal_freq_ghz = 0.0;
+  int memory_per_node_gb = 0;
+  double tdp_cpu_w = 0.0;       ///< per-processor TDP
+  double tdp_dram_w = 0.0;      ///< per-module DRAM TDP (0 = unreported)
+  SensorKind measurement = SensorKind::kRapl;
+  bool supports_power_capping = false;
+  bool dram_measurement_available = true;  ///< false on Cab (BIOS restriction)
+
+  /// Granularity at which power is observed/controlled: "socket" or
+  /// "node board" (Vulcan's EMON measures per node board).
+  std::string module_granularity = "socket";
+
+  FrequencyLadder ladder{1.0, 1.0, 0.1};
+  VariationDistribution variation;
+
+  /// Modules available for experiments (sockets, or node boards on Vulcan).
+  [[nodiscard]] int total_modules() const {
+    return total_nodes * procs_per_node;
+  }
+};
+
+/// Cab (LLNL): Intel E5-2670 Sandy Bridge, 1,296 nodes x 2 sockets, RAPL.
+/// Paper observed up to 23% CPU power spread, no performance spread.
+ArchSpec cab();
+
+/// Vulcan (LLNL): IBM BG/Q PowerPC A2. Power observed per node board
+/// (32 compute cards); the paper used 48 node boards and saw 11% spread.
+ArchSpec vulcan();
+
+/// Teller (SNL): AMD A10-5800K Piledriver, PowerInsight. Both power (21%)
+/// and performance (17%) spread, positively correlated.
+ArchSpec teller();
+
+/// HA8K (Kyushu): Intel E5-2697v2 Ivy Bridge, 960 nodes x 2 sockets = 1,920
+/// modules; RAPL capping + DRAM measurement. The evaluation system.
+ArchSpec ha8k();
+
+/// All four, in Table 2 order.
+std::vector<ArchSpec> all_archs();
+
+}  // namespace vapb::hw

@@ -1,0 +1,80 @@
+#include "hw/arch_io.hpp"
+
+#include "util/error.hpp"
+
+namespace vapb::hw {
+
+namespace {
+
+SensorKind sensor_from_name(const std::string& name) {
+  if (name == "rapl") return SensorKind::kRapl;
+  if (name == "powerinsight") return SensorKind::kPowerInsight;
+  if (name == "emon") return SensorKind::kBgqEmon;
+  throw InvalidArgument("unknown measurement technique '" + name +
+                        "' (rapl|powerinsight|emon)");
+}
+
+/// Reads a (sd, lo, hi) triple with the given key prefix; all-or-nothing.
+void read_band(const util::Config& cfg, const std::string& prefix, double& sd,
+               double& lo, double& hi) {
+  if (!cfg.has("variation", prefix + "_sd")) return;
+  sd = cfg.get_double("variation", prefix + "_sd");
+  lo = cfg.get_double("variation", prefix + "_lo");
+  hi = cfg.get_double("variation", prefix + "_hi");
+  if (!(lo < hi)) {
+    throw ConfigError("variation " + prefix + ": need lo < hi");
+  }
+}
+
+}  // namespace
+
+ArchSpec arch_from_config(const util::Config& cfg) {
+  ArchSpec a;
+  a.system = cfg.get("system", "name");
+  a.microarch = cfg.get_or("system", "microarch", "custom");
+  a.total_nodes = static_cast<int>(cfg.get_long("system", "nodes"));
+  a.procs_per_node =
+      static_cast<int>(cfg.get_long_or("system", "procs_per_node", 1));
+  a.cores_per_proc =
+      static_cast<int>(cfg.get_long_or("system", "cores_per_proc", 1));
+  a.memory_per_node_gb =
+      static_cast<int>(cfg.get_long_or("system", "memory_per_node_gb", 0));
+  a.tdp_cpu_w = cfg.get_double("system", "tdp_cpu_w");
+  a.tdp_dram_w = cfg.get_double_or("system", "tdp_dram_w", 0.0);
+  a.measurement =
+      sensor_from_name(cfg.get_or("system", "measurement", "rapl"));
+  a.supports_power_capping =
+      cfg.get_or("system", "power_capping", "true") == "true";
+  a.dram_measurement_available =
+      cfg.get_or("system", "dram_measurement", "true") == "true";
+
+  double fmin = cfg.get_double("ladder", "fmin_ghz");
+  double fmax = cfg.get_double("ladder", "fmax_ghz");
+  double step = cfg.get_double_or("ladder", "step_ghz", 0.1);
+  double turbo = cfg.get_double_or("ladder", "turbo_ghz", 0.0);
+  a.ladder = FrequencyLadder(fmin, fmax, step, turbo);
+  a.nominal_freq_ghz = fmax;
+
+  if (cfg.has_section("variation")) {
+    auto& v = a.variation;
+    read_band(cfg, "cpu_dyn", v.cpu_dyn_sd, v.cpu_dyn_lo, v.cpu_dyn_hi);
+    read_band(cfg, "cpu_static", v.cpu_static_sd, v.cpu_static_lo,
+              v.cpu_static_hi);
+    read_band(cfg, "dram", v.dram_sd, v.dram_lo, v.dram_hi);
+    read_band(cfg, "freq", v.freq_sd, v.freq_lo, v.freq_hi);
+    v.cpu_dyn_static_corr =
+        cfg.get_double_or("variation", "cpu_dyn_static_corr", 0.7);
+    v.freq_power_corr =
+        cfg.get_double_or("variation", "freq_power_corr", 0.0);
+  }
+
+  if (a.total_nodes <= 0) throw ConfigError("system nodes must be positive");
+  if (a.tdp_cpu_w <= 0.0) throw ConfigError("tdp_cpu_w must be positive");
+  return a;
+}
+
+ArchSpec arch_from_config_text(const std::string& text) {
+  return arch_from_config(util::Config::parse(text));
+}
+
+}  // namespace vapb::hw

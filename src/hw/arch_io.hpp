@@ -1,0 +1,45 @@
+// Loading custom ArchSpecs from configuration files — lets vapbctl model a
+// system that is not one of the Table-2 presets.
+//
+// Format (INI; unset keys take the preset-style defaults noted below):
+//
+//   [system]
+//   name = MySystem
+//   microarch = Some CPU
+//   nodes = 100
+//   procs_per_node = 2        ; default 1
+//   cores_per_proc = 8        ; default 1
+//   memory_per_node_gb = 64   ; default 0
+//   tdp_cpu_w = 120
+//   tdp_dram_w = 50           ; default 0
+//   measurement = rapl        ; rapl | powerinsight | emon (default rapl)
+//   power_capping = true      ; default true
+//
+//   [ladder]
+//   fmin_ghz = 1.2
+//   fmax_ghz = 2.6
+//   step_ghz = 0.1            ; default 0.1
+//   turbo_ghz = 3.0           ; default 0 (none)
+//
+//   [variation]
+//   cpu_dyn_sd = 0.04         ; with cpu_dyn_lo / cpu_dyn_hi bounds
+//   ...                       ; cpu_static_*, dram_*, freq_* analogous
+//   cpu_dyn_static_corr = 0.7
+//   freq_power_corr = 0.0
+#pragma once
+
+#include <string>
+
+#include "hw/arch.hpp"
+#include "util/config.hpp"
+
+namespace vapb::hw {
+
+/// Builds an ArchSpec from a parsed config. Throws InvalidArgument /
+/// ConfigError on missing required keys or inconsistent values.
+ArchSpec arch_from_config(const util::Config& config);
+
+/// Convenience: parse text then build.
+ArchSpec arch_from_config_text(const std::string& text);
+
+}  // namespace vapb::hw

@@ -1,0 +1,26 @@
+#include "hw/cpufreq.hpp"
+
+#include "util/error.hpp"
+
+namespace vapb::hw {
+
+void CpufreqGovernor::set_frequency_ghz(double f_ghz) {
+  if (f_ghz <= 0.0) {
+    throw InvalidArgument("CpufreqGovernor: frequency must be positive");
+  }
+  set_freq_ = module_.ladder().quantize_down(f_ghz);
+}
+
+void CpufreqGovernor::clear() { set_freq_.reset(); }
+
+OperatingPoint CpufreqGovernor::operating_point(
+    const PowerProfile& profile) const {
+  OperatingPoint op;
+  op.freq_ghz = set_freq_ ? *set_freq_ : module_.ladder().fmax();
+  op.perf_freq_ghz = op.freq_ghz;
+  op.cpu_w = module_.cpu_power_w(profile, op.freq_ghz);
+  op.dram_w = module_.dram_power_w(profile, op.freq_ghz);
+  return op;
+}
+
+}  // namespace vapb::hw

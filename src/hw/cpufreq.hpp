@@ -1,0 +1,41 @@
+// cpufrequtils-style userspace frequency governor.
+//
+// The paper's Frequency Selection (FS) back-end: a static frequency is
+// applied per module; power consumption becomes a consequence rather than a
+// constraint. FS guarantees consistent performance but can exceed a derived
+// power cap (Section 5.3).
+#pragma once
+
+#include <optional>
+
+#include "hw/module.hpp"
+#include "hw/power_profile.hpp"
+#include "hw/rapl.hpp"
+
+namespace vapb::hw {
+
+class CpufreqGovernor {
+ public:
+  explicit CpufreqGovernor(const Module& module) : module_(module) {}
+
+  /// Requests a target frequency; the governor snaps it down to the nearest
+  /// selectable P-state (cpufrequtils semantics). Throws InvalidArgument for
+  /// non-positive targets.
+  void set_frequency_ghz(double f_ghz);
+
+  /// Reverts to the ondemand-style default (highest frequency).
+  void clear();
+
+  /// The P-state currently programmed, if any.
+  [[nodiscard]] std::optional<double> frequency_ghz() const { return set_freq_; }
+
+  /// Operating point under FS: the programmed frequency (or fmax), with power
+  /// as the uncapped consequence. Never throttles.
+  [[nodiscard]] OperatingPoint operating_point(const PowerProfile& profile) const;
+
+ private:
+  const Module& module_;
+  std::optional<double> set_freq_;
+};
+
+}  // namespace vapb::hw

@@ -1,0 +1,39 @@
+#include "hw/ladder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vapb::hw {
+
+FrequencyLadder::FrequencyLadder(double fmin_ghz, double fmax_ghz,
+                                 double step_ghz, double turbo_ghz)
+    : fmin_(fmin_ghz), fmax_(fmax_ghz), step_(step_ghz), turbo_(turbo_ghz) {
+  if (!(fmin_ > 0.0) || !(fmax_ >= fmin_) || !(step_ > 0.0)) {
+    throw ConfigError("FrequencyLadder: need 0 < fmin <= fmax and step > 0");
+  }
+  if (turbo_ != 0.0 && turbo_ < fmax_) {
+    throw ConfigError("FrequencyLadder: turbo must be 0 or >= fmax");
+  }
+  for (double f = fmin_; f < fmax_ - 1e-9; f += step_) levels_.push_back(f);
+  levels_.push_back(fmax_);
+}
+
+double FrequencyLadder::quantize_down(double f_ghz) const {
+  if (f_ghz <= levels_.front()) return levels_.front();
+  // Last level <= f.
+  auto it = std::upper_bound(levels_.begin(), levels_.end(), f_ghz + 1e-9);
+  return *(it - 1);
+}
+
+double FrequencyLadder::clamp(double f_ghz) const {
+  return std::min(fmax_, std::max(fmin_, f_ghz));
+}
+
+bool FrequencyLadder::is_level(double f_ghz) const {
+  return std::any_of(levels_.begin(), levels_.end(),
+                     [&](double l) { return std::abs(l - f_ghz) < 1e-6; });
+}
+
+}  // namespace vapb::hw

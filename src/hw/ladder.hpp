@@ -1,0 +1,44 @@
+// Discrete CPU frequency ladder (P-states) with optional turbo headroom.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vapb::hw {
+
+/// The set of frequencies a processor can be asked to run at. Frequencies are
+/// `fmin + k*step` for k = 0..K with `fmax` included exactly; `turbo` (when
+/// > fmax) is an additional opportunistic state that cannot be requested via
+/// the governor — it is entered only when power-unconstrained.
+class FrequencyLadder {
+ public:
+  /// Throws ConfigError unless 0 < fmin <= fmax, step > 0, and
+  /// turbo == 0 or turbo >= fmax. turbo == 0 means "no turbo".
+  FrequencyLadder(double fmin_ghz, double fmax_ghz, double step_ghz,
+                  double turbo_ghz = 0.0);
+
+  [[nodiscard]] double fmin() const { return fmin_; }
+  [[nodiscard]] double fmax() const { return fmax_; }
+  [[nodiscard]] double step() const { return step_; }
+  [[nodiscard]] bool has_turbo() const { return turbo_ > 0.0; }
+  /// Turbo frequency; equals fmax when the part has no turbo.
+  [[nodiscard]] double turbo() const { return has_turbo() ? turbo_ : fmax_; }
+
+  /// All selectable frequencies, ascending (turbo excluded).
+  [[nodiscard]] const std::vector<double>& levels() const { return levels_; }
+
+  /// Largest selectable frequency <= f; returns fmin when f < fmin.
+  [[nodiscard]] double quantize_down(double f_ghz) const;
+
+  /// Clamps a continuous frequency into [fmin, fmax].
+  [[nodiscard]] double clamp(double f_ghz) const;
+
+  /// True if f is (within tolerance) one of the selectable levels.
+  [[nodiscard]] bool is_level(double f_ghz) const;
+
+ private:
+  double fmin_, fmax_, step_, turbo_;
+  std::vector<double> levels_;
+};
+
+}  // namespace vapb::hw

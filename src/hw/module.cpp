@@ -1,0 +1,73 @@
+#include "hw/module.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vapb::hw {
+
+Module::Module(ModuleId id, ModuleVariation variation, FrequencyLadder ladder,
+               double tdp_cpu_w, util::SeedSequence fab_seed)
+    : id_(id),
+      variation_(variation),
+      ladder_(std::move(ladder)),
+      tdp_cpu_w_(tdp_cpu_w),
+      fab_seed_(fab_seed) {
+  if (tdp_cpu_w_ <= 0.0) throw ConfigError("Module: TDP must be positive");
+}
+
+double Module::max_freq_ghz(bool turbo) const {
+  return (turbo ? ladder_.turbo() : ladder_.fmax()) * variation_.freq;
+}
+
+double Module::idiosyncrasy(const PowerProfile& p, std::uint64_t salt) const {
+  if (p.idiosyncrasy_sd <= 0.0) return 1.0;
+  util::Rng rng(
+      fab_seed_.fork("idiosyncrasy", id_ ^ (util::fnv1a(p.name) + salt)));
+  // Clamp at 3 sigma so a pathological sd cannot produce negative power.
+  double z = std::clamp(rng.normal(), -3.0, 3.0);
+  return std::max(0.05, 1.0 + p.idiosyncrasy_sd * z);
+}
+
+double Module::eff_cpu_static_scale(const PowerProfile& p) const {
+  return std::max(0.05, (1.0 + (variation_.cpu_static - 1.0) * p.cpu_sensitivity) *
+                            idiosyncrasy(p, 0x1));
+}
+
+double Module::eff_cpu_dyn_scale(const PowerProfile& p) const {
+  return std::max(0.05, (1.0 + (variation_.cpu_dyn - 1.0) * p.cpu_sensitivity) *
+                            idiosyncrasy(p, 0x1));
+}
+
+double Module::eff_dram_scale(const PowerProfile& p) const {
+  return std::max(0.05, (1.0 + (variation_.dram - 1.0) * p.dram_sensitivity) *
+                            idiosyncrasy(p, 0x2));
+}
+
+double Module::cpu_power_w(const PowerProfile& profile, double f_ghz) const {
+  return eff_cpu_static_scale(profile) * profile.cpu_static_w +
+         eff_cpu_dyn_scale(profile) * profile.cpu_dyn_w_per_ghz * f_ghz;
+}
+
+double Module::dram_power_w(const PowerProfile& profile, double f_ghz) const {
+  return eff_dram_scale(profile) *
+         (profile.dram_static_w + profile.dram_dyn_w_per_ghz * f_ghz);
+}
+
+double Module::module_power_w(const PowerProfile& profile, double f_ghz) const {
+  return cpu_power_w(profile, f_ghz) + dram_power_w(profile, f_ghz);
+}
+
+double Module::freq_for_cpu_power(const PowerProfile& profile,
+                                  double cap_w) const {
+  double slope = eff_cpu_dyn_scale(profile) * profile.cpu_dyn_w_per_ghz;
+  if (slope <= 0.0) {
+    throw InvalidArgument("freq_for_cpu_power: workload '" + profile.name +
+                          "' has non-positive dynamic power slope");
+  }
+  double intercept = eff_cpu_static_scale(profile) * profile.cpu_static_w;
+  return (cap_w - intercept) / slope;
+}
+
+}  // namespace vapb::hw

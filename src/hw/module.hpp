@@ -1,0 +1,71 @@
+// A module: one processor socket plus its DRAM — the paper's unit of power
+// measurement and control. Holds the ground-truth power behaviour of this
+// particular piece of silicon.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/ladder.hpp"
+#include "hw/power_profile.hpp"
+#include "hw/variation.hpp"
+#include "util/rng.hpp"
+
+namespace vapb::hw {
+
+using ModuleId = std::uint32_t;
+
+class Module {
+ public:
+  /// `fab_seed` is the architecture-level fabrication seed; the module's
+  /// idiosyncratic per-workload behaviour is derived from it deterministically.
+  Module(ModuleId id, ModuleVariation variation, FrequencyLadder ladder,
+         double tdp_cpu_w, util::SeedSequence fab_seed);
+
+  [[nodiscard]] ModuleId id() const { return id_; }
+  [[nodiscard]] const ModuleVariation& variation() const { return variation_; }
+  [[nodiscard]] const FrequencyLadder& ladder() const { return ladder_; }
+  [[nodiscard]] double tdp_cpu_w() const { return tdp_cpu_w_; }
+
+  /// Highest frequency this part can reach: ladder fmax (or turbo) times the
+  /// module's frequency-capability scale.
+  [[nodiscard]] double max_freq_ghz(bool turbo = false) const;
+
+  // -- Ground-truth power ----------------------------------------------------
+  // These are what a perfect external power meter would read while `profile`
+  // runs at frequency `f_ghz` with full duty. They fold the module's
+  // variation scales through the workload's sensitivity plus the workload's
+  // idiosyncratic per-module factor.
+
+  [[nodiscard]] double cpu_power_w(const PowerProfile& profile,
+                                   double f_ghz) const;
+  [[nodiscard]] double dram_power_w(const PowerProfile& profile,
+                                    double f_ghz) const;
+  [[nodiscard]] double module_power_w(const PowerProfile& profile,
+                                      double f_ghz) const;
+
+  /// Continuous frequency at which cpu_power_w(profile, f) == cap_w.
+  /// Unclamped: may be below fmin (throttling territory) or above fmax
+  /// (cap not binding). Throws InvalidArgument when the workload has a
+  /// non-positive dynamic-power slope.
+  [[nodiscard]] double freq_for_cpu_power(const PowerProfile& profile,
+                                          double cap_w) const;
+
+  /// Effective multiplicative scales as seen by this workload.
+  [[nodiscard]] double eff_cpu_static_scale(const PowerProfile& p) const;
+  [[nodiscard]] double eff_cpu_dyn_scale(const PowerProfile& p) const;
+  [[nodiscard]] double eff_dram_scale(const PowerProfile& p) const;
+
+ private:
+  /// Idiosyncratic per-(module, workload) factor; deterministic in
+  /// (fab seed, module id, workload name). Mean 1, sd = p.idiosyncrasy_sd.
+  [[nodiscard]] double idiosyncrasy(const PowerProfile& p,
+                                    std::uint64_t salt) const;
+
+  ModuleId id_;
+  ModuleVariation variation_;
+  FrequencyLadder ladder_;
+  double tdp_cpu_w_;
+  util::SeedSequence fab_seed_;
+};
+
+}  // namespace vapb::hw

@@ -1,0 +1,145 @@
+#include "hw/msr.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace vapb::hw::msr {
+
+std::uint64_t PowerUnits::encode() const {
+  return (static_cast<std::uint64_t>(time_exp & 0xf) << 16) |
+         (static_cast<std::uint64_t>(energy_exp & 0x1f) << 8) |
+         (static_cast<std::uint64_t>(power_exp & 0xf));
+}
+
+PowerUnits PowerUnits::decode(std::uint64_t raw) {
+  PowerUnits u;
+  u.power_exp = static_cast<unsigned>(raw & 0xf);
+  u.energy_exp = static_cast<unsigned>((raw >> 8) & 0x1f);
+  u.time_exp = static_cast<unsigned>((raw >> 16) & 0xf);
+  return u;
+}
+
+std::uint64_t encode_power_limit(const PowerLimit& limit,
+                                 const PowerUnits& units) {
+  if (limit.power_w < 0.0) {
+    throw InvalidArgument("power limit must be non-negative");
+  }
+  auto power_units =
+      static_cast<std::uint64_t>(std::llround(limit.power_w / units.power_unit_w()));
+  if (power_units > 0x7fff) {
+    throw InvalidArgument("power limit does not fit in 15 bits: " +
+                          std::to_string(limit.power_w) + " W");
+  }
+  // Window = 2^Y * (1 + Z/4) time units. Pick the largest representable
+  // value <= requested (Y in [0,31], Z in [0,3]).
+  double target_units = limit.window_s / units.time_unit_s();
+  unsigned best_y = 0, best_z = 0;
+  double best = 1.0;
+  for (unsigned y = 0; y < 32; ++y) {
+    for (unsigned z = 0; z < 4; ++z) {
+      double v = std::ldexp(1.0 + z / 4.0, static_cast<int>(y));
+      if (v <= target_units + 1e-9 && v > best) {
+        best = v;
+        best_y = y;
+        best_z = z;
+      }
+    }
+  }
+  std::uint64_t raw = power_units;
+  if (limit.enabled) raw |= 1ull << 15;
+  if (limit.clamp) raw |= 1ull << 16;
+  raw |= static_cast<std::uint64_t>(best_y & 0x1f) << 17;
+  raw |= static_cast<std::uint64_t>(best_z & 0x3) << 22;
+  return raw;
+}
+
+PowerLimit decode_power_limit(std::uint64_t raw, const PowerUnits& units) {
+  PowerLimit limit;
+  limit.power_w = static_cast<double>(raw & 0x7fff) * units.power_unit_w();
+  limit.enabled = (raw >> 15) & 1;
+  limit.clamp = (raw >> 16) & 1;
+  auto y = static_cast<unsigned>((raw >> 17) & 0x1f);
+  auto z = static_cast<unsigned>((raw >> 22) & 0x3);
+  limit.window_s =
+      std::ldexp(1.0 + z / 4.0, static_cast<int>(y)) * units.time_unit_s();
+  return limit;
+}
+
+namespace {
+std::string detail_hex(std::uint32_t address) {
+  std::ostringstream os;
+  os << "0x" << std::hex << address;
+  return os.str();
+}
+}  // namespace
+
+MsrFile::MsrFile(Rapl& rapl, PowerUnits units) : rapl_(rapl), units_(units) {}
+
+std::uint64_t MsrFile::read(std::uint32_t address) const {
+  switch (address) {
+    case kRaplPowerUnit:
+      return units_.encode();
+    case kPkgPowerLimit:
+      return pkg_limit_raw_;
+    case kDramPowerLimit:
+      return dram_limit_raw_;
+    case kPkgEnergyStatus: {
+      double units_count = rapl_.pkg_energy_j() / units_.energy_unit_j();
+      return static_cast<std::uint64_t>(units_count) & 0xffffffffull;
+    }
+    case kDramEnergyStatus: {
+      double units_count = rapl_.dram_energy_j() / units_.energy_unit_j();
+      return static_cast<std::uint64_t>(units_count) & 0xffffffffull;
+    }
+    default:
+      throw MsrAccessError("read of MSR " + detail_hex(address) +
+                           " denied by whitelist");
+  }
+}
+
+void MsrFile::write(std::uint32_t address, std::uint64_t value) {
+  switch (address) {
+    case kPkgPowerLimit: {
+      pkg_limit_raw_ = value;
+      PowerLimit limit = decode_power_limit(value, units_);
+      if (limit.enabled && limit.power_w > 0.0) {
+        rapl_.set_cpu_limit_w(limit.power_w);
+      } else {
+        rapl_.clear_cpu_limit();
+      }
+      return;
+    }
+    case kDramPowerLimit:
+      // Accepted but inert: DRAM capping is not supported on the paper's
+      // production boards (Section 3.1.1).
+      dram_limit_raw_ = value;
+      return;
+    default:
+      throw MsrAccessError("write to MSR " + detail_hex(address) +
+                           " denied by whitelist");
+  }
+}
+
+void set_pkg_power_limit(MsrFile& file, double watts, double window_s) {
+  PowerLimit limit;
+  limit.power_w = watts;
+  limit.window_s = window_s;
+  limit.enabled = true;
+  limit.clamp = true;
+  file.write(kPkgPowerLimit, encode_power_limit(limit, file.units()));
+}
+
+void clear_pkg_power_limit(MsrFile& file) { file.write(kPkgPowerLimit, 0); }
+
+double read_pkg_energy_j(const MsrFile& file) {
+  return static_cast<double>(file.read(kPkgEnergyStatus)) *
+         file.units().energy_unit_j();
+}
+
+double read_dram_energy_j(const MsrFile& file) {
+  return static_cast<double>(file.read(kDramEnergyStatus)) *
+         file.units().energy_unit_j();
+}
+
+}  // namespace vapb::hw::msr

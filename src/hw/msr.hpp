@@ -1,0 +1,107 @@
+// Intel MSR-level RAPL interface emulation.
+//
+// The paper programs RAPL "with the help of programmable Machine Specific
+// Registers (MSRs) ... by using the libMSR library" on top of the msr-safe
+// whitelist kernel module (Shoga et al., reference [49]). This layer mirrors
+// that stack: a per-module register file with the documented RAPL register
+// encodings (Intel SDM vol. 3B) and msr-safe-style access control, bridged
+// to the behavioural RAPL model in hw/rapl.hpp. It exists so that software
+// written against the real register interface — cap encoding, unit decoding,
+// wrap-around energy counters — can be exercised unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/power_profile.hpp"
+#include "hw/rapl.hpp"
+#include "util/error.hpp"
+
+namespace vapb::hw::msr {
+
+// Register addresses (Intel SDM).
+inline constexpr std::uint32_t kRaplPowerUnit = 0x606;
+inline constexpr std::uint32_t kPkgPowerLimit = 0x610;
+inline constexpr std::uint32_t kPkgEnergyStatus = 0x611;
+inline constexpr std::uint32_t kDramPowerLimit = 0x618;
+inline constexpr std::uint32_t kDramEnergyStatus = 0x619;
+
+/// Raised on access outside the msr-safe whitelist.
+class MsrAccessError : public Error {
+ public:
+  explicit MsrAccessError(const std::string& what) : Error(what) {}
+};
+
+/// MSR_RAPL_POWER_UNIT contents: all RAPL quantities are fixed-point in
+/// these units. Defaults are the Sandy Bridge/Ivy Bridge values the paper's
+/// systems report: power 1/8 W, energy ~15.3 uJ, time ~0.98 ms.
+struct PowerUnits {
+  unsigned power_exp = 3;    ///< power unit = 1 / 2^power_exp W
+  unsigned energy_exp = 16;  ///< energy unit = 1 / 2^energy_exp J
+  unsigned time_exp = 10;    ///< time unit = 1 / 2^time_exp s
+
+  [[nodiscard]] double power_unit_w() const {
+    return 1.0 / static_cast<double>(1u << power_exp);
+  }
+  [[nodiscard]] double energy_unit_j() const {
+    return 1.0 / static_cast<double>(1u << energy_exp);
+  }
+  [[nodiscard]] double time_unit_s() const {
+    return 1.0 / static_cast<double>(1u << time_exp);
+  }
+
+  [[nodiscard]] std::uint64_t encode() const;
+  static PowerUnits decode(std::uint64_t raw);
+};
+
+/// One RAPL power limit (we model limit #1 of the PKG/DRAM limit registers).
+struct PowerLimit {
+  double power_w = 0.0;
+  double window_s = 1e-3;
+  bool enabled = false;
+  bool clamp = false;
+};
+
+/// Encodes limit #1 into the low 32 bits of MSR_PKG_POWER_LIMIT:
+///   bits 14:0  power limit in power units
+///   bit  15    enable
+///   bit  16    clamp
+///   bits 23:17 time window, value = 2^Y * (1 + Z/4) time units with
+///              Y = bits 21:17, Z = bits 23:22.
+/// Throws InvalidArgument when the power does not fit in 15 bits.
+std::uint64_t encode_power_limit(const PowerLimit& limit,
+                                 const PowerUnits& units);
+
+/// Inverse of encode_power_limit (window decodes to the nearest
+/// representable value).
+PowerLimit decode_power_limit(std::uint64_t raw, const PowerUnits& units);
+
+/// Per-module MSR register file with msr-safe access control: reads are
+/// allowed on the five RAPL registers above, writes only on the power-limit
+/// registers. Anything else throws MsrAccessError — exactly how an
+/// unprivileged libMSR client experiences msr-safe.
+class MsrFile {
+ public:
+  /// `rapl` provides the behaviour behind the registers; `profile` is the
+  /// workload whose power the energy counters integrate.
+  MsrFile(Rapl& rapl, PowerUnits units = {});
+
+  [[nodiscard]] std::uint64_t read(std::uint32_t address) const;
+  void write(std::uint32_t address, std::uint64_t value);
+
+  [[nodiscard]] const PowerUnits& units() const { return units_; }
+
+ private:
+  Rapl& rapl_;
+  PowerUnits units_;
+  std::uint64_t pkg_limit_raw_ = 0;
+  std::uint64_t dram_limit_raw_ = 0;  // stored; DRAM capping unsupported on
+                                      // the paper's boards (Section 3.1.1)
+};
+
+/// libMSR-style convenience wrappers over the register file.
+void set_pkg_power_limit(MsrFile& file, double watts, double window_s);
+void clear_pkg_power_limit(MsrFile& file);
+[[nodiscard]] double read_pkg_energy_j(const MsrFile& file);
+[[nodiscard]] double read_dram_energy_j(const MsrFile& file);
+
+}  // namespace vapb::hw::msr

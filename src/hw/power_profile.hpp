@@ -1,0 +1,51 @@
+// Workload power profile: the coefficients of the affine power-vs-frequency
+// model the paper validates in Figure 5 (R^2 >= 0.99 for CPU, DRAM and
+// module power on HA8K).
+//
+// For an *average* module, a workload w consumes
+//   P_cpu(f)  = cpu_static_w  + cpu_dyn_w_per_ghz  * f
+//   P_dram(f) = dram_static_w + dram_dyn_w_per_ghz * f
+// Individual modules scale these by their manufacturing-variation scales
+// (see hw/variation.hpp), filtered through the workload's sensitivity.
+#pragma once
+
+#include <string>
+
+namespace vapb::hw {
+
+struct PowerProfile {
+  std::string name;  ///< workload name, for diagnostics
+
+  double cpu_static_w = 0.0;       ///< CPU power intercept [W]
+  double cpu_dyn_w_per_ghz = 0.0;  ///< CPU power slope [W/GHz]
+  double dram_static_w = 0.0;      ///< DRAM power intercept [W]
+  double dram_dyn_w_per_ghz = 0.0; ///< DRAM power slope [W/GHz]
+
+  /// How strongly this workload expresses a module's manufacturing variation
+  /// (1 = exactly like the PVT microbenchmark). A workload that keeps
+  /// different functional units busy than the microbenchmark sees a slightly
+  /// different projection of the same die-level variation.
+  double cpu_sensitivity = 1.0;
+  double dram_sensitivity = 1.0;
+
+  /// Standard deviation of the per-(module, workload) idiosyncratic power
+  /// scale — variation that no single-microbenchmark PVT can predict. This is
+  /// what makes NPB-BT's calibration ~10% off in the paper while others stay
+  /// under 5%.
+  double idiosyncrasy_sd = 0.0;
+
+  /// Average-module CPU power at frequency f [GHz].
+  [[nodiscard]] double cpu_w(double f_ghz) const {
+    return cpu_static_w + cpu_dyn_w_per_ghz * f_ghz;
+  }
+  /// Average-module DRAM power at frequency f [GHz].
+  [[nodiscard]] double dram_w(double f_ghz) const {
+    return dram_static_w + dram_dyn_w_per_ghz * f_ghz;
+  }
+  /// Average-module total (CPU + DRAM) power at frequency f [GHz].
+  [[nodiscard]] double module_w(double f_ghz) const {
+    return cpu_w(f_ghz) + dram_w(f_ghz);
+  }
+};
+
+}  // namespace vapb::hw

@@ -1,0 +1,100 @@
+#include "hw/rapl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vapb::hw {
+
+Rapl::Rapl(const Module& module, RaplConfig config)
+    : module_(module), config_(config) {
+  if (config_.window_s <= 0.0) throw ConfigError("Rapl: window must be > 0");
+  if (config_.cliff_exponent < 1.0) {
+    throw ConfigError("Rapl: cliff exponent must be >= 1");
+  }
+  if (config_.min_duty <= 0.0 || config_.min_duty > 1.0) {
+    throw ConfigError("Rapl: min_duty must be in (0, 1]");
+  }
+}
+
+void Rapl::set_cpu_limit_w(double watts) {
+  if (watts <= 0.0) throw InvalidArgument("Rapl: cap must be positive");
+  cpu_limit_ = watts;
+}
+
+void Rapl::clear_cpu_limit() { cpu_limit_.reset(); }
+
+OperatingPoint Rapl::operating_point(const PowerProfile& profile,
+                                     bool turbo_enabled) const {
+  const FrequencyLadder& ladder = module_.ladder();
+  const double fmin = ladder.fmin();
+  const double fceil = module_.max_freq_ghz(turbo_enabled);
+
+  OperatingPoint op;
+  if (!cpu_limit_) {
+    // Unconstrained: run as fast as TDP headroom allows (this is how turbo
+    // works — opportunistic frequency under the package power envelope).
+    double f_at_tdp = module_.freq_for_cpu_power(profile, module_.tdp_cpu_w());
+    op.freq_ghz = std::clamp(f_at_tdp, fmin, fceil);
+    op.perf_freq_ghz = op.freq_ghz;
+  } else {
+    const double cap = *cpu_limit_;
+    const double p_at_fmin = module_.cpu_power_w(profile, fmin);
+    if (cap < p_at_fmin) {
+      // Duty-cycle regime: even the lowest P-state exceeds the cap.
+      op.freq_ghz = fmin;
+      op.duty = std::max(config_.min_duty, cap / p_at_fmin);
+      op.throttled = true;
+      op.perf_freq_ghz = fmin *
+                         std::pow(op.duty, config_.cliff_exponent) *
+                         config_.cliff_overhead;
+      // Keep a tiny floor so downstream time models stay finite.
+      op.perf_freq_ghz = std::max(op.perf_freq_ghz, fmin * 1e-3);
+    } else {
+      double f = module_.freq_for_cpu_power(profile, cap);
+      bool binding = f < fceil;
+      op.freq_ghz = std::clamp(f, fmin, fceil);
+      op.perf_freq_ghz =
+          binding ? op.freq_ghz * (1.0 - config_.control_perf_penalty)
+                  : op.freq_ghz;
+    }
+  }
+
+  // Sustained powers. In the duty-cycle regime the CPU averages exactly the
+  // cap; DRAM activity scales with duty (its static floor remains).
+  if (op.throttled) {
+    op.cpu_w = *cpu_limit_;
+    op.dram_w = module_.eff_dram_scale(profile) *
+                (profile.dram_static_w +
+                 profile.dram_dyn_w_per_ghz * op.freq_ghz * op.duty);
+  } else {
+    op.cpu_w = module_.cpu_power_w(profile, op.freq_ghz);
+    op.dram_w = module_.dram_power_w(profile, op.freq_ghz);
+  }
+  return op;
+}
+
+void Rapl::advance(const OperatingPoint& op, double seconds) {
+  if (seconds < 0.0) throw InvalidArgument("Rapl: negative duration");
+  pkg_energy_j_ += op.cpu_w * seconds;
+  dram_energy_j_ += op.dram_w * seconds;
+}
+
+namespace {
+std::uint32_t wrap_counter(double joules, double unit) {
+  double units = joules / unit;
+  return static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(units) & 0xffffffffULL);
+}
+}  // namespace
+
+std::uint32_t Rapl::pkg_energy_raw() const {
+  return wrap_counter(pkg_energy_j_, config_.energy_unit_j);
+}
+
+std::uint32_t Rapl::dram_energy_raw() const {
+  return wrap_counter(dram_energy_j_, config_.energy_unit_j);
+}
+
+}  // namespace vapb::hw

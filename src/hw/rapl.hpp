@@ -1,0 +1,117 @@
+// RAPL (Running Average Power Limit) emulation.
+//
+// Mirrors the Intel interface the paper controls power with (Section 3.1.1):
+// an MSR-style power-limit register per domain (PKG a.k.a. CPU, and DRAM),
+// energy counters with RAPL's 15.3 uJ unit and 32-bit wraparound, and
+// hardware enforcement that holds *average* power over the configured time
+// window at or below the cap by scaling frequency (and, below the lowest
+// P-state, by duty-cycle throttling — the regime responsible for the paper's
+// "rapid degradation when CPU power goes below ~40 W").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "hw/module.hpp"
+#include "hw/power_profile.hpp"
+
+namespace vapb::hw {
+
+/// RAPL behaviour knobs; defaults model the paper's HA8K configuration.
+struct RaplConfig {
+  /// Averaging window for cap enforcement [s] (paper: 1 ms).
+  double window_s = 1e-3;
+
+  /// RAPL's cap-to-frequency control is dynamic (it hunts around the target
+  /// operating point); the runner applies a zero-mean frequency dither with
+  /// this sd [GHz] per control interval when a cap is active. The paper uses
+  /// this behaviour to explain why frequency selection (VaFs) beats power
+  /// capping (VaPc).
+  double control_jitter_sd_ghz = 0.03;
+
+  /// Below P(fmin), enforcement falls back to duty-cycle (T-state) clock
+  /// modulation: perf-equivalent frequency
+  ///   = fmin * duty^cliff_exponent * cliff_overhead.
+  /// The exponent models the super-linear collapse (pipeline drains, uncore
+  /// stalls, modulation overhead) behind the paper's "rapid degradation in
+  /// performance when CPU power goes below ~40 W"; it is continuous at
+  /// duty = 1 so a barely-binding cap degrades gracefully. Fitted so that a
+  /// ~20% power shortfall at fmin costs ~4x performance, reproducing the
+  /// magnitude of the paper's worst Naive slowdowns.
+  double cliff_exponent = 7.0;
+  double cliff_overhead = 1.0;
+
+  /// Duty cycle never drops below this (hardware keeps a minimal heartbeat).
+  double min_duty = 0.05;
+
+  /// RAPL's windowed controller hunts around the target operating point;
+  /// relative performance lost versus running statically at the same average
+  /// power (the reason frequency selection beats power capping in Section 6).
+  /// Applied while a cap is binding (not throttled, not at fmax).
+  double control_perf_penalty = 0.03;
+
+  /// RAPL energy counter unit [J] (Intel SDM: 15.3 uJ).
+  double energy_unit_j = 15.3e-6;
+};
+
+/// Where a module settles while running a workload: the sustained frequency,
+/// the duty cycle (1 unless throttled below fmin), and the resulting powers.
+struct OperatingPoint {
+  double freq_ghz = 0.0;       ///< electrical clock while running
+  double duty = 1.0;           ///< fraction of time un-gated
+  bool throttled = false;      ///< true when cap < P(fmin): duty-cycle regime
+  double cpu_w = 0.0;          ///< sustained average CPU power
+  double dram_w = 0.0;         ///< sustained average DRAM power
+
+  /// Performance-equivalent frequency: what the workload's compute rate
+  /// corresponds to. Equals freq_ghz when not throttled; collapses
+  /// super-linearly with duty when throttled.
+  double perf_freq_ghz = 0.0;
+
+  [[nodiscard]] double module_w() const { return cpu_w + dram_w; }
+};
+
+/// Per-module RAPL instance: power-limit register + energy counters.
+class Rapl {
+ public:
+  Rapl(const Module& module, RaplConfig config = {});
+
+  /// Programs the PKG power limit [W]. Throws InvalidArgument for
+  /// non-positive caps.
+  void set_cpu_limit_w(double watts);
+
+  /// Clears the PKG power limit (power constrained only by TDP logic).
+  void clear_cpu_limit();
+
+  [[nodiscard]] std::optional<double> cpu_limit_w() const { return cpu_limit_; }
+  [[nodiscard]] const RaplConfig& config() const { return config_; }
+
+  /// Resolves the sustained operating point for `profile`:
+  ///  * no cap: highest reachable frequency, bounded by TDP headroom
+  ///    (turbo opportunistically exceeds fmax when headroom allows);
+  ///  * cap >= P(fmin): frequency scaled so average CPU power == cap
+  ///    (or the cap is simply not binding);
+  ///  * cap <  P(fmin): duty-cycle throttling regime.
+  [[nodiscard]] OperatingPoint operating_point(const PowerProfile& profile,
+                                               bool turbo_enabled = false) const;
+
+  /// Integrates `op` for `seconds` into the PKG/DRAM energy counters.
+  void advance(const OperatingPoint& op, double seconds);
+
+  /// Raw 32-bit wrapping counters in RAPL energy units, as the MSR exposes.
+  [[nodiscard]] std::uint32_t pkg_energy_raw() const;
+  [[nodiscard]] std::uint32_t dram_energy_raw() const;
+
+  /// Total accumulated energy [J] (non-wrapping convenience view).
+  [[nodiscard]] double pkg_energy_j() const { return pkg_energy_j_; }
+  [[nodiscard]] double dram_energy_j() const { return dram_energy_j_; }
+
+ private:
+  const Module& module_;
+  RaplConfig config_;
+  std::optional<double> cpu_limit_;
+  double pkg_energy_j_ = 0.0;
+  double dram_energy_j_ = 0.0;
+};
+
+}  // namespace vapb::hw

@@ -1,0 +1,79 @@
+#include "hw/sensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vapb::hw {
+
+const std::vector<SensorSpec>& all_sensor_specs() {
+  static const std::vector<SensorSpec> kSpecs = {
+      {SensorKind::kRapl, "RAPL", "Average", 1e-3, true, 0.002, true},
+      {SensorKind::kPowerInsight, "PowerInsight", "Instantaneous", 1e-3, false,
+       0.01, false},
+      {SensorKind::kBgqEmon, "BGQ EMON", "Instantaneous", 300e-3, false, 0.005,
+       false},
+  };
+  return kSpecs;
+}
+
+const SensorSpec& sensor_spec(SensorKind kind) {
+  for (const auto& s : all_sensor_specs()) {
+    if (s.kind == kind) return s;
+  }
+  throw InvalidArgument("unknown sensor kind");
+}
+
+Sensor::Sensor(SensorKind kind, util::SeedSequence seed,
+               double workload_noise_frac)
+    : spec_(sensor_spec(kind)),
+      rng_(seed),
+      workload_noise_frac_(workload_noise_frac) {
+  if (workload_noise_frac_ < 0.0) {
+    throw InvalidArgument("Sensor: negative workload noise");
+  }
+}
+
+double Sensor::sample_w(double true_power_w) {
+  double p = true_power_w;
+  if (!spec_.averages_workload_noise) {
+    // Instantaneous sensors see the workload's own power fluctuation.
+    p *= 1.0 + workload_noise_frac_ * rng_.normal();
+  }
+  p *= 1.0 + spec_.instrument_noise_frac * rng_.normal();
+  return std::max(0.0, p);
+}
+
+double Sensor::measure_avg_w(double true_power_w, double duration_s) {
+  if (duration_s <= 0.0) throw InvalidArgument("Sensor: duration must be > 0");
+  auto n = static_cast<std::size_t>(
+      std::max(1.0, duration_s / spec_.sample_interval_s));
+  // Cap the loop: beyond ~1e4 samples the mean's noise is numerically
+  // negligible; scale the residual error analytically instead.
+  const std::size_t kMaxDraws = 10000;
+  std::size_t draws = std::min(n, kMaxDraws);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < draws; ++i) sum += sample_w(true_power_w);
+  double mean = sum / static_cast<double>(draws);
+  if (draws < n) {
+    // Shrink residual deviation as if we had taken all n samples.
+    double shrink = std::sqrt(static_cast<double>(draws) /
+                              static_cast<double>(n));
+    mean = true_power_w + (mean - true_power_w) * shrink;
+  }
+  return mean;
+}
+
+std::vector<double> Sensor::series_w(double true_power_w, double duration_s) {
+  if (duration_s <= 0.0) throw InvalidArgument("Sensor: duration must be > 0");
+  auto n = static_cast<std::size_t>(
+      std::max(1.0, duration_s / spec_.sample_interval_s));
+  n = std::min<std::size_t>(n, 1000000);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample_w(true_power_w));
+  return out;
+}
+
+}  // namespace vapb::hw

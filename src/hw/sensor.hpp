@@ -1,0 +1,66 @@
+// Power measurement technique models (paper Table 1):
+//
+//   RAPL         — model-based, reports *average* power, 1 ms granularity,
+//                  supports capping.
+//   PowerInsight — sensor harness, instantaneous samples at 1 ms (or less),
+//                  no capping.
+//   BG/Q EMON    — DCA microcontroller, instantaneous samples at 300 ms,
+//                  node-board granularity, no capping.
+//
+// The sensor model adds two noise sources to the ground-truth power: the
+// workload's own power fluctuation (visible to instantaneous sensors,
+// averaged away by RAPL) and the technique's measurement error.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vapb::hw {
+
+enum class SensorKind { kRapl, kPowerInsight, kBgqEmon };
+
+struct SensorSpec {
+  SensorKind kind;
+  std::string name;
+  std::string reported;        ///< "Average" or "Instantaneous"
+  double sample_interval_s;    ///< reporting granularity
+  bool supports_capping;
+  double instrument_noise_frac;  ///< sd of per-sample instrument error
+  bool averages_workload_noise;  ///< true for RAPL's windowed average
+};
+
+/// Static description of a measurement technique (Table 1 row).
+const SensorSpec& sensor_spec(SensorKind kind);
+
+/// All specs, in Table 1 order.
+const std::vector<SensorSpec>& all_sensor_specs();
+
+/// Measurement model over a ground-truth power level.
+class Sensor {
+ public:
+  /// `workload_noise_frac` is the sd of the workload's instantaneous power
+  /// fluctuation around its sustained mean.
+  Sensor(SensorKind kind, util::SeedSequence seed,
+         double workload_noise_frac = 0.01);
+
+  [[nodiscard]] const SensorSpec& spec() const { return spec_; }
+
+  /// One reported sample while true sustained power is `true_power_w`.
+  [[nodiscard]] double sample_w(double true_power_w);
+
+  /// Mean of the samples collected over `duration_s` (>= 1 sample).
+  [[nodiscard]] double measure_avg_w(double true_power_w, double duration_s);
+
+  /// Full sample series over `duration_s`.
+  [[nodiscard]] std::vector<double> series_w(double true_power_w,
+                                             double duration_s);
+
+ private:
+  SensorSpec spec_;
+  util::Rng rng_;
+  double workload_noise_frac_;
+};
+
+}  // namespace vapb::hw

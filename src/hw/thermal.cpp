@@ -1,0 +1,92 @@
+#include "hw/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vapb::hw {
+
+ThermalModel::ThermalModel(ThermalConfig config) : config_(config) {
+  if (config_.r_thermal_c_per_w <= 0.0) {
+    throw ConfigError("ThermalModel: thermal resistance must be positive");
+  }
+  if (config_.leakage_per_c < 0.0) {
+    throw ConfigError("ThermalModel: leakage coefficient must be >= 0");
+  }
+  // The linear feedback loop diverges when R * dP/dT >= 1; reject configs in
+  // that regime up front (k * R * P_static would have to be huge).
+  if (config_.leakage_per_c * config_.r_thermal_c_per_w > 0.05) {
+    throw ConfigError("ThermalModel: feedback gain too large to be physical");
+  }
+}
+
+double ThermalModel::cpu_power_at_temp(const Module& module,
+                                       const PowerProfile& profile,
+                                       double f_ghz, double t_c) const {
+  double base_static =
+      module.eff_cpu_static_scale(profile) * profile.cpu_static_w;
+  double leak_mult =
+      std::max(0.2, 1.0 + config_.leakage_per_c * (t_c - config_.ref_temp_c));
+  double dyn = module.eff_cpu_dyn_scale(profile) *
+               profile.cpu_dyn_w_per_ghz * f_ghz;
+  return base_static * leak_mult + dyn;
+}
+
+ThermalSolution ThermalModel::steady_state(const Module& module,
+                                           const PowerProfile& profile,
+                                           double f_ghz,
+                                           double ambient_c) const {
+  if (f_ghz <= 0.0) {
+    throw InvalidArgument("ThermalModel: frequency must be positive");
+  }
+  const FrequencyLadder& ladder = module.ladder();
+  double f = f_ghz;
+  for (;;) {
+    // Fixed-point iteration on T = ambient + R * P_cpu(T). The loop gain is
+    // well below 1 (checked at construction), so convergence is geometric.
+    double t = ambient_c + config_.r_thermal_c_per_w *
+                               cpu_power_at_temp(module, profile, f,
+                                                 ambient_c);
+    for (int i = 0; i < 100; ++i) {
+      double p = cpu_power_at_temp(module, profile, f, t);
+      double t_next = ambient_c + config_.r_thermal_c_per_w * p;
+      if (std::abs(t_next - t) < 1e-9) {
+        t = t_next;
+        break;
+      }
+      t = t_next;
+    }
+    if (t <= config_.prochot_c || f <= ladder.fmin() + 1e-12) {
+      ThermalSolution sol;
+      sol.junction_c = t;
+      sol.freq_ghz = f;
+      sol.cpu_w = cpu_power_at_temp(module, profile, f, t);
+      sol.dram_w = module.dram_power_w(profile, f);
+      sol.prochot = t > config_.prochot_c || f < f_ghz - 1e-12;
+      return sol;
+    }
+    // Thermally limited: step one P-state down and re-solve.
+    f = ladder.quantize_down(f - ladder.step() / 2.0);
+  }
+}
+
+double ThermalModel::turbo_frequency_ghz(const Module& module,
+                                         const PowerProfile& profile,
+                                         double ambient_c) const {
+  const FrequencyLadder& ladder = module.ladder();
+  // Scan turbo candidates from the top: highest frequency whose steady state
+  // fits both the TDP envelope and PROCHOT.
+  double best = ladder.fmin();
+  for (double f = module.max_freq_ghz(/*turbo=*/true); f >= ladder.fmin();
+       f -= 0.05) {
+    ThermalSolution sol = steady_state(module, profile, f, ambient_c);
+    if (!sol.prochot && sol.cpu_w <= module.tdp_cpu_w() + 1e-9) {
+      best = sol.freq_ghz;
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace vapb::hw

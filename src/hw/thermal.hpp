@@ -1,0 +1,69 @@
+// Thermal model: temperature-dependent leakage and thermally limited turbo.
+//
+// Section 2.1 lists temperature among the additional variation sources, and
+// Section 3.1.1 notes that "the operating CPU frequency in Turbo mode depends
+// on the workload and the ambient temperature". This model closes that loop:
+// static (leakage) power grows with junction temperature, junction
+// temperature grows with dissipated power through a thermal resistance, and
+// the part throttles at PROCHOT. The fixed point of that feedback gives the
+// sustained operating point for a given ambient — so two identical modules
+// in different rack positions consume different power, a machine-room-layout
+// variation on top of the fabrication one.
+#pragma once
+
+#include "hw/module.hpp"
+#include "hw/power_profile.hpp"
+
+namespace vapb::hw {
+
+struct ThermalConfig {
+  double r_thermal_c_per_w = 0.30;  ///< junction-to-ambient resistance [C/W]
+  double leakage_per_c = 0.010;     ///< fractional static-power growth per C
+  double ref_temp_c = 55.0;         ///< temperature the PowerProfile's
+                                    ///< cpu_static_w is calibrated at
+  double prochot_c = 95.0;          ///< junction throttle temperature
+};
+
+/// Steady state of the power/temperature feedback at one frequency.
+struct ThermalSolution {
+  double junction_c = 0.0;
+  double cpu_w = 0.0;      ///< CPU power including leakage feedback
+  double dram_w = 0.0;
+  double freq_ghz = 0.0;   ///< realized frequency (reduced if PROCHOT bound)
+  bool prochot = false;    ///< true when the frequency had to be reduced
+};
+
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalConfig config = {});
+
+  [[nodiscard]] const ThermalConfig& config() const { return config_; }
+
+  /// Solves the leakage/temperature fixed point for `module` running
+  /// `profile` at the requested frequency under `ambient_c`. If the junction
+  /// would exceed PROCHOT, the frequency is stepped down the ladder until it
+  /// fits (fmin is never violated — a part that exceeds PROCHOT at fmin runs
+  /// at fmin and reports prochot).
+  /// Throws InvalidArgument for a non-positive frequency.
+  [[nodiscard]] ThermalSolution steady_state(const Module& module,
+                                             const PowerProfile& profile,
+                                             double f_ghz,
+                                             double ambient_c) const;
+
+  /// The highest turbo frequency sustainable under both the TDP envelope and
+  /// PROCHOT at the given ambient — the paper's "depends on the workload and
+  /// the ambient temperature".
+  [[nodiscard]] double turbo_frequency_ghz(const Module& module,
+                                           const PowerProfile& profile,
+                                           double ambient_c) const;
+
+ private:
+  /// CPU power at frequency f with leakage evaluated at temperature t_c.
+  [[nodiscard]] double cpu_power_at_temp(const Module& module,
+                                         const PowerProfile& profile,
+                                         double f_ghz, double t_c) const;
+
+  ThermalConfig config_;
+};
+
+}  // namespace vapb::hw

@@ -1,0 +1,67 @@
+#include "hw/trace.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vapb::hw {
+
+PowerTrace PowerTrace::record(Rapl& rapl, const Module& module,
+                              const PowerProfile& profile, double duration_s,
+                              util::SeedSequence seed) {
+  if (duration_s <= 0.0) {
+    throw InvalidArgument("PowerTrace: duration must be positive");
+  }
+  const RaplConfig& cfg = rapl.config();
+  OperatingPoint op = rapl.operating_point(profile);
+
+  auto n = static_cast<std::size_t>(
+      std::max(1.0, duration_s / cfg.window_s));
+  n = std::min<std::size_t>(n, 1000000);
+
+  PowerTrace trace;
+  trace.samples_.reserve(n);
+  util::Rng rng(seed.fork("trace"));
+  const bool capped = rapl.cpu_limit_w().has_value() && !op.throttled &&
+                      op.freq_ghz < module.max_freq_ghz();
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceSample s;
+    s.t_s = static_cast<double>(i) * cfg.window_s;
+    if (capped && cfg.control_jitter_sd_ghz > 0.0) {
+      // The controller hunts: instantaneous clock dithers, window-average
+      // power stays at the cap.
+      s.freq_ghz = std::clamp(
+          op.freq_ghz + cfg.control_jitter_sd_ghz * rng.normal(),
+          module.ladder().fmin(), module.max_freq_ghz());
+    } else {
+      s.freq_ghz = op.freq_ghz;
+    }
+    s.cpu_w = op.cpu_w;
+    s.dram_w = op.dram_w;
+    trace.samples_.push_back(s);
+    rapl.advance(op, cfg.window_s);
+  }
+  return trace;
+}
+
+namespace {
+double avg_of(const std::vector<TraceSample>& samples,
+              double (*get)(const TraceSample&)) {
+  VAPB_REQUIRE_MSG(!samples.empty(), "empty trace");
+  double sum = 0.0;
+  for (const auto& s : samples) sum += get(s);
+  return sum / static_cast<double>(samples.size());
+}
+}  // namespace
+
+double PowerTrace::avg_freq_ghz() const {
+  return avg_of(samples_, +[](const TraceSample& s) { return s.freq_ghz; });
+}
+double PowerTrace::avg_cpu_w() const {
+  return avg_of(samples_, +[](const TraceSample& s) { return s.cpu_w; });
+}
+double PowerTrace::avg_dram_w() const {
+  return avg_of(samples_, +[](const TraceSample& s) { return s.dram_w; });
+}
+
+}  // namespace vapb::hw

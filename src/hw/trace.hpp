@@ -1,0 +1,45 @@
+// Time-series recording of a module's operating point under RAPL control —
+// what Figure 2(ii)'s x-axis averages ("the average CPU frequency for a
+// module across all RAPL time steps during the application's execution").
+//
+// RAPL holds the *windowed average* power at the cap while the instantaneous
+// clock hunts around the sustained point; the trace exposes both.
+#pragma once
+
+#include <vector>
+
+#include "hw/rapl.hpp"
+#include "util/rng.hpp"
+
+namespace vapb::hw {
+
+struct TraceSample {
+  double t_s = 0.0;
+  double freq_ghz = 0.0;  ///< instantaneous clock in this control window
+  double cpu_w = 0.0;     ///< average CPU power over the window
+  double dram_w = 0.0;
+};
+
+class PowerTrace {
+ public:
+  /// Records `duration_s` of execution of `profile` on `rapl`'s module at
+  /// one sample per RAPL window. The instantaneous frequency dithers with
+  /// the configured control jitter while the *windowed average* CPU power
+  /// stays pinned to the cap (when binding). Also advances the RAPL energy
+  /// counters. Throws InvalidArgument for non-positive duration.
+  static PowerTrace record(Rapl& rapl, const Module& module,
+                           const PowerProfile& profile, double duration_s,
+                           util::SeedSequence seed);
+
+  [[nodiscard]] const std::vector<TraceSample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] double avg_freq_ghz() const;
+  [[nodiscard]] double avg_cpu_w() const;
+  [[nodiscard]] double avg_dram_w() const;
+
+ private:
+  std::vector<TraceSample> samples_;
+};
+
+}  // namespace vapb::hw

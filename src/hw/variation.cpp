@@ -1,0 +1,59 @@
+#include "hw/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vapb::hw {
+
+namespace {
+
+double truncated(util::Rng& rng, double sd, double lo, double hi) {
+  if (sd <= 0.0) return 1.0;
+  VAPB_REQUIRE_MSG(lo < hi, "variation bounds must satisfy lo < hi");
+  return rng.truncated_normal(1.0, sd, lo, hi);
+}
+
+/// Correlated standard-normal pair -> two truncated scales. We draw z1, z2
+/// with corr rho and map each through mean-1 truncation by clamping; the
+/// slight distortion from clamping is irrelevant at these small sigmas.
+std::pair<double, double> correlated_pair(util::Rng& rng, double rho,
+                                          double sd1, double lo1, double hi1,
+                                          double sd2, double lo2, double hi2) {
+  double z1 = rng.normal();
+  double z2 = rho * z1 + std::sqrt(std::max(0.0, 1.0 - rho * rho)) * rng.normal();
+  auto map = [](double z, double sd, double lo, double hi) {
+    if (sd <= 0.0) return 1.0;
+    return std::clamp(1.0 + sd * z, lo, hi);
+  };
+  return {map(z1, sd1, lo1, hi1), map(z2, sd2, lo2, hi2)};
+}
+
+}  // namespace
+
+ModuleVariation draw_variation(const VariationDistribution& dist,
+                               const util::SeedSequence& fab_seed,
+                               std::uint64_t module_id) {
+  util::Rng rng(fab_seed.fork("module-variation", module_id));
+  ModuleVariation v;
+  auto [dyn, stat] = correlated_pair(
+      rng, dist.cpu_dyn_static_corr, dist.cpu_dyn_sd, dist.cpu_dyn_lo,
+      dist.cpu_dyn_hi, dist.cpu_static_sd, dist.cpu_static_lo,
+      dist.cpu_static_hi);
+  v.cpu_dyn = dyn;
+  v.cpu_static = stat;
+  v.dram = truncated(rng, dist.dram_sd, dist.dram_lo, dist.dram_hi);
+  if (dist.freq_sd > 0.0) {
+    // Couple frequency capability to the module's CPU power deviation with
+    // the configured correlation (negative on Teller).
+    double power_dev = (v.cpu_dyn - 1.0) / std::max(dist.cpu_dyn_sd, 1e-12);
+    double rho = dist.freq_power_corr;
+    double z = rho * power_dev +
+               std::sqrt(std::max(0.0, 1.0 - rho * rho)) * rng.normal();
+    v.freq = std::clamp(1.0 + dist.freq_sd * z, dist.freq_lo, dist.freq_hi);
+  }
+  return v;
+}
+
+}  // namespace vapb::hw

@@ -1,0 +1,63 @@
+// Manufacturing-variation model.
+//
+// Each module (one processor socket + its DRAM, the paper's unit of power
+// control) carries a set of multiplicative scales relative to the fleet
+// average. The scales are drawn once per module at "fabrication time" from
+// per-architecture truncated-normal distributions calibrated against the
+// spreads the paper measured (Section 4): up to 23% CPU power spread on Cab,
+// 11% on Vulcan, 21% power + 17% performance spread on Teller, and module
+// Vp 1.2-1.5 / DRAM Vp ~2.8 on HA8K.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace vapb::hw {
+
+/// Per-module variation scales (1.0 = fleet average).
+struct ModuleVariation {
+  /// Scale on the frequency-dependent (dynamic/switching) CPU power term.
+  double cpu_dyn = 1.0;
+  /// Scale on the frequency-independent (leakage/static) CPU power term.
+  double cpu_static = 1.0;
+  /// Scale on DRAM power (both terms; DRAM variation is dominated by
+  /// die-to-die differences, not frequency mix).
+  double dram = 1.0;
+  /// Scale on the achievable maximum frequency. 1.0 on architectures with
+  /// strict frequency binning (Intel, IBM); spread on Teller, where the paper
+  /// observed 17% performance variation.
+  double freq = 1.0;
+};
+
+/// Distribution parameters for one architecture.
+struct VariationDistribution {
+  // Truncated normal: mean 1.0, given sd, truncated to [lo, hi].
+  double cpu_dyn_sd = 0.0;
+  double cpu_dyn_lo = 1.0, cpu_dyn_hi = 1.0;
+  double cpu_static_sd = 0.0;
+  double cpu_static_lo = 1.0, cpu_static_hi = 1.0;
+  double dram_sd = 0.0;
+  double dram_lo = 1.0, dram_hi = 1.0;
+  double freq_sd = 0.0;
+  double freq_lo = 1.0, freq_hi = 1.0;
+
+  /// Correlation between the dynamic and static CPU scales (the same die has
+  /// correlated switching-capacitance and leakage deviations).
+  double cpu_dyn_static_corr = 0.7;
+
+  /// Correlation between frequency capability and CPU power. Positive on
+  /// Teller: the paper observed processors that consumed *more* power
+  /// performed *better* (Section 4.1; they describe it as a negative
+  /// slowdown-vs-power correlation), presumably a different binning strategy.
+  /// Applied only when freq_sd > 0.
+  double freq_power_corr = 0.0;
+};
+
+/// Draws the variation scales for module `module_id`. The draw depends only
+/// on (seed tree, module_id): the same module always gets the same silicon.
+ModuleVariation draw_variation(const VariationDistribution& dist,
+                               const util::SeedSequence& fab_seed,
+                               std::uint64_t module_id);
+
+}  // namespace vapb::hw

@@ -1,0 +1,73 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+
+namespace vapb::stats {
+
+namespace {
+
+template <typename Statistic>
+BootstrapCi bootstrap_ci(std::span<const double> sample, double confidence,
+                         std::size_t resamples, util::Rng& rng,
+                         Statistic statistic) {
+  if (sample.empty()) throw InvalidArgument("bootstrap: empty sample");
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw InvalidArgument("bootstrap: confidence must be in (0, 1)");
+  }
+  if (resamples == 0) throw InvalidArgument("bootstrap: zero resamples");
+
+  BootstrapCi ci;
+  ci.point = statistic(sample);
+
+  std::vector<double> resample(sample.size());
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (double& x : resample) {
+      x = sample[rng.uniform_index(sample.size())];
+    }
+    stats.push_back(statistic(std::span<const double>(resample)));
+  }
+  double tail = (1.0 - confidence) / 2.0 * 100.0;
+  ci.lo = percentile(stats, tail);
+  ci.hi = percentile(stats, 100.0 - tail);
+  return ci;
+}
+
+double mean_of(std::span<const double> xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean_of(std::span<const double> xs) {
+  double s = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) {
+      throw InvalidArgument("bootstrap geomean: values must be positive");
+    }
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+}  // namespace
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> sample,
+                              double confidence, std::size_t resamples,
+                              util::Rng& rng) {
+  return bootstrap_ci(sample, confidence, resamples, rng, mean_of);
+}
+
+BootstrapCi bootstrap_geomean_ci(std::span<const double> sample,
+                                 double confidence, std::size_t resamples,
+                                 util::Rng& rng) {
+  return bootstrap_ci(sample, confidence, resamples, rng, geomean_of);
+}
+
+}  // namespace vapb::stats

@@ -1,0 +1,32 @@
+// Percentile-bootstrap confidence intervals, used by the evaluation benches
+// to attach uncertainty to mean speedups (the paper reports point estimates
+// only; with a simulator, re-sampling is cheap).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace vapb::stats {
+
+struct BootstrapCi {
+  double point = 0.0;  ///< statistic on the full sample
+  double lo = 0.0;     ///< lower percentile bound
+  double hi = 0.0;     ///< upper percentile bound
+};
+
+/// Percentile bootstrap CI for the sample mean.
+/// `confidence` in (0, 1), e.g. 0.95. Throws InvalidArgument on an empty
+/// sample, bad confidence, or zero resamples.
+BootstrapCi bootstrap_mean_ci(std::span<const double> sample,
+                              double confidence, std::size_t resamples,
+                              util::Rng& rng);
+
+/// Percentile bootstrap CI for the geometric mean — the right aggregate for
+/// speedup ratios. All sample values must be positive.
+BootstrapCi bootstrap_geomean_ci(std::span<const double> sample,
+                                 double confidence, std::size_t resamples,
+                                 util::Rng& rng);
+
+}  // namespace vapb::stats

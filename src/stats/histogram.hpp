@@ -1,0 +1,36 @@
+// Fixed-width histogram, used in variation-study reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vapb::stats {
+
+class Histogram {
+ public:
+  /// Builds `bins` equal-width bins over [lo, hi]. Values outside the range
+  /// are clamped into the first/last bin. Throws InvalidArgument when
+  /// bins == 0 or lo >= hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double v);
+  void add_all(std::span<const double> values);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_high(std::size_t bin) const;
+
+  /// Renders an ASCII bar chart, one line per bin, scaled to `width` chars.
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace vapb::stats

@@ -1,0 +1,42 @@
+#include "stats/linreg.hpp"
+
+#include "util/error.hpp"
+
+namespace vapb::stats {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw InvalidArgument("fit_linear: size mismatch");
+  if (x.size() < 2) throw InvalidArgument("fit_linear: need >= 2 points");
+  const auto n = static_cast<double>(x.size());
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx, dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) throw InvalidArgument("fit_linear: x has zero variance");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy == 0.0) {
+    fit.r_squared = 1.0;
+  } else {
+    double ss_res = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      double r = y[i] - fit.at(x[i]);
+      ss_res += r * r;
+    }
+    fit.r_squared = 1.0 - ss_res / syy;
+  }
+  return fit;
+}
+
+}  // namespace vapb::stats

@@ -1,0 +1,26 @@
+// Ordinary least squares y = a + b*x, with R^2.
+//
+// Used to validate the paper's core modelling assumption (Figure 5): CPU,
+// DRAM and module power are affine in CPU frequency with R^2 >= 0.99.
+#pragma once
+
+#include <span>
+
+namespace vapb::stats {
+
+struct LinearFit {
+  double intercept = 0.0;  // a
+  double slope = 0.0;      // b
+  double r_squared = 0.0;  // coefficient of determination
+
+  /// Predicted value at x.
+  [[nodiscard]] double at(double x) const { return intercept + slope * x; }
+};
+
+/// Fits y = a + b*x by OLS.
+/// Throws InvalidArgument on size mismatch, fewer than 2 points, or
+/// zero variance in x. R^2 is defined as 1 when y has zero variance
+/// (a perfect horizontal fit).
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+}  // namespace vapb::stats

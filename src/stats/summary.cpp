@@ -1,0 +1,85 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vapb::stats {
+
+Summary summarize(std::span<const double> values) {
+  if (values.empty()) throw InvalidArgument("summarize: empty sample");
+  Accumulator acc;
+  for (double v : values) acc.add(v);
+  return acc.summary();
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) throw InvalidArgument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) {
+    throw InvalidArgument("percentile: p must be in [0, 100]");
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(idx);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw InvalidArgument("pearson: size mismatch");
+  if (x.size() < 2) throw InvalidArgument("pearson: need >= 2 points");
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(x.size());
+  my /= static_cast<double>(y.size());
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    throw InvalidArgument("pearson: zero-variance sample");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+Summary Accumulator::summary() const {
+  Summary s;
+  s.count = n_;
+  s.mean = mean();
+  s.stddev = stddev();
+  s.min = min_;
+  s.max = max_;
+  s.sum = sum_;
+  return s;
+}
+
+}  // namespace vapb::stats

@@ -1,0 +1,55 @@
+// Descriptive statistics over samples (power readings, rank times, ...).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vapb::stats {
+
+/// One-pass summary of a sample: moments plus extrema.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1), 0 for n < 2
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes the summary of `values`. Throws InvalidArgument when empty.
+Summary summarize(std::span<const double> values);
+
+/// p-th percentile (0..100) by linear interpolation on the sorted sample.
+/// Throws InvalidArgument when values is empty or p outside [0,100].
+double percentile(std::span<const double> values, double p);
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Throws InvalidArgument on size mismatch or fewer than 2 points.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Streaming accumulator (Welford) for contexts where samples arrive one at a
+/// time, e.g. per-timestep power inside the RAPL model.
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double stddev() const;  // sample stddev, 0 for n < 2
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  [[nodiscard]] Summary summary() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace vapb::stats

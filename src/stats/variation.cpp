@@ -1,0 +1,37 @@
+#include "stats/variation.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vapb::stats {
+
+namespace {
+std::pair<double, double> positive_minmax(std::span<const double> values,
+                                          const char* who) {
+  if (values.empty()) {
+    throw InvalidArgument(std::string(who) + ": empty sample");
+  }
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    if (v <= 0.0) {
+      throw InvalidArgument(std::string(who) + ": values must be positive");
+    }
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return {lo, hi};
+}
+}  // namespace
+
+double worst_case_ratio(std::span<const double> values) {
+  auto [lo, hi] = positive_minmax(values, "worst_case_ratio");
+  return hi / lo;
+}
+
+double spread_percent(std::span<const double> values) {
+  auto [lo, hi] = positive_minmax(values, "spread_percent");
+  return (hi - lo) / lo * 100.0;
+}
+
+}  // namespace vapb::stats

@@ -1,0 +1,21 @@
+// Worst-case variation metrics from the paper (Table 3):
+//   Vp — worst-case power variation          (max power / min power)
+//   Vf — worst-case CPU frequency variation  (max freq  / min freq)
+//   Vt — worst-case execution time variation (max time  / min time)
+// All are ratios >= 1 over a set of modules/ranks running identical code.
+#pragma once
+
+#include <span>
+
+namespace vapb::stats {
+
+/// max/min ratio of a strictly positive sample.
+/// Throws InvalidArgument when empty or when any value is <= 0.
+double worst_case_ratio(std::span<const double> values);
+
+/// Percentage spread relative to the minimum: (max - min) / min * 100.
+/// The representation used on Figure 1's axes ("increase in power [%]",
+/// "slowdown [%]"). Same preconditions as worst_case_ratio.
+double spread_percent(std::span<const double> values);
+
+}  // namespace vapb::stats

@@ -1,0 +1,89 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vapb::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::vector<std::string>& allowed_flags) {
+  auto allowed = [&](const std::string& name) {
+    return std::find(allowed_flags.begin(), allowed_flags.end(), name) !=
+           allowed_flags.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) throw InvalidArgument("bare '--' is not a valid flag");
+    std::string name, value;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      // `--name value` form: consume the next token unless it is a flag.
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        value = argv[++i];
+      }
+    }
+    if (!allowed(name)) {
+      throw InvalidArgument("unknown flag --" + name);
+    }
+    if (flags_.count(name)) {
+      throw InvalidArgument("flag --" + name + " given twice");
+    }
+    flags_[name] = value;
+  }
+}
+
+bool CliArgs::has(const std::string& flag) const {
+  return flags_.count(flag) > 0;
+}
+
+std::string CliArgs::get(const std::string& flag) const {
+  auto it = flags_.find(flag);
+  if (it == flags_.end()) {
+    throw InvalidArgument("missing required flag --" + flag);
+  }
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& flag,
+                            const std::string& fallback) const {
+  auto it = flags_.find(flag);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double CliArgs::get_double_or(const std::string& flag, double fallback) const {
+  auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw InvalidArgument("flag --" + flag + " expects a number, got '" +
+                          it->second + "'");
+  }
+  return v;
+}
+
+long CliArgs::get_long_or(const std::string& flag, long fallback) const {
+  auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  long v = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw InvalidArgument("flag --" + flag + " expects an integer, got '" +
+                          it->second + "'");
+  }
+  return v;
+}
+
+}  // namespace vapb::util

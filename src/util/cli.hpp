@@ -1,0 +1,46 @@
+// Minimal command-line argument parser for the vapbctl tool and examples.
+//
+// Supports subcommand-style invocations:
+//   vapbctl solve --workload=MHD --modules 128 --budget-w 8960 [positional]
+// Flags accept both `--name=value` and `--name value`; bare `--name` is a
+// boolean switch. Unknown flags are an error (catches typos in experiment
+// scripts).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vapb::util {
+
+class CliArgs {
+ public:
+  /// Parses argv[1..). `allowed_flags` lists every recognized flag name
+  /// (without the leading --). Throws InvalidArgument on an unknown flag or
+  /// malformed input.
+  CliArgs(int argc, const char* const* argv,
+          const std::vector<std::string>& allowed_flags);
+
+  /// Positional arguments, in order (the first is typically a subcommand).
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] bool has(const std::string& flag) const;
+
+  /// Value access; `get` throws InvalidArgument when the flag is missing,
+  /// the `_or` variants return the fallback.
+  [[nodiscard]] std::string get(const std::string& flag) const;
+  [[nodiscard]] std::string get_or(const std::string& flag,
+                                   const std::string& fallback) const;
+  [[nodiscard]] double get_double_or(const std::string& flag,
+                                     double fallback) const;
+  [[nodiscard]] long get_long_or(const std::string& flag, long fallback) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vapb::util

@@ -1,0 +1,130 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vapb::util {
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream is(text);
+  std::string line;
+  std::string section;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip comments (# or ;) and whitespace.
+    auto hash = line.find_first_of("#;");
+    if (hash != std::string::npos) line.erase(hash);
+    std::string t = trim(line);
+    if (t.empty()) continue;
+    if (t.front() == '[') {
+      if (t.back() != ']' || t.size() < 3) {
+        throw InvalidArgument("config line " + std::to_string(lineno) +
+                              ": malformed section header '" + t + "'");
+      }
+      section = trim(t.substr(1, t.size() - 2));
+      if (!cfg.data_.count(section)) {
+        cfg.data_[section] = {};
+        cfg.key_order_[section] = {};
+        cfg.section_order_.push_back(section);
+      }
+      continue;
+    }
+    auto eq = t.find('=');
+    if (eq == std::string::npos) {
+      throw InvalidArgument("config line " + std::to_string(lineno) +
+                            ": expected 'key = value', got '" + t + "'");
+    }
+    if (section.empty()) {
+      throw InvalidArgument("config line " + std::to_string(lineno) +
+                            ": key before any [section]");
+    }
+    std::string key = trim(t.substr(0, eq));
+    std::string value = trim(t.substr(eq + 1));
+    if (key.empty()) {
+      throw InvalidArgument("config line " + std::to_string(lineno) +
+                            ": empty key");
+    }
+    if (cfg.data_[section].count(key)) {
+      throw InvalidArgument("config line " + std::to_string(lineno) +
+                            ": duplicate key '" + key + "' in [" + section +
+                            "]");
+    }
+    cfg.data_[section][key] = value;
+    cfg.key_order_[section].push_back(key);
+  }
+  return cfg;
+}
+
+bool Config::has_section(const std::string& section) const {
+  return data_.count(section) > 0;
+}
+
+bool Config::has(const std::string& section, const std::string& key) const {
+  auto it = data_.find(section);
+  return it != data_.end() && it->second.count(key) > 0;
+}
+
+std::string Config::get(const std::string& section,
+                        const std::string& key) const {
+  auto it = data_.find(section);
+  if (it == data_.end() || !it->second.count(key)) {
+    throw InvalidArgument("config: missing [" + section + "] " + key);
+  }
+  return it->second.at(key);
+}
+
+double Config::get_double(const std::string& section,
+                          const std::string& key) const {
+  std::string v = get(section, key);
+  char* end = nullptr;
+  double x = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    throw InvalidArgument("config: [" + section + "] " + key +
+                          " expects a number, got '" + v + "'");
+  }
+  return x;
+}
+
+long Config::get_long(const std::string& section,
+                      const std::string& key) const {
+  std::string v = get(section, key);
+  char* end = nullptr;
+  long x = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    throw InvalidArgument("config: [" + section + "] " + key +
+                          " expects an integer, got '" + v + "'");
+  }
+  return x;
+}
+
+std::string Config::get_or(const std::string& section, const std::string& key,
+                           const std::string& fallback) const {
+  return has(section, key) ? get(section, key) : fallback;
+}
+
+double Config::get_double_or(const std::string& section,
+                             const std::string& key, double fallback) const {
+  return has(section, key) ? get_double(section, key) : fallback;
+}
+
+long Config::get_long_or(const std::string& section, const std::string& key,
+                         long fallback) const {
+  return has(section, key) ? get_long(section, key) : fallback;
+}
+
+std::vector<std::string> Config::sections() const { return section_order_; }
+
+std::vector<std::string> Config::keys(const std::string& section) const {
+  auto it = key_order_.find(section);
+  if (it == key_order_.end()) {
+    throw InvalidArgument("config: no section [" + section + "]");
+  }
+  return it->second;
+}
+
+}  // namespace vapb::util

@@ -1,0 +1,50 @@
+// INI-style configuration parser, used to describe custom architectures for
+// vapbctl without recompiling (sections in brackets, key = value lines, '#'
+// or ';' comments).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vapb::util {
+
+class Config {
+ public:
+  /// Parses INI text. Throws InvalidArgument on malformed lines, duplicate
+  /// keys within a section, or keys before any section header.
+  static Config parse(const std::string& text);
+
+  [[nodiscard]] bool has_section(const std::string& section) const;
+  [[nodiscard]] bool has(const std::string& section,
+                         const std::string& key) const;
+
+  /// Required access; throws InvalidArgument when missing.
+  [[nodiscard]] std::string get(const std::string& section,
+                                const std::string& key) const;
+  [[nodiscard]] double get_double(const std::string& section,
+                                  const std::string& key) const;
+  [[nodiscard]] long get_long(const std::string& section,
+                              const std::string& key) const;
+
+  /// Optional access with fallback.
+  [[nodiscard]] std::string get_or(const std::string& section,
+                                   const std::string& key,
+                                   const std::string& fallback) const;
+  [[nodiscard]] double get_double_or(const std::string& section,
+                                     const std::string& key,
+                                     double fallback) const;
+  [[nodiscard]] long get_long_or(const std::string& section,
+                                 const std::string& key, long fallback) const;
+
+  [[nodiscard]] std::vector<std::string> sections() const;
+  [[nodiscard]] std::vector<std::string> keys(const std::string& section) const;
+
+ private:
+  // section -> key -> value; keys() preserves insertion order separately.
+  std::map<std::string, std::map<std::string, std::string>> data_;
+  std::map<std::string, std::vector<std::string>> key_order_;
+  std::vector<std::string> section_order_;
+};
+
+}  // namespace vapb::util

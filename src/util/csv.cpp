@@ -1,0 +1,55 @@
+#include "util/csv.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vapb::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw Error("cannot open CSV file for writing: " + path);
+  VAPB_REQUIRE_MSG(columns_ > 0, "CSV needs at least one column");
+  row(header);
+  rows_ = 0;  // header does not count
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw InvalidArgument("CSV row has " + std::to_string(cells.size()) +
+                          " cells, expected " + std::to_string(columns_));
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << v;
+    text.push_back(os.str());
+  }
+  row(text);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace vapb::util

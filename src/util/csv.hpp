@@ -1,0 +1,37 @@
+// Minimal CSV writer for exporting experiment series (one file per figure).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace vapb::util {
+
+/// Streams rows to a CSV file. Fields containing commas/quotes/newlines are
+/// quoted per RFC 4180. The file is flushed and closed on destruction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws vapb::Error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row; the cell count must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience overload: doubles are written with max_digits10 precision.
+  void row_numeric(const std::vector<double>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace vapb::util

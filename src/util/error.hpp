@@ -1,0 +1,67 @@
+// Error types shared across the VAPB libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vapb {
+
+/// Base class for all errors raised by the VAPB libraries.
+///
+/// Every throwing API in the project documents the `Error` subclass it can
+/// raise; callers that need fine-grained recovery catch the subclass, callers
+/// that only need diagnostics catch `vapb::Error`.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated an API precondition (bad argument, out-of-range id, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A configuration is internally inconsistent (e.g. fmin > fmax).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// A power budget is infeasible: it cannot be met even at the lowest
+/// operating point of the allocated modules. Mirrors the "-" cells of
+/// Table 4 in the paper.
+class InfeasibleBudget : public Error {
+ public:
+  explicit InfeasibleBudget(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant violation; indicates a bug in VAPB itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw InternalError(std::string("requirement failed: ") + expr + " at " +
+                      file + ":" + std::to_string(line) +
+                      (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace vapb
+
+/// Invariant check that stays enabled in release builds. Use for conditions
+/// whose violation would silently corrupt experiment results.
+#define VAPB_REQUIRE(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) ::vapb::detail::require_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define VAPB_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::vapb::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

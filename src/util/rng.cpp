@@ -1,0 +1,130 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vapb::util {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      next();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+SeedSequence SeedSequence::fork(std::string_view name) const {
+  // Mix the parent state with the name hash through SplitMix64 so sibling
+  // streams are decorrelated.
+  SplitMix64 sm(state_ ^ fnv1a(name));
+  return SeedSequence(sm.next());
+}
+
+SeedSequence SeedSequence::fork(std::string_view name,
+                                std::uint64_t index) const {
+  SplitMix64 sm(state_ ^ fnv1a(name) ^ (index * 0x9e3779b97f4a7c15ULL + 1));
+  return SeedSequence(sm.next());
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa trick: top 53 bits of a 64-bit draw.
+  return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  VAPB_REQUIRE_MSG(n > 0, "uniform_index requires n > 0");
+  // Lemire's unbiased bounded generation (rejection variant).
+  std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    std::uint64_t r = gen_.next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::truncated_normal(double mean, double stddev, double lo,
+                             double hi) {
+  VAPB_REQUIRE_MSG(lo < hi, "truncated_normal requires lo < hi");
+  // Rejection sampling; falls back to clamping after a bounded number of
+  // attempts so pathological (mean far outside [lo,hi]) inputs terminate.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    double x = normal(mean, stddev);
+    if (x >= lo && x <= hi) return x;
+  }
+  double x = normal(mean, stddev);
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+double Rng::lognormal_median(double median, double sigma_log) {
+  VAPB_REQUIRE_MSG(median > 0.0, "lognormal_median requires median > 0");
+  return median * std::exp(sigma_log * normal());
+}
+
+}  // namespace vapb::util

@@ -1,0 +1,132 @@
+// Deterministic random-number generation for reproducible experiments.
+//
+// Every stochastic component of the simulator (manufacturing-variation draws,
+// sensor noise, RAPL control jitter, workload runtime noise) derives its
+// stream from a named SeedSequence so that an entire campaign is reproducible
+// bit-for-bit from a single master seed, independent of evaluation order and
+// thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace vapb::util {
+
+/// SplitMix64: used to expand seeds into generator state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 2^256-1 period.
+/// Satisfies the UniformRandomBitGenerator concept so it can also feed the
+/// standard <random> distributions where convenient.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 as recommended by the authors.
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Advances the state by 2^128 steps; used to derive parallel streams.
+  void jump();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Hierarchical, order-independent seed derivation.
+///
+/// `SeedSequence(master).fork("hw").fork("module", 17).stream()` always yields
+/// the same generator regardless of what other streams were created before.
+class SeedSequence {
+ public:
+  explicit SeedSequence(std::uint64_t master) : state_(master) {}
+
+  /// Derives a child sequence keyed by a component name.
+  [[nodiscard]] SeedSequence fork(std::string_view name) const;
+
+  /// Derives a child sequence keyed by a name and an index (module id, rank).
+  [[nodiscard]] SeedSequence fork(std::string_view name,
+                                  std::uint64_t index) const;
+
+  /// Materializes the generator for this node of the seed tree.
+  [[nodiscard]] Xoshiro256 stream() const { return Xoshiro256(state_); }
+
+  [[nodiscard]] std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Random variate helpers over Xoshiro256. We implement the distributions
+/// ourselves (rather than relying on libstdc++'s) so that results are
+/// identical across standard libraries.
+class Rng {
+ public:
+  explicit Rng(Xoshiro256 gen) : gen_(gen) {}
+  explicit Rng(const SeedSequence& seq) : gen_(seq.stream()) {}
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Normal truncated to [lo, hi] by rejection (lo < hi required).
+  double truncated_normal(double mean, double stddev, double lo, double hi);
+
+  /// Lognormal such that the *multiplicative* spread is exp(sigma_log).
+  /// Mean of the underlying normal is chosen so the median equals `median`.
+  double lognormal_median(double median, double sigma_log);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  Xoshiro256& generator() { return gen_; }
+
+ private:
+  Xoshiro256 gen_;
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Stable 64-bit FNV-1a hash of a string; used for stream naming.
+std::uint64_t fnv1a(std::string_view s);
+
+}  // namespace vapb::util

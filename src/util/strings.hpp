@@ -1,0 +1,30 @@
+// Small string/formatting helpers used by reports and serializers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vapb::util {
+
+/// printf-style double formatting with fixed precision.
+std::string fmt_double(double v, int precision = 3);
+
+/// Formats watts / gigahertz / seconds with units for report output.
+std::string fmt_watts(double w);
+std::string fmt_ghz(double ghz);
+std::string fmt_seconds(double s);
+
+/// Splits on a delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Removes leading/trailing whitespace.
+std::string trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace vapb::util

@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vapb::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  VAPB_REQUIRE_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+std::size_t Table::add_row() {
+  rows_.emplace_back();
+  return rows_.size() - 1;
+}
+
+void Table::add_cell(std::string value) {
+  if (rows_.empty()) add_row();
+  if (rows_.back().size() >= headers_.size()) {
+    throw InvalidArgument("too many cells in table row");
+  }
+  rows_.back().push_back(std::move(value));
+}
+
+void Table::add_cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  add_cell(os.str());
+}
+
+void Table::add_cell(long long value) { add_cell(std::to_string(value)); }
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw InvalidArgument("row has " + std::to_string(cells.size()) +
+                          " cells, table has " +
+                          std::to_string(headers_.size()) + " columns");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { separators_.push_back(rows_.size()); }
+
+std::string Table::str() const {
+  for (const auto& row : rows_) {
+    if (row.size() != headers_.size()) {
+      throw InvalidArgument("incomplete table row: " +
+                            std::to_string(row.size()) + " of " +
+                            std::to_string(headers_.size()) + " cells");
+    }
+  }
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto rule = [&] {
+    std::string s = "+";
+    for (auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+  std::string out = rule() + emit(headers_) + rule();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) !=
+        separators_.end() && r != 0) {
+      out += rule();
+    }
+    out += emit(rows_[r]);
+  }
+  out += rule();
+  return out;
+}
+
+void Table::print(std::ostream& os) const { os << str(); }
+
+}  // namespace vapb::util

@@ -1,0 +1,45 @@
+// Plain-text table rendering for benchmark and experiment reports.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vapb::util {
+
+/// Column-aligned ASCII table. Rows may be added as pre-formatted strings or
+/// as doubles with per-call precision; a separator row draws a rule.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; returns the row index.
+  std::size_t add_row();
+
+  /// Appends one cell to the most recent row.
+  void add_cell(std::string value);
+  void add_cell(double value, int precision = 3);
+  void add_cell(long long value);
+
+  /// Convenience: adds a full row at once.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next row.
+  void add_separator();
+
+  /// Renders with padded columns; every row is validated against the header
+  /// count (throws InvalidArgument on mismatch).
+  [[nodiscard]] std::string str() const;
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // rule before row index
+};
+
+}  // namespace vapb::util

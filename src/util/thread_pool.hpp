@@ -1,0 +1,67 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// The simulator evaluates thousands of independent modules and dozens of
+// experiment configurations; parallel_for is used for those embarrassingly
+// parallel sweeps. Work items must not throw across the pool boundary —
+// exceptions are captured and rethrown on the caller's thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vapb::util {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers; 0 means hardware_concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work and joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Tasks run in FIFO order subject to worker availability.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw, the
+  /// first captured exception is rethrown here.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Process-wide shared pool, created on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Runs fn(i) for i in [0, n) across the pool, in contiguous blocks.
+/// Blocks until complete; rethrows the first exception raised by any call.
+/// Falls back to a serial loop for small n to avoid scheduling overhead.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 64);
+
+/// parallel_for over the global pool.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 64);
+
+}  // namespace vapb::util

@@ -1,0 +1,269 @@
+#include "workloads/catalog.hpp"
+
+#include "util/error.hpp"
+
+namespace vapb::workloads {
+
+namespace {
+
+Workload make_dgemm() {
+  Workload w;
+  w.name = "*DGEMM";
+  w.description = "HPCC DGEMM, thread-parallel MKL, 12288x12288";
+  w.profile.name = w.name;
+  // CPU ~100.8 W at 2.7 GHz, nearly all dynamic (AVX FMA); DRAM ~12 W.
+  w.profile.cpu_static_w = 8.5;
+  w.profile.cpu_dyn_w_per_ghz = 34.3;   // ~101.1 W at 2.7, ~49.7 W at 1.2
+  w.profile.dram_static_w = 9.8;
+  w.profile.dram_dyn_w_per_ghz = 0.85;  // ~12.1 W at 2.7, ~10.8 W at 1.2
+  w.profile.cpu_sensitivity = 1.02;
+  w.profile.dram_sensitivity = 0.95;
+  w.profile.idiosyncrasy_sd = 0.012;
+  w.iter_seconds_nominal = 6.0;
+  w.cpu_fraction = 0.97;
+  w.runtime_noise_frac = 0.003;
+  w.per_rank_noise_frac = 0.015;
+  w.comm = CommPattern::kNone;
+  w.default_iterations = 10;
+  return w;
+}
+
+Workload make_stream() {
+  Workload w;
+  w.name = "*STREAM";
+  w.description = "HPCC STREAM triad, AVX + OpenMP, 24 GB vectors";
+  w.profile.name = w.name;
+  // High DRAM power (~31 W at 2.7 GHz) — the component Naive's TDP-based
+  // model underestimates, producing Figure 9's budget violation.
+  w.profile.cpu_static_w = 27.3;
+  w.profile.cpu_dyn_w_per_ghz = 18.4;   // ~77 W at 2.7, ~49.4 W at 1.2
+  w.profile.dram_static_w = 14.0;
+  w.profile.dram_dyn_w_per_ghz = 6.3;   // ~31 W at 2.7, ~21.6 W at 1.2
+  w.profile.cpu_sensitivity = 1.0;  // the PVT microbenchmark itself
+  w.profile.dram_sensitivity = 1.0;
+  w.profile.idiosyncrasy_sd = 0.0;
+  w.iter_seconds_nominal = 4.0;
+  w.cpu_fraction = 0.45;
+  w.runtime_noise_frac = 0.006;
+  w.per_rank_noise_frac = 0.02;
+  w.comm = CommPattern::kNone;
+  w.default_iterations = 12;
+  return w;
+}
+
+Workload make_ep() {
+  Workload w;
+  w.name = "NPB-EP";
+  w.description = "NPB EP Class D, Marsaglia polar Gaussian variates";
+  w.profile.name = w.name;
+  // Cache-resident, CPU-bound, modest power.
+  w.profile.cpu_static_w = 4.5;
+  w.profile.cpu_dyn_w_per_ghz = 22.0;
+  w.profile.dram_static_w = 1.6;
+  w.profile.dram_dyn_w_per_ghz = 0.7;
+  w.profile.cpu_sensitivity = 1.02;
+  w.profile.dram_sensitivity = 0.8;
+  w.profile.idiosyncrasy_sd = 0.008;
+  w.iter_seconds_nominal = 3.0;
+  w.cpu_fraction = 0.985;
+  w.runtime_noise_frac = 0.002;  // paper: < 0.5% over 15 runs
+  w.per_rank_noise_frac = 0.003;
+  w.comm = CommPattern::kNone;
+  w.default_iterations = 10;
+  return w;
+}
+
+Workload make_bt() {
+  Workload w;
+  w.name = "NPB-BT";
+  w.description = "NPB BT-MZ Class E, block tri-diagonal multizone";
+  w.profile.name = w.name;
+  w.profile.cpu_static_w = 11.0;
+  w.profile.cpu_dyn_w_per_ghz = 25.6;   // ~80.1 W at 2.7, ~41.7 W at 1.2
+  w.profile.dram_static_w = 2.5;
+  w.profile.dram_dyn_w_per_ghz = 2.2;   // ~8.4 W at 2.7
+  // BT exercises the die very differently from *STREAM: the PVT mispredicts
+  // it by ~10% (Section 5.3).
+  w.profile.cpu_sensitivity = 0.93;
+  w.profile.dram_sensitivity = 1.1;
+  w.profile.idiosyncrasy_sd = 0.05;
+  w.iter_seconds_nominal = 5.0;
+  w.cpu_fraction = 0.75;
+  w.runtime_noise_frac = 0.005;
+  w.per_rank_noise_frac = 0.012;
+  w.comm = CommPattern::kHalo3DWithReduce;
+  w.halo_bytes_per_peer = 2.0e6;
+  w.allreduce_bytes = 64.0;
+  w.reduce_every = 5;
+  w.default_iterations = 20;
+  return w;
+}
+
+Workload make_sp() {
+  Workload w;
+  w.name = "NPB-SP";
+  w.description = "NPB SP-MZ Class E, scalar penta-diagonal multizone";
+  w.profile.name = w.name;
+  w.profile.cpu_static_w = 13.5;
+  w.profile.cpu_dyn_w_per_ghz = 23.3;   // ~76.4 W at 2.7, ~41.5 W at 1.2
+  w.profile.dram_static_w = 2.8;
+  w.profile.dram_dyn_w_per_ghz = 2.9;   // ~10.6 W at 2.7, ~6.3 W at 1.2
+  w.profile.cpu_sensitivity = 0.97;
+  w.profile.dram_sensitivity = 1.05;
+  w.profile.idiosyncrasy_sd = 0.025;
+  w.iter_seconds_nominal = 4.5;
+  w.cpu_fraction = 0.70;
+  w.runtime_noise_frac = 0.005;
+  w.per_rank_noise_frac = 0.012;
+  w.comm = CommPattern::kHalo3DWithReduce;
+  w.halo_bytes_per_peer = 2.4e6;
+  w.allreduce_bytes = 64.0;
+  w.reduce_every = 5;
+  w.default_iterations = 20;
+  return w;
+}
+
+Workload make_mhd() {
+  Workload w;
+  w.name = "MHD";
+  w.description = "3-D magneto-hydro-dynamics, Modified Leapfrog";
+  w.profile.name = w.name;
+  // CPU ~83.9 W, DRAM ~12.6 W at 2.7 GHz (Figure 2).
+  w.profile.cpu_static_w = 13.9;
+  w.profile.cpu_dyn_w_per_ghz = 25.9;
+  w.profile.dram_static_w = 5.0;
+  w.profile.dram_dyn_w_per_ghz = 2.8;
+  w.profile.cpu_sensitivity = 0.98;
+  w.profile.dram_sensitivity = 1.0;
+  w.profile.idiosyncrasy_sd = 0.015;
+  w.iter_seconds_nominal = 2.5;
+  w.cpu_fraction = 0.80;
+  w.runtime_noise_frac = 0.004;
+  w.per_rank_noise_frac = 0.01;
+  w.comm = CommPattern::kHalo3D;
+  w.halo_bytes_per_peer = 4.0e6;
+  w.default_iterations = 30;
+  return w;
+}
+
+Workload make_mvmc() {
+  Workload w;
+  w.name = "mVMC";
+  w.description = "mVMC-mini (FIBER), variational Monte Carlo";
+  w.profile.name = w.name;
+  w.profile.cpu_static_w = 17.5;
+  w.profile.cpu_dyn_w_per_ghz = 23.0;   // ~79.6 W at 2.7, ~45.1 W at 1.2
+  w.profile.dram_static_w = 4.5;
+  w.profile.dram_dyn_w_per_ghz = 1.6;   // ~8.8 W at 2.7, ~6.4 W at 1.2
+  w.profile.cpu_sensitivity = 1.03;
+  w.profile.dram_sensitivity = 0.9;
+  w.profile.idiosyncrasy_sd = 0.02;
+  w.iter_seconds_nominal = 3.5;
+  w.cpu_fraction = 0.85;
+  w.runtime_noise_frac = 0.01;  // Monte Carlo sampling noise
+  w.per_rank_noise_frac = 0.012;
+  w.comm = CommPattern::kAllreduce;
+  w.allreduce_bytes = 4096.0;
+  w.default_iterations = 20;
+  return w;
+}
+
+Workload make_pvt_micro() {
+  Workload w = make_stream();
+  w.name = "pvt-star-stream";
+  w.description = "*STREAM microbenchmark used to generate the PVT";
+  w.profile.name = w.name;
+  w.default_iterations = 4;
+  return w;
+}
+
+Workload make_pvt_micro_compute() {
+  Workload w = make_dgemm();
+  w.name = "pvt-compute";
+  w.description = "compute-bound PVT microbenchmark (DGEMM kernel)";
+  w.profile.name = w.name;
+  w.profile.cpu_sensitivity = 1.0;
+  w.profile.dram_sensitivity = 1.0;
+  w.profile.idiosyncrasy_sd = 0.0;
+  w.default_iterations = 4;
+  return w;
+}
+
+Workload make_pvt_micro_mixed() {
+  Workload w;
+  w.name = "pvt-mixed";
+  w.description = "mixed compute/bandwidth PVT microbenchmark";
+  w.profile.name = w.name;
+  w.profile.cpu_static_w = 10.0;
+  w.profile.cpu_dyn_w_per_ghz = 31.0;
+  w.profile.dram_static_w = 7.0;
+  w.profile.dram_dyn_w_per_ghz = 5.0;
+  w.profile.cpu_sensitivity = 1.0;
+  w.profile.dram_sensitivity = 1.0;
+  w.profile.idiosyncrasy_sd = 0.0;
+  w.iter_seconds_nominal = 3.0;
+  w.cpu_fraction = 0.7;
+  w.comm = CommPattern::kNone;
+  w.default_iterations = 4;
+  return w;
+}
+
+}  // namespace
+
+const Workload& dgemm() {
+  static const Workload w = make_dgemm();
+  return w;
+}
+const Workload& stream() {
+  static const Workload w = make_stream();
+  return w;
+}
+const Workload& ep() {
+  static const Workload w = make_ep();
+  return w;
+}
+const Workload& bt() {
+  static const Workload w = make_bt();
+  return w;
+}
+const Workload& sp() {
+  static const Workload w = make_sp();
+  return w;
+}
+const Workload& mhd() {
+  static const Workload w = make_mhd();
+  return w;
+}
+const Workload& mvmc() {
+  static const Workload w = make_mvmc();
+  return w;
+}
+const Workload& pvt_microbench() {
+  static const Workload w = make_pvt_micro();
+  return w;
+}
+const Workload& pvt_microbench_compute() {
+  static const Workload w = make_pvt_micro_compute();
+  return w;
+}
+const Workload& pvt_microbench_mixed() {
+  static const Workload w = make_pvt_micro_mixed();
+  return w;
+}
+
+std::vector<const Workload*> evaluation_suite() {
+  return {&dgemm(), &stream(), &mhd(), &bt(), &sp(), &mvmc()};
+}
+
+const Workload& by_name(const std::string& name) {
+  for (const Workload* w : evaluation_suite()) {
+    if (w->name == name) return *w;
+  }
+  if (name == ep().name) return ep();
+  if (name == pvt_microbench().name) return pvt_microbench();
+  if (name == pvt_microbench_compute().name) return pvt_microbench_compute();
+  if (name == pvt_microbench_mixed().name) return pvt_microbench_mixed();
+  throw InvalidArgument("unknown workload: " + name);
+}
+
+}  // namespace vapb::workloads

@@ -1,0 +1,55 @@
+// The benchmark catalog (paper Section 3.3) plus the *STREAM-derived
+// microbenchmark used to generate the Power Variation Table.
+//
+// Power coefficients are calibrated against the paper's HA8K measurements
+// (Figure 2: *DGEMM CPU ~100.8 W / DRAM ~12.0 W at 2.7 GHz; MHD CPU ~83.9 W /
+// DRAM ~12.6 W) and the feasibility boundaries of Table 4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace vapb::workloads {
+
+/// HPCC *DGEMM: compute-bound MKL matrix multiply, 12,288^2, AVX.
+const Workload& dgemm();
+
+/// HPCC *STREAM: sustainable memory bandwidth, 24 GB vectors, AVX + OpenMP.
+const Workload& stream();
+
+/// NPB EP (Class D): embarrassingly parallel Gaussian variates; near-zero
+/// per-run noise, working set in cache. The Section-4 study benchmark.
+const Workload& ep();
+
+/// NPB BT-MZ (Class E): block tri-diagonal multizone solver. The workload
+/// with the worst PVT-based power prediction (~10%, Section 5.3).
+const Workload& bt();
+
+/// NPB SP-MZ (Class E): scalar penta-diagonal multizone solver.
+const Workload& sp();
+
+/// 3-D magneto-hydro-dynamics, Modified Leapfrog; MPI_Sendrecv neighbour
+/// exchange every timestep (the synchronization study of Figure 3).
+const Workload& mhd();
+
+/// mVMC-mini (FIBER): variational Monte Carlo, allreduce-dominated sync.
+const Workload& mvmc();
+
+/// The microbenchmark run on every module at boot to build the PVT
+/// (the paper uses *STREAM; sensitivities are 1 by construction).
+const Workload& pvt_microbench();
+
+/// Alternative PVT microbenchmarks for the Section-6.1 discussion
+/// (compute-bound and mixed variants).
+const Workload& pvt_microbench_compute();
+const Workload& pvt_microbench_mixed();
+
+/// The six evaluation benchmarks, in Figure 7 order.
+std::vector<const Workload*> evaluation_suite();
+
+/// Lookup by name; throws InvalidArgument for unknown names.
+const Workload& by_name(const std::string& name);
+
+}  // namespace vapb::workloads

@@ -1,0 +1,49 @@
+#include "workloads/programs.hpp"
+
+#include "util/error.hpp"
+
+namespace vapb::workloads {
+
+std::vector<des::RankProgram> build_programs(
+    const Workload& w, std::size_t nranks, int iterations,
+    const ComputeTimeFn& compute_seconds) {
+  if (nranks == 0) throw InvalidArgument("build_programs: nranks == 0");
+  if (iterations <= 0) throw InvalidArgument("build_programs: iterations <= 0");
+
+  auto dims = des::topology::balanced_dims_3d(nranks);
+  std::vector<des::RankProgram> programs(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    auto rank = static_cast<des::RankId>(r);
+    des::RankProgram& prog = programs[r];
+    for (int it = 0; it < iterations; ++it) {
+      prog.compute(compute_seconds(r, it));
+      switch (w.comm) {
+        case CommPattern::kNone:
+          break;
+        case CommPattern::kHalo1D:
+          prog.halo_exchange(des::topology::chain_1d(rank, nranks),
+                             w.halo_bytes_per_peer);
+          break;
+        case CommPattern::kHalo3D:
+          prog.halo_exchange(
+              des::topology::grid_3d(rank, dims[0], dims[1], dims[2]),
+              w.halo_bytes_per_peer);
+          break;
+        case CommPattern::kAllreduce:
+          prog.allreduce(w.allreduce_bytes);
+          break;
+        case CommPattern::kHalo3DWithReduce:
+          prog.halo_exchange(
+              des::topology::grid_3d(rank, dims[0], dims[1], dims[2]),
+              w.halo_bytes_per_peer);
+          if ((it + 1) % w.reduce_every == 0) {
+            prog.allreduce(w.allreduce_bytes);
+          }
+          break;
+      }
+    }
+  }
+  return programs;
+}
+
+}  // namespace vapb::workloads

@@ -1,0 +1,25 @@
+// Builds the per-rank DES programs for a workload: the iteration loop with
+// the workload's communication pattern, with compute durations supplied by
+// the caller (who knows each module's operating point and jitter model).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "des/program.hpp"
+#include "workloads/workload.hpp"
+
+namespace vapb::workloads {
+
+/// compute_seconds(rank, iteration) -> duration of that rank's compute phase.
+using ComputeTimeFn = std::function<double(std::size_t rank, int iteration)>;
+
+/// Generates `nranks` SPMD programs running `iterations` iterations of `w`.
+/// Throws InvalidArgument for nranks == 0 or iterations <= 0.
+std::vector<des::RankProgram> build_programs(const Workload& w,
+                                             std::size_t nranks,
+                                             int iterations,
+                                             const ComputeTimeFn& compute_seconds);
+
+}  // namespace vapb::workloads

@@ -1,0 +1,21 @@
+#include "workloads/workload.hpp"
+
+#include "util/error.hpp"
+
+namespace vapb::workloads {
+
+double Workload::iter_seconds_at(double f_ghz) const {
+  VAPB_REQUIRE_MSG(f_ghz > 0.0, "iter_seconds_at: frequency must be positive");
+  return iter_seconds_nominal *
+         (cpu_fraction * nominal_freq_ghz / f_ghz + (1.0 - cpu_fraction));
+}
+
+double Workload::iter_seconds(const hw::OperatingPoint& op) const {
+  VAPB_REQUIRE_MSG(op.perf_freq_ghz > 0.0,
+                   "iter_seconds: operating point has zero perf frequency");
+  if (!op.throttled) return iter_seconds_at(op.perf_freq_ghz);
+  // Duty-cycle regime: clock gating stalls compute *and* memory phases.
+  return iter_seconds_at(op.freq_ghz) * (op.freq_ghz / op.perf_freq_ghz);
+}
+
+}  // namespace vapb::workloads

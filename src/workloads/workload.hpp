@@ -1,0 +1,65 @@
+// Workload model: power profile + performance model + communication pattern
+// for each benchmark in the paper (Section 3.3).
+#pragma once
+
+#include <string>
+
+#include "hw/power_profile.hpp"
+#include "hw/rapl.hpp"
+
+namespace vapb::workloads {
+
+/// Communication structure of one iteration.
+enum class CommPattern {
+  kNone,        ///< embarrassingly parallel; per-rank times measured directly
+  kHalo1D,      ///< neighbour exchange on an open chain
+  kHalo3D,      ///< neighbour exchange on an open 3-D grid (stencil codes)
+  kAllreduce,   ///< global reduction every iteration (Monte Carlo stats)
+  kHalo3DWithReduce,  ///< halo every iteration + allreduce every k iterations
+};
+
+struct Workload {
+  std::string name;
+  std::string description;
+
+  hw::PowerProfile profile;
+
+  // -- Performance model ----------------------------------------------------
+  /// Wall time of one iteration on one rank at the nominal frequency [s].
+  double iter_seconds_nominal = 1.0;
+  /// Fraction of the iteration that scales as 1/frequency (the rest is
+  /// memory/bandwidth time, frequency-insensitive while un-throttled).
+  double cpu_fraction = 1.0;
+  /// Reference frequency for iter_seconds_nominal [GHz].
+  double nominal_freq_ghz = 2.7;
+  /// sd of per-iteration compute-time noise (fraction). EP measures < 0.5%
+  /// per-run variation in the paper.
+  double runtime_noise_frac = 0.003;
+  /// sd of a *persistent* per-rank efficiency factor for a given run (data
+  /// placement, NUMA/OS effects): iteration noise averages out over a run,
+  /// this does not. It is what keeps Vt slightly above 1 even under perfect
+  /// frequency selection (Figure 8(i)).
+  double per_rank_noise_frac = 0.0;
+
+  // -- Communication --------------------------------------------------------
+  CommPattern comm = CommPattern::kNone;
+  double halo_bytes_per_peer = 0.0;
+  double allreduce_bytes = 0.0;
+  /// For kHalo3DWithReduce: allreduce every this many iterations.
+  int reduce_every = 5;
+
+  int default_iterations = 20;
+
+  /// Iteration wall time on a module at operating point `op`.
+  ///
+  /// Un-throttled: t = T * (c * f_nom/f + (1 - c)) with c = cpu_fraction.
+  /// Throttled (duty-cycle regime below fmin): the whole socket is gated, so
+  /// the entire fmin-iteration stretches by fmin / perf_freq:
+  ///   t = T(fmin) * freq_ghz / perf_freq_ghz.
+  [[nodiscard]] double iter_seconds(const hw::OperatingPoint& op) const;
+
+  /// Convenience: iteration time at a plain (un-throttled) frequency.
+  [[nodiscard]] double iter_seconds_at(double f_ghz) const;
+};
+
+}  // namespace vapb::workloads

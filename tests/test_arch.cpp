@@ -1,0 +1,90 @@
+#include "hw/arch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vapb::hw {
+namespace {
+
+TEST(Arch, TableTwoRowCab) {
+  ArchSpec a = cab();
+  EXPECT_EQ(a.total_nodes, 1296);
+  EXPECT_EQ(a.procs_per_node, 2);
+  EXPECT_EQ(a.cores_per_proc, 8);
+  EXPECT_DOUBLE_EQ(a.nominal_freq_ghz, 2.6);
+  EXPECT_EQ(a.memory_per_node_gb, 32);
+  EXPECT_DOUBLE_EQ(a.tdp_cpu_w, 115.0);
+  EXPECT_EQ(a.measurement, SensorKind::kRapl);
+  EXPECT_FALSE(a.dram_measurement_available);  // BIOS restriction
+  EXPECT_EQ(a.total_modules(), 2592);
+}
+
+TEST(Arch, TableTwoRowVulcan) {
+  ArchSpec a = vulcan();
+  EXPECT_EQ(a.measurement, SensorKind::kBgqEmon);
+  EXPECT_FALSE(a.supports_power_capping);
+  EXPECT_EQ(a.module_granularity, "node board");
+  EXPECT_DOUBLE_EQ(a.nominal_freq_ghz, 1.6);
+  EXPECT_EQ(a.cores_per_proc, 16);
+  // Fixed-frequency part: one ladder level.
+  EXPECT_EQ(a.ladder.levels().size(), 1u);
+  // No frequency variation on BG/Q.
+  EXPECT_DOUBLE_EQ(a.variation.freq_sd, 0.0);
+}
+
+TEST(Arch, TableTwoRowTeller) {
+  ArchSpec a = teller();
+  EXPECT_EQ(a.total_nodes, 104);
+  EXPECT_EQ(a.cores_per_proc, 4);
+  EXPECT_DOUBLE_EQ(a.nominal_freq_ghz, 3.8);
+  EXPECT_DOUBLE_EQ(a.tdp_cpu_w, 100.0);
+  EXPECT_EQ(a.measurement, SensorKind::kPowerInsight);
+  // Teller is the only system with performance variation.
+  EXPECT_GT(a.variation.freq_sd, 0.0);
+  EXPECT_GT(a.variation.freq_power_corr, 0.0);
+}
+
+TEST(Arch, TableTwoRowHa8k) {
+  ArchSpec a = ha8k();
+  EXPECT_EQ(a.total_nodes, 960);
+  EXPECT_EQ(a.procs_per_node, 2);
+  EXPECT_EQ(a.total_modules(), 1920);  // the evaluation system
+  EXPECT_EQ(a.cores_per_proc, 12);
+  EXPECT_DOUBLE_EQ(a.nominal_freq_ghz, 2.7);
+  EXPECT_DOUBLE_EQ(a.tdp_cpu_w, 130.0);
+  EXPECT_DOUBLE_EQ(a.tdp_dram_w, 62.0);
+  EXPECT_TRUE(a.supports_power_capping);
+  EXPECT_TRUE(a.dram_measurement_available);
+  EXPECT_DOUBLE_EQ(a.ladder.fmin(), 1.2);
+  EXPECT_DOUBLE_EQ(a.ladder.fmax(), 2.7);
+}
+
+TEST(Arch, AllArchsInTableOrder) {
+  auto archs = all_archs();
+  ASSERT_EQ(archs.size(), 4u);
+  EXPECT_EQ(archs[0].system, "Cab (LLNL)");
+  EXPECT_EQ(archs[1].system, "BG/Q Vulcan (LLNL)");
+  EXPECT_EQ(archs[2].system, "Teller (SNL)");
+  EXPECT_EQ(archs[3].system, "HA8K (Kyushu Univ.)");
+}
+
+TEST(Arch, VariationBoundsAreConsistent) {
+  for (const auto& a : all_archs()) {
+    const auto& v = a.variation;
+    EXPECT_LT(v.cpu_dyn_lo, v.cpu_dyn_hi) << a.system;
+    EXPECT_LT(v.cpu_static_lo, v.cpu_static_hi) << a.system;
+    EXPECT_LT(v.dram_lo, v.dram_hi) << a.system;
+    EXPECT_GE(v.cpu_dyn_sd, 0.0) << a.system;
+    // Bounds bracket the mean of 1.0.
+    EXPECT_LT(v.cpu_dyn_lo, 1.0) << a.system;
+    EXPECT_GT(v.cpu_dyn_hi, 1.0) << a.system;
+  }
+}
+
+TEST(Arch, NominalFrequencyIsLadderFmax) {
+  for (const auto& a : all_archs()) {
+    EXPECT_DOUBLE_EQ(a.nominal_freq_ghz, a.ladder.fmax()) << a.system;
+  }
+}
+
+}  // namespace
+}  // namespace vapb::hw

@@ -1,0 +1,152 @@
+#include "core/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::core {
+namespace {
+
+class BatchFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kFleet = 64;
+
+  BatchFixture()
+      : cluster_(hw::ha8k(), util::SeedSequence(131), kFleet),
+        pvt_(Pvt::generate(cluster_, workloads::pvt_microbench(),
+                           util::SeedSequence(132))) {
+    run_config_.iterations = 4;
+  }
+
+  BatchJob job(const std::string& name, const workloads::Workload& w,
+               std::size_t modules, double arrival) {
+    return BatchJob{name, &w, modules, arrival, 4};
+  }
+
+  cluster::Cluster cluster_;
+  Pvt pvt_;
+  RunConfig run_config_;
+};
+
+TEST_F(BatchFixture, SingleJobRunsImmediately) {
+  BatchSimulator sim(cluster_, pvt_, kFleet * 90.0, run_config_);
+  BatchResult r = sim.run({job("a", workloads::mhd(), 32, 0.0)},
+                          BatchConfig{}, util::SeedSequence(1));
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_TRUE(r.jobs[0].completed);
+  EXPECT_DOUBLE_EQ(r.jobs[0].start_s, 0.0);
+  EXPECT_GT(r.jobs[0].finish_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan_s, r.jobs[0].finish_s);
+  EXPECT_GT(r.throughput_jobs_per_hour, 0.0);
+}
+
+TEST_F(BatchFixture, ParallelJobsOverlapWhenResourcesAllow) {
+  BatchSimulator sim(cluster_, pvt_, kFleet * 100.0, run_config_);
+  BatchResult r = sim.run({job("a", workloads::mhd(), 24, 0.0),
+                           job("b", workloads::bt(), 24, 0.0)},
+                          BatchConfig{}, util::SeedSequence(2));
+  EXPECT_TRUE(r.jobs[0].completed);
+  EXPECT_TRUE(r.jobs[1].completed);
+  // Both fit: both start at t=0.
+  EXPECT_DOUBLE_EQ(r.jobs[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.jobs[1].start_s, 0.0);
+}
+
+TEST_F(BatchFixture, ModuleContentionSerializes) {
+  BatchSimulator sim(cluster_, pvt_, kFleet * 200.0, run_config_);
+  BatchResult r = sim.run({job("a", workloads::mhd(), 48, 0.0),
+                           job("b", workloads::mhd(), 48, 0.0)},
+                          BatchConfig{}, util::SeedSequence(3));
+  ASSERT_TRUE(r.jobs[1].completed);
+  // Job b cannot start until job a releases modules.
+  EXPECT_NEAR(r.jobs[1].start_s, r.jobs[0].finish_s, 1e-6);
+  EXPECT_GT(r.mean_wait_s, 0.0);
+}
+
+TEST_F(BatchFixture, PowerContentionSerializesEvenWithFreeModules) {
+  // Plenty of modules but a budget that can only power one job's floor:
+  // the second job waits on power, not on modules.
+  double one_job_floor = 24 * 55.0;
+  BatchSimulator sim(cluster_, pvt_, one_job_floor * 1.4, run_config_);
+  BatchResult r = sim.run({job("a", workloads::mhd(), 24, 0.0),
+                           job("b", workloads::mhd(), 24, 0.0)},
+                          BatchConfig{}, util::SeedSequence(4));
+  ASSERT_TRUE(r.jobs[0].completed);
+  ASSERT_TRUE(r.jobs[1].completed);
+  EXPECT_GT(r.jobs[1].start_s, 0.0);
+}
+
+TEST_F(BatchFixture, BackfillLetsSmallJobJumpQueue) {
+  // Head job needs 48 modules (blocked while 40 are busy); a 16-module job
+  // behind it fits now. With backfill it starts immediately.
+  BatchConfig with_backfill;
+  with_backfill.backfill = true;
+  BatchConfig strict;
+  strict.backfill = false;
+  std::vector<BatchJob> stream = {job("big0", workloads::mhd(), 40, 0.0),
+                                  job("big1", workloads::mhd(), 48, 1.0),
+                                  job("small", workloads::ep(), 16, 2.0)};
+  BatchSimulator sim(cluster_, pvt_, kFleet * 200.0, run_config_);
+  BatchResult bf = sim.run(stream, with_backfill, util::SeedSequence(5));
+  BatchResult fcfs = sim.run(stream, strict, util::SeedSequence(5));
+  ASSERT_TRUE(bf.jobs[2].completed);
+  ASSERT_TRUE(fcfs.jobs[2].completed);
+  EXPECT_LT(bf.jobs[2].start_s, fcfs.jobs[2].start_s);
+}
+
+TEST_F(BatchFixture, ArrivalTimesRespected) {
+  BatchSimulator sim(cluster_, pvt_, kFleet * 100.0, run_config_);
+  BatchResult r = sim.run({job("late", workloads::ep(), 8, 100.0)},
+                          BatchConfig{}, util::SeedSequence(6));
+  EXPECT_DOUBLE_EQ(r.jobs[0].start_s, 100.0);
+  EXPECT_DOUBLE_EQ(r.jobs[0].wait_s(), 0.0);
+}
+
+TEST_F(BatchFixture, ImpossibleJobsAreRejectedNotHung) {
+  BatchSimulator sim(cluster_, pvt_, kFleet * 100.0, run_config_);
+  BatchResult r = sim.run({job("too-big", workloads::mhd(), 1000, 0.0),
+                           BatchJob{"null", nullptr, 8, 0.0, 4},
+                           job("fine", workloads::mhd(), 16, 0.0)},
+                          BatchConfig{}, util::SeedSequence(7));
+  EXPECT_FALSE(r.jobs[0].completed);
+  EXPECT_FALSE(r.jobs[1].completed);
+  EXPECT_TRUE(r.jobs[2].completed);
+}
+
+TEST_F(BatchFixture, VariationAwareSchemeImprovesThroughput) {
+  // Same stream, tight power: VaFs jobs finish faster than Naive jobs, so
+  // the queue drains sooner.
+  std::vector<BatchJob> stream;
+  for (int k = 0; k < 4; ++k) {
+    stream.push_back(job("j" + std::to_string(k), workloads::mhd(), 32,
+                         k * 5.0));
+  }
+  BatchSimulator sim(cluster_, pvt_, 32 * 70.0, run_config_);
+  BatchConfig naive;
+  naive.scheme = SchemeKind::kNaive;
+  BatchConfig vafs;
+  vafs.scheme = SchemeKind::kVaFs;
+  BatchResult rn = sim.run(stream, naive, util::SeedSequence(8));
+  BatchResult rv = sim.run(stream, vafs, util::SeedSequence(8));
+  EXPECT_GT(rv.throughput_jobs_per_hour, rn.throughput_jobs_per_hour * 1.1);
+  EXPECT_LT(rv.mean_wait_s, rn.mean_wait_s);
+}
+
+TEST_F(BatchFixture, PowerUtilizationIsAFraction) {
+  BatchSimulator sim(cluster_, pvt_, kFleet * 90.0, run_config_);
+  BatchResult r = sim.run({job("a", workloads::mhd(), 32, 0.0),
+                           job("b", workloads::bt(), 16, 0.0)},
+                          BatchConfig{}, util::SeedSequence(9));
+  EXPECT_GT(r.power_utilization, 0.0);
+  EXPECT_LE(r.power_utilization, 1.0 + 1e-9);
+}
+
+TEST_F(BatchFixture, Validation) {
+  EXPECT_THROW(BatchSimulator(cluster_, pvt_, 0.0), InvalidArgument);
+  cluster::Cluster other(hw::ha8k(), util::SeedSequence(133), 8);
+  EXPECT_THROW(BatchSimulator(other, pvt_, 100.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vapb::core

@@ -1,0 +1,89 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vapb::stats {
+namespace {
+
+std::vector<double> normal_sample(std::size_t n, double mean, double sd,
+                                  std::uint64_t seed) {
+  util::Rng rng{util::SeedSequence(seed)};
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.normal(mean, sd);
+  return v;
+}
+
+TEST(Bootstrap, PointEstimateIsSampleMean) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  util::Rng rng{util::SeedSequence(1)};
+  BootstrapCi ci = bootstrap_mean_ci(v, 0.95, 500, rng);
+  EXPECT_DOUBLE_EQ(ci.point, 2.5);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+}
+
+TEST(Bootstrap, CiCoversTrueMeanForWellBehavedSample) {
+  auto v = normal_sample(400, 10.0, 2.0, 2);
+  util::Rng rng{util::SeedSequence(3)};
+  BootstrapCi ci = bootstrap_mean_ci(v, 0.99, 2000, rng);
+  EXPECT_LT(ci.lo, 10.0);
+  EXPECT_GT(ci.hi, 10.0);
+  // Width is roughly 2 * z * sd/sqrt(n) ~ 0.5 at 99%.
+  EXPECT_LT(ci.hi - ci.lo, 1.0);
+}
+
+TEST(Bootstrap, WiderSampleGivesWiderCi) {
+  auto narrow = normal_sample(200, 5.0, 0.5, 4);
+  auto wide = normal_sample(200, 5.0, 3.0, 5);
+  util::Rng r1{util::SeedSequence(6)}, r2{util::SeedSequence(6)};
+  BootstrapCi cn = bootstrap_mean_ci(narrow, 0.95, 1000, r1);
+  BootstrapCi cw = bootstrap_mean_ci(wide, 0.95, 1000, r2);
+  EXPECT_LT(cn.hi - cn.lo, cw.hi - cw.lo);
+}
+
+TEST(Bootstrap, MoreDataTightensCi) {
+  auto small = normal_sample(50, 5.0, 2.0, 7);
+  auto large = normal_sample(5000, 5.0, 2.0, 8);
+  util::Rng r1{util::SeedSequence(9)}, r2{util::SeedSequence(9)};
+  BootstrapCi cs = bootstrap_mean_ci(small, 0.95, 1000, r1);
+  BootstrapCi cl = bootstrap_mean_ci(large, 0.95, 1000, r2);
+  EXPECT_GT(cs.hi - cs.lo, (cl.hi - cl.lo) * 3.0);
+}
+
+TEST(Bootstrap, GeomeanOfRatios) {
+  std::vector<double> speedups{1.0, 2.0, 4.0};
+  util::Rng rng{util::SeedSequence(10)};
+  BootstrapCi ci = bootstrap_geomean_ci(speedups, 0.95, 500, rng);
+  EXPECT_NEAR(ci.point, 2.0, 1e-12);  // (1*2*4)^(1/3)
+}
+
+TEST(Bootstrap, GeomeanRejectsNonPositive) {
+  std::vector<double> bad{1.0, 0.0};
+  util::Rng rng{util::SeedSequence(11)};
+  EXPECT_THROW(bootstrap_geomean_ci(bad, 0.95, 100, rng), InvalidArgument);
+}
+
+TEST(Bootstrap, DeterministicGivenRng) {
+  std::vector<double> v{3.0, 1.0, 4.0, 1.0, 5.0};
+  util::Rng a{util::SeedSequence(12)}, b{util::SeedSequence(12)};
+  BootstrapCi ca = bootstrap_mean_ci(v, 0.9, 300, a);
+  BootstrapCi cb = bootstrap_mean_ci(v, 0.9, 300, b);
+  EXPECT_DOUBLE_EQ(ca.lo, cb.lo);
+  EXPECT_DOUBLE_EQ(ca.hi, cb.hi);
+}
+
+TEST(Bootstrap, Validation) {
+  util::Rng rng{util::SeedSequence(13)};
+  std::vector<double> v{1.0};
+  EXPECT_THROW(bootstrap_mean_ci({}, 0.95, 100, rng), InvalidArgument);
+  EXPECT_THROW(bootstrap_mean_ci(v, 0.0, 100, rng), InvalidArgument);
+  EXPECT_THROW(bootstrap_mean_ci(v, 1.0, 100, rng), InvalidArgument);
+  EXPECT_THROW(bootstrap_mean_ci(v, 0.95, 0, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vapb::stats

@@ -1,0 +1,136 @@
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "workloads/catalog.hpp"
+
+namespace vapb::core {
+namespace {
+
+class CampaignFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kModules = 64;
+
+  CampaignFixture() {
+    std::vector<hw::ModuleId> alloc(kModules);
+    std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+    RunConfig cfg;
+    cfg.iterations = 6;  // keep tests fast
+    campaign_ = std::make_unique<Campaign>(cluster_, alloc, cfg);
+  }
+
+  double budget(double cm) { return cm * kModules; }
+
+  cluster::Cluster cluster_{hw::ha8k(), util::SeedSequence(101), kModules};
+  std::unique_ptr<Campaign> campaign_;
+};
+
+TEST_F(CampaignFixture, PvtCoversFleet) {
+  EXPECT_EQ(campaign_->pvt().size(), kModules);
+}
+
+TEST_F(CampaignFixture, CachesReturnSameObject) {
+  const auto& a = campaign_->test_run(workloads::mhd());
+  const auto& b = campaign_->test_run(workloads::mhd());
+  EXPECT_EQ(&a, &b);
+  const auto& u1 = campaign_->uncapped(workloads::mhd());
+  const auto& u2 = campaign_->uncapped(workloads::mhd());
+  EXPECT_EQ(&u1, &u2);
+  const auto& o1 = campaign_->oracle(workloads::mhd());
+  const auto& o2 = campaign_->oracle(workloads::mhd());
+  EXPECT_EQ(&o1, &o2);
+}
+
+TEST_F(CampaignFixture, ClassificationMatchesTableFour) {
+  // The Table 4 row patterns at the paper's Cm grid.
+  auto row = [&](const workloads::Workload& w) {
+    std::string r;
+    for (double cm : {110., 100., 90., 80., 70., 60., 50.}) {
+      CellClass c = campaign_->classify(w, budget(cm));
+      r += c == CellClass::kValid ? 'X'
+           : c == CellClass::kUnconstrained ? '.' : '-';
+    }
+    return r;
+  };
+  EXPECT_EQ(row(workloads::dgemm()), "XXXXX--");
+  EXPECT_EQ(row(workloads::stream()), ".XXX---");
+  EXPECT_EQ(row(workloads::mhd()), "..XXXX-");
+  EXPECT_EQ(row(workloads::bt()), "...XXXX");
+  EXPECT_EQ(row(workloads::sp()), "...XXXX");
+  EXPECT_EQ(row(workloads::mvmc()), "...XXX-");
+}
+
+TEST_F(CampaignFixture, RunCellProducesAllSchemes) {
+  CellResult cell = campaign_->run_cell(workloads::mhd(), budget(80.0));
+  EXPECT_EQ(cell.cls, CellClass::kValid);
+  EXPECT_EQ(cell.schemes.size(), 6u);
+  ASSERT_NE(cell.uncapped, nullptr);
+  for (const auto& s : cell.schemes) {
+    EXPECT_TRUE(s.metrics.feasible) << scheme_name(s.kind);
+    EXPECT_FALSE(std::isnan(s.speedup_vs_naive)) << scheme_name(s.kind);
+  }
+  EXPECT_DOUBLE_EQ(cell.scheme(SchemeKind::kNaive).speedup_vs_naive, 1.0);
+}
+
+TEST_F(CampaignFixture, VariationAwareBeatsNaiveWhenConstrained) {
+  CellResult cell = campaign_->run_cell(workloads::mhd(), budget(70.0));
+  EXPECT_GT(cell.scheme(SchemeKind::kVaPc).speedup_vs_naive, 1.2);
+  EXPECT_GT(cell.scheme(SchemeKind::kVaFs).speedup_vs_naive, 1.2);
+  // Variation-aware also beats variation-unaware Pc.
+  EXPECT_GT(cell.scheme(SchemeKind::kVaFs).speedup_vs_naive,
+            cell.scheme(SchemeKind::kPc).speedup_vs_naive);
+}
+
+TEST_F(CampaignFixture, InfeasibleCellIsNotRun) {
+  CellResult cell = campaign_->run_cell(workloads::dgemm(), budget(50.0));
+  EXPECT_EQ(cell.cls, CellClass::kInfeasible);
+  for (const auto& s : cell.schemes) {
+    EXPECT_FALSE(s.metrics.feasible);
+    EXPECT_TRUE(std::isnan(s.speedup_vs_naive));
+  }
+}
+
+TEST_F(CampaignFixture, SchemeSubsetRequest) {
+  CellResult cell = campaign_->run_cell(
+      workloads::mhd(), budget(80.0),
+      {SchemeKind::kNaive, SchemeKind::kVaFs});
+  EXPECT_EQ(cell.schemes.size(), 2u);
+  EXPECT_NO_THROW(static_cast<void>(cell.scheme(SchemeKind::kVaFs)));
+  EXPECT_THROW(static_cast<void>(cell.scheme(SchemeKind::kVaPc)), InvalidArgument);
+}
+
+TEST_F(CampaignFixture, CalibrationErrorsMatchSectionFiveThree) {
+  // BT is the outlier (~10%); the rest stay under ~5%.
+  double bt_err = campaign_->calibration_error(workloads::bt());
+  EXPECT_GT(bt_err, 0.04);
+  for (auto* w : workloads::evaluation_suite()) {
+    if (w->name == "NPB-BT") continue;
+    EXPECT_LT(campaign_->calibration_error(*w), 0.05) << w->name;
+    EXPECT_LT(campaign_->calibration_error(*w), bt_err) << w->name;
+  }
+}
+
+TEST_F(CampaignFixture, AlternateMicrobenchmarkChangesCalibration) {
+  std::vector<hw::ModuleId> alloc(kModules);
+  std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+  RunConfig cfg;
+  cfg.iterations = 6;
+  Campaign alt(cluster_, alloc, cfg, &workloads::pvt_microbench_compute());
+  EXPECT_EQ(alt.pvt().microbench_name(),
+            workloads::pvt_microbench_compute().name);
+  // A compute-bound microbenchmark predicts DGEMM at least as well as the
+  // bandwidth-bound default predicts BT.
+  EXPECT_LT(alt.calibration_error(workloads::dgemm()), 0.06);
+}
+
+TEST(CellClassName, Strings) {
+  EXPECT_EQ(cell_class_name(CellClass::kValid), "X");
+  EXPECT_EQ(cell_class_name(CellClass::kUnconstrained), "unconstrained");
+  EXPECT_EQ(cell_class_name(CellClass::kInfeasible), "infeasible");
+}
+
+}  // namespace
+}  // namespace vapb::core

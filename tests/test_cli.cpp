@@ -1,0 +1,82 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vapb::util {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv,
+              std::vector<std::string> allowed = {"arch", "modules", "flag",
+                                                  "budget-w"}) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()), argv.data(), allowed);
+}
+
+TEST(Cli, PositionalArguments) {
+  CliArgs args = parse({"solve", "extra"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "solve");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(Cli, EqualsForm) {
+  CliArgs args = parse({"--arch=ha8k"});
+  EXPECT_EQ(args.get("arch"), "ha8k");
+}
+
+TEST(Cli, SpaceForm) {
+  CliArgs args = parse({"--modules", "128"});
+  EXPECT_EQ(args.get_long_or("modules", 0), 128);
+}
+
+TEST(Cli, BooleanSwitch) {
+  CliArgs args = parse({"--flag", "--arch=x"});
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_EQ(args.get("flag"), "");
+}
+
+TEST(Cli, MixedPositionalAndFlags) {
+  CliArgs args = parse({"run", "--arch", "cab", "--modules=64", "tail"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"run", "tail"}));
+  EXPECT_EQ(args.get("arch"), "cab");
+  EXPECT_EQ(args.get_long_or("modules", 0), 64);
+}
+
+TEST(Cli, NumericParsing) {
+  CliArgs args = parse({"--budget-w=8960.5"});
+  EXPECT_DOUBLE_EQ(args.get_double_or("budget-w", 0.0), 8960.5);
+  EXPECT_DOUBLE_EQ(args.get_double_or("modules", 7.0), 7.0);  // fallback
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  CliArgs args = parse({"--budget-w=abc"});
+  EXPECT_THROW(static_cast<void>(args.get_double_or("budget-w", 0.0)),
+               InvalidArgument);
+  CliArgs args2 = parse({"--modules=12x"});
+  EXPECT_THROW(static_cast<void>(args2.get_long_or("modules", 0)),
+               InvalidArgument);
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  EXPECT_THROW(parse({"--bogus=1"}), InvalidArgument);
+}
+
+TEST(Cli, DuplicateFlagRejected) {
+  EXPECT_THROW(parse({"--arch=a", "--arch=b"}), InvalidArgument);
+}
+
+TEST(Cli, MissingRequiredThrows) {
+  CliArgs args = parse({"cmd"});
+  EXPECT_THROW(static_cast<void>(args.get("arch")), InvalidArgument);
+  EXPECT_EQ(args.get_or("arch", "dflt"), "dflt");
+}
+
+TEST(Cli, BareDoubleDashRejected) {
+  EXPECT_THROW(parse({"--"}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vapb::util

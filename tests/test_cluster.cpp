@@ -1,0 +1,95 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::cluster {
+namespace {
+
+TEST(Cluster, DefaultSizeMatchesArch) {
+  Cluster c(hw::teller(), util::SeedSequence(1));
+  EXPECT_EQ(c.size(), 104u);
+}
+
+TEST(Cluster, SizeOverride) {
+  Cluster c(hw::ha8k(), util::SeedSequence(1), 64);
+  EXPECT_EQ(c.size(), 64u);
+}
+
+TEST(Cluster, ModuleIdsAreDense) {
+  Cluster c(hw::ha8k(), util::SeedSequence(1), 16);
+  for (hw::ModuleId i = 0; i < 16; ++i) {
+    EXPECT_EQ(c.module(i).id(), i);
+  }
+}
+
+TEST(Cluster, OutOfRangeThrows) {
+  Cluster c(hw::ha8k(), util::SeedSequence(1), 4);
+  EXPECT_THROW(static_cast<void>(c.module(4)), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(c.module(10000)), InvalidArgument);
+}
+
+TEST(Cluster, SameSeedSameSilicon) {
+  Cluster a(hw::ha8k(), util::SeedSequence(9), 32);
+  Cluster b(hw::ha8k(), util::SeedSequence(9), 32);
+  for (hw::ModuleId i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(a.module(i).variation().cpu_dyn,
+                     b.module(i).variation().cpu_dyn);
+    EXPECT_DOUBLE_EQ(a.module(i).variation().dram,
+                     b.module(i).variation().dram);
+  }
+}
+
+TEST(Cluster, DifferentSeedDifferentSilicon) {
+  Cluster a(hw::ha8k(), util::SeedSequence(1), 8);
+  Cluster b(hw::ha8k(), util::SeedSequence(2), 8);
+  bool any_diff = false;
+  for (hw::ModuleId i = 0; i < 8; ++i) {
+    any_diff |= a.module(i).variation().cpu_dyn !=
+                b.module(i).variation().cpu_dyn;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Cluster, GrowingClusterKeepsExistingModules) {
+  // Module k's silicon depends only on (seed, k), not on fleet size.
+  Cluster small(hw::ha8k(), util::SeedSequence(3), 8);
+  Cluster big(hw::ha8k(), util::SeedSequence(3), 64);
+  for (hw::ModuleId i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(small.module(i).variation().cpu_dyn,
+                     big.module(i).variation().cpu_dyn);
+  }
+}
+
+TEST(Cluster, FleetPowerSpreadMatchesPaperBand) {
+  // Uncapped *DGEMM module power spread on HA8K is in the paper's 1.2-1.5
+  // worst-case band for a decent fleet size.
+  Cluster c(hw::ha8k(), util::SeedSequence(4), 512);
+  const auto& p = workloads::dgemm().profile;
+  std::vector<double> powers;
+  for (const auto& m : c.modules()) {
+    powers.push_back(m.module_power_w(p, 2.7));
+  }
+  auto s = stats::summarize(powers);
+  EXPECT_GT(s.max / s.min, 1.18);
+  EXPECT_LT(s.max / s.min, 1.55);
+  EXPECT_NEAR(s.mean, 113.0, 4.0);  // ~112.8 W in Figure 2
+}
+
+TEST(Cluster, ZeroModulesRejected) {
+  hw::ArchSpec spec = hw::ha8k();
+  spec.total_nodes = 0;
+  EXPECT_THROW(Cluster(spec, util::SeedSequence(1)), InternalError);
+}
+
+TEST(Cluster, ModulesInheritArchLadderAndTdp) {
+  Cluster c(hw::cab(), util::SeedSequence(5), 4);
+  EXPECT_DOUBLE_EQ(c.module(0).ladder().fmax(), 2.6);
+  EXPECT_DOUBLE_EQ(c.module(0).tdp_cpu_w(), 115.0);
+}
+
+}  // namespace
+}  // namespace vapb::cluster

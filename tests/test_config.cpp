@@ -1,0 +1,136 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "hw/arch_io.hpp"
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::util {
+namespace {
+
+const char* kSample = R"(
+# a comment
+[system]
+name = TestBox          ; trailing comment
+nodes = 42
+tdp_cpu_w = 95.5
+
+[ladder]
+fmin_ghz = 1.0
+fmax_ghz = 2.0
+)";
+
+TEST(Config, ParsesSectionsAndKeys) {
+  Config cfg = Config::parse(kSample);
+  EXPECT_TRUE(cfg.has_section("system"));
+  EXPECT_TRUE(cfg.has("system", "name"));
+  EXPECT_EQ(cfg.get("system", "name"), "TestBox");
+  EXPECT_EQ(cfg.get_long("system", "nodes"), 42);
+  EXPECT_DOUBLE_EQ(cfg.get_double("system", "tdp_cpu_w"), 95.5);
+  EXPECT_EQ(cfg.sections(), (std::vector<std::string>{"system", "ladder"}));
+  EXPECT_EQ(cfg.keys("system"),
+            (std::vector<std::string>{"name", "nodes", "tdp_cpu_w"}));
+}
+
+TEST(Config, FallbacksAndMissing) {
+  Config cfg = Config::parse(kSample);
+  EXPECT_EQ(cfg.get_or("system", "missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(cfg.get_double_or("ladder", "step_ghz", 0.1), 0.1);
+  EXPECT_EQ(cfg.get_long_or("nope", "x", 7), 7);
+  EXPECT_THROW(static_cast<void>(cfg.get("system", "missing")),
+               InvalidArgument);
+  EXPECT_THROW(static_cast<void>(cfg.keys("nope")), InvalidArgument);
+}
+
+TEST(Config, SyntaxErrors) {
+  EXPECT_THROW(Config::parse("key = before-section\n"), InvalidArgument);
+  EXPECT_THROW(Config::parse("[unterminated\nk = v\n"), InvalidArgument);
+  EXPECT_THROW(Config::parse("[s]\nno-equals-here\n"), InvalidArgument);
+  EXPECT_THROW(Config::parse("[s]\n= novalue-key\n"), InvalidArgument);
+  EXPECT_THROW(Config::parse("[s]\na = 1\na = 2\n"), InvalidArgument);
+}
+
+TEST(Config, NumericValidation) {
+  Config cfg = Config::parse("[s]\nx = abc\n");
+  EXPECT_THROW(static_cast<void>(cfg.get_double("s", "x")), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(cfg.get_long("s", "x")), InvalidArgument);
+}
+
+TEST(Config, EmptyInputIsEmptyConfig) {
+  Config cfg = Config::parse("");
+  EXPECT_TRUE(cfg.sections().empty());
+}
+
+const char* kArch = R"(
+[system]
+name = MiniCluster
+microarch = Test CPU
+nodes = 16
+procs_per_node = 2
+cores_per_proc = 8
+tdp_cpu_w = 120
+tdp_dram_w = 40
+measurement = powerinsight
+power_capping = false
+
+[ladder]
+fmin_ghz = 1.0
+fmax_ghz = 2.4
+step_ghz = 0.2
+turbo_ghz = 2.8
+
+[variation]
+cpu_dyn_sd = 0.05
+cpu_dyn_lo = 0.85
+cpu_dyn_hi = 1.15
+dram_sd = 0.1
+dram_lo = 0.6
+dram_hi = 1.4
+freq_power_corr = 0.5
+)";
+
+TEST(ArchIo, BuildsSpecFromConfig) {
+  hw::ArchSpec a = hw::arch_from_config_text(kArch);
+  EXPECT_EQ(a.system, "MiniCluster");
+  EXPECT_EQ(a.total_modules(), 32);
+  EXPECT_EQ(a.cores_per_proc, 8);
+  EXPECT_DOUBLE_EQ(a.tdp_cpu_w, 120.0);
+  EXPECT_EQ(a.measurement, hw::SensorKind::kPowerInsight);
+  EXPECT_FALSE(a.supports_power_capping);
+  EXPECT_DOUBLE_EQ(a.ladder.fmin(), 1.0);
+  EXPECT_DOUBLE_EQ(a.ladder.fmax(), 2.4);
+  EXPECT_DOUBLE_EQ(a.ladder.turbo(), 2.8);
+  EXPECT_DOUBLE_EQ(a.nominal_freq_ghz, 2.4);
+  EXPECT_DOUBLE_EQ(a.variation.cpu_dyn_sd, 0.05);
+  EXPECT_DOUBLE_EQ(a.variation.dram_hi, 1.4);
+  EXPECT_DOUBLE_EQ(a.variation.freq_power_corr, 0.5);
+  // Unspecified band stays at no-variation defaults.
+  EXPECT_DOUBLE_EQ(a.variation.cpu_static_sd, 0.0);
+}
+
+TEST(ArchIo, ValidationErrors) {
+  EXPECT_THROW(hw::arch_from_config_text("[system]\nname = x\n"),
+               InvalidArgument);  // missing nodes/tdp/ladder
+  std::string bad_sensor = kArch;
+  bad_sensor.replace(bad_sensor.find("powerinsight"), 12, "thermocouple");
+  EXPECT_THROW(hw::arch_from_config_text(bad_sensor), InvalidArgument);
+  std::string bad_band =
+      "[system]\nname = x\nnodes = 4\ntdp_cpu_w = 100\n"
+      "[ladder]\nfmin_ghz = 1\nfmax_ghz = 2\n"
+      "[variation]\ncpu_dyn_sd = 0.1\ncpu_dyn_lo = 1.2\ncpu_dyn_hi = 0.8\n";
+  EXPECT_THROW(hw::arch_from_config_text(bad_band), ConfigError);
+}
+
+TEST(ArchIo, ConfiguredSpecFabricatesACluster) {
+  hw::ArchSpec a = hw::arch_from_config_text(kArch);
+  cluster::Cluster c(a, util::SeedSequence(5));
+  EXPECT_EQ(c.size(), 32u);
+  EXPECT_GT(c.module(0).cpu_power_w(
+                vapb::workloads::pvt_microbench().profile, 2.4),
+            0.0);
+}
+
+}  // namespace
+}  // namespace vapb::util

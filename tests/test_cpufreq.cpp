@@ -1,0 +1,84 @@
+#include "hw/cpufreq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::hw {
+namespace {
+
+Module make_module() {
+  return Module(0, ModuleVariation{}, FrequencyLadder(1.2, 2.7, 0.1, 3.0),
+                130.0, util::SeedSequence(1));
+}
+
+TEST(Cpufreq, DefaultsToFmax) {
+  Module m = make_module();
+  CpufreqGovernor g(m);
+  EXPECT_FALSE(g.frequency_ghz().has_value());
+  OperatingPoint op = g.operating_point(workloads::mhd().profile);
+  EXPECT_DOUBLE_EQ(op.freq_ghz, 2.7);
+}
+
+TEST(Cpufreq, SetFrequencyQuantizesDown) {
+  Module m = make_module();
+  CpufreqGovernor g(m);
+  g.set_frequency_ghz(1.78);
+  ASSERT_TRUE(g.frequency_ghz().has_value());
+  EXPECT_NEAR(*g.frequency_ghz(), 1.7, 1e-9);
+}
+
+TEST(Cpufreq, BelowFminSnapsToFmin) {
+  Module m = make_module();
+  CpufreqGovernor g(m);
+  g.set_frequency_ghz(0.5);
+  EXPECT_NEAR(*g.frequency_ghz(), 1.2, 1e-9);
+}
+
+TEST(Cpufreq, AboveFmaxSnapsToFmax) {
+  Module m = make_module();
+  CpufreqGovernor g(m);
+  g.set_frequency_ghz(5.0);
+  EXPECT_NEAR(*g.frequency_ghz(), 2.7, 1e-9);
+}
+
+TEST(Cpufreq, PowerIsConsequenceNotConstraint) {
+  Module m = make_module();
+  CpufreqGovernor g(m);
+  g.set_frequency_ghz(2.0);
+  const auto& p = workloads::dgemm().profile;
+  OperatingPoint op = g.operating_point(p);
+  EXPECT_FALSE(op.throttled);
+  EXPECT_DOUBLE_EQ(op.duty, 1.0);
+  EXPECT_DOUBLE_EQ(op.perf_freq_ghz, op.freq_ghz);
+  EXPECT_NEAR(op.cpu_w, m.cpu_power_w(p, op.freq_ghz), 1e-9);
+  EXPECT_NEAR(op.dram_w, m.dram_power_w(p, op.freq_ghz), 1e-9);
+}
+
+TEST(Cpufreq, ClearRestoresDefault) {
+  Module m = make_module();
+  CpufreqGovernor g(m);
+  g.set_frequency_ghz(1.5);
+  g.clear();
+  EXPECT_FALSE(g.frequency_ghz().has_value());
+}
+
+TEST(Cpufreq, NonPositiveFrequencyThrows) {
+  Module m = make_module();
+  CpufreqGovernor g(m);
+  EXPECT_THROW(g.set_frequency_ghz(0.0), InvalidArgument);
+  EXPECT_THROW(g.set_frequency_ghz(-1.0), InvalidArgument);
+}
+
+TEST(Cpufreq, FsNeverExceedsRequestedFrequency) {
+  Module m = make_module();
+  CpufreqGovernor g(m);
+  for (double f = 1.2; f <= 2.7; f += 0.03) {
+    g.set_frequency_ghz(f);
+    EXPECT_LE(*g.frequency_ghz(), f + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vapb::hw

@@ -1,0 +1,229 @@
+#include "des/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vapb::des {
+namespace {
+
+NetworkModel zero_net() {
+  NetworkModel n;
+  n.latency_s = 0.0;
+  n.bandwidth_bytes_per_s = 1e30;  // effectively free transfers
+  return n;
+}
+
+TEST(Engine, ComputeOnlyRanksFinishIndependently) {
+  Engine e(zero_net());
+  std::vector<RankProgram> progs(3);
+  progs[0].compute(1.0);
+  progs[1].compute(2.0);
+  progs[2].compute(3.0);
+  RunResult r = e.run(progs);
+  EXPECT_DOUBLE_EQ(r.ranks[0].finish_time_s, 1.0);
+  EXPECT_DOUBLE_EQ(r.ranks[1].finish_time_s, 2.0);
+  EXPECT_DOUBLE_EQ(r.ranks[2].finish_time_s, 3.0);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 3.0);
+  EXPECT_DOUBLE_EQ(r.ranks[0].wait_s, 0.0);
+}
+
+TEST(Engine, BarrierSynchronizesEveryone) {
+  Engine e(zero_net());
+  std::vector<RankProgram> progs(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    progs[r].compute(1.0 + static_cast<double>(r));
+    progs[r].barrier();
+    progs[r].compute(1.0);
+  }
+  RunResult res = e.run(progs);
+  // Everyone leaves the barrier at t=3 (slowest) and finishes at 4.
+  for (const auto& rs : res.ranks) {
+    EXPECT_DOUBLE_EQ(rs.finish_time_s, 4.0);
+  }
+  EXPECT_DOUBLE_EQ(res.ranks[0].wait_s, 2.0);
+  EXPECT_DOUBLE_EQ(res.ranks[2].wait_s, 0.0);
+  EXPECT_DOUBLE_EQ(res.ranks[0].collective_s, 2.0);
+}
+
+TEST(Engine, AllreduceSameAsBarrierPlusCost) {
+  NetworkModel net;
+  net.latency_s = 0.5;
+  net.bandwidth_bytes_per_s = 1e30;
+  Engine e(net);
+  std::vector<RankProgram> progs(4);
+  for (auto& p : progs) {
+    p.compute(1.0);
+    p.allreduce(8.0);
+  }
+  RunResult r = e.run(progs);
+  // log2(4) = 2 stages, each latency 0.5 -> cost 1.0; finish at 2.0.
+  for (const auto& rs : r.ranks) EXPECT_DOUBLE_EQ(rs.finish_time_s, 2.0);
+}
+
+TEST(Engine, HaloExchangeWaitsForSlowestNeighbourOnly) {
+  Engine e(zero_net());
+  // Chain of 3: rank1 talks to both; rank0 and rank2 only to rank1.
+  std::vector<RankProgram> progs(3);
+  progs[0].compute(1.0);
+  progs[1].compute(5.0);
+  progs[2].compute(2.0);
+  progs[0].halo_exchange({1}, 0.0);
+  progs[1].halo_exchange({0, 2}, 0.0);
+  progs[2].halo_exchange({1}, 0.0);
+  RunResult r = e.run(progs);
+  // Everyone's neighbourhood includes rank 1 (arrives at 5).
+  EXPECT_DOUBLE_EQ(r.ranks[0].finish_time_s, 5.0);
+  EXPECT_DOUBLE_EQ(r.ranks[1].finish_time_s, 5.0);
+  EXPECT_DOUBLE_EQ(r.ranks[2].finish_time_s, 5.0);
+  EXPECT_DOUBLE_EQ(r.ranks[0].wait_s, 4.0);
+  EXPECT_DOUBLE_EQ(r.ranks[0].sendrecv_s, 4.0);
+}
+
+TEST(Engine, WavePropagatesThroughChainOverIterations) {
+  Engine e(zero_net());
+  // 4-rank chain, 5 iterations; rank 3 is slow. Slowness propagates one hop
+  // per exchange (arrival semantics: a neighbour's *arrival*, not its own
+  // exchange completion, is what a rank waits for), so rank 0 feels rank 3
+  // after 3 exchanges.
+  const double slow = 10.0, fast = 1.0;
+  const int iters = 5;
+  std::vector<RankProgram> progs(4);
+  for (int it = 0; it < iters; ++it) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      progs[r].compute(r == 3 ? slow : fast);
+      progs[r].halo_exchange(topology::chain_1d(static_cast<RankId>(r), 4),
+                             0.0);
+    }
+  }
+  RunResult res = e.run(progs);
+  EXPECT_GT(res.ranks[0].finish_time_s, iters * fast + 1e-9);
+  EXPECT_DOUBLE_EQ(res.makespan_s, res.ranks[3].finish_time_s);
+  EXPECT_DOUBLE_EQ(res.ranks[3].wait_s, 0.0);
+  // The rank adjacent to the slow one stalls harder than the far one.
+  EXPECT_GT(res.ranks[2].wait_s, res.ranks[0].wait_s);
+}
+
+TEST(Engine, TransferCostPaidPerPeer) {
+  NetworkModel net;
+  net.latency_s = 1.0;
+  net.bandwidth_bytes_per_s = 1e30;
+  Engine e(net);
+  std::vector<RankProgram> progs(3);
+  progs[0].compute(1.0);
+  progs[1].compute(1.0);
+  progs[2].compute(1.0);
+  progs[0].halo_exchange({1}, 0.0);
+  progs[1].halo_exchange({0, 2}, 0.0);
+  progs[2].halo_exchange({1}, 0.0);
+  RunResult r = e.run(progs);
+  EXPECT_DOUBLE_EQ(r.ranks[0].finish_time_s, 2.0);  // 1 peer
+  EXPECT_DOUBLE_EQ(r.ranks[1].finish_time_s, 3.0);  // 2 peers
+  EXPECT_DOUBLE_EQ(r.ranks[1].transfer_s, 2.0);
+}
+
+TEST(Engine, BandwidthTermScalesWithBytes) {
+  NetworkModel net;
+  net.latency_s = 0.0;
+  net.bandwidth_bytes_per_s = 100.0;
+  Engine e(net);
+  std::vector<RankProgram> progs(2);
+  progs[0].halo_exchange({1}, 50.0);
+  progs[1].halo_exchange({0}, 50.0);
+  RunResult r = e.run(progs);
+  EXPECT_DOUBLE_EQ(r.ranks[0].finish_time_s, 0.5);
+}
+
+TEST(Engine, EmptyPeerListIsNoop) {
+  Engine e(zero_net());
+  std::vector<RankProgram> progs(1);
+  progs[0].compute(1.0);
+  progs[0].halo_exchange({}, 100.0);
+  RunResult r = e.run(progs);
+  EXPECT_DOUBLE_EQ(r.ranks[0].finish_time_s, 1.0);
+}
+
+TEST(Engine, AsymmetricPeersRejected) {
+  Engine e(zero_net());
+  std::vector<RankProgram> progs(2);
+  progs[0].halo_exchange({1}, 0.0);
+  progs[1].compute(1.0);  // rank 1 never lists rank 0
+  EXPECT_THROW(static_cast<void>(e.run(progs)), InvalidArgument);
+}
+
+TEST(Engine, SelfExchangeRejected) {
+  Engine e(zero_net());
+  std::vector<RankProgram> progs(1);
+  progs[0].halo_exchange({0}, 0.0);
+  EXPECT_THROW(static_cast<void>(e.run(progs)), InvalidArgument);
+}
+
+TEST(Engine, PeerOutOfRangeRejected) {
+  Engine e(zero_net());
+  std::vector<RankProgram> progs(2);
+  progs[0].halo_exchange({5}, 0.0);
+  progs[1].halo_exchange({0}, 0.0);
+  EXPECT_THROW(static_cast<void>(e.run(progs)), InvalidArgument);
+}
+
+TEST(Engine, MisalignedCollectivesDeadlock) {
+  Engine e(zero_net());
+  std::vector<RankProgram> progs(2);
+  progs[0].barrier();
+  progs[1].allreduce(8.0);
+  EXPECT_THROW(static_cast<void>(e.run(progs)), DeadlockError);
+}
+
+TEST(Engine, MissingCollectiveDeadlocks) {
+  Engine e(zero_net());
+  std::vector<RankProgram> progs(2);
+  progs[0].barrier();
+  // rank 1 has nothing: rank 0 waits forever.
+  EXPECT_THROW(static_cast<void>(e.run(progs)), DeadlockError);
+}
+
+TEST(Engine, NoProgramsRejected) {
+  Engine e;
+  EXPECT_THROW(static_cast<void>(e.run({})), InvalidArgument);
+}
+
+TEST(Engine, ComputeAccountingSumsDurations) {
+  Engine e(zero_net());
+  std::vector<RankProgram> progs(1);
+  progs[0].compute(1.5);
+  progs[0].compute(2.5);
+  RunResult r = e.run(progs);
+  EXPECT_DOUBLE_EQ(r.ranks[0].compute_s, 4.0);
+}
+
+class GridSyncScale : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GridSyncScale, SlowRankGatesBulkSynchronousGrid) {
+  // nranks on a 3-D grid, 5 iterations, one slow rank: with enough
+  // iterations the wave reaches everyone; makespan ~ slow rank's pace.
+  const std::size_t n = GetParam();
+  Engine e(zero_net());
+  auto dims = topology::balanced_dims_3d(n);
+  const int iters = 12;
+  std::vector<RankProgram> progs(n);
+  for (int it = 0; it < iters; ++it) {
+    for (std::size_t r = 0; r < n; ++r) {
+      progs[r].compute(r == n / 2 ? 2.0 : 1.0);
+      progs[r].halo_exchange(
+          topology::grid_3d(static_cast<RankId>(r), dims[0], dims[1], dims[2]),
+          0.0);
+    }
+  }
+  RunResult res = e.run(progs);
+  EXPECT_GE(res.makespan_s, 2.0 * iters - 1e-9);
+  // Everyone's total (compute + wait) is bounded by the makespan.
+  for (const auto& rs : res.ranks) {
+    EXPECT_LE(rs.finish_time_s, res.makespan_s + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridSyncScale,
+                         ::testing::Values(2, 8, 27, 60, 64, 125));
+
+}  // namespace
+}  // namespace vapb::des

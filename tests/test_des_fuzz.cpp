@@ -1,0 +1,144 @@
+// Property-based fuzzing of the discrete-event engine: random SPMD programs
+// with random symmetric halo topologies must satisfy conservation and
+// ordering invariants regardless of structure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "util/rng.hpp"
+
+namespace vapb::des {
+namespace {
+
+/// Builds a random symmetric peer graph for one exchange phase: a random set
+/// of undirected edges over `n` ranks (possibly leaving some ranks with no
+/// peers, which is legal).
+std::vector<std::vector<RankId>> random_symmetric_graph(std::size_t n,
+                                                        util::Rng& rng) {
+  std::vector<std::vector<RankId>> peers(n);
+  std::size_t edges = 1 + rng.uniform_index(2 * n);
+  for (std::size_t e = 0; e < edges; ++e) {
+    auto a = static_cast<RankId>(rng.uniform_index(n));
+    auto b = static_cast<RankId>(rng.uniform_index(n));
+    if (a == b) continue;
+    if (std::find(peers[a].begin(), peers[a].end(), b) != peers[a].end()) {
+      continue;
+    }
+    peers[a].push_back(b);
+    peers[b].push_back(a);
+  }
+  return peers;
+}
+
+struct FuzzCase {
+  std::vector<RankProgram> programs;
+  std::vector<double> compute_per_rank;
+};
+
+FuzzCase random_programs(std::size_t n, util::Rng& rng) {
+  FuzzCase fc;
+  fc.programs.resize(n);
+  fc.compute_per_rank.assign(n, 0.0);
+  int segments = 1 + static_cast<int>(rng.uniform_index(8));
+  for (int s = 0; s < segments; ++s) {
+    // Every segment: compute on every rank, then one random comm structure
+    // (same op type across ranks, as SPMD requires).
+    for (std::size_t r = 0; r < n; ++r) {
+      double t = rng.uniform(0.1, 5.0);
+      fc.programs[r].compute(t);
+      fc.compute_per_rank[r] += t;
+    }
+    switch (rng.uniform_index(4)) {
+      case 0: {  // halo with a random symmetric graph
+        auto graph = random_symmetric_graph(n, rng);
+        for (std::size_t r = 0; r < n; ++r) {
+          fc.programs[r].halo_exchange(graph[r], rng.uniform(0.0, 1e6));
+        }
+        break;
+      }
+      case 1:
+        for (auto& p : fc.programs) p.allreduce(rng.uniform(8.0, 1e5));
+        break;
+      case 2:
+        for (auto& p : fc.programs) p.barrier();
+        break;
+      default:
+        break;  // compute-only segment
+    }
+  }
+  return fc;
+}
+
+class DesFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DesFuzz, InvariantsHoldOnRandomPrograms) {
+  util::Rng rng{util::SeedSequence(GetParam())};
+  for (int trial = 0; trial < 10; ++trial) {
+    std::size_t n = 2 + rng.uniform_index(30);
+    FuzzCase fc = random_programs(n, rng);
+    Engine engine;
+    RunResult result = engine.run(fc.programs);
+
+    ASSERT_EQ(result.ranks.size(), n);
+    double max_finish = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const RankStats& rs = result.ranks[r];
+      // Compute time is conserved exactly.
+      ASSERT_NEAR(rs.compute_s, fc.compute_per_rank[r], 1e-9);
+      // No negative accounting.
+      ASSERT_GE(rs.wait_s, -1e-12);
+      ASSERT_GE(rs.transfer_s, -1e-12);
+      ASSERT_GE(rs.sendrecv_s, -1e-12);
+      // Finish time decomposes into its parts.
+      ASSERT_NEAR(rs.finish_time_s, rs.compute_s + rs.wait_s + rs.transfer_s,
+                  1e-6);
+      max_finish = std::max(max_finish, rs.finish_time_s);
+    }
+    ASSERT_DOUBLE_EQ(result.makespan_s, max_finish);
+  }
+}
+
+TEST_P(DesFuzz, EngineIsDeterministic) {
+  util::Rng rng{util::SeedSequence(GetParam() ^ 0x5eedULL)};
+  std::size_t n = 2 + rng.uniform_index(20);
+  FuzzCase fc = random_programs(n, rng);
+  Engine engine;
+  RunResult a = engine.run(fc.programs);
+  RunResult b = engine.run(fc.programs);
+  for (std::size_t r = 0; r < n; ++r) {
+    ASSERT_DOUBLE_EQ(a.ranks[r].finish_time_s, b.ranks[r].finish_time_s);
+    ASSERT_DOUBLE_EQ(a.ranks[r].wait_s, b.ranks[r].wait_s);
+  }
+}
+
+TEST_P(DesFuzz, SlowingOneRankNeverSpeedsAnyoneUp) {
+  // Monotonicity: adding compute time to one rank cannot reduce any rank's
+  // finish time.
+  util::Rng rng{util::SeedSequence(GetParam() + 77)};
+  std::size_t n = 3 + rng.uniform_index(12);
+  FuzzCase fc = random_programs(n, rng);
+  Engine engine;
+  RunResult before = engine.run(fc.programs);
+
+  std::size_t victim = rng.uniform_index(n);
+  // Find the victim's first compute op and inflate it.
+  for (auto& op : fc.programs[victim].ops) {
+    if (auto* c = std::get_if<ComputeOp>(&op)) {
+      c->seconds += 50.0;
+      break;
+    }
+  }
+  RunResult after = engine.run(fc.programs);
+  for (std::size_t r = 0; r < n; ++r) {
+    ASSERT_GE(after.ranks[r].finish_time_s,
+              before.ranks[r].finish_time_s - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DesFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace vapb::des

@@ -1,0 +1,189 @@
+#include "core/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::core {
+namespace {
+
+class DynamicFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kModules = 48;
+
+  DynamicFixture() {
+    std::vector<hw::ModuleId> alloc(kModules);
+    std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+    RunConfig cfg;
+    cfg.iterations = 0;  // phases set their own counts
+    campaign_ = std::make_unique<Campaign>(cluster_, alloc, cfg);
+  }
+
+  PhasedApplication two_phase() {
+    // A compute-heavy solve followed by a bandwidth-heavy exchange — the
+    // classic phase structure the paper's future work targets.
+    PhasedApplication app;
+    app.name = "solver";
+    app.phases = {{&workloads::dgemm(), 6}, {&workloads::stream(), 6}};
+    return app;
+  }
+
+  cluster::Cluster cluster_{hw::ha8k(), util::SeedSequence(121), kModules};
+  std::unique_ptr<Campaign> campaign_;
+};
+
+TEST_F(DynamicFixture, BlendedProfileIsIterationWeighted) {
+  PhasedApplication app = two_phase();
+  workloads::Workload blend = app.blended();
+  const auto& d = workloads::dgemm().profile;
+  const auto& s = workloads::stream().profile;
+  EXPECT_NEAR(blend.profile.cpu_dyn_w_per_ghz,
+              0.5 * (d.cpu_dyn_w_per_ghz + s.cpu_dyn_w_per_ghz), 1e-9);
+  EXPECT_NEAR(blend.profile.dram_static_w,
+              0.5 * (d.dram_static_w + s.dram_static_w), 1e-9);
+  // Unequal weights shift the blend.
+  app.phases[0].iterations = 18;  // 18:6 = 3:1
+  workloads::Workload skewed = app.blended();
+  EXPECT_GT(skewed.profile.cpu_dyn_w_per_ghz,
+            blend.profile.cpu_dyn_w_per_ghz);
+}
+
+TEST_F(DynamicFixture, DynamicRunsEveryPhase) {
+  DynamicRunResult r = run_phased_dynamic(*campaign_, two_phase(),
+                                          SchemeKind::kVaFs, kModules * 80.0);
+  ASSERT_EQ(r.phases.size(), 2u);
+  EXPECT_EQ(r.phases[0].workload, "*DGEMM");
+  EXPECT_EQ(r.phases[1].workload, "*STREAM");
+  EXPECT_NEAR(r.makespan_s, r.phases[0].makespan_s + r.phases[1].makespan_s,
+              1e-9);
+  EXPECT_GT(r.energy_j, 0.0);
+  EXPECT_GT(r.peak_power_w, 0.0);
+}
+
+TEST_F(DynamicFixture, DynamicPicksDifferentAlphaPerPhase) {
+  DynamicRunResult r = run_phased_dynamic(*campaign_, two_phase(),
+                                          SchemeKind::kVaFs, kModules * 80.0);
+  // The two phases have different power/frequency ranges, so the re-solve
+  // lands on visibly different operating points.
+  EXPECT_GT(std::abs(r.phases[0].alpha - r.phases[1].alpha), 0.02);
+  EXPECT_GT(std::abs(r.phases[0].target_freq_ghz -
+                     r.phases[1].target_freq_ghz), 0.02);
+}
+
+TEST_F(DynamicFixture, StaticUsesOneAlphaForAllPhases) {
+  DynamicRunResult r = run_phased_static(*campaign_, two_phase(),
+                                         SchemeKind::kVaFs, kModules * 80.0);
+  ASSERT_EQ(r.phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.phases[0].alpha, r.phases[1].alpha);
+  EXPECT_DOUBLE_EQ(r.phases[0].target_freq_ghz, r.phases[1].target_freq_ghz);
+}
+
+TEST_F(DynamicFixture, BlendedStaticViolatesBudgetInSomePhase) {
+  // The blended solve mispredicts both phases; during the phase whose power
+  // the blend underestimates it exceeds the budget. This is why the blended
+  // static is not deployable and the worst-case static is the real baseline.
+  // Skewed weights make the blend strongly misrepresent the short phase.
+  // Under power capping the CPU honours the blended cap but DRAM is an
+  // uncapped consequence: the bandwidth phase's DRAM power blows through the
+  // blend's estimate.
+  PhasedApplication app;
+  app.name = "skewed";
+  app.phases = {{&workloads::dgemm(), 9}, {&workloads::stream(), 3}};
+  const double budget = kModules * 80.0;
+  DynamicRunResult stat =
+      run_phased_static(*campaign_, app, SchemeKind::kVaPc, budget);
+  EXPECT_GT(stat.peak_power_w, budget * 1.03);
+  // The dynamic re-solve stays within budget in every phase.
+  DynamicRunResult dyn =
+      run_phased_dynamic(*campaign_, app, SchemeKind::kVaPc, budget);
+  EXPECT_LE(dyn.peak_power_w, budget * 1.02);
+}
+
+TEST_F(DynamicFixture, DynamicBeatsWorstCaseStatic) {
+  const double budget = kModules * 80.0;
+  DynamicRunResult dyn = run_phased_dynamic(*campaign_, two_phase(),
+                                            SchemeKind::kVaFs, budget);
+  DynamicRunResult worst = run_phased_static_worstcase(
+      *campaign_, two_phase(), SchemeKind::kVaFs, budget);
+  // Both adhere to the budget in every phase; dynamic recovers the time the
+  // conservative static leaves on the table.
+  EXPECT_LE(dyn.peak_power_w, budget * 1.02);
+  EXPECT_LE(worst.peak_power_w, budget * 1.02);
+  EXPECT_LT(dyn.makespan_s, worst.makespan_s);
+}
+
+TEST_F(DynamicFixture, DynamicPowerCappingRespectsBudgetEveryPhase) {
+  const double budget = kModules * 75.0;
+  DynamicRunResult dyn = run_phased_dynamic(*campaign_, two_phase(),
+                                            SchemeKind::kVaPc, budget);
+  EXPECT_LE(dyn.peak_power_w, budget * 1.02);
+  DynamicRunResult worst = run_phased_static_worstcase(
+      *campaign_, two_phase(), SchemeKind::kVaPc, budget);
+  EXPECT_LE(worst.peak_power_w, budget * 1.02);
+}
+
+TEST_F(DynamicFixture, SinglePhaseDynamicEqualsStaticRegime) {
+  PhasedApplication app;
+  app.name = "mono";
+  app.phases = {{&workloads::mhd(), 8}};
+  const double budget = kModules * 70.0;
+  DynamicRunResult dyn =
+      run_phased_dynamic(*campaign_, app, SchemeKind::kVaFs, budget);
+  ASSERT_EQ(dyn.phases.size(), 1u);
+  // One phase: the dynamic alpha equals the plain VaFs alpha for MHD.
+  core::RunMetrics plain = campaign_->runner().run_scheme(
+      workloads::mhd(), SchemeKind::kVaFs, budget, campaign_->pvt(),
+      campaign_->test_run(workloads::mhd()));
+  EXPECT_NEAR(dyn.phases[0].alpha, plain.alpha, 1e-12);
+}
+
+TEST_F(DynamicFixture, HplLikePresetStructure) {
+  PhasedApplication hpl = hpl_like_application(3, 5, 2);
+  ASSERT_EQ(hpl.phases.size(), 6u);
+  EXPECT_EQ(hpl.phases[0].workload->name, "*DGEMM");
+  EXPECT_EQ(hpl.phases[1].workload->name, "*STREAM");
+  EXPECT_EQ(hpl.phases[0].iterations, 5);
+  EXPECT_EQ(hpl.phases[1].iterations, 2);
+  // The blend leans toward the dominant compute phases.
+  workloads::Workload blend = hpl.blended();
+  EXPECT_GT(blend.profile.cpu_dyn_w_per_ghz,
+            0.5 * (workloads::dgemm().profile.cpu_dyn_w_per_ghz +
+                   workloads::stream().profile.cpu_dyn_w_per_ghz));
+  EXPECT_THROW(hpl_like_application(0), InvalidArgument);
+}
+
+TEST_F(DynamicFixture, HplLikeDynamicBeatsWorstCaseStatic) {
+  PhasedApplication hpl = hpl_like_application(2, 4, 2);
+  const double budget = kModules * 80.0;
+  DynamicRunResult dyn =
+      run_phased_dynamic(*campaign_, hpl, SchemeKind::kVaFs, budget);
+  DynamicRunResult worst =
+      run_phased_static_worstcase(*campaign_, hpl, SchemeKind::kVaFs, budget);
+  EXPECT_LT(dyn.makespan_s, worst.makespan_s);
+  EXPECT_LE(dyn.peak_power_w, budget * 1.02);
+}
+
+TEST_F(DynamicFixture, Validation) {
+  PhasedApplication empty;
+  empty.name = "empty";
+  EXPECT_THROW(
+      run_phased_dynamic(*campaign_, empty, SchemeKind::kVaFs, 1000.0),
+      InvalidArgument);
+  PhasedApplication bad;
+  bad.name = "bad";
+  bad.phases = {{nullptr, 5}};
+  EXPECT_THROW(bad.blended(), InvalidArgument);
+  PhasedApplication zero_iters;
+  zero_iters.name = "zero";
+  zero_iters.phases = {{&workloads::mhd(), 0}};
+  EXPECT_THROW(
+      run_phased_static(*campaign_, zero_iters, SchemeKind::kVaFs, 1000.0),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vapb::core

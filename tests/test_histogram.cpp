@@ -1,0 +1,76 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vapb::stats {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 9
+  h.add(5.0);   // bin 5
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsIntoEdgeBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-100.0);
+  h.add(100.0);
+  h.add(1.0);  // exactly hi lands in last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 2u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 3.5);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 4.0);
+}
+
+TEST(Histogram, AddAll) {
+  Histogram h(0.0, 1.0, 2);
+  std::vector<double> v{0.1, 0.2, 0.9};
+  h.add_all(v);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, AsciiHasOneLinePerBin) {
+  Histogram h(0.0, 1.0, 5);
+  h.add(0.5);
+  std::string s = h.ascii();
+  std::size_t lines = 0, pos = 0;
+  while ((pos = s.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 5u);
+}
+
+TEST(Histogram, AsciiEmptyHistogramSafe) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_NO_THROW(h.ascii());
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), InvalidArgument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 5), InvalidArgument);
+}
+
+TEST(Histogram, BinOutOfRangeThrows) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_THROW(static_cast<void>(h.count(3)), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(h.bin_low(3)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vapb::stats

@@ -1,0 +1,176 @@
+// End-to-end reproduction checks at reduced scale: the paper's qualitative
+// results must hold on a 96-module HA8K slice.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/campaign.hpp"
+#include "stats/linreg.hpp"
+#include "stats/summary.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::core {
+namespace {
+
+class Reproduction : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kModules = 96;
+
+  Reproduction() {
+    std::vector<hw::ModuleId> alloc(kModules);
+    std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+    RunConfig cfg;
+    cfg.iterations = 8;
+    campaign_ = std::make_unique<Campaign>(cluster_, alloc, cfg);
+  }
+
+  double budget(double cm) { return cm * kModules; }
+
+  cluster::Cluster cluster_{hw::ha8k(), util::SeedSequence(2015), kModules};
+  std::unique_ptr<Campaign> campaign_;
+};
+
+TEST_F(Reproduction, Figure2i_UncappedModulePowerSpread) {
+  const RunMetrics& m = campaign_->uncapped(workloads::dgemm());
+  EXPECT_GT(m.vp(), 1.2);
+  EXPECT_LT(m.vp(), 1.5);
+  auto dram = stats::summarize(m.dram_powers_w());
+  EXPECT_GT(dram.max / dram.min, 1.7);  // DRAM spread much wider
+  auto cpu = stats::summarize(m.cpu_powers_w());
+  EXPECT_NEAR(cpu.mean, 100.8, 4.0);    // paper's *DGEMM CPU average
+}
+
+TEST_F(Reproduction, Figure2ii_CapTighteningIncreasesVf) {
+  const auto& w = workloads::dgemm();
+  double prev_vf = 1.0;
+  for (double cm : {110.0, 90.0, 70.0}) {
+    CellResult cell = campaign_->run_cell(w, budget(cm), {SchemeKind::kPc});
+    double vf = cell.scheme(SchemeKind::kPc).metrics.vf();
+    EXPECT_GT(vf, prev_vf * 0.98) << "Vf should grow as caps tighten";
+    prev_vf = vf;
+  }
+  EXPECT_GT(prev_vf, 1.22);  // substantial frequency variation at 70 W
+}
+
+TEST_F(Reproduction, Figure2iii_DgemmVtTracksVfButMhdDoesNot) {
+  CellResult dg = campaign_->run_cell(workloads::dgemm(), budget(70.0),
+                                      {SchemeKind::kPc});
+  CellResult mh = campaign_->run_cell(workloads::mhd(), budget(70.0),
+                                      {SchemeKind::kPc});
+  double vt_dgemm = vt_normalized(dg.scheme(SchemeKind::kPc).metrics,
+                                  *dg.uncapped);
+  double vt_mhd = vt_normalized(mh.scheme(SchemeKind::kPc).metrics,
+                                *mh.uncapped);
+  EXPECT_GT(vt_dgemm, 1.3);        // up to 64% in the paper
+  EXPECT_LT(vt_mhd, 1.15);         // synchronization hides the variation
+}
+
+TEST_F(Reproduction, Figure3_MhdSynchronizationWaitGrowsUnderCaps) {
+  CellResult capped = campaign_->run_cell(workloads::mhd(), budget(70.0),
+                                          {SchemeKind::kPc});
+  const RunMetrics& uncapped = *capped.uncapped;
+  auto wait_capped =
+      stats::summarize(capped.scheme(SchemeKind::kPc).metrics.des
+                           .sendrecv_times());
+  auto wait_uncapped = stats::summarize(uncapped.des.sendrecv_times());
+  EXPECT_GT(wait_capped.max, wait_uncapped.max * 1.5);
+}
+
+TEST_F(Reproduction, Figure5_PowerIsLinearInFrequency) {
+  // R^2 >= 0.99 for CPU, DRAM and module power across 64 modules.
+  const auto& w = workloads::dgemm();
+  for (hw::ModuleId id = 0; id < 64; ++id) {
+    const auto& m = cluster_.module(id);
+    std::vector<double> f, cpu, dram, mod;
+    for (double x = 1.2; x <= 2.7; x += 0.1) {
+      f.push_back(x);
+      cpu.push_back(m.cpu_power_w(w.profile, x));
+      dram.push_back(m.dram_power_w(w.profile, x));
+      mod.push_back(m.module_power_w(w.profile, x));
+    }
+    ASSERT_GT(stats::fit_linear(f, cpu).r_squared, 0.99);
+    ASSERT_GT(stats::fit_linear(f, dram).r_squared, 0.99);
+    ASSERT_GT(stats::fit_linear(f, mod).r_squared, 0.99);
+  }
+}
+
+TEST_F(Reproduction, Figure7_VariationAwareSpeedupsAtTightBudgets) {
+  // BT at Cm = 50 W is the paper's flagship cell (5.4X for VaFs).
+  CellResult cell = campaign_->run_cell(workloads::bt(), budget(50.0));
+  EXPECT_EQ(cell.cls, CellClass::kValid);
+  double vafs = cell.scheme(SchemeKind::kVaFs).speedup_vs_naive;
+  double vapc = cell.scheme(SchemeKind::kVaPc).speedup_vs_naive;
+  double pc = cell.scheme(SchemeKind::kPc).speedup_vs_naive;
+  EXPECT_GT(vafs, 3.0);
+  EXPECT_GT(vapc, 2.0);
+  EXPECT_GT(vafs, pc);
+  EXPECT_GT(vapc, pc);
+}
+
+TEST_F(Reproduction, Figure7_OracleBoundsCalibratedSchemes) {
+  CellResult cell = campaign_->run_cell(workloads::mhd(), budget(70.0));
+  // With good calibration (MHD ~1.5% error) the gap to the oracle is small.
+  double or_speedup = cell.scheme(SchemeKind::kVaPcOr).speedup_vs_naive;
+  double va_speedup = cell.scheme(SchemeKind::kVaPc).speedup_vs_naive;
+  EXPECT_NEAR(va_speedup, or_speedup, or_speedup * 0.15);
+}
+
+TEST_F(Reproduction, Figure8_VaFsTradesVpForVt) {
+  CellResult cell = campaign_->run_cell(workloads::dgemm(), budget(70.0),
+                                        {SchemeKind::kPc, SchemeKind::kVaFs});
+  const RunMetrics& pc = cell.scheme(SchemeKind::kPc).metrics;
+  const RunMetrics& vafs = cell.scheme(SchemeKind::kVaFs).metrics;
+  // VaFs reduces execution-time variation by increasing power variation.
+  EXPECT_LT(vt_normalized(vafs, *cell.uncapped),
+            vt_normalized(pc, *cell.uncapped));
+  EXPECT_GT(vafs.vp(), pc.vp());
+}
+
+TEST_F(Reproduction, Figure9_SchemesAdhereToBudgetExceptNaiveStream) {
+  // Naive underestimates *STREAM's DRAM power and violates the budget.
+  CellResult cell = campaign_->run_cell(workloads::stream(), budget(90.0),
+                                        {SchemeKind::kNaive, SchemeKind::kPc,
+                                         SchemeKind::kVaPc});
+  EXPECT_GT(cell.scheme(SchemeKind::kNaive).metrics.total_power_w,
+            budget(90.0) * 1.02);
+  EXPECT_LE(cell.scheme(SchemeKind::kPc).metrics.total_power_w,
+            budget(90.0) * 1.01);
+  EXPECT_LE(cell.scheme(SchemeKind::kVaPc).metrics.total_power_w,
+            budget(90.0) * 1.01);
+}
+
+TEST_F(Reproduction, TellerShowsPerformanceVariationUncapped) {
+  // Figure 1(C): Teller is the only studied system whose *performance*
+  // varies across sockets even without power caps (imperfect binning).
+  cluster::Cluster teller(hw::teller(), util::SeedSequence(2015), 64);
+  std::vector<hw::ModuleId> alloc(64);
+  std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+  RunConfig cfg;
+  cfg.iterations = 6;
+  cfg.turbo = true;
+  Runner runner(teller, alloc, cfg);
+  RunMetrics m = runner.run_uncapped(workloads::ep());
+  EXPECT_GT(m.vt_raw(), 1.08);  // ~17% spread in the paper
+  EXPECT_LT(m.vt_raw(), 1.35);
+  // Intel (Cab) shows essentially none.
+  cluster::Cluster cab(hw::cab(), util::SeedSequence(2015), 64);
+  Runner cab_runner(cab, alloc, cfg);
+  RunMetrics cm = cab_runner.run_uncapped(workloads::ep());
+  EXPECT_LT(cm.vt_raw(), 1.03);
+}
+
+TEST_F(Reproduction, EpHasNoMeaningfulPerRunNoise) {
+  // Section 4.1's premise: EP exhibits < 0.5% noise per run.
+  RunConfig cfg;
+  cfg.iterations = 8;
+  std::vector<hw::ModuleId> one{0};
+  Runner r1(cluster_, one, cfg);
+  cfg.run_salt = 1;
+  Runner r2(cluster_, one, cfg);
+  RunMetrics a = r1.run_uncapped(workloads::ep());
+  RunMetrics b = r2.run_uncapped(workloads::ep());
+  EXPECT_NEAR(a.makespan_s / b.makespan_s, 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace vapb::core

@@ -1,0 +1,92 @@
+#include "hw/ladder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vapb::hw {
+namespace {
+
+TEST(Ladder, LevelsIncludeEndpoints) {
+  FrequencyLadder l(1.2, 2.7, 0.1);
+  EXPECT_DOUBLE_EQ(l.levels().front(), 1.2);
+  EXPECT_DOUBLE_EQ(l.levels().back(), 2.7);
+  EXPECT_EQ(l.levels().size(), 16u);
+}
+
+TEST(Ladder, LevelsAscendByStep) {
+  FrequencyLadder l(1.0, 2.0, 0.25);
+  const auto& lv = l.levels();
+  for (std::size_t i = 1; i < lv.size(); ++i) {
+    EXPECT_GT(lv[i], lv[i - 1]);
+    EXPECT_NEAR(lv[i] - lv[i - 1], 0.25, 1e-9);
+  }
+}
+
+TEST(Ladder, SingleFrequencyLadder) {
+  FrequencyLadder l(1.6, 1.6, 0.1);  // BG/Q A2: fixed frequency
+  EXPECT_EQ(l.levels().size(), 1u);
+  EXPECT_DOUBLE_EQ(l.quantize_down(2.0), 1.6);
+  EXPECT_DOUBLE_EQ(l.quantize_down(1.0), 1.6);
+}
+
+TEST(Ladder, TurboSemantics) {
+  FrequencyLadder with(1.2, 2.7, 0.1, 3.0);
+  EXPECT_TRUE(with.has_turbo());
+  EXPECT_DOUBLE_EQ(with.turbo(), 3.0);
+  FrequencyLadder without(1.2, 2.7, 0.1);
+  EXPECT_FALSE(without.has_turbo());
+  EXPECT_DOUBLE_EQ(without.turbo(), 2.7);  // degrades to fmax
+}
+
+TEST(Ladder, Clamp) {
+  FrequencyLadder l(1.2, 2.7, 0.1);
+  EXPECT_DOUBLE_EQ(l.clamp(0.5), 1.2);
+  EXPECT_DOUBLE_EQ(l.clamp(3.5), 2.7);
+  EXPECT_DOUBLE_EQ(l.clamp(2.0), 2.0);
+}
+
+TEST(Ladder, IsLevel) {
+  FrequencyLadder l(1.2, 2.7, 0.1);
+  EXPECT_TRUE(l.is_level(1.2));
+  EXPECT_TRUE(l.is_level(2.0));
+  EXPECT_TRUE(l.is_level(2.7));
+  EXPECT_FALSE(l.is_level(2.05));
+  EXPECT_FALSE(l.is_level(3.0));
+}
+
+TEST(Ladder, InvalidConfigsThrow) {
+  EXPECT_THROW(FrequencyLadder(0.0, 2.0, 0.1), ConfigError);
+  EXPECT_THROW(FrequencyLadder(2.0, 1.0, 0.1), ConfigError);
+  EXPECT_THROW(FrequencyLadder(1.0, 2.0, 0.0), ConfigError);
+  EXPECT_THROW(FrequencyLadder(1.0, 2.0, 0.1, 1.5), ConfigError);  // turbo<fmax
+}
+
+struct QuantizeCase {
+  double in;
+  double expected;
+};
+
+class QuantizeDown : public ::testing::TestWithParam<QuantizeCase> {};
+
+TEST_P(QuantizeDown, SnapsToLowerLevel) {
+  FrequencyLadder l(1.2, 2.7, 0.1);
+  EXPECT_NEAR(l.quantize_down(GetParam().in), GetParam().expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, QuantizeDown,
+    ::testing::Values(QuantizeCase{1.2, 1.2}, QuantizeCase{1.25, 1.2},
+                      QuantizeCase{1.3, 1.3}, QuantizeCase{1.999, 1.9},
+                      QuantizeCase{2.7, 2.7}, QuantizeCase{3.5, 2.7},
+                      QuantizeCase{0.4, 1.2}, QuantizeCase{2.0, 2.0}));
+
+TEST(Ladder, QuantizeDownIsIdempotentOnLevels) {
+  FrequencyLadder l(1.2, 2.7, 0.1);
+  for (double f : l.levels()) {
+    EXPECT_NEAR(l.quantize_down(f), f, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vapb::hw

@@ -1,0 +1,145 @@
+#include "hw/module.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/linreg.hpp"
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::hw {
+namespace {
+
+FrequencyLadder ha8k_ladder() { return {1.2, 2.7, 0.1, 3.0}; }
+
+Module average_module(ModuleId id = 0) {
+  return Module(id, ModuleVariation{}, ha8k_ladder(), 130.0,
+                util::SeedSequence(1));
+}
+
+PowerProfile plain_profile() {
+  PowerProfile p;
+  p.name = "plain";
+  p.cpu_static_w = 10.0;
+  p.cpu_dyn_w_per_ghz = 30.0;
+  p.dram_static_w = 4.0;
+  p.dram_dyn_w_per_ghz = 3.0;
+  return p;
+}
+
+TEST(Module, AverageModuleMatchesProfileExactly) {
+  Module m = average_module();
+  PowerProfile p = plain_profile();
+  EXPECT_DOUBLE_EQ(m.cpu_power_w(p, 2.0), p.cpu_w(2.0));
+  EXPECT_DOUBLE_EQ(m.dram_power_w(p, 2.0), p.dram_w(2.0));
+  EXPECT_DOUBLE_EQ(m.module_power_w(p, 2.0), p.module_w(2.0));
+}
+
+TEST(Module, VariationScalesApply) {
+  ModuleVariation v;
+  v.cpu_dyn = 1.2;
+  v.cpu_static = 1.1;
+  v.dram = 0.8;
+  Module m(1, v, ha8k_ladder(), 130.0, util::SeedSequence(1));
+  PowerProfile p = plain_profile();
+  EXPECT_DOUBLE_EQ(m.cpu_power_w(p, 2.0), 1.1 * 10.0 + 1.2 * 30.0 * 2.0);
+  EXPECT_DOUBLE_EQ(m.dram_power_w(p, 2.0), 0.8 * (4.0 + 3.0 * 2.0));
+}
+
+TEST(Module, SensitivityDampsVariation) {
+  ModuleVariation v;
+  v.cpu_dyn = 1.2;
+  Module m(1, v, ha8k_ladder(), 130.0, util::SeedSequence(1));
+  PowerProfile p = plain_profile();
+  p.cpu_static_w = 0.0;
+  p.cpu_sensitivity = 0.5;
+  // Effective scale = 1 + (1.2 - 1) * 0.5 = 1.1.
+  EXPECT_NEAR(m.cpu_power_w(p, 1.0), 1.1 * 30.0, 1e-9);
+}
+
+TEST(Module, PowerIsAffineInFrequency) {
+  util::SeedSequence fab(3);
+  ModuleVariation v;
+  v.cpu_dyn = 1.07;
+  v.cpu_static = 0.93;
+  v.dram = 1.3;
+  Module m(5, v, ha8k_ladder(), 130.0, fab);
+  const auto& w = workloads::mhd();
+  std::vector<double> f, cpu, dram;
+  for (double x = 1.2; x <= 2.7; x += 0.1) {
+    f.push_back(x);
+    cpu.push_back(m.cpu_power_w(w.profile, x));
+    dram.push_back(m.dram_power_w(w.profile, x));
+  }
+  EXPECT_GT(stats::fit_linear(f, cpu).r_squared, 0.999999);
+  EXPECT_GT(stats::fit_linear(f, dram).r_squared, 0.999999);
+}
+
+TEST(Module, IdiosyncrasyIsDeterministicPerWorkload) {
+  Module m(9, ModuleVariation{}, ha8k_ladder(), 130.0, util::SeedSequence(4));
+  PowerProfile p = plain_profile();
+  p.idiosyncrasy_sd = 0.1;
+  double a = m.cpu_power_w(p, 2.0);
+  double b = m.cpu_power_w(p, 2.0);
+  EXPECT_DOUBLE_EQ(a, b);
+  // A different workload name draws a different factor.
+  PowerProfile q = p;
+  q.name = "other";
+  EXPECT_NE(m.cpu_power_w(q, 2.0), a);
+}
+
+TEST(Module, IdiosyncrasyZeroMeansExact) {
+  Module m(9, ModuleVariation{}, ha8k_ladder(), 130.0, util::SeedSequence(4));
+  PowerProfile p = plain_profile();
+  EXPECT_DOUBLE_EQ(m.cpu_power_w(p, 2.0), p.cpu_w(2.0));
+}
+
+class FreqInverse : public ::testing::TestWithParam<double> {};
+
+TEST_P(FreqInverse, FreqForPowerInvertsPowerForFreq) {
+  util::SeedSequence fab(6);
+  ModuleVariation v;
+  v.cpu_dyn = 1.1;
+  v.cpu_static = 0.9;
+  Module m(2, v, ha8k_ladder(), 130.0, fab);
+  const auto& w = workloads::dgemm();
+  double f = GetParam();
+  double p = m.cpu_power_w(w.profile, f);
+  EXPECT_NEAR(m.freq_for_cpu_power(w.profile, p), f, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Freqs, FreqInverse,
+                         ::testing::Values(1.2, 1.5, 2.0, 2.45, 2.7, 3.0));
+
+TEST(Module, FreqForPowerThrowsOnFlatProfile) {
+  Module m = average_module();
+  PowerProfile p = plain_profile();
+  p.cpu_dyn_w_per_ghz = 0.0;
+  EXPECT_THROW(static_cast<void>(m.freq_for_cpu_power(p, 50.0)), InvalidArgument);
+}
+
+TEST(Module, MaxFreqUsesTurboAndFreqScale) {
+  ModuleVariation v;
+  v.freq = 0.9;
+  Module m(3, v, ha8k_ladder(), 130.0, util::SeedSequence(1));
+  EXPECT_DOUBLE_EQ(m.max_freq_ghz(false), 2.7 * 0.9);
+  EXPECT_DOUBLE_EQ(m.max_freq_ghz(true), 3.0 * 0.9);
+}
+
+TEST(Module, NonPositiveTdpThrows) {
+  EXPECT_THROW(Module(0, ModuleVariation{}, ha8k_ladder(), 0.0,
+                      util::SeedSequence(1)),
+               ConfigError);
+}
+
+TEST(Module, AccessorsExposeConstruction) {
+  ModuleVariation v;
+  v.dram = 1.23;
+  Module m(17, v, ha8k_ladder(), 115.0, util::SeedSequence(2));
+  EXPECT_EQ(m.id(), 17u);
+  EXPECT_DOUBLE_EQ(m.variation().dram, 1.23);
+  EXPECT_DOUBLE_EQ(m.tdp_cpu_w(), 115.0);
+  EXPECT_DOUBLE_EQ(m.ladder().fmax(), 2.7);
+}
+
+}  // namespace
+}  // namespace vapb::hw

@@ -1,0 +1,158 @@
+#include "hw/msr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::hw::msr {
+namespace {
+
+Module make_module() {
+  return Module(0, ModuleVariation{}, FrequencyLadder(1.2, 2.7, 0.1, 3.0),
+                130.0, util::SeedSequence(1));
+}
+
+TEST(PowerUnits, DefaultsMatchIntelParts) {
+  PowerUnits u;
+  EXPECT_DOUBLE_EQ(u.power_unit_w(), 0.125);          // 1/8 W
+  EXPECT_NEAR(u.energy_unit_j(), 15.26e-6, 0.05e-6);  // ~15.3 uJ
+  EXPECT_NEAR(u.time_unit_s(), 976.6e-6, 1e-6);       // ~0.98 ms
+}
+
+TEST(PowerUnits, EncodeDecodeRoundTrips) {
+  PowerUnits u;
+  u.power_exp = 2;
+  u.energy_exp = 14;
+  u.time_exp = 7;
+  PowerUnits back = PowerUnits::decode(u.encode());
+  EXPECT_EQ(back.power_exp, 2u);
+  EXPECT_EQ(back.energy_exp, 14u);
+  EXPECT_EQ(back.time_exp, 7u);
+}
+
+TEST(PowerLimit, EncodeSetsDocumentedBits) {
+  PowerUnits units;
+  PowerLimit limit;
+  limit.power_w = 64.0;  // 512 power units
+  limit.enabled = true;
+  limit.clamp = true;
+  std::uint64_t raw = encode_power_limit(limit, units);
+  EXPECT_EQ(raw & 0x7fff, 512u);
+  EXPECT_TRUE(raw & (1ull << 15));
+  EXPECT_TRUE(raw & (1ull << 16));
+}
+
+class LimitRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(LimitRoundTrip, PowerSurvivesEncodeDecode) {
+  PowerUnits units;
+  PowerLimit limit;
+  limit.power_w = GetParam();
+  limit.window_s = 1e-3;
+  limit.enabled = true;
+  PowerLimit back = decode_power_limit(encode_power_limit(limit, units), units);
+  // Quantized to 1/8 W.
+  EXPECT_NEAR(back.power_w, limit.power_w, units.power_unit_w() / 2 + 1e-12);
+  EXPECT_TRUE(back.enabled);
+  // Window decodes to a representable value not exceeding the request.
+  EXPECT_LE(back.window_s, limit.window_s + 1e-9);
+  EXPECT_GE(back.window_s, limit.window_s / 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Watts, LimitRoundTrip,
+                         ::testing::Values(10.0, 40.0, 59.3, 77.3, 97.4,
+                                           115.0, 130.0));
+
+TEST(PowerLimit, WindowEncodingCoversMillisecondsToSeconds) {
+  PowerUnits units;
+  for (double w : {0.001, 0.01, 0.1, 1.0}) {
+    PowerLimit limit;
+    limit.power_w = 50.0;
+    limit.window_s = w;
+    PowerLimit back =
+        decode_power_limit(encode_power_limit(limit, units), units);
+    EXPECT_LE(back.window_s, w * 1.01);
+    EXPECT_GE(back.window_s, w * 0.5);
+  }
+}
+
+TEST(PowerLimit, OverflowRejected) {
+  PowerUnits units;
+  PowerLimit limit;
+  limit.power_w = 5000.0;  // 40000 units > 15 bits
+  EXPECT_THROW(encode_power_limit(limit, units), InvalidArgument);
+  limit.power_w = -1.0;
+  EXPECT_THROW(encode_power_limit(limit, units), InvalidArgument);
+}
+
+class MsrFileFixture : public ::testing::Test {
+ protected:
+  Module module_ = make_module();
+  Rapl rapl_{module_};
+  MsrFile file_{rapl_};
+};
+
+TEST_F(MsrFileFixture, ReadUnitsRegister) {
+  PowerUnits u = PowerUnits::decode(file_.read(kRaplPowerUnit));
+  EXPECT_EQ(u.power_exp, 3u);
+}
+
+TEST_F(MsrFileFixture, WritingLimitRegisterCapsTheModule) {
+  set_pkg_power_limit(file_, 70.0, 1e-3);
+  ASSERT_TRUE(rapl_.cpu_limit_w().has_value());
+  EXPECT_NEAR(*rapl_.cpu_limit_w(), 70.0, 0.0625);
+  OperatingPoint op = rapl_.operating_point(workloads::dgemm().profile);
+  EXPECT_NEAR(op.cpu_w, 70.0, 0.1);
+  // Register reads back what was written.
+  PowerLimit back =
+      decode_power_limit(file_.read(kPkgPowerLimit), file_.units());
+  EXPECT_NEAR(back.power_w, 70.0, 0.0625);
+}
+
+TEST_F(MsrFileFixture, ClearingLimitUncaps) {
+  set_pkg_power_limit(file_, 50.0, 1e-3);
+  clear_pkg_power_limit(file_);
+  EXPECT_FALSE(rapl_.cpu_limit_w().has_value());
+}
+
+TEST_F(MsrFileFixture, DisabledLimitDoesNotCap) {
+  PowerLimit limit;
+  limit.power_w = 50.0;
+  limit.enabled = false;
+  file_.write(kPkgPowerLimit, encode_power_limit(limit, file_.units()));
+  EXPECT_FALSE(rapl_.cpu_limit_w().has_value());
+}
+
+TEST_F(MsrFileFixture, EnergyCountersTrackRapl) {
+  OperatingPoint op = rapl_.operating_point(workloads::dgemm().profile);
+  rapl_.advance(op, 5.0);
+  EXPECT_NEAR(read_pkg_energy_j(file_), op.cpu_w * 5.0, 0.01);
+  EXPECT_NEAR(read_dram_energy_j(file_), op.dram_w * 5.0, 0.01);
+}
+
+TEST_F(MsrFileFixture, EnergyCounterWrapsLikeHardware) {
+  OperatingPoint op;
+  op.cpu_w = 100.0;
+  // Push past the 32-bit wrap (~65.7 kJ at 15.26 uJ units).
+  rapl_.advance(op, 700.0);
+  double raw_j = static_cast<double>(file_.read(kPkgEnergyStatus)) *
+                 file_.units().energy_unit_j();
+  EXPECT_LT(raw_j, 70000.0 * 0.95);  // wrapped: raw view lost a lap
+  EXPECT_GT(rapl_.pkg_energy_j(), 69000.0);
+}
+
+TEST_F(MsrFileFixture, DramLimitAcceptedButInert) {
+  file_.write(kDramPowerLimit, 0x1234);
+  EXPECT_EQ(file_.read(kDramPowerLimit), 0x1234u);
+  EXPECT_FALSE(rapl_.cpu_limit_w().has_value());
+}
+
+TEST_F(MsrFileFixture, WhitelistRejectsUnknownRegisters) {
+  EXPECT_THROW(static_cast<void>(file_.read(0x1a0)), MsrAccessError);
+  EXPECT_THROW(file_.write(0x611, 0), MsrAccessError);  // counters read-only
+  EXPECT_THROW(file_.write(0x606, 0), MsrAccessError);  // units read-only
+}
+
+}  // namespace
+}  // namespace vapb::hw::msr

@@ -1,0 +1,70 @@
+#include "des/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "des/engine.hpp"
+
+namespace vapb::des {
+namespace {
+
+TEST(Network, P2pCostIsLatencyPlusBandwidthTerm) {
+  NetworkModel n;
+  n.latency_s = 1e-6;
+  n.bandwidth_bytes_per_s = 1e9;
+  EXPECT_DOUBLE_EQ(n.p2p_cost_s(0.0), 1e-6);
+  EXPECT_DOUBLE_EQ(n.p2p_cost_s(1e9), 1.0 + 1e-6);
+}
+
+TEST(Network, CollectiveScalesLogarithmically) {
+  NetworkModel n;
+  n.latency_s = 1.0;
+  n.bandwidth_bytes_per_s = 1e30;
+  EXPECT_DOUBLE_EQ(n.collective_cost_s(1, 8.0), 0.0);
+  EXPECT_DOUBLE_EQ(n.collective_cost_s(2, 8.0), 1.0);
+  EXPECT_DOUBLE_EQ(n.collective_cost_s(4, 8.0), 2.0);
+  EXPECT_DOUBLE_EQ(n.collective_cost_s(1024, 8.0), 10.0);
+  EXPECT_DOUBLE_EQ(n.collective_cost_s(1025, 8.0), 11.0);
+}
+
+TEST(Network, SameNodeMapping) {
+  NetworkModel n;
+  n.ranks_per_node = 2;
+  EXPECT_TRUE(n.same_node(0, 1));
+  EXPECT_FALSE(n.same_node(1, 2));
+  EXPECT_TRUE(n.same_node(6, 7));
+  // Flat network: nothing shares a node.
+  NetworkModel flat;
+  EXPECT_FALSE(flat.same_node(0, 1));
+}
+
+TEST(Network, IntraNodeTransfersAreCheaper) {
+  NetworkModel n;
+  n.ranks_per_node = 2;
+  double intra = n.p2p_cost_s(0, 1, 1e6);
+  double inter = n.p2p_cost_s(1, 2, 1e6);
+  EXPECT_LT(intra, inter);
+  // Pair-specific cost degrades to the flat cost across nodes.
+  EXPECT_DOUBLE_EQ(inter, n.p2p_cost_s(1e6));
+}
+
+TEST(Network, EngineUsesTierAwareCosts) {
+  NetworkModel n;
+  n.ranks_per_node = 2;
+  n.latency_s = 1.0;
+  n.bandwidth_bytes_per_s = 1e30;
+  n.intra_latency_s = 0.25;
+  n.intra_bandwidth_bytes_per_s = 1e30;
+  Engine engine(n);
+  // Ranks 0,1 share a node; 2 is remote. SPMD: everyone exchanges once.
+  std::vector<RankProgram> progs(3);
+  progs[0].halo_exchange({1}, 0.0);       // intra only
+  progs[1].halo_exchange({0, 2}, 0.0);    // intra + inter
+  progs[2].halo_exchange({1}, 0.0);       // inter only
+  RunResult r = engine.run(progs);
+  EXPECT_DOUBLE_EQ(r.ranks[0].transfer_s, 0.25);
+  EXPECT_DOUBLE_EQ(r.ranks[1].transfer_s, 1.25);
+  EXPECT_DOUBLE_EQ(r.ranks[2].transfer_s, 1.0);
+}
+
+}  // namespace
+}  // namespace vapb::des

@@ -1,0 +1,94 @@
+#include "core/pmmd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "hw/arch.hpp"
+#include "util/error.hpp"
+
+namespace vapb::core {
+namespace {
+
+class PmmdFixture : public ::testing::Test {
+ protected:
+  PmmdFixture() {
+    for (hw::ModuleId i = 0; i < 4; ++i) {
+      rapls_.emplace_back(cluster_.module(i));
+      governors_.emplace_back(cluster_.module(i));
+    }
+  }
+
+  PmmdPlan cap_plan() {
+    PmmdPlan plan;
+    plan.enforcement = Enforcement::kPowerCap;
+    for (hw::ModuleId i = 0; i < 4; ++i) {
+      PmmdSetting s;
+      s.module = i;
+      s.cpu_cap_w = 60.0 + i;
+      plan.settings.push_back(s);
+    }
+    return plan;
+  }
+
+  PmmdPlan freq_plan() {
+    PmmdPlan plan;
+    plan.enforcement = Enforcement::kFreqSelect;
+    for (hw::ModuleId i = 0; i < 4; ++i) {
+      PmmdSetting s;
+      s.module = i;
+      s.freq_ghz = 1.8;
+      plan.settings.push_back(s);
+    }
+    return plan;
+  }
+
+  cluster::Cluster cluster_{hw::ha8k(), util::SeedSequence(81), 4};
+  std::vector<hw::Rapl> rapls_;
+  std::vector<hw::CpufreqGovernor> governors_;
+};
+
+TEST_F(PmmdFixture, PowerCapPlanProgramsRapl) {
+  {
+    PmmdSession session(cap_plan(), rapls_, governors_);
+    for (hw::ModuleId i = 0; i < 4; ++i) {
+      ASSERT_TRUE(rapls_[i].cpu_limit_w().has_value());
+      EXPECT_DOUBLE_EQ(*rapls_[i].cpu_limit_w(), 60.0 + i);
+      EXPECT_FALSE(governors_[i].frequency_ghz().has_value());
+    }
+  }
+  // Region exit clears everything (the MPI_Finalize directive).
+  for (auto& r : rapls_) EXPECT_FALSE(r.cpu_limit_w().has_value());
+}
+
+TEST_F(PmmdFixture, FreqSelectPlanProgramsGovernors) {
+  {
+    PmmdSession session(freq_plan(), rapls_, governors_);
+    for (auto& g : governors_) {
+      ASSERT_TRUE(g.frequency_ghz().has_value());
+      EXPECT_NEAR(*g.frequency_ghz(), 1.8, 1e-9);
+    }
+    for (auto& r : rapls_) EXPECT_FALSE(r.cpu_limit_w().has_value());
+  }
+  for (auto& g : governors_) EXPECT_FALSE(g.frequency_ghz().has_value());
+}
+
+TEST_F(PmmdFixture, SizeMismatchThrows) {
+  PmmdPlan plan = cap_plan();
+  plan.settings.pop_back();
+  EXPECT_THROW(PmmdSession(plan, rapls_, governors_), InvalidArgument);
+}
+
+TEST_F(PmmdFixture, MissingCapThrows) {
+  PmmdPlan plan = cap_plan();
+  plan.settings[2].cpu_cap_w.reset();
+  EXPECT_THROW(PmmdSession(plan, rapls_, governors_), InvalidArgument);
+}
+
+TEST_F(PmmdFixture, MissingFreqThrows) {
+  PmmdPlan plan = freq_plan();
+  plan.settings[0].freq_ghz.reset();
+  EXPECT_THROW(PmmdSession(plan, rapls_, governors_), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vapb::core

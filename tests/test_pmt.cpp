@@ -1,0 +1,147 @@
+#include "core/pmt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::core {
+namespace {
+
+class PmtFixture : public ::testing::Test {
+ protected:
+  PmtFixture() {
+    allocation_.resize(cluster_.size());
+    std::iota(allocation_.begin(), allocation_.end(), hw::ModuleId{0});
+  }
+
+  cluster::Cluster cluster_{hw::ha8k(), util::SeedSequence(51), 96};
+  std::vector<hw::ModuleId> allocation_;
+  Pvt pvt_ = Pvt::generate(cluster_, workloads::pvt_microbench(),
+                           util::SeedSequence(52));
+};
+
+TEST(PmtEntry, InterpolationMath) {
+  PmtEntry e{100.0, 30.0, 60.0, 20.0};
+  EXPECT_DOUBLE_EQ(e.module_max_w(), 130.0);
+  EXPECT_DOUBLE_EQ(e.module_min_w(), 80.0);
+  EXPECT_DOUBLE_EQ(e.cpu_at(0.0), 60.0);
+  EXPECT_DOUBLE_EQ(e.cpu_at(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(e.cpu_at(0.5), 80.0);
+  EXPECT_DOUBLE_EQ(e.dram_at(0.5), 25.0);
+  EXPECT_DOUBLE_EQ(e.module_at(0.5), 105.0);
+}
+
+TEST(Pmt, FreqInterpolation) {
+  Pmt pmt({PmtEntry{1, 1, 1, 1}}, 2.7, 1.2);
+  EXPECT_DOUBLE_EQ(pmt.freq_at(0.0), 1.2);
+  EXPECT_DOUBLE_EQ(pmt.freq_at(1.0), 2.7);
+  EXPECT_NEAR(pmt.freq_at(0.5), 1.95, 1e-12);
+}
+
+TEST(Pmt, Totals) {
+  Pmt pmt({PmtEntry{10, 2, 5, 1}, PmtEntry{20, 4, 10, 2}}, 2.7, 1.2);
+  EXPECT_DOUBLE_EQ(pmt.total_max_w(), 36.0);
+  EXPECT_DOUBLE_EQ(pmt.total_min_w(), 18.0);
+}
+
+TEST(Pmt, Validation) {
+  EXPECT_THROW(Pmt({}, 2.7, 1.2), InternalError);
+  EXPECT_THROW(Pmt({PmtEntry{}}, 1.2, 2.7), ConfigError);  // fmax < fmin
+  Pmt ok({PmtEntry{}}, 2.7, 1.2);
+  EXPECT_THROW(ok.entry(1), InvalidArgument);
+}
+
+TEST_F(PmtFixture, CalibratedStreamPmtIsNearPerfect) {
+  // *STREAM is the PVT microbenchmark: calibration must be ~exact.
+  TestRunResult test = single_module_test_run(
+      cluster_, 7, workloads::stream(), util::SeedSequence(53));
+  Pmt predicted =
+      calibrate_pmt(pvt_, test, allocation_, cluster_.spec().ladder);
+  Pmt truth = oracle_pmt(cluster_, allocation_, workloads::stream(),
+                         util::SeedSequence(54));
+  EXPECT_LT(pmt_prediction_error(predicted, truth), 0.01);
+}
+
+TEST_F(PmtFixture, BtPredictionErrorIsLargest) {
+  // Section 5.3: BT ~10% error, others < 5%.
+  auto error_for = [&](const workloads::Workload& w) {
+    TestRunResult test =
+        single_module_test_run(cluster_, 7, w, util::SeedSequence(55));
+    Pmt predicted =
+        calibrate_pmt(pvt_, test, allocation_, cluster_.spec().ladder);
+    Pmt truth = oracle_pmt(cluster_, allocation_, w, util::SeedSequence(56));
+    return pmt_prediction_error(predicted, truth);
+  };
+  double bt_err = error_for(workloads::bt());
+  EXPECT_GT(bt_err, 0.04);
+  EXPECT_LT(bt_err, 0.25);
+  EXPECT_LT(error_for(workloads::dgemm()), 0.05);
+  EXPECT_LT(error_for(workloads::mhd()), 0.05);
+  EXPECT_GT(bt_err, error_for(workloads::sp()));
+}
+
+TEST_F(PmtFixture, CalibrationCoversOnlyAllocation) {
+  std::vector<hw::ModuleId> subset{3, 17, 42};
+  TestRunResult test = single_module_test_run(
+      cluster_, 3, workloads::mhd(), util::SeedSequence(57));
+  Pmt pmt = calibrate_pmt(pvt_, test, subset, cluster_.spec().ladder);
+  EXPECT_EQ(pmt.size(), 3u);
+}
+
+TEST_F(PmtFixture, OracleMatchesTrueModulePowers) {
+  std::vector<hw::ModuleId> subset{0, 1, 2, 3};
+  const auto& w = workloads::mhd();
+  Pmt oracle = oracle_pmt(cluster_, subset, w, util::SeedSequence(58));
+  for (std::size_t k = 0; k < subset.size(); ++k) {
+    const auto& m = cluster_.module(subset[k]);
+    EXPECT_NEAR(oracle.entry(k).cpu_max_w, m.cpu_power_w(w.profile, 2.7),
+                m.cpu_power_w(w.profile, 2.7) * 0.01);
+    EXPECT_NEAR(oracle.entry(k).cpu_min_w, m.cpu_power_w(w.profile, 1.2),
+                m.cpu_power_w(w.profile, 1.2) * 0.01);
+  }
+}
+
+TEST_F(PmtFixture, AveragedPmtIsUniform) {
+  TestRunResult test = single_module_test_run(
+      cluster_, 7, workloads::mhd(), util::SeedSequence(59));
+  Pmt pmt = calibrate_pmt(pvt_, test, allocation_, cluster_.spec().ladder);
+  Pmt avg = averaged_pmt(pmt);
+  ASSERT_EQ(avg.size(), pmt.size());
+  for (std::size_t k = 1; k < avg.size(); ++k) {
+    EXPECT_DOUBLE_EQ(avg.entry(k).cpu_max_w, avg.entry(0).cpu_max_w);
+  }
+  EXPECT_NEAR(avg.total_max_w(), pmt.total_max_w(), 1e-6);
+}
+
+TEST(Pmt, ConstantPmtReplicates) {
+  Pmt pmt = constant_pmt(PmtEntry{130, 62, 40, 10}, 5,
+                         hw::FrequencyLadder(1.2, 2.7, 0.1));
+  EXPECT_EQ(pmt.size(), 5u);
+  EXPECT_DOUBLE_EQ(pmt.total_max_w(), 5 * 192.0);
+  EXPECT_DOUBLE_EQ(pmt.total_min_w(), 5 * 50.0);
+}
+
+TEST(Pmt, ConstantPmtZeroRejected) {
+  EXPECT_THROW(constant_pmt(PmtEntry{}, 0, hw::FrequencyLadder(1.2, 2.7, 0.1)),
+               InvalidArgument);
+}
+
+TEST_F(PmtFixture, PredictionErrorValidation) {
+  Pmt a({PmtEntry{1, 1, 1, 1}}, 2.7, 1.2);
+  Pmt b({PmtEntry{1, 1, 1, 1}, PmtEntry{1, 1, 1, 1}}, 2.7, 1.2);
+  EXPECT_THROW(pmt_prediction_error(a, b), InvalidArgument);
+  EXPECT_DOUBLE_EQ(pmt_prediction_error(a, a), 0.0);
+}
+
+TEST_F(PmtFixture, CalibrateEmptyAllocationThrows) {
+  TestRunResult test = single_module_test_run(
+      cluster_, 0, workloads::mhd(), util::SeedSequence(60));
+  EXPECT_THROW(calibrate_pmt(pvt_, test, {}, cluster_.spec().ladder),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vapb::core

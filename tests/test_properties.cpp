@@ -1,0 +1,122 @@
+// Cross-cutting property sweeps over the full (workload x budget x scheme)
+// grid — the invariants that must hold for ANY configuration, not just the
+// calibrated paper points.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <numeric>
+
+#include "core/campaign.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::core {
+namespace {
+
+struct GridPoint {
+  const workloads::Workload* workload;
+  double cm_w;
+};
+
+std::string grid_name(const ::testing::TestParamInfo<GridPoint>& info) {
+  std::string n = info.param.workload->name + "_" +
+                  std::to_string(static_cast<int>(info.param.cm_w));
+  for (char& c : n) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return n;
+}
+
+/// Shared campaign across the whole sweep (one fleet, cached artifacts).
+Campaign& shared_campaign() {
+  static cluster::Cluster* cluster =
+      new cluster::Cluster(hw::ha8k(), util::SeedSequence(701), 64);
+  static Campaign* campaign = [] {
+    std::vector<hw::ModuleId> alloc(64);
+    std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+    RunConfig cfg;
+    cfg.iterations = 4;
+    return new Campaign(*cluster, alloc, cfg);
+  }();
+  return *campaign;
+}
+
+std::vector<GridPoint> grid() {
+  std::vector<GridPoint> pts;
+  for (auto* w : workloads::evaluation_suite()) {
+    for (double cm : {100.0, 85.0, 70.0, 55.0}) {
+      pts.push_back({w, cm});
+    }
+  }
+  return pts;
+}
+
+class SchemeGrid : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(SchemeGrid, InvariantsAcrossAllSchemes) {
+  Campaign& campaign = shared_campaign();
+  const auto& [w, cm] = GetParam();
+  const double budget = cm * 64.0;
+  CellResult cell = campaign.run_cell(*w, budget);
+  if (cell.cls == CellClass::kInfeasible) {
+    for (const auto& s : cell.schemes) EXPECT_FALSE(s.metrics.feasible);
+    return;
+  }
+  for (const auto& s : cell.schemes) {
+    const RunMetrics& m = s.metrics;
+    SCOPED_TRACE(scheme_name(s.kind));
+    ASSERT_TRUE(m.feasible);
+
+    // Structural invariants.
+    ASSERT_EQ(m.modules.size(), 64u);
+    ASSERT_EQ(m.des.ranks.size(), 64u);
+    EXPECT_GT(m.makespan_s, 0.0);
+    EXPECT_GE(m.alpha, 0.0);
+    EXPECT_LE(m.alpha, 1.0);
+    EXPECT_GE(m.target_freq_ghz, 1.2 - 1e-9);
+    EXPECT_LE(m.target_freq_ghz, 2.7 + 1e-9);
+
+    // Physical invariants: powers positive, frequencies inside the
+    // envelope, perf freq never above electrical freq.
+    for (const auto& mo : m.modules) {
+      EXPECT_GT(mo.op.cpu_w, 0.0);
+      EXPECT_GT(mo.op.dram_w, 0.0);
+      EXPECT_LE(mo.op.perf_freq_ghz, mo.op.freq_ghz + 1e-9);
+      EXPECT_GT(mo.op.perf_freq_ghz, 0.0);
+    }
+
+    // Capped runs are never faster than the uncapped baseline.
+    EXPECT_GE(m.makespan_s, cell.uncapped->makespan_s * 0.995);
+
+    // Power-capping schemes respect the budget — except Naive, whose
+    // DRAM-blind table may over-spend (that is Figure 9's finding).
+    bool power_capped = enforcement_of(s.kind) == Enforcement::kPowerCap;
+    if (power_capped && s.kind != SchemeKind::kNaive) {
+      EXPECT_LE(m.total_power_w, budget * 1.02);
+    }
+    // Frequency selection equalizes frequencies exactly.
+    if (enforcement_of(s.kind) == Enforcement::kFreqSelect) {
+      EXPECT_NEAR(m.vf(), 1.0, 1e-9);
+    }
+  }
+}
+
+TEST_P(SchemeGrid, AlphaMonotoneInBudget) {
+  Campaign& campaign = shared_campaign();
+  const auto& [w, cm] = GetParam();
+  if (campaign.classify(*w, cm * 64.0) == CellClass::kInfeasible) {
+    GTEST_SKIP() << "cell infeasible";
+  }
+  const TestRunResult& test = campaign.test_run(*w);
+  RunMetrics tight = campaign.runner().run_scheme(
+      *w, SchemeKind::kVaFs, cm * 64.0, campaign.pvt(), test);
+  RunMetrics loose = campaign.runner().run_scheme(
+      *w, SchemeKind::kVaFs, (cm + 10.0) * 64.0, campaign.pvt(), test);
+  EXPECT_LE(tight.alpha, loose.alpha + 1e-12);
+  EXPECT_LE(tight.target_freq_ghz, loose.target_freq_ghz + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SchemeGrid, ::testing::ValuesIn(grid()),
+                         grid_name);
+
+}  // namespace
+}  // namespace vapb::core

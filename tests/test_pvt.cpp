@@ -1,0 +1,105 @@
+#include "core/pvt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::core {
+namespace {
+
+class PvtFixture : public ::testing::Test {
+ protected:
+  cluster::Cluster cluster_{hw::ha8k(), util::SeedSequence(31), 96};
+  Pvt pvt_ = Pvt::generate(cluster_, workloads::pvt_microbench(),
+                           util::SeedSequence(32));
+};
+
+TEST_F(PvtFixture, OneEntryPerModule) {
+  EXPECT_EQ(pvt_.size(), cluster_.size());
+  EXPECT_EQ(pvt_.microbench_name(), workloads::pvt_microbench().name);
+}
+
+TEST_F(PvtFixture, ScalesAverageToOne) {
+  stats::Accumulator cmax, dmax, cmin, dmin;
+  for (const auto& e : pvt_.entries()) {
+    cmax.add(e.cpu_max);
+    dmax.add(e.dram_max);
+    cmin.add(e.cpu_min);
+    dmin.add(e.dram_min);
+  }
+  EXPECT_NEAR(cmax.mean(), 1.0, 1e-6);
+  EXPECT_NEAR(dmax.mean(), 1.0, 1e-6);
+  EXPECT_NEAR(cmin.mean(), 1.0, 1e-6);
+  EXPECT_NEAR(dmin.mean(), 1.0, 1e-6);
+}
+
+TEST_F(PvtFixture, ScalesReflectTrueVariation) {
+  // The module with the largest true microbench CPU power at fmax must have
+  // one of the largest PVT scales (sensor noise is small).
+  const auto& micro = workloads::pvt_microbench().profile;
+  hw::ModuleId hungriest = 0;
+  double max_power = 0;
+  for (const auto& m : cluster_.modules()) {
+    double p = m.cpu_power_w(micro, 2.7);
+    if (p > max_power) {
+      max_power = p;
+      hungriest = m.id();
+    }
+  }
+  double scale = pvt_.entry(hungriest).cpu_max;
+  int larger = 0;
+  for (const auto& e : pvt_.entries()) larger += e.cpu_max > scale;
+  EXPECT_LE(larger, 2);
+}
+
+TEST_F(PvtFixture, DramScalesSpreadWiderThanCpu) {
+  stats::Accumulator cpu, dram;
+  for (const auto& e : pvt_.entries()) {
+    cpu.add(e.cpu_max);
+    dram.add(e.dram_max);
+  }
+  EXPECT_GT(dram.stddev(), cpu.stddev() * 1.5);
+}
+
+TEST_F(PvtFixture, SerializeRoundTrips) {
+  std::string text = pvt_.serialize();
+  Pvt copy = Pvt::deserialize(text);
+  ASSERT_EQ(copy.size(), pvt_.size());
+  EXPECT_EQ(copy.microbench_name(), pvt_.microbench_name());
+  for (hw::ModuleId i = 0; i < pvt_.size(); ++i) {
+    EXPECT_DOUBLE_EQ(copy.entry(i).cpu_max, pvt_.entry(i).cpu_max);
+    EXPECT_DOUBLE_EQ(copy.entry(i).dram_min, pvt_.entry(i).dram_min);
+  }
+}
+
+TEST_F(PvtFixture, EntryOutOfRangeThrows) {
+  EXPECT_THROW(pvt_.entry(static_cast<hw::ModuleId>(pvt_.size())),
+               InvalidArgument);
+}
+
+TEST(Pvt, GenerationIsDeterministic) {
+  cluster::Cluster cluster(hw::ha8k(), util::SeedSequence(40), 16);
+  Pvt a = Pvt::generate(cluster, workloads::pvt_microbench(),
+                        util::SeedSequence(41));
+  Pvt b = Pvt::generate(cluster, workloads::pvt_microbench(),
+                        util::SeedSequence(41));
+  for (hw::ModuleId i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(a.entry(i).cpu_max, b.entry(i).cpu_max);
+  }
+}
+
+TEST(Pvt, DeserializeRejectsGarbage) {
+  EXPECT_THROW(Pvt::deserialize("not a pvt"), InvalidArgument);
+  EXPECT_THROW(Pvt::deserialize("pvt-v1 stream 3\n1 1 1 1\n"),
+               InvalidArgument);  // truncated
+  EXPECT_THROW(Pvt::deserialize(""), InvalidArgument);
+}
+
+TEST(Pvt, EmptyEntriesRejected) {
+  EXPECT_THROW(Pvt("x", {}), InternalError);
+}
+
+}  // namespace
+}  // namespace vapb::core

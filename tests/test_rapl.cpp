@@ -1,0 +1,210 @@
+#include "hw/rapl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::hw {
+namespace {
+
+FrequencyLadder ha8k_ladder() { return {1.2, 2.7, 0.1, 3.0}; }
+
+Module make_module(double dyn = 1.0, double stat = 1.0) {
+  ModuleVariation v;
+  v.cpu_dyn = dyn;
+  v.cpu_static = stat;
+  return Module(0, v, ha8k_ladder(), 130.0, util::SeedSequence(1));
+}
+
+const workloads::Workload& app() { return workloads::dgemm(); }
+
+TEST(Rapl, UncappedRunsAtFmaxWhenTdpAllows) {
+  Module m = make_module();
+  Rapl r(m);
+  OperatingPoint op = r.operating_point(app().profile);
+  EXPECT_DOUBLE_EQ(op.freq_ghz, 2.7);
+  EXPECT_DOUBLE_EQ(op.perf_freq_ghz, 2.7);
+  EXPECT_FALSE(op.throttled);
+  EXPECT_DOUBLE_EQ(op.duty, 1.0);
+  EXPECT_NEAR(op.cpu_w, m.cpu_power_w(app().profile, 2.7), 1e-9);
+}
+
+TEST(Rapl, TurboExceedsFmaxWithHeadroom) {
+  Module m = make_module();
+  Rapl r(m);
+  OperatingPoint op = r.operating_point(app().profile, /*turbo=*/true);
+  EXPECT_GT(op.freq_ghz, 2.7);
+  EXPECT_LE(op.freq_ghz, 3.0 + 1e-12);
+  EXPECT_LE(op.cpu_w, 130.0 + 1e-9);
+}
+
+TEST(Rapl, TurboLimitedByTdpForHungryModule) {
+  // A very power-hungry part cannot reach full turbo under its TDP.
+  Module m = make_module(1.5, 1.5);
+  Rapl r(m);
+  OperatingPoint op = r.operating_point(app().profile, /*turbo=*/true);
+  EXPECT_LE(m.cpu_power_w(app().profile, op.freq_ghz), 130.0 + 1e-9);
+  EXPECT_LT(op.freq_ghz, 3.0);
+}
+
+TEST(Rapl, BindingCapHitsExactAveragePower) {
+  Module m = make_module();
+  Rapl r(m);
+  r.set_cpu_limit_w(70.0);
+  OperatingPoint op = r.operating_point(app().profile);
+  EXPECT_FALSE(op.throttled);
+  EXPECT_NEAR(op.cpu_w, 70.0, 1e-9);
+  EXPECT_GT(op.freq_ghz, 1.2);
+  EXPECT_LT(op.freq_ghz, 2.7);
+}
+
+TEST(Rapl, BindingCapPaysControlPenalty) {
+  Module m = make_module();
+  RaplConfig cfg;
+  cfg.control_perf_penalty = 0.05;
+  Rapl r(m, cfg);
+  r.set_cpu_limit_w(70.0);
+  OperatingPoint op = r.operating_point(app().profile);
+  EXPECT_NEAR(op.perf_freq_ghz, op.freq_ghz * 0.95, 1e-9);
+}
+
+TEST(Rapl, NonBindingCapRunsAtFmaxWithoutPenalty) {
+  Module m = make_module();
+  Rapl r(m);
+  r.set_cpu_limit_w(1000.0);
+  OperatingPoint op = r.operating_point(app().profile);
+  EXPECT_DOUBLE_EQ(op.freq_ghz, 2.7);
+  EXPECT_DOUBLE_EQ(op.perf_freq_ghz, 2.7);
+  EXPECT_LT(op.cpu_w, 1000.0);
+}
+
+TEST(Rapl, CapBelowFminThrottles) {
+  Module m = make_module();
+  Rapl r(m);
+  double p_fmin = m.cpu_power_w(app().profile, 1.2);
+  r.set_cpu_limit_w(p_fmin * 0.8);
+  OperatingPoint op = r.operating_point(app().profile);
+  EXPECT_TRUE(op.throttled);
+  EXPECT_DOUBLE_EQ(op.freq_ghz, 1.2);
+  EXPECT_NEAR(op.duty, 0.8, 1e-9);
+  EXPECT_LT(op.perf_freq_ghz, 1.2);
+  // Average CPU power is exactly the cap (RAPL guarantee).
+  EXPECT_NEAR(op.cpu_w, p_fmin * 0.8, 1e-9);
+}
+
+TEST(Rapl, CliffIsSuperLinear) {
+  Module m = make_module();
+  Rapl r(m);
+  double p_fmin = m.cpu_power_w(app().profile, 1.2);
+  r.set_cpu_limit_w(p_fmin * 0.8);
+  OperatingPoint op = r.operating_point(app().profile);
+  // At duty 0.8 the perf-equivalent frequency is far below 0.8 * fmin.
+  EXPECT_LT(op.perf_freq_ghz, 0.8 * 1.2 * 0.5);
+  EXPECT_GT(op.perf_freq_ghz, 0.0);
+}
+
+TEST(Rapl, CliffContinuousAtDutyOne) {
+  Module m = make_module();
+  Rapl r(m);
+  double p_fmin = m.cpu_power_w(app().profile, 1.2);
+  r.set_cpu_limit_w(p_fmin * 0.999);
+  OperatingPoint just_below = r.operating_point(app().profile);
+  r.set_cpu_limit_w(p_fmin * 1.001);
+  OperatingPoint just_above = r.operating_point(app().profile);
+  // No large jump across the fmin boundary (modulo the control penalty).
+  EXPECT_NEAR(just_below.perf_freq_ghz, just_above.perf_freq_ghz, 0.08);
+}
+
+class CliffMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(CliffMonotone, TighterCapNeverFaster) {
+  Module m = make_module();
+  Rapl r(m);
+  double cap = GetParam();
+  r.set_cpu_limit_w(cap);
+  OperatingPoint tight = r.operating_point(app().profile);
+  r.set_cpu_limit_w(cap + 5.0);
+  OperatingPoint loose = r.operating_point(app().profile);
+  EXPECT_LE(tight.perf_freq_ghz, loose.perf_freq_ghz + 1e-9);
+  EXPECT_LE(tight.cpu_w, loose.cpu_w + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, CliffMonotone,
+                         ::testing::Values(20.0, 30.0, 40.0, 48.0, 55.0, 70.0,
+                                           90.0, 110.0));
+
+TEST(Rapl, MinDutyFloorHolds) {
+  Module m = make_module();
+  RaplConfig cfg;
+  cfg.min_duty = 0.05;
+  Rapl r(m, cfg);
+  r.set_cpu_limit_w(0.5);  // absurdly low
+  OperatingPoint op = r.operating_point(app().profile);
+  EXPECT_GE(op.duty, 0.05);
+  EXPECT_GT(op.perf_freq_ghz, 0.0);
+}
+
+TEST(Rapl, DramPowerScalesWithDutyWhenThrottled) {
+  Module m = make_module();
+  Rapl r(m);
+  double p_fmin = m.cpu_power_w(app().profile, 1.2);
+  r.set_cpu_limit_w(p_fmin * 0.5);
+  OperatingPoint op = r.operating_point(app().profile);
+  EXPECT_LT(op.dram_w, m.dram_power_w(app().profile, 1.2));
+  EXPECT_GT(op.dram_w, 0.0);
+}
+
+TEST(Rapl, ClearLimitRestoresUncapped) {
+  Module m = make_module();
+  Rapl r(m);
+  r.set_cpu_limit_w(50.0);
+  r.clear_cpu_limit();
+  EXPECT_FALSE(r.cpu_limit_w().has_value());
+  EXPECT_DOUBLE_EQ(r.operating_point(app().profile).freq_ghz, 2.7);
+}
+
+TEST(Rapl, EnergyCountersAccumulate) {
+  Module m = make_module();
+  Rapl r(m);
+  OperatingPoint op = r.operating_point(app().profile);
+  r.advance(op, 10.0);
+  EXPECT_NEAR(r.pkg_energy_j(), op.cpu_w * 10.0, 1e-9);
+  EXPECT_NEAR(r.dram_energy_j(), op.dram_w * 10.0, 1e-9);
+  EXPECT_GT(r.pkg_energy_raw(), 0u);
+}
+
+TEST(Rapl, RawCounterWrapsAt32Bits) {
+  Module m = make_module();
+  RaplConfig cfg;
+  Rapl r(m, cfg);
+  OperatingPoint op;
+  op.cpu_w = 100.0;
+  // 2^32 energy units at 15.3 uJ/unit is ~65.7 kJ -> ~657 s at 100 W.
+  double wrap_seconds = 4294967296.0 * cfg.energy_unit_j / 100.0;
+  r.advance(op, wrap_seconds + 1.0);
+  // Raw counter has wrapped while the non-wrapping view keeps counting.
+  EXPECT_LT(static_cast<double>(r.pkg_energy_raw()) * cfg.energy_unit_j,
+            r.pkg_energy_j());
+}
+
+TEST(Rapl, Validation) {
+  Module m = make_module();
+  Rapl r(m);
+  EXPECT_THROW(r.set_cpu_limit_w(0.0), InvalidArgument);
+  EXPECT_THROW(r.set_cpu_limit_w(-5.0), InvalidArgument);
+  OperatingPoint op;
+  EXPECT_THROW(r.advance(op, -1.0), InvalidArgument);
+  RaplConfig bad;
+  bad.window_s = 0.0;
+  EXPECT_THROW(Rapl(m, bad), ConfigError);
+  bad = RaplConfig{};
+  bad.cliff_exponent = 0.5;
+  EXPECT_THROW(Rapl(m, bad), ConfigError);
+  bad = RaplConfig{};
+  bad.min_duty = 0.0;
+  EXPECT_THROW(Rapl(m, bad), ConfigError);
+}
+
+}  // namespace
+}  // namespace vapb::hw

@@ -1,0 +1,83 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::core {
+namespace {
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kModules = 48;
+
+  ReportFixture() {
+    std::vector<hw::ModuleId> alloc(kModules);
+    std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+    RunConfig cfg;
+    cfg.iterations = 4;
+    campaign_ = std::make_unique<Campaign>(cluster_, alloc, cfg);
+  }
+
+  cluster::Cluster cluster_{hw::ha8k(), util::SeedSequence(141), kModules};
+  std::unique_ptr<Campaign> campaign_;
+};
+
+TEST_F(ReportFixture, ContainsAllSections) {
+  ReportOptions opt;
+  opt.cm_grid_w = {90.0, 70.0};
+  std::string md = markdown_report(*campaign_, {&workloads::mhd()}, opt);
+  EXPECT_NE(md.find("# VAPB campaign report"), std::string::npos);
+  EXPECT_NE(md.find("## Scenario classification"), std::string::npos);
+  EXPECT_NE(md.find("## MHD"), std::string::npos);
+  EXPECT_NE(md.find("## PMT calibration error"), std::string::npos);
+  EXPECT_NE(md.find("| Naive |"), std::string::npos);
+  EXPECT_NE(md.find("VaFs"), std::string::npos);
+}
+
+TEST_F(ReportFixture, SpeedupCellsLookLikeRatios) {
+  ReportOptions opt;
+  opt.cm_grid_w = {70.0};
+  opt.schemes = {SchemeKind::kNaive, SchemeKind::kVaFs};
+  opt.include_power_table = false;
+  opt.include_calibration = false;
+  std::string md = markdown_report(*campaign_, {&workloads::mhd()}, opt);
+  EXPECT_NE(md.find("1.00x"), std::string::npos);  // Naive vs itself
+  // VaFs beats Naive here; some cell ends in "x" and is not 1.00x.
+  EXPECT_NE(md.find("x |"), std::string::npos);
+}
+
+TEST_F(ReportFixture, InfeasibleCellsRenderAsDashes) {
+  ReportOptions opt;
+  opt.cm_grid_w = {50.0};  // MHD infeasible at Cm=50
+  opt.schemes = {SchemeKind::kNaive};
+  std::string md = markdown_report(*campaign_, {&workloads::mhd()}, opt);
+  EXPECT_NE(md.find("| - |"), std::string::npos);
+}
+
+TEST_F(ReportFixture, PowerViolationFlagged) {
+  ReportOptions opt;
+  opt.cm_grid_w = {90.0};
+  opt.schemes = {SchemeKind::kNaive};
+  // Naive on *STREAM violates the budget (Figure 9).
+  std::string md = markdown_report(*campaign_, {&workloads::stream()}, opt);
+  EXPECT_NE(md.find("**!**"), std::string::npos);
+}
+
+TEST_F(ReportFixture, Validation) {
+  EXPECT_THROW(markdown_report(*campaign_, {}), InvalidArgument);
+  ReportOptions empty_grid;
+  empty_grid.cm_grid_w = {};
+  EXPECT_THROW(markdown_report(*campaign_, {&workloads::mhd()}, empty_grid),
+               InvalidArgument);
+  ReportOptions no_schemes;
+  no_schemes.schemes = {};
+  EXPECT_THROW(markdown_report(*campaign_, {&workloads::mhd()}, no_schemes),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vapb::core

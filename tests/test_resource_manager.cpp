@@ -1,0 +1,174 @@
+#include "core/resource_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::core {
+namespace {
+
+class RmFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kFleet = 96;
+
+  RmFixture()
+      : cluster_(hw::ha8k(), util::SeedSequence(111), kFleet),
+        pvt_(Pvt::generate(cluster_, workloads::pvt_microbench(),
+                           util::SeedSequence(112))) {}
+
+  JobRequest job(const workloads::Workload& w, std::size_t modules) {
+    return JobRequest{w.name + "-job", &w, modules};
+  }
+
+  cluster::Cluster cluster_;
+  Pvt pvt_;
+};
+
+TEST_F(RmFixture, GrantsAreDisjointAndWithinFleet) {
+  ResourceManager rm(cluster_, pvt_, 96 * 90.0);
+  auto result = rm.schedule({job(workloads::mhd(), 32),
+                             job(workloads::bt(), 32),
+                             job(workloads::dgemm(), 32)},
+                            PowerSharePolicy::kProportionalDemand,
+                            util::SeedSequence(1));
+  ASSERT_EQ(result.granted.size(), 3u);
+  std::set<hw::ModuleId> seen;
+  for (const auto& g : result.granted) {
+    EXPECT_EQ(g.allocation.size(), g.request.modules);
+    for (auto id : g.allocation) {
+      EXPECT_LT(id, kFleet);
+      EXPECT_TRUE(seen.insert(id).second) << "module granted twice";
+    }
+  }
+}
+
+TEST_F(RmFixture, BudgetIsConserved) {
+  const double budget = 96 * 85.0;
+  ResourceManager rm(cluster_, pvt_, budget);
+  for (auto policy : {PowerSharePolicy::kUniformPerModule,
+                      PowerSharePolicy::kProportionalDemand,
+                      PowerSharePolicy::kFminFirstThenDemand}) {
+    auto result = rm.schedule({job(workloads::mhd(), 48),
+                               job(workloads::stream(), 48)},
+                              policy, util::SeedSequence(2));
+    ASSERT_EQ(result.granted.size(), 2u);
+    EXPECT_LE(result.power_committed_w, budget * (1 + 1e-9));
+    for (const auto& g : result.granted) {
+      EXPECT_GE(g.budget_w, g.pmt.total_min_w() - 1e-6)
+          << "grant below its fmin floor";
+    }
+  }
+}
+
+TEST_F(RmFixture, RejectsWhenModulesExhausted) {
+  ResourceManager rm(cluster_, pvt_, 96 * 100.0);
+  auto result = rm.schedule({job(workloads::mhd(), 80),
+                             job(workloads::bt(), 32)},
+                            PowerSharePolicy::kUniformPerModule,
+                            util::SeedSequence(3));
+  EXPECT_EQ(result.granted.size(), 1u);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_NE(result.rejected[0].second.find("free modules"),
+            std::string::npos);
+}
+
+TEST_F(RmFixture, RejectsWhenPowerExhaustedAndReleasesModules) {
+  // Budget covers roughly one job's fmin floor, not two.
+  ResourceManager rm(cluster_, pvt_, 48 * 60.0);
+  auto result = rm.schedule({job(workloads::mhd(), 48),
+                             job(workloads::bt(), 48)},
+                            PowerSharePolicy::kProportionalDemand,
+                            util::SeedSequence(4));
+  ASSERT_EQ(result.granted.size(), 1u);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_NE(result.rejected[0].second.find("insufficient power"),
+            std::string::npos);
+}
+
+TEST_F(RmFixture, OverprovisionedSystemAdmitsAtReducedAlpha) {
+  // 96 modules need ~96*96 W at fmax for MHD; give two thirds of that: the
+  // system is overprovisioned, jobs run at alpha < 1 instead of being
+  // rejected.
+  ResourceManager rm(cluster_, pvt_, 96 * 65.0);
+  auto result = rm.schedule({job(workloads::mhd(), 48),
+                             job(workloads::sp(), 48)},
+                            PowerSharePolicy::kFminFirstThenDemand,
+                            util::SeedSequence(5));
+  ASSERT_EQ(result.granted.size(), 2u);
+  for (const auto& g : result.granted) {
+    EXPECT_TRUE(g.budget.fits_at_fmin);
+    EXPECT_LT(g.budget.alpha, 1.0);
+    EXPECT_GT(g.budget.alpha, 0.0);
+  }
+}
+
+TEST_F(RmFixture, ProportionalDemandFavoursHungrierJob) {
+  ResourceManager rm(cluster_, pvt_, 96 * 80.0);
+  auto result = rm.schedule({job(workloads::dgemm(), 48),   // ~113 W/module
+                             job(workloads::mvmc(), 48)},   // ~88 W/module
+                            PowerSharePolicy::kProportionalDemand,
+                            util::SeedSequence(6));
+  ASSERT_EQ(result.granted.size(), 2u);
+  EXPECT_GT(result.granted[0].budget_w, result.granted[1].budget_w);
+}
+
+TEST_F(RmFixture, UniformPerModuleSplitsByModuleCount) {
+  ResourceManager rm(cluster_, pvt_, 90 * 70.0);
+  auto result = rm.schedule({job(workloads::mhd(), 60),
+                             job(workloads::mhd(), 30)},
+                            PowerSharePolicy::kUniformPerModule,
+                            util::SeedSequence(7));
+  ASSERT_EQ(result.granted.size(), 2u);
+  EXPECT_NEAR(result.granted[0].budget_w / result.granted[1].budget_w, 2.0,
+              0.1);
+}
+
+TEST_F(RmFixture, GrantBudgetsNeverExceedDemand) {
+  // Huge budget: grants are clamped at each job's fmax demand.
+  ResourceManager rm(cluster_, pvt_, 96 * 500.0);
+  auto result = rm.schedule({job(workloads::mhd(), 48),
+                             job(workloads::bt(), 48)},
+                            PowerSharePolicy::kProportionalDemand,
+                            util::SeedSequence(8));
+  ASSERT_EQ(result.granted.size(), 2u);
+  for (const auto& g : result.granted) {
+    EXPECT_LE(g.budget_w, g.pmt.total_max_w() + 1e-6);
+    EXPECT_FALSE(g.budget.constrained);
+  }
+}
+
+TEST_F(RmFixture, MalformedRequestsRejected) {
+  ResourceManager rm(cluster_, pvt_, 1000.0);
+  auto result = rm.schedule({JobRequest{"null-app", nullptr, 4},
+                             JobRequest{"zero", &workloads::mhd(), 0}},
+                            PowerSharePolicy::kUniformPerModule,
+                            util::SeedSequence(9));
+  EXPECT_TRUE(result.granted.empty());
+  EXPECT_EQ(result.rejected.size(), 2u);
+}
+
+TEST_F(RmFixture, ConstructionValidation) {
+  EXPECT_THROW(ResourceManager(cluster_, pvt_, 0.0), InvalidArgument);
+  cluster::Cluster other(hw::ha8k(), util::SeedSequence(113), 8);
+  EXPECT_THROW(ResourceManager(other, pvt_, 100.0), InvalidArgument);
+}
+
+TEST_F(RmFixture, DeterministicForSameSeed) {
+  ResourceManager rm(cluster_, pvt_, 96 * 80.0);
+  auto a = rm.schedule({job(workloads::mhd(), 48)},
+                       PowerSharePolicy::kProportionalDemand,
+                       util::SeedSequence(10));
+  auto b = rm.schedule({job(workloads::mhd(), 48)},
+                       PowerSharePolicy::kProportionalDemand,
+                       util::SeedSequence(10));
+  ASSERT_EQ(a.granted.size(), 1u);
+  ASSERT_EQ(b.granted.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.granted[0].budget_w, b.granted[0].budget_w);
+  EXPECT_DOUBLE_EQ(a.granted[0].budget.alpha, b.granted[0].budget.alpha);
+}
+
+}  // namespace
+}  // namespace vapb::core

@@ -1,0 +1,180 @@
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::core {
+namespace {
+
+class RunnerFixture : public ::testing::Test {
+ protected:
+  RunnerFixture() {
+    allocation_.resize(cluster_.size());
+    std::iota(allocation_.begin(), allocation_.end(), hw::ModuleId{0});
+    runner_ = std::make_unique<Runner>(cluster_, allocation_);
+    test_mhd_ = single_module_test_run(cluster_, 0, workloads::mhd(),
+                                       util::SeedSequence(91));
+  }
+
+  RunMetrics run(SchemeKind kind, double cm_per_module,
+                 const workloads::Workload& w) {
+    TestRunResult test =
+        single_module_test_run(cluster_, 0, w, util::SeedSequence(92));
+    return runner_->run_scheme(w, kind, cm_per_module * 48, pvt_, test);
+  }
+
+  cluster::Cluster cluster_{hw::ha8k(), util::SeedSequence(90), 48};
+  std::vector<hw::ModuleId> allocation_;
+  std::unique_ptr<Runner> runner_;
+  Pvt pvt_ = Pvt::generate(cluster_, workloads::pvt_microbench(),
+                           util::SeedSequence(93));
+  TestRunResult test_mhd_;
+};
+
+TEST_F(RunnerFixture, UncappedRunsEveryModuleAtFmax) {
+  RunMetrics m = runner_->run_uncapped(workloads::dgemm());
+  EXPECT_EQ(m.modules.size(), 48u);
+  EXPECT_EQ(m.des.ranks.size(), 48u);
+  for (const auto& mo : m.modules) {
+    EXPECT_DOUBLE_EQ(mo.op.freq_ghz, 2.7);
+    EXPECT_FALSE(mo.op.throttled);
+  }
+  EXPECT_FALSE(m.constrained);
+  EXPECT_GT(m.makespan_s, 0.0);
+}
+
+TEST_F(RunnerFixture, UncappedPowerVariationInPaperBand) {
+  RunMetrics m = runner_->run_uncapped(workloads::dgemm());
+  EXPECT_GT(m.vp(), 1.15);
+  EXPECT_LT(m.vp(), 1.55);
+}
+
+TEST_F(RunnerFixture, PowerCapSchemesRespectBudget) {
+  for (SchemeKind kind :
+       {SchemeKind::kPc, SchemeKind::kVaPc, SchemeKind::kVaPcOr}) {
+    RunMetrics m = run(kind, 80.0, workloads::mhd());
+    EXPECT_LE(m.total_power_w, m.budget_w * 1.02) << scheme_name(kind);
+  }
+}
+
+TEST_F(RunnerFixture, VaFsGivesIdenticalFrequencies) {
+  RunMetrics m = run(SchemeKind::kVaFs, 80.0, workloads::mhd());
+  for (const auto& mo : m.modules) {
+    EXPECT_DOUBLE_EQ(mo.op.freq_ghz, m.modules[0].op.freq_ghz);
+  }
+  EXPECT_NEAR(m.vf(), 1.0, 1e-9);
+}
+
+TEST_F(RunnerFixture, VaPcEqualizesFrequenciesBetterThanPc) {
+  RunMetrics pc = run(SchemeKind::kPc, 80.0, workloads::mhd());
+  RunMetrics vapc = run(SchemeKind::kVaPc, 80.0, workloads::mhd());
+  EXPECT_LT(vapc.vf(), pc.vf());
+  // And the variation-aware scheme allocates unequal power to do it.
+  EXPECT_GT(vapc.vp(), pc.vp());
+}
+
+TEST_F(RunnerFixture, TighterBudgetSlower) {
+  RunMetrics loose = run(SchemeKind::kVaPc, 90.0, workloads::mhd());
+  RunMetrics tight = run(SchemeKind::kVaPc, 70.0, workloads::mhd());
+  EXPECT_GT(tight.makespan_s, loose.makespan_s);
+  EXPECT_LT(tight.alpha, loose.alpha);
+}
+
+TEST_F(RunnerFixture, CapsAreRecordedInOutcomes) {
+  RunMetrics m = run(SchemeKind::kVaPc, 80.0, workloads::mhd());
+  for (const auto& mo : m.modules) {
+    EXPECT_GT(mo.cpu_cap_w, 0.0);
+    EXPECT_GT(mo.alloc_module_w, mo.cpu_cap_w);  // alloc includes DRAM
+  }
+  RunMetrics fs = run(SchemeKind::kVaFs, 80.0, workloads::mhd());
+  for (const auto& mo : fs.modules) {
+    EXPECT_DOUBLE_EQ(mo.cpu_cap_w, 0.0);  // FS does not program RAPL
+  }
+}
+
+TEST_F(RunnerFixture, NormalizedTimesAgainstBaseline) {
+  RunMetrics base = runner_->run_uncapped(workloads::mhd());
+  RunMetrics capped = run(SchemeKind::kVaFs, 70.0, workloads::mhd());
+  auto norm = normalized_times(capped, base);
+  ASSERT_EQ(norm.size(), 48u);
+  for (double x : norm) EXPECT_GT(x, 1.0);  // capped is slower
+  EXPECT_GE(vt_normalized(capped, base), 1.0);
+}
+
+TEST_F(RunnerFixture, SpeedupDefinition) {
+  RunMetrics naive = run(SchemeKind::kNaive, 70.0, workloads::mhd());
+  RunMetrics vafs = run(SchemeKind::kVaFs, 70.0, workloads::mhd());
+  EXPECT_NEAR(speedup(vafs, naive), naive.makespan_s / vafs.makespan_s,
+              1e-12);
+  EXPECT_GT(speedup(vafs, naive), 1.0);
+}
+
+TEST_F(RunnerFixture, RunsAreDeterministic) {
+  RunMetrics a = run(SchemeKind::kVaPc, 80.0, workloads::mhd());
+  RunMetrics b = run(SchemeKind::kVaPc, 80.0, workloads::mhd());
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_DOUBLE_EQ(a.total_power_w, b.total_power_w);
+}
+
+TEST_F(RunnerFixture, RunSaltChangesNoiseOnly) {
+  RunConfig salted;
+  salted.run_salt = 1;
+  Runner other(cluster_, allocation_, salted);
+  TestRunResult test = single_module_test_run(cluster_, 0, workloads::mhd(),
+                                              util::SeedSequence(92));
+  RunMetrics a = runner_->run_scheme(workloads::mhd(), SchemeKind::kVaFs,
+                                     80.0 * 48, pvt_, test);
+  RunMetrics b = other.run_scheme(workloads::mhd(), SchemeKind::kVaFs,
+                                  80.0 * 48, pvt_, test);
+  EXPECT_NE(a.makespan_s, b.makespan_s);          // different noise
+  EXPECT_DOUBLE_EQ(a.alpha, b.alpha);             // same budgeting
+  EXPECT_NEAR(a.makespan_s, b.makespan_s, a.makespan_s * 0.1);
+}
+
+TEST_F(RunnerFixture, IterationOverrideShortensRun) {
+  RunConfig cfg;
+  cfg.iterations = 3;
+  Runner short_runner(cluster_, allocation_, cfg);
+  RunMetrics m = short_runner.run_uncapped(workloads::mhd());
+  // 3 iterations instead of the default 30.
+  RunMetrics full = runner_->run_uncapped(workloads::mhd());
+  EXPECT_LT(m.makespan_s, full.makespan_s / 5.0);
+}
+
+TEST_F(RunnerFixture, MetricsVectorsAlign) {
+  RunMetrics m = run(SchemeKind::kVaPc, 80.0, workloads::mhd());
+  EXPECT_EQ(m.module_powers_w().size(), 48u);
+  EXPECT_EQ(m.cpu_powers_w().size(), 48u);
+  EXPECT_EQ(m.dram_powers_w().size(), 48u);
+  EXPECT_EQ(m.perf_freqs_ghz().size(), 48u);
+  for (std::size_t i = 0; i < 48; ++i) {
+    EXPECT_NEAR(m.module_powers_w()[i],
+                m.cpu_powers_w()[i] + m.dram_powers_w()[i], 1e-9);
+  }
+}
+
+TEST_F(RunnerFixture, EmptyAllocationRejected) {
+  EXPECT_THROW(Runner(cluster_, {}), InvalidArgument);
+}
+
+TEST_F(RunnerFixture, BadModuleIdRejected) {
+  EXPECT_THROW(Runner(cluster_, {9999}), InvalidArgument);
+}
+
+TEST_F(RunnerFixture, DuplicateModuleRejected) {
+  EXPECT_THROW(Runner(cluster_, {0, 1, 1}), InvalidArgument);
+}
+
+TEST_F(RunnerFixture, NormalizedTimesSizeMismatchThrows) {
+  RunMetrics base = runner_->run_uncapped(workloads::mhd());
+  Runner small(cluster_, {0, 1, 2});
+  RunMetrics other = small.run_uncapped(workloads::mhd());
+  EXPECT_THROW(normalized_times(other, base), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vapb::core

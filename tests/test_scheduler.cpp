@@ -1,0 +1,118 @@
+#include "cluster/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::cluster {
+namespace {
+
+class SchedulerFixture : public ::testing::Test {
+ protected:
+  Cluster cluster_{hw::ha8k(), util::SeedSequence(11), 128};
+  Scheduler sched_{cluster_};
+};
+
+TEST_F(SchedulerFixture, ContiguousIsABlock) {
+  auto ids = sched_.allocate(32, AllocationPolicy::kContiguous,
+                             util::SeedSequence(1));
+  ASSERT_EQ(ids.size(), 32u);
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], ids[i - 1] + 1);
+  }
+}
+
+TEST_F(SchedulerFixture, RandomIsUniqueAndSorted) {
+  auto ids =
+      sched_.allocate(64, AllocationPolicy::kRandom, util::SeedSequence(2));
+  ASSERT_EQ(ids.size(), 64u);
+  std::set<hw::ModuleId> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 64u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  for (auto id : ids) EXPECT_LT(id, 128u);
+}
+
+TEST_F(SchedulerFixture, RandomIsSeedDeterministic) {
+  auto a = sched_.allocate(16, AllocationPolicy::kRandom, util::SeedSequence(3));
+  auto b = sched_.allocate(16, AllocationPolicy::kRandom, util::SeedSequence(3));
+  EXPECT_EQ(a, b);
+  auto c = sched_.allocate(16, AllocationPolicy::kRandom, util::SeedSequence(4));
+  EXPECT_NE(a, c);
+}
+
+TEST_F(SchedulerFixture, StridedSpreadsAcrossFleet) {
+  auto ids =
+      sched_.allocate(8, AllocationPolicy::kStrided, util::SeedSequence(5));
+  ASSERT_EQ(ids.size(), 8u);
+  // Stride = 128 / 8 = 16.
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i] - ids[i - 1], 16u);
+  }
+}
+
+TEST_F(SchedulerFixture, WorstPowerPicksHungriestModules) {
+  const auto& profile = workloads::dgemm().profile;
+  auto worst = sched_.allocate(16, AllocationPolicy::kWorstPower,
+                               util::SeedSequence(6), &profile);
+  auto best = sched_.allocate(16, AllocationPolicy::kBestPower,
+                              util::SeedSequence(6), &profile);
+  auto power_of = [&](const std::vector<hw::ModuleId>& ids) {
+    double total = 0;
+    for (auto id : ids) {
+      const auto& m = cluster_.module(id);
+      total += m.module_power_w(profile, m.ladder().fmax());
+    }
+    return total;
+  };
+  EXPECT_GT(power_of(worst), power_of(best) * 1.05);
+  // Disjoint when 2 * count <= fleet.
+  std::set<hw::ModuleId> w(worst.begin(), worst.end());
+  for (auto id : best) EXPECT_EQ(w.count(id), 0u);
+}
+
+TEST_F(SchedulerFixture, PowerPolicyRequiresProfile) {
+  EXPECT_THROW(sched_.allocate(4, AllocationPolicy::kWorstPower,
+                               util::SeedSequence(7)),
+               InvalidArgument);
+}
+
+TEST_F(SchedulerFixture, FullFleetAllocation) {
+  auto ids =
+      sched_.allocate(128, AllocationPolicy::kRandom, util::SeedSequence(8));
+  EXPECT_EQ(ids.size(), 128u);
+}
+
+TEST_F(SchedulerFixture, Validation) {
+  EXPECT_THROW(
+      sched_.allocate(0, AllocationPolicy::kRandom, util::SeedSequence(9)),
+      InvalidArgument);
+  EXPECT_THROW(
+      sched_.allocate(129, AllocationPolicy::kRandom, util::SeedSequence(9)),
+      InvalidArgument);
+}
+
+class AllPolicies : public ::testing::TestWithParam<AllocationPolicy> {};
+
+TEST_P(AllPolicies, AllocationsAreValidModuleIds) {
+  Cluster cluster(hw::ha8k(), util::SeedSequence(20), 96);
+  Scheduler sched(cluster);
+  const auto& profile = workloads::mhd().profile;
+  auto ids = sched.allocate(24, GetParam(), util::SeedSequence(21), &profile);
+  ASSERT_EQ(ids.size(), 24u);
+  std::set<hw::ModuleId> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 24u);
+  for (auto id : ids) EXPECT_LT(id, 96u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, AllPolicies,
+    ::testing::Values(AllocationPolicy::kContiguous, AllocationPolicy::kRandom,
+                      AllocationPolicy::kStrided,
+                      AllocationPolicy::kWorstPower,
+                      AllocationPolicy::kBestPower));
+
+}  // namespace
+}  // namespace vapb::cluster

@@ -1,0 +1,122 @@
+#include "core/schemes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "workloads/catalog.hpp"
+
+namespace vapb::core {
+namespace {
+
+TEST(Schemes, EnforcementMapping) {
+  EXPECT_EQ(enforcement_of(SchemeKind::kNaive), Enforcement::kPowerCap);
+  EXPECT_EQ(enforcement_of(SchemeKind::kPc), Enforcement::kPowerCap);
+  EXPECT_EQ(enforcement_of(SchemeKind::kVaPc), Enforcement::kPowerCap);
+  EXPECT_EQ(enforcement_of(SchemeKind::kVaPcOr), Enforcement::kPowerCap);
+  EXPECT_EQ(enforcement_of(SchemeKind::kVaFs), Enforcement::kFreqSelect);
+  EXPECT_EQ(enforcement_of(SchemeKind::kVaFsOr), Enforcement::kFreqSelect);
+}
+
+TEST(Schemes, AwarenessAndOracleFlags) {
+  EXPECT_FALSE(is_variation_aware(SchemeKind::kNaive));
+  EXPECT_FALSE(is_variation_aware(SchemeKind::kPc));
+  EXPECT_TRUE(is_variation_aware(SchemeKind::kVaPc));
+  EXPECT_TRUE(is_variation_aware(SchemeKind::kVaFs));
+  EXPECT_TRUE(is_oracle(SchemeKind::kVaPcOr));
+  EXPECT_TRUE(is_oracle(SchemeKind::kVaFsOr));
+  EXPECT_FALSE(is_oracle(SchemeKind::kVaPc));
+}
+
+TEST(Schemes, NamesMatchFigureSevenLegend) {
+  auto all = all_schemes();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(scheme_name(all[0]), "Naive");
+  EXPECT_EQ(scheme_name(all[1]), "Pc");
+  EXPECT_EQ(scheme_name(all[2]), "VaPcOr");
+  EXPECT_EQ(scheme_name(all[3]), "VaPc");
+  EXPECT_EQ(scheme_name(all[4]), "VaFsOr");
+  EXPECT_EQ(scheme_name(all[5]), "VaFs");
+}
+
+class SchemePmtFixture : public ::testing::Test {
+ protected:
+  SchemePmtFixture() {
+    allocation_.resize(cluster_.size());
+    std::iota(allocation_.begin(), allocation_.end(), hw::ModuleId{0});
+    test_ = single_module_test_run(cluster_, 0, workloads::mhd(),
+                                   util::SeedSequence(71));
+  }
+
+  Pmt build(SchemeKind kind) {
+    return scheme_pmt(kind, cluster_, allocation_, workloads::mhd(), pvt_,
+                      test_, util::SeedSequence(72));
+  }
+
+  cluster::Cluster cluster_{hw::ha8k(), util::SeedSequence(70), 48};
+  std::vector<hw::ModuleId> allocation_;
+  Pvt pvt_ = Pvt::generate(cluster_, workloads::pvt_microbench(),
+                           util::SeedSequence(73));
+  TestRunResult test_;
+};
+
+TEST_F(SchemePmtFixture, NaiveUsesTdpTable) {
+  Pmt pmt = build(SchemeKind::kNaive);
+  ASSERT_EQ(pmt.size(), 48u);
+  for (const auto& e : pmt.entries()) {
+    EXPECT_DOUBLE_EQ(e.cpu_max_w, 130.0);
+    EXPECT_DOUBLE_EQ(e.dram_max_w, 62.0);
+    EXPECT_DOUBLE_EQ(e.cpu_min_w, 40.0);
+    EXPECT_DOUBLE_EQ(e.dram_min_w, 10.0);
+  }
+}
+
+TEST_F(SchemePmtFixture, PcIsUniformButApplicationDependent) {
+  Pmt pmt = build(SchemeKind::kPc);
+  for (std::size_t k = 1; k < pmt.size(); ++k) {
+    EXPECT_DOUBLE_EQ(pmt.entry(k).cpu_max_w, pmt.entry(0).cpu_max_w);
+  }
+  // Application-dependent: far from the TDP table, near MHD's real power.
+  EXPECT_NEAR(pmt.entry(0).cpu_max_w, 83.9, 6.0);
+}
+
+TEST_F(SchemePmtFixture, VaPcVariesAcrossModules) {
+  Pmt pmt = build(SchemeKind::kVaPc);
+  double lo = pmt.entry(0).module_max_w(), hi = lo;
+  for (const auto& e : pmt.entries()) {
+    lo = std::min(lo, e.module_max_w());
+    hi = std::max(hi, e.module_max_w());
+  }
+  EXPECT_GT(hi / lo, 1.1);
+}
+
+TEST_F(SchemePmtFixture, VaFsSharesVaPcTable) {
+  Pmt pc = build(SchemeKind::kVaPc);
+  Pmt fs = build(SchemeKind::kVaFs);
+  ASSERT_EQ(pc.size(), fs.size());
+  for (std::size_t k = 0; k < pc.size(); ++k) {
+    EXPECT_DOUBLE_EQ(pc.entry(k).cpu_max_w, fs.entry(k).cpu_max_w);
+  }
+}
+
+TEST_F(SchemePmtFixture, OracleTracksTruePower) {
+  Pmt oracle = build(SchemeKind::kVaPcOr);
+  const auto& w = workloads::mhd();
+  for (std::size_t k = 0; k < allocation_.size(); ++k) {
+    const auto& m = cluster_.module(allocation_[k]);
+    double truth = m.module_power_w(w.profile, 2.7);
+    EXPECT_NEAR(oracle.entry(k).module_max_w(), truth, truth * 0.02);
+  }
+}
+
+TEST_F(SchemePmtFixture, CustomNaiveTable) {
+  NaiveTable custom{100.0, 30.0, 35.0, 8.0};
+  Pmt pmt = scheme_pmt(SchemeKind::kNaive, cluster_, allocation_,
+                       workloads::mhd(), pvt_, test_, util::SeedSequence(74),
+                       custom);
+  EXPECT_DOUBLE_EQ(pmt.entry(0).cpu_max_w, 100.0);
+  EXPECT_DOUBLE_EQ(pmt.entry(0).dram_min_w, 8.0);
+}
+
+}  // namespace
+}  // namespace vapb::core

@@ -1,0 +1,106 @@
+#include "hw/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+
+namespace vapb::hw {
+namespace {
+
+TEST(SensorSpec, TableOneContents) {
+  // Paper Table 1: technique, reported kind, granularity, capping support.
+  const SensorSpec& rapl = sensor_spec(SensorKind::kRapl);
+  EXPECT_EQ(rapl.name, "RAPL");
+  EXPECT_EQ(rapl.reported, "Average");
+  EXPECT_DOUBLE_EQ(rapl.sample_interval_s, 1e-3);
+  EXPECT_TRUE(rapl.supports_capping);
+
+  const SensorSpec& pi = sensor_spec(SensorKind::kPowerInsight);
+  EXPECT_EQ(pi.reported, "Instantaneous");
+  EXPECT_DOUBLE_EQ(pi.sample_interval_s, 1e-3);
+  EXPECT_FALSE(pi.supports_capping);
+
+  const SensorSpec& emon = sensor_spec(SensorKind::kBgqEmon);
+  EXPECT_EQ(emon.reported, "Instantaneous");
+  EXPECT_DOUBLE_EQ(emon.sample_interval_s, 0.3);
+  EXPECT_FALSE(emon.supports_capping);
+}
+
+TEST(SensorSpec, AllSpecsListsThree) {
+  EXPECT_EQ(all_sensor_specs().size(), 3u);
+}
+
+TEST(Sensor, SamplesArePositiveAndNearTruth) {
+  Sensor s(SensorKind::kPowerInsight, util::SeedSequence(1), 0.01);
+  for (int i = 0; i < 1000; ++i) {
+    double x = s.sample_w(100.0);
+    ASSERT_GT(x, 0.0);
+    ASSERT_NEAR(x, 100.0, 10.0);
+  }
+}
+
+TEST(Sensor, AverageConvergesToTruth) {
+  Sensor s(SensorKind::kRapl, util::SeedSequence(2), 0.01);
+  double avg = s.measure_avg_w(100.0, 1.0);  // 1000 samples
+  EXPECT_NEAR(avg, 100.0, 0.1);
+}
+
+TEST(Sensor, LongMeasurementTighterThanShort) {
+  // Statistical property: across many trials, long windows have smaller
+  // spread around truth.
+  double short_err = 0, long_err = 0;
+  for (int t = 0; t < 30; ++t) {
+    Sensor a(SensorKind::kBgqEmon, util::SeedSequence(100 + t), 0.02);
+    Sensor b(SensorKind::kBgqEmon, util::SeedSequence(200 + t), 0.02);
+    short_err += std::abs(a.measure_avg_w(50.0, 0.6) - 50.0);
+    long_err += std::abs(b.measure_avg_w(50.0, 60.0) - 50.0);
+  }
+  EXPECT_LT(long_err, short_err);
+}
+
+TEST(Sensor, RaplAveragesAwayWorkloadNoise) {
+  // With instrument noise tiny, RAPL (averaging) should track truth much
+  // tighter per sample than PowerInsight (instantaneous) under a noisy load.
+  Sensor rapl(SensorKind::kRapl, util::SeedSequence(3), 0.10);
+  Sensor pi(SensorKind::kPowerInsight, util::SeedSequence(3), 0.10);
+  stats::Accumulator ra, pa;
+  for (int i = 0; i < 2000; ++i) {
+    ra.add(rapl.sample_w(100.0));
+    pa.add(pi.sample_w(100.0));
+  }
+  EXPECT_LT(ra.stddev(), pa.stddev() * 0.5);
+}
+
+TEST(Sensor, SeriesLengthMatchesGranularity) {
+  Sensor emon(SensorKind::kBgqEmon, util::SeedSequence(4));
+  EXPECT_EQ(emon.series_w(10.0, 3.0).size(), 10u);  // 300 ms samples
+  Sensor pi(SensorKind::kPowerInsight, util::SeedSequence(5));
+  EXPECT_EQ(pi.series_w(10.0, 0.05).size(), 50u);   // 1 ms samples
+}
+
+TEST(Sensor, ZeroTruthStaysZeroOrPositive) {
+  Sensor s(SensorKind::kPowerInsight, util::SeedSequence(6), 0.5);
+  for (int i = 0; i < 100; ++i) EXPECT_GE(s.sample_w(0.0), 0.0);
+}
+
+TEST(Sensor, Validation) {
+  EXPECT_THROW(Sensor(SensorKind::kRapl, util::SeedSequence(1), -0.1),
+               InvalidArgument);
+  Sensor s(SensorKind::kRapl, util::SeedSequence(1));
+  EXPECT_THROW(static_cast<void>(s.measure_avg_w(10.0, 0.0)), InvalidArgument);
+  EXPECT_THROW(s.series_w(10.0, -1.0), InvalidArgument);
+}
+
+TEST(Sensor, Deterministic) {
+  Sensor a(SensorKind::kPowerInsight, util::SeedSequence(7));
+  Sensor b(SensorKind::kPowerInsight, util::SeedSequence(7));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_DOUBLE_EQ(a.sample_w(42.0), b.sample_w(42.0));
+  }
+}
+
+}  // namespace
+}  // namespace vapb::hw

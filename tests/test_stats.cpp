@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/linreg.hpp"
+#include "stats/summary.hpp"
+#include "stats/variation.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace vapb::stats {
+namespace {
+
+TEST(Summary, KnownSample) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  Summary s = summarize(v);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);  // sample sd
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.sum, 40.0);
+}
+
+TEST(Summary, SingletonHasZeroStddev) {
+  Summary s = summarize(std::vector<double>{3.0});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(Summary, EmptyThrows) {
+  EXPECT_THROW(summarize({}), InvalidArgument);
+}
+
+TEST(Accumulator, MatchesBatchSummary) {
+  util::Rng rng{util::SeedSequence(3)};
+  std::vector<double> v;
+  Accumulator acc;
+  for (int i = 0; i < 5000; ++i) {
+    double x = rng.normal(10, 3);
+    v.push_back(x);
+    acc.add(x);
+  }
+  Summary batch = summarize(v);
+  EXPECT_NEAR(acc.mean(), batch.mean, 1e-9);
+  EXPECT_NEAR(acc.stddev(), batch.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(acc.min(), batch.min);
+  EXPECT_DOUBLE_EQ(acc.max(), batch.max);
+  EXPECT_EQ(acc.count(), batch.count);
+}
+
+TEST(Accumulator, EmptyIsSafe) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+class PercentileCases
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(PercentileCases, LinearInterpolationOnKnownSample) {
+  // Sample 10..100 step 10.
+  std::vector<double> v;
+  for (int i = 1; i <= 10; ++i) v.push_back(10.0 * i);
+  auto [p, expected] = GetParam();
+  EXPECT_NEAR(percentile(v, p), expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PercentileCases,
+    ::testing::Values(std::pair{0.0, 10.0}, std::pair{100.0, 100.0},
+                      std::pair{50.0, 55.0}, std::pair{25.0, 32.5},
+                      std::pair{90.0, 91.0}));
+
+TEST(Percentile, ErrorsOnBadInput) {
+  std::vector<double> v{1.0};
+  EXPECT_THROW(percentile({}, 50), InvalidArgument);
+  EXPECT_THROW(percentile(v, -1), InvalidArgument);
+  EXPECT_THROW(percentile(v, 101), InvalidArgument);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 1.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> x{1, 2, 3, 4}, y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> ny{-2, -4, -6, -8};
+  EXPECT_NEAR(pearson(x, ny), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentNearZero) {
+  util::Rng rng{util::SeedSequence(4)};
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.normal());
+    y.push_back(rng.normal());
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.03);
+}
+
+TEST(Pearson, Errors) {
+  std::vector<double> a{1, 2}, b{1};
+  EXPECT_THROW(pearson(a, b), InvalidArgument);
+  std::vector<double> c{1}, d{1};
+  EXPECT_THROW(pearson(c, d), InvalidArgument);
+  std::vector<double> e{1, 1}, f{1, 2};
+  EXPECT_THROW(pearson(e, f), InvalidArgument);  // zero variance
+}
+
+TEST(LinReg, ExactLineRecovered) {
+  std::vector<double> x{1.2, 1.5, 2.0, 2.4, 2.7};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(5.8 + 35.2 * xi);
+  LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, 5.8, 1e-9);
+  EXPECT_NEAR(fit.slope, 35.2, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.at(2.0), 5.8 + 70.4, 1e-9);
+}
+
+TEST(LinReg, NoisyLineHasHighButImperfectR2) {
+  util::Rng rng{util::SeedSequence(5)};
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    double xi = 1.0 + 0.01 * i;
+    x.push_back(xi);
+    y.push_back(2.0 + 3.0 * xi + rng.normal(0, 0.1));
+  }
+  LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(LinReg, HorizontalLineR2IsOne) {
+  std::vector<double> x{1, 2, 3}, y{4, 4, 4};
+  LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(LinReg, Errors) {
+  std::vector<double> one{1.0};
+  EXPECT_THROW(fit_linear(one, one), InvalidArgument);
+  std::vector<double> x{1, 1}, y{2, 3};
+  EXPECT_THROW(fit_linear(x, y), InvalidArgument);  // zero x variance
+  std::vector<double> a{1, 2, 3}, b{1, 2};
+  EXPECT_THROW(fit_linear(a, b), InvalidArgument);
+}
+
+TEST(Variation, WorstCaseRatio) {
+  std::vector<double> v{100.0, 110.0, 130.0};
+  EXPECT_DOUBLE_EQ(worst_case_ratio(v), 1.3);
+  std::vector<double> same{5.0, 5.0};
+  EXPECT_DOUBLE_EQ(worst_case_ratio(same), 1.0);
+}
+
+TEST(Variation, SpreadPercent) {
+  std::vector<double> v{100.0, 123.0};
+  EXPECT_NEAR(spread_percent(v), 23.0, 1e-12);
+}
+
+TEST(Variation, Errors) {
+  EXPECT_THROW(worst_case_ratio({}), InvalidArgument);
+  std::vector<double> bad{1.0, 0.0};
+  EXPECT_THROW(worst_case_ratio(bad), InvalidArgument);
+  std::vector<double> neg{1.0, -2.0};
+  EXPECT_THROW(spread_percent(neg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vapb::stats

@@ -1,0 +1,63 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vapb::util {
+namespace {
+
+TEST(Strings, FmtDoublePrecision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.0, 0), "3");
+  EXPECT_EQ(fmt_double(-1.5, 1), "-1.5");
+}
+
+TEST(Strings, UnitFormatters) {
+  EXPECT_EQ(fmt_watts(112.84), "112.8 W");
+  EXPECT_EQ(fmt_ghz(2.7), "2.70 GHz");
+  EXPECT_EQ(fmt_seconds(1.2345), "1.234 s");  // round-to-even aware
+}
+
+TEST(Strings, SplitBasic) {
+  auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = split(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitEmptyStringIsOneEmptyField) {
+  auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-ws"), "no-ws");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("vapb_core", "vapb"));
+  EXPECT_FALSE(starts_with("va", "vapb"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+}  // namespace
+}  // namespace vapb::util

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace vapb::util {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"name", "watts"});
+  t.add_row({"cab", "115"});
+  t.add_row({"ha8k", "130"});
+  std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("ha8k"), std::string::npos);
+  EXPECT_NE(s.find("130"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"a", "b"});
+  t.add_row({"xxxxxxxx", "1"});
+  t.add_row({"y", "2"});
+  std::istringstream is(t.str());
+  std::string line;
+  std::vector<std::size_t> lengths;
+  while (std::getline(is, line)) lengths.push_back(line.size());
+  for (std::size_t i = 1; i < lengths.size(); ++i) {
+    EXPECT_EQ(lengths[i], lengths[0]);
+  }
+}
+
+TEST(Table, IncrementalCells) {
+  Table t({"x", "y", "z"});
+  t.add_row();
+  t.add_cell("a");
+  t.add_cell(1.5, 1);
+  t.add_cell(static_cast<long long>(7));
+  EXPECT_NE(t.str().find("1.5"), std::string::npos);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"only"});
+  t.add_row();
+  t.add_cell("one");
+  EXPECT_THROW(t.add_cell("two"), InvalidArgument);
+}
+
+TEST(Table, WrongRowWidthThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"just-one"}), InvalidArgument);
+}
+
+TEST(Table, IncompleteRowFailsAtRender) {
+  Table t({"a", "b"});
+  t.add_row();
+  t.add_cell("only-one");
+  EXPECT_THROW(t.str(), InvalidArgument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), InternalError);
+}
+
+TEST(Table, SeparatorProducesRule) {
+  Table t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  // 3 rules normally (top, under header, bottom) + 1 separator.
+  std::string s = t.str();
+  std::size_t rules = 0, pos = 0;
+  while ((pos = s.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos = s.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+class CsvFixture : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/vapb_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string slurp() {
+    std::ifstream f(path_);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+  }
+};
+
+TEST_F(CsvFixture, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"a", "b"});
+    w.row({"1", "2"});
+    w.row_numeric({3.5, 4.25});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  std::string text = slurp();
+  EXPECT_EQ(text, "a,b\n1,2\n3.5,4.25\n");
+}
+
+TEST_F(CsvFixture, EscapesSpecialCharacters) {
+  {
+    CsvWriter w(path_, {"c"});
+    w.row({"has,comma"});
+    w.row({"has\"quote"});
+    w.row({"has\nnewline"});
+  }
+  std::string text = slurp();
+  EXPECT_NE(text.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(text.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(text.find("\"has\nnewline\""), std::string::npos);
+}
+
+TEST_F(CsvFixture, WrongArityThrows) {
+  CsvWriter w(path_, {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), InvalidArgument);
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}), Error);
+}
+
+}  // namespace
+}  // namespace vapb::util

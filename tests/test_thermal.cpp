@@ -1,0 +1,135 @@
+#include "hw/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::hw {
+namespace {
+
+Module make_module(double dyn = 1.0, double stat = 1.0) {
+  ModuleVariation v;
+  v.cpu_dyn = dyn;
+  v.cpu_static = stat;
+  return Module(0, v, FrequencyLadder(1.2, 2.7, 0.1, 3.0), 130.0,
+                util::SeedSequence(1));
+}
+
+const PowerProfile& profile() { return workloads::mhd().profile; }
+
+TEST(Thermal, SteadyStateConverges) {
+  Module m = make_module();
+  ThermalModel model;
+  ThermalSolution sol = model.steady_state(m, profile(), 2.7, 25.0);
+  EXPECT_GT(sol.junction_c, 25.0);
+  EXPECT_LT(sol.junction_c, 95.0);
+  EXPECT_FALSE(sol.prochot);
+  // Self-consistency: T == ambient + R * P.
+  EXPECT_NEAR(sol.junction_c,
+              25.0 + model.config().r_thermal_c_per_w * sol.cpu_w, 1e-6);
+}
+
+TEST(Thermal, AtReferenceTempMatchesBaseModel) {
+  // If the solved junction equals ref_temp the leakage multiplier is 1 and
+  // power equals the plain module model. Engineer that by picking the
+  // ambient that lands exactly on ref_temp.
+  Module m = make_module();
+  ThermalModel model;
+  double p_base = m.cpu_power_w(profile(), 2.0);
+  double ambient = model.config().ref_temp_c -
+                   model.config().r_thermal_c_per_w * p_base;
+  ThermalSolution sol = model.steady_state(m, profile(), 2.0, ambient);
+  EXPECT_NEAR(sol.cpu_w, p_base, 1e-6);
+  EXPECT_NEAR(sol.junction_c, model.config().ref_temp_c, 1e-6);
+}
+
+TEST(Thermal, HotterAmbientMeansMorePower) {
+  Module m = make_module();
+  ThermalModel model;
+  ThermalSolution cold = model.steady_state(m, profile(), 2.5, 15.0);
+  ThermalSolution hot = model.steady_state(m, profile(), 2.5, 35.0);
+  EXPECT_GT(hot.cpu_w, cold.cpu_w);
+  EXPECT_GT(hot.junction_c, cold.junction_c + 15.0);
+}
+
+TEST(Thermal, LeakageFeedbackAmplifies) {
+  // With the feedback on, power exceeds the open-loop value whenever the
+  // junction sits above the calibration temperature.
+  Module m = make_module();
+  ThermalModel model;
+  double open_loop = m.cpu_power_w(profile(), 2.7);
+  ThermalSolution sol = model.steady_state(m, profile(), 2.7, 60.0);
+  EXPECT_GT(sol.junction_c, model.config().ref_temp_c);
+  EXPECT_GT(sol.cpu_w, open_loop);
+}
+
+TEST(Thermal, ProchotThrottlesFrequency) {
+  Module m = make_module(1.15, 1.2);  // hungry part
+  ThermalConfig cfg;
+  cfg.prochot_c = 70.0;  // aggressive limit
+  ThermalModel model(cfg);
+  ThermalSolution sol = model.steady_state(m, profile(), 2.7, 45.0);
+  EXPECT_TRUE(sol.prochot || sol.freq_ghz < 2.7);
+  EXPECT_LE(sol.freq_ghz, 2.7);
+  // Either the junction fits or we bottomed out at fmin.
+  EXPECT_TRUE(sol.junction_c <= 70.0 + 1e-9 || sol.freq_ghz <= 1.2 + 1e-9);
+}
+
+TEST(Thermal, TurboDropsWithAmbient) {
+  // Section 3.1.1: turbo frequency depends on ambient temperature.
+  Module m = make_module(1.1, 1.1);
+  ThermalConfig cfg;
+  cfg.prochot_c = 85.0;
+  ThermalModel model(cfg);
+  double cool = model.turbo_frequency_ghz(m, workloads::dgemm().profile, 15.0);
+  double hot = model.turbo_frequency_ghz(m, workloads::dgemm().profile, 45.0);
+  EXPECT_LE(hot, cool + 1e-9);
+  EXPECT_GE(cool, 1.2);
+}
+
+TEST(Thermal, EfficientPartTurbosHigherThanHungryPart) {
+  ThermalModel model;
+  Module efficient = make_module(0.9, 0.9);
+  Module hungry = make_module(1.15, 1.2);
+  double fe = model.turbo_frequency_ghz(efficient, workloads::dgemm().profile,
+                                        25.0);
+  double fh = model.turbo_frequency_ghz(hungry, workloads::dgemm().profile,
+                                        25.0);
+  EXPECT_GE(fe, fh);
+}
+
+class ThermalAmbientSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThermalAmbientSweep, SolutionsArePhysical) {
+  Module m = make_module(1.05, 1.1);
+  ThermalModel model;
+  ThermalSolution sol = model.steady_state(m, profile(), 2.4, GetParam());
+  EXPECT_GT(sol.junction_c, GetParam());
+  EXPECT_GT(sol.cpu_w, 0.0);
+  EXPECT_GE(sol.freq_ghz, 1.2 - 1e-12);
+  EXPECT_LE(sol.freq_ghz, 2.4 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ambients, ThermalAmbientSweep,
+                         ::testing::Values(10.0, 20.0, 25.0, 30.0, 40.0,
+                                           50.0));
+
+TEST(Thermal, Validation) {
+  ThermalConfig bad;
+  bad.r_thermal_c_per_w = 0.0;
+  EXPECT_THROW(ThermalModel{bad}, ConfigError);
+  bad = ThermalConfig{};
+  bad.leakage_per_c = -0.1;
+  EXPECT_THROW(ThermalModel{bad}, ConfigError);
+  bad = ThermalConfig{};
+  bad.leakage_per_c = 1.0;  // divergent feedback
+  EXPECT_THROW(ThermalModel{bad}, ConfigError);
+  ThermalModel ok;
+  Module m = make_module();
+  EXPECT_THROW(static_cast<void>(ok.steady_state(m, profile(), 0.0, 25.0)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vapb::hw

@@ -1,0 +1,114 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+namespace vapb::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+}
+
+TEST(ThreadPool, ExceptionPropagatesToWaiter) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool must remain usable afterwards.
+  std::atomic<int> count{0};
+  pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; },
+               /*grain=*/8);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, SmallNRunsSerially) {
+  ThreadPool pool(4);
+  std::vector<int> order;
+  // With n <= grain the loop is serial on the caller thread, so mutation
+  // without synchronization is safe and ordered.
+  parallel_for(pool, 10,
+               [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+               /*grain=*/64);
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelFor, ExceptionInBodyPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 1000,
+                            [](std::size_t i) {
+                              if (i == 512) throw std::runtime_error("boom");
+                            },
+                            /*grain=*/4),
+               std::runtime_error);
+}
+
+class ParallelForSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelForSizes, SumMatchesClosedForm) {
+  ThreadPool pool(4);
+  const std::size_t n = GetParam();
+  std::atomic<long long> sum{0};
+  parallel_for(pool, n,
+               [&](std::size_t i) { sum += static_cast<long long>(i); },
+               /*grain=*/16);
+  long long expected =
+      static_cast<long long>(n) * static_cast<long long>(n - 1) / 2;
+  if (n == 0) expected = 0;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelForSizes,
+                         ::testing::Values(1, 2, 15, 16, 17, 63, 64, 65, 1000,
+                                           4096));
+
+TEST(ParallelFor, GlobalOverloadWorks) {
+  std::atomic<int> count{0};
+  parallel_for(500, [&](std::size_t) { ++count; }, 8);
+  EXPECT_EQ(count.load(), 500);
+}
+
+}  // namespace
+}  // namespace vapb::util

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "des/program.hpp"
+#include "util/error.hpp"
+
+namespace vapb::des::topology {
+namespace {
+
+TEST(Chain1D, Endpoints) {
+  EXPECT_EQ(chain_1d(0, 5), (std::vector<RankId>{1}));
+  EXPECT_EQ(chain_1d(4, 5), (std::vector<RankId>{3}));
+  EXPECT_EQ(chain_1d(2, 5), (std::vector<RankId>{1, 3}));
+}
+
+TEST(Chain1D, SingleRankHasNoPeers) {
+  EXPECT_TRUE(chain_1d(0, 1).empty());
+}
+
+TEST(Chain1D, OutOfRangeThrows) {
+  EXPECT_THROW(chain_1d(5, 5), InternalError);
+}
+
+TEST(Grid3D, CornerHasThreePeers) {
+  auto peers = grid_3d(0, 3, 3, 3);
+  EXPECT_EQ(peers.size(), 3u);
+}
+
+TEST(Grid3D, InteriorHasSixPeers) {
+  // Center of a 3x3x3 grid: index 13.
+  auto peers = grid_3d(13, 3, 3, 3);
+  EXPECT_EQ(peers.size(), 6u);
+  std::set<RankId> expected{12, 14, 10, 16, 4, 22};
+  EXPECT_EQ(std::set<RankId>(peers.begin(), peers.end()), expected);
+}
+
+TEST(Grid3D, DegenerateDimsBehaveLikeChain) {
+  auto peers = grid_3d(2, 5, 1, 1);
+  EXPECT_EQ(std::set<RankId>(peers.begin(), peers.end()),
+            (std::set<RankId>{1, 3}));
+}
+
+class GridSymmetry : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GridSymmetry, PeerRelationIsSymmetricAndIrreflexive) {
+  std::size_t n = GetParam();
+  auto dims = balanced_dims_3d(n);
+  ASSERT_EQ(dims[0] * dims[1] * dims[2], n);
+  for (std::size_t r = 0; r < n; ++r) {
+    auto peers =
+        grid_3d(static_cast<RankId>(r), dims[0], dims[1], dims[2]);
+    for (RankId p : peers) {
+      ASSERT_NE(p, r);
+      ASSERT_LT(p, n);
+      auto back = grid_3d(p, dims[0], dims[1], dims[2]);
+      ASSERT_TRUE(std::find(back.begin(), back.end(),
+                            static_cast<RankId>(r)) != back.end())
+          << "rank " << r << " lists " << p << " but not vice versa";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridSymmetry,
+                         ::testing::Values(1, 2, 3, 7, 8, 12, 27, 48, 64, 97,
+                                           192, 1920));
+
+class BalancedDims : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BalancedDims, ProductMatchesAndReasonablyCubic) {
+  std::size_t n = GetParam();
+  auto d = balanced_dims_3d(n);
+  EXPECT_EQ(d[0] * d[1] * d[2], n);
+  // No dimension should be zero.
+  EXPECT_GE(d[0], 1u);
+  EXPECT_GE(d[1], 1u);
+  EXPECT_GE(d[2], 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BalancedDims,
+                         ::testing::Values(1, 2, 4, 6, 8, 13, 27, 30, 64, 100,
+                                           192, 960, 1920, 24576));
+
+TEST(BalancedDims, PerfectCubeIsCubic) {
+  auto d = balanced_dims_3d(27);
+  EXPECT_EQ(d[0], 3u);
+  EXPECT_EQ(d[1], 3u);
+  EXPECT_EQ(d[2], 3u);
+}
+
+TEST(BalancedDims, Ha8kScaleIsNotDegenerate) {
+  auto d = balanced_dims_3d(1920);
+  // 1920 = 2^7 * 3 * 5; a balanced split keeps all dims > 1.
+  EXPECT_GT(d[0], 1u);
+  EXPECT_GT(d[1], 1u);
+  EXPECT_GT(d[2], 1u);
+}
+
+TEST(BalancedDims, ZeroThrows) {
+  EXPECT_THROW(balanced_dims_3d(0), InternalError);
+}
+
+}  // namespace
+}  // namespace vapb::des::topology

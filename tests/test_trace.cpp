@@ -1,0 +1,90 @@
+#include "hw/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hpp"
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::hw {
+namespace {
+
+Module make_module() {
+  return Module(0, ModuleVariation{}, FrequencyLadder(1.2, 2.7, 0.1, 3.0),
+                130.0, util::SeedSequence(1));
+}
+
+const PowerProfile& profile() { return workloads::dgemm().profile; }
+
+TEST(Trace, SampleCountMatchesWindows) {
+  Module m = make_module();
+  Rapl rapl(m);
+  PowerTrace t =
+      PowerTrace::record(rapl, m, profile(), 0.1, util::SeedSequence(2));
+  EXPECT_EQ(t.samples().size(), 100u);  // 0.1 s at 1 ms windows
+  EXPECT_DOUBLE_EQ(t.samples().front().t_s, 0.0);
+  EXPECT_NEAR(t.samples().back().t_s, 0.099, 1e-9);
+}
+
+TEST(Trace, UncappedTraceIsSteady) {
+  Module m = make_module();
+  Rapl rapl(m);
+  PowerTrace t =
+      PowerTrace::record(rapl, m, profile(), 0.05, util::SeedSequence(3));
+  for (const auto& s : t.samples()) {
+    EXPECT_DOUBLE_EQ(s.freq_ghz, 2.7);
+  }
+  EXPECT_DOUBLE_EQ(t.avg_freq_ghz(), 2.7);
+}
+
+TEST(Trace, CappedTraceDithersAroundSustainedPoint) {
+  Module m = make_module();
+  Rapl rapl(m);
+  rapl.set_cpu_limit_w(70.0);
+  OperatingPoint op = rapl.operating_point(profile());
+  PowerTrace t =
+      PowerTrace::record(rapl, m, profile(), 0.5, util::SeedSequence(4));
+  // Instantaneous clock varies...
+  stats::Accumulator freq;
+  for (const auto& s : t.samples()) freq.add(s.freq_ghz);
+  EXPECT_GT(freq.stddev(), 0.01);
+  // ...around the sustained point...
+  EXPECT_NEAR(t.avg_freq_ghz(), op.freq_ghz, 0.01);
+  // ...while the windowed average power stays pinned at the cap.
+  EXPECT_NEAR(t.avg_cpu_w(), 70.0, 1e-9);
+}
+
+TEST(Trace, AdvancesEnergyCounters) {
+  Module m = make_module();
+  Rapl rapl(m);
+  rapl.set_cpu_limit_w(60.0);
+  PowerTrace t =
+      PowerTrace::record(rapl, m, profile(), 1.0, util::SeedSequence(5));
+  EXPECT_NEAR(rapl.pkg_energy_j(), 60.0, 0.1);  // 60 W for 1 s
+  EXPECT_NEAR(rapl.dram_energy_j(), t.avg_dram_w(), 0.1);
+}
+
+TEST(Trace, Deterministic) {
+  Module m = make_module();
+  Rapl r1(m), r2(m);
+  r1.set_cpu_limit_w(70.0);
+  r2.set_cpu_limit_w(70.0);
+  PowerTrace a =
+      PowerTrace::record(r1, m, profile(), 0.05, util::SeedSequence(6));
+  PowerTrace b =
+      PowerTrace::record(r2, m, profile(), 0.05, util::SeedSequence(6));
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.samples()[i].freq_ghz, b.samples()[i].freq_ghz);
+  }
+}
+
+TEST(Trace, Validation) {
+  Module m = make_module();
+  Rapl rapl(m);
+  EXPECT_THROW(
+      PowerTrace::record(rapl, m, profile(), 0.0, util::SeedSequence(7)),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vapb::hw

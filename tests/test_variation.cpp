@@ -1,0 +1,128 @@
+#include "hw/variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/arch.hpp"
+#include "stats/summary.hpp"
+
+namespace vapb::hw {
+namespace {
+
+VariationDistribution sample_dist() {
+  VariationDistribution d;
+  d.cpu_dyn_sd = 0.05;
+  d.cpu_dyn_lo = 0.85;
+  d.cpu_dyn_hi = 1.18;
+  d.cpu_static_sd = 0.07;
+  d.cpu_static_lo = 0.80;
+  d.cpu_static_hi = 1.22;
+  d.dram_sd = 0.17;
+  d.dram_lo = 0.40;
+  d.dram_hi = 1.55;
+  return d;
+}
+
+TEST(Variation, SameModuleAlwaysSameSilicon) {
+  auto d = sample_dist();
+  util::SeedSequence fab(77);
+  ModuleVariation a = draw_variation(d, fab, 42);
+  ModuleVariation b = draw_variation(d, fab, 42);
+  EXPECT_DOUBLE_EQ(a.cpu_dyn, b.cpu_dyn);
+  EXPECT_DOUBLE_EQ(a.cpu_static, b.cpu_static);
+  EXPECT_DOUBLE_EQ(a.dram, b.dram);
+  EXPECT_DOUBLE_EQ(a.freq, b.freq);
+}
+
+TEST(Variation, DifferentModulesDiffer) {
+  auto d = sample_dist();
+  util::SeedSequence fab(77);
+  ModuleVariation a = draw_variation(d, fab, 1);
+  ModuleVariation b = draw_variation(d, fab, 2);
+  EXPECT_NE(a.cpu_dyn, b.cpu_dyn);
+}
+
+TEST(Variation, ZeroSdMeansNoVariation) {
+  VariationDistribution d;  // all sds zero
+  ModuleVariation v = draw_variation(d, util::SeedSequence(1), 5);
+  EXPECT_DOUBLE_EQ(v.cpu_dyn, 1.0);
+  EXPECT_DOUBLE_EQ(v.cpu_static, 1.0);
+  EXPECT_DOUBLE_EQ(v.dram, 1.0);
+  EXPECT_DOUBLE_EQ(v.freq, 1.0);
+}
+
+class VariationPopulation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VariationPopulation, BoundsAndMomentsHold) {
+  auto d = sample_dist();
+  util::SeedSequence fab(GetParam());
+  std::vector<double> dyn, stat, dram;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    ModuleVariation v = draw_variation(d, fab, i);
+    ASSERT_GE(v.cpu_dyn, d.cpu_dyn_lo);
+    ASSERT_LE(v.cpu_dyn, d.cpu_dyn_hi);
+    ASSERT_GE(v.cpu_static, d.cpu_static_lo);
+    ASSERT_LE(v.cpu_static, d.cpu_static_hi);
+    ASSERT_GE(v.dram, d.dram_lo);
+    ASSERT_LE(v.dram, d.dram_hi);
+    EXPECT_DOUBLE_EQ(v.freq, 1.0);  // no freq variation configured
+    dyn.push_back(v.cpu_dyn);
+    stat.push_back(v.cpu_static);
+    dram.push_back(v.dram);
+  }
+  EXPECT_NEAR(stats::summarize(dyn).mean, 1.0, 0.01);
+  EXPECT_NEAR(stats::summarize(stat).mean, 1.0, 0.01);
+  EXPECT_NEAR(stats::summarize(dram).mean, 1.0, 0.02);
+  EXPECT_NEAR(stats::summarize(dyn).stddev, d.cpu_dyn_sd, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(FabSeeds, VariationPopulation,
+                         ::testing::Values(1, 17, 999));
+
+TEST(Variation, DynStaticCorrelationIsPositive) {
+  auto d = sample_dist();
+  d.cpu_dyn_static_corr = 0.7;
+  util::SeedSequence fab(5);
+  std::vector<double> dyn, stat;
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    ModuleVariation v = draw_variation(d, fab, i);
+    dyn.push_back(v.cpu_dyn);
+    stat.push_back(v.cpu_static);
+  }
+  EXPECT_GT(stats::pearson(dyn, stat), 0.5);
+}
+
+TEST(Variation, TellerFreqPowerCorrelationPositive) {
+  // Teller: processors consuming more power perform better.
+  VariationDistribution d = teller().variation;
+  util::SeedSequence fab(6);
+  std::vector<double> power, freq;
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    ModuleVariation v = draw_variation(d, fab, i);
+    power.push_back(v.cpu_dyn);
+    freq.push_back(v.freq);
+  }
+  EXPECT_GT(stats::pearson(power, freq), 0.3);
+  EXPECT_GT(stats::summarize(freq).stddev, 0.01);  // real perf spread
+}
+
+TEST(Variation, FreqBoundsRespected) {
+  VariationDistribution d = teller().variation;
+  util::SeedSequence fab(7);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    ModuleVariation v = draw_variation(d, fab, i);
+    ASSERT_GE(v.freq, d.freq_lo);
+    ASSERT_LE(v.freq, d.freq_hi);
+  }
+}
+
+TEST(Variation, DifferentFabSeedsGiveDifferentFleet) {
+  auto d = sample_dist();
+  ModuleVariation a = draw_variation(d, util::SeedSequence(1), 0);
+  ModuleVariation b = draw_variation(d, util::SeedSequence(2), 0);
+  EXPECT_NE(a.cpu_dyn, b.cpu_dyn);
+}
+
+}  // namespace
+}  // namespace vapb::hw

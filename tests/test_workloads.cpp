@@ -1,0 +1,165 @@
+#include "workloads/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace vapb::workloads {
+namespace {
+
+std::vector<const Workload*> everything() {
+  auto v = evaluation_suite();
+  v.push_back(&ep());
+  v.push_back(&pvt_microbench());
+  v.push_back(&pvt_microbench_compute());
+  v.push_back(&pvt_microbench_mixed());
+  return v;
+}
+
+TEST(Catalog, EvaluationSuiteHasSixBenchmarks) {
+  auto suite = evaluation_suite();
+  ASSERT_EQ(suite.size(), 6u);  // Figure 7 has six panels
+  std::set<std::string> names;
+  for (auto* w : suite) names.insert(w->name);
+  EXPECT_TRUE(names.count("*DGEMM"));
+  EXPECT_TRUE(names.count("*STREAM"));
+  EXPECT_TRUE(names.count("MHD"));
+  EXPECT_TRUE(names.count("NPB-BT"));
+  EXPECT_TRUE(names.count("NPB-SP"));
+  EXPECT_TRUE(names.count("mVMC"));
+}
+
+TEST(Catalog, NamesAreUnique) {
+  std::set<std::string> names;
+  for (auto* w : everything()) {
+    EXPECT_TRUE(names.insert(w->name).second) << "duplicate: " << w->name;
+  }
+}
+
+TEST(Catalog, ByNameRoundTrips) {
+  for (auto* w : everything()) {
+    EXPECT_EQ(&by_name(w->name), w);
+  }
+}
+
+TEST(Catalog, ByNameUnknownThrows) {
+  EXPECT_THROW(by_name("HPL"), InvalidArgument);
+}
+
+class CatalogInvariants : public ::testing::TestWithParam<const Workload*> {};
+
+TEST_P(CatalogInvariants, PhysicallySensibleParameters) {
+  const Workload& w = *GetParam();
+  EXPECT_FALSE(w.name.empty());
+  EXPECT_EQ(w.profile.name, w.name);
+  EXPECT_GE(w.profile.cpu_static_w, 0.0);
+  EXPECT_GT(w.profile.cpu_dyn_w_per_ghz, 0.0);
+  EXPECT_GE(w.profile.dram_static_w, 0.0);
+  EXPECT_GE(w.profile.dram_dyn_w_per_ghz, 0.0);
+  EXPECT_GT(w.profile.cpu_sensitivity, 0.0);
+  EXPECT_GE(w.profile.idiosyncrasy_sd, 0.0);
+  EXPECT_GT(w.iter_seconds_nominal, 0.0);
+  EXPECT_GE(w.cpu_fraction, 0.0);
+  EXPECT_LE(w.cpu_fraction, 1.0);
+  EXPECT_GT(w.nominal_freq_ghz, 0.0);
+  EXPECT_GT(w.default_iterations, 0);
+  EXPECT_GE(w.runtime_noise_frac, 0.0);
+  EXPECT_GE(w.per_rank_noise_frac, 0.0);
+}
+
+TEST_P(CatalogInvariants, IterationTimeDecreasesWithFrequency) {
+  const Workload& w = *GetParam();
+  double prev = w.iter_seconds_at(1.2);
+  for (double f = 1.3; f <= 2.7; f += 0.1) {
+    double t = w.iter_seconds_at(f);
+    EXPECT_LE(t, prev + 1e-12) << w.name << " at " << f;
+    prev = t;
+  }
+}
+
+TEST_P(CatalogInvariants, NominalFrequencyGivesNominalTime) {
+  const Workload& w = *GetParam();
+  EXPECT_NEAR(w.iter_seconds_at(w.nominal_freq_ghz), w.iter_seconds_nominal,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, CatalogInvariants,
+                         ::testing::ValuesIn(everything()),
+                         [](const auto& info) {
+                           std::string n = info.param->name;
+                           for (char& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Workload, ThrottledOperatingPointStretchesWholeIteration) {
+  const Workload& w = mhd();
+  hw::OperatingPoint normal;
+  normal.freq_ghz = 1.2;
+  normal.perf_freq_ghz = 1.2;
+  hw::OperatingPoint throttled = normal;
+  throttled.throttled = true;
+  throttled.duty = 0.5;
+  throttled.perf_freq_ghz = 0.3;
+  // 1.2 / 0.3 = 4x the fmin-iteration time.
+  EXPECT_NEAR(w.iter_seconds(throttled), w.iter_seconds(normal) * 4.0, 1e-9);
+}
+
+TEST(Workload, MemoryBoundWorkloadLessFrequencySensitive) {
+  // STREAM (cpu_fraction 0.45) slows down less from fmax->fmin than DGEMM.
+  double dgemm_ratio = dgemm().iter_seconds_at(1.2) / dgemm().iter_seconds_at(2.7);
+  double stream_ratio =
+      stream().iter_seconds_at(1.2) / stream().iter_seconds_at(2.7);
+  EXPECT_GT(dgemm_ratio, stream_ratio * 1.3);
+}
+
+TEST(Workload, DgemmPowerMatchesPaperFigure2) {
+  // ~100.8 W CPU and ~12.0 W DRAM at 2.7 GHz on the average module.
+  EXPECT_NEAR(dgemm().profile.cpu_w(2.7), 100.8, 1.5);
+  EXPECT_NEAR(dgemm().profile.dram_w(2.7), 12.0, 0.5);
+}
+
+TEST(Workload, MhdPowerMatchesPaperFigure2) {
+  EXPECT_NEAR(mhd().profile.cpu_w(2.7), 83.9, 1.5);
+  EXPECT_NEAR(mhd().profile.dram_w(2.7), 12.6, 0.5);
+}
+
+TEST(Workload, StreamIsTheDramHeavyBenchmark) {
+  for (auto* w : evaluation_suite()) {
+    if (w->name == "*STREAM") continue;
+    EXPECT_GT(stream().profile.dram_w(2.7), w->profile.dram_w(2.7) * 1.8)
+        << w->name;
+  }
+}
+
+TEST(Workload, PvtMicrobenchHasUnitSensitivity) {
+  for (auto* m : {&pvt_microbench(), &pvt_microbench_compute(),
+                  &pvt_microbench_mixed()}) {
+    EXPECT_DOUBLE_EQ(m->profile.cpu_sensitivity, 1.0) << m->name;
+    EXPECT_DOUBLE_EQ(m->profile.dram_sensitivity, 1.0) << m->name;
+    EXPECT_DOUBLE_EQ(m->profile.idiosyncrasy_sd, 0.0) << m->name;
+  }
+}
+
+TEST(Workload, BtHasTheLargestIdiosyncrasy) {
+  for (auto* w : evaluation_suite()) {
+    if (w->name == "NPB-BT") continue;
+    EXPECT_GT(bt().profile.idiosyncrasy_sd, w->profile.idiosyncrasy_sd)
+        << w->name;
+  }
+}
+
+TEST(Workload, IterSecondsValidation) {
+  EXPECT_THROW(dgemm().iter_seconds_at(0.0), InternalError);
+  hw::OperatingPoint bad;
+  bad.perf_freq_ghz = 0.0;
+  EXPECT_THROW(dgemm().iter_seconds(bad), InternalError);
+}
+
+}  // namespace
+}  // namespace vapb::workloads

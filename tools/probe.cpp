@@ -1,0 +1,97 @@
+// Scratch calibration probe (not part of the shipped library).
+#include <cstdio>
+
+#include "cluster/scheduler.hpp"
+#include "core/campaign.hpp"
+#include "stats/summary.hpp"
+#include "stats/variation.hpp"
+#include "workloads/catalog.hpp"
+
+using namespace vapb;
+
+int main() {
+  const std::size_t N = 192;
+  cluster::Cluster cl(hw::ha8k(), util::SeedSequence(42), N);
+  std::vector<hw::ModuleId> alloc(N);
+  for (std::size_t i = 0; i < N; ++i) alloc[i] = static_cast<hw::ModuleId>(i);
+  core::Campaign camp(cl, alloc);
+
+  auto show_uncapped = [&](const workloads::Workload& w) {
+    const auto& m = camp.uncapped(w);
+    auto cpu = stats::summarize(m.cpu_powers_w());
+    auto dram = stats::summarize(m.dram_powers_w());
+    auto mod = stats::summarize(m.module_powers_w());
+    std::printf("%-8s uncapped: cpu %.1f+-%.2f  dram %.1f+-%.2f  module %.1f "
+                "Vp=%.2f VpDram=%.2f\n",
+                w.name.c_str(), cpu.mean, cpu.stddev, dram.mean, dram.stddev,
+                mod.mean, m.vp(),
+                stats::worst_case_ratio(m.dram_powers_w()));
+  };
+  show_uncapped(workloads::dgemm());
+  show_uncapped(workloads::mhd());
+  show_uncapped(workloads::stream());
+
+  std::printf("\ncalibration errors: ");
+  for (auto* w : workloads::evaluation_suite()) {
+    std::printf("%s=%.1f%% ", w->name.c_str(),
+                100 * camp.calibration_error(*w));
+  }
+  std::printf("\n\n");
+
+  // Figure 2(ii)/(iii)-style: uniform per-module caps (Pc semantics roughly).
+  for (double cm : {110.0, 90.0, 70.0, 60.0}) {
+    for (auto* w : {&workloads::dgemm(), &workloads::mhd()}) {
+      auto cell = camp.run_cell(*w, cm * N,
+                                {core::SchemeKind::kNaive,
+                                 core::SchemeKind::kPc,
+                                 core::SchemeKind::kVaPc,
+                                 core::SchemeKind::kVaFs});
+      std::printf("%-8s Cm=%.0f class=%s\n", w->name.c_str(), cm,
+                  core::cell_class_name(cell.cls).c_str());
+      for (auto& s : cell.schemes) {
+        if (!s.metrics.feasible) {
+          std::printf("   %-6s infeasible\n",
+                      core::scheme_name(s.kind).c_str());
+          continue;
+        }
+        double vt = core::vt_normalized(s.metrics, *cell.uncapped);
+        std::printf(
+            "   %-6s alpha=%.2f f=%.2f Vf=%.2f Vt=%.2f Vp=%.2f total=%.0fW "
+            "(budget %.0f) speedup=%.2f makespan=%.1f\n",
+            core::scheme_name(s.kind).c_str(), s.metrics.alpha,
+            s.metrics.target_freq_ghz, s.metrics.vf(), vt, s.metrics.vp(),
+            s.metrics.total_power_w, s.metrics.budget_w, s.speedup_vs_naive,
+            s.metrics.makespan_s);
+      }
+    }
+  }
+
+  // Tight-budget BT cell (the paper's 5.4X case: Cm = 50 W).
+  for (double cm : {60.0, 50.0}) {
+    auto cell = camp.run_cell(workloads::bt(), cm * N);
+    std::printf("BT Cm=%.0f class=%s\n", cm,
+                core::cell_class_name(cell.cls).c_str());
+    for (auto& s : cell.schemes) {
+      if (!s.metrics.feasible) {
+        std::printf("   %-6s infeasible\n", core::scheme_name(s.kind).c_str());
+        continue;
+      }
+      std::printf("   %-6s alpha=%.2f f=%.2f Vf=%.2f total=%.0fW speedup=%.2f\n",
+                  core::scheme_name(s.kind).c_str(), s.metrics.alpha,
+                  s.metrics.target_freq_ghz, s.metrics.vf(),
+                  s.metrics.total_power_w, s.speedup_vs_naive);
+    }
+  }
+  std::printf("\nTable 4 classification (Cm per module):\n");
+  for (auto* w : workloads::evaluation_suite()) {
+    std::printf("%-8s:", w->name.c_str());
+    for (double cm : {110., 100., 90., 80., 70., 60., 50.}) {
+      auto cls = camp.classify(*w, cm * N);
+      const char* mark = cls == core::CellClass::kValid ? "X"
+                         : cls == core::CellClass::kUnconstrained ? "." : "-";
+      std::printf(" %s", mark);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

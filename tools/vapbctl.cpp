@@ -1,0 +1,272 @@
+// vapbctl — command-line driver for the VAPB framework.
+//
+// Subcommands (all on a simulated fleet; --arch selects the Table-2 preset):
+//   systems                               print the architecture presets
+//   workloads                             print the benchmark catalog
+//   pvt      --out FILE                   generate + save the system PVT
+//   solve    --workload W --budget-w P    calibrate + solve Eq. 1-9
+//   run      --workload W --budget-w P --scheme S
+//                                         full pipeline + metrics
+//   campaign --workload W                 sweep the Table-4 budgets
+//   report   [--workload W] [--out F]     full Markdown campaign report
+//
+// Common flags: --arch {cab|vulcan|teller|ha8k}  --modules N  --seed S
+//               --pvt FILE (reuse a saved PVT)
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "hw/arch_io.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/catalog.hpp"
+
+using namespace vapb;
+
+namespace {
+
+hw::ArchSpec arch_by_name(const std::string& name) {
+  if (name == "cab") return hw::cab();
+  if (name == "vulcan") return hw::vulcan();
+  if (name == "teller") return hw::teller();
+  if (name == "ha8k") return hw::ha8k();
+  throw InvalidArgument("unknown --arch '" + name +
+                        "' (cab|vulcan|teller|ha8k)");
+}
+
+struct Context {
+  cluster::Cluster cluster;
+  std::vector<hw::ModuleId> allocation;
+  core::Pvt pvt;
+};
+
+Context make_context(const util::CliArgs& args) {
+  hw::ArchSpec spec = [&] {
+    if (args.has("arch-file")) {
+      std::ifstream in(args.get("arch-file"));
+      if (!in) throw Error("cannot open arch file: " + args.get("arch-file"));
+      std::stringstream ss;
+      ss << in.rdbuf();
+      return hw::arch_from_config_text(ss.str());
+    }
+    return arch_by_name(args.get_or("arch", "ha8k"));
+  }();
+  auto seed = static_cast<std::uint64_t>(args.get_long_or("seed", 2015));
+  auto modules = static_cast<std::size_t>(args.get_long_or("modules", 128));
+  cluster::Cluster cluster(spec, util::SeedSequence(seed), modules);
+  std::vector<hw::ModuleId> alloc(modules);
+  std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+  core::Pvt pvt = [&] {
+    if (args.has("pvt")) {
+      std::ifstream in(args.get("pvt"));
+      if (!in) throw Error("cannot open PVT file: " + args.get("pvt"));
+      std::stringstream ss;
+      ss << in.rdbuf();
+      return core::Pvt::deserialize(ss.str());
+    }
+    return core::Pvt::generate(cluster, workloads::pvt_microbench(),
+                               cluster.seed().fork("pvt"));
+  }();
+  return Context{std::move(cluster), std::move(alloc), std::move(pvt)};
+}
+
+int cmd_systems() {
+  util::Table t({"arch", "system", "microarch", "modules", "ladder",
+                 "capping"});
+  for (const auto& a : hw::all_archs()) {
+    t.add_row();
+    t.add_cell(a.system.substr(0, a.system.find(' ')));
+    t.add_cell(a.system);
+    t.add_cell(a.microarch);
+    t.add_cell(static_cast<long long>(a.total_modules()));
+    t.add_cell(util::fmt_ghz(a.ladder.fmin()) + " - " +
+               util::fmt_ghz(a.ladder.fmax()));
+    t.add_cell(a.supports_power_capping ? "RAPL" : "none");
+  }
+  std::printf("%s", t.str().c_str());
+  return 0;
+}
+
+int cmd_workloads() {
+  util::Table t({"name", "CPU @fmax", "DRAM @fmax", "cpu-bound frac",
+                 "comm", "description"});
+  for (auto* w : workloads::evaluation_suite()) {
+    t.add_row();
+    t.add_cell(w->name);
+    t.add_cell(util::fmt_watts(w->profile.cpu_w(w->nominal_freq_ghz)));
+    t.add_cell(util::fmt_watts(w->profile.dram_w(w->nominal_freq_ghz)));
+    t.add_cell(w->cpu_fraction, 2);
+    switch (w->comm) {
+      case workloads::CommPattern::kNone: t.add_cell("none"); break;
+      case workloads::CommPattern::kHalo1D: t.add_cell("halo-1d"); break;
+      case workloads::CommPattern::kHalo3D: t.add_cell("halo-3d"); break;
+      case workloads::CommPattern::kAllreduce: t.add_cell("allreduce"); break;
+      case workloads::CommPattern::kHalo3DWithReduce:
+        t.add_cell("halo-3d+reduce");
+        break;
+    }
+    t.add_cell(w->description);
+  }
+  std::printf("%s", t.str().c_str());
+  return 0;
+}
+
+int cmd_pvt(const util::CliArgs& args) {
+  Context ctx = make_context(args);
+  std::string out = args.get_or("out", "pvt.txt");
+  std::ofstream f(out);
+  if (!f) throw Error("cannot write " + out);
+  f << ctx.pvt.serialize();
+  std::printf("PVT for %zu modules (microbenchmark %s) written to %s\n",
+              ctx.pvt.size(), ctx.pvt.microbench_name().c_str(), out.c_str());
+  return 0;
+}
+
+int cmd_solve(const util::CliArgs& args) {
+  Context ctx = make_context(args);
+  const workloads::Workload& w = workloads::by_name(args.get("workload"));
+  double budget = args.get_double_or("budget-w", 0.0);
+  if (budget <= 0.0) throw InvalidArgument("--budget-w must be positive");
+
+  core::TestRunResult test = core::single_module_test_run(
+      ctx.cluster, ctx.allocation.front(), w,
+      ctx.cluster.seed().fork("ctl-test"));
+  core::Pmt pmt = core::calibrate_pmt(ctx.pvt, test, ctx.allocation,
+                                      ctx.cluster.spec().ladder);
+  core::BudgetResult r = core::solve_budget(pmt, budget);
+  std::printf("workload:   %s on %zu modules\n", w.name.c_str(),
+              ctx.allocation.size());
+  std::printf("budget:     %s\n", util::fmt_watts(budget).c_str());
+  std::printf("fmin floor: %s, fmax demand: %s\n",
+              util::fmt_watts(pmt.total_min_w()).c_str(),
+              util::fmt_watts(pmt.total_max_w()).c_str());
+  std::printf("alpha:      %.4f (%s)\n", r.alpha,
+              r.constrained ? "constrained" : "not binding");
+  std::printf("frequency:  %s\n", util::fmt_ghz(r.target_freq_ghz).c_str());
+  std::printf("allocations: first 8 of %zu modules:\n", r.allocations.size());
+  for (std::size_t k = 0; k < std::min<std::size_t>(8, r.allocations.size());
+       ++k) {
+    std::printf("  module %4u: %s module, %s CPU cap\n", ctx.allocation[k],
+                util::fmt_watts(r.allocations[k].module_w).c_str(),
+                util::fmt_watts(r.allocations[k].cpu_cap_w).c_str());
+  }
+  return 0;
+}
+
+int cmd_run(const util::CliArgs& args) {
+  Context ctx = make_context(args);
+  const workloads::Workload& w = workloads::by_name(args.get("workload"));
+  double budget = args.get_double_or("budget-w", 0.0);
+  if (budget <= 0.0) throw InvalidArgument("--budget-w must be positive");
+  std::string scheme_name = args.get_or("scheme", "VaFs");
+  core::SchemeKind scheme = [&] {
+    for (auto k : core::all_schemes()) {
+      if (core::scheme_name(k) == scheme_name) return k;
+    }
+    throw InvalidArgument("unknown --scheme '" + scheme_name + "'");
+  }();
+
+  core::Runner runner(ctx.cluster, ctx.allocation);
+  core::TestRunResult test = core::single_module_test_run(
+      ctx.cluster, ctx.allocation.front(), w,
+      ctx.cluster.seed().fork("ctl-test"));
+  core::RunMetrics base = runner.run_uncapped(w);
+  core::RunMetrics m = runner.run_scheme(w, scheme, budget, ctx.pvt, test);
+  std::printf("%s under %s at %s:\n", w.name.c_str(), scheme_name.c_str(),
+              util::fmt_watts(budget).c_str());
+  std::printf("  alpha %.3f, target %s\n", m.alpha,
+              util::fmt_ghz(m.target_freq_ghz).c_str());
+  std::printf("  makespan %s (uncapped %s)\n",
+              util::fmt_seconds(m.makespan_s).c_str(),
+              util::fmt_seconds(base.makespan_s).c_str());
+  std::printf("  Vf %.2f  Vp %.2f  Vt %.2f\n", m.vf(), m.vp(),
+              core::vt_normalized(m, base));
+  std::printf("  total power %s (budget %s)%s\n",
+              util::fmt_watts(m.total_power_w).c_str(),
+              util::fmt_watts(budget).c_str(),
+              m.total_power_w > budget * 1.01 ? "  VIOLATED" : "");
+  return 0;
+}
+
+int cmd_campaign(const util::CliArgs& args) {
+  Context ctx = make_context(args);
+  const workloads::Workload& w = workloads::by_name(args.get("workload"));
+  core::Campaign campaign(ctx.cluster, ctx.allocation);
+  util::Table t({"Cm [W]", "cell", "Naive", "Pc", "VaPcOr", "VaPc", "VaFsOr",
+                 "VaFs"});
+  for (double cm : {110.0, 100.0, 90.0, 80.0, 70.0, 60.0, 50.0}) {
+    auto cell = campaign.run_cell(
+        w, cm * static_cast<double>(ctx.allocation.size()));
+    t.add_row();
+    t.add_cell(cm, 0);
+    t.add_cell(core::cell_class_name(cell.cls));
+    for (const auto& s : cell.schemes) {
+      t.add_cell(s.metrics.feasible
+                     ? util::fmt_double(s.speedup_vs_naive, 2) + "x"
+                     : "-");
+    }
+  }
+  std::printf("%s", t.str().c_str());
+  return 0;
+}
+
+int cmd_report(const util::CliArgs& args) {
+  Context ctx = make_context(args);
+  core::Campaign campaign(ctx.cluster, ctx.allocation);
+  std::vector<const workloads::Workload*> apps;
+  if (args.has("workload")) {
+    apps.push_back(&workloads::by_name(args.get("workload")));
+  } else {
+    apps = workloads::evaluation_suite();
+  }
+  core::ReportOptions opt;
+  opt.title = "VAPB campaign report (" + ctx.cluster.spec().system + ")";
+  std::string md = core::markdown_report(campaign, apps, opt);
+  if (args.has("out")) {
+    std::ofstream f(args.get("out"));
+    if (!f) throw Error("cannot write " + args.get("out"));
+    f << md;
+    std::printf("report written to %s\n", args.get("out").c_str());
+  } else {
+    std::printf("%s", md.c_str());
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vapbctl <systems|workloads|pvt|solve|run|campaign|report> "
+               "[--arch A | --arch-file F] [--modules N] [--seed S] "
+               "[--pvt FILE]\n"
+               "               [--workload W] [--budget-w P] [--scheme S] "
+               "[--out FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::CliArgs args(argc, argv,
+                       {"arch", "arch-file", "modules", "seed", "pvt", "workload",
+                        "budget-w", "scheme", "out"});
+    if (args.positional().empty()) return usage();
+    const std::string& cmd = args.positional().front();
+    if (cmd == "systems") return cmd_systems();
+    if (cmd == "workloads") return cmd_workloads();
+    if (cmd == "pvt") return cmd_pvt(args);
+    if (cmd == "solve") return cmd_solve(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "report") return cmd_report(args);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return usage();
+  } catch (const vapb::Error& e) {
+    std::fprintf(stderr, "vapbctl: %s\n", e.what());
+    return 1;
+  }
+}
