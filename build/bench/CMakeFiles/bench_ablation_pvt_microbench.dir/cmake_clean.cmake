@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pvt_microbench.dir/bench_ablation_pvt_microbench.cpp.o"
+  "CMakeFiles/bench_ablation_pvt_microbench.dir/bench_ablation_pvt_microbench.cpp.o.d"
+  "bench_ablation_pvt_microbench"
+  "bench_ablation_pvt_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pvt_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rapl_cliff.dir/bench_ablation_rapl_cliff.cpp.o"
+  "CMakeFiles/bench_ablation_rapl_cliff.dir/bench_ablation_rapl_cliff.cpp.o.d"
+  "bench_ablation_rapl_cliff"
+  "bench_ablation_rapl_cliff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rapl_cliff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dynamic_phases.dir/bench_ext_dynamic_phases.cpp.o"
+  "CMakeFiles/bench_ext_dynamic_phases.dir/bench_ext_dynamic_phases.cpp.o.d"
+  "bench_ext_dynamic_phases"
+  "bench_ext_dynamic_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dynamic_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_power_binning.dir/bench_ext_power_binning.cpp.o"
+  "CMakeFiles/bench_ext_power_binning.dir/bench_ext_power_binning.cpp.o.d"
+  "bench_ext_power_binning"
+  "bench_ext_power_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_power_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ha8k.dir/bench_fig2_ha8k.cpp.o"
+  "CMakeFiles/bench_fig2_ha8k.dir/bench_fig2_ha8k.cpp.o.d"
+  "bench_fig2_ha8k"
+  "bench_fig2_ha8k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ha8k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

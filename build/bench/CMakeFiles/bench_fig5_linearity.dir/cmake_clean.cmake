@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_linearity.dir/bench_fig5_linearity.cpp.o"
+  "CMakeFiles/bench_fig5_linearity.dir/bench_fig5_linearity.cpp.o.d"
+  "bench_fig5_linearity"
+  "bench_fig5_linearity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_linearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_sensors.dir/bench_table1_sensors.cpp.o"
+  "CMakeFiles/bench_table1_sensors.dir/bench_table1_sensors.cpp.o.d"
+  "bench_table1_sensors"
+  "bench_table1_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

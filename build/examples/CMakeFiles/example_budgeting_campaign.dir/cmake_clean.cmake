@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_budgeting_campaign.dir/budgeting_campaign.cpp.o"
+  "CMakeFiles/example_budgeting_campaign.dir/budgeting_campaign.cpp.o.d"
+  "budgeting_campaign"
+  "budgeting_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_budgeting_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_msr_tour.dir/msr_tour.cpp.o"
+  "CMakeFiles/example_msr_tour.dir/msr_tour.cpp.o.d"
+  "msr_tour"
+  "msr_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_msr_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

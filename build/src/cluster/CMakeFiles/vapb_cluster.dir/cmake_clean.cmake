@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapb_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/vapb_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/vapb_cluster.dir/scheduler.cpp.o"
+  "CMakeFiles/vapb_cluster.dir/scheduler.cpp.o.d"
+  "libvapb_cluster.a"
+  "libvapb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

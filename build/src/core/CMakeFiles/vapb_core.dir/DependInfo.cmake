@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch.cpp" "src/core/CMakeFiles/vapb_core.dir/batch.cpp.o" "gcc" "src/core/CMakeFiles/vapb_core.dir/batch.cpp.o.d"
+  "/root/repo/src/core/budget.cpp" "src/core/CMakeFiles/vapb_core.dir/budget.cpp.o" "gcc" "src/core/CMakeFiles/vapb_core.dir/budget.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/vapb_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/vapb_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/dynamic.cpp" "src/core/CMakeFiles/vapb_core.dir/dynamic.cpp.o" "gcc" "src/core/CMakeFiles/vapb_core.dir/dynamic.cpp.o.d"
+  "/root/repo/src/core/pmmd.cpp" "src/core/CMakeFiles/vapb_core.dir/pmmd.cpp.o" "gcc" "src/core/CMakeFiles/vapb_core.dir/pmmd.cpp.o.d"
+  "/root/repo/src/core/pmt.cpp" "src/core/CMakeFiles/vapb_core.dir/pmt.cpp.o" "gcc" "src/core/CMakeFiles/vapb_core.dir/pmt.cpp.o.d"
+  "/root/repo/src/core/pvt.cpp" "src/core/CMakeFiles/vapb_core.dir/pvt.cpp.o" "gcc" "src/core/CMakeFiles/vapb_core.dir/pvt.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/vapb_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/vapb_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/resource_manager.cpp" "src/core/CMakeFiles/vapb_core.dir/resource_manager.cpp.o" "gcc" "src/core/CMakeFiles/vapb_core.dir/resource_manager.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/vapb_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/vapb_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/schemes.cpp" "src/core/CMakeFiles/vapb_core.dir/schemes.cpp.o" "gcc" "src/core/CMakeFiles/vapb_core.dir/schemes.cpp.o.d"
+  "/root/repo/src/core/test_run.cpp" "src/core/CMakeFiles/vapb_core.dir/test_run.cpp.o" "gcc" "src/core/CMakeFiles/vapb_core.dir/test_run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/vapb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vapb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/vapb_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vapb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vapb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vapb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

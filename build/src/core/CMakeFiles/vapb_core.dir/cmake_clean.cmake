@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapb_core.dir/batch.cpp.o"
+  "CMakeFiles/vapb_core.dir/batch.cpp.o.d"
+  "CMakeFiles/vapb_core.dir/budget.cpp.o"
+  "CMakeFiles/vapb_core.dir/budget.cpp.o.d"
+  "CMakeFiles/vapb_core.dir/campaign.cpp.o"
+  "CMakeFiles/vapb_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/vapb_core.dir/dynamic.cpp.o"
+  "CMakeFiles/vapb_core.dir/dynamic.cpp.o.d"
+  "CMakeFiles/vapb_core.dir/pmmd.cpp.o"
+  "CMakeFiles/vapb_core.dir/pmmd.cpp.o.d"
+  "CMakeFiles/vapb_core.dir/pmt.cpp.o"
+  "CMakeFiles/vapb_core.dir/pmt.cpp.o.d"
+  "CMakeFiles/vapb_core.dir/pvt.cpp.o"
+  "CMakeFiles/vapb_core.dir/pvt.cpp.o.d"
+  "CMakeFiles/vapb_core.dir/report.cpp.o"
+  "CMakeFiles/vapb_core.dir/report.cpp.o.d"
+  "CMakeFiles/vapb_core.dir/resource_manager.cpp.o"
+  "CMakeFiles/vapb_core.dir/resource_manager.cpp.o.d"
+  "CMakeFiles/vapb_core.dir/runner.cpp.o"
+  "CMakeFiles/vapb_core.dir/runner.cpp.o.d"
+  "CMakeFiles/vapb_core.dir/schemes.cpp.o"
+  "CMakeFiles/vapb_core.dir/schemes.cpp.o.d"
+  "CMakeFiles/vapb_core.dir/test_run.cpp.o"
+  "CMakeFiles/vapb_core.dir/test_run.cpp.o.d"
+  "libvapb_core.a"
+  "libvapb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

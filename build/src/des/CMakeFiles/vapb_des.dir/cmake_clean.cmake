@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapb_des.dir/engine.cpp.o"
+  "CMakeFiles/vapb_des.dir/engine.cpp.o.d"
+  "CMakeFiles/vapb_des.dir/program.cpp.o"
+  "CMakeFiles/vapb_des.dir/program.cpp.o.d"
+  "libvapb_des.a"
+  "libvapb_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapb_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/arch.cpp" "src/hw/CMakeFiles/vapb_hw.dir/arch.cpp.o" "gcc" "src/hw/CMakeFiles/vapb_hw.dir/arch.cpp.o.d"
+  "/root/repo/src/hw/arch_io.cpp" "src/hw/CMakeFiles/vapb_hw.dir/arch_io.cpp.o" "gcc" "src/hw/CMakeFiles/vapb_hw.dir/arch_io.cpp.o.d"
+  "/root/repo/src/hw/cpufreq.cpp" "src/hw/CMakeFiles/vapb_hw.dir/cpufreq.cpp.o" "gcc" "src/hw/CMakeFiles/vapb_hw.dir/cpufreq.cpp.o.d"
+  "/root/repo/src/hw/ladder.cpp" "src/hw/CMakeFiles/vapb_hw.dir/ladder.cpp.o" "gcc" "src/hw/CMakeFiles/vapb_hw.dir/ladder.cpp.o.d"
+  "/root/repo/src/hw/module.cpp" "src/hw/CMakeFiles/vapb_hw.dir/module.cpp.o" "gcc" "src/hw/CMakeFiles/vapb_hw.dir/module.cpp.o.d"
+  "/root/repo/src/hw/msr.cpp" "src/hw/CMakeFiles/vapb_hw.dir/msr.cpp.o" "gcc" "src/hw/CMakeFiles/vapb_hw.dir/msr.cpp.o.d"
+  "/root/repo/src/hw/rapl.cpp" "src/hw/CMakeFiles/vapb_hw.dir/rapl.cpp.o" "gcc" "src/hw/CMakeFiles/vapb_hw.dir/rapl.cpp.o.d"
+  "/root/repo/src/hw/sensor.cpp" "src/hw/CMakeFiles/vapb_hw.dir/sensor.cpp.o" "gcc" "src/hw/CMakeFiles/vapb_hw.dir/sensor.cpp.o.d"
+  "/root/repo/src/hw/thermal.cpp" "src/hw/CMakeFiles/vapb_hw.dir/thermal.cpp.o" "gcc" "src/hw/CMakeFiles/vapb_hw.dir/thermal.cpp.o.d"
+  "/root/repo/src/hw/trace.cpp" "src/hw/CMakeFiles/vapb_hw.dir/trace.cpp.o" "gcc" "src/hw/CMakeFiles/vapb_hw.dir/trace.cpp.o.d"
+  "/root/repo/src/hw/variation.cpp" "src/hw/CMakeFiles/vapb_hw.dir/variation.cpp.o" "gcc" "src/hw/CMakeFiles/vapb_hw.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vapb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vapb_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

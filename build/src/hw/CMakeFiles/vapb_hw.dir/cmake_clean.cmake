@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapb_hw.dir/arch.cpp.o"
+  "CMakeFiles/vapb_hw.dir/arch.cpp.o.d"
+  "CMakeFiles/vapb_hw.dir/arch_io.cpp.o"
+  "CMakeFiles/vapb_hw.dir/arch_io.cpp.o.d"
+  "CMakeFiles/vapb_hw.dir/cpufreq.cpp.o"
+  "CMakeFiles/vapb_hw.dir/cpufreq.cpp.o.d"
+  "CMakeFiles/vapb_hw.dir/ladder.cpp.o"
+  "CMakeFiles/vapb_hw.dir/ladder.cpp.o.d"
+  "CMakeFiles/vapb_hw.dir/module.cpp.o"
+  "CMakeFiles/vapb_hw.dir/module.cpp.o.d"
+  "CMakeFiles/vapb_hw.dir/msr.cpp.o"
+  "CMakeFiles/vapb_hw.dir/msr.cpp.o.d"
+  "CMakeFiles/vapb_hw.dir/rapl.cpp.o"
+  "CMakeFiles/vapb_hw.dir/rapl.cpp.o.d"
+  "CMakeFiles/vapb_hw.dir/sensor.cpp.o"
+  "CMakeFiles/vapb_hw.dir/sensor.cpp.o.d"
+  "CMakeFiles/vapb_hw.dir/thermal.cpp.o"
+  "CMakeFiles/vapb_hw.dir/thermal.cpp.o.d"
+  "CMakeFiles/vapb_hw.dir/trace.cpp.o"
+  "CMakeFiles/vapb_hw.dir/trace.cpp.o.d"
+  "CMakeFiles/vapb_hw.dir/variation.cpp.o"
+  "CMakeFiles/vapb_hw.dir/variation.cpp.o.d"
+  "libvapb_hw.a"
+  "libvapb_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapb_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/vapb_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/vapb_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/vapb_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/vapb_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/linreg.cpp" "src/stats/CMakeFiles/vapb_stats.dir/linreg.cpp.o" "gcc" "src/stats/CMakeFiles/vapb_stats.dir/linreg.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/vapb_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/vapb_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/variation.cpp" "src/stats/CMakeFiles/vapb_stats.dir/variation.cpp.o" "gcc" "src/stats/CMakeFiles/vapb_stats.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vapb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapb_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/vapb_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/vapb_stats.dir/histogram.cpp.o"
+  "CMakeFiles/vapb_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/vapb_stats.dir/linreg.cpp.o"
+  "CMakeFiles/vapb_stats.dir/linreg.cpp.o.d"
+  "CMakeFiles/vapb_stats.dir/summary.cpp.o"
+  "CMakeFiles/vapb_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/vapb_stats.dir/variation.cpp.o"
+  "CMakeFiles/vapb_stats.dir/variation.cpp.o.d"
+  "libvapb_stats.a"
+  "libvapb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapb_util.dir/cli.cpp.o"
+  "CMakeFiles/vapb_util.dir/cli.cpp.o.d"
+  "CMakeFiles/vapb_util.dir/config.cpp.o"
+  "CMakeFiles/vapb_util.dir/config.cpp.o.d"
+  "CMakeFiles/vapb_util.dir/csv.cpp.o"
+  "CMakeFiles/vapb_util.dir/csv.cpp.o.d"
+  "CMakeFiles/vapb_util.dir/rng.cpp.o"
+  "CMakeFiles/vapb_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vapb_util.dir/strings.cpp.o"
+  "CMakeFiles/vapb_util.dir/strings.cpp.o.d"
+  "CMakeFiles/vapb_util.dir/table.cpp.o"
+  "CMakeFiles/vapb_util.dir/table.cpp.o.d"
+  "CMakeFiles/vapb_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/vapb_util.dir/thread_pool.cpp.o.d"
+  "libvapb_util.a"
+  "libvapb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

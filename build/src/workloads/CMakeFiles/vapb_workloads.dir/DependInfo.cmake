@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/catalog.cpp" "src/workloads/CMakeFiles/vapb_workloads.dir/catalog.cpp.o" "gcc" "src/workloads/CMakeFiles/vapb_workloads.dir/catalog.cpp.o.d"
+  "/root/repo/src/workloads/programs.cpp" "src/workloads/CMakeFiles/vapb_workloads.dir/programs.cpp.o" "gcc" "src/workloads/CMakeFiles/vapb_workloads.dir/programs.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/vapb_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/vapb_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/vapb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/vapb_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vapb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vapb_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

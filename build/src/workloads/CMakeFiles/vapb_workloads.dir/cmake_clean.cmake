@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapb_workloads.dir/catalog.cpp.o"
+  "CMakeFiles/vapb_workloads.dir/catalog.cpp.o.d"
+  "CMakeFiles/vapb_workloads.dir/programs.cpp.o"
+  "CMakeFiles/vapb_workloads.dir/programs.cpp.o.d"
+  "CMakeFiles/vapb_workloads.dir/workload.cpp.o"
+  "CMakeFiles/vapb_workloads.dir/workload.cpp.o.d"
+  "libvapb_workloads.a"
+  "libvapb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvapb_workloads.a"
+)

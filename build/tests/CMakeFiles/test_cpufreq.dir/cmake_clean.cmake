@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpufreq.dir/test_cpufreq.cpp.o"
+  "CMakeFiles/test_cpufreq.dir/test_cpufreq.cpp.o.d"
+  "test_cpufreq"
+  "test_cpufreq.pdb"
+  "test_cpufreq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpufreq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

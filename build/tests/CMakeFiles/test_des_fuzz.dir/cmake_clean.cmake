@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_des_fuzz.dir/test_des_fuzz.cpp.o"
+  "CMakeFiles/test_des_fuzz.dir/test_des_fuzz.cpp.o.d"
+  "test_des_fuzz"
+  "test_des_fuzz.pdb"
+  "test_des_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_des_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ladder.dir/test_ladder.cpp.o"
+  "CMakeFiles/test_ladder.dir/test_ladder.cpp.o.d"
+  "test_ladder"
+  "test_ladder.pdb"
+  "test_ladder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

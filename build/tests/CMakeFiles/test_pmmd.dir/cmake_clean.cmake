@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmmd.dir/test_pmmd.cpp.o"
+  "CMakeFiles/test_pmmd.dir/test_pmmd.cpp.o.d"
+  "test_pmmd"
+  "test_pmmd.pdb"
+  "test_pmmd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pvt.cpp" "tests/CMakeFiles/test_pvt.dir/test_pvt.cpp.o" "gcc" "tests/CMakeFiles/test_pvt.dir/test_pvt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vapb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vapb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vapb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/vapb_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vapb_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vapb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vapb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pvt.dir/test_pvt.cpp.o"
+  "CMakeFiles/test_pvt.dir/test_pvt.cpp.o.d"
+  "test_pvt"
+  "test_pvt.pdb"
+  "test_pvt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pvt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variation.dir/test_variation.cpp.o"
+  "CMakeFiles/test_variation.dir/test_variation.cpp.o.d"
+  "test_variation"
+  "test_variation.pdb"
+  "test_variation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

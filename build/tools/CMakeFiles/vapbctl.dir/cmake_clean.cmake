@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vapbctl.dir/vapbctl.cpp.o"
+  "CMakeFiles/vapbctl.dir/vapbctl.cpp.o.d"
+  "vapbctl"
+  "vapbctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vapbctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vapbctl.
+# This may be replaced when dependencies are built.
