@@ -10,7 +10,7 @@
 using namespace vapb;
 
 int main(int argc, char** argv) {
-  const std::size_t n = bench::module_count(argc, argv, 384);
+  const std::size_t n = bench::parse_options(argc, argv, 384).modules;
   std::printf("== Ablation: power model calibration accuracy "
               "(%zu modules) ==\n\n",
               n);

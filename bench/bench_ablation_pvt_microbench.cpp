@@ -12,7 +12,7 @@
 using namespace vapb;
 
 int main(int argc, char** argv) {
-  const std::size_t n = bench::module_count(argc, argv, 384);
+  const std::size_t n = bench::parse_options(argc, argv, 384).modules;
   std::printf("== Ablation: PVT microbenchmark choice (%zu modules) ==\n\n",
               n);
   cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), n);

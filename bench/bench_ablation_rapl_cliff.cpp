@@ -15,7 +15,7 @@
 using namespace vapb;
 
 int main(int argc, char** argv) {
-  const std::size_t n = bench::module_count(argc, argv, 384);
+  const std::size_t n = bench::parse_options(argc, argv, 384).modules;
   cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), n);
   auto alloc = bench::full_allocation(n);
   const workloads::Workload& w = workloads::bt();

@@ -36,7 +36,7 @@ void evaluate(const hw::ArchSpec& spec, std::size_t modules, double cm_w,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t n = bench::module_count(argc, argv, 384);
+  const std::size_t n = bench::parse_options(argc, argv, 384).modules;
   std::printf("== Extension: framework generality across architectures "
               "(%zu modules, MHD @ Cm=70W) ==\n\n",
               n);

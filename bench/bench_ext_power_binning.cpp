@@ -15,7 +15,7 @@
 using namespace vapb;
 
 int main(int argc, char** argv) {
-  const std::size_t fleet = bench::module_count(argc, argv, 1536);
+  const std::size_t fleet = bench::parse_options(argc, argv, 1536).modules;
   const std::size_t job_modules = fleet / 8;
   std::printf("== Extension: power binning (%zu-module fleet, %zu-module "
               "job) ==\n\n",

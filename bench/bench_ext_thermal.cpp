@@ -17,7 +17,7 @@
 using namespace vapb;
 
 int main(int argc, char** argv) {
-  const std::size_t n = bench::module_count(argc, argv, 512);
+  const std::size_t n = bench::parse_options(argc, argv, 512).modules;
   std::printf("== Extension: thermal gradient across the machine room "
               "(%zu modules) ==\n\n",
               n);

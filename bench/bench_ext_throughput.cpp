@@ -12,7 +12,7 @@
 using namespace vapb;
 
 int main(int argc, char** argv) {
-  const std::size_t fleet = bench::module_count(argc, argv, 384);
+  const std::size_t fleet = bench::parse_options(argc, argv, 384).modules;
   const double budget = static_cast<double>(fleet) * 58.0;  // overprovisioned
   std::printf("== Extension: batch throughput under a %s system budget "
               "(%zu modules) ==\n\n",

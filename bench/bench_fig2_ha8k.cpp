@@ -72,7 +72,7 @@ void panels_ii_iii(core::Campaign& campaign, const workloads::Workload& w,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t n = vapb::bench::module_count(argc, argv);
+  const std::size_t n = vapb::bench::parse_options(argc, argv).modules;
   std::printf("== Figure 2: HA8K module power/performance variation "
               "(%zu modules) ==\n\n",
               n);

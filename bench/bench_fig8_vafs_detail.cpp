@@ -67,7 +67,7 @@ void panel_ii() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t n = bench::module_count(argc, argv);
+  const std::size_t n = bench::parse_options(argc, argv).modules;
   std::printf("== Figure 8: VaFs detailed behaviour (%zu modules) ==\n\n", n);
   cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), n);
   core::Campaign campaign(cluster, bench::full_allocation(n));

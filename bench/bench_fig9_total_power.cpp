@@ -9,7 +9,7 @@
 using namespace vapb;
 
 int main(int argc, char** argv) {
-  const std::size_t n = bench::module_count(argc, argv);
+  const std::size_t n = bench::parse_options(argc, argv).modules;
   std::printf("== Figure 9: total power vs constraint (%zu modules) ==\n\n", n);
   cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), n);
   core::Campaign campaign(cluster, bench::full_allocation(n));

@@ -1,0 +1,147 @@
+// Campaign-engine performance harness: times the Figure-7 sweep three ways
+// (serial cold-cache, parallel cold-cache, parallel warm-cache) and checks
+// that the parallel run is bitwise identical to the serial one.
+//
+//   bench_perf_campaign [modules] [--threads T] [--repetitions R]
+//
+// The serial-vs-parallel ratio shows the thread-pool fan-out win (the
+// acceptance target is >= 3x on 8 threads for the full sweep); the
+// cold-vs-warm ratio shows what the calibration cache saves when a sweep
+// is re-run against the same fleet. The determinism check is a hard
+// failure; the speedups are reported but not asserted, since they depend
+// on the machine's core count.
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench/common.hpp"
+
+using namespace vapb;
+
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool same_metrics(const core::RunMetrics& a, const core::RunMetrics& b) {
+  if (a.feasible != b.feasible || a.constrained != b.constrained) return false;
+  if (!same_bits(a.alpha, b.alpha) ||
+      !same_bits(a.target_freq_ghz, b.target_freq_ghz) ||
+      !same_bits(a.makespan_s, b.makespan_s) ||
+      !same_bits(a.total_power_w, b.total_power_w) ||
+      !same_bits(a.total_cpu_power_w, b.total_cpu_power_w) ||
+      !same_bits(a.total_dram_power_w, b.total_dram_power_w)) {
+    return false;
+  }
+  if (a.modules.size() != b.modules.size()) return false;
+  for (std::size_t i = 0; i < a.modules.size(); ++i) {
+    const auto& ma = a.modules[i];
+    const auto& mb = b.modules[i];
+    if (ma.id != mb.id || ma.op.throttled != mb.op.throttled) return false;
+    if (!same_bits(ma.alloc_module_w, mb.alloc_module_w) ||
+        !same_bits(ma.cpu_cap_w, mb.cpu_cap_w) ||
+        !same_bits(ma.op.freq_ghz, mb.op.freq_ghz) ||
+        !same_bits(ma.op.duty, mb.op.duty) ||
+        !same_bits(ma.op.cpu_w, mb.op.cpu_w) ||
+        !same_bits(ma.op.dram_w, mb.op.dram_w) ||
+        !same_bits(ma.op.perf_freq_ghz, mb.op.perf_freq_ghz)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SweepRun {
+  std::vector<core::CampaignResult> results;
+  double elapsed_s = 0.0;
+  core::CalibrationCache::Stats cache;
+};
+
+/// Runs the whole Figure-7 sweep (engine construction included: the PVT is
+/// part of the cost a cold run pays).
+SweepRun run_sweep(const cluster::Cluster& cluster, std::size_t modules,
+                   std::size_t threads, int repetitions) {
+  auto before = core::CalibrationCache::global().stats();
+  auto t0 = std::chrono::steady_clock::now();
+  core::CampaignEngine engine(cluster, bench::full_allocation(modules),
+                              threads);
+  SweepRun run;
+  for (const core::CampaignSpec& spec :
+       bench::fig7_specs(modules, repetitions)) {
+    run.results.push_back(engine.run(spec));
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  run.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  auto after = core::CalibrationCache::global().stats();
+  run.cache.hits = after.hits - before.hits;
+  run.cache.misses = after.misses - before.misses;
+  run.cache.entries = after.entries;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const std::size_t n = opt.modules;
+  std::size_t threads = opt.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  std::printf("== Campaign engine performance (%zu modules, %zu threads, "
+              "%d repetition%s) ==\n\n",
+              n, threads, opt.repetitions, opt.repetitions == 1 ? "" : "s");
+  cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), n);
+
+  core::CalibrationCache::global().clear();
+  SweepRun serial = run_sweep(cluster, n, 1, opt.repetitions);
+  std::printf("serial   cold cache: %7.3f s  (%zu hits, %zu misses)\n",
+              serial.elapsed_s, serial.cache.hits, serial.cache.misses);
+
+  core::CalibrationCache::global().clear();
+  SweepRun parallel = run_sweep(cluster, n, threads, opt.repetitions);
+  std::printf("parallel cold cache: %7.3f s  (%zu hits, %zu misses)\n",
+              parallel.elapsed_s, parallel.cache.hits, parallel.cache.misses);
+
+  SweepRun warm = run_sweep(cluster, n, threads, opt.repetitions);
+  std::printf("parallel warm cache: %7.3f s  (%zu hits, %zu misses)\n\n",
+              warm.elapsed_s, warm.cache.hits, warm.cache.misses);
+
+  std::size_t jobs = 0;
+  std::size_t mismatches = 0;
+  for (std::size_t s = 0; s < serial.results.size(); ++s) {
+    const auto& sj = serial.results[s].jobs;
+    const auto& pj = parallel.results[s].jobs;
+    if (sj.size() != pj.size()) {
+      std::printf("DETERMINISM FAILURE: job count %zu vs %zu in sweep %zu\n",
+                  sj.size(), pj.size(), s);
+      return 1;
+    }
+    for (std::size_t i = 0; i < sj.size(); ++i) {
+      ++jobs;
+      if (sj[i].cls != pj[i].cls ||
+          !same_bits(sj[i].speedup_vs_naive, pj[i].speedup_vs_naive) ||
+          !same_metrics(sj[i].metrics, pj[i].metrics)) {
+        ++mismatches;
+        std::printf("DETERMINISM FAILURE: %s @ %.0f W, %s, rep %d\n",
+                    sj[i].job.workload->name.c_str(), sj[i].job.budget_w,
+                    core::scheme_name(sj[i].job.scheme).c_str(),
+                    sj[i].job.repetition);
+      }
+    }
+  }
+  if (mismatches != 0) {
+    std::printf("%zu of %zu jobs differ between 1 and %zu threads\n",
+                mismatches, jobs, threads);
+    return 1;
+  }
+  std::printf("determinism: %zu jobs bitwise identical at 1 vs %zu threads\n",
+              jobs, threads);
+  std::printf("parallel speedup (cold, serial/parallel): %.2fx\n",
+              serial.elapsed_s / parallel.elapsed_s);
+  std::printf("cache speedup   (parallel, cold/warm):    %.2fx\n",
+              parallel.elapsed_s / warm.elapsed_s);
+  return 0;
+}

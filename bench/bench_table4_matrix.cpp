@@ -9,10 +9,11 @@
 using namespace vapb;
 
 int main(int argc, char** argv) {
-  const std::size_t n = bench::module_count(argc, argv);
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const std::size_t n = opt.modules;
   std::printf("== Table 4: power constraints on HA8K (%zu modules) ==\n\n", n);
   cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), n);
-  core::Campaign campaign(cluster, bench::full_allocation(n));
+  core::CampaignEngine engine(cluster, bench::full_allocation(n), opt.threads);
 
   const std::vector<double> cms{110, 100, 90, 80, 70, 60, 50};
   std::vector<std::string> headers{"benchmark"};
@@ -30,7 +31,7 @@ int main(int argc, char** argv) {
     table.add_cell(w->name);
     std::string row;
     for (double cm : cms) {
-      core::CellClass c = campaign.classify(*w, cm * static_cast<double>(n));
+      core::CellClass c = engine.classify(*w, cm * static_cast<double>(n));
       char mark = c == core::CellClass::kValid ? 'X'
                   : c == core::CellClass::kUnconstrained ? '.' : '-';
       row += mark;

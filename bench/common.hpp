@@ -1,30 +1,69 @@
 // Shared helpers for the experiment-reproduction benches.
 //
-// Every bench accepts the module count as argv[1] (or the
-// VAPB_BENCH_MODULES environment variable); the default is the paper's full
-// 1,920-module HA8K configuration. CSV series are written next to the
-// binary as <bench>_<series>.csv for plotting.
+// Every bench accepts a uniform command line:
+//   bench_xxx [modules] [--modules N] [--threads T] [--repetitions R]
+// The positional module count and the VAPB_BENCH_MODULES environment
+// variable are honored for backward compatibility; the default is the
+// paper's full 1,920-module HA8K configuration. --threads sizes both the
+// global thread pool (PVT generation, oracle measurement) and any campaign
+// fan-out; --repetitions repeats stochastic sweeps with fresh noise salts.
+// CSV series are written next to the binary as <bench>_<series>.csv for
+// plotting.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <numeric>
 #include <string>
 #include <vector>
 
 #include "core/campaign.hpp"
+#include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/catalog.hpp"
 
 namespace vapb::bench {
 
-inline std::size_t module_count(int argc, char** argv,
-                                std::size_t fallback = 1920) {
-  if (argc > 1) return std::strtoul(argv[1], nullptr, 10);
-  if (const char* env = std::getenv("VAPB_BENCH_MODULES")) {
-    return std::strtoul(env, nullptr, 10);
+struct Options {
+  std::size_t modules = 1920;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  int repetitions = 1;
+};
+
+/// Parses the uniform bench command line and sizes the global thread pool
+/// when --threads is given. Prints a diagnostic and exits on bad input.
+inline Options parse_options(int argc, char** argv,
+                             std::size_t default_modules = 1920) {
+  try {
+    util::CliArgs args(argc, argv, {"modules", "threads", "repetitions"});
+    Options opt;
+    opt.modules = default_modules;
+    if (const char* env = std::getenv("VAPB_BENCH_MODULES")) {
+      opt.modules = std::strtoul(env, nullptr, 10);
+    }
+    if (!args.positional().empty()) {
+      opt.modules =
+          std::strtoul(args.positional().front().c_str(), nullptr, 10);
+    }
+    opt.modules = static_cast<std::size_t>(
+        args.get_long_or("modules", static_cast<long>(opt.modules)));
+    opt.threads = static_cast<std::size_t>(args.get_long_or("threads", 0));
+    opt.repetitions = static_cast<int>(args.get_long_or("repetitions", 1));
+    if (opt.modules == 0) throw InvalidArgument("--modules must be > 0");
+    if (opt.repetitions < 1) {
+      throw InvalidArgument("--repetitions must be >= 1");
+    }
+    if (opt.threads > 0) util::ThreadPool::set_global_threads(opt.threads);
+    return opt;
+  } catch (const Error& e) {
+    std::fprintf(stderr,
+                 "%s: %s\nusage: %s [modules] [--modules N] [--threads T] "
+                 "[--repetitions R]\n",
+                 argv[0], e.what(), argv[0]);
+    std::exit(2);
   }
-  return fallback;
 }
 
 /// The paper's master seed convention: all benches share one fleet.
@@ -50,6 +89,23 @@ inline std::vector<double> checked_cm(const std::string& workload) {
 
 inline std::string cs_label(double cm_w, std::size_t n) {
   return util::fmt_double(cm_w * static_cast<double>(n) / 1000.0, 1) + " kW";
+}
+
+/// The Figure-7 sweep as one CampaignSpec per workload (each benchmark has
+/// its own set of power-constrained budgets).
+inline std::vector<core::CampaignSpec> fig7_specs(std::size_t modules,
+                                                  int repetitions = 1) {
+  std::vector<core::CampaignSpec> specs;
+  for (auto* w : workloads::evaluation_suite()) {
+    core::CampaignSpec spec;
+    spec.workloads = {w};
+    for (double cm : checked_cm(w->name)) {
+      spec.budgets_w.push_back(cm * static_cast<double>(modules));
+    }
+    spec.repetitions = repetitions;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
 }
 
 }  // namespace vapb::bench

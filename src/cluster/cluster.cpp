@@ -1,8 +1,48 @@
 #include "cluster/cluster.hpp"
 
+#include <bit>
+
 #include "util/error.hpp"
 
 namespace vapb::cluster {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t mix(std::uint64_t h, double v) {
+  return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+// Hashes everything that determines the fabricated modules: the architecture
+// parameters the fabrication draws read, plus the seed and fleet size.
+std::uint64_t fleet_fingerprint(const hw::ArchSpec& spec,
+                                const util::SeedSequence& seed,
+                                std::size_t n) {
+  std::uint64_t h = util::fnv1a(spec.system);
+  h = mix(h, util::fnv1a(spec.microarch));
+  h = mix(h, spec.tdp_cpu_w);
+  h = mix(h, spec.tdp_dram_w);
+  h = mix(h, spec.ladder.fmin());
+  h = mix(h, spec.ladder.fmax());
+  h = mix(h, spec.ladder.step());
+  h = mix(h, spec.ladder.turbo());
+  const hw::VariationDistribution& v = spec.variation;
+  for (double p : {v.cpu_dyn_sd, v.cpu_dyn_lo, v.cpu_dyn_hi, v.cpu_static_sd,
+                   v.cpu_static_lo, v.cpu_static_hi, v.dram_sd, v.dram_lo,
+                   v.dram_hi, v.freq_sd, v.freq_lo, v.freq_hi,
+                   v.cpu_dyn_static_corr, v.freq_power_corr}) {
+    h = mix(h, p);
+  }
+  h = mix(h, seed.value());
+  h = mix(h, static_cast<std::uint64_t>(n));
+  return h;
+}
+
+}  // namespace
 
 Cluster::Cluster(hw::ArchSpec spec, util::SeedSequence master_seed,
                  std::size_t module_count)
@@ -10,6 +50,7 @@ Cluster::Cluster(hw::ArchSpec spec, util::SeedSequence master_seed,
   std::size_t n = module_count ? module_count
                                : static_cast<std::size_t>(spec_.total_modules());
   VAPB_REQUIRE_MSG(n > 0, "cluster needs at least one module");
+  fingerprint_ = fleet_fingerprint(spec_, master_seed, n);
   util::SeedSequence fab = master_seed.fork("fabrication");
   modules_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "hw/arch.hpp"
@@ -31,9 +32,16 @@ class Cluster {
   /// jitter, workload noise); stable across runs.
   [[nodiscard]] const util::SeedSequence& seed() const { return seed_; }
 
+  /// Stable identity of this fabricated fleet: architecture parameters,
+  /// master seed and module count. Two clusters with equal fingerprints hold
+  /// bitwise-equal modules, so process-wide caches (e.g.
+  /// core::CalibrationCache) may share derived artifacts between them.
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+
  private:
   hw::ArchSpec spec_;
   util::SeedSequence seed_;
+  std::uint64_t fingerprint_ = 0;
   std::vector<hw::Module> modules_;
 };
 

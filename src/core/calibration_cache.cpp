@@ -1,0 +1,181 @@
+#include "core/calibration_cache.hpp"
+
+#include <bit>
+#include <functional>
+#include <future>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vapb::core {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t mix(std::uint64_t h, double v) {
+  return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t hash_allocation(std::span<const hw::ModuleId> allocation) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (hw::ModuleId id : allocation) h = mix(h, std::uint64_t{id});
+  return h;
+}
+
+std::uint64_t hash_pvt(const Pvt& pvt) {
+  std::uint64_t h = util::fnv1a(pvt.microbench_name());
+  for (const PvtEntry& e : pvt.entries()) {
+    h = mix(h, e.cpu_max);
+    h = mix(h, e.dram_max);
+    h = mix(h, e.cpu_min);
+    h = mix(h, e.dram_min);
+  }
+  return h;
+}
+
+std::uint64_t hash_test(const TestRunResult& t) {
+  std::uint64_t h = mix(0xcbf29ce484222325ULL, std::uint64_t{t.module});
+  for (double v : {t.fmax_ghz, t.fmin_ghz, t.cpu_max_w, t.dram_max_w,
+                   t.cpu_min_w, t.dram_min_w}) {
+    h = mix(h, v);
+  }
+  return h;
+}
+
+std::string key_of(std::initializer_list<std::uint64_t> parts) {
+  std::ostringstream os;
+  os << std::hex;
+  for (std::uint64_t p : parts) os << p << '/';
+  return os.str();
+}
+
+}  // namespace
+
+struct CalibrationCache::Impl {
+  template <typename T>
+  using Slot = std::shared_future<std::shared_ptr<const T>>;
+
+  mutable std::mutex mutex;
+  std::map<std::string, Slot<Pvt>> pvts;
+  std::map<std::string, Slot<TestRunResult>> test_runs;
+  std::map<std::string, Slot<Pmt>> pmts;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  // Returns the entry for `key`, computing it at most once process-wide.
+  // Concurrent callers block on the computing thread's shared_future. A
+  // throwing maker propagates to every waiter and the entry is dropped so a
+  // later call can retry.
+  template <typename T>
+  std::shared_ptr<const T> get_or_compute(
+      std::map<std::string, Slot<T>>& slots, const std::string& key,
+      const std::function<T()>& make) {
+    std::promise<std::shared_ptr<const T>> promise;
+    Slot<T> slot;
+    bool compute = false;
+    {
+      std::lock_guard lock(mutex);
+      auto it = slots.find(key);
+      if (it == slots.end()) {
+        ++misses;
+        compute = true;
+        it = slots.emplace(key, promise.get_future().share()).first;
+      } else {
+        ++hits;
+      }
+      slot = it->second;
+    }
+    if (compute) {
+      try {
+        promise.set_value(std::make_shared<const T>(make()));
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+        std::lock_guard lock(mutex);
+        slots.erase(key);
+      }
+    }
+    return slot.get();
+  }
+};
+
+CalibrationCache::CalibrationCache() : impl_(std::make_unique<Impl>()) {}
+
+CalibrationCache::~CalibrationCache() = default;
+
+CalibrationCache& CalibrationCache::global() {
+  static CalibrationCache cache;
+  return cache;
+}
+
+std::shared_ptr<const Pvt> CalibrationCache::pvt(
+    const cluster::Cluster& cluster, const workloads::Workload& micro,
+    util::SeedSequence seed, double measure_seconds) {
+  std::string key =
+      "pvt/" + micro.name + '/' +
+      key_of({cluster.fingerprint(), seed.value(),
+              std::bit_cast<std::uint64_t>(measure_seconds)});
+  return impl_->get_or_compute<Pvt>(impl_->pvts, key, [&] {
+    return Pvt::generate(cluster, micro, seed, measure_seconds);
+  });
+}
+
+std::shared_ptr<const TestRunResult> CalibrationCache::test_run(
+    const cluster::Cluster& cluster, hw::ModuleId module,
+    const workloads::Workload& app, util::SeedSequence seed,
+    double measure_seconds) {
+  std::string key =
+      "test/" + app.name + '/' +
+      key_of({cluster.fingerprint(), std::uint64_t{module}, seed.value(),
+              std::bit_cast<std::uint64_t>(measure_seconds)});
+  return impl_->get_or_compute<TestRunResult>(impl_->test_runs, key, [&] {
+    return single_module_test_run(cluster, module, app, seed,
+                                  measure_seconds);
+  });
+}
+
+std::shared_ptr<const Pmt> CalibrationCache::oracle(
+    const cluster::Cluster& cluster, std::span<const hw::ModuleId> allocation,
+    const workloads::Workload& app, util::SeedSequence seed) {
+  std::string key = "oracle/" + app.name + '/' +
+                    key_of({cluster.fingerprint(),
+                            hash_allocation(allocation), seed.value()});
+  return impl_->get_or_compute<Pmt>(impl_->pmts, key, [&] {
+    return oracle_pmt(cluster, allocation, app, seed);
+  });
+}
+
+std::shared_ptr<const Pmt> CalibrationCache::scheme_pmt(
+    SchemeKind kind, const cluster::Cluster& cluster,
+    std::span<const hw::ModuleId> allocation, const workloads::Workload& app,
+    const Pvt& pvt, const TestRunResult& test, util::SeedSequence seed) {
+  std::string key = "pmt/" + scheme_name(kind) + '/' + app.name + '/' +
+                    key_of({cluster.fingerprint(),
+                            hash_allocation(allocation), hash_pvt(pvt),
+                            hash_test(test), seed.value()});
+  return impl_->get_or_compute<Pmt>(impl_->pmts, key, [&] {
+    return core::scheme_pmt(kind, cluster, allocation, app, pvt, test, seed);
+  });
+}
+
+void CalibrationCache::clear() {
+  std::lock_guard lock(impl_->mutex);
+  impl_->pvts.clear();
+  impl_->test_runs.clear();
+  impl_->pmts.clear();
+}
+
+CalibrationCache::Stats CalibrationCache::stats() const {
+  std::lock_guard lock(impl_->mutex);
+  Stats s;
+  s.hits = impl_->hits;
+  s.misses = impl_->misses;
+  s.entries = impl_->pvts.size() + impl_->test_runs.size() +
+              impl_->pmts.size();
+  return s;
+}
+
+}  // namespace vapb::core

@@ -1,0 +1,82 @@
+// Process-wide memoization of the expensive, deterministic calibration
+// artifacts a sweep recomputes over and over (paper Section 5): the system
+// PVT, single-module application test runs, oracle per-module measurements
+// and the per-scheme PMTs built from them.
+//
+// Every artifact is a pure function of (fleet fingerprint, allocation,
+// workload, scheme kind, seed), so a cache hit is bitwise-identical to
+// recomputing — campaigns stay reproducible regardless of which run warmed
+// the cache. The cache is thread-safe; concurrent requests for the same key
+// block on one computation and share the result (shared_future per entry).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "core/pmt.hpp"
+#include "core/pvt.hpp"
+#include "core/schemes.hpp"
+#include "core/test_run.hpp"
+
+namespace vapb::core {
+
+class CalibrationCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+
+  CalibrationCache();
+  ~CalibrationCache();
+  CalibrationCache(const CalibrationCache&) = delete;
+  CalibrationCache& operator=(const CalibrationCache&) = delete;
+
+  /// The process-wide instance shared by Campaign and CampaignEngine.
+  static CalibrationCache& global();
+
+  /// Pvt::generate, memoized on (fleet, microbenchmark, seed, duration).
+  std::shared_ptr<const Pvt> pvt(const cluster::Cluster& cluster,
+                                 const workloads::Workload& micro,
+                                 util::SeedSequence seed,
+                                 double measure_seconds = 1.0);
+
+  /// single_module_test_run, memoized on (fleet, module, app, seed,
+  /// duration).
+  std::shared_ptr<const TestRunResult> test_run(
+      const cluster::Cluster& cluster, hw::ModuleId module,
+      const workloads::Workload& app, util::SeedSequence seed,
+      double measure_seconds = 10.0);
+
+  /// oracle_pmt, memoized on (fleet, allocation, app, seed).
+  std::shared_ptr<const Pmt> oracle(const cluster::Cluster& cluster,
+                                    std::span<const hw::ModuleId> allocation,
+                                    const workloads::Workload& app,
+                                    util::SeedSequence seed);
+
+  /// scheme_pmt with the default NaiveTable, memoized on (fleet, allocation,
+  /// app, scheme kind, PVT and test-run content, seed). The PVT and test run
+  /// are hashed by content, so a PVT loaded from a file caches separately
+  /// from a generated one.
+  std::shared_ptr<const Pmt> scheme_pmt(
+      SchemeKind kind, const cluster::Cluster& cluster,
+      std::span<const hw::ModuleId> allocation, const workloads::Workload& app,
+      const Pvt& pvt, const TestRunResult& test, util::SeedSequence seed);
+
+  /// Drops every entry (e.g. to measure cold-cache cost).
+  void clear();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace vapb::core

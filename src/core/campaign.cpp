@@ -1,12 +1,67 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <mutex>
+#include <ostream>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/catalog.hpp"
 
 namespace vapb::core {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// The scheme pipeline of Runner::run_scheme with the PMT construction routed
+// through the process-wide CalibrationCache. Seeds match run_scheme exactly,
+// so the metrics are bitwise identical to the uncached path.
+RunMetrics run_scheme_cached(const cluster::Cluster& cluster,
+                             const Runner& runner,
+                             const workloads::Workload& w, SchemeKind kind,
+                             double budget_w, const Pvt& pvt,
+                             const TestRunResult& test) {
+  std::shared_ptr<const Pmt> pmt = CalibrationCache::global().scheme_pmt(
+      kind, cluster, runner.allocation(), w, pvt, test,
+      Runner::scheme_seed(cluster, w, kind));
+  BudgetResult budget = solve_budget(*pmt, budget_w);
+  return runner.run_budgeted(w, enforcement_of(kind), budget,
+                             scheme_name(kind), budget_w);
+}
+
+RunMetrics infeasible_metrics(const workloads::Workload& w, SchemeKind kind,
+                              double budget_w) {
+  // "-" cell: the modules cannot be operated at this budget; the paper does
+  // not run these.
+  RunMetrics m;
+  m.workload = w.name;
+  m.scheme = scheme_name(kind);
+  m.budget_w = budget_w;
+  m.feasible = false;
+  return m;
+}
+
+CellClass classify_against(const Pmt& truth, double budget_w) {
+  if (budget_w < truth.total_min_w()) return CellClass::kInfeasible;
+  if (budget_w >= truth.total_max_w()) return CellClass::kUnconstrained;
+  return CellClass::kValid;
+}
+
+util::SeedSequence oracle_seed(const cluster::Cluster& cluster,
+                               const workloads::Workload& w) {
+  return cluster.seed().fork("oracle").fork(w.name);
+}
+
+util::SeedSequence test_run_seed(const cluster::Cluster& cluster,
+                                 const workloads::Workload& w) {
+  return cluster.seed().fork("test-run").fork(w.name);
+}
+
+}  // namespace
 
 std::string cell_class_name(CellClass c) {
   switch (c) {
@@ -34,32 +89,33 @@ Campaign::Campaign(const cluster::Cluster& cluster,
     : cluster_(cluster),
       config_(config),
       runner_(cluster, std::move(allocation), config),
-      pvt_(Pvt::generate(cluster,
-                         microbench ? *microbench
-                                    : workloads::pvt_microbench(),
-                         cluster.seed().fork("pvt"))) {}
+      pvt_(CalibrationCache::global().pvt(
+          cluster,
+          microbench ? *microbench : workloads::pvt_microbench(),
+          cluster.seed().fork("pvt"))) {}
 
 const TestRunResult& Campaign::test_run(const workloads::Workload& w) {
   auto it = test_runs_.find(w.name);
   if (it == test_runs_.end()) {
-    TestRunResult r =
-        single_module_test_run(cluster_, runner_.allocation().front(), w,
-                               cluster_.seed().fork("test-run").fork(w.name));
-    it = test_runs_.emplace(w.name, r).first;
+    it = test_runs_
+             .emplace(w.name, CalibrationCache::global().test_run(
+                                  cluster_, runner_.allocation().front(), w,
+                                  test_run_seed(cluster_, w)))
+             .first;
   }
-  return it->second;
+  return *it->second;
 }
 
 const Pmt& Campaign::oracle(const workloads::Workload& w) {
   auto it = oracles_.find(w.name);
   if (it == oracles_.end()) {
     it = oracles_
-             .emplace(w.name,
-                      oracle_pmt(cluster_, runner_.allocation(), w,
-                                 cluster_.seed().fork("oracle").fork(w.name)))
+             .emplace(w.name, CalibrationCache::global().oracle(
+                                  cluster_, runner_.allocation(), w,
+                                  oracle_seed(cluster_, w)))
              .first;
   }
-  return it->second;
+  return *it->second;
 }
 
 const RunMetrics& Campaign::uncapped(const workloads::Workload& w) {
@@ -71,10 +127,7 @@ const RunMetrics& Campaign::uncapped(const workloads::Workload& w) {
 }
 
 CellClass Campaign::classify(const workloads::Workload& w, double budget_w) {
-  const Pmt& truth = oracle(w);
-  if (budget_w < truth.total_min_w()) return CellClass::kInfeasible;
-  if (budget_w >= truth.total_max_w()) return CellClass::kUnconstrained;
-  return CellClass::kValid;
+  return classify_against(oracle(w), budget_w);
 }
 
 CellResult Campaign::run_cell(const workloads::Workload& w, double budget_w,
@@ -89,14 +142,10 @@ CellResult Campaign::run_cell(const workloads::Workload& w, double budget_w,
     SchemeOutcome out;
     out.kind = kind;
     if (cell.cls == CellClass::kInfeasible) {
-      // "-" cell: the modules cannot be operated at this budget; the paper
-      // does not run these.
-      out.metrics.workload = w.name;
-      out.metrics.scheme = scheme_name(kind);
-      out.metrics.budget_w = budget_w;
-      out.metrics.feasible = false;
+      out.metrics = infeasible_metrics(w, kind, budget_w);
     } else {
-      out.metrics = runner_.run_scheme(w, kind, budget_w, pvt_, test);
+      out.metrics = run_scheme_cached(cluster_, runner_, w, kind, budget_w,
+                                      *pvt_, test);
       if (kind == SchemeKind::kNaive) naive_makespan = out.metrics.makespan_s;
     }
     cell.schemes.push_back(std::move(out));
@@ -105,16 +154,273 @@ CellResult Campaign::run_cell(const workloads::Workload& w, double budget_w,
     if (naive_makespan && s.metrics.feasible && s.metrics.makespan_s > 0.0) {
       s.speedup_vs_naive = *naive_makespan / s.metrics.makespan_s;
     } else {
-      s.speedup_vs_naive = std::numeric_limits<double>::quiet_NaN();
+      s.speedup_vs_naive = kNaN;
     }
   }
   return cell;
 }
 
 double Campaign::calibration_error(const workloads::Workload& w) {
-  Pmt predicted = calibrate_pmt(pvt_, test_run(w), runner_.allocation(),
+  Pmt predicted = calibrate_pmt(*pvt_, test_run(w), runner_.allocation(),
                                 cluster_.spec().ladder);
   return pmt_prediction_error(predicted, oracle(w));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel campaign engine
+// ---------------------------------------------------------------------------
+
+CampaignEngine::CampaignEngine(const cluster::Cluster& cluster,
+                               std::vector<hw::ModuleId> allocation,
+                               std::size_t threads,
+                               const workloads::Workload* microbench)
+    : CampaignEngine(cluster, std::move(allocation),
+                     CalibrationCache::global().pvt(
+                         cluster,
+                         microbench ? *microbench
+                                    : workloads::pvt_microbench(),
+                         cluster.seed().fork("pvt")),
+                     threads) {}
+
+CampaignEngine::CampaignEngine(const cluster::Cluster& cluster,
+                               std::vector<hw::ModuleId> allocation,
+                               std::shared_ptr<const Pvt> pvt,
+                               std::size_t threads)
+    : cluster_(cluster),
+      allocation_(std::move(allocation)),
+      threads_(threads ? threads
+                       : std::max<std::size_t>(
+                             1, std::thread::hardware_concurrency())),
+      pvt_(std::move(pvt)) {
+  if (allocation_.empty()) {
+    throw InvalidArgument("CampaignEngine: empty allocation");
+  }
+  VAPB_REQUIRE_MSG(pvt_ != nullptr, "CampaignEngine: null PVT");
+}
+
+std::vector<CampaignJob> CampaignEngine::expand(const CampaignSpec& spec) {
+  std::vector<CampaignJob> jobs;
+  jobs.reserve(spec.job_count());
+  const std::uint64_t base = spec.config.run_salt;
+  for (const workloads::Workload* w : spec.workloads) {
+    if (w == nullptr) throw InvalidArgument("CampaignSpec: null workload");
+    for (double budget_w : spec.budgets_w) {
+      for (SchemeKind scheme : spec.schemes) {
+        for (int rep = 0; rep < spec.repetitions; ++rep) {
+          CampaignJob job;
+          job.index = jobs.size();
+          job.workload = w;
+          job.budget_w = budget_w;
+          job.scheme = scheme;
+          job.repetition = rep;
+          // Repetition 0 keeps the base salt, so it reproduces a direct
+          // Runner::run_scheme at spec.config bit-for-bit; later repetitions
+          // fork fresh, order-independent noise streams.
+          job.salt = rep == 0 ? base
+                              : util::SeedSequence(base)
+                                    .fork("campaign-rep",
+                                          static_cast<std::uint64_t>(rep))
+                                    .value();
+          jobs.push_back(job);
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+CellClass CampaignEngine::classify(const workloads::Workload& w,
+                                   double budget_w) const {
+  std::shared_ptr<const Pmt> truth = CalibrationCache::global().oracle(
+      cluster_, allocation_, w, oracle_seed(cluster_, w));
+  return classify_against(*truth, budget_w);
+}
+
+CampaignJobResult CampaignEngine::run_job(const CampaignJob& job,
+                                          const RunConfig& base) const {
+  CalibrationCache& cache = CalibrationCache::global();
+  const workloads::Workload& w = *job.workload;
+
+  CampaignJobResult out;
+  out.job = job;
+  out.speedup_vs_naive = kNaN;
+
+  std::shared_ptr<const Pmt> truth =
+      cache.oracle(cluster_, allocation_, w, oracle_seed(cluster_, w));
+  out.cls = classify_against(*truth, job.budget_w);
+  if (out.cls == CellClass::kInfeasible) {
+    out.metrics = infeasible_metrics(w, job.scheme, job.budget_w);
+    return out;
+  }
+
+  std::shared_ptr<const TestRunResult> test = cache.test_run(
+      cluster_, allocation_.front(), w, test_run_seed(cluster_, w));
+  RunConfig cfg = base;
+  cfg.run_salt = job.salt;
+  Runner runner(cluster_, allocation_, cfg);
+  out.metrics = run_scheme_cached(cluster_, runner, w, job.scheme,
+                                  job.budget_w, *pvt_, *test);
+  return out;
+}
+
+CampaignResult CampaignEngine::run(const CampaignSpec& spec,
+                                   const ProgressFn& progress) {
+  if (spec.workloads.empty() || spec.budgets_w.empty() ||
+      spec.schemes.empty() || spec.repetitions < 1) {
+    throw InvalidArgument(
+        "CampaignSpec needs workloads, budgets, schemes and repetitions >= 1");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const CalibrationCache::Stats before = CalibrationCache::global().stats();
+  const std::vector<CampaignJob> jobs = expand(spec);
+
+  CampaignResult result;
+  result.jobs.resize(jobs.size());
+  std::mutex progress_mutex;
+  std::size_t completed = 0;
+  auto run_one = [&](std::size_t k) {
+    result.jobs[k] = run_job(jobs[k], spec.config);
+    if (progress) {
+      std::lock_guard lock(progress_mutex);
+      CampaignProgress p;
+      p.completed = ++completed;
+      p.total = jobs.size();
+      p.job = &result.jobs[k];
+      progress(p);
+    }
+  };
+  if (threads_ <= 1 || jobs.size() <= 1) {
+    for (std::size_t k = 0; k < jobs.size(); ++k) run_one(k);
+  } else {
+    util::ThreadPool pool(std::min(threads_, jobs.size()));
+    util::parallel_for(pool, jobs.size(), run_one, /*grain=*/1);
+  }
+
+  // Speedups vs the Naive run of the same (workload, budget, repetition).
+  std::map<std::string, double> naive_makespans;
+  auto cell_key = [](const CampaignJobResult& r) {
+    return r.metrics.workload + '/' + std::to_string(r.job.budget_w) + '/' +
+           std::to_string(r.job.repetition);
+  };
+  for (const CampaignJobResult& r : result.jobs) {
+    if (r.job.scheme == SchemeKind::kNaive && r.metrics.feasible &&
+        r.metrics.makespan_s > 0.0) {
+      naive_makespans[cell_key(r)] = r.metrics.makespan_s;
+    }
+  }
+  for (CampaignJobResult& r : result.jobs) {
+    auto it = naive_makespans.find(cell_key(r));
+    if (it != naive_makespans.end() && r.metrics.feasible &&
+        r.metrics.makespan_s > 0.0) {
+      r.speedup_vs_naive = it->second / r.metrics.makespan_s;
+    } else {
+      r.speedup_vs_naive = kNaN;
+    }
+  }
+
+  const CalibrationCache::Stats after = CalibrationCache::global().stats();
+  result.cache.hits = after.hits - before.hits;
+  result.cache.misses = after.misses - before.misses;
+  result.cache.entries = after.entries;
+  result.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+const CampaignJobResult* CampaignResult::find(const std::string& workload,
+                                              double budget_w,
+                                              SchemeKind scheme,
+                                              int repetition) const {
+  for (const CampaignJobResult& r : jobs) {
+    if (r.job.workload->name == workload && r.job.budget_w == budget_w &&
+        r.job.scheme == scheme && r.job.repetition == repetition) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+void write_double(std::ostream& out, double v, bool json) {
+  if (std::isnan(v)) {
+    out << (json ? "null" : "nan");
+  } else {
+    out << v;
+  }
+}
+
+void write_job_fields(std::ostream& out, const CampaignJobResult& r,
+                      bool json) {
+  const bool has_modules = r.metrics.feasible && !r.metrics.modules.empty();
+  const double vp = has_modules ? r.metrics.vp() : kNaN;
+  const double vf = has_modules ? r.metrics.vf() : kNaN;
+  const char* q = json ? "\"" : "";
+  if (json) out << "{\"workload\":";
+  out << q << r.metrics.workload << q << ',';
+  if (json) out << "\"budget_w\":";
+  out << r.job.budget_w << ',';
+  if (json) out << "\"scheme\":";
+  out << q << scheme_name(r.job.scheme) << q << ',';
+  if (json) out << "\"repetition\":";
+  out << r.job.repetition << ',';
+  if (json) out << "\"cell\":";
+  out << q << cell_class_name(r.cls) << q << ',';
+  if (json) out << "\"feasible\":";
+  out << (r.metrics.feasible ? "true" : "false") << ',';
+  if (json) out << "\"constrained\":";
+  out << (r.metrics.constrained ? "true" : "false") << ',';
+  if (json) out << "\"alpha\":";
+  write_double(out, r.metrics.feasible ? r.metrics.alpha : kNaN, json);
+  out << ',';
+  if (json) out << "\"target_freq_ghz\":";
+  write_double(out, r.metrics.feasible ? r.metrics.target_freq_ghz : kNaN,
+               json);
+  out << ',';
+  if (json) out << "\"makespan_s\":";
+  write_double(out, r.metrics.feasible ? r.metrics.makespan_s : kNaN, json);
+  out << ',';
+  if (json) out << "\"total_power_w\":";
+  write_double(out, r.metrics.feasible ? r.metrics.total_power_w : kNaN,
+               json);
+  out << ',';
+  if (json) out << "\"vp\":";
+  write_double(out, vp, json);
+  out << ',';
+  if (json) out << "\"vf\":";
+  write_double(out, vf, json);
+  out << ',';
+  if (json) out << "\"speedup_vs_naive\":";
+  write_double(out, r.speedup_vs_naive, json);
+  if (json) out << '}';
+}
+
+}  // namespace
+
+void write_campaign_csv(const CampaignResult& result, std::ostream& out) {
+  const auto saved = out.precision(17);
+  out << "workload,budget_w,scheme,repetition,cell,feasible,constrained,"
+         "alpha,target_freq_ghz,makespan_s,total_power_w,vp,vf,"
+         "speedup_vs_naive\n";
+  for (const CampaignJobResult& r : result.jobs) {
+    write_job_fields(out, r, /*json=*/false);
+    out << '\n';
+  }
+  out.precision(saved);
+}
+
+void write_campaign_json(const CampaignResult& result, std::ostream& out) {
+  const auto saved = out.precision(17);
+  out << "{\"elapsed_s\":" << result.elapsed_s << ",\"cache\":{\"hits\":"
+      << result.cache.hits << ",\"misses\":" << result.cache.misses
+      << ",\"entries\":" << result.cache.entries << "},\"jobs\":[";
+  for (std::size_t k = 0; k < result.jobs.size(); ++k) {
+    if (k) out << ',';
+    write_job_fields(out, result.jobs[k], /*json=*/true);
+  }
+  out << "]}\n";
+  out.precision(saved);
 }
 
 }  // namespace vapb::core

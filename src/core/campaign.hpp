@@ -1,14 +1,31 @@
-// Campaign driver: evaluates workloads x budgets x schemes on a fixed module
-// allocation, caching the expensive shared artifacts (PVT, single-module
-// test runs, uncapped baselines, oracle PMTs). This is the machinery behind
-// Table 4, Figure 7 and Figure 9.
+// Campaign drivers: evaluating workloads x budgets x schemes on a fixed
+// module allocation. This is the machinery behind Table 4, Figure 7 and
+// Figure 9.
+//
+// Two layers:
+//  * Campaign       — the serial per-cell driver (run_cell / classify /
+//                     calibration_error), convenient for interactive use;
+//  * CampaignEngine — expands a CampaignSpec into independent jobs and fans
+//                     them across a thread pool. Results are bitwise
+//                     identical regardless of thread count or scheduling
+//                     order: every job derives its RNG streams from the
+//                     cluster seed tree and a per-repetition salt, never
+//                     from execution order.
+//
+// Both layers share the process-wide CalibrationCache, so the expensive
+// artifacts (PVT, test runs, oracle and calibrated PMTs) are computed once
+// per fleet and reused across every run of a sweep.
 #pragma once
 
+#include <functional>
+#include <iosfwd>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/calibration_cache.hpp"
 #include "core/runner.hpp"
 
 namespace vapb::core {
@@ -45,7 +62,7 @@ class Campaign {
            std::vector<hw::ModuleId> allocation, RunConfig config = {},
            const workloads::Workload* microbench = nullptr);
 
-  [[nodiscard]] const Pvt& pvt() const { return pvt_; }
+  [[nodiscard]] const Pvt& pvt() const { return *pvt_; }
   [[nodiscard]] const Runner& runner() const { return runner_; }
   [[nodiscard]] const cluster::Cluster& cluster() const { return cluster_; }
   [[nodiscard]] const RunConfig& config() const { return config_; }
@@ -78,10 +95,125 @@ class Campaign {
   const cluster::Cluster& cluster_;
   RunConfig config_;
   Runner runner_;
-  Pvt pvt_;
-  std::map<std::string, TestRunResult> test_runs_;
-  std::map<std::string, Pmt> oracles_;
+  std::shared_ptr<const Pvt> pvt_;
+  std::map<std::string, std::shared_ptr<const TestRunResult>> test_runs_;
+  std::map<std::string, std::shared_ptr<const Pmt>> oracles_;
   std::map<std::string, RunMetrics> baselines_;
 };
+
+// ---------------------------------------------------------------------------
+// Parallel campaign engine
+// ---------------------------------------------------------------------------
+
+/// The cross-product a CampaignEngine expands: every workload at every
+/// budget under every scheme, `repetitions` times.
+struct CampaignSpec {
+  std::vector<const workloads::Workload*> workloads;
+  std::vector<double> budgets_w;  ///< application-level budgets [W]
+  std::vector<SchemeKind> schemes = all_schemes();
+  int repetitions = 1;
+  /// Base run configuration. `config.run_salt` seeds repetition 0; later
+  /// repetitions fork fresh salts from it.
+  RunConfig config;
+
+  [[nodiscard]] std::size_t job_count() const {
+    return workloads.size() * budgets_w.size() * schemes.size() *
+           static_cast<std::size_t>(repetitions > 0 ? repetitions : 0);
+  }
+};
+
+/// One independent unit of work: a single scheme run of one workload at one
+/// budget. `salt` is derived from (spec.config.run_salt, repetition) alone —
+/// never from scheduling — so a job's result is a pure function of
+/// (cluster, allocation, job).
+struct CampaignJob {
+  std::size_t index = 0;  ///< dense index in spec expansion order
+  const workloads::Workload* workload = nullptr;
+  double budget_w = 0.0;
+  SchemeKind scheme = SchemeKind::kNaive;
+  int repetition = 0;
+  std::uint64_t salt = 0;
+};
+
+struct CampaignJobResult {
+  CampaignJob job;
+  CellClass cls = CellClass::kValid;
+  RunMetrics metrics;
+  /// makespan(Naive)/makespan(this) at the same (workload, budget,
+  /// repetition); NaN when Naive is absent from the spec or infeasible.
+  double speedup_vs_naive = 0.0;
+};
+
+struct CampaignResult {
+  /// One entry per job, in spec expansion order (scheduling-independent).
+  std::vector<CampaignJobResult> jobs;
+  /// Calibration-cache activity during this run.
+  CalibrationCache::Stats cache;
+  double elapsed_s = 0.0;
+
+  /// Looks up a job result; nullptr when not part of the spec.
+  [[nodiscard]] const CampaignJobResult* find(const std::string& workload,
+                                              double budget_w,
+                                              SchemeKind scheme,
+                                              int repetition = 0) const;
+};
+
+struct CampaignProgress {
+  std::size_t completed = 0;
+  std::size_t total = 0;
+  const CampaignJobResult* job = nullptr;  ///< the job that just finished
+};
+
+class CampaignEngine {
+ public:
+  using ProgressFn = std::function<void(const CampaignProgress&)>;
+
+  /// `threads`: worker count for the job fan-out; 1 runs serially on the
+  /// caller, 0 uses hardware_concurrency. The PVT is generated with the
+  /// paper's *STREAM microbenchmark unless `microbench` overrides it.
+  CampaignEngine(const cluster::Cluster& cluster,
+                 std::vector<hw::ModuleId> allocation, std::size_t threads = 0,
+                 const workloads::Workload* microbench = nullptr);
+
+  /// Uses a caller-provided PVT (e.g. one loaded from a system file).
+  CampaignEngine(const cluster::Cluster& cluster,
+                 std::vector<hw::ModuleId> allocation,
+                 std::shared_ptr<const Pvt> pvt, std::size_t threads);
+
+  /// Expands `spec` and runs every job. Deterministic: the result depends
+  /// only on (cluster, allocation, spec), never on `threads` or scheduling.
+  /// `progress` (optional) is invoked after each job completes, serialized
+  /// under a lock, in completion order.
+  [[nodiscard]] CampaignResult run(const CampaignSpec& spec,
+                                   const ProgressFn& progress = {});
+
+  /// Ground-truth cell classification (same convention as
+  /// Campaign::classify, sharing the same cached oracle PMTs).
+  [[nodiscard]] CellClass classify(const workloads::Workload& w,
+                                   double budget_w) const;
+
+  /// The deterministic job expansion of `spec`, in result order.
+  [[nodiscard]] static std::vector<CampaignJob> expand(
+      const CampaignSpec& spec);
+
+  [[nodiscard]] const Pvt& pvt() const { return *pvt_; }
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+
+ private:
+  [[nodiscard]] CampaignJobResult run_job(const CampaignJob& job,
+                                          const RunConfig& base) const;
+
+  const cluster::Cluster& cluster_;
+  std::vector<hw::ModuleId> allocation_;
+  std::size_t threads_;
+  std::shared_ptr<const Pvt> pvt_;
+};
+
+/// One row per job: workload, budget, scheme, repetition, classification,
+/// solver outputs, metrics and speedup-vs-Naive.
+void write_campaign_csv(const CampaignResult& result, std::ostream& out);
+
+/// The same summary as a single JSON object.
+void write_campaign_json(const CampaignResult& result, std::ostream& out);
 
 }  // namespace vapb::core

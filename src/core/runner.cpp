@@ -84,11 +84,16 @@ RunMetrics Runner::run_uncapped(const workloads::Workload& w) const {
   return m;
 }
 
+util::SeedSequence Runner::scheme_seed(const cluster::Cluster& cluster,
+                                       const workloads::Workload& w,
+                                       SchemeKind scheme) {
+  return cluster.seed().fork(w.name).fork(scheme_name(scheme));
+}
+
 RunMetrics Runner::run_scheme(const workloads::Workload& w, SchemeKind scheme,
                               double budget_w, const Pvt& pvt,
                               const TestRunResult& test) const {
-  util::SeedSequence seed =
-      cluster_.seed().fork(w.name).fork(scheme_name(scheme));
+  util::SeedSequence seed = scheme_seed(cluster_, w, scheme);
   Pmt pmt = scheme_pmt(scheme, cluster_, allocation_, w, pvt, test, seed);
   BudgetResult budget = solve_budget(pmt, budget_w);
   return run_budgeted(w, enforcement_of(scheme), budget, scheme_name(scheme),

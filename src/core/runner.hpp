@@ -83,6 +83,13 @@ class Runner {
                                       const Pvt& pvt,
                                       const TestRunResult& test) const;
 
+  /// The seed subtree run_scheme hands to scheme_pmt. Exposed so callers
+  /// that build the PMT themselves (e.g. through the CalibrationCache)
+  /// reproduce run_scheme's results bit-for-bit.
+  [[nodiscard]] static util::SeedSequence scheme_seed(
+      const cluster::Cluster& cluster, const workloads::Workload& w,
+      SchemeKind scheme);
+
   /// Lower-level entry: execute under an explicit budgeting result.
   [[nodiscard]] RunMetrics run_budgeted(const workloads::Workload& w,
                                         Enforcement enforcement,

@@ -1,8 +1,14 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 namespace vapb::util {
+
+namespace {
+std::atomic<std::size_t> g_global_threads{0};
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -42,8 +48,12 @@ void ThreadPool::wait_idle() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(g_global_threads.load());
   return pool;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  g_global_threads.store(threads);
 }
 
 void ThreadPool::worker_loop() {
@@ -72,26 +82,69 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+// Shared between the caller and the helper tasks of one parallel_for call.
+// Helper tasks may still be dequeued after the call returned (when the
+// caller claimed the remaining chunks itself), so the state is reference-
+// counted and owns a copy of the work function.
+struct ParallelForState {
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::size_t chunks = 0;
+  std::function<void(std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t chunks_done = 0;     // guarded by mutex
+  std::exception_ptr first_error;  // guarded by mutex
+
+  // Claims and runs chunks until the counter is exhausted.
+  void run_chunks() {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const std::size_t lo = c * grain;
+      const std::size_t hi = std::min(n, lo + grain);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      std::lock_guard lock(mutex);
+      if (++chunks_done == chunks) done.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain) {
   if (n == 0) return;
+  if (grain == 0) grain = 1;
   if (n <= grain || pool.size() == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  const std::size_t blocks =
-      std::min(pool.size() * 4, (n + grain - 1) / grain);
-  const std::size_t block_size = (n + blocks - 1) / blocks;
-  for (std::size_t b = 0; b < blocks; ++b) {
-    const std::size_t lo = b * block_size;
-    const std::size_t hi = std::min(n, lo + block_size);
-    if (lo >= hi) break;
-    pool.submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    });
+  auto st = std::make_shared<ParallelForState>();
+  st->n = n;
+  st->grain = grain;
+  st->chunks = (n + grain - 1) / grain;
+  st->fn = fn;
+  // The caller claims chunks too, so `chunks - 1` helpers suffice and
+  // progress is guaranteed even when every worker is busy with other work
+  // (e.g. a parallel_for issued from inside a pool task).
+  const std::size_t helpers = std::min(pool.size(), st->chunks - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([st] { st->run_chunks(); });
   }
-  pool.wait_idle();
+  st->run_chunks();
+  std::unique_lock lock(st->mutex);
+  st->done.wait(lock, [&] { return st->chunks_done == st->chunks; });
+  if (st->first_error) std::rethrow_exception(st->first_error);
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,

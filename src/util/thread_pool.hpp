@@ -1,9 +1,17 @@
-// A small fixed-size thread pool with a parallel_for helper.
+// A small fixed-size thread pool with a chunked parallel_for helper.
 //
 // The simulator evaluates thousands of independent modules and dozens of
 // experiment configurations; parallel_for is used for those embarrassingly
 // parallel sweeps. Work items must not throw across the pool boundary —
 // exceptions are captured and rethrown on the caller's thread.
+//
+// parallel_for uses self-scheduling: a bounded number of helper tasks (at
+// most one per worker) claim fixed-size chunks off a shared counter, so a
+// sweep over thousands of modules enqueues a handful of tasks instead of one
+// closure per chunk. Completion is tracked per call — not via the pool-wide
+// idle state — and the calling thread participates in executing chunks, so
+// parallel_for may safely be issued concurrently from several threads and
+// from inside a pool task (nested parallelism) without deadlocking.
 #pragma once
 
 #include <condition_variable>
@@ -32,13 +40,19 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished. If any task threw, the
-  /// first captured exception is rethrown here.
+  /// first captured exception is rethrown here. Must not be called from a
+  /// worker thread (use parallel_for for nested fan-out instead).
   void wait_idle();
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
   /// Process-wide shared pool, created on first use.
   static ThreadPool& global();
+
+  /// Sets the worker count the global pool is created with. Takes effect
+  /// only if called before the first use of global(); later calls are
+  /// ignored. 0 restores the hardware_concurrency default.
+  static void set_global_threads(std::size_t threads);
 
  private:
   void worker_loop();
@@ -53,8 +67,9 @@ class ThreadPool {
   std::exception_ptr first_error_;
 };
 
-/// Runs fn(i) for i in [0, n) across the pool, in contiguous blocks.
-/// Blocks until complete; rethrows the first exception raised by any call.
+/// Runs fn(i) for i in [0, n) across the pool in chunks of `grain`
+/// consecutive indices. Blocks until every index has run; rethrows the first
+/// exception raised by any call (remaining chunks still execute).
 /// Falls back to a serial loop for small n to avoid scheduling overhead.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn,

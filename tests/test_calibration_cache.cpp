@@ -1,0 +1,131 @@
+#include "core/calibration_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::core {
+namespace {
+
+class CalibrationCacheFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kModules = 32;
+
+  CalibrationCacheFixture() {
+    alloc_.resize(kModules);
+    std::iota(alloc_.begin(), alloc_.end(), hw::ModuleId{0});
+  }
+
+  util::SeedSequence pvt_seed() { return cluster_.seed().fork("pvt"); }
+
+  // A private cache per test: the global one is shared process-wide and
+  // other tests may have warmed it.
+  CalibrationCache cache_;
+  cluster::Cluster cluster_{hw::ha8k(), util::SeedSequence(7), kModules};
+  std::vector<hw::ModuleId> alloc_;
+};
+
+TEST_F(CalibrationCacheFixture, PvtComputedOnceAndShared) {
+  auto a = cache_.pvt(cluster_, workloads::pvt_microbench(), pvt_seed());
+  auto b = cache_.pvt(cluster_, workloads::pvt_microbench(), pvt_seed());
+  EXPECT_EQ(a.get(), b.get());
+  auto s = cache_.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST_F(CalibrationCacheFixture, DistinctSeedsAreDistinctEntries) {
+  auto a = cache_.pvt(cluster_, workloads::pvt_microbench(), pvt_seed());
+  auto b = cache_.pvt(cluster_, workloads::pvt_microbench(),
+                      cluster_.seed().fork("other"));
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache_.stats().misses, 2u);
+}
+
+TEST_F(CalibrationCacheFixture, DistinctFleetsAreDistinctEntries) {
+  cluster::Cluster other(hw::ha8k(), util::SeedSequence(8), kModules);
+  ASSERT_NE(cluster_.fingerprint(), other.fingerprint());
+  auto a = cache_.pvt(cluster_, workloads::pvt_microbench(), pvt_seed());
+  auto b = cache_.pvt(other, workloads::pvt_microbench(),
+                      other.seed().fork("pvt"));
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache_.stats().misses, 2u);
+}
+
+TEST_F(CalibrationCacheFixture, TestRunAndOracleAreMemoized) {
+  auto seed = cluster_.seed().fork("test-run").fork("MHD");
+  auto t1 = cache_.test_run(cluster_, alloc_.front(), workloads::mhd(), seed);
+  auto t2 = cache_.test_run(cluster_, alloc_.front(), workloads::mhd(), seed);
+  EXPECT_EQ(t1.get(), t2.get());
+
+  auto oseed = cluster_.seed().fork("oracle").fork("MHD");
+  auto o1 = cache_.oracle(cluster_, alloc_, workloads::mhd(), oseed);
+  auto o2 = cache_.oracle(cluster_, alloc_, workloads::mhd(), oseed);
+  EXPECT_EQ(o1.get(), o2.get());
+  EXPECT_EQ(cache_.stats().misses, 2u);
+  EXPECT_EQ(cache_.stats().hits, 2u);
+}
+
+TEST_F(CalibrationCacheFixture, SchemePmtKeyedOnSchemeKind) {
+  auto pvt = cache_.pvt(cluster_, workloads::pvt_microbench(), pvt_seed());
+  auto seed = cluster_.seed().fork("test-run").fork("MHD");
+  auto test = cache_.test_run(cluster_, alloc_.front(), workloads::mhd(),
+                              seed);
+  auto sseed = cluster_.seed().fork("MHD").fork("VaFs");
+  auto a = cache_.scheme_pmt(SchemeKind::kVaFs, cluster_, alloc_,
+                             workloads::mhd(), *pvt, *test, sseed);
+  auto b = cache_.scheme_pmt(SchemeKind::kVaFs, cluster_, alloc_,
+                             workloads::mhd(), *pvt, *test, sseed);
+  auto c = cache_.scheme_pmt(SchemeKind::kVaPc, cluster_, alloc_,
+                             workloads::mhd(), *pvt, *test, sseed);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST_F(CalibrationCacheFixture, ClearDropsEntriesButKeepsCounters) {
+  auto a = cache_.pvt(cluster_, workloads::pvt_microbench(), pvt_seed());
+  cache_.clear();
+  EXPECT_EQ(cache_.stats().entries, 0u);
+  auto b = cache_.pvt(cluster_, workloads::pvt_microbench(), pvt_seed());
+  // The old shared_ptr stays valid (owned by the caller), but the cache
+  // recomputes after clear().
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache_.stats().misses, 2u);
+  // Identical seeds produce bitwise-identical recomputation.
+  EXPECT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->entries()[i].cpu_max, b->entries()[i].cpu_max);
+  }
+}
+
+TEST_F(CalibrationCacheFixture, ConcurrentRequestsShareOneComputation) {
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const Pvt>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[t] =
+          cache_.pvt(cluster_, workloads::pvt_microbench(), pvt_seed());
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t].get(), results[0].get());
+  }
+  EXPECT_EQ(cache_.stats().misses, 1u);
+  EXPECT_EQ(cache_.stats().hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(CalibrationCacheGlobal, IsASingleton) {
+  EXPECT_EQ(&CalibrationCache::global(), &CalibrationCache::global());
+}
+
+}  // namespace
+}  // namespace vapb::core

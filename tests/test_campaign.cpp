@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numeric>
+#include <sstream>
 
 #include "workloads/catalog.hpp"
 
@@ -130,6 +133,179 @@ TEST(CellClassName, Strings) {
   EXPECT_EQ(cell_class_name(CellClass::kValid), "X");
   EXPECT_EQ(cell_class_name(CellClass::kUnconstrained), "unconstrained");
   EXPECT_EQ(cell_class_name(CellClass::kInfeasible), "infeasible");
+}
+
+// ---------------------------------------------------------------------------
+// CampaignEngine
+// ---------------------------------------------------------------------------
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+void expect_identical_metrics(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.constrained, b.constrained);
+  EXPECT_TRUE(same_bits(a.alpha, b.alpha));
+  EXPECT_TRUE(same_bits(a.target_freq_ghz, b.target_freq_ghz));
+  EXPECT_TRUE(same_bits(a.makespan_s, b.makespan_s));
+  EXPECT_TRUE(same_bits(a.total_power_w, b.total_power_w));
+  ASSERT_EQ(a.modules.size(), b.modules.size());
+  for (std::size_t i = 0; i < a.modules.size(); ++i) {
+    EXPECT_EQ(a.modules[i].id, b.modules[i].id);
+    EXPECT_TRUE(same_bits(a.modules[i].op.cpu_w, b.modules[i].op.cpu_w));
+    EXPECT_TRUE(
+        same_bits(a.modules[i].op.freq_ghz, b.modules[i].op.freq_ghz));
+  }
+}
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kModules = 48;
+
+  EngineFixture() {
+    alloc_.resize(kModules);
+    std::iota(alloc_.begin(), alloc_.end(), hw::ModuleId{0});
+    cfg_.iterations = 6;
+  }
+
+  CampaignSpec mhd_spec(std::vector<SchemeKind> schemes = all_schemes(),
+                        int repetitions = 1) {
+    CampaignSpec spec;
+    spec.workloads = {&workloads::mhd()};
+    spec.budgets_w = {80.0 * kModules};
+    spec.schemes = std::move(schemes);
+    spec.repetitions = repetitions;
+    spec.config = cfg_;
+    return spec;
+  }
+
+  cluster::Cluster cluster_{hw::ha8k(), util::SeedSequence(101), kModules};
+  std::vector<hw::ModuleId> alloc_;
+  RunConfig cfg_;
+};
+
+TEST_F(EngineFixture, ExpandIsDenseAndSalted) {
+  CampaignSpec spec = mhd_spec({SchemeKind::kNaive, SchemeKind::kVaFs}, 3);
+  spec.config.run_salt = 7;
+  EXPECT_EQ(spec.job_count(), 6u);
+  std::vector<CampaignJob> jobs = CampaignEngine::expand(spec);
+  ASSERT_EQ(jobs.size(), 6u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].index, i);
+  }
+  // Repetition is the innermost loop. Repetition 0 keeps the base salt (so
+  // the engine bitwise-reproduces a direct Runner::run_scheme); later
+  // repetitions get fresh forked salts.
+  EXPECT_EQ(jobs[0].salt, 7u);
+  EXPECT_EQ(jobs[3].salt, 7u);
+  EXPECT_NE(jobs[1].salt, jobs[0].salt);
+  EXPECT_NE(jobs[2].salt, jobs[1].salt);
+  // The salt depends on the repetition alone, not the scheme or position.
+  EXPECT_EQ(jobs[1].salt, jobs[4].salt);
+  EXPECT_EQ(jobs[2].salt, jobs[5].salt);
+}
+
+TEST_F(EngineFixture, MatchesSerialCampaignBitwise) {
+  Campaign campaign(cluster_, alloc_, cfg_);
+  CellResult cell = campaign.run_cell(workloads::mhd(), 80.0 * kModules);
+
+  CampaignEngine engine(cluster_, alloc_, /*threads=*/2);
+  CampaignResult result = engine.run(mhd_spec());
+  ASSERT_EQ(result.jobs.size(), 6u);
+  for (const SchemeOutcome& s : cell.schemes) {
+    const CampaignJobResult* job =
+        result.find("MHD", 80.0 * kModules, s.kind);
+    ASSERT_NE(job, nullptr) << scheme_name(s.kind);
+    expect_identical_metrics(job->metrics, s.metrics);
+    EXPECT_TRUE(same_bits(job->speedup_vs_naive, s.speedup_vs_naive));
+  }
+}
+
+TEST_F(EngineFixture, TwoJobCampaignIdenticalAcrossThreadCounts) {
+  CampaignSpec spec = mhd_spec({SchemeKind::kNaive, SchemeKind::kVaFs});
+  ASSERT_EQ(spec.job_count(), 2u);
+  CampaignEngine serial(cluster_, alloc_, /*threads=*/1);
+  CampaignEngine wide(cluster_, alloc_, /*threads=*/4);
+  CampaignResult a = serial.run(spec);
+  CampaignResult b = wide.run(spec);
+  ASSERT_EQ(a.jobs.size(), 2u);
+  ASSERT_EQ(b.jobs.size(), 2u);
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].job.index, b.jobs[i].job.index);
+    expect_identical_metrics(a.jobs[i].metrics, b.jobs[i].metrics);
+    EXPECT_TRUE(
+        same_bits(a.jobs[i].speedup_vs_naive, b.jobs[i].speedup_vs_naive));
+  }
+}
+
+TEST_F(EngineFixture, RepetitionsDifferButAreStable) {
+  CampaignEngine engine(cluster_, alloc_, /*threads=*/2);
+  CampaignSpec spec = mhd_spec({SchemeKind::kNaive}, 2);
+  CampaignResult result = engine.run(spec);
+  const CampaignJobResult* rep0 = result.find("MHD", 80.0 * kModules,
+                                              SchemeKind::kNaive, 0);
+  const CampaignJobResult* rep1 = result.find("MHD", 80.0 * kModules,
+                                              SchemeKind::kNaive, 1);
+  ASSERT_NE(rep0, nullptr);
+  ASSERT_NE(rep1, nullptr);
+  EXPECT_NE(rep0->job.salt, rep1->job.salt);
+  // Fresh noise per repetition changes the simulated makespan...
+  EXPECT_NE(rep0->metrics.makespan_s, rep1->metrics.makespan_s);
+  // ...but a re-run reproduces both repetitions exactly.
+  CampaignResult again = engine.run(spec);
+  expect_identical_metrics(
+      again.find("MHD", 80.0 * kModules, SchemeKind::kNaive, 1)->metrics,
+      rep1->metrics);
+}
+
+TEST_F(EngineFixture, ClassifyMatchesSerialCampaign) {
+  Campaign campaign(cluster_, alloc_, cfg_);
+  CampaignEngine engine(cluster_, alloc_, /*threads=*/2);
+  for (double cm : {110.0, 80.0, 50.0}) {
+    EXPECT_EQ(engine.classify(workloads::mhd(), cm * kModules),
+              campaign.classify(workloads::mhd(), cm * kModules))
+        << cm;
+  }
+}
+
+TEST_F(EngineFixture, InfeasibleJobsAreStubbed) {
+  CampaignEngine engine(cluster_, alloc_, /*threads=*/2);
+  CampaignSpec spec = mhd_spec({SchemeKind::kNaive, SchemeKind::kVaFs});
+  spec.budgets_w = {40.0 * kModules};  // below fmin power: infeasible
+  CampaignResult result = engine.run(spec);
+  for (const CampaignJobResult& job : result.jobs) {
+    EXPECT_EQ(job.cls, CellClass::kInfeasible);
+    EXPECT_FALSE(job.metrics.feasible);
+    EXPECT_TRUE(std::isnan(job.speedup_vs_naive));
+  }
+}
+
+TEST_F(EngineFixture, ProgressReportsEveryJob) {
+  CampaignEngine engine(cluster_, alloc_, /*threads=*/2);
+  CampaignSpec spec = mhd_spec();
+  std::vector<std::size_t> completed;
+  CampaignResult result = engine.run(spec, [&](const CampaignProgress& p) {
+    EXPECT_EQ(p.total, spec.job_count());
+    EXPECT_NE(p.job, nullptr);
+    completed.push_back(p.completed);
+  });
+  ASSERT_EQ(completed.size(), spec.job_count());
+  // `completed` is monotone because the callback is serialized.
+  EXPECT_TRUE(std::is_sorted(completed.begin(), completed.end()));
+  EXPECT_EQ(completed.back(), spec.job_count());
+}
+
+TEST_F(EngineFixture, CsvAndJsonWritersEmitEveryJob) {
+  CampaignEngine engine(cluster_, alloc_, /*threads=*/2);
+  CampaignResult result = engine.run(mhd_spec({SchemeKind::kNaive}));
+  std::ostringstream csv;
+  write_campaign_csv(result, csv);
+  std::ostringstream json;
+  write_campaign_json(result, json);
+  EXPECT_NE(csv.str().find("workload,budget_w,scheme"), std::string::npos);
+  EXPECT_NE(csv.str().find("MHD"), std::string::npos);
+  EXPECT_NE(json.str().find("\"workload\":\"MHD\""), std::string::npos);
 }
 
 }  // namespace

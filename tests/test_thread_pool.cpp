@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 namespace vapb::util {
 namespace {
@@ -108,6 +109,69 @@ TEST(ParallelFor, GlobalOverloadWorks) {
   std::atomic<int> count{0};
   parallel_for(500, [&](std::size_t) { ++count; }, 8);
   EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ParallelFor, NestedCallsDoNotDeadlock) {
+  // Chunked scheduling has per-call completion state and the caller claims
+  // chunks itself, so a body may issue parallel_for on the same pool.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  parallel_for(pool, 8,
+               [&](std::size_t) {
+                 parallel_for(pool, 64, [&](std::size_t) { ++count; },
+                              /*grain=*/4);
+               },
+               /*grain=*/1);
+  EXPECT_EQ(count.load(), 8 * 64);
+}
+
+TEST(ParallelFor, ConcurrentCallsAreIsolated) {
+  // Two parallel_for calls share the pool; one throws. The error must reach
+  // only its own caller, and the healthy call must still visit every index.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::exception_ptr thrown;
+  std::thread bad([&] {
+    try {
+      parallel_for(pool, 512,
+                   [](std::size_t i) {
+                     if (i % 2 == 0) throw std::runtime_error("bad call");
+                   },
+                   /*grain=*/4);
+    } catch (...) {
+      thrown = std::current_exception();
+    }
+  });
+  parallel_for(pool, 2048, [&](std::size_t) { ++count; }, /*grain=*/4);
+  bad.join();
+  EXPECT_EQ(count.load(), 2048);
+  EXPECT_TRUE(thrown != nullptr);
+  EXPECT_THROW(std::rethrow_exception(thrown), std::runtime_error);
+}
+
+TEST(ParallelFor, PoolUsableAfterBodyThrows) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 256,
+                            [](std::size_t) {
+                              throw std::runtime_error("boom");
+                            },
+                            /*grain=*/4),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  parallel_for(pool, 256, [&](std::size_t) { ++count; }, /*grain=*/4);
+  EXPECT_EQ(count.load(), 256);
+}
+
+TEST(ParallelFor, GrainOneOnSingleWorkerPool) {
+  // pool.size() == 1 falls back to the serial path.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  parallel_for(pool, 64,
+               [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+               /*grain=*/1);
+  std::vector<int> expected(64);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
 }
 
 }  // namespace

@@ -7,13 +7,17 @@
 //   solve    --workload W --budget-w P    calibrate + solve Eq. 1-9
 //   run      --workload W --budget-w P --scheme S
 //                                         full pipeline + metrics
-//   campaign --workload W                 sweep the Table-4 budgets
+//   campaign [--workload W] [--threads N] [--repetitions R]
+//            [--budgets "110,100,.."] [--schemes "Naive,VaFs"]
+//            [--csv F] [--json F]
+//                                         parallel sweep of the Table-4 grid
 //   report   [--workload W] [--out F]     full Markdown campaign report
 //
 // Common flags: --arch {cab|vulcan|teller|ha8k}  --modules N  --seed S
 //               --pvt FILE (reuse a saved PVT)
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <numeric>
 #include <sstream>
 
@@ -41,7 +45,7 @@ hw::ArchSpec arch_by_name(const std::string& name) {
 struct Context {
   cluster::Cluster cluster;
   std::vector<hw::ModuleId> allocation;
-  core::Pvt pvt;
+  std::shared_ptr<const core::Pvt> pvt;
 };
 
 Context make_context(const util::CliArgs& args) {
@@ -60,16 +64,18 @@ Context make_context(const util::CliArgs& args) {
   cluster::Cluster cluster(spec, util::SeedSequence(seed), modules);
   std::vector<hw::ModuleId> alloc(modules);
   std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
-  core::Pvt pvt = [&] {
+  std::shared_ptr<const core::Pvt> pvt = [&] {
     if (args.has("pvt")) {
       std::ifstream in(args.get("pvt"));
       if (!in) throw Error("cannot open PVT file: " + args.get("pvt"));
       std::stringstream ss;
       ss << in.rdbuf();
-      return core::Pvt::deserialize(ss.str());
+      return std::make_shared<const core::Pvt>(
+          core::Pvt::deserialize(ss.str()));
     }
-    return core::Pvt::generate(cluster, workloads::pvt_microbench(),
-                               cluster.seed().fork("pvt"));
+    // The process-wide cache shares the PVT with Campaign / CampaignEngine.
+    return core::CalibrationCache::global().pvt(
+        cluster, workloads::pvt_microbench(), cluster.seed().fork("pvt"));
   }();
   return Context{std::move(cluster), std::move(alloc), std::move(pvt)};
 }
@@ -120,9 +126,10 @@ int cmd_pvt(const util::CliArgs& args) {
   std::string out = args.get_or("out", "pvt.txt");
   std::ofstream f(out);
   if (!f) throw Error("cannot write " + out);
-  f << ctx.pvt.serialize();
+  f << ctx.pvt->serialize();
   std::printf("PVT for %zu modules (microbenchmark %s) written to %s\n",
-              ctx.pvt.size(), ctx.pvt.microbench_name().c_str(), out.c_str());
+              ctx.pvt->size(), ctx.pvt->microbench_name().c_str(),
+              out.c_str());
   return 0;
 }
 
@@ -135,7 +142,7 @@ int cmd_solve(const util::CliArgs& args) {
   core::TestRunResult test = core::single_module_test_run(
       ctx.cluster, ctx.allocation.front(), w,
       ctx.cluster.seed().fork("ctl-test"));
-  core::Pmt pmt = core::calibrate_pmt(ctx.pvt, test, ctx.allocation,
+  core::Pmt pmt = core::calibrate_pmt(*ctx.pvt, test, ctx.allocation,
                                       ctx.cluster.spec().ladder);
   core::BudgetResult r = core::solve_budget(pmt, budget);
   std::printf("workload:   %s on %zu modules\n", w.name.c_str(),
@@ -175,7 +182,7 @@ int cmd_run(const util::CliArgs& args) {
       ctx.cluster, ctx.allocation.front(), w,
       ctx.cluster.seed().fork("ctl-test"));
   core::RunMetrics base = runner.run_uncapped(w);
-  core::RunMetrics m = runner.run_scheme(w, scheme, budget, ctx.pvt, test);
+  core::RunMetrics m = runner.run_scheme(w, scheme, budget, *ctx.pvt, test);
   std::printf("%s under %s at %s:\n", w.name.c_str(), scheme_name.c_str(),
               util::fmt_watts(budget).c_str());
   std::printf("  alpha %.3f, target %s\n", m.alpha,
@@ -192,25 +199,105 @@ int cmd_run(const util::CliArgs& args) {
   return 0;
 }
 
+std::vector<double> parse_budget_list(const std::string& list,
+                                      std::size_t modules) {
+  std::vector<double> budgets;
+  for (const std::string& part : util::split(list, ',')) {
+    double cm = std::strtod(part.c_str(), nullptr);
+    if (cm <= 0.0) {
+      throw InvalidArgument("--budgets: bad per-module budget '" + part + "'");
+    }
+    budgets.push_back(cm * static_cast<double>(modules));
+  }
+  return budgets;
+}
+
+std::vector<core::SchemeKind> parse_scheme_list(const std::string& list) {
+  std::vector<core::SchemeKind> schemes;
+  for (const std::string& part : util::split(list, ',')) {
+    bool found = false;
+    for (auto k : core::all_schemes()) {
+      if (core::scheme_name(k) == part) {
+        schemes.push_back(k);
+        found = true;
+      }
+    }
+    if (!found) throw InvalidArgument("--schemes: unknown scheme '" + part + "'");
+  }
+  return schemes;
+}
+
 int cmd_campaign(const util::CliArgs& args) {
   Context ctx = make_context(args);
-  const workloads::Workload& w = workloads::by_name(args.get("workload"));
-  core::Campaign campaign(ctx.cluster, ctx.allocation);
-  util::Table t({"Cm [W]", "cell", "Naive", "Pc", "VaPcOr", "VaPc", "VaFsOr",
-                 "VaFs"});
-  for (double cm : {110.0, 100.0, 90.0, 80.0, 70.0, 60.0, 50.0}) {
-    auto cell = campaign.run_cell(
-        w, cm * static_cast<double>(ctx.allocation.size()));
-    t.add_row();
-    t.add_cell(cm, 0);
-    t.add_cell(core::cell_class_name(cell.cls));
-    for (const auto& s : cell.schemes) {
-      t.add_cell(s.metrics.feasible
-                     ? util::fmt_double(s.speedup_vs_naive, 2) + "x"
-                     : "-");
-    }
+  const std::size_t modules = ctx.allocation.size();
+
+  core::CampaignSpec spec;
+  if (args.has("workload")) {
+    spec.workloads.push_back(&workloads::by_name(args.get("workload")));
+  } else {
+    spec.workloads = workloads::evaluation_suite();
   }
-  std::printf("%s", t.str().c_str());
+  spec.budgets_w = parse_budget_list(
+      args.get_or("budgets", "110,100,90,80,70,60,50"), modules);
+  if (args.has("schemes")) {
+    spec.schemes = parse_scheme_list(args.get("schemes"));
+  }
+  spec.repetitions =
+      static_cast<int>(args.get_long_or("repetitions", 1));
+  auto threads = static_cast<std::size_t>(args.get_long_or("threads", 0));
+
+  core::CampaignEngine engine(ctx.cluster, ctx.allocation, ctx.pvt, threads);
+  core::CampaignResult result =
+      engine.run(spec, [](const core::CampaignProgress& p) {
+        std::fprintf(stderr, "[%zu/%zu] %-8s %-7s %7.0f W rep %d: %s\n",
+                     p.completed, p.total,
+                     p.job->metrics.workload.c_str(),
+                     p.job->metrics.scheme.c_str(), p.job->job.budget_w,
+                     p.job->job.repetition,
+                     p.job->metrics.feasible
+                         ? util::fmt_seconds(p.job->metrics.makespan_s).c_str()
+                         : "infeasible");
+      });
+
+  for (const workloads::Workload* w : spec.workloads) {
+    std::printf("%s\n", w->name.c_str());
+    std::vector<std::string> headers{"Cm [W]", "cell"};
+    for (auto k : spec.schemes) headers.push_back(core::scheme_name(k));
+    util::Table t(headers);
+    for (double budget_w : spec.budgets_w) {
+      t.add_row();
+      t.add_cell(budget_w / static_cast<double>(modules), 0);
+      const auto* any = result.find(w->name, budget_w, spec.schemes.front());
+      t.add_cell(any ? core::cell_class_name(any->cls) : "?");
+      for (auto k : spec.schemes) {
+        const auto* r = result.find(w->name, budget_w, k);
+        t.add_cell(r && r->metrics.feasible
+                       ? util::fmt_double(r->speedup_vs_naive, 2) + "x"
+                       : "-");
+      }
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+  std::printf(
+      "%zu jobs on %zu threads in %.2fs; calibration cache: %llu hits, "
+      "%llu misses, %zu entries\n",
+      result.jobs.size(), engine.threads(), result.elapsed_s,
+      static_cast<unsigned long long>(result.cache.hits),
+      static_cast<unsigned long long>(result.cache.misses),
+      result.cache.entries);
+
+  if (args.has("csv")) {
+    std::ofstream f(args.get("csv"));
+    if (!f) throw Error("cannot write " + args.get("csv"));
+    core::write_campaign_csv(result, f);
+    std::printf("per-job CSV written to %s\n", args.get("csv").c_str());
+  }
+  if (args.has("json")) {
+    std::ofstream f(args.get("json"));
+    if (!f) throw Error("cannot write " + args.get("json"));
+    core::write_campaign_json(result, f);
+    std::printf("per-job JSON written to %s\n", args.get("json").c_str());
+  }
   return 0;
 }
 
@@ -243,7 +330,10 @@ int usage() {
                "[--arch A | --arch-file F] [--modules N] [--seed S] "
                "[--pvt FILE]\n"
                "               [--workload W] [--budget-w P] [--scheme S] "
-               "[--out FILE]\n");
+               "[--out FILE]\n"
+               "               campaign: [--threads N] [--repetitions R] "
+               "[--budgets \"Cm,..\"] [--schemes \"S,..\"] [--csv F] "
+               "[--json F]\n");
   return 2;
 }
 
@@ -253,7 +343,8 @@ int main(int argc, char** argv) {
   try {
     util::CliArgs args(argc, argv,
                        {"arch", "arch-file", "modules", "seed", "pvt", "workload",
-                        "budget-w", "scheme", "out"});
+                        "budget-w", "scheme", "out", "threads", "repetitions",
+                        "budgets", "schemes", "csv", "json"});
     if (args.positional().empty()) return usage();
     const std::string& cmd = args.positional().front();
     if (cmd == "systems") return cmd_systems();
