@@ -45,7 +45,8 @@ void BM_BudgetSolve(benchmark::State& state) {
   core::Pmt pmt = core::oracle_pmt(c, alloc, workloads::mhd(),
                                    util::SeedSequence(3));
   for (auto _ : state) {
-    core::BudgetResult r = core::solve_budget(pmt, 70.0 * n);
+    core::BudgetResult r =
+        core::solve_budget(pmt, util::Watts{70.0 * static_cast<double>(n)});
     benchmark::DoNotOptimize(r.alpha);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
@@ -55,7 +56,7 @@ BENCHMARK(BM_BudgetSolve)->Arg(64)->Arg(1920);
 void BM_RaplOperatingPoint(benchmark::State& state) {
   cluster::Cluster c(hw::ha8k(), util::SeedSequence(1), 1);
   hw::Rapl rapl(c.module(0));
-  rapl.set_cpu_limit_w(70.0);
+  rapl.set_cpu_limit(util::Watts{70.0});
   const auto& p = workloads::dgemm().profile;
   for (auto _ : state) {
     benchmark::DoNotOptimize(rapl.operating_point(p).perf_freq_ghz);

@@ -31,7 +31,8 @@ int main() {
   const double budget_w = 70.0 * static_cast<double>(n);
   core::Pmt pmt = core::calibrate_pmt(campaign.pvt(), campaign.test_run(app),
                                       allocation, cluster.spec().ladder);
-  core::BudgetResult solved = core::solve_budget(pmt, budget_w);
+  core::BudgetResult solved =
+      core::solve_budget(pmt, util::Watts{budget_w});
   std::printf("application: %s\n", app.name.c_str());
   std::printf("budget:      %s (%zu modules)\n",
               util::fmt_watts(budget_w).c_str(), n);

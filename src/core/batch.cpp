@@ -74,7 +74,7 @@ BatchResult BatchSimulator::run(const std::vector<BatchJob>& jobs,
   std::vector<std::size_t> queue;  // arrived, not yet started
   std::size_t next_arrival = 0;
   double now = 0.0;
-  double power_time_integral = 0.0;
+  double power_time_integral_j = 0.0;
   double last_event = 0.0;
 
   // Screen out jobs that can never start.
@@ -98,9 +98,9 @@ BatchResult BatchSimulator::run(const std::vector<BatchJob>& jobs,
     TestRunResult test = single_module_test_run(
         cluster_, alloc->front(), *job.app, seed.fork("batch-test", j));
     Pmt pmt = calibrate_pmt(pvt_, test, *alloc, cluster_.spec().ladder);
-    double available = system_budget_w_ - committed_w;
+    const util::Watts available{system_budget_w_ - committed_w};
     if (pmt.total_min_w() > available) return false;  // wait for power
-    double grant = std::min(pmt.total_max_w(), available);
+    const util::Watts grant = util::min(pmt.total_max_w(), available);
 
     RunConfig cfg = run_config_;
     if (job.iterations > 0) cfg.iterations = job.iterations;
@@ -111,23 +111,23 @@ BatchResult BatchSimulator::run(const std::vector<BatchJob>& jobs,
     BudgetResult solved = solve_budget(scheme_table, grant);
     RunMetrics metrics =
         runner.run_budgeted(*job.app, enforcement_of(config.scheme), solved,
-                            scheme_name(config.scheme), grant);
+                            scheme_name(config.scheme), grant.value());
 
     used = trial;
-    committed_w += grant;
-    running.push_back(Running{j, std::move(*alloc), grant,
+    committed_w += grant.value();
+    running.push_back(Running{j, std::move(*alloc), grant.value(),
                               now + metrics.makespan_s});
     JobOutcome& out = result.jobs[j];
     out.completed = true;
     out.start_s = now;
     out.finish_s = now + metrics.makespan_s;
-    out.budget_w = grant;
+    out.budget_w = grant.value();
     out.alpha = metrics.alpha;
     return true;
   };
 
   auto advance_accounting = [&](double t) {
-    power_time_integral += committed_w * (t - last_event);
+    power_time_integral_j += committed_w * (t - last_event);
     last_event = t;
   };
 
@@ -192,7 +192,7 @@ BatchResult BatchSimulator::run(const std::vector<BatchJob>& jobs,
         probe[k] = static_cast<hw::ModuleId>(k);
       }
       Pmt pmt = calibrate_pmt(pvt_, test, probe, cluster_.spec().ladder);
-      if (pmt.total_min_w() > system_budget_w_) {
+      if (pmt.total_min_w() > util::Watts{system_budget_w_}) {
         result.jobs[queue[qi]].reject_reason =
             "fmin floor exceeds the system budget";
         queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(qi));
@@ -217,7 +217,7 @@ BatchResult BatchSimulator::run(const std::vector<BatchJob>& jobs,
       result.throughput_jobs_per_hour =
           completed / result.makespan_s * 3600.0;
       result.power_utilization =
-          power_time_integral / (system_budget_w_ * result.makespan_s);
+          power_time_integral_j / (system_budget_w_ * result.makespan_s);
     }
   }
   return result;

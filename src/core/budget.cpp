@@ -7,15 +7,17 @@
 
 namespace vapb::core {
 
-BudgetResult solve_budget(const Pmt& pmt, double budget_w) {
-  if (budget_w <= 0.0) throw InvalidArgument("solve_budget: budget <= 0");
+BudgetResult solve_budget(const Pmt& pmt, util::Watts budget_w) {
+  if (budget_w <= util::Watts{0.0}) {
+    throw InvalidArgument("solve_budget: budget <= 0");
+  }
 
   BudgetResult r;
-  const double total_min = pmt.total_min_w();
-  const double total_max = pmt.total_max_w();
+  const util::Watts total_min = pmt.total_min_w();
+  const util::Watts total_max = pmt.total_max_w();
 
   double alpha;
-  if (total_max - total_min <= 1e-12) {
+  if (total_max - total_min <= util::Watts{1e-12}) {
     // Degenerate PMT (fmax == fmin power): any alpha realizes the same
     // power; use 1 so the frequency target is fmax.
     alpha = budget_w >= total_min ? 1.0 : 0.0;
@@ -39,7 +41,7 @@ BudgetResult solve_budget(const Pmt& pmt, double budget_w) {
     mb.module_w = e.module_at(r.alpha) * scale;      // Eq. 7
     mb.dram_w = e.dram_at(r.alpha) * scale;
     mb.cpu_cap_w = mb.module_w - mb.dram_w;          // Eq. 8-9
-    VAPB_REQUIRE_MSG(mb.cpu_cap_w > 0.0,
+    VAPB_REQUIRE_MSG(mb.cpu_cap_w > util::Watts{0.0},
                      "derived CPU cap must be positive (bad PMT?)");
     r.allocations.push_back(mb);
     r.predicted_total_w += mb.module_w;
@@ -47,7 +49,7 @@ BudgetResult solve_budget(const Pmt& pmt, double budget_w) {
   return r;
 }
 
-BudgetResult solve_budget_strict(const Pmt& pmt, double budget_w) {
+BudgetResult solve_budget_strict(const Pmt& pmt, util::Watts budget_w) {
   BudgetResult r = solve_budget(pmt, budget_w);
   if (!r.fits_at_fmin) {
     throw InfeasibleBudget(

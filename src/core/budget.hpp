@@ -9,14 +9,15 @@
 #include <vector>
 
 #include "core/pmt.hpp"
+#include "util/units.hpp"
 
 namespace vapb::core {
 
 /// Per-module output of the budgeting solve.
 struct ModuleBudget {
-  double module_w = 0.0;   ///< P^module_i (Eq. 7)
-  double cpu_cap_w = 0.0;  ///< P^cpu_i (Eq. 8-9)
-  double dram_w = 0.0;     ///< predicted DRAM power at alpha
+  util::Watts module_w{};   ///< P^module_i (Eq. 7)
+  util::Watts cpu_cap_w{};  ///< P^cpu_i (Eq. 8-9)
+  util::Watts dram_w{};     ///< predicted DRAM power at alpha
 };
 
 struct BudgetResult {
@@ -31,9 +32,9 @@ struct BudgetResult {
   /// constraint is not binding (alpha clamped to 1) — Table 4's "•" cells.
   bool constrained = false;
 
-  double alpha = 0.0;          ///< common coefficient (clamped to [0, 1])
-  double target_freq_ghz = 0;  ///< f = alpha (fmax - fmin) + fmin (Eq. 1)
-  double predicted_total_w = 0.0;  ///< sum of module allocations
+  double alpha = 0.0;  ///< common coefficient (clamped to [0, 1])
+  util::GigaHertz target_freq_ghz{};  ///< f = alpha (fmax - fmin) + fmin (Eq. 1)
+  util::Watts predicted_total_w{};    ///< sum of module allocations
 
   std::vector<ModuleBudget> allocations;  ///< aligned with the PMT entries
 };
@@ -41,11 +42,11 @@ struct BudgetResult {
 /// Solves Eq. 6 with alpha clamped to [0, 1] and derives per-module
 /// allocations (Eq. 7-9). Never throws for tight budgets — inspect
 /// `fits_at_fmin`.
-BudgetResult solve_budget(const Pmt& pmt, double budget_w);
+BudgetResult solve_budget(const Pmt& pmt, util::Watts budget_w);
 
 /// Like solve_budget but throws InfeasibleBudget when the budget cannot be
 /// met at fmin. For callers that treat infeasibility as an error (e.g. a
 /// resource manager rejecting a job).
-BudgetResult solve_budget_strict(const Pmt& pmt, double budget_w);
+BudgetResult solve_budget_strict(const Pmt& pmt, util::Watts budget_w);
 
 }  // namespace vapb::core

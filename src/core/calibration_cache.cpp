@@ -39,8 +39,9 @@ std::uint64_t hash_pvt(const Pvt& pvt) {
 
 std::uint64_t hash_test(const TestRunResult& t) {
   std::uint64_t h = mix(0xcbf29ce484222325ULL, std::uint64_t{t.module});
-  for (double v : {t.fmax_ghz, t.fmin_ghz, t.cpu_max_w, t.dram_max_w,
-                   t.cpu_min_w, t.dram_min_w}) {
+  for (double v :
+       {t.fmax_ghz.value(), t.fmin_ghz.value(), t.cpu_max_w.value(),
+        t.dram_max_w.value(), t.cpu_min_w.value(), t.dram_min_w.value()}) {
     h = mix(h, v);
   }
   return h;

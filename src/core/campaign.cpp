@@ -28,7 +28,7 @@ RunMetrics run_scheme_cached(const cluster::Cluster& cluster,
   std::shared_ptr<const Pmt> pmt = CalibrationCache::global().scheme_pmt(
       kind, cluster, runner.allocation(), w, pvt, test,
       Runner::scheme_seed(cluster, w, kind));
-  BudgetResult budget = solve_budget(*pmt, budget_w);
+  BudgetResult budget = solve_budget(*pmt, util::Watts{budget_w});
   return runner.run_budgeted(w, enforcement_of(kind), budget,
                              scheme_name(kind), budget_w);
 }
@@ -46,8 +46,9 @@ RunMetrics infeasible_metrics(const workloads::Workload& w, SchemeKind kind,
 }
 
 CellClass classify_against(const Pmt& truth, double budget_w) {
-  if (budget_w < truth.total_min_w()) return CellClass::kInfeasible;
-  if (budget_w >= truth.total_max_w()) return CellClass::kUnconstrained;
+  const util::Watts budget{budget_w};
+  if (budget < truth.total_min_w()) return CellClass::kInfeasible;
+  if (budget >= truth.total_max_w()) return CellClass::kUnconstrained;
   return CellClass::kValid;
 }
 

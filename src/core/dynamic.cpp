@@ -22,11 +22,11 @@ void validate(const PhasedApplication& app) {
 }
 
 void accumulate(DynamicRunResult& out, const RunMetrics& m, double alpha,
-                double freq) {
+                double freq_ghz) {
   PhaseOutcome ph;
   ph.workload = m.workload;
   ph.alpha = alpha;
-  ph.target_freq_ghz = freq;
+  ph.target_freq_ghz = freq_ghz;
   ph.makespan_s = m.makespan_s;
   ph.avg_power_w = m.total_power_w;
   out.phases.push_back(ph);
@@ -101,7 +101,7 @@ DynamicRunResult run_phased_static(Campaign& campaign,
   Pmt pmt = scheme_pmt(scheme, campaign.cluster(), campaign.allocation(),
                        blend, campaign.pvt(), campaign.test_run(blend),
                        campaign.cluster().seed().fork("static-blend"));
-  BudgetResult solved = solve_budget(pmt, budget_w);
+  BudgetResult solved = solve_budget(pmt, util::Watts{budget_w});
 
   // ...applied unchanged to every phase (which executes with its own true
   // power/performance characteristics).
@@ -112,7 +112,7 @@ DynamicRunResult run_phased_static(Campaign& campaign,
     Runner runner(campaign.cluster(), campaign.allocation(), cfg);
     RunMetrics m = runner.run_budgeted(*p.workload, enforcement_of(scheme),
                                        solved, "static-" + app.name, budget_w);
-    accumulate(out, m, solved.alpha, solved.target_freq_ghz);
+    accumulate(out, m, solved.alpha, solved.target_freq_ghz.value());
   }
   return out;
 }
@@ -144,7 +144,7 @@ DynamicRunResult run_phased_static_worstcase(Campaign& campaign,
                          *p.workload, campaign.pvt(),
                          campaign.test_run(*p.workload),
                          campaign.cluster().seed().fork("static-worst"));
-    BudgetResult solved = solve_budget(pmt, budget_w);
+    BudgetResult solved = solve_budget(pmt, util::Watts{budget_w});
     if (!binding || solved.alpha < binding->alpha) binding = solved;
   }
   DynamicRunResult out;
@@ -155,7 +155,7 @@ DynamicRunResult run_phased_static_worstcase(Campaign& campaign,
     RunMetrics m =
         runner.run_budgeted(*p.workload, enforcement_of(scheme), *binding,
                             "static-worst-" + app.name, budget_w);
-    accumulate(out, m, binding->alpha, binding->target_freq_ghz);
+    accumulate(out, m, binding->alpha, binding->target_freq_ghz.value());
   }
   return out;
 }

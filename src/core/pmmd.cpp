@@ -17,12 +17,12 @@ PmmdSession::PmmdSession(const PmmdPlan& plan, std::vector<hw::Rapl>& rapls,
       if (!s.cpu_cap_w) {
         throw InvalidArgument("PmmdSession: power-cap plan missing cap");
       }
-      rapls[i].set_cpu_limit_w(*s.cpu_cap_w);
+      rapls[i].set_cpu_limit(*s.cpu_cap_w);
     } else {
       if (!s.freq_ghz) {
         throw InvalidArgument("PmmdSession: freq-select plan missing freq");
       }
-      governors[i].set_frequency_ghz(*s.freq_ghz);
+      governors[i].set_frequency(*s.freq_ghz);
     }
   }
 }

@@ -14,14 +14,17 @@
 #include "core/schemes.hpp"
 #include "hw/cpufreq.hpp"
 #include "hw/rapl.hpp"
+#include "util/units.hpp"
 
 namespace vapb::core {
 
 /// One module's power-management setting.
 struct PmmdSetting {
   hw::ModuleId module = 0;
-  std::optional<double> cpu_cap_w;    ///< set for power-capping schemes
-  std::optional<double> freq_ghz;     ///< set for frequency-selection schemes
+  /// Set for power-capping schemes.
+  std::optional<util::Watts> cpu_cap_w;
+  /// Set for frequency-selection schemes.
+  std::optional<util::GigaHertz> freq_ghz;
 };
 
 struct PmmdPlan {

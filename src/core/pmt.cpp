@@ -1,17 +1,19 @@
 #include "core/pmt.hpp"
 
 #include <cmath>
+#include <utility>
 
-#include "hw/sensor.hpp"
+#include "hw/ladder.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace vapb::core {
 
-Pmt::Pmt(std::vector<PmtEntry> entries, double fmax_ghz, double fmin_ghz)
+Pmt::Pmt(std::vector<PmtEntry> entries, util::GigaHertz fmax_ghz,
+         util::GigaHertz fmin_ghz)
     : entries_(std::move(entries)), fmax_(fmax_ghz), fmin_(fmin_ghz) {
   VAPB_REQUIRE_MSG(!entries_.empty(), "PMT needs at least one entry");
-  if (!(fmin_ > 0.0) || !(fmax_ >= fmin_)) {
+  if (!(fmin_ > util::GigaHertz{0.0}) || !(fmax_ >= fmin_)) {
     throw ConfigError("Pmt: need 0 < fmin <= fmax");
   }
 }
@@ -23,14 +25,14 @@ const PmtEntry& Pmt::entry(std::size_t k) const {
   return entries_[k];
 }
 
-double Pmt::total_min_w() const {
-  double s = 0.0;
+util::Watts Pmt::total_min_w() const {
+  util::Watts s{};
   for (const auto& e : entries_) s += e.module_min_w();
   return s;
 }
 
-double Pmt::total_max_w() const {
-  double s = 0.0;
+util::Watts Pmt::total_max_w() const {
+  util::Watts s{};
   for (const auto& e : entries_) s += e.module_max_w();
   return s;
 }
@@ -43,11 +45,12 @@ Pmt calibrate_pmt(const Pvt& pvt, const TestRunResult& test,
   VAPB_REQUIRE_MSG(k.cpu_max > 0 && k.dram_max > 0 && k.cpu_min > 0 &&
                        k.dram_min > 0,
                    "test module has non-positive PVT scales");
-  // Fleet-average estimates from the single test module (Figure 6).
-  const double avg_cpu_max = test.cpu_max_w / k.cpu_max;
-  const double avg_dram_max = test.dram_max_w / k.dram_max;
-  const double avg_cpu_min = test.cpu_min_w / k.cpu_min;
-  const double avg_dram_min = test.dram_min_w / k.dram_min;
+  // Fleet-average estimates from the single test module (Figure 6). The PVT
+  // scales are dimensionless, so the estimates stay in watts.
+  const util::Watts avg_cpu_max = test.cpu_max_w / k.cpu_max;
+  const util::Watts avg_dram_max = test.dram_max_w / k.dram_max;
+  const util::Watts avg_cpu_min = test.cpu_min_w / k.cpu_min;
+  const util::Watts avg_dram_min = test.dram_min_w / k.dram_min;
 
   std::vector<PmtEntry> entries;
   entries.reserve(allocation.size());
@@ -58,7 +61,7 @@ Pmt calibrate_pmt(const Pvt& pvt, const TestRunResult& test,
                                avg_cpu_min * s.cpu_min,
                                avg_dram_min * s.dram_min});
   }
-  return Pmt(std::move(entries), ladder.fmax(), ladder.fmin());
+  return Pmt(std::move(entries), ladder.fmax_freq(), ladder.fmin_freq());
 }
 
 Pmt oracle_pmt(const cluster::Cluster& cluster,
@@ -72,13 +75,14 @@ Pmt oracle_pmt(const cluster::Cluster& cluster,
                                              seed.fork("oracle", i));
     entries[i] = PmtEntry{r.cpu_max_w, r.dram_max_w, r.cpu_min_w, r.dram_min_w};
   });
-  return Pmt(std::move(entries), ladder.fmax(), ladder.fmin());
+  return Pmt(std::move(entries), ladder.fmax_freq(), ladder.fmin_freq());
 }
 
 Pmt constant_pmt(PmtEntry entry, std::size_t n,
                  const hw::FrequencyLadder& ladder) {
   if (n == 0) throw InvalidArgument("constant_pmt: n == 0");
-  return Pmt(std::vector<PmtEntry>(n, entry), ladder.fmax(), ladder.fmin());
+  return Pmt(std::vector<PmtEntry>(n, entry), ladder.fmax_freq(),
+             ladder.fmin_freq());
 }
 
 Pmt averaged_pmt(const Pmt& pmt) {
@@ -104,9 +108,9 @@ double pmt_prediction_error(const Pmt& predicted, const Pmt& truth) {
   }
   double sum = 0.0;
   for (std::size_t i = 0; i < truth.size(); ++i) {
-    double t = truth.entry(i).module_max_w();
-    VAPB_REQUIRE_MSG(t > 0.0, "oracle PMT has non-positive power");
-    sum += std::abs(predicted.entry(i).module_max_w() - t) / t;
+    const util::Watts t = truth.entry(i).module_max_w();
+    VAPB_REQUIRE_MSG(t > util::Watts{0.0}, "oracle PMT has non-positive power");
+    sum += std::abs((predicted.entry(i).module_max_w() - t) / t);
   }
   return sum / static_cast<double>(truth.size());
 }

@@ -8,35 +8,44 @@
 //                     (VaPcOr/VaFsOr);
 //  * constant_pmt   — the same entry for every module (Naive's TDP-based
 //                     table, and Pc's fleet-average table).
+//
+// All powers are util::Watts and all frequencies util::GigaHertz; the
+// interpolation coefficient alpha is dimensionless.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "core/pvt.hpp"
 #include "core/test_run.hpp"
+#include "util/units.hpp"
 #include "workloads/workload.hpp"
 
 namespace vapb::core {
 
 struct PmtEntry {
-  double cpu_max_w = 0.0;
-  double dram_max_w = 0.0;
-  double cpu_min_w = 0.0;
-  double dram_min_w = 0.0;
+  util::Watts cpu_max_w{};
+  util::Watts dram_max_w{};
+  util::Watts cpu_min_w{};
+  util::Watts dram_min_w{};
 
-  [[nodiscard]] double module_max_w() const { return cpu_max_w + dram_max_w; }
-  [[nodiscard]] double module_min_w() const { return cpu_min_w + dram_min_w; }
+  [[nodiscard]] util::Watts module_max_w() const {
+    return cpu_max_w + dram_max_w;
+  }
+  [[nodiscard]] util::Watts module_min_w() const {
+    return cpu_min_w + dram_min_w;
+  }
 
   /// Interpolated predictions at coefficient alpha (paper Eq. 2-4).
-  [[nodiscard]] double cpu_at(double alpha) const {
+  [[nodiscard]] util::Watts cpu_at(double alpha) const {
     return alpha * (cpu_max_w - cpu_min_w) + cpu_min_w;
   }
-  [[nodiscard]] double dram_at(double alpha) const {
+  [[nodiscard]] util::Watts dram_at(double alpha) const {
     return alpha * (dram_max_w - dram_min_w) + dram_min_w;
   }
-  [[nodiscard]] double module_at(double alpha) const {
+  [[nodiscard]] util::Watts module_at(double alpha) const {
     return cpu_at(alpha) + dram_at(alpha);
   }
 };
@@ -45,28 +54,29 @@ struct PmtEntry {
 /// allocation order: entry k describes allocation[k].
 class Pmt {
  public:
-  Pmt(std::vector<PmtEntry> entries, double fmax_ghz, double fmin_ghz);
+  Pmt(std::vector<PmtEntry> entries, util::GigaHertz fmax_ghz,
+      util::GigaHertz fmin_ghz);
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] const PmtEntry& entry(std::size_t k) const;
   [[nodiscard]] const std::vector<PmtEntry>& entries() const {
     return entries_;
   }
-  [[nodiscard]] double fmax_ghz() const { return fmax_; }
-  [[nodiscard]] double fmin_ghz() const { return fmin_; }
+  [[nodiscard]] util::GigaHertz fmax_ghz() const { return fmax_; }
+  [[nodiscard]] util::GigaHertz fmin_ghz() const { return fmin_; }
 
   /// Frequency realized by coefficient alpha (paper Eq. 1).
-  [[nodiscard]] double freq_at(double alpha) const {
+  [[nodiscard]] util::GigaHertz freq_at(double alpha) const {
     return alpha * (fmax_ - fmin_) + fmin_;
   }
 
   /// Sums of module_min / module_max across entries.
-  [[nodiscard]] double total_min_w() const;
-  [[nodiscard]] double total_max_w() const;
+  [[nodiscard]] util::Watts total_min_w() const;
+  [[nodiscard]] util::Watts total_max_w() const;
 
  private:
   std::vector<PmtEntry> entries_;
-  double fmax_, fmin_;
+  util::GigaHertz fmax_, fmin_;
 };
 
 /// The paper's calibration (Figure 6): divide the test-run measurements by

@@ -67,8 +67,8 @@ ScheduleResult ResourceManager::schedule(
     TestRunResult test = single_module_test_run(
         cluster_, alloc->front(), *req.app, seed.fork("rm-test", pending.size()));
     Pmt pmt = calibrate_pmt(pvt_, test, *alloc, cluster_.spec().ladder);
-    double floor = pmt.total_min_w();
-    double demand = pmt.total_max_w();
+    double floor = pmt.total_min_w().value();
+    double demand = pmt.total_max_w().value();
     pending.push_back(Pending{req, std::move(*alloc), std::move(pmt), floor,
                               demand});
   }
@@ -158,7 +158,8 @@ ScheduleResult ResourceManager::schedule(
   for (std::size_t k = 0; k < admitted.size(); ++k) {
     Pending& p = admitted[k];
     JobGrant grant{std::move(p.req), std::move(p.alloc), budgets[k],
-                   solve_budget(p.pmt, budgets[k]), std::move(p.pmt)};
+                   solve_budget(p.pmt, util::Watts{budgets[k]}),
+                   std::move(p.pmt)};
     result.power_committed_w += grant.budget_w;
     result.granted.push_back(std::move(grant));
   }

@@ -95,7 +95,7 @@ RunMetrics Runner::run_scheme(const workloads::Workload& w, SchemeKind scheme,
                               const TestRunResult& test) const {
   util::SeedSequence seed = scheme_seed(cluster_, w, scheme);
   Pmt pmt = scheme_pmt(scheme, cluster_, allocation_, w, pvt, test, seed);
-  BudgetResult budget = solve_budget(pmt, budget_w);
+  BudgetResult budget = solve_budget(pmt, util::Watts{budget_w});
   return run_budgeted(w, enforcement_of(scheme), budget, scheme_name(scheme),
                       budget_w);
 }
@@ -151,12 +151,12 @@ RunMetrics Runner::run_budgeted(const workloads::Workload& w,
       w, ops, /*rapl_jitter=*/enforcement == Enforcement::kPowerCap, label);
   m.budget_w = budget_w;
   m.alpha = budget.alpha;
-  m.target_freq_ghz = budget.target_freq_ghz;
+  m.target_freq_ghz = budget.target_freq_ghz.value();
   m.constrained = budget.constrained;
   for (std::size_t i = 0; i < allocation_.size(); ++i) {
-    m.modules[i].alloc_module_w = budget.allocations[i].module_w;
+    m.modules[i].alloc_module_w = budget.allocations[i].module_w.value();
     if (enforcement == Enforcement::kPowerCap) {
-      m.modules[i].cpu_cap_w = budget.allocations[i].cpu_cap_w;
+      m.modules[i].cpu_cap_w = budget.allocations[i].cpu_cap_w.value();
     }
   }
   return m;

@@ -16,6 +16,7 @@
 
 #include "core/pmt.hpp"
 #include "core/pvt.hpp"
+#include "util/units.hpp"
 
 namespace vapb::core {
 
@@ -37,10 +38,10 @@ std::vector<SchemeKind> all_schemes();
 /// Naive's TDP-based table values (HA8K: 130 W CPU / 62 W DRAM TDP; the
 /// empirical minima the paper reports are 40 W CPU / 10 W DRAM).
 struct NaiveTable {
-  double tdp_cpu_w = 130.0;
-  double tdp_dram_w = 62.0;
-  double min_cpu_w = 40.0;
-  double min_dram_w = 10.0;
+  util::Watts tdp_cpu_w{130.0};
+  util::Watts tdp_dram_w{62.0};
+  util::Watts min_cpu_w{40.0};
+  util::Watts min_dram_w{10.0};
 };
 
 /// Builds the PMT a scheme would use for `app` on `allocation`.

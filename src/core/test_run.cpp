@@ -17,16 +17,16 @@ TestRunResult single_module_test_run(const cluster::Cluster& cluster,
 
   TestRunResult r;
   r.module = module;
-  r.fmax_ghz = fmax;
-  r.fmin_ghz = fmin;
-  r.cpu_max_w =
-      sensor.measure_avg_w(m.cpu_power_w(app.profile, fmax), measure_seconds);
-  r.dram_max_w =
-      sensor.measure_avg_w(m.dram_power_w(app.profile, fmax), measure_seconds);
-  r.cpu_min_w =
-      sensor.measure_avg_w(m.cpu_power_w(app.profile, fmin), measure_seconds);
-  r.dram_min_w =
-      sensor.measure_avg_w(m.dram_power_w(app.profile, fmin), measure_seconds);
+  r.fmax_ghz = util::GigaHertz{fmax};
+  r.fmin_ghz = util::GigaHertz{fmin};
+  r.cpu_max_w = util::Watts{
+      sensor.measure_avg_w(m.cpu_power_w(app.profile, fmax), measure_seconds)};
+  r.dram_max_w = util::Watts{
+      sensor.measure_avg_w(m.dram_power_w(app.profile, fmax), measure_seconds)};
+  r.cpu_min_w = util::Watts{
+      sensor.measure_avg_w(m.cpu_power_w(app.profile, fmin), measure_seconds)};
+  r.dram_min_w = util::Watts{
+      sensor.measure_avg_w(m.dram_power_w(app.profile, fmin), measure_seconds)};
   return r;
 }
 

@@ -5,18 +5,19 @@
 #pragma once
 
 #include "cluster/cluster.hpp"
+#include "util/units.hpp"
 #include "workloads/workload.hpp"
 
 namespace vapb::core {
 
 struct TestRunResult {
   hw::ModuleId module = 0;  ///< which module the test ran on
-  double fmax_ghz = 0.0;
-  double fmin_ghz = 0.0;
-  double cpu_max_w = 0.0;   ///< measured CPU power at fmax
-  double dram_max_w = 0.0;
-  double cpu_min_w = 0.0;   ///< measured CPU power at fmin
-  double dram_min_w = 0.0;
+  util::GigaHertz fmax_ghz{};
+  util::GigaHertz fmin_ghz{};
+  util::Watts cpu_max_w{};   ///< measured CPU power at fmax
+  util::Watts dram_max_w{};
+  util::Watts cpu_min_w{};   ///< measured CPU power at fmin
+  util::Watts dram_min_w{};
 };
 
 /// Runs the application on `module` at the ladder's fmax and fmin, measuring

@@ -4,11 +4,11 @@
 
 namespace vapb::hw {
 
-void CpufreqGovernor::set_frequency_ghz(double f_ghz) {
-  if (f_ghz <= 0.0) {
+void CpufreqGovernor::set_frequency(util::GigaHertz f) {
+  if (f <= util::GigaHertz{0.0}) {
     throw InvalidArgument("CpufreqGovernor: frequency must be positive");
   }
-  set_freq_ = module_.ladder().quantize_down(f_ghz);
+  set_freq_ = util::GigaHertz{module_.ladder().quantize_down(f.value())};
 }
 
 void CpufreqGovernor::clear() { set_freq_.reset(); }
@@ -16,7 +16,7 @@ void CpufreqGovernor::clear() { set_freq_.reset(); }
 OperatingPoint CpufreqGovernor::operating_point(
     const PowerProfile& profile) const {
   OperatingPoint op;
-  op.freq_ghz = set_freq_ ? *set_freq_ : module_.ladder().fmax();
+  op.freq_ghz = set_freq_ ? set_freq_->value() : module_.ladder().fmax();
   op.perf_freq_ghz = op.freq_ghz;
   op.cpu_w = module_.cpu_power_w(profile, op.freq_ghz);
   op.dram_w = module_.dram_power_w(profile, op.freq_ghz);

@@ -11,6 +11,7 @@
 #include "hw/module.hpp"
 #include "hw/power_profile.hpp"
 #include "hw/rapl.hpp"
+#include "util/units.hpp"
 
 namespace vapb::hw {
 
@@ -21,13 +22,15 @@ class CpufreqGovernor {
   /// Requests a target frequency; the governor snaps it down to the nearest
   /// selectable P-state (cpufrequtils semantics). Throws InvalidArgument for
   /// non-positive targets.
-  void set_frequency_ghz(double f_ghz);
+  void set_frequency(util::GigaHertz f);
 
   /// Reverts to the ondemand-style default (highest frequency).
   void clear();
 
   /// The P-state currently programmed, if any.
-  [[nodiscard]] std::optional<double> frequency_ghz() const { return set_freq_; }
+  [[nodiscard]] std::optional<util::GigaHertz> frequency_ghz() const {
+    return set_freq_;
+  }
 
   /// Operating point under FS: the programmed frequency (or fmax), with power
   /// as the uncapped consequence. Never throttles.
@@ -35,7 +38,7 @@ class CpufreqGovernor {
 
  private:
   const Module& module_;
-  std::optional<double> set_freq_;
+  std::optional<util::GigaHertz> set_freq_;
 };
 
 }  // namespace vapb::hw

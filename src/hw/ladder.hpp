@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/units.hpp"
+
 namespace vapb::hw {
 
 /// The set of frequencies a processor can be asked to run at. Frequencies are
@@ -19,6 +21,14 @@ class FrequencyLadder {
 
   [[nodiscard]] double fmin() const { return fmin_; }
   [[nodiscard]] double fmax() const { return fmax_; }
+
+  /// Typed views of the endpoints for the budgeting layer (util/units.hpp).
+  [[nodiscard]] util::GigaHertz fmin_freq() const {
+    return util::GigaHertz{fmin_};
+  }
+  [[nodiscard]] util::GigaHertz fmax_freq() const {
+    return util::GigaHertz{fmax_};
+  }
   [[nodiscard]] double step() const { return step_; }
   [[nodiscard]] bool has_turbo() const { return turbo_ > 0.0; }
   /// Turbo frequency; equals fmax when the part has no turbo.

@@ -104,7 +104,7 @@ void MsrFile::write(std::uint32_t address, std::uint64_t value) {
       pkg_limit_raw_ = value;
       PowerLimit limit = decode_power_limit(value, units_);
       if (limit.enabled && limit.power_w > 0.0) {
-        rapl_.set_cpu_limit_w(limit.power_w);
+        rapl_.set_cpu_limit(util::Watts{limit.power_w});
       } else {
         rapl_.clear_cpu_limit();
       }
@@ -121,9 +121,9 @@ void MsrFile::write(std::uint32_t address, std::uint64_t value) {
   }
 }
 
-void set_pkg_power_limit(MsrFile& file, double watts, double window_s) {
+void set_pkg_power_limit(MsrFile& file, double power_w, double window_s) {
   PowerLimit limit;
-  limit.power_w = watts;
+  limit.power_w = power_w;
   limit.window_s = window_s;
   limit.enabled = true;
   limit.clamp = true;

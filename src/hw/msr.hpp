@@ -99,7 +99,7 @@ class MsrFile {
 };
 
 /// libMSR-style convenience wrappers over the register file.
-void set_pkg_power_limit(MsrFile& file, double watts, double window_s);
+void set_pkg_power_limit(MsrFile& file, double power_w, double window_s);
 void clear_pkg_power_limit(MsrFile& file);
 [[nodiscard]] double read_pkg_energy_j(const MsrFile& file);
 [[nodiscard]] double read_dram_energy_j(const MsrFile& file);

@@ -18,9 +18,11 @@ Rapl::Rapl(const Module& module, RaplConfig config)
   }
 }
 
-void Rapl::set_cpu_limit_w(double watts) {
-  if (watts <= 0.0) throw InvalidArgument("Rapl: cap must be positive");
-  cpu_limit_ = watts;
+void Rapl::set_cpu_limit(util::Watts cap) {
+  if (cap <= util::Watts{0.0}) {
+    throw InvalidArgument("Rapl: cap must be positive");
+  }
+  cpu_limit_ = cap;
 }
 
 void Rapl::clear_cpu_limit() { cpu_limit_.reset(); }
@@ -39,7 +41,7 @@ OperatingPoint Rapl::operating_point(const PowerProfile& profile,
     op.freq_ghz = std::clamp(f_at_tdp, fmin, fceil);
     op.perf_freq_ghz = op.freq_ghz;
   } else {
-    const double cap = *cpu_limit_;
+    const double cap = cpu_limit_->value();
     const double p_at_fmin = module_.cpu_power_w(profile, fmin);
     if (cap < p_at_fmin) {
       // Duty-cycle regime: even the lowest P-state exceeds the cap.
@@ -64,7 +66,7 @@ OperatingPoint Rapl::operating_point(const PowerProfile& profile,
   // Sustained powers. In the duty-cycle regime the CPU averages exactly the
   // cap; DRAM activity scales with duty (its static floor remains).
   if (op.throttled) {
-    op.cpu_w = *cpu_limit_;
+    op.cpu_w = cpu_limit_->value();
     op.dram_w = module_.eff_dram_scale(profile) *
                 (profile.dram_static_w +
                  profile.dram_dyn_w_per_ghz * op.freq_ghz * op.duty);
@@ -75,15 +77,15 @@ OperatingPoint Rapl::operating_point(const PowerProfile& profile,
   return op;
 }
 
-void Rapl::advance(const OperatingPoint& op, double seconds) {
-  if (seconds < 0.0) throw InvalidArgument("Rapl: negative duration");
-  pkg_energy_j_ += op.cpu_w * seconds;
-  dram_energy_j_ += op.dram_w * seconds;
+void Rapl::advance(const OperatingPoint& op, double dt_s) {
+  if (dt_s < 0.0) throw InvalidArgument("Rapl: negative duration");
+  pkg_energy_j_ += op.cpu_w * dt_s;
+  dram_energy_j_ += op.dram_w * dt_s;
 }
 
 namespace {
-std::uint32_t wrap_counter(double joules, double unit) {
-  double units = joules / unit;
+std::uint32_t wrap_counter(double energy_j, double unit) {
+  double units = energy_j / unit;
   return static_cast<std::uint32_t>(
       static_cast<std::uint64_t>(units) & 0xffffffffULL);
 }

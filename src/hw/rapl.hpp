@@ -14,6 +14,7 @@
 
 #include "hw/module.hpp"
 #include "hw/power_profile.hpp"
+#include "util/units.hpp"
 
 namespace vapb::hw {
 
@@ -76,14 +77,16 @@ class Rapl {
  public:
   Rapl(const Module& module, RaplConfig config = {});
 
-  /// Programs the PKG power limit [W]. Throws InvalidArgument for
+  /// Programs the PKG power limit. Throws InvalidArgument for
   /// non-positive caps.
-  void set_cpu_limit_w(double watts);
+  void set_cpu_limit(util::Watts cap);
 
   /// Clears the PKG power limit (power constrained only by TDP logic).
   void clear_cpu_limit();
 
-  [[nodiscard]] std::optional<double> cpu_limit_w() const { return cpu_limit_; }
+  [[nodiscard]] std::optional<util::Watts> cpu_limit_w() const {
+    return cpu_limit_;
+  }
   [[nodiscard]] const RaplConfig& config() const { return config_; }
 
   /// Resolves the sustained operating point for `profile`:
@@ -95,8 +98,8 @@ class Rapl {
   [[nodiscard]] OperatingPoint operating_point(const PowerProfile& profile,
                                                bool turbo_enabled = false) const;
 
-  /// Integrates `op` for `seconds` into the PKG/DRAM energy counters.
-  void advance(const OperatingPoint& op, double seconds);
+  /// Integrates `op` for `dt_s` seconds into the PKG/DRAM energy counters.
+  void advance(const OperatingPoint& op, double dt_s);
 
   /// Raw 32-bit wrapping counters in RAPL energy units, as the MSR exposes.
   [[nodiscard]] std::uint32_t pkg_energy_raw() const;
@@ -109,7 +112,7 @@ class Rapl {
  private:
   const Module& module_;
   RaplConfig config_;
-  std::optional<double> cpu_limit_;
+  std::optional<util::Watts> cpu_limit_;
   double pkg_energy_j_ = 0.0;
   double dram_energy_j_ = 0.0;
 };

@@ -47,6 +47,7 @@ ModuleVariation draw_variation(const VariationDistribution& dist,
   if (dist.freq_sd > 0.0) {
     // Couple frequency capability to the module's CPU power deviation with
     // the configured correlation (negative on Teller).
+    // vapb-lint: allow(unit-suffix): standardized (z-score) power deviation
     double power_dev = (v.cpu_dyn - 1.0) / std::max(dist.cpu_dyn_sd, 1e-12);
     double rho = dist.freq_power_corr;
     double z = rho * power_dev +

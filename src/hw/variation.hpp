@@ -27,6 +27,7 @@ struct ModuleVariation {
   /// Scale on the achievable maximum frequency. 1.0 on architectures with
   /// strict frequency binning (Intel, IBM); spread on Teller, where the paper
   /// observed 17% performance variation.
+  // vapb-lint: allow(unit-suffix): dimensionless scale on fmax, not a frequency
   double freq = 1.0;
 };
 
@@ -39,7 +40,9 @@ struct VariationDistribution {
   double cpu_static_lo = 1.0, cpu_static_hi = 1.0;
   double dram_sd = 0.0;
   double dram_lo = 1.0, dram_hi = 1.0;
+  // vapb-lint: allow(unit-suffix): sd/bounds of a dimensionless scale factor
   double freq_sd = 0.0;
+  // vapb-lint: allow(unit-suffix): sd/bounds of a dimensionless scale factor
   double freq_lo = 1.0, freq_hi = 1.0;
 
   /// Correlation between the dynamic and static CPU scales (the same die has
@@ -51,6 +54,7 @@ struct VariationDistribution {
   /// performed *better* (Section 4.1; they describe it as a negative
   /// slowdown-vs-power correlation), presumably a different binning strategy.
   /// Applied only when freq_sd > 0.
+  // vapb-lint: allow(unit-suffix): correlation coefficient, dimensionless
   double freq_power_corr = 0.0;
 };
 

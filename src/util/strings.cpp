@@ -16,6 +16,11 @@ std::string fmt_watts(double w) { return fmt_double(w, 1) + " W"; }
 std::string fmt_ghz(double ghz) { return fmt_double(ghz, 2) + " GHz"; }
 std::string fmt_seconds(double s) { return fmt_double(s, 3) + " s"; }
 
+std::string fmt_watts(Watts w) { return fmt_watts(w.value()); }
+std::string fmt_ghz(GigaHertz f) { return fmt_ghz(f.value()); }
+std::string fmt_seconds(Seconds s) { return fmt_seconds(s.value()); }
+std::string fmt_joules(Joules e) { return fmt_double(e.value(), 1) + " J"; }
+
 std::vector<std::string> split(std::string_view s, char delim) {
   std::vector<std::string> out;
   std::size_t start = 0;

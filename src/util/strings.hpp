@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/units.hpp"
+
 namespace vapb::util {
 
 /// printf-style double formatting with fixed precision.
@@ -14,6 +16,12 @@ std::string fmt_double(double v, int precision = 3);
 std::string fmt_watts(double w);
 std::string fmt_ghz(double ghz);
 std::string fmt_seconds(double s);
+
+/// Typed-quantity overloads (see util/units.hpp).
+std::string fmt_watts(Watts w);
+std::string fmt_ghz(GigaHertz f);
+std::string fmt_seconds(Seconds s);
+std::string fmt_joules(Joules e);
 
 /// Splits on a delimiter; keeps empty fields.
 std::vector<std::string> split(std::string_view s, char delim);

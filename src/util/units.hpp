@@ -1,0 +1,145 @@
+// Strong physical-unit types for the quantities the budgeting pipeline
+// trades in: power (Watts), frequency (GigaHertz), energy (Joules) and
+// time (Seconds).
+//
+// Every quantity is a `double` wrapped in a tag type that only admits
+// dimension-legal arithmetic:
+//   * same-unit addition/subtraction and comparisons;
+//   * scaling by a dimensionless double;
+//   * same-unit division, which yields a dimensionless double;
+//   * the physical cross products Watts * Seconds = Joules,
+//     Joules / Seconds = Watts and Joules / Watts = Seconds.
+// Anything else — most importantly watts-plus-gigahertz or
+// watts-times-gigahertz — fails to compile (see
+// tests/compile_fail/units_mix.cpp).
+//
+// Construction from a raw double is explicit (`Watts{70.0}` or the `_W`
+// literal), and extraction back is explicit (`.value()`), so a unit enters
+// and leaves the typed world only at visible, greppable points.
+#pragma once
+
+namespace vapb::util {
+
+/// A dimensioned scalar; `Tag` carries the unit. See the unit aliases below.
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  /// The raw magnitude in this unit (explicit exit from the typed world).
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+
+  [[nodiscard]] friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.v_ + b.v_};
+  }
+  [[nodiscard]] friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.v_ - b.v_};
+  }
+  [[nodiscard]] friend constexpr Quantity operator-(Quantity a) {
+    return Quantity{-a.v_};
+  }
+  [[nodiscard]] friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity{a.v_ * s};
+  }
+  [[nodiscard]] friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity{s * a.v_};
+  }
+  [[nodiscard]] friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity{a.v_ / s};
+  }
+  /// Ratio of two same-unit quantities is dimensionless.
+  [[nodiscard]] friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.v_ / b.v_;
+  }
+
+  friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+struct WattsTag {};
+struct GigaHertzTag {};
+struct JoulesTag {};
+struct SecondsTag {};
+
+using Watts = Quantity<WattsTag>;
+using GigaHertz = Quantity<GigaHertzTag>;
+using Joules = Quantity<JoulesTag>;
+using Seconds = Quantity<SecondsTag>;
+
+// The dimension-legal cross products.
+[[nodiscard]] constexpr Joules operator*(Watts p, Seconds t) {
+  return Joules{p.value() * t.value()};
+}
+[[nodiscard]] constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+[[nodiscard]] constexpr Watts operator/(Joules e, Seconds t) {
+  return Watts{e.value() / t.value()};
+}
+[[nodiscard]] constexpr Seconds operator/(Joules e, Watts p) {
+  return Seconds{e.value() / p.value()};
+}
+
+template <class Tag>
+[[nodiscard]] constexpr Quantity<Tag> abs(Quantity<Tag> q) {
+  return q.value() < 0.0 ? -q : q;
+}
+
+template <class Tag>
+[[nodiscard]] constexpr Quantity<Tag> min(Quantity<Tag> a, Quantity<Tag> b) {
+  return b < a ? b : a;
+}
+
+template <class Tag>
+[[nodiscard]] constexpr Quantity<Tag> max(Quantity<Tag> a, Quantity<Tag> b) {
+  return a < b ? b : a;
+}
+
+inline namespace unit_literals {
+
+[[nodiscard]] constexpr Watts operator""_W(long double v) {
+  return Watts{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Watts operator""_W(unsigned long long v) {
+  return Watts{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr GigaHertz operator""_GHz(long double v) {
+  return GigaHertz{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr GigaHertz operator""_GHz(unsigned long long v) {
+  return GigaHertz{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Joules operator""_J(long double v) {
+  return Joules{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Joules operator""_J(unsigned long long v) {
+  return Joules{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Seconds operator""_sec(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr Seconds operator""_sec(unsigned long long v) {
+  return Seconds{static_cast<double>(v)};
+}
+
+}  // namespace unit_literals
+
+}  // namespace vapb::util

@@ -1,0 +1,11 @@
+// Negative compile test: dimensionally illegal unit arithmetic must be
+// rejected. The CMake test driving this TU builds it with WILL_FAIL, so a
+// successful compile is a test failure.
+#include "util/units.hpp"
+
+int main() {
+  const vapb::util::Watts power{70.0};
+  const vapb::util::GigaHertz freq{2.7};
+  auto nonsense = power * freq;  // no such operator: watts x frequency
+  return static_cast<int>(nonsense.value());
+}

@@ -1,0 +1,7 @@
+// Fixture: wall clocks must be rejected outside the allowlist.
+#include <chrono>
+
+double now_s() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,9 @@
+// Fixture: ambient randomness must be rejected outside the allowlist.
+#include <cstdlib>
+#include <random>
+
+int noisy_draw() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<int>(gen()) + std::rand();
+}

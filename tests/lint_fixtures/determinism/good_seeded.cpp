@@ -1,0 +1,10 @@
+// Fixture: seeded project RNG use is fine; so is the word "random" in
+// comments or strings ("std::mt19937 is banned" must not trip the lexer).
+#include "util/rng.hpp"
+
+const char* kNote = "std::mt19937 and std::rand() are banned here";
+
+double draw(vapb::util::SeedSequence seed) {
+  vapb::util::SplitMix rng(seed.value());
+  return rng.uniform();
+}

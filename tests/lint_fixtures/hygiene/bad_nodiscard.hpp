@@ -1,0 +1,10 @@
+#pragma once
+
+// Fixture: a pure one-expression accessor without [[nodiscard]].
+class Gauge {
+ public:
+  double reading() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};

@@ -1,0 +1,4 @@
+// Fixture: includes decls.hpp but uses nothing it declares.
+#include "decls.hpp"
+
+int unrelated() { return 42; }

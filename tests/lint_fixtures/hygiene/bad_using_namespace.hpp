@@ -1,0 +1,8 @@
+#pragma once
+
+// Fixture: using-directives in headers leak into every includer.
+#include <vector>
+
+using namespace std;
+
+inline vector<int> three() { return {1, 2, 3}; }

@@ -1,0 +1,8 @@
+#pragma once
+
+// Fixture helper: declares names for the unused-include cases.
+struct WidgetFixture {
+  int id = 0;
+};
+
+int widget_count();

@@ -1,0 +1,12 @@
+#pragma once
+
+// Fixture: annotated accessors, setters, and fluent mutators are all fine.
+class Gauge {
+ public:
+  [[nodiscard]] double reading() const { return value_; }
+  void set(double v) { value_ = v; }
+  Gauge& touch() { return *this; }
+
+ private:
+  double value_ = 0.0;
+};

@@ -1,0 +1,4 @@
+// Fixture: includes decls.hpp and references a declared name.
+#include "decls.hpp"
+
+int total() { return widget_count(); }

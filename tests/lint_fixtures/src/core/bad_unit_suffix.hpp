@@ -1,0 +1,9 @@
+#pragma once
+
+// Fixture: the path mimics src/core, where unsuffixed physical-quantity
+// doubles are banned.
+struct ModuleReading {
+  double power = 0.0;      // needs _w
+  double frequency = 0.0;  // needs _ghz
+  double energy = 0.0;     // needs _j
+};

@@ -1,0 +1,11 @@
+#pragma once
+
+// Fixture: suffixed doubles and non-physical names are fine in src/core.
+struct ModuleReading {
+  double power_w = 0.0;
+  double freq_ghz = 0.0;
+  double energy_j = 0.0;
+  double alpha = 0.0;               // not a physical quantity
+  double power_utilization = 0.0;   // dimensionless derivative
+  double cpu_dyn_w_per_ghz = 0.0;   // compound rate names its own unit
+};

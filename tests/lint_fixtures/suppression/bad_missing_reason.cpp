@@ -1,0 +1,9 @@
+// Fixture: a suppression without a reason is itself a violation, and does
+// not silence the underlying finding.
+#include <random>
+
+int draw() {
+  // vapb-lint: allow(determinism-random)
+  std::mt19937 gen(7);
+  return static_cast<int>(gen());
+}

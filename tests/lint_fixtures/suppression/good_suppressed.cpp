@@ -1,0 +1,8 @@
+// Fixture: a reasoned suppression silences exactly the named rule.
+#include <random>
+
+int draw() {
+  // vapb-lint: allow(determinism-random): fixture exercises the suppression path
+  std::mt19937 gen(7);
+  return static_cast<int>(gen());  // vapb-lint: allow(determinism-random): same engine, trailing form
+}

@@ -1,0 +1,12 @@
+// Fixture: arithmetic across unit suffixes must be flagged.
+struct Reading {
+  double cpu_w = 0.0;
+  double makespan_s = 0.0;
+  double freq_ghz = 0.0;
+};
+
+double nonsense(const Reading& r, double budget_w) {
+  double bad_sum = r.cpu_w + r.makespan_s;      // watts + seconds
+  bool bad_cmp = budget_w < r.freq_ghz;         // watts vs gigahertz
+  return bad_cmp ? bad_sum : r.cpu_w - r.freq_ghz;  // watts - gigahertz
+}

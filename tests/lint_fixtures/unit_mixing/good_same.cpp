@@ -1,0 +1,13 @@
+// Fixture: same-unit arithmetic and dimension-changing * and / are legal.
+struct Reading {
+  double cpu_w = 0.0;
+  double dram_w = 0.0;
+  double makespan_s = 0.0;
+};
+
+double fine(const Reading& r, double budget_w) {
+  double total_w = r.cpu_w + r.dram_w;      // watts + watts
+  double energy_j = total_w * r.makespan_s;  // multiplication changes dims
+  bool over = total_w > budget_w;            // watts vs watts
+  return over ? energy_j : total_w / budget_w;
+}

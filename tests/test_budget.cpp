@@ -7,22 +7,26 @@
 namespace vapb::core {
 namespace {
 
+using namespace util::unit_literals;
+using util::Watts;
+
 Pmt uniform_pmt(std::size_t n) {
   // 130 W module at fmax, 50 W at fmin.
-  return Pmt(std::vector<PmtEntry>(n, PmtEntry{110, 20, 40, 10}), 2.7, 1.2);
+  return Pmt(std::vector<PmtEntry>(n, PmtEntry{110_W, 20_W, 40_W, 10_W}),
+             2.7_GHz, 1.2_GHz);
 }
 
 Pmt varied_pmt() {
-  return Pmt({PmtEntry{100, 20, 40, 10},    // 120 / 50
-              PmtEntry{120, 30, 50, 12},    // 150 / 62
-              PmtEntry{90, 15, 35, 8}},     // 105 / 43
-             2.7, 1.2);
+  return Pmt({PmtEntry{100_W, 20_W, 40_W, 10_W},   // 120 / 50
+              PmtEntry{120_W, 30_W, 50_W, 12_W},   // 150 / 62
+              PmtEntry{90_W, 15_W, 35_W, 8_W}},    // 105 / 43
+             2.7_GHz, 1.2_GHz);
 }
 
 TEST(Budget, AlphaMatchesEquationSix) {
   Pmt pmt = varied_pmt();
   // total_min = 155, total_max = 375.
-  BudgetResult r = solve_budget(pmt, 265.0);
+  BudgetResult r = solve_budget(pmt, 265.0_W);
   EXPECT_NEAR(r.alpha, (265.0 - 155.0) / (375.0 - 155.0), 1e-12);
   EXPECT_TRUE(r.constrained);
   EXPECT_TRUE(r.fits_at_fmin);
@@ -30,23 +34,23 @@ TEST(Budget, AlphaMatchesEquationSix) {
 
 TEST(Budget, AllocationsSumToBudgetWhenBinding) {
   Pmt pmt = varied_pmt();
-  BudgetResult r = solve_budget(pmt, 265.0);
-  EXPECT_NEAR(r.predicted_total_w, 265.0, 1e-9);
+  BudgetResult r = solve_budget(pmt, 265.0_W);
+  EXPECT_NEAR(r.predicted_total_w.value(), 265.0, 1e-9);
 }
 
 TEST(Budget, FrequencyFollowsEquationOne) {
   Pmt pmt = uniform_pmt(4);
-  BudgetResult r = solve_budget(pmt, 4 * 90.0);
-  EXPECT_NEAR(r.target_freq_ghz, r.alpha * 1.5 + 1.2, 1e-12);
+  BudgetResult r = solve_budget(pmt, Watts{4 * 90.0});
+  EXPECT_NEAR(r.target_freq_ghz.value(), r.alpha * 1.5 + 1.2, 1e-12);
 }
 
 TEST(Budget, LooseBudgetClampsToAlphaOne) {
   Pmt pmt = uniform_pmt(4);
-  BudgetResult r = solve_budget(pmt, 10000.0);
+  BudgetResult r = solve_budget(pmt, 10000.0_W);
   EXPECT_DOUBLE_EQ(r.alpha, 1.0);
   EXPECT_FALSE(r.constrained);
-  EXPECT_DOUBLE_EQ(r.target_freq_ghz, 2.7);
-  EXPECT_NEAR(r.predicted_total_w, pmt.total_max_w(), 1e-9);
+  EXPECT_DOUBLE_EQ(r.target_freq_ghz.value(), 2.7);
+  EXPECT_NEAR(r.predicted_total_w.value(), pmt.total_max_w().value(), 1e-9);
 }
 
 TEST(Budget, ExactFmaxBudgetIsUnconstrained) {
@@ -61,31 +65,31 @@ TEST(Budget, ExactFminBudgetGivesAlphaZero) {
   BudgetResult r = solve_budget(pmt, pmt.total_min_w());
   EXPECT_DOUBLE_EQ(r.alpha, 0.0);
   EXPECT_TRUE(r.fits_at_fmin);
-  EXPECT_DOUBLE_EQ(r.target_freq_ghz, 1.2);
+  EXPECT_DOUBLE_EQ(r.target_freq_ghz.value(), 1.2);
 }
 
 TEST(Budget, BelowFminScalesProportionally) {
   Pmt pmt = uniform_pmt(2);  // min 100 total
-  BudgetResult r = solve_budget(pmt, 80.0);
+  BudgetResult r = solve_budget(pmt, 80.0_W);
   EXPECT_FALSE(r.fits_at_fmin);
   EXPECT_DOUBLE_EQ(r.alpha, 0.0);
-  EXPECT_NEAR(r.predicted_total_w, 80.0, 1e-9);
+  EXPECT_NEAR(r.predicted_total_w.value(), 80.0, 1e-9);
   for (const auto& a : r.allocations) {
-    EXPECT_NEAR(a.module_w, 40.0, 1e-9);  // 50 * 0.8
-    EXPECT_NEAR(a.dram_w, 8.0, 1e-9);     // 10 * 0.8
-    EXPECT_NEAR(a.cpu_cap_w, 32.0, 1e-9);
+    EXPECT_NEAR(a.module_w.value(), 40.0, 1e-9);  // 50 * 0.8
+    EXPECT_NEAR(a.dram_w.value(), 8.0, 1e-9);     // 10 * 0.8
+    EXPECT_NEAR(a.cpu_cap_w.value(), 32.0, 1e-9);
   }
 }
 
 TEST(Budget, StrictThrowsBelowFmin) {
   Pmt pmt = uniform_pmt(2);
-  EXPECT_THROW(solve_budget_strict(pmt, 80.0), InfeasibleBudget);
-  EXPECT_NO_THROW(solve_budget_strict(pmt, 150.0));
+  EXPECT_THROW(solve_budget_strict(pmt, 80.0_W), InfeasibleBudget);
+  EXPECT_NO_THROW(solve_budget_strict(pmt, 150.0_W));
 }
 
 TEST(Budget, VariationAwareAllocationsDiffer) {
   Pmt pmt = varied_pmt();
-  BudgetResult r = solve_budget(pmt, 265.0);
+  BudgetResult r = solve_budget(pmt, 265.0_W);
   // Hungrier module gets more power (entry 1 dominates entry 2).
   EXPECT_GT(r.allocations[1].module_w, r.allocations[0].module_w);
   EXPECT_GT(r.allocations[0].module_w, r.allocations[2].module_w);
@@ -93,29 +97,30 @@ TEST(Budget, VariationAwareAllocationsDiffer) {
 
 TEST(Budget, EquationSevenPerModule) {
   Pmt pmt = varied_pmt();
-  BudgetResult r = solve_budget(pmt, 265.0);
+  BudgetResult r = solve_budget(pmt, 265.0_W);
   for (std::size_t k = 0; k < pmt.size(); ++k) {
-    EXPECT_NEAR(r.allocations[k].module_w, pmt.entry(k).module_at(r.alpha),
-                1e-9);
-    EXPECT_NEAR(r.allocations[k].cpu_cap_w + r.allocations[k].dram_w,
-                r.allocations[k].module_w, 1e-12);
+    EXPECT_NEAR(r.allocations[k].module_w.value(),
+                pmt.entry(k).module_at(r.alpha).value(), 1e-9);
+    EXPECT_NEAR(
+        r.allocations[k].cpu_cap_w.value() + r.allocations[k].dram_w.value(),
+        r.allocations[k].module_w.value(), 1e-12);
   }
 }
 
 TEST(Budget, DegeneratePmtHandled) {
   // fmax power == fmin power: alpha degenerates.
-  Pmt flat({PmtEntry{50, 10, 50, 10}}, 2.7, 1.2);
-  BudgetResult loose = solve_budget(flat, 100.0);
+  Pmt flat({PmtEntry{50_W, 10_W, 50_W, 10_W}}, 2.7_GHz, 1.2_GHz);
+  BudgetResult loose = solve_budget(flat, 100.0_W);
   EXPECT_DOUBLE_EQ(loose.alpha, 1.0);
-  BudgetResult tight = solve_budget(flat, 30.0);
+  BudgetResult tight = solve_budget(flat, 30.0_W);
   EXPECT_DOUBLE_EQ(tight.alpha, 0.0);
   EXPECT_FALSE(tight.fits_at_fmin);
 }
 
 TEST(Budget, NonPositiveBudgetThrows) {
   Pmt pmt = uniform_pmt(1);
-  EXPECT_THROW(solve_budget(pmt, 0.0), InvalidArgument);
-  EXPECT_THROW(solve_budget(pmt, -10.0), InvalidArgument);
+  EXPECT_THROW(solve_budget(pmt, 0.0_W), InvalidArgument);
+  EXPECT_THROW(solve_budget(pmt, Watts{-10.0}), InvalidArgument);
 }
 
 // Property sweep: for any binding budget, the predicted total never exceeds
@@ -124,17 +129,17 @@ class BudgetSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(BudgetSweep, PredictedTotalNeverExceedsBudget) {
   Pmt pmt = varied_pmt();
-  BudgetResult r = solve_budget(pmt, GetParam());
+  BudgetResult r = solve_budget(pmt, Watts{GetParam()});
   EXPECT_GE(r.alpha, 0.0);
   EXPECT_LE(r.alpha, 1.0);
-  EXPECT_LE(r.predicted_total_w,
-            std::max(GetParam(), pmt.total_max_w()) + 1e-9);
+  EXPECT_LE(r.predicted_total_w.value(),
+            std::max(GetParam(), pmt.total_max_w().value()) + 1e-9);
   if (r.constrained) {
-    EXPECT_LE(r.predicted_total_w, GetParam() + 1e-9);
+    EXPECT_LE(r.predicted_total_w.value(), GetParam() + 1e-9);
   }
   // Frequency always within the ladder.
-  EXPECT_GE(r.target_freq_ghz, 1.2 - 1e-12);
-  EXPECT_LE(r.target_freq_ghz, 2.7 + 1e-12);
+  EXPECT_GE(r.target_freq_ghz.value(), 1.2 - 1e-12);
+  EXPECT_LE(r.target_freq_ghz.value(), 2.7 + 1e-12);
 }
 
 INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweep,

@@ -8,6 +8,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "util/error.hpp"
 #include "workloads/catalog.hpp"
 
 namespace vapb::core {
@@ -294,6 +295,30 @@ TEST_F(EngineFixture, ProgressReportsEveryJob) {
   // `completed` is monotone because the callback is serialized.
   EXPECT_TRUE(std::is_sorted(completed.begin(), completed.end()));
   EXPECT_EQ(completed.back(), spec.job_count());
+}
+
+TEST_F(EngineFixture, EmptySpecDimensionsAreRejected) {
+  CampaignEngine engine(cluster_, alloc_, /*threads=*/2);
+
+  CampaignSpec no_budgets = mhd_spec();
+  no_budgets.budgets_w.clear();
+  EXPECT_EQ(no_budgets.job_count(), 0u);
+  EXPECT_THROW(engine.run(no_budgets), InvalidArgument);
+
+  CampaignSpec no_workloads = mhd_spec();
+  no_workloads.workloads.clear();
+  EXPECT_THROW(engine.run(no_workloads), InvalidArgument);
+
+  CampaignSpec no_schemes = mhd_spec({});
+  EXPECT_THROW(engine.run(no_schemes), InvalidArgument);
+
+  CampaignSpec no_reps = mhd_spec(all_schemes(), /*repetitions=*/0);
+  EXPECT_THROW(engine.run(no_reps), InvalidArgument);
+}
+
+TEST_F(EngineFixture, EmptyAllocationIsRejected) {
+  EXPECT_THROW(CampaignEngine(cluster_, {}, /*threads=*/1),
+               InvalidArgument);
 }
 
 TEST_F(EngineFixture, CsvAndJsonWritersEmitEveryJob) {

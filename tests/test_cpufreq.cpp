@@ -24,29 +24,29 @@ TEST(Cpufreq, DefaultsToFmax) {
 TEST(Cpufreq, SetFrequencyQuantizesDown) {
   Module m = make_module();
   CpufreqGovernor g(m);
-  g.set_frequency_ghz(1.78);
+  g.set_frequency(util::GigaHertz{1.78});
   ASSERT_TRUE(g.frequency_ghz().has_value());
-  EXPECT_NEAR(*g.frequency_ghz(), 1.7, 1e-9);
+  EXPECT_NEAR(g.frequency_ghz()->value(), 1.7, 1e-9);
 }
 
 TEST(Cpufreq, BelowFminSnapsToFmin) {
   Module m = make_module();
   CpufreqGovernor g(m);
-  g.set_frequency_ghz(0.5);
-  EXPECT_NEAR(*g.frequency_ghz(), 1.2, 1e-9);
+  g.set_frequency(util::GigaHertz{0.5});
+  EXPECT_NEAR(g.frequency_ghz()->value(), 1.2, 1e-9);
 }
 
 TEST(Cpufreq, AboveFmaxSnapsToFmax) {
   Module m = make_module();
   CpufreqGovernor g(m);
-  g.set_frequency_ghz(5.0);
-  EXPECT_NEAR(*g.frequency_ghz(), 2.7, 1e-9);
+  g.set_frequency(util::GigaHertz{5.0});
+  EXPECT_NEAR(g.frequency_ghz()->value(), 2.7, 1e-9);
 }
 
 TEST(Cpufreq, PowerIsConsequenceNotConstraint) {
   Module m = make_module();
   CpufreqGovernor g(m);
-  g.set_frequency_ghz(2.0);
+  g.set_frequency(util::GigaHertz{2.0});
   const auto& p = workloads::dgemm().profile;
   OperatingPoint op = g.operating_point(p);
   EXPECT_FALSE(op.throttled);
@@ -59,7 +59,7 @@ TEST(Cpufreq, PowerIsConsequenceNotConstraint) {
 TEST(Cpufreq, ClearRestoresDefault) {
   Module m = make_module();
   CpufreqGovernor g(m);
-  g.set_frequency_ghz(1.5);
+  g.set_frequency(util::GigaHertz{1.5});
   g.clear();
   EXPECT_FALSE(g.frequency_ghz().has_value());
 }
@@ -67,16 +67,16 @@ TEST(Cpufreq, ClearRestoresDefault) {
 TEST(Cpufreq, NonPositiveFrequencyThrows) {
   Module m = make_module();
   CpufreqGovernor g(m);
-  EXPECT_THROW(g.set_frequency_ghz(0.0), InvalidArgument);
-  EXPECT_THROW(g.set_frequency_ghz(-1.0), InvalidArgument);
+  EXPECT_THROW(g.set_frequency(util::GigaHertz{0.0}), InvalidArgument);
+  EXPECT_THROW(g.set_frequency(util::GigaHertz{-1.0}), InvalidArgument);
 }
 
 TEST(Cpufreq, FsNeverExceedsRequestedFrequency) {
   Module m = make_module();
   CpufreqGovernor g(m);
   for (double f = 1.2; f <= 2.7; f += 0.03) {
-    g.set_frequency_ghz(f);
-    EXPECT_LE(*g.frequency_ghz(), f + 1e-9);
+    g.set_frequency(util::GigaHertz{f});
+    EXPECT_LE(g.frequency_ghz()->value(), f + 1e-9);
   }
 }
 

@@ -1,0 +1,221 @@
+#include "rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace vapb::lint {
+namespace {
+
+std::string fixture(const std::string& rel) {
+  std::ifstream in(std::string(VAPB_LINT_FIXTURE_DIR) + "/" + rel,
+                   std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << rel;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> rules_hit(const std::vector<Violation>& vs) {
+  std::vector<std::string> out;
+  out.reserve(vs.size());
+  for (const Violation& v : vs) out.push_back(v.rule);
+  return out;
+}
+
+bool hits(const std::vector<Violation>& vs, const std::string& rule) {
+  for (const Violation& v : vs) {
+    if (v.rule == rule) return true;
+  }
+  return false;
+}
+
+const HeaderIndex kEmptyIndex;
+
+TEST(Lexer, CommentsAndStringsAreNotTokens) {
+  LexResult r = lex("int x = 1; // std::mt19937 here\nconst char* s = "
+                    "\"rand()\"; /* steady_clock */\n");
+  for (const Token& t : r.tokens) {
+    EXPECT_NE(t.text, "mt19937");
+    EXPECT_NE(t.text, "steady_clock");
+  }
+  ASSERT_EQ(r.comments.size(), 2u);
+  EXPECT_FALSE(r.comments[0].own_line);
+  EXPECT_EQ(r.comments[0].line, 1);
+}
+
+TEST(Lexer, TracksLinesAndMultiCharPunct) {
+  LexResult r = lex("a\n<=\nb::c");
+  ASSERT_EQ(r.tokens.size(), 5u);
+  EXPECT_EQ(r.tokens[0].line, 1);
+  EXPECT_EQ(r.tokens[1].text, "<=");
+  EXPECT_EQ(r.tokens[1].line, 2);
+  EXPECT_EQ(r.tokens[3].text, "::");
+  EXPECT_EQ(r.tokens[3].line, 3);
+}
+
+TEST(Catalog, NamesAreUniqueAndDocumented) {
+  const auto& cat = rule_catalog();
+  ASSERT_GE(cat.size(), 8u);
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    EXPECT_FALSE(cat[i].description.empty()) << cat[i].name;
+    for (std::size_t j = i + 1; j < cat.size(); ++j) {
+      EXPECT_NE(cat[i].name, cat[j].name);
+    }
+  }
+}
+
+TEST(Determinism, FlagsRandomEngines) {
+  auto vs = lint_source("tests/lint_fixtures/determinism/bad_rand.cpp",
+                        fixture("determinism/bad_rand.cpp"), kEmptyIndex);
+  EXPECT_TRUE(hits(vs, "determinism-random")) << ::testing::PrintToString(
+      rules_hit(vs));
+  EXPECT_GE(vs.size(), 3u);
+}
+
+TEST(Determinism, FlagsWallClocks) {
+  auto vs = lint_source("tests/lint_fixtures/determinism/bad_clock.cpp",
+                        fixture("determinism/bad_clock.cpp"), kEmptyIndex);
+  EXPECT_TRUE(hits(vs, "determinism-clock"));
+}
+
+TEST(Determinism, SeededRngIsClean) {
+  auto vs = lint_source("tests/lint_fixtures/determinism/good_seeded.cpp",
+                        fixture("determinism/good_seeded.cpp"), kEmptyIndex);
+  EXPECT_TRUE(vs.empty()) << ::testing::PrintToString(rules_hit(vs));
+}
+
+TEST(Determinism, AllowlistIsPathScoped) {
+  const std::string bad = fixture("determinism/bad_rand.cpp");
+  // The same content is legal under bench/ and tools/.
+  EXPECT_TRUE(lint_source("bench/bench_x.cpp", bad, kEmptyIndex).empty());
+  EXPECT_TRUE(lint_source("tools/probe.cpp", bad, kEmptyIndex).empty());
+  EXPECT_FALSE(lint_source("src/core/pmt.cpp", bad, kEmptyIndex).empty());
+
+  const std::string clock = fixture("determinism/bad_clock.cpp");
+  // campaign.cpp may read the wall clock for throughput reporting.
+  EXPECT_TRUE(
+      lint_source("src/core/campaign.cpp", clock, kEmptyIndex).empty());
+  EXPECT_FALSE(
+      lint_source("src/core/runner.cpp", clock, kEmptyIndex).empty());
+}
+
+TEST(UnitMixing, FlagsCrossUnitArithmetic) {
+  auto vs = lint_source("tests/lint_fixtures/unit_mixing/bad_mix.cpp",
+                        fixture("unit_mixing/bad_mix.cpp"), kEmptyIndex);
+  int mixing = 0;
+  for (const Violation& v : vs) mixing += v.rule == "unit-mixing" ? 1 : 0;
+  EXPECT_EQ(mixing, 3);
+}
+
+TEST(UnitMixing, SameUnitAndDimensionChangingOpsAreClean) {
+  auto vs = lint_source("tests/lint_fixtures/unit_mixing/good_same.cpp",
+                        fixture("unit_mixing/good_same.cpp"), kEmptyIndex);
+  EXPECT_TRUE(vs.empty()) << ::testing::PrintToString(rules_hit(vs));
+}
+
+TEST(UnitMixing, ResolvesMemberChainsAndCalls) {
+  auto vs = lint_source(
+      "x.cpp",
+      "bool f(S a, T b) { return a.totals().cpu_w < b.span.makespan_s; }",
+      kEmptyIndex);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "unit-mixing");
+}
+
+TEST(UnitSuffix, OnlyAppliesUnderCoreAndHw) {
+  const std::string bad = fixture("src/core/bad_unit_suffix.hpp");
+  auto vs = lint_source("tests/lint_fixtures/src/core/bad_unit_suffix.hpp",
+                        bad, kEmptyIndex);
+  int n = 0;
+  for (const Violation& v : vs) n += v.rule == "unit-suffix" ? 1 : 0;
+  EXPECT_EQ(n, 3);
+  // Identical content outside src/core and src/hw is not this rule's business.
+  EXPECT_TRUE(lint_source("src/stats/summary.hpp", bad, kEmptyIndex).empty());
+}
+
+TEST(UnitSuffix, SuffixedAndDimensionlessNamesAreClean) {
+  auto vs = lint_source("tests/lint_fixtures/src/core/good_unit_suffix.hpp",
+                        fixture("src/core/good_unit_suffix.hpp"), kEmptyIndex);
+  EXPECT_TRUE(vs.empty()) << ::testing::PrintToString(rules_hit(vs));
+}
+
+TEST(Hygiene, UsingNamespaceOnlyFlaggedInHeaders) {
+  const std::string bad = fixture("hygiene/bad_using_namespace.hpp");
+  EXPECT_TRUE(hits(lint_source("a/b.hpp", bad, kEmptyIndex),
+                   "using-namespace-header"));
+  EXPECT_FALSE(hits(lint_source("a/b.cpp", bad, kEmptyIndex),
+                    "using-namespace-header"));
+}
+
+TEST(Hygiene, NodiscardAccessor) {
+  EXPECT_TRUE(hits(lint_source("hygiene/bad_nodiscard.hpp",
+                               fixture("hygiene/bad_nodiscard.hpp"),
+                               kEmptyIndex),
+                   "nodiscard-accessor"));
+  auto vs = lint_source("hygiene/good_header.hpp",
+                        fixture("hygiene/good_header.hpp"), kEmptyIndex);
+  EXPECT_TRUE(vs.empty()) << ::testing::PrintToString(rules_hit(vs));
+}
+
+TEST(Hygiene, UnusedIncludeNeedsTheIndex) {
+  HeaderIndex index = build_header_index(
+      {{"tests/lint_fixtures/hygiene/decls.hpp", fixture("hygiene/decls.hpp")}});
+  const std::string bad = fixture("hygiene/bad_unused_include.cpp");
+  EXPECT_TRUE(hits(lint_source("hygiene/bad_unused_include.cpp", bad, index),
+                   "unused-include"));
+  // Unknown headers are never judged.
+  EXPECT_FALSE(hits(lint_source("hygiene/bad_unused_include.cpp", bad,
+                                kEmptyIndex),
+                    "unused-include"));
+  EXPECT_FALSE(
+      hits(lint_source("hygiene/good_used_include.cpp",
+                       fixture("hygiene/good_used_include.cpp"), index),
+           "unused-include"));
+}
+
+TEST(Hygiene, PairedHeaderIsAlwaysAllowed) {
+  HeaderIndex index =
+      build_header_index({{"src/core/pmt.hpp", "class Pmt {};"}});
+  // pmt.cpp includes its own header without (textually) using the name.
+  auto vs = lint_source("src/core/pmt.cpp", "#include \"core/pmt.hpp\"\n",
+                        index);
+  EXPECT_FALSE(hits(vs, "unused-include"));
+}
+
+TEST(Suppression, MissingReasonIsAViolationAndDoesNotSilence) {
+  auto vs =
+      lint_source("tests/lint_fixtures/suppression/bad_missing_reason.cpp",
+                  fixture("suppression/bad_missing_reason.cpp"), kEmptyIndex);
+  EXPECT_TRUE(hits(vs, "bad-suppression"));
+  EXPECT_TRUE(hits(vs, "determinism-random"));
+}
+
+TEST(Suppression, ReasonedSuppressionSilencesNamedRuleOnly) {
+  auto vs = lint_source("tests/lint_fixtures/suppression/good_suppressed.cpp",
+                        fixture("suppression/good_suppressed.cpp"),
+                        kEmptyIndex);
+  EXPECT_TRUE(vs.empty()) << ::testing::PrintToString(rules_hit(vs));
+  // The suppression is rule-specific: a different rule stays live.
+  auto other = lint_source(
+      "x.cpp",
+      "// vapb-lint: allow(determinism-clock): wrong rule named\n"
+      "int f() { return std::rand(); }\n",
+      kEmptyIndex);
+  EXPECT_TRUE(hits(other, "determinism-random"));
+}
+
+TEST(Suppression, UnknownRuleNameIsFlagged) {
+  auto vs = lint_source(
+      "x.cpp", "// vapb-lint: allow(no-such-rule): because\nint x = 1;\n",
+      kEmptyIndex);
+  EXPECT_TRUE(hits(vs, "bad-suppression"));
+}
+
+}  // namespace
+}  // namespace vapb::lint

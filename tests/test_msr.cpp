@@ -101,7 +101,7 @@ TEST_F(MsrFileFixture, ReadUnitsRegister) {
 TEST_F(MsrFileFixture, WritingLimitRegisterCapsTheModule) {
   set_pkg_power_limit(file_, 70.0, 1e-3);
   ASSERT_TRUE(rapl_.cpu_limit_w().has_value());
-  EXPECT_NEAR(*rapl_.cpu_limit_w(), 70.0, 0.0625);
+  EXPECT_NEAR(rapl_.cpu_limit_w()->value(), 70.0, 0.0625);
   OperatingPoint op = rapl_.operating_point(workloads::dgemm().profile);
   EXPECT_NEAR(op.cpu_w, 70.0, 0.1);
   // Register reads back what was written.

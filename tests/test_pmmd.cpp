@@ -24,7 +24,7 @@ class PmmdFixture : public ::testing::Test {
     for (hw::ModuleId i = 0; i < 4; ++i) {
       PmmdSetting s;
       s.module = i;
-      s.cpu_cap_w = 60.0 + i;
+      s.cpu_cap_w = util::Watts{60.0 + i};
       plan.settings.push_back(s);
     }
     return plan;
@@ -36,7 +36,7 @@ class PmmdFixture : public ::testing::Test {
     for (hw::ModuleId i = 0; i < 4; ++i) {
       PmmdSetting s;
       s.module = i;
-      s.freq_ghz = 1.8;
+      s.freq_ghz = util::GigaHertz{1.8};
       plan.settings.push_back(s);
     }
     return plan;
@@ -52,7 +52,7 @@ TEST_F(PmmdFixture, PowerCapPlanProgramsRapl) {
     PmmdSession session(cap_plan(), rapls_, governors_);
     for (hw::ModuleId i = 0; i < 4; ++i) {
       ASSERT_TRUE(rapls_[i].cpu_limit_w().has_value());
-      EXPECT_DOUBLE_EQ(*rapls_[i].cpu_limit_w(), 60.0 + i);
+      EXPECT_DOUBLE_EQ(rapls_[i].cpu_limit_w()->value(), 60.0 + i);
       EXPECT_FALSE(governors_[i].frequency_ghz().has_value());
     }
   }
@@ -65,7 +65,7 @@ TEST_F(PmmdFixture, FreqSelectPlanProgramsGovernors) {
     PmmdSession session(freq_plan(), rapls_, governors_);
     for (auto& g : governors_) {
       ASSERT_TRUE(g.frequency_ghz().has_value());
-      EXPECT_NEAR(*g.frequency_ghz(), 1.8, 1e-9);
+      EXPECT_NEAR(g.frequency_ghz()->value(), 1.8, 1e-9);
     }
     for (auto& r : rapls_) EXPECT_FALSE(r.cpu_limit_w().has_value());
   }

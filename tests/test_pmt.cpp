@@ -10,6 +10,8 @@
 namespace vapb::core {
 namespace {
 
+using namespace util::unit_literals;
+
 class PmtFixture : public ::testing::Test {
  protected:
   PmtFixture() {
@@ -24,33 +26,35 @@ class PmtFixture : public ::testing::Test {
 };
 
 TEST(PmtEntry, InterpolationMath) {
-  PmtEntry e{100.0, 30.0, 60.0, 20.0};
-  EXPECT_DOUBLE_EQ(e.module_max_w(), 130.0);
-  EXPECT_DOUBLE_EQ(e.module_min_w(), 80.0);
-  EXPECT_DOUBLE_EQ(e.cpu_at(0.0), 60.0);
-  EXPECT_DOUBLE_EQ(e.cpu_at(1.0), 100.0);
-  EXPECT_DOUBLE_EQ(e.cpu_at(0.5), 80.0);
-  EXPECT_DOUBLE_EQ(e.dram_at(0.5), 25.0);
-  EXPECT_DOUBLE_EQ(e.module_at(0.5), 105.0);
+  PmtEntry e{100.0_W, 30.0_W, 60.0_W, 20.0_W};
+  EXPECT_DOUBLE_EQ(e.module_max_w().value(), 130.0);
+  EXPECT_DOUBLE_EQ(e.module_min_w().value(), 80.0);
+  EXPECT_DOUBLE_EQ(e.cpu_at(0.0).value(), 60.0);
+  EXPECT_DOUBLE_EQ(e.cpu_at(1.0).value(), 100.0);
+  EXPECT_DOUBLE_EQ(e.cpu_at(0.5).value(), 80.0);
+  EXPECT_DOUBLE_EQ(e.dram_at(0.5).value(), 25.0);
+  EXPECT_DOUBLE_EQ(e.module_at(0.5).value(), 105.0);
 }
 
 TEST(Pmt, FreqInterpolation) {
-  Pmt pmt({PmtEntry{1, 1, 1, 1}}, 2.7, 1.2);
-  EXPECT_DOUBLE_EQ(pmt.freq_at(0.0), 1.2);
-  EXPECT_DOUBLE_EQ(pmt.freq_at(1.0), 2.7);
-  EXPECT_NEAR(pmt.freq_at(0.5), 1.95, 1e-12);
+  Pmt pmt({PmtEntry{1_W, 1_W, 1_W, 1_W}}, 2.7_GHz, 1.2_GHz);
+  EXPECT_DOUBLE_EQ(pmt.freq_at(0.0).value(), 1.2);
+  EXPECT_DOUBLE_EQ(pmt.freq_at(1.0).value(), 2.7);
+  EXPECT_NEAR(pmt.freq_at(0.5).value(), 1.95, 1e-12);
 }
 
 TEST(Pmt, Totals) {
-  Pmt pmt({PmtEntry{10, 2, 5, 1}, PmtEntry{20, 4, 10, 2}}, 2.7, 1.2);
-  EXPECT_DOUBLE_EQ(pmt.total_max_w(), 36.0);
-  EXPECT_DOUBLE_EQ(pmt.total_min_w(), 18.0);
+  Pmt pmt({PmtEntry{10_W, 2_W, 5_W, 1_W}, PmtEntry{20_W, 4_W, 10_W, 2_W}},
+          2.7_GHz, 1.2_GHz);
+  EXPECT_DOUBLE_EQ(pmt.total_max_w().value(), 36.0);
+  EXPECT_DOUBLE_EQ(pmt.total_min_w().value(), 18.0);
 }
 
 TEST(Pmt, Validation) {
-  EXPECT_THROW(Pmt({}, 2.7, 1.2), InternalError);
-  EXPECT_THROW(Pmt({PmtEntry{}}, 1.2, 2.7), ConfigError);  // fmax < fmin
-  Pmt ok({PmtEntry{}}, 2.7, 1.2);
+  EXPECT_THROW(Pmt({}, 2.7_GHz, 1.2_GHz), InternalError);
+  EXPECT_THROW(Pmt({PmtEntry{}}, 1.2_GHz, 2.7_GHz),
+               ConfigError);  // fmax < fmin
+  Pmt ok({PmtEntry{}}, 2.7_GHz, 1.2_GHz);
   EXPECT_THROW(ok.entry(1), InvalidArgument);
 }
 
@@ -97,9 +101,11 @@ TEST_F(PmtFixture, OracleMatchesTrueModulePowers) {
   Pmt oracle = oracle_pmt(cluster_, subset, w, util::SeedSequence(58));
   for (std::size_t k = 0; k < subset.size(); ++k) {
     const auto& m = cluster_.module(subset[k]);
-    EXPECT_NEAR(oracle.entry(k).cpu_max_w, m.cpu_power_w(w.profile, 2.7),
+    EXPECT_NEAR(oracle.entry(k).cpu_max_w.value(),
+                m.cpu_power_w(w.profile, 2.7),
                 m.cpu_power_w(w.profile, 2.7) * 0.01);
-    EXPECT_NEAR(oracle.entry(k).cpu_min_w, m.cpu_power_w(w.profile, 1.2),
+    EXPECT_NEAR(oracle.entry(k).cpu_min_w.value(),
+                m.cpu_power_w(w.profile, 1.2),
                 m.cpu_power_w(w.profile, 1.2) * 0.01);
   }
 }
@@ -111,17 +117,18 @@ TEST_F(PmtFixture, AveragedPmtIsUniform) {
   Pmt avg = averaged_pmt(pmt);
   ASSERT_EQ(avg.size(), pmt.size());
   for (std::size_t k = 1; k < avg.size(); ++k) {
-    EXPECT_DOUBLE_EQ(avg.entry(k).cpu_max_w, avg.entry(0).cpu_max_w);
+    EXPECT_DOUBLE_EQ(avg.entry(k).cpu_max_w.value(),
+                     avg.entry(0).cpu_max_w.value());
   }
-  EXPECT_NEAR(avg.total_max_w(), pmt.total_max_w(), 1e-6);
+  EXPECT_NEAR(avg.total_max_w().value(), pmt.total_max_w().value(), 1e-6);
 }
 
 TEST(Pmt, ConstantPmtReplicates) {
-  Pmt pmt = constant_pmt(PmtEntry{130, 62, 40, 10}, 5,
+  Pmt pmt = constant_pmt(PmtEntry{130_W, 62_W, 40_W, 10_W}, 5,
                          hw::FrequencyLadder(1.2, 2.7, 0.1));
   EXPECT_EQ(pmt.size(), 5u);
-  EXPECT_DOUBLE_EQ(pmt.total_max_w(), 5 * 192.0);
-  EXPECT_DOUBLE_EQ(pmt.total_min_w(), 5 * 50.0);
+  EXPECT_DOUBLE_EQ(pmt.total_max_w().value(), 5 * 192.0);
+  EXPECT_DOUBLE_EQ(pmt.total_min_w().value(), 5 * 50.0);
 }
 
 TEST(Pmt, ConstantPmtZeroRejected) {
@@ -130,8 +137,9 @@ TEST(Pmt, ConstantPmtZeroRejected) {
 }
 
 TEST_F(PmtFixture, PredictionErrorValidation) {
-  Pmt a({PmtEntry{1, 1, 1, 1}}, 2.7, 1.2);
-  Pmt b({PmtEntry{1, 1, 1, 1}, PmtEntry{1, 1, 1, 1}}, 2.7, 1.2);
+  Pmt a({PmtEntry{1_W, 1_W, 1_W, 1_W}}, 2.7_GHz, 1.2_GHz);
+  Pmt b({PmtEntry{1_W, 1_W, 1_W, 1_W}, PmtEntry{1_W, 1_W, 1_W, 1_W}}, 2.7_GHz,
+        1.2_GHz);
   EXPECT_THROW(pmt_prediction_error(a, b), InvalidArgument);
   EXPECT_DOUBLE_EQ(pmt_prediction_error(a, a), 0.0);
 }

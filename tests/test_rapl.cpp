@@ -51,7 +51,7 @@ TEST(Rapl, TurboLimitedByTdpForHungryModule) {
 TEST(Rapl, BindingCapHitsExactAveragePower) {
   Module m = make_module();
   Rapl r(m);
-  r.set_cpu_limit_w(70.0);
+  r.set_cpu_limit(util::Watts{70.0});
   OperatingPoint op = r.operating_point(app().profile);
   EXPECT_FALSE(op.throttled);
   EXPECT_NEAR(op.cpu_w, 70.0, 1e-9);
@@ -64,7 +64,7 @@ TEST(Rapl, BindingCapPaysControlPenalty) {
   RaplConfig cfg;
   cfg.control_perf_penalty = 0.05;
   Rapl r(m, cfg);
-  r.set_cpu_limit_w(70.0);
+  r.set_cpu_limit(util::Watts{70.0});
   OperatingPoint op = r.operating_point(app().profile);
   EXPECT_NEAR(op.perf_freq_ghz, op.freq_ghz * 0.95, 1e-9);
 }
@@ -72,7 +72,7 @@ TEST(Rapl, BindingCapPaysControlPenalty) {
 TEST(Rapl, NonBindingCapRunsAtFmaxWithoutPenalty) {
   Module m = make_module();
   Rapl r(m);
-  r.set_cpu_limit_w(1000.0);
+  r.set_cpu_limit(util::Watts{1000.0});
   OperatingPoint op = r.operating_point(app().profile);
   EXPECT_DOUBLE_EQ(op.freq_ghz, 2.7);
   EXPECT_DOUBLE_EQ(op.perf_freq_ghz, 2.7);
@@ -83,7 +83,7 @@ TEST(Rapl, CapBelowFminThrottles) {
   Module m = make_module();
   Rapl r(m);
   double p_fmin = m.cpu_power_w(app().profile, 1.2);
-  r.set_cpu_limit_w(p_fmin * 0.8);
+  r.set_cpu_limit(util::Watts{p_fmin * 0.8});
   OperatingPoint op = r.operating_point(app().profile);
   EXPECT_TRUE(op.throttled);
   EXPECT_DOUBLE_EQ(op.freq_ghz, 1.2);
@@ -97,7 +97,7 @@ TEST(Rapl, CliffIsSuperLinear) {
   Module m = make_module();
   Rapl r(m);
   double p_fmin = m.cpu_power_w(app().profile, 1.2);
-  r.set_cpu_limit_w(p_fmin * 0.8);
+  r.set_cpu_limit(util::Watts{p_fmin * 0.8});
   OperatingPoint op = r.operating_point(app().profile);
   // At duty 0.8 the perf-equivalent frequency is far below 0.8 * fmin.
   EXPECT_LT(op.perf_freq_ghz, 0.8 * 1.2 * 0.5);
@@ -108,9 +108,9 @@ TEST(Rapl, CliffContinuousAtDutyOne) {
   Module m = make_module();
   Rapl r(m);
   double p_fmin = m.cpu_power_w(app().profile, 1.2);
-  r.set_cpu_limit_w(p_fmin * 0.999);
+  r.set_cpu_limit(util::Watts{p_fmin * 0.999});
   OperatingPoint just_below = r.operating_point(app().profile);
-  r.set_cpu_limit_w(p_fmin * 1.001);
+  r.set_cpu_limit(util::Watts{p_fmin * 1.001});
   OperatingPoint just_above = r.operating_point(app().profile);
   // No large jump across the fmin boundary (modulo the control penalty).
   EXPECT_NEAR(just_below.perf_freq_ghz, just_above.perf_freq_ghz, 0.08);
@@ -122,9 +122,9 @@ TEST_P(CliffMonotone, TighterCapNeverFaster) {
   Module m = make_module();
   Rapl r(m);
   double cap = GetParam();
-  r.set_cpu_limit_w(cap);
+  r.set_cpu_limit(util::Watts{cap});
   OperatingPoint tight = r.operating_point(app().profile);
-  r.set_cpu_limit_w(cap + 5.0);
+  r.set_cpu_limit(util::Watts{cap + 5.0});
   OperatingPoint loose = r.operating_point(app().profile);
   EXPECT_LE(tight.perf_freq_ghz, loose.perf_freq_ghz + 1e-9);
   EXPECT_LE(tight.cpu_w, loose.cpu_w + 1e-9);
@@ -139,7 +139,7 @@ TEST(Rapl, MinDutyFloorHolds) {
   RaplConfig cfg;
   cfg.min_duty = 0.05;
   Rapl r(m, cfg);
-  r.set_cpu_limit_w(0.5);  // absurdly low
+  r.set_cpu_limit(util::Watts{0.5});  // absurdly low
   OperatingPoint op = r.operating_point(app().profile);
   EXPECT_GE(op.duty, 0.05);
   EXPECT_GT(op.perf_freq_ghz, 0.0);
@@ -149,7 +149,7 @@ TEST(Rapl, DramPowerScalesWithDutyWhenThrottled) {
   Module m = make_module();
   Rapl r(m);
   double p_fmin = m.cpu_power_w(app().profile, 1.2);
-  r.set_cpu_limit_w(p_fmin * 0.5);
+  r.set_cpu_limit(util::Watts{p_fmin * 0.5});
   OperatingPoint op = r.operating_point(app().profile);
   EXPECT_LT(op.dram_w, m.dram_power_w(app().profile, 1.2));
   EXPECT_GT(op.dram_w, 0.0);
@@ -158,7 +158,7 @@ TEST(Rapl, DramPowerScalesWithDutyWhenThrottled) {
 TEST(Rapl, ClearLimitRestoresUncapped) {
   Module m = make_module();
   Rapl r(m);
-  r.set_cpu_limit_w(50.0);
+  r.set_cpu_limit(util::Watts{50.0});
   r.clear_cpu_limit();
   EXPECT_FALSE(r.cpu_limit_w().has_value());
   EXPECT_DOUBLE_EQ(r.operating_point(app().profile).freq_ghz, 2.7);
@@ -191,8 +191,8 @@ TEST(Rapl, RawCounterWrapsAt32Bits) {
 TEST(Rapl, Validation) {
   Module m = make_module();
   Rapl r(m);
-  EXPECT_THROW(r.set_cpu_limit_w(0.0), InvalidArgument);
-  EXPECT_THROW(r.set_cpu_limit_w(-5.0), InvalidArgument);
+  EXPECT_THROW(r.set_cpu_limit(util::Watts{0.0}), InvalidArgument);
+  EXPECT_THROW(r.set_cpu_limit(util::Watts{-5.0}), InvalidArgument);
   OperatingPoint op;
   EXPECT_THROW(r.advance(op, -1.0), InvalidArgument);
   RaplConfig bad;

@@ -57,7 +57,7 @@ TEST_F(RmFixture, BudgetIsConserved) {
     ASSERT_EQ(result.granted.size(), 2u);
     EXPECT_LE(result.power_committed_w, budget * (1 + 1e-9));
     for (const auto& g : result.granted) {
-      EXPECT_GE(g.budget_w, g.pmt.total_min_w() - 1e-6)
+      EXPECT_GE(g.budget_w, g.pmt.total_min_w().value() - 1e-6)
           << "grant below its fmin floor";
     }
   }
@@ -135,7 +135,7 @@ TEST_F(RmFixture, GrantBudgetsNeverExceedDemand) {
                             util::SeedSequence(8));
   ASSERT_EQ(result.granted.size(), 2u);
   for (const auto& g : result.granted) {
-    EXPECT_LE(g.budget_w, g.pmt.total_max_w() + 1e-6);
+    EXPECT_LE(g.budget_w, g.pmt.total_max_w().value() + 1e-6);
     EXPECT_FALSE(g.budget.constrained);
   }
 }

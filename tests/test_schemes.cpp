@@ -9,6 +9,8 @@
 namespace vapb::core {
 namespace {
 
+using namespace util::unit_literals;
+
 TEST(Schemes, EnforcementMapping) {
   EXPECT_EQ(enforcement_of(SchemeKind::kNaive), Enforcement::kPowerCap);
   EXPECT_EQ(enforcement_of(SchemeKind::kPc), Enforcement::kPowerCap);
@@ -64,28 +66,29 @@ TEST_F(SchemePmtFixture, NaiveUsesTdpTable) {
   Pmt pmt = build(SchemeKind::kNaive);
   ASSERT_EQ(pmt.size(), 48u);
   for (const auto& e : pmt.entries()) {
-    EXPECT_DOUBLE_EQ(e.cpu_max_w, 130.0);
-    EXPECT_DOUBLE_EQ(e.dram_max_w, 62.0);
-    EXPECT_DOUBLE_EQ(e.cpu_min_w, 40.0);
-    EXPECT_DOUBLE_EQ(e.dram_min_w, 10.0);
+    EXPECT_DOUBLE_EQ(e.cpu_max_w.value(), 130.0);
+    EXPECT_DOUBLE_EQ(e.dram_max_w.value(), 62.0);
+    EXPECT_DOUBLE_EQ(e.cpu_min_w.value(), 40.0);
+    EXPECT_DOUBLE_EQ(e.dram_min_w.value(), 10.0);
   }
 }
 
 TEST_F(SchemePmtFixture, PcIsUniformButApplicationDependent) {
   Pmt pmt = build(SchemeKind::kPc);
   for (std::size_t k = 1; k < pmt.size(); ++k) {
-    EXPECT_DOUBLE_EQ(pmt.entry(k).cpu_max_w, pmt.entry(0).cpu_max_w);
+    EXPECT_DOUBLE_EQ(pmt.entry(k).cpu_max_w.value(),
+                     pmt.entry(0).cpu_max_w.value());
   }
   // Application-dependent: far from the TDP table, near MHD's real power.
-  EXPECT_NEAR(pmt.entry(0).cpu_max_w, 83.9, 6.0);
+  EXPECT_NEAR(pmt.entry(0).cpu_max_w.value(), 83.9, 6.0);
 }
 
 TEST_F(SchemePmtFixture, VaPcVariesAcrossModules) {
   Pmt pmt = build(SchemeKind::kVaPc);
-  double lo = pmt.entry(0).module_max_w(), hi = lo;
+  double lo = pmt.entry(0).module_max_w().value(), hi = lo;
   for (const auto& e : pmt.entries()) {
-    lo = std::min(lo, e.module_max_w());
-    hi = std::max(hi, e.module_max_w());
+    lo = std::min(lo, e.module_max_w().value());
+    hi = std::max(hi, e.module_max_w().value());
   }
   EXPECT_GT(hi / lo, 1.1);
 }
@@ -95,7 +98,8 @@ TEST_F(SchemePmtFixture, VaFsSharesVaPcTable) {
   Pmt fs = build(SchemeKind::kVaFs);
   ASSERT_EQ(pc.size(), fs.size());
   for (std::size_t k = 0; k < pc.size(); ++k) {
-    EXPECT_DOUBLE_EQ(pc.entry(k).cpu_max_w, fs.entry(k).cpu_max_w);
+    EXPECT_DOUBLE_EQ(pc.entry(k).cpu_max_w.value(),
+                     fs.entry(k).cpu_max_w.value());
   }
 }
 
@@ -105,17 +109,17 @@ TEST_F(SchemePmtFixture, OracleTracksTruePower) {
   for (std::size_t k = 0; k < allocation_.size(); ++k) {
     const auto& m = cluster_.module(allocation_[k]);
     double truth = m.module_power_w(w.profile, 2.7);
-    EXPECT_NEAR(oracle.entry(k).module_max_w(), truth, truth * 0.02);
+    EXPECT_NEAR(oracle.entry(k).module_max_w().value(), truth, truth * 0.02);
   }
 }
 
 TEST_F(SchemePmtFixture, CustomNaiveTable) {
-  NaiveTable custom{100.0, 30.0, 35.0, 8.0};
+  NaiveTable custom{100.0_W, 30.0_W, 35.0_W, 8.0_W};
   Pmt pmt = scheme_pmt(SchemeKind::kNaive, cluster_, allocation_,
                        workloads::mhd(), pvt_, test_, util::SeedSequence(74),
                        custom);
-  EXPECT_DOUBLE_EQ(pmt.entry(0).cpu_max_w, 100.0);
-  EXPECT_DOUBLE_EQ(pmt.entry(0).dram_min_w, 8.0);
+  EXPECT_DOUBLE_EQ(pmt.entry(0).cpu_max_w.value(), 100.0);
+  EXPECT_DOUBLE_EQ(pmt.entry(0).dram_min_w.value(), 8.0);
 }
 
 }  // namespace

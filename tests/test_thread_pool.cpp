@@ -63,6 +63,14 @@ TEST(ParallelFor, ZeroIterationsIsNoop) {
   parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
 }
 
+TEST(ParallelFor, ZeroGrainIsClampedNotDivByZero) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; },
+               /*grain=*/0);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ParallelFor, SmallNRunsSerially) {
   ThreadPool pool(4);
   std::vector<int> order;

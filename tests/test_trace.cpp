@@ -40,7 +40,7 @@ TEST(Trace, UncappedTraceIsSteady) {
 TEST(Trace, CappedTraceDithersAroundSustainedPoint) {
   Module m = make_module();
   Rapl rapl(m);
-  rapl.set_cpu_limit_w(70.0);
+  rapl.set_cpu_limit(util::Watts{70.0});
   OperatingPoint op = rapl.operating_point(profile());
   PowerTrace t =
       PowerTrace::record(rapl, m, profile(), 0.5, util::SeedSequence(4));
@@ -57,7 +57,7 @@ TEST(Trace, CappedTraceDithersAroundSustainedPoint) {
 TEST(Trace, AdvancesEnergyCounters) {
   Module m = make_module();
   Rapl rapl(m);
-  rapl.set_cpu_limit_w(60.0);
+  rapl.set_cpu_limit(util::Watts{60.0});
   PowerTrace t =
       PowerTrace::record(rapl, m, profile(), 1.0, util::SeedSequence(5));
   EXPECT_NEAR(rapl.pkg_energy_j(), 60.0, 0.1);  // 60 W for 1 s
@@ -67,8 +67,8 @@ TEST(Trace, AdvancesEnergyCounters) {
 TEST(Trace, Deterministic) {
   Module m = make_module();
   Rapl r1(m), r2(m);
-  r1.set_cpu_limit_w(70.0);
-  r2.set_cpu_limit_w(70.0);
+  r1.set_cpu_limit(util::Watts{70.0});
+  r2.set_cpu_limit(util::Watts{70.0});
   PowerTrace a =
       PowerTrace::record(r1, m, profile(), 0.05, util::SeedSequence(6));
   PowerTrace b =

@@ -1,0 +1,137 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace vapb::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Multi-character punctuators, longest first so maximal munch wins.
+constexpr std::array<std::string_view, 24> kPuncts = {
+    "<<=", ">>=", "<=>", "->*", "...", "::", "->", "<=", ">=", "==", "!=",
+    "&&",  "||",  "+=",  "-=",  "*=", "/=", "%=", "^=", "|=", "&=", "<<",
+    ">>",  "##"};
+
+}  // namespace
+
+LexResult lex(const std::string& source) {
+  LexResult out;
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool line_has_code = false;
+
+  auto advance_over = [&](char c) {
+    if (c == '\n') {
+      ++line;
+      line_has_code = false;
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c)) != 0) {
+      advance_over(c);
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      std::size_t start = i + 2;
+      std::size_t end = start;
+      while (end < n && source[end] != '\n') ++end;
+      out.comments.push_back(Comment{source.substr(start, end - start), line,
+                                     !line_has_code});
+      i = end;
+      continue;
+    }
+    // Block comment; may span lines, each spanned line counts as commented.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const int first_line = line;
+      const bool own = !line_has_code;
+      std::size_t end = i + 2;
+      while (end + 1 < n && !(source[end] == '*' && source[end + 1] == '/')) {
+        advance_over(source[end]);
+        ++end;
+      }
+      out.comments.push_back(
+          Comment{source.substr(i + 2, end - i - 2), first_line, own});
+      i = end + 1 < n ? end + 2 : n;
+      continue;
+    }
+    line_has_code = true;
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      std::size_t delim_end = i + 2;
+      while (delim_end < n && source[delim_end] != '(') ++delim_end;
+      std::string close = ")" + source.substr(i + 2, delim_end - i - 2) + "\"";
+      std::size_t end = source.find(close, delim_end);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k) advance_over(source[k]);
+      out.tokens.push_back(Token{TokKind::kString, "", line});
+      i = end == n ? n : end + close.size();
+      continue;
+    }
+    // String / char literal with escapes.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t end = i + 1;
+      while (end < n && source[end] != quote) {
+        if (source[end] == '\\' && end + 1 < n) ++end;
+        advance_over(source[end]);
+        ++end;
+      }
+      out.tokens.push_back(
+          Token{TokKind::kString, source.substr(i + 1, end - i - 1), line});
+      i = end < n ? end + 1 : n;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t end = i + 1;
+      while (end < n && is_ident_char(source[end])) ++end;
+      out.tokens.push_back(
+          Token{TokKind::kIdent, source.substr(i, end - i), line});
+      i = end;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t end = i + 1;
+      // Numbers swallow digit separators, exponents, and UDL suffixes.
+      while (end < n && (is_ident_char(source[end]) || source[end] == '\'' ||
+                         source[end] == '.' ||
+                         ((source[end] == '+' || source[end] == '-') &&
+                          (source[end - 1] == 'e' || source[end - 1] == 'E' ||
+                           source[end - 1] == 'p' || source[end - 1] == 'P')))) {
+        ++end;
+      }
+      out.tokens.push_back(
+          Token{TokKind::kNumber, source.substr(i, end - i), line});
+      i = end;
+      continue;
+    }
+    // Punctuation, longest match first.
+    std::string_view rest(source.data() + i, n - i);
+    std::string text(1, c);
+    for (std::string_view p : kPuncts) {
+      if (rest.substr(0, p.size()) == p) {
+        text = std::string(p);
+        break;
+      }
+    }
+    out.tokens.push_back(Token{TokKind::kPunct, text, line});
+    i += text.size();
+  }
+  return out;
+}
+
+}  // namespace vapb::lint

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vapb::lint {
+
+/// Token categories produced by the lightweight C++ lexer. The lexer is not a
+/// full C++ front end: it only distinguishes enough structure for the lint
+/// rules (identifiers, literals, punctuation, and comments with positions).
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,  ///< string or character literal, text excludes quotes
+  kPunct,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  ///< 1-based source line
+};
+
+/// A comment with its location; `own_line` is true when nothing but
+/// whitespace precedes it on its line (a standalone comment applies lint
+/// suppressions to the following line as well).
+struct Comment {
+  std::string text;  ///< without the // or /* */ delimiters
+  int line;
+  bool own_line;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes C++ source. Comments and string/char literal bodies never leak
+/// into the token stream, so rules cannot be fooled by mentions of banned
+/// identifiers inside text.
+[[nodiscard]] LexResult lex(const std::string& source);
+
+}  // namespace vapb::lint

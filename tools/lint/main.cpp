@@ -1,0 +1,129 @@
+// vapb-lint: project-specific static analysis for the VAPB codebase.
+//
+// Enforces determinism (no ambient randomness or wall clocks in the
+// simulation core), unit safety (no arithmetic across unit suffixes,
+// no unsuffixed physical quantities), and hygiene (unused project includes,
+// 'using namespace' in headers, [[nodiscard]] on pure accessors).
+//
+// Usage: vapb-lint [--list-rules] <file|dir>...
+// Exits 0 when clean, 1 on violations, 2 on usage/IO errors.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp";
+}
+
+// Fixture trees contain deliberate violations; a directory scan must not
+// wander into them. Explicitly named files are always linted.
+bool skipped_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "lint_fixtures" || name == "build" || name == ".git";
+}
+
+std::string read_file(const fs::path& p, bool& ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return "";
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  ok = true;
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> files;
+  bool any_args = false;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--list-rules") {
+      for (const auto& rule : vapb::lint::rule_catalog()) {
+        std::printf("%-24s %s\n", rule.name.c_str(), rule.description.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: vapb-lint [--list-rules] <file|dir>...\n");
+      return 0;
+    }
+    any_args = true;
+    fs::path p(arg);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      fs::recursive_directory_iterator it(p, ec), end;
+      for (; it != end; it.increment(ec)) {
+        if (ec) break;
+        if (it->is_directory() && skipped_dir(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "vapb-lint: cannot read '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!any_args) {
+    std::fprintf(stderr, "usage: vapb-lint [--list-rules] <file|dir>...\n");
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // Pass 1: index every header so unused-include can resolve project names.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (const fs::path& p : files) {
+    bool ok = false;
+    std::string text = read_file(p, ok);
+    if (!ok) {
+      std::fprintf(stderr, "vapb-lint: cannot read '%s'\n",
+                   p.string().c_str());
+      return 2;
+    }
+    const std::string display = p.generic_string();
+    if (p.extension() == ".hpp") headers.emplace_back(display, text);
+    sources.emplace_back(display, std::move(text));
+  }
+  const vapb::lint::HeaderIndex index = vapb::lint::build_header_index(headers);
+
+  // Pass 2: lint everything.
+  std::size_t violations = 0;
+  for (const auto& [display, text] : sources) {
+    for (const vapb::lint::Violation& v :
+         vapb::lint::lint_source(display, text, index)) {
+      std::printf("%s:%d: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                  v.message.c_str());
+      ++violations;
+    }
+  }
+  if (violations > 0) {
+    std::printf("vapb-lint: %zu violation%s in %zu file%s\n", violations,
+                violations == 1 ? "" : "s", sources.size(),
+                sources.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}

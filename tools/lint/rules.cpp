@@ -1,0 +1,546 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+#include <tuple>
+
+#include "lexer.hpp"
+
+namespace vapb::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path classification
+// ---------------------------------------------------------------------------
+
+std::string normalize(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+bool has_segment(const std::string& path, std::string_view segment) {
+  std::size_t pos = 0;
+  while ((pos = path.find(segment, pos)) != std::string::npos) {
+    const bool at_start = pos == 0 || path[pos - 1] == '/';
+    const std::size_t end = pos + segment.size();
+    const bool at_end = end == path.size() || path[end] == '/';
+    if (at_start && at_end) return true;
+    pos = end;
+  }
+  return false;
+}
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_header(const std::string& path) { return ends_with(path, ".hpp"); }
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string stem_of(const std::string& path) {
+  std::string base = basename_of(path);
+  const std::size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+// Deterministic simulation is the project's core guarantee; only the seeded
+// RNG wrapper, the wall-clock-reporting campaign driver, and standalone
+// tools/benches may touch the banned facilities.
+bool random_allowed(const std::string& path) {
+  return has_segment(path, "bench") || has_segment(path, "tools") ||
+         ends_with(path, "util/rng.hpp") || ends_with(path, "util/rng.cpp");
+}
+
+bool clock_allowed(const std::string& path) {
+  return random_allowed(path) || ends_with(path, "core/campaign.cpp");
+}
+
+bool in_unit_scoped_dirs(const std::string& path) {
+  return path.find("src/core/") != std::string::npos ||
+         path.find("src/hw/") != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Unit-name helpers
+// ---------------------------------------------------------------------------
+
+// Canonical physical unit of an identifier, judged by suffix ("" = none).
+// A trailing underscore (member convention) is stripped first.
+std::string unit_of(std::string name) {
+  if (!name.empty() && name.back() == '_') name.pop_back();
+  // Compound rates like cpu_dyn_w_per_ghz carry their own derived unit; the
+  // simple suffix vocabulary cannot judge them.
+  if (name.find("_per_") != std::string::npos) return "";
+  static const std::array<std::pair<std::string_view, std::string_view>, 8>
+      kSuffixes = {{{"_watts", "watts"},
+                    {"_w", "watts"},
+                    {"_ghz", "gigahertz"},
+                    {"_hz", "hertz"},
+                    {"_joules", "joules"},
+                    {"_j", "joules"},
+                    {"_seconds", "seconds"},
+                    {"_s", "seconds"}}};
+  for (const auto& [suffix, unit] : kSuffixes) {
+    if (ends_with(name, suffix)) return std::string(unit);
+  }
+  return "";
+}
+
+bool contains_word(const std::string& name, std::string_view word) {
+  return name.find(word) != std::string::npos;
+}
+
+// True when the identifier names a physical quantity (power, frequency,
+// energy, time) by vocabulary, so it must carry a unit suffix.
+bool names_physical_quantity(const std::string& name) {
+  static constexpr std::array<std::string_view, 7> kWords = {
+      "watt", "power", "freq", "ghz", "energy", "joule", "second"};
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  // Dimensionless derivatives of physical quantities are exempt.
+  static constexpr std::array<std::string_view, 5> kDimensionless = {
+      "_utilization", "_ratio", "_fraction", "_factor", "_scale"};
+  std::string stripped = lower;
+  if (!stripped.empty() && stripped.back() == '_') stripped.pop_back();
+  for (std::string_view d : kDimensionless) {
+    if (ends_with(stripped, d)) return false;
+  }
+  for (std::string_view w : kWords) {
+    if (contains_word(lower, w)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression comments: the "vapb-lint" marker, a colon, then
+// allow(rule[,rule...]) and a mandatory reason.
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+  std::map<std::string, std::set<int>> lines;  // rule -> suppressed lines
+  std::vector<Violation> errors;               // malformed suppressions
+};
+
+Suppressions parse_suppressions(const std::string& file,
+                                const std::vector<Comment>& comments) {
+  Suppressions out;
+  for (const Comment& c : comments) {
+    const std::size_t tag = c.text.find("vapb-lint:");
+    if (tag == std::string::npos) continue;
+    std::string rest = c.text.substr(tag + 10);
+    const std::size_t allow = rest.find("allow(");
+    if (allow == std::string::npos) {
+      // Prose that merely mentions the marker is fine; anything that looks
+      // like an attempted directive (has a call shape) is flagged.
+      if (rest.find('(') == std::string::npos) continue;
+      out.errors.push_back(Violation{
+          file, c.line, "bad-suppression",
+          "vapb-lint comment without allow(<rule>): directive"});
+      continue;
+    }
+    const std::size_t open = allow + 6;
+    const std::size_t close = rest.find(')', open);
+    if (close == std::string::npos) {
+      out.errors.push_back(Violation{file, c.line, "bad-suppression",
+                                     "unterminated allow(...) directive"});
+      continue;
+    }
+    // Reason is whatever follows the closing paren, after : or -- markers.
+    std::string reason = rest.substr(close + 1);
+    while (!reason.empty() &&
+           (reason.front() == ':' || reason.front() == '-' ||
+            reason.front() == ' ' || reason.front() == '\t')) {
+      reason.erase(reason.begin());
+    }
+    if (reason.empty()) {
+      out.errors.push_back(
+          Violation{file, c.line, "bad-suppression",
+                    "suppression needs a reason: allow(rule): <why>"});
+      continue;
+    }
+    // Split the comma-separated rule list and validate each name.
+    std::string list = rest.substr(open, close - open);
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      std::size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      std::string rule = list.substr(pos, comma - pos);
+      rule.erase(std::remove(rule.begin(), rule.end(), ' '), rule.end());
+      pos = comma + 1;
+      if (rule.empty()) continue;
+      const auto& catalog = rule_catalog();
+      const bool known =
+          std::any_of(catalog.begin(), catalog.end(),
+                      [&](const RuleInfo& r) { return r.name == rule; });
+      if (!known) {
+        out.errors.push_back(Violation{file, c.line, "bad-suppression",
+                                       "unknown rule '" + rule + "'"});
+        continue;
+      }
+      out.lines[rule].insert(c.line);
+      // A standalone comment also covers the line that follows it.
+      if (c.own_line) out.lines[rule].insert(c.line + 1);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers
+// ---------------------------------------------------------------------------
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+// Walks left from `pos` (exclusive) over a postfix expression and returns the
+// index of the identifier that names its rightmost component, or npos.
+// Handles `a.b`, `a->b`, `a::b`, `f(...)`, and `a[...]` chains.
+std::size_t left_operand(const std::vector<Token>& toks, std::size_t pos) {
+  if (pos == 0) return std::string::npos;
+  std::size_t j = pos - 1;
+  // Balance back over a trailing call or subscript.
+  while (is_punct(toks[j], ")") || is_punct(toks[j], "]")) {
+    const std::string_view close = toks[j].text;
+    const std::string_view open = close == ")" ? "(" : "[";
+    int depth = 1;
+    while (j > 0 && depth > 0) {
+      --j;
+      if (toks[j].kind == TokKind::kPunct) {
+        if (toks[j].text == close) ++depth;
+        if (toks[j].text == open) --depth;
+      }
+    }
+    if (j == 0 || depth != 0) return std::string::npos;
+    --j;
+  }
+  return toks[j].kind == TokKind::kIdent ? j : std::string::npos;
+}
+
+// Walks right from `pos` (exclusive) over a chain like `a.b.c_w` or
+// `x::y.total_w` and returns the index of its final identifier, or npos.
+std::size_t right_operand(const std::vector<Token>& toks, std::size_t pos) {
+  std::size_t j = pos + 1;
+  if (j >= toks.size() || toks[j].kind != TokKind::kIdent) {
+    return std::string::npos;
+  }
+  std::size_t last = j;
+  while (j + 2 < toks.size() &&
+         (is_punct(toks[j + 1], ".") || is_punct(toks[j + 1], "->") ||
+          is_punct(toks[j + 1], "::")) &&
+         toks[j + 2].kind == TokKind::kIdent) {
+    j += 2;
+    last = j;
+  }
+  return last;
+}
+
+// ---------------------------------------------------------------------------
+// Individual rules
+// ---------------------------------------------------------------------------
+
+void check_determinism(const std::string& path,
+                       const std::vector<Token>& toks,
+                       std::vector<Violation>& out) {
+  static constexpr std::array<std::string_view, 8> kRandom = {
+      "rand",         "srand",        "random_device",
+      "mt19937",      "mt19937_64",   "default_random_engine",
+      "minstd_rand",  "minstd_rand0"};
+  static constexpr std::array<std::string_view, 3> kClocks = {
+      "system_clock", "steady_clock", "high_resolution_clock"};
+  const bool rnd_ok = random_allowed(path);
+  const bool clk_ok = clock_allowed(path);
+  if (rnd_ok && clk_ok) return;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    const bool qualified = i >= 1 && is_punct(toks[i - 1], "::");
+    const bool called = i + 1 < toks.size() && is_punct(toks[i + 1], "(");
+    if (!rnd_ok) {
+      for (std::string_view b : kRandom) {
+        if (t.text != b) continue;
+        // `rand`/`srand` only count as the libc functions when invoked or
+        // namespace-qualified; the engine names always count.
+        if ((b == "rand" || b == "srand") && !qualified && !called) continue;
+        out.push_back(Violation{
+            path, t.line, "determinism-random",
+            "'" + t.text + "' breaks reproducibility; use util::SeedSequence "
+            "/ util::SplitMix instead"});
+      }
+    }
+    if (!clk_ok) {
+      for (std::string_view b : kClocks) {
+        if (t.text == b) {
+          out.push_back(Violation{
+              path, t.line, "determinism-clock",
+              "'" + t.text + "' makes results time-dependent; simulated time "
+              "comes from the DES clock"});
+        }
+      }
+      if ((t.text == "time" || t.text == "clock") && qualified && called &&
+          i >= 2 && is_ident(toks[i - 2], "std")) {
+        out.push_back(Violation{path, t.line, "determinism-clock",
+                                "'std::" + t.text +
+                                    "' makes results time-dependent"});
+      }
+    }
+  }
+}
+
+void check_unit_mixing(const std::string& path, const std::vector<Token>& toks,
+                       std::vector<Violation>& out) {
+  static constexpr std::array<std::string_view, 8> kOps = {
+      "+", "-", "<", ">", "<=", ">=", "==", "!="};
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    const Token& op = toks[i];
+    if (op.kind != TokKind::kPunct) continue;
+    if (std::find(kOps.begin(), kOps.end(), op.text) == kOps.end()) continue;
+    const std::size_t li = left_operand(toks, i);
+    const std::size_t ri = right_operand(toks, i);
+    if (li == std::string::npos || ri == std::string::npos) continue;
+    const std::string lu = unit_of(toks[li].text);
+    const std::string ru = unit_of(toks[ri].text);
+    if (lu.empty() || ru.empty() || lu == ru) continue;
+    out.push_back(Violation{
+        path, op.line, "unit-mixing",
+        "'" + toks[li].text + "' (" + lu + ") " + op.text + " '" +
+            toks[ri].text + "' (" + ru +
+            ") mixes units; convert explicitly or use util::units types"});
+  }
+}
+
+void check_unit_suffix(const std::string& path, const std::vector<Token>& toks,
+                       std::vector<Violation>& out) {
+  if (!in_unit_scoped_dirs(path)) return;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "double")) continue;
+    const Token& name = toks[i + 1];
+    if (name.kind != TokKind::kIdent) continue;
+    const Token& after = toks[i + 2];
+    const bool declares =
+        is_punct(after, ";") || is_punct(after, "=") || is_punct(after, "{") ||
+        is_punct(after, ",") || is_punct(after, ")");
+    if (!declares) continue;
+    if (!names_physical_quantity(name.text)) continue;
+    if (!unit_of(name.text).empty()) continue;
+    // Compound rates (e.g. cpu_dyn_w_per_ghz) already name their unit.
+    if (name.text.find("_per_") != std::string::npos) continue;
+    out.push_back(Violation{
+        path, name.line, "unit-suffix",
+        "physical quantity 'double " + name.text +
+            "' needs a unit suffix (_w, _ghz, _j, _s) or a util::units type"});
+  }
+}
+
+void check_unused_includes(const std::string& path,
+                           const std::vector<Token>& toks,
+                           const HeaderIndex& index,
+                           std::vector<Violation>& out) {
+  // Gather quoted includes and the set of identifiers used in this file.
+  struct Inc {
+    std::string header;
+    int line;
+  };
+  std::vector<Inc> includes;
+  std::set<std::string> used;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kIdent) used.insert(toks[i].text);
+    if (is_punct(toks[i], "#") && i + 2 < toks.size() &&
+        is_ident(toks[i + 1], "include") &&
+        toks[i + 2].kind == TokKind::kString) {
+      includes.push_back(Inc{toks[i + 2].text, toks[i + 2].line});
+    }
+  }
+  const std::string own_stem = stem_of(path);
+  for (const Inc& inc : includes) {
+    const std::string base = basename_of(normalize(inc.header));
+    if (stem_of(base) == own_stem) continue;  // paired header always allowed
+    const auto it = index.decls.find(base);
+    if (it == index.decls.end()) continue;  // not indexed: cannot judge
+    const bool is_used =
+        std::any_of(it->second.begin(), it->second.end(),
+                    [&](const std::string& name) { return used.count(name) > 0; });
+    if (!is_used) {
+      out.push_back(Violation{path, inc.line, "unused-include",
+                              "nothing declared in \"" + inc.header +
+                                  "\" is referenced here"});
+    }
+  }
+}
+
+void check_using_namespace(const std::string& path,
+                           const std::vector<Token>& toks,
+                           std::vector<Violation>& out) {
+  if (!is_header(path)) return;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (is_ident(toks[i], "using") && is_ident(toks[i + 1], "namespace")) {
+      out.push_back(Violation{
+          path, toks[i].line, "using-namespace-header",
+          "'using namespace' in a header leaks into every includer"});
+    }
+  }
+}
+
+void check_nodiscard(const std::string& path, const std::vector<Token>& toks,
+                     std::vector<Violation>& out) {
+  if (!is_header(path)) return;
+  for (std::size_t i = 3; i + 2 < toks.size(); ++i) {
+    // Shape: ... ) const { return <expr> ; }  — a one-expression accessor.
+    if (!(is_punct(toks[i], ")") && is_ident(toks[i + 1], "const") &&
+          is_punct(toks[i + 2], "{") && i + 3 < toks.size() &&
+          is_ident(toks[i + 3], "return"))) {
+      continue;
+    }
+    if (i + 4 < toks.size() && is_punct(toks[i + 4], "*")) continue;  // *this
+    // Body must be exactly one return statement.
+    std::size_t semi = i + 4;
+    int depth = 0;
+    while (semi < toks.size() &&
+           !(depth == 0 && is_punct(toks[semi], ";"))) {
+      if (is_punct(toks[semi], "(") || is_punct(toks[semi], "{")) ++depth;
+      if (is_punct(toks[semi], ")") || is_punct(toks[semi], "}")) --depth;
+      ++semi;
+    }
+    if (semi + 1 >= toks.size() || !is_punct(toks[semi + 1], "}")) continue;
+    // Find the matching ( and the function name before it.
+    std::size_t open = i;
+    int bal = 1;
+    while (open > 0 && bal > 0) {
+      --open;
+      if (is_punct(toks[open], ")")) ++bal;
+      if (is_punct(toks[open], "(")) --bal;
+    }
+    if (open == 0 || bal != 0) continue;
+    const std::size_t fname = open - 1;
+    if (toks[fname].kind != TokKind::kIdent) continue;  // operators etc.
+    if (fname >= 1 && is_ident(toks[fname - 1], "operator")) continue;
+    // Walk back over the return type; a constructor has none and is skipped.
+    static constexpr std::array<std::string_view, 7> kTypePunct = {
+        "::", "<", ">", "*", "&", ",", ">>"};
+    std::size_t tb = fname;
+    while (tb > 0) {
+      const Token& t = toks[tb - 1];
+      const bool type_ident =
+          t.kind == TokKind::kIdent && t.text != "return" && t.text != "public" &&
+          t.text != "private" && t.text != "protected";
+      const bool type_punct =
+          t.kind == TokKind::kPunct &&
+          std::find(kTypePunct.begin(), kTypePunct.end(), t.text) !=
+              kTypePunct.end();
+      if (!type_ident && !type_punct) break;
+      --tb;
+    }
+    if (tb == fname) continue;  // no return type: constructor
+    // An attribute immediately before the type, e.g. [[nodiscard]], shows up
+    // as `] ]`.
+    const bool has_attr = tb >= 2 && is_punct(toks[tb - 1], "]") &&
+                          is_punct(toks[tb - 2], "]");
+    if (has_attr) continue;
+    out.push_back(Violation{
+        path, toks[fname].line, "nodiscard-accessor",
+        "pure accessor '" + toks[fname].text +
+            "()' should be [[nodiscard]]"});
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"determinism-random",
+       "bans rand()/std::random_device/std::mt19937* outside src/util/rng.*, "
+       "bench/, tools/"},
+      {"determinism-clock",
+       "bans std::chrono wall clocks outside src/core/campaign.cpp, "
+       "src/util/rng.*, bench/, tools/"},
+      {"unit-mixing",
+       "flags +,-,comparison between identifiers carrying different unit "
+       "suffixes (_w, _ghz, _j, _s)"},
+      {"unit-suffix",
+       "flags unsuffixed double physical-quantity declarations in src/core "
+       "and src/hw"},
+      {"unused-include",
+       "flags project #includes whose declared names are never referenced"},
+      {"using-namespace-header", "flags 'using namespace' in headers"},
+      {"nodiscard-accessor",
+       "flags pure one-expression const accessors lacking [[nodiscard]]"},
+      {"bad-suppression",
+       "flags malformed vapb-lint suppression comments (missing reason or "
+       "unknown rule)"},
+  };
+  return kCatalog;
+}
+
+HeaderIndex build_header_index(
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  HeaderIndex index;
+  for (const auto& [path, source] : headers) {
+    std::set<std::string>& names = index.decls[basename_of(normalize(path))];
+    const LexResult lexed = lex(source);
+    const std::vector<Token>& toks = lexed.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+      const bool next_ident =
+          i + 1 < toks.size() && toks[i + 1].kind == TokKind::kIdent;
+      // Type and alias introducers.
+      if ((t.text == "class" || t.text == "struct" || t.text == "enum" ||
+           t.text == "using" || t.text == "define" || t.text == "namespace") &&
+          next_ident) {
+        names.insert(toks[i + 1].text);
+        continue;
+      }
+      // Anything that syntactically looks like a declaration or call target:
+      // broad on purpose — extra names only make includes count as used.
+      if (i + 1 < toks.size() &&
+          (is_punct(toks[i + 1], "(") || is_punct(toks[i + 1], "=") ||
+           is_punct(toks[i + 1], "{") || is_punct(toks[i + 1], ";"))) {
+        names.insert(t.text);
+      }
+    }
+  }
+  return index;
+}
+
+std::vector<Violation> lint_source(const std::string& display_path,
+                                   const std::string& source,
+                                   const HeaderIndex& index) {
+  const std::string path = normalize(display_path);
+  const LexResult lexed = lex(source);
+  Suppressions sup = parse_suppressions(path, lexed.comments);
+
+  std::vector<Violation> raw;
+  check_determinism(path, lexed.tokens, raw);
+  check_unit_mixing(path, lexed.tokens, raw);
+  check_unit_suffix(path, lexed.tokens, raw);
+  check_unused_includes(path, lexed.tokens, index, raw);
+  check_using_namespace(path, lexed.tokens, raw);
+  check_nodiscard(path, lexed.tokens, raw);
+
+  std::vector<Violation> out = std::move(sup.errors);
+  for (Violation& v : raw) {
+    const auto it = sup.lines.find(v.rule);
+    if (it != sup.lines.end() && it->second.count(v.line) > 0) continue;
+    out.push_back(std::move(v));
+  }
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return out;
+}
+
+}  // namespace vapb::lint

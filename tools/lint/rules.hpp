@@ -1,0 +1,44 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vapb::lint {
+
+/// One rule violation, formatted by the CLI as `file:line: [rule] message`.
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string name;
+  std::string description;
+};
+
+/// Every rule vapb-lint knows about, for --list-rules and suppression
+/// validation.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+
+/// Names declared by each project header, keyed by header basename. Used by
+/// the unused-include rule; a header absent from the index is never flagged.
+struct HeaderIndex {
+  std::map<std::string, std::set<std::string>> decls;
+};
+
+/// Builds the declared-name index from (display path, source text) pairs.
+[[nodiscard]] HeaderIndex build_header_index(
+    const std::vector<std::pair<std::string, std::string>>& headers);
+
+/// Lints one translation unit. `display_path` selects per-path rule scoping
+/// (headers vs sources, determinism allowlists) and is echoed in violations.
+[[nodiscard]] std::vector<Violation> lint_source(const std::string& display_path,
+                                                 const std::string& source,
+                                                 const HeaderIndex& index);
+
+}  // namespace vapb::lint

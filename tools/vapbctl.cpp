@@ -144,7 +144,7 @@ int cmd_solve(const util::CliArgs& args) {
       ctx.cluster.seed().fork("ctl-test"));
   core::Pmt pmt = core::calibrate_pmt(*ctx.pvt, test, ctx.allocation,
                                       ctx.cluster.spec().ladder);
-  core::BudgetResult r = core::solve_budget(pmt, budget);
+  core::BudgetResult r = core::solve_budget(pmt, util::Watts{budget});
   std::printf("workload:   %s on %zu modules\n", w.name.c_str(),
               ctx.allocation.size());
   std::printf("budget:     %s\n", util::fmt_watts(budget).c_str());
