@@ -10,9 +10,13 @@
 // is re-run against the same fleet. The determinism check is a hard
 // failure; the speedups are reported but not asserted, since they depend
 // on the machine's core count.
+// With --out FILE, a machine-readable JSON summary (BENCH_perf_campaign.json
+// in CI) records the three wall times, the derived speedups and the job
+// count.
 #include <bit>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <thread>
 
 #include "bench/common.hpp"
@@ -143,5 +147,27 @@ int main(int argc, char** argv) {
               serial.elapsed_s / parallel.elapsed_s);
   std::printf("cache speedup   (parallel, cold/warm):    %.2fx\n",
               parallel.elapsed_s / warm.elapsed_s);
+
+  if (!opt.out.empty()) {
+    std::ofstream f(opt.out);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+      return 1;
+    }
+    f << "{\n"
+      << "  \"bench\": \"bench_perf_campaign\",\n"
+      << "  \"modules\": " << n << ",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"repetitions\": " << opt.repetitions << ",\n"
+      << "  \"jobs\": " << jobs << ",\n"
+      << "  \"serial_cold_s\": " << serial.elapsed_s << ",\n"
+      << "  \"parallel_cold_s\": " << parallel.elapsed_s << ",\n"
+      << "  \"parallel_warm_s\": " << warm.elapsed_s << ",\n"
+      << "  \"parallel_speedup\": " << serial.elapsed_s / parallel.elapsed_s
+      << ",\n"
+      << "  \"cache_speedup\": " << parallel.elapsed_s / warm.elapsed_s
+      << "\n}\n";
+    std::printf("wrote %s\n", opt.out.c_str());
+  }
   return 0;
 }

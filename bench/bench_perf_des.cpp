@@ -1,0 +1,235 @@
+// DES-engine performance regression harness: times the retained polling
+// ReferenceEngine against the event-driven Engine on the workload programs
+// the campaign layer actually runs, asserts the two produce bit-identical
+// results, and emits a machine-readable JSON report.
+//
+//   bench_perf_des [ranks] [--repetitions R] [--out FILE] [--baseline FILE]
+//
+// Cases are named after their shape (pattern, rank count, iterations), so a
+// small CI smoke run only gates against the baseline entries whose shape it
+// actually reproduces. With --baseline, the run fails (exit 1) when any
+// matching case's reference/event speedup drops below half the committed
+// value — a >2x regression — which keeps the gate insensitive to absolute
+// machine speed.
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "des/reference_engine.hpp"
+
+using namespace vapb;
+
+namespace {
+
+volatile double g_sink = 0.0;  // defeats dead-code elimination of timed runs
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool identical(const des::RunResult& a, const des::RunResult& b) {
+  if (!same_bits(a.makespan_s, b.makespan_s)) return false;
+  if (a.ranks.size() != b.ranks.size()) return false;
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    const des::RankStats& x = a.ranks[r];
+    const des::RankStats& y = b.ranks[r];
+    if (!same_bits(x.compute_s, y.compute_s) ||
+        !same_bits(x.wait_s, y.wait_s) ||
+        !same_bits(x.transfer_s, y.transfer_s) ||
+        !same_bits(x.sendrecv_s, y.sendrecv_s) ||
+        !same_bits(x.collective_s, y.collective_s) ||
+        !same_bits(x.finish_time_s, y.finish_time_s)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+using bench_clock = std::chrono::steady_clock;
+
+/// One timing sample: `inner` back-to-back runs, per-run seconds.
+template <typename Fn>
+double sample_s(const Fn& fn, int inner) {
+  const auto t0 = bench_clock::now();
+  for (int i = 0; i < inner; ++i) fn();
+  return std::chrono::duration<double>(bench_clock::now() - t0).count() /
+         static_cast<double>(inner);
+}
+
+/// Warms `fn` up and returns an inner-loop count sized so one sample spans
+/// at least ~20 ms of work.
+template <typename Fn>
+int calibrate(const Fn& fn) {
+  const auto t0 = bench_clock::now();
+  fn();
+  const double once =
+      std::chrono::duration<double>(bench_clock::now() - t0).count();
+  return std::max(1, static_cast<int>(std::ceil(0.02 / std::max(once, 1e-9))));
+}
+
+struct CaseResult {
+  std::string name;
+  std::size_t ranks = 0;
+  int iterations = 0;
+  double reference_s = 0.0;  ///< polling engine, per run
+  double event_s = 0.0;      ///< event-driven engine on a precompiled image
+  double compile_s = 0.0;    ///< RankProgram -> ProgramImage compilation
+  double speedup = 0.0;      ///< reference_s / event_s
+};
+
+CaseResult run_case(const std::string& name, const workloads::Workload& w,
+                    std::size_t ranks, int iterations, int repetitions) {
+  CaseResult res;
+  res.name = name;
+  res.ranks = ranks;
+  res.iterations = iterations;
+
+  auto programs = workloads::build_programs(
+      w, ranks, iterations, [](std::size_t r, int) {
+        return 1.0 + 0.001 * static_cast<double>(r % 7);
+      });
+  des::ProgramImage image = des::ProgramImage::compile(programs);
+  des::ReferenceEngine reference;
+  des::Engine event;
+
+  // Correctness gate before any timing: all three entry points agree bit
+  // for bit.
+  des::RunResult want = reference.run(programs);
+  if (!identical(want, event.run(image)) ||
+      !identical(want, event.run(programs))) {
+    std::fprintf(stderr, "BIT-IDENTITY FAILURE in case %s\n", name.c_str());
+    std::exit(1);
+  }
+
+  const auto ref_run = [&] { g_sink = reference.run(programs).makespan_s; };
+  const auto event_run = [&] { g_sink = event.run(image).makespan_s; };
+  const auto compile_run = [&] {
+    g_sink = static_cast<double>(
+        des::ProgramImage::compile(programs).total_ops());
+  };
+  const int ref_inner = calibrate(ref_run);
+  const int event_inner = calibrate(event_run);
+  const int compile_inner = calibrate(compile_run);
+
+  // Interleave the timed sections rep by rep (instead of timing each one in
+  // a solid block) so machine-speed drift — frequency scaling, noisy
+  // neighbours — hits both engines alike and cancels in the speedup ratio.
+  res.reference_s = res.event_s = res.compile_s =
+      std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < repetitions; ++rep) {
+    res.reference_s = std::min(res.reference_s, sample_s(ref_run, ref_inner));
+    res.event_s = std::min(res.event_s, sample_s(event_run, event_inner));
+    res.compile_s =
+        std::min(res.compile_s, sample_s(compile_run, compile_inner));
+  }
+  res.speedup = res.reference_s / res.event_s;
+  return res;
+}
+
+void write_json(const std::string& path, std::size_t ranks, int repetitions,
+                const std::vector<CaseResult>& cases) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"bench\": \"bench_perf_des\",\n"
+     << "  \"ranks\": " << ranks << ",\n"
+     << "  \"repetitions\": " << repetitions << ",\n"
+     << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    os << "    {\"name\": \"" << c.name << "\", \"ranks\": " << c.ranks
+       << ", \"iterations\": " << c.iterations
+       << ", \"reference_s\": " << c.reference_s
+       << ", \"event_s\": " << c.event_s << ", \"compile_s\": " << c.compile_s
+       << ", \"speedup\": " << c.speedup << "}"
+       << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  f << os.str();
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Pulls "speedup" for a case name out of a previously written report.
+/// Returns a negative value when the case is absent.
+double baseline_speedup(const std::string& text, const std::string& name) {
+  const std::string key = "\"name\": \"" + name + "\"";
+  std::size_t pos = text.find(key);
+  if (pos == std::string::npos) return -1.0;
+  const std::string field = "\"speedup\": ";
+  pos = text.find(field, pos);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + pos + field.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv);
+  const std::size_t n = opt.modules;
+  const int reps = std::max(opt.repetitions, 3);
+  std::printf("== DES engine performance (%zu ranks, min over %d reps) ==\n\n",
+              n, reps);
+
+  std::vector<CaseResult> cases;
+  cases.push_back(run_case("halo3d_mhd_" + std::to_string(n) + "r_10it",
+                           workloads::mhd(), n, 10, reps));
+  cases.push_back(run_case("halo3d_mhd_64r_200it", workloads::mhd(), 64, 200,
+                           reps));
+  cases.push_back(run_case("allreduce_mvmc_" + std::to_string(n) + "r_50it",
+                           workloads::mvmc(), n, 50, reps));
+
+  std::printf("%-28s %12s %12s %12s %9s\n", "case", "reference_s", "event_s",
+              "compile_s", "speedup");
+  for (const CaseResult& c : cases) {
+    std::printf("%-28s %12.6f %12.6f %12.6f %8.2fx\n", c.name.c_str(),
+                c.reference_s, c.event_s, c.compile_s, c.speedup);
+  }
+
+  if (!opt.out.empty()) write_json(opt.out, n, reps, cases);
+
+  if (!opt.baseline.empty()) {
+    std::ifstream f(opt.baseline);
+    if (!f) {
+      std::fprintf(stderr, "cannot read baseline %s\n", opt.baseline.c_str());
+      return 1;
+    }
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const std::string text = ss.str();
+    int gated = 0, failures = 0;
+    for (const CaseResult& c : cases) {
+      const double base = baseline_speedup(text, c.name);
+      if (base <= 0.0) {
+        std::printf("baseline: no entry for %s (skipped)\n", c.name.c_str());
+        continue;
+      }
+      ++gated;
+      if (c.speedup < base / 2.0) {
+        ++failures;
+        std::printf(
+            "PERF REGRESSION: %s speedup %.2fx is below half the committed "
+            "baseline %.2fx\n",
+            c.name.c_str(), c.speedup, base);
+      } else {
+        std::printf("baseline ok: %s %.2fx (committed %.2fx)\n",
+                    c.name.c_str(), c.speedup, base);
+      }
+    }
+    if (failures > 0) return 1;
+    std::printf("baseline gate passed on %d case%s\n", gated,
+                gated == 1 ? "" : "s");
+  }
+  return 0;
+}

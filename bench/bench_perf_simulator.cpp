@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "core/campaign.hpp"
+#include "des/reference_engine.hpp"
 #include "workloads/catalog.hpp"
 #include "workloads/programs.hpp"
 
@@ -64,12 +65,17 @@ void BM_RaplOperatingPoint(benchmark::State& state) {
 }
 BENCHMARK(BM_RaplOperatingPoint);
 
-void BM_DesEngineHalo3D(benchmark::State& state) {
-  auto n = static_cast<std::size_t>(state.range(0));
-  auto programs = workloads::build_programs(
+std::vector<des::RankProgram> halo3d_programs(std::size_t n) {
+  return workloads::build_programs(
       workloads::mhd(), n, 10, [](std::size_t r, int) {
         return 1.0 + 0.001 * static_cast<double>(r % 7);
       });
+}
+
+// The event-driven engine, compile included (the Runner's per-execute path).
+void BM_DesEngineHalo3D(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto programs = halo3d_programs(n);
   des::Engine engine;
   for (auto _ : state) {
     des::RunResult r = engine.run(programs);
@@ -78,6 +84,32 @@ void BM_DesEngineHalo3D(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * 10);
 }
 BENCHMARK(BM_DesEngineHalo3D)->Arg(64)->Arg(512)->Arg(1920);
+
+// Same programs on a precompiled image: the pure scheduling cost.
+void BM_DesEngineHalo3DImage(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  des::ProgramImage image = des::ProgramImage::compile(halo3d_programs(n));
+  des::Engine engine;
+  for (auto _ : state) {
+    des::RunResult r = engine.run(image);
+    benchmark::DoNotOptimize(r.makespan_s);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * 10);
+}
+BENCHMARK(BM_DesEngineHalo3DImage)->Arg(64)->Arg(512)->Arg(1920);
+
+// The retained polling oracle: the before-side of the perf comparison.
+void BM_DesEngineHalo3DReference(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto programs = halo3d_programs(n);
+  des::ReferenceEngine engine;
+  for (auto _ : state) {
+    des::RunResult r = engine.run(programs);
+    benchmark::DoNotOptimize(r.makespan_s);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * 10);
+}
+BENCHMARK(BM_DesEngineHalo3DReference)->Arg(64)->Arg(512)->Arg(1920);
 
 void BM_DesEngineAllreduce(benchmark::State& state) {
   auto n = static_cast<std::size_t>(state.range(0));
@@ -91,6 +123,43 @@ void BM_DesEngineAllreduce(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * 10);
 }
 BENCHMARK(BM_DesEngineAllreduce)->Arg(64)->Arg(1920);
+
+void BM_DesEngineAllreduceReference(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto programs = workloads::build_programs(
+      workloads::mvmc(), n, 10, [](std::size_t, int) { return 1.0; });
+  des::ReferenceEngine engine;
+  for (auto _ : state) {
+    des::RunResult r = engine.run(programs);
+    benchmark::DoNotOptimize(r.makespan_s);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * 10);
+}
+BENCHMARK(BM_DesEngineAllreduceReference)->Arg(64)->Arg(1920);
+
+// Program construction itself: the image builder vs the AoS vectors it
+// replaced on the Runner's hot path.
+void BM_BuildPrograms(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto programs = workloads::build_programs(
+        workloads::mhd(), n, 10, [](std::size_t, int) { return 1.0; });
+    benchmark::DoNotOptimize(programs.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * 10);
+}
+BENCHMARK(BM_BuildPrograms)->Arg(64)->Arg(1920);
+
+void BM_BuildProgramImage(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto image = workloads::build_program_image(
+        workloads::mhd(), n, 10, [](std::size_t, int) { return 1.0; });
+    benchmark::DoNotOptimize(image.total_ops());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * 10);
+}
+BENCHMARK(BM_BuildProgramImage)->Arg(64)->Arg(1920);
 
 void BM_EndToEndScheme(benchmark::State& state) {
   auto n = static_cast<std::size_t>(state.range(0));

@@ -30,6 +30,8 @@ struct Options {
   std::size_t modules = 1920;
   std::size_t threads = 0;  ///< 0 = hardware concurrency
   int repetitions = 1;
+  std::string out;       ///< machine-readable BENCH_*.json path ("" = none)
+  std::string baseline;  ///< committed baseline JSON to gate against
 };
 
 /// Parses the uniform bench command line and sizes the global thread pool
@@ -37,7 +39,8 @@ struct Options {
 inline Options parse_options(int argc, char** argv,
                              std::size_t default_modules = 1920) {
   try {
-    util::CliArgs args(argc, argv, {"modules", "threads", "repetitions"});
+    util::CliArgs args(
+        argc, argv, {"modules", "threads", "repetitions", "out", "baseline"});
     Options opt;
     opt.modules = default_modules;
     if (const char* env = std::getenv("VAPB_BENCH_MODULES")) {
@@ -51,6 +54,8 @@ inline Options parse_options(int argc, char** argv,
         args.get_long_or("modules", static_cast<long>(opt.modules)));
     opt.threads = static_cast<std::size_t>(args.get_long_or("threads", 0));
     opt.repetitions = static_cast<int>(args.get_long_or("repetitions", 1));
+    opt.out = args.get_or("out", "");
+    opt.baseline = args.get_or("baseline", "");
     if (opt.modules == 0) throw InvalidArgument("--modules must be > 0");
     if (opt.repetitions < 1) {
       throw InvalidArgument("--repetitions must be >= 1");
@@ -60,7 +65,7 @@ inline Options parse_options(int argc, char** argv,
   } catch (const Error& e) {
     std::fprintf(stderr,
                  "%s: %s\nusage: %s [modules] [--modules N] [--threads T] "
-                 "[--repetitions R]\n",
+                 "[--repetitions R] [--out FILE] [--baseline FILE]\n",
                  argv[0], e.what(), argv[0]);
     std::exit(2);
   }

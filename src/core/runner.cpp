@@ -209,13 +209,16 @@ RunMetrics Runner::execute(const workloads::Workload& w,
     return t;
   };
 
-  auto programs = workloads::build_programs(w, n, iterations, compute);
+  // Compile straight to image form: the per-rank stencil topology is stored
+  // once instead of once per iteration, and validation happens here rather
+  // than inside the engine run.
+  auto image = workloads::build_program_image(w, n, iterations, compute);
   des::Engine engine(config_.network);
 
   RunMetrics m;
   m.workload = w.name;
   m.scheme = label;
-  m.des = engine.run(programs);
+  m.des = engine.run(image);
   m.makespan_s = m.des.makespan_s;
   m.modules.resize(n);
   for (std::size_t i = 0; i < n; ++i) {

@@ -3,190 +3,527 @@
 #include <algorithm>
 #include <string>
 
+#include "util/error.hpp"
+
 namespace vapb::des {
 
-std::vector<double> RunResult::finish_times() const {
-  std::vector<double> out;
-  out.reserve(ranks.size());
-  for (const auto& r : ranks) out.push_back(r.finish_time_s);
-  return out;
+const std::vector<double>& RunResult::finish_times() const {
+  if (finish_times_cache_.size() != ranks.size()) {
+    finish_times_cache_.clear();
+    finish_times_cache_.reserve(ranks.size());
+    for (const auto& r : ranks) {
+      finish_times_cache_.push_back(r.finish_time_s);
+    }
+  }
+  return finish_times_cache_;
 }
 
-std::vector<double> RunResult::sendrecv_times() const {
-  std::vector<double> out;
-  out.reserve(ranks.size());
-  for (const auto& r : ranks) out.push_back(r.sendrecv_s);
-  return out;
+const std::vector<double>& RunResult::sendrecv_times() const {
+  if (sendrecv_times_cache_.size() != ranks.size()) {
+    sendrecv_times_cache_.clear();
+    sendrecv_times_cache_.reserve(ranks.size());
+    for (const auto& r : ranks) {
+      sendrecv_times_cache_.push_back(r.sendrecv_s);
+    }
+  }
+  return sendrecv_times_cache_;
+}
+
+void RunResult::seal() {
+  makespan_s = 0.0;
+  for (const auto& r : ranks) {
+    makespan_s = std::max(makespan_s, r.finish_time_s);
+  }
+  finish_times_cache_.clear();
+  sendrecv_times_cache_.clear();
+  static_cast<void>(finish_times());
+  static_cast<void>(sendrecv_times());
 }
 
 namespace {
 
-struct RankState {
-  std::size_t pc = 0;              // next op index
-  double time = 0.0;               // local clock
-  std::size_t exchange_phase = 0;  // halo exchanges completed
+// Why a rank is parked outside the ready queue.
+constexpr std::uint8_t kBlockedNone = 0;
+constexpr std::uint8_t kBlockedHalo = 1;
+constexpr std::uint8_t kBlockedCollective = 2;
+
+/// Arrival record of one collective epoch. All ranks complete collective
+/// e before any rank can reach collective e+1, so one shared counter per
+/// epoch suffices.
+struct CollectiveEpoch {
+  std::size_t arrivals = 0;
+  double latest_s = 0.0;  ///< slowest arrival so far
+  double bytes = 0.0;     ///< largest allreduce payload so far
+  bool any_allreduce = false;
+  bool any_barrier = false;
 };
 
-/// Validates that peer lists are symmetric: if p is a peer of r in r's k-th
-/// exchange, r must be a peer of p in p's k-th exchange. Halo completion is
-/// only well-defined under this condition.
-void validate_symmetry(const std::vector<RankProgram>& programs) {
-  const std::size_t n = programs.size();
-  std::vector<std::vector<const HaloExchangeOp*>> phases(n);
-  for (std::size_t r = 0; r < n; ++r) {
-    for (const auto& op : programs[r].ops) {
-      if (const auto* ex = std::get_if<HaloExchangeOp>(&op)) {
-        phases[r].push_back(ex);
-        for (RankId p : ex->peers) {
-          if (p >= n) {
-            throw InvalidArgument("halo peer " + std::to_string(p) +
-                                  " out of range");
-          }
-          if (p == r) throw InvalidArgument("halo exchange with self");
-        }
-      }
-    }
+const char* kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kCompute:
+      return "compute";
+    case OpKind::kHaloExchange:
+      return "halo exchange";
+    case OpKind::kAllreduce:
+      return "allreduce";
+    case OpKind::kBarrier:
+      return "barrier";
   }
-  for (std::size_t r = 0; r < n; ++r) {
-    for (std::size_t k = 0; k < phases[r].size(); ++k) {
-      for (RankId p : phases[r][k]->peers) {
-        if (k >= phases[p].size() ||
-            std::find(phases[p][k]->peers.begin(), phases[p][k]->peers.end(),
-                      static_cast<RankId>(r)) == phases[p][k]->peers.end()) {
-          throw InvalidArgument(
-              "asymmetric halo exchange: rank " + std::to_string(r) +
-              " phase " + std::to_string(k) + " lists peer " +
-              std::to_string(p) + " but not vice versa");
-        }
-      }
-    }
+  return "unknown";
+}
+
+RunResult finalize(std::vector<RankStats>&& stats,
+                   const std::vector<double>& time_s) {
+  RunResult result;
+  result.ranks = std::move(stats);
+  for (std::size_t r = 0; r < result.ranks.size(); ++r) {
+    result.ranks[r].finish_time_s = time_s[r];
   }
+  result.seal();
+  return result;
 }
 
 }  // namespace
 
 RunResult Engine::run(const std::vector<RankProgram>& programs) const {
   if (programs.empty()) throw InvalidArgument("Engine: no rank programs");
-  const std::size_t n = programs.size();
-  validate_symmetry(programs);
+  return run(ProgramImage::compile(programs));
+}
 
-  std::vector<RankState> st(n);
+// Scheduler state of one rank. The struct is exactly one cache line, so a
+// peer probe (arrived / blocked / phase_done / waiting plus the cached
+// arrival time) costs a single miss; per-op accounting lives in a separate
+// RankStats array that only the owning rank touches.
+struct RankState {
+  double time_s = 0.0;           ///< local clock
+  double latest_s = 0.0;         ///< slowest arrival in the current phase
+  double arr_time_s = 0.0;       ///< local time of the most recent arrival
+  std::uint32_t pc = 0;          ///< next op (absolute image index)
+  std::uint32_t phase_done = 0;  ///< halo phases completed
+  std::uint32_t arrived = 0;     ///< halo phases arrived at
+  std::uint32_t coll_done = 0;   ///< collectives completed
+  std::uint32_t waiting = 0;     ///< outstanding peer arrivals
+  std::uint8_t blocked = kBlockedNone;
+  // Last transfer cost computed for this rank: halo ops repeat the same
+  // (topology, bytes) every iteration, and the cost only depends on those
+  // plus the owning rank, so the cached sum (same peer order, same
+  // floating-point result) short-circuits the per-peer network model.
+  std::uint32_t cost_topo = 0xFFFFFFFFu;
+  double cost_bytes = 0.0;
+  double cost_s = 0.0;
+};
+
+RunResult Engine::run(const ProgramImage& img) const {
+  const std::size_t n = img.nranks();
+  if (n == 0) throw InvalidArgument("Engine: no rank programs");
+  if (img.halo_op_count() == 0) return run_sync_free(img);
+  if (img.uniform_topology() && img.collective_op_count() == 0) {
+    return run_phase_sync(img);
+  }
+
+  std::vector<RankState> state(n);
   std::vector<RankStats> stats(n);
-  // exch_arrival[r][k] = local time at which rank r arrived at its k-th
-  // exchange phase. Peers consult this even after r completes the phase
-  // (peer sets differ, so completion order is not symmetric).
-  std::vector<std::vector<double>> exch_arrival(n);
+  // arrival_s[halo_phase_offsets[r] + k] = local time at which rank r
+  // arrived at its k-th exchange phase. Peers consult this even after r
+  // completes the phase (peer sets differ, so completion order is not
+  // symmetric). With phase-invariant peer sets (uniform_topology) a peer
+  // can never be more than one phase ahead — completing phase k needs this
+  // rank's own arrival at k — so the arr_time_s cached on the state line
+  // always answers the probe and the flat array is provably never read;
+  // skip allocating and maintaining it.
+  const bool uniform = img.uniform_topology();
+  std::vector<double> arrival_s(uniform ? 0 : img.total_halo_phases(), 0.0);
+  std::vector<CollectiveEpoch> colls;
+  std::vector<RankId> ready;
+  ready.reserve(n);
 
-  auto done = [&](std::size_t r) { return st[r].pc >= programs[r].ops.size(); };
+  const std::uint8_t* kinds = img.kinds();
+  const double* values = img.values();
+  const std::uint32_t* topos = img.topologies();
+  const std::size_t* rank_off = img.rank_offsets();
+  const std::size_t* hpb = img.halo_phase_offsets();
+  const std::uint32_t* peer_off = img.peer_offsets();
+  const RankId* peer_tab = img.peers();
+  RankState* st = state.data();
+  double* arr = arrival_s.data();
 
-  // Advances rank r through every op it can resolve locally. Returns true on
-  // any progress.
-  auto advance_local = [&](std::size_t r) {
-    bool progress = false;
-    while (!done(r)) {
-      const Op& op = programs[r].ops[st[r].pc];
-      if (const auto* c = std::get_if<ComputeOp>(&op)) {
-        st[r].time += c->seconds;
-        stats[r].compute_s += c->seconds;
-        ++st[r].pc;
-        progress = true;
-        continue;
-      }
-      if (const auto* ex = std::get_if<HaloExchangeOp>(&op)) {
-        const std::size_t phase = st[r].exchange_phase;
-        // Record arrival the first time we see this phase.
-        if (exch_arrival[r].size() == phase) {
-          exch_arrival[r].push_back(st[r].time);
-        }
-        if (ex->peers.empty()) {
-          ++st[r].pc;
-          ++st[r].exchange_phase;
-          progress = true;
-          continue;
-        }
-        double latest_arrival = st[r].time;
-        bool all_arrived = true;
-        for (RankId p : ex->peers) {
-          if (exch_arrival[p].size() <= phase) {
-            all_arrived = false;
-            break;
-          }
-          latest_arrival = std::max(latest_arrival, exch_arrival[p][phase]);
-        }
-        if (!all_arrived) return progress;  // blocked
-        double wait = latest_arrival - st[r].time;
-        double transfer = 0.0;
-        for (RankId p : ex->peers) {
-          transfer += network_.p2p_cost_s(static_cast<std::uint32_t>(r), p,
-                                          ex->bytes_per_peer);
-        }
-        stats[r].wait_s += wait;
-        stats[r].transfer_s += transfer;
-        stats[r].sendrecv_s += wait + transfer;
-        st[r].time = latest_arrival + transfer;
-        ++st[r].pc;
-        ++st[r].exchange_phase;
-        progress = true;
-        continue;
-      }
-      // Collective: handled globally.
-      return progress;
+  for (std::size_t r = 0; r < n; ++r) {
+    st[r].pc = static_cast<std::uint32_t>(rank_off[r]);
+  }
+
+  auto resolve_collective = [&](std::size_t e) {
+    const CollectiveEpoch& c = colls[e];
+    if (c.any_allreduce && c.any_barrier) {
+      throw DeadlockError("ranks disagree on collective type");
     }
-    return progress;
+    const double cost_s = c.any_allreduce
+                              ? network_.collective_cost_s(n, c.bytes)
+                              : network_.collective_cost_s(n, 8.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      double wait_s = c.latest_s - st[r].time_s;
+      stats[r].wait_s += wait_s;
+      stats[r].transfer_s += cost_s;
+      stats[r].collective_s += wait_s + cost_s;
+      st[r].time_s = c.latest_s + cost_s;
+      ++st[r].pc;
+      ++st[r].coll_done;
+      st[r].blocked = kBlockedNone;
+      ready.push_back(static_cast<RankId>(r));
+    }
   };
 
-  auto try_collective = [&] {
-    bool all_allreduce = true, all_barrier = true;
-    double latest = 0.0, bytes = 0.0;
-    for (std::size_t r = 0; r < n; ++r) {
-      if (done(r)) return false;
-      const Op& op = programs[r].ops[st[r].pc];
-      if (const auto* a = std::get_if<AllreduceOp>(&op)) {
-        all_barrier = false;
-        bytes = std::max(bytes, a->bytes);
-      } else if (std::holds_alternative<BarrierOp>(op)) {
-        all_allreduce = false;
-      } else {
-        return false;
+  // Executes rank r until it blocks or finishes its op stream.
+  auto run_rank = [&](std::size_t r) {
+    RankState& s = st[r];
+    const std::size_t end = rank_off[r + 1];
+    while (s.pc < end) {
+      const std::size_t op = s.pc;
+      const OpKind k = static_cast<OpKind>(kinds[op]);
+      if (k == OpKind::kCompute) {
+        const double t_s = values[op];
+        s.time_s += t_s;
+        stats[r].compute_s += t_s;
+        ++s.pc;
+        continue;
       }
-      latest = std::max(latest, st[r].time);
+      if (k == OpKind::kHaloExchange) {
+        const std::uint32_t phase = s.phase_done;
+        const std::uint32_t topo = topos[op];
+        const RankId* pb = peer_tab + peer_off[topo];
+        const RankId* pe = peer_tab + peer_off[topo + 1];
+        if (s.arrived == phase) {
+          // First visit: record the arrival, fold already-arrived peers into
+          // the phase's latest-arrival accumulator, wake peers whose
+          // dependency counter this arrival satisfies, count the peers still
+          // missing. Late arrivers push their time into blocked peers'
+          // accumulators, so nobody rescans arrival slots on wake-up (max is
+          // order-independent, so the fold stays bit-identical to a scan).
+          if (!uniform) arr[hpb[r] + phase] = s.time_s;
+          s.arr_time_s = s.time_s;
+          s.arrived = phase + 1;
+          double latest_s = s.time_s;
+          std::uint32_t outstanding = 0;
+          for (const RankId* p = pb; p != pe; ++p) {
+            RankState& q = st[*p];
+            if (q.arrived <= phase) {
+              ++outstanding;
+            } else {
+              // A peer exactly one phase ahead arrived at *this* phase last,
+              // so its arrival time is still on its state line; peers
+              // further ahead (possible only with phase-varying peer sets)
+              // fall back to the flat arrival array.
+              const double a = q.arrived == phase + 1
+                                   ? q.arr_time_s
+                                   : arr[hpb[*p] + phase];
+              if (a > latest_s) latest_s = a;
+              if (q.blocked == kBlockedHalo && q.phase_done == phase) {
+                if (s.time_s > q.latest_s) q.latest_s = s.time_s;
+                if (--q.waiting == 0) {
+                  q.blocked = kBlockedNone;
+                  ready.push_back(*p);
+                }
+              }
+            }
+          }
+          s.latest_s = latest_s;
+          if (outstanding > 0) {
+            s.waiting = outstanding;
+            s.blocked = kBlockedHalo;
+            return;
+          }
+        } else if (s.waiting > 0) {
+          return;  // still short of peer arrivals
+        }
+        // Complete the phase: wait for the slowest arrival, pay the
+        // transfer once per peer (peer-list order keeps the floating-point
+        // sums bit-identical to the reference engine).
+        if (pb != pe) {
+          const double latest_arrival_s = s.latest_s;
+          const double bytes = values[op];
+          if (s.cost_topo != topo || !(s.cost_bytes == bytes)) {
+            double transfer_s = 0.0;
+            for (const RankId* p = pb; p != pe; ++p) {
+              transfer_s += network_.p2p_cost_s(static_cast<std::uint32_t>(r),
+                                                *p, bytes);
+            }
+            s.cost_topo = topo;
+            s.cost_bytes = bytes;
+            s.cost_s = transfer_s;
+          }
+          const double wait_s = latest_arrival_s - s.time_s;
+          stats[r].wait_s += wait_s;
+          stats[r].transfer_s += s.cost_s;
+          stats[r].sendrecv_s += wait_s + s.cost_s;
+          s.time_s = latest_arrival_s + s.cost_s;
+        }
+        ++s.pc;
+        ++s.phase_done;
+        continue;
+      }
+      // Collective: bump the shared epoch counter; the last rank to arrive
+      // resolves it for everyone.
+      const std::size_t e = s.coll_done;
+      if (colls.size() <= e) colls.resize(e + 1);
+      CollectiveEpoch& c = colls[e];
+      ++c.arrivals;
+      c.latest_s = std::max(c.latest_s, s.time_s);
+      if (k == OpKind::kAllreduce) {
+        c.any_allreduce = true;
+        c.bytes = std::max(c.bytes, values[op]);
+      } else {
+        c.any_barrier = true;
+      }
+      s.blocked = kBlockedCollective;
+      if (c.arrivals == n) resolve_collective(e);
+      return;
+    }
+    s.blocked = kBlockedNone;  // rank finished
+  };
+
+  for (std::size_t r = n; r > 0; --r) {
+    ready.push_back(static_cast<RankId>(r - 1));
+  }
+  while (!ready.empty()) {
+    const RankId r = ready.back();
+    ready.pop_back();
+    run_rank(r);
+  }
+
+  // Queue drained: either everyone finished or the programs are misaligned.
+  for (std::size_t r = 0; r < n; ++r) {
+    if (st[r].pc >= rank_off[r + 1]) continue;
+    const std::size_t op = st[r].pc;
+    const OpKind k = static_cast<OpKind>(kinds[op]);
+    std::string msg =
+        "no rank can make progress (misaligned SPMD programs?): rank " +
+        std::to_string(r) + " blocked at pc " +
+        std::to_string(op - rank_off[r]) + " (" + kind_name(k) + ")";
+    if (k == OpKind::kHaloExchange) {
+      const std::uint32_t phase = st[r].phase_done;
+      const std::uint32_t topo = topos[op];
+      msg += " in exchange phase " + std::to_string(phase);
+      for (const RankId* p = peer_tab + peer_off[topo];
+           p != peer_tab + peer_off[topo + 1]; ++p) {
+        if (st[*p].arrived <= phase) {
+          msg += ", waiting on peer " + std::to_string(*p) +
+                 " (which reached only " + std::to_string(st[*p].arrived) +
+                 " exchange phases)";
+          break;
+        }
+      }
+    } else if (k == OpKind::kAllreduce || k == OpKind::kBarrier) {
+      const std::uint32_t e = st[r].coll_done;
+      msg += " #" + std::to_string(e);
+      for (std::size_t q = 0; q < n; ++q) {
+        if (st[q].blocked == kBlockedCollective && st[q].coll_done == e) {
+          continue;
+        }
+        msg += ", waiting on rank " + std::to_string(q) +
+               (st[q].pc >= rank_off[q + 1] ? " (which already finished)"
+                                            : " (which is not at a collective)");
+        break;
+      }
+    }
+    throw DeadlockError(msg);
+  }
+
+  std::vector<double> time_s(n);
+  for (std::size_t r = 0; r < n; ++r) time_s[r] = st[r].time_s;
+  return finalize(std::move(stats), time_s);
+}
+
+RunResult Engine::run_phase_sync(const ProgramImage& img) const {
+  const std::size_t n = img.nranks();
+  std::vector<RankStats> stats(n);
+  std::vector<double> time_s(n, 0.0);
+  std::vector<std::size_t> pc(n);
+  // Arrival time and arrival count at the current phase. A stuck rank's
+  // entries freeze, which is exactly what its peers must observe (the rank
+  // arrived, it just never completes).
+  std::vector<double> arr(n, 0.0);
+  std::vector<std::uint32_t> arrived(n, 0);
+  std::vector<std::uint8_t> stuck(n, 0);
+  // Per-rank transfer-cost cache — same key and same arithmetic as the
+  // scheduler path, so the cached sums are bit-identical.
+  std::vector<std::uint32_t> cost_topo(n, 0xFFFFFFFFu);
+  std::vector<double> cost_bytes(n, 0.0);
+  std::vector<double> cost_s(n, 0.0);
+
+  const std::uint8_t* kinds = img.kinds();
+  const double* values = img.values();
+  const std::uint32_t* topos = img.topologies();
+  const std::size_t* rank_off = img.rank_offsets();
+  const std::uint32_t* peer_off = img.peer_offsets();
+  const RankId* peer_tab = img.peers();
+
+  for (std::size_t r = 0; r < n; ++r) pc[r] = rank_off[r];
+
+  // With phase-invariant peer sets and no collectives, every running rank
+  // is at the same exchange-phase index, so each phase is two sequential
+  // sweeps over the ranks — no scheduler, no queues, no random-access peer
+  // probes.
+  for (std::uint32_t phase = 0;; ++phase) {
+    // Sweep 1: fold compute runs, record this phase's arrivals.
+    std::size_t at_halo = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (stuck[r]) continue;
+      std::size_t p = pc[r];
+      const std::size_t end = rank_off[r + 1];
+      double t = time_s[r];
+      while (p < end && static_cast<OpKind>(kinds[p]) == OpKind::kCompute) {
+        t += values[p];
+        stats[r].compute_s += values[p];
+        ++p;
+      }
+      time_s[r] = t;
+      pc[r] = p;
+      if (p < end) {  // the image has no collectives: this is a halo op
+        arr[r] = t;
+        arrived[r] = phase + 1;
+        ++at_halo;
+      }
+    }
+    if (at_halo == 0) break;  // every rank finished (or stuck earlier)
+
+    // Sweep 2: complete every exchange whose peers all arrived. A missing
+    // peer is either finished or stuck at an earlier phase — both
+    // permanent — so this rank is stuck for good.
+    std::size_t progressed = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (stuck[r] || pc[r] >= rank_off[r + 1]) continue;
+      const std::size_t op = pc[r];
+      const std::uint32_t topo = topos[op];
+      const RankId* pb = peer_tab + peer_off[topo];
+      const RankId* pe = peer_tab + peer_off[topo + 1];
+      bool blocked = false;
+      double latest_s = time_s[r];
+      for (const RankId* p = pb; p != pe; ++p) {
+        if (arrived[*p] <= phase) {
+          blocked = true;
+          break;
+        }
+        if (arr[*p] > latest_s) latest_s = arr[*p];
+      }
+      if (blocked) {
+        stuck[r] = 1;
+        continue;
+      }
+      if (pb != pe) {
+        const double bytes = values[op];
+        if (cost_topo[r] != topo || !(cost_bytes[r] == bytes)) {
+          double transfer_s = 0.0;
+          for (const RankId* p = pb; p != pe; ++p) {
+            transfer_s += network_.p2p_cost_s(static_cast<std::uint32_t>(r),
+                                              *p, bytes);
+          }
+          cost_topo[r] = topo;
+          cost_bytes[r] = bytes;
+          cost_s[r] = transfer_s;
+        }
+        const double wait_s = latest_s - time_s[r];
+        stats[r].wait_s += wait_s;
+        stats[r].transfer_s += cost_s[r];
+        stats[r].sendrecv_s += wait_s + cost_s[r];
+        time_s[r] = latest_s + cost_s[r];
+      }
+      ++pc[r];
+      ++progressed;
+    }
+    if (progressed == 0) break;  // every remaining rank is stuck
+  }
+
+  // Same diagnostic the scheduler path emits from its drained queue: the
+  // first unfinished rank, its pc, and the peer whose arrivals ran out.
+  for (std::size_t r = 0; r < n; ++r) {
+    if (pc[r] >= rank_off[r + 1]) continue;
+    const std::size_t op = pc[r];
+    const std::uint32_t phase = arrived[r] - 1;
+    const std::uint32_t topo = topos[op];
+    std::string msg =
+        "no rank can make progress (misaligned SPMD programs?): rank " +
+        std::to_string(r) + " blocked at pc " +
+        std::to_string(op - rank_off[r]) + " (" +
+        kind_name(static_cast<OpKind>(kinds[op])) + ") in exchange phase " +
+        std::to_string(phase);
+    for (const RankId* p = peer_tab + peer_off[topo];
+         p != peer_tab + peer_off[topo + 1]; ++p) {
+      if (arrived[*p] <= phase) {
+        msg += ", waiting on peer " + std::to_string(*p) +
+               " (which reached only " + std::to_string(arrived[*p]) +
+               " exchange phases)";
+        break;
+      }
+    }
+    throw DeadlockError(msg);
+  }
+
+  return finalize(std::move(stats), time_s);
+}
+
+RunResult Engine::run_sync_free(const ProgramImage& img) const {
+  const std::size_t n = img.nranks();
+  std::vector<RankStats> stats(n);
+  std::vector<double> time_s(n, 0.0);
+  std::vector<std::size_t> pc(n);
+  for (std::size_t r = 0; r < n; ++r) pc[r] = img.op_begin(r);
+
+  // No halo ops means execution is a sequence of independent compute
+  // stretches punctuated by global collectives: fold each rank's computes
+  // analytically, then close the collective in one reduction — no
+  // scheduler, no per-op revisits.
+  std::size_t epoch = 0;
+  for (;;) {
+    std::size_t finished = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      while (pc[r] < img.op_end(r) && img.kind(pc[r]) == OpKind::kCompute) {
+        const double t_s = img.value(pc[r]);
+        time_s[r] += t_s;
+        stats[r].compute_s += t_s;
+        ++pc[r];
+      }
+      finished += pc[r] >= img.op_end(r);
+    }
+    if (finished == n) break;
+    if (finished > 0) {
+      std::size_t blocked_rank = 0;
+      while (pc[blocked_rank] >= img.op_end(blocked_rank)) ++blocked_rank;
+      std::size_t gone = 0;
+      while (pc[gone] < img.op_end(gone)) ++gone;
+      throw DeadlockError(
+          "no rank can make progress (misaligned SPMD programs?): rank " +
+          std::to_string(blocked_rank) + " blocked at pc " +
+          std::to_string(pc[blocked_rank] - img.op_begin(blocked_rank)) +
+          " (" + kind_name(img.kind(pc[blocked_rank])) + ") #" +
+          std::to_string(epoch) + ", waiting on rank " + std::to_string(gone) +
+          " (which already finished)");
+    }
+    bool all_allreduce = true, all_barrier = true;
+    double latest_s = 0.0, bytes = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (img.kind(pc[r]) == OpKind::kAllreduce) {
+        all_barrier = false;
+        bytes = std::max(bytes, img.value(pc[r]));
+      } else {
+        all_allreduce = false;
+      }
+      latest_s = std::max(latest_s, time_s[r]);
     }
     if (!all_allreduce && !all_barrier) {
       throw DeadlockError("ranks disagree on collective type");
     }
-    double cost = all_barrier ? network_.collective_cost_s(n, 8.0)
-                              : network_.collective_cost_s(n, bytes);
+    const double cost_s = all_barrier ? network_.collective_cost_s(n, 8.0)
+                                      : network_.collective_cost_s(n, bytes);
     for (std::size_t r = 0; r < n; ++r) {
-      double wait = latest - st[r].time;
-      stats[r].wait_s += wait;
-      stats[r].transfer_s += cost;
-      stats[r].collective_s += wait + cost;
-      st[r].time = latest + cost;
-      ++st[r].pc;
+      double wait_s = latest_s - time_s[r];
+      stats[r].wait_s += wait_s;
+      stats[r].transfer_s += cost_s;
+      stats[r].collective_s += wait_s + cost_s;
+      time_s[r] = latest_s + cost_s;
+      ++pc[r];
     }
-    return true;
-  };
-
-  for (;;) {
-    bool progress = false;
-    for (std::size_t r = 0; r < n; ++r) progress |= advance_local(r);
-    bool all_done = true;
-    for (std::size_t r = 0; r < n; ++r) all_done &= done(r);
-    if (all_done) break;
-    if (try_collective()) continue;
-    if (!progress) {
-      throw DeadlockError(
-          "no rank can make progress (misaligned SPMD programs?)");
-    }
+    ++epoch;
   }
-
-  RunResult result;
-  result.ranks = std::move(stats);
-  for (std::size_t r = 0; r < n; ++r) {
-    result.ranks[r].finish_time_s = st[r].time;
-    result.makespan_s = std::max(result.makespan_s, st[r].time);
-  }
-  return result;
+  return finalize(std::move(stats), time_s);
 }
 
 }  // namespace vapb::des

@@ -8,12 +8,26 @@
 //  * AllreduceOp / BarrierOp complete for everyone when the last rank
 //    arrives, plus the collective cost.
 //
+// The engine is event-driven: a ready-queue scheduler visits each op O(1)
+// times plus O(1) work per peer edge, driven by per-rank dependency
+// counters (a halo phase holds one counter decremented as peers arrive;
+// collectives hold a single shared arrival counter per epoch). Two program
+// shapes take analytic fast paths with no scheduler at all: programs
+// without halo exchanges, and pure-stencil programs (uniform topology, no
+// collectives), which execute phase-synchronously in two sequential sweeps
+// per phase. Every path produces results bit-for-bit identical to the
+// retained polling ReferenceEngine, which the differential fuzz tests
+// enforce.
+//
 // The engine validates SPMD alignment (every rank has the same sequence of
-// communication ops) and throws DeadlockError when no rank can make progress.
+// communication ops) and throws DeadlockError — naming the first blocked
+// rank, its pc, op kind and the peer it waits on — when no rank can make
+// progress.
 #pragma once
 
 #include <vector>
 
+#include "des/image.hpp"
 #include "des/network.hpp"
 #include "des/program.hpp"
 #include "util/error.hpp"
@@ -29,20 +43,39 @@ struct RunResult {
   std::vector<RankStats> ranks;
   double makespan_s = 0.0;  ///< finish time of the slowest rank
 
-  [[nodiscard]] std::vector<double> finish_times() const;
-  [[nodiscard]] std::vector<double> sendrecv_times() const;
+  /// Per-rank finish / cumulative-sendrecv times. The vectors are computed
+  /// once (engines seal results before returning them) and borrowed by the
+  /// caller; repeated metric evaluations no longer copy rank arrays.
+  [[nodiscard]] const std::vector<double>& finish_times() const;
+  [[nodiscard]] const std::vector<double>& sendrecv_times() const;
+
+  /// Recomputes makespan_s and the cached per-rank views from `ranks`.
+  /// Engines call this once at the end of a run; call it again after
+  /// mutating `ranks` by hand (tests do).
+  void seal();
+
+ private:
+  mutable std::vector<double> finish_times_cache_;
+  mutable std::vector<double> sendrecv_times_cache_;
 };
 
 class Engine {
  public:
   explicit Engine(NetworkModel network = {}) : network_(network) {}
 
-  /// Executes the programs (one per rank) to completion.
-  /// Throws InvalidArgument when `programs` is empty or peer sets are not
-  /// symmetric; DeadlockError when execution stalls (misaligned programs).
+  /// Executes a compiled image to completion. Throws InvalidArgument when
+  /// the image has no ranks; DeadlockError when execution stalls
+  /// (misaligned programs).
+  [[nodiscard]] RunResult run(const ProgramImage& image) const;
+
+  /// Convenience: compiles (validating peer symmetry) and runs. Prefer
+  /// compiling once via ProgramImage/ImageBuilder when running repeatedly.
   [[nodiscard]] RunResult run(const std::vector<RankProgram>& programs) const;
 
  private:
+  [[nodiscard]] RunResult run_sync_free(const ProgramImage& image) const;
+  [[nodiscard]] RunResult run_phase_sync(const ProgramImage& image) const;
+
   NetworkModel network_;
 };
 

@@ -1,0 +1,184 @@
+#include "des/image.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <variant>
+
+#include "util/error.hpp"
+
+namespace vapb::des {
+
+ImageBuilder::ImageBuilder(std::size_t nranks) : nranks_(nranks) {
+  img_.rank_begin_.assign(nranks + 1, 0);
+  img_.peer_begin_.assign(1, 0);
+}
+
+std::uint32_t ImageBuilder::add_topology(const std::vector<RankId>& peers) {
+  img_.peers_.insert(img_.peers_.end(), peers.begin(), peers.end());
+  img_.peer_begin_.push_back(
+      static_cast<std::uint32_t>(img_.peers_.size()));
+  return static_cast<std::uint32_t>(img_.peer_begin_.size() - 2);
+}
+
+void ImageBuilder::begin_op(RankId rank) {
+  if (built_) throw InvalidArgument("ImageBuilder: already built");
+  if (rank >= nranks_) {
+    throw InvalidArgument("ImageBuilder: rank " + std::to_string(rank) +
+                          " out of range");
+  }
+  if (rank < current_rank_) {
+    throw InvalidArgument(
+        "ImageBuilder: ops must be appended in nondecreasing rank order");
+  }
+  // Close the op streams of any ranks skipped over (they stay empty).
+  while (current_rank_ < rank) {
+    ++current_rank_;
+    img_.rank_begin_[current_rank_] = img_.kind_.size();
+  }
+}
+
+void ImageBuilder::compute(RankId rank, double seconds) {
+  begin_op(rank);
+  img_.kind_.push_back(static_cast<std::uint8_t>(OpKind::kCompute));
+  img_.value_.push_back(seconds);
+  img_.topo_.push_back(0);
+}
+
+void ImageBuilder::halo_exchange(RankId rank, std::uint32_t topology,
+                                 double bytes_per_peer) {
+  begin_op(rank);
+  if (topology >= img_.topology_count()) {
+    throw InvalidArgument("ImageBuilder: unknown topology index " +
+                          std::to_string(topology));
+  }
+  img_.kind_.push_back(static_cast<std::uint8_t>(OpKind::kHaloExchange));
+  img_.value_.push_back(bytes_per_peer);
+  img_.topo_.push_back(topology);
+  ++img_.halo_ops_;
+}
+
+void ImageBuilder::allreduce(RankId rank, double bytes) {
+  begin_op(rank);
+  img_.kind_.push_back(static_cast<std::uint8_t>(OpKind::kAllreduce));
+  img_.value_.push_back(bytes);
+  img_.topo_.push_back(0);
+  ++img_.coll_ops_;
+}
+
+void ImageBuilder::barrier(RankId rank) {
+  begin_op(rank);
+  img_.kind_.push_back(static_cast<std::uint8_t>(OpKind::kBarrier));
+  img_.value_.push_back(0.0);
+  img_.topo_.push_back(0);
+  ++img_.coll_ops_;
+}
+
+ProgramImage ImageBuilder::build() {
+  if (built_) throw InvalidArgument("ImageBuilder: already built");
+  built_ = true;
+  // Close every remaining rank's op stream.
+  while (current_rank_ + 1 < img_.rank_begin_.size()) {
+    ++current_rank_;
+    img_.rank_begin_[current_rank_] = img_.kind_.size();
+  }
+
+  const std::size_t n = img_.nranks();
+  // Per-rank halo-phase offsets, then the per-phase topology sequence used
+  // for symmetry validation. Track along the way whether each rank sticks
+  // to a single topology for all its exchanges.
+  img_.halo_phase_begin_.assign(n + 1, 0);
+  img_.uniform_topology_ = true;
+  for (std::size_t r = 0; r < n; ++r) {
+    std::size_t phases = 0;
+    std::uint32_t first_topo = 0;
+    for (std::size_t op = img_.op_begin(r); op < img_.op_end(r); ++op) {
+      if (img_.kind(op) != OpKind::kHaloExchange) continue;
+      if (phases == 0) {
+        first_topo = img_.topology(op);
+      } else if (img_.topology(op) != first_topo) {
+        img_.uniform_topology_ = false;
+      }
+      ++phases;
+    }
+    img_.halo_phase_begin_[r + 1] = img_.halo_phase_begin_[r] + phases;
+  }
+
+  // phase_topo[halo_phase_begin(r) + k] = topology of rank r's k-th phase.
+  std::vector<std::uint32_t> phase_topo(img_.total_halo_phases());
+  for (std::size_t r = 0; r < n; ++r) {
+    std::size_t k = img_.halo_phase_begin_[r];
+    for (std::size_t op = img_.op_begin(r); op < img_.op_end(r); ++op) {
+      if (img_.kind(op) == OpKind::kHaloExchange) {
+        phase_topo[k++] = img_.topology(op);
+      }
+    }
+  }
+
+  // Halo completion is only well-defined when peer lists are symmetric per
+  // phase: if p is a peer of r in r's k-th exchange, r must be a peer of p
+  // in p's k-th exchange.
+  auto phase_count = [&](std::size_t r) {
+    return img_.halo_phase_begin_[r + 1] - img_.halo_phase_begin_[r];
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = 0; k < phase_count(r); ++k) {
+      const std::uint32_t t = phase_topo[img_.halo_phase_begin_[r] + k];
+      for (const RankId* p = img_.peers_begin(t); p != img_.peers_end(t);
+           ++p) {
+        if (*p >= n) {
+          throw InvalidArgument("halo peer " + std::to_string(*p) +
+                                " out of range");
+        }
+        if (*p == r) throw InvalidArgument("halo exchange with self");
+        bool mutual = false;
+        if (k < phase_count(*p)) {
+          const std::uint32_t pt = phase_topo[img_.halo_phase_begin_[*p] + k];
+          mutual = std::find(img_.peers_begin(pt), img_.peers_end(pt),
+                             static_cast<RankId>(r)) != img_.peers_end(pt);
+        }
+        if (!mutual) {
+          throw InvalidArgument(
+              "asymmetric halo exchange: rank " + std::to_string(r) +
+              " phase " + std::to_string(k) + " lists peer " +
+              std::to_string(*p) + " but not vice versa");
+        }
+      }
+    }
+  }
+  return std::move(img_);
+}
+
+ProgramImage ProgramImage::compile(const std::vector<RankProgram>& programs) {
+  ImageBuilder b(programs.size());
+  // Identical peer lists (e.g. the same stencil neighbourhood repeated every
+  // iteration) collapse into one topology entry. The previous op's list is
+  // checked first: iteration loops repeat one neighbourhood back to back, so
+  // the common case never touches the map.
+  std::map<std::vector<RankId>, std::uint32_t> topo_ids;
+  const std::vector<RankId>* last_peers = nullptr;
+  std::uint32_t last_id = 0;
+  for (std::size_t r = 0; r < programs.size(); ++r) {
+    const auto rank = static_cast<RankId>(r);
+    for (const Op& op : programs[r].ops) {
+      if (const auto* c = std::get_if<ComputeOp>(&op)) {
+        b.compute(rank, c->seconds);
+      } else if (const auto* ex = std::get_if<HaloExchangeOp>(&op)) {
+        if (last_peers == nullptr || *last_peers != ex->peers) {
+          auto [it, inserted] = topo_ids.try_emplace(ex->peers, 0);
+          if (inserted) it->second = b.add_topology(ex->peers);
+          last_peers = &it->first;
+          last_id = it->second;
+        }
+        b.halo_exchange(rank, last_id, ex->bytes_per_peer);
+      } else if (const auto* a = std::get_if<AllreduceOp>(&op)) {
+        b.allreduce(rank, a->bytes);
+      } else {
+        b.barrier(rank);
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace vapb::des

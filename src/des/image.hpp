@@ -1,0 +1,163 @@
+// Compiled program image: the flattened, structure-of-arrays form of a set
+// of rank programs that the event-driven engine executes.
+//
+// Where RankProgram is the builder-friendly AoS representation (one
+// std::variant plus a heap-allocated peer vector per op), a ProgramImage
+// stores one contiguous op stream per run — a kind byte, a scalar payload
+// and a topology index per op — and a topology table where each distinct
+// peer list is stored exactly once and referenced by index. Workload
+// generators emit `iterations` halo ops per rank but only one topology
+// entry, so compiling a program touches O(ops) memory instead of copying
+// every peer list per iteration.
+//
+// Validation (peer ranges, self-exchanges, per-phase symmetry) happens once
+// at build()/compile() time, not on every engine run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "des/program.hpp"
+
+namespace vapb::des {
+
+/// Discriminates ops in the compiled stream. Values index the same payloads
+/// the RankProgram variant carries: seconds for compute, bytes-per-peer plus
+/// a topology index for halo, bytes for allreduce.
+enum class OpKind : std::uint8_t {
+  kCompute = 0,
+  kHaloExchange = 1,
+  kAllreduce = 2,
+  kBarrier = 3,
+};
+
+class ImageBuilder;
+
+class ProgramImage {
+ public:
+  /// Flattens and validates an AoS program set. Identical peer lists are
+  /// deduplicated into one topology entry.
+  [[nodiscard]] static ProgramImage compile(
+      const std::vector<RankProgram>& programs);
+
+  [[nodiscard]] std::size_t nranks() const {
+    return rank_begin_.empty() ? 0 : rank_begin_.size() - 1;
+  }
+  [[nodiscard]] std::size_t total_ops() const { return kind_.size(); }
+  [[nodiscard]] std::size_t halo_op_count() const { return halo_ops_; }
+  [[nodiscard]] std::size_t collective_op_count() const { return coll_ops_; }
+  [[nodiscard]] std::size_t topology_count() const {
+    return peer_begin_.empty() ? 0 : peer_begin_.size() - 1;
+  }
+  [[nodiscard]] std::size_t peer_edge_count() const { return peers_.size(); }
+
+  /// Op stream of rank r is [op_begin(r), op_end(r)).
+  [[nodiscard]] std::size_t op_begin(std::size_t r) const {
+    return rank_begin_[r];
+  }
+  [[nodiscard]] std::size_t op_end(std::size_t r) const {
+    return rank_begin_[r + 1];
+  }
+  [[nodiscard]] OpKind kind(std::size_t op) const {
+    return static_cast<OpKind>(kind_[op]);
+  }
+  /// Scalar payload: seconds (compute), bytes per peer (halo), bytes
+  /// (allreduce), unused (barrier).
+  [[nodiscard]] double value(std::size_t op) const { return value_[op]; }
+  /// Topology table index of a halo op (meaningless for other kinds).
+  [[nodiscard]] std::uint32_t topology(std::size_t op) const {
+    return topo_[op];
+  }
+
+  /// Peer list of topology entry t: [peers_begin(t), peers_end(t)).
+  [[nodiscard]] const RankId* peers_begin(std::uint32_t t) const {
+    return peers_.data() + peer_begin_[t];
+  }
+  [[nodiscard]] const RankId* peers_end(std::uint32_t t) const {
+    return peers_.data() + peer_begin_[t + 1];
+  }
+  [[nodiscard]] std::size_t peer_count(std::uint32_t t) const {
+    return peer_begin_[t + 1] - peer_begin_[t];
+  }
+
+  /// Halo phases of rank r occupy slots [halo_phase_begin(r),
+  /// halo_phase_begin(r+1)) of a flat per-phase array (arrival times in the
+  /// engine). halo_phase_begin(nranks()) is the total phase count.
+  [[nodiscard]] std::size_t halo_phase_begin(std::size_t r) const {
+    return halo_phase_begin_[r];
+  }
+  [[nodiscard]] std::size_t total_halo_phases() const {
+    return halo_phase_begin_.empty() ? 0 : halo_phase_begin_.back();
+  }
+
+  /// True when every rank's halo ops all reference one topology (the stencil
+  /// workloads' shape). Peer sets are then phase-invariant, which lets the
+  /// engine prove a peer is never more than one exchange phase ahead and
+  /// skip the per-phase arrival array entirely.
+  [[nodiscard]] bool uniform_topology() const { return uniform_topology_; }
+
+  // Raw column pointers for the engine's hot loop (hoisting them into
+  // locals lets the optimizer keep them in registers across the stores the
+  // scheduler makes to its own state arrays).
+  [[nodiscard]] const std::uint8_t* kinds() const { return kind_.data(); }
+  [[nodiscard]] const double* values() const { return value_.data(); }
+  [[nodiscard]] const std::uint32_t* topologies() const { return topo_.data(); }
+  [[nodiscard]] const std::size_t* rank_offsets() const {
+    return rank_begin_.data();
+  }
+  [[nodiscard]] const std::size_t* halo_phase_offsets() const {
+    return halo_phase_begin_.data();
+  }
+  [[nodiscard]] const std::uint32_t* peer_offsets() const {
+    return peer_begin_.data();
+  }
+  [[nodiscard]] const RankId* peers() const { return peers_.data(); }
+
+ private:
+  friend class ImageBuilder;
+  ProgramImage() = default;
+
+  std::vector<std::uint8_t> kind_;
+  std::vector<double> value_;
+  std::vector<std::uint32_t> topo_;
+  std::vector<std::size_t> rank_begin_;        ///< size nranks + 1
+  std::vector<std::size_t> halo_phase_begin_;  ///< size nranks + 1
+  std::vector<std::uint32_t> peer_begin_;      ///< size topologies + 1
+  std::vector<RankId> peers_;
+  std::size_t halo_ops_ = 0;
+  std::size_t coll_ops_ = 0;
+  bool uniform_topology_ = false;
+};
+
+/// Streams ops straight into image form, rank-major (all ops of rank 0, then
+/// rank 1, ...). Topologies are registered once up front and referenced by
+/// index from any number of halo ops, which is how the workload generators
+/// avoid materializing a peer vector per iteration.
+class ImageBuilder {
+ public:
+  explicit ImageBuilder(std::size_t nranks);
+
+  /// Registers a peer list; returns its index for halo_exchange().
+  std::uint32_t add_topology(const std::vector<RankId>& peers);
+
+  void compute(RankId rank, double seconds);
+  void halo_exchange(RankId rank, std::uint32_t topology,
+                     double bytes_per_peer);
+  void allreduce(RankId rank, double bytes);
+  void barrier(RankId rank);
+
+  /// Validates (peer ranges, self-exchange, per-phase symmetry) and returns
+  /// the finished image. The builder must not be reused afterwards.
+  [[nodiscard]] ProgramImage build();
+
+ private:
+  void begin_op(RankId rank);
+
+  ProgramImage img_;
+  std::size_t nranks_ = 0;
+  RankId current_rank_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace vapb::des

@@ -1,0 +1,180 @@
+#include "des/reference_engine.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace vapb::des {
+
+namespace {
+
+struct RankState {
+  std::size_t pc = 0;              // next op index
+  double time = 0.0;               // local clock
+  std::size_t exchange_phase = 0;  // halo exchanges completed
+};
+
+/// Validates that peer lists are symmetric: if p is a peer of r in r's k-th
+/// exchange, r must be a peer of p in p's k-th exchange. Halo completion is
+/// only well-defined under this condition.
+void validate_symmetry(const std::vector<RankProgram>& programs) {
+  const std::size_t n = programs.size();
+  std::vector<std::vector<const HaloExchangeOp*>> phases(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (const auto& op : programs[r].ops) {
+      if (const auto* ex = std::get_if<HaloExchangeOp>(&op)) {
+        phases[r].push_back(ex);
+        for (RankId p : ex->peers) {
+          if (p >= n) {
+            throw InvalidArgument("halo peer " + std::to_string(p) +
+                                  " out of range");
+          }
+          if (p == r) throw InvalidArgument("halo exchange with self");
+        }
+      }
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = 0; k < phases[r].size(); ++k) {
+      for (RankId p : phases[r][k]->peers) {
+        if (k >= phases[p].size() ||
+            std::find(phases[p][k]->peers.begin(), phases[p][k]->peers.end(),
+                      static_cast<RankId>(r)) == phases[p][k]->peers.end()) {
+          throw InvalidArgument(
+              "asymmetric halo exchange: rank " + std::to_string(r) +
+              " phase " + std::to_string(k) + " lists peer " +
+              std::to_string(p) + " but not vice versa");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RunResult ReferenceEngine::run(const std::vector<RankProgram>& programs) const {
+  if (programs.empty()) throw InvalidArgument("Engine: no rank programs");
+  const std::size_t n = programs.size();
+  validate_symmetry(programs);
+
+  std::vector<RankState> st(n);
+  std::vector<RankStats> stats(n);
+  // exch_arrival[r][k] = local time at which rank r arrived at its k-th
+  // exchange phase. Peers consult this even after r completes the phase
+  // (peer sets differ, so completion order is not symmetric).
+  std::vector<std::vector<double>> exch_arrival(n);
+
+  auto done = [&](std::size_t r) { return st[r].pc >= programs[r].ops.size(); };
+
+  // Advances rank r through every op it can resolve locally. Returns true on
+  // any progress.
+  auto advance_local = [&](std::size_t r) {
+    bool progress = false;
+    while (!done(r)) {
+      const Op& op = programs[r].ops[st[r].pc];
+      if (const auto* c = std::get_if<ComputeOp>(&op)) {
+        st[r].time += c->seconds;
+        stats[r].compute_s += c->seconds;
+        ++st[r].pc;
+        progress = true;
+        continue;
+      }
+      if (const auto* ex = std::get_if<HaloExchangeOp>(&op)) {
+        const std::size_t phase = st[r].exchange_phase;
+        // Record arrival the first time we see this phase.
+        if (exch_arrival[r].size() == phase) {
+          exch_arrival[r].push_back(st[r].time);
+        }
+        if (ex->peers.empty()) {
+          ++st[r].pc;
+          ++st[r].exchange_phase;
+          progress = true;
+          continue;
+        }
+        double latest_arrival = st[r].time;
+        bool all_arrived = true;
+        for (RankId p : ex->peers) {
+          if (exch_arrival[p].size() <= phase) {
+            all_arrived = false;
+            break;
+          }
+          latest_arrival = std::max(latest_arrival, exch_arrival[p][phase]);
+        }
+        if (!all_arrived) return progress;  // blocked
+        double wait = latest_arrival - st[r].time;
+        double transfer = 0.0;
+        for (RankId p : ex->peers) {
+          transfer += network_.p2p_cost_s(static_cast<std::uint32_t>(r), p,
+                                          ex->bytes_per_peer);
+        }
+        stats[r].wait_s += wait;
+        stats[r].transfer_s += transfer;
+        stats[r].sendrecv_s += wait + transfer;
+        st[r].time = latest_arrival + transfer;
+        ++st[r].pc;
+        ++st[r].exchange_phase;
+        progress = true;
+        continue;
+      }
+      // Collective: handled globally.
+      return progress;
+    }
+    return progress;
+  };
+
+  auto try_collective = [&] {
+    bool all_allreduce = true, all_barrier = true;
+    double latest = 0.0, bytes = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (done(r)) return false;
+      const Op& op = programs[r].ops[st[r].pc];
+      if (const auto* a = std::get_if<AllreduceOp>(&op)) {
+        all_barrier = false;
+        bytes = std::max(bytes, a->bytes);
+      } else if (std::holds_alternative<BarrierOp>(op)) {
+        all_allreduce = false;
+      } else {
+        return false;
+      }
+      latest = std::max(latest, st[r].time);
+    }
+    if (!all_allreduce && !all_barrier) {
+      throw DeadlockError("ranks disagree on collective type");
+    }
+    double cost = all_barrier ? network_.collective_cost_s(n, 8.0)
+                              : network_.collective_cost_s(n, bytes);
+    for (std::size_t r = 0; r < n; ++r) {
+      double wait = latest - st[r].time;
+      stats[r].wait_s += wait;
+      stats[r].transfer_s += cost;
+      stats[r].collective_s += wait + cost;
+      st[r].time = latest + cost;
+      ++st[r].pc;
+    }
+    return true;
+  };
+
+  for (;;) {
+    bool progress = false;
+    for (std::size_t r = 0; r < n; ++r) progress |= advance_local(r);
+    bool all_done = true;
+    for (std::size_t r = 0; r < n; ++r) all_done &= done(r);
+    if (all_done) break;
+    if (try_collective()) continue;
+    if (!progress) {
+      throw DeadlockError(
+          "no rank can make progress (misaligned SPMD programs?)");
+    }
+  }
+
+  RunResult result;
+  result.ranks = std::move(stats);
+  for (std::size_t r = 0; r < n; ++r) {
+    result.ranks[r].finish_time_s = st[r].time;
+  }
+  result.seal();
+  return result;
+}
+
+}  // namespace vapb::des

@@ -1,0 +1,30 @@
+// The original round-robin polling engine, retained verbatim as the
+// differential-testing oracle for the event-driven Engine and as the
+// before-side of the perf-regression benches.
+//
+// Every global round it rescans all ranks and re-checks every halo peer of
+// every blocked rank (worst case O(ranks^2 x phases) peer probes), and it
+// re-validates peer-list symmetry on every run. Do not use it on hot paths;
+// its one job is to define the semantics the fast engine must reproduce
+// bit for bit.
+#pragma once
+
+#include <vector>
+
+#include "des/engine.hpp"
+
+namespace vapb::des {
+
+class ReferenceEngine {
+ public:
+  explicit ReferenceEngine(NetworkModel network = {}) : network_(network) {}
+
+  /// Executes the programs (one per rank) to completion. Same contract and
+  /// bit-identical results as Engine::run.
+  [[nodiscard]] RunResult run(const std::vector<RankProgram>& programs) const;
+
+ private:
+  NetworkModel network_;
+};
+
+}  // namespace vapb::des

@@ -46,4 +46,49 @@ std::vector<des::RankProgram> build_programs(
   return programs;
 }
 
+des::ProgramImage build_program_image(const Workload& w, std::size_t nranks,
+                                      int iterations,
+                                      const ComputeTimeFn& compute_seconds) {
+  if (nranks == 0) throw InvalidArgument("build_programs: nranks == 0");
+  if (iterations <= 0) throw InvalidArgument("build_programs: iterations <= 0");
+
+  const bool halo = w.comm == CommPattern::kHalo1D ||
+                    w.comm == CommPattern::kHalo3D ||
+                    w.comm == CommPattern::kHalo3DWithReduce;
+  auto dims = des::topology::balanced_dims_3d(nranks);
+  des::ImageBuilder b(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    auto rank = static_cast<des::RankId>(r);
+    // One topology entry covers every iteration's halo op of this rank.
+    std::uint32_t topo = 0;
+    if (halo) {
+      topo = b.add_topology(
+          w.comm == CommPattern::kHalo1D
+              ? des::topology::chain_1d(rank, nranks)
+              : des::topology::grid_3d(rank, dims[0], dims[1], dims[2]));
+    }
+    for (int it = 0; it < iterations; ++it) {
+      b.compute(rank, compute_seconds(r, it));
+      switch (w.comm) {
+        case CommPattern::kNone:
+          break;
+        case CommPattern::kHalo1D:
+        case CommPattern::kHalo3D:
+          b.halo_exchange(rank, topo, w.halo_bytes_per_peer);
+          break;
+        case CommPattern::kAllreduce:
+          b.allreduce(rank, w.allreduce_bytes);
+          break;
+        case CommPattern::kHalo3DWithReduce:
+          b.halo_exchange(rank, topo, w.halo_bytes_per_peer);
+          if ((it + 1) % w.reduce_every == 0) {
+            b.allreduce(rank, w.allreduce_bytes);
+          }
+          break;
+      }
+    }
+  }
+  return b.build();
+}
+
 }  // namespace vapb::workloads

@@ -7,6 +7,7 @@
 #include <functional>
 #include <vector>
 
+#include "des/image.hpp"
 #include "des/program.hpp"
 #include "workloads/workload.hpp"
 
@@ -21,5 +22,15 @@ std::vector<des::RankProgram> build_programs(const Workload& w,
                                              std::size_t nranks,
                                              int iterations,
                                              const ComputeTimeFn& compute_seconds);
+
+/// Same programs as build_programs, compiled directly into image form: each
+/// rank's stencil neighbourhood is registered as one topology entry and
+/// referenced by every iteration's halo op, instead of materializing a peer
+/// vector per iteration. Calls compute_seconds in the same (rank-major,
+/// iteration-minor) order as build_programs and yields a bit-identical
+/// simulation.
+des::ProgramImage build_program_image(const Workload& w, std::size_t nranks,
+                                      int iterations,
+                                      const ComputeTimeFn& compute_seconds);
 
 }  // namespace vapb::workloads

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "des/reference_engine.hpp"
 #include "util/error.hpp"
 
 namespace vapb::des {
@@ -14,8 +15,17 @@ NetworkModel zero_net() {
   return n;
 }
 
-TEST(Engine, ComputeOnlyRanksFinishIndependently) {
-  Engine e(zero_net());
+// Every semantic test runs against both the event-driven Engine and the
+// polling ReferenceEngine: the reference defines the semantics, the typed
+// suite keeps the fast engine honest.
+template <typename E>
+class EngineSemantics : public ::testing::Test {};
+
+using EngineTypes = ::testing::Types<Engine, ReferenceEngine>;
+TYPED_TEST_SUITE(EngineSemantics, EngineTypes);
+
+TYPED_TEST(EngineSemantics, ComputeOnlyRanksFinishIndependently) {
+  TypeParam e(zero_net());
   std::vector<RankProgram> progs(3);
   progs[0].compute(1.0);
   progs[1].compute(2.0);
@@ -28,8 +38,8 @@ TEST(Engine, ComputeOnlyRanksFinishIndependently) {
   EXPECT_DOUBLE_EQ(r.ranks[0].wait_s, 0.0);
 }
 
-TEST(Engine, BarrierSynchronizesEveryone) {
-  Engine e(zero_net());
+TYPED_TEST(EngineSemantics, BarrierSynchronizesEveryone) {
+  TypeParam e(zero_net());
   std::vector<RankProgram> progs(3);
   for (std::size_t r = 0; r < 3; ++r) {
     progs[r].compute(1.0 + static_cast<double>(r));
@@ -46,11 +56,11 @@ TEST(Engine, BarrierSynchronizesEveryone) {
   EXPECT_DOUBLE_EQ(res.ranks[0].collective_s, 2.0);
 }
 
-TEST(Engine, AllreduceSameAsBarrierPlusCost) {
+TYPED_TEST(EngineSemantics, AllreduceSameAsBarrierPlusCost) {
   NetworkModel net;
   net.latency_s = 0.5;
   net.bandwidth_bytes_per_s = 1e30;
-  Engine e(net);
+  TypeParam e(net);
   std::vector<RankProgram> progs(4);
   for (auto& p : progs) {
     p.compute(1.0);
@@ -61,8 +71,8 @@ TEST(Engine, AllreduceSameAsBarrierPlusCost) {
   for (const auto& rs : r.ranks) EXPECT_DOUBLE_EQ(rs.finish_time_s, 2.0);
 }
 
-TEST(Engine, HaloExchangeWaitsForSlowestNeighbourOnly) {
-  Engine e(zero_net());
+TYPED_TEST(EngineSemantics, HaloExchangeWaitsForSlowestNeighbourOnly) {
+  TypeParam e(zero_net());
   // Chain of 3: rank1 talks to both; rank0 and rank2 only to rank1.
   std::vector<RankProgram> progs(3);
   progs[0].compute(1.0);
@@ -80,8 +90,8 @@ TEST(Engine, HaloExchangeWaitsForSlowestNeighbourOnly) {
   EXPECT_DOUBLE_EQ(r.ranks[0].sendrecv_s, 4.0);
 }
 
-TEST(Engine, WavePropagatesThroughChainOverIterations) {
-  Engine e(zero_net());
+TYPED_TEST(EngineSemantics, WavePropagatesThroughChainOverIterations) {
+  TypeParam e(zero_net());
   // 4-rank chain, 5 iterations; rank 3 is slow. Slowness propagates one hop
   // per exchange (arrival semantics: a neighbour's *arrival*, not its own
   // exchange completion, is what a rank waits for), so rank 0 feels rank 3
@@ -104,11 +114,11 @@ TEST(Engine, WavePropagatesThroughChainOverIterations) {
   EXPECT_GT(res.ranks[2].wait_s, res.ranks[0].wait_s);
 }
 
-TEST(Engine, TransferCostPaidPerPeer) {
+TYPED_TEST(EngineSemantics, TransferCostPaidPerPeer) {
   NetworkModel net;
   net.latency_s = 1.0;
   net.bandwidth_bytes_per_s = 1e30;
-  Engine e(net);
+  TypeParam e(net);
   std::vector<RankProgram> progs(3);
   progs[0].compute(1.0);
   progs[1].compute(1.0);
@@ -122,11 +132,11 @@ TEST(Engine, TransferCostPaidPerPeer) {
   EXPECT_DOUBLE_EQ(r.ranks[1].transfer_s, 2.0);
 }
 
-TEST(Engine, BandwidthTermScalesWithBytes) {
+TYPED_TEST(EngineSemantics, BandwidthTermScalesWithBytes) {
   NetworkModel net;
   net.latency_s = 0.0;
   net.bandwidth_bytes_per_s = 100.0;
-  Engine e(net);
+  TypeParam e(net);
   std::vector<RankProgram> progs(2);
   progs[0].halo_exchange({1}, 50.0);
   progs[1].halo_exchange({0}, 50.0);
@@ -134,8 +144,8 @@ TEST(Engine, BandwidthTermScalesWithBytes) {
   EXPECT_DOUBLE_EQ(r.ranks[0].finish_time_s, 0.5);
 }
 
-TEST(Engine, EmptyPeerListIsNoop) {
-  Engine e(zero_net());
+TYPED_TEST(EngineSemantics, EmptyPeerListIsNoop) {
+  TypeParam e(zero_net());
   std::vector<RankProgram> progs(1);
   progs[0].compute(1.0);
   progs[0].halo_exchange({}, 100.0);
@@ -143,57 +153,164 @@ TEST(Engine, EmptyPeerListIsNoop) {
   EXPECT_DOUBLE_EQ(r.ranks[0].finish_time_s, 1.0);
 }
 
-TEST(Engine, AsymmetricPeersRejected) {
-  Engine e(zero_net());
+TYPED_TEST(EngineSemantics, AsymmetricPeersRejected) {
+  TypeParam e(zero_net());
   std::vector<RankProgram> progs(2);
   progs[0].halo_exchange({1}, 0.0);
   progs[1].compute(1.0);  // rank 1 never lists rank 0
   EXPECT_THROW(static_cast<void>(e.run(progs)), InvalidArgument);
 }
 
-TEST(Engine, SelfExchangeRejected) {
-  Engine e(zero_net());
+TYPED_TEST(EngineSemantics, SelfExchangeRejected) {
+  TypeParam e(zero_net());
   std::vector<RankProgram> progs(1);
   progs[0].halo_exchange({0}, 0.0);
   EXPECT_THROW(static_cast<void>(e.run(progs)), InvalidArgument);
 }
 
-TEST(Engine, PeerOutOfRangeRejected) {
-  Engine e(zero_net());
+TYPED_TEST(EngineSemantics, PeerOutOfRangeRejected) {
+  TypeParam e(zero_net());
   std::vector<RankProgram> progs(2);
   progs[0].halo_exchange({5}, 0.0);
   progs[1].halo_exchange({0}, 0.0);
   EXPECT_THROW(static_cast<void>(e.run(progs)), InvalidArgument);
 }
 
-TEST(Engine, MisalignedCollectivesDeadlock) {
-  Engine e(zero_net());
+TYPED_TEST(EngineSemantics, MisalignedCollectivesDeadlock) {
+  TypeParam e(zero_net());
   std::vector<RankProgram> progs(2);
   progs[0].barrier();
   progs[1].allreduce(8.0);
   EXPECT_THROW(static_cast<void>(e.run(progs)), DeadlockError);
 }
 
-TEST(Engine, MissingCollectiveDeadlocks) {
-  Engine e(zero_net());
+TYPED_TEST(EngineSemantics, MissingCollectiveDeadlocks) {
+  TypeParam e(zero_net());
   std::vector<RankProgram> progs(2);
   progs[0].barrier();
   // rank 1 has nothing: rank 0 waits forever.
   EXPECT_THROW(static_cast<void>(e.run(progs)), DeadlockError);
 }
 
-TEST(Engine, NoProgramsRejected) {
-  Engine e;
-  EXPECT_THROW(static_cast<void>(e.run({})), InvalidArgument);
+TYPED_TEST(EngineSemantics, NoProgramsRejected) {
+  TypeParam e;
+  EXPECT_THROW(static_cast<void>(e.run(std::vector<RankProgram>{})),
+               InvalidArgument);
 }
 
-TEST(Engine, ComputeAccountingSumsDurations) {
-  Engine e(zero_net());
+TYPED_TEST(EngineSemantics, ComputeAccountingSumsDurations) {
+  TypeParam e(zero_net());
   std::vector<RankProgram> progs(1);
   progs[0].compute(1.5);
   progs[0].compute(2.5);
   RunResult r = e.run(progs);
   EXPECT_DOUBLE_EQ(r.ranks[0].compute_s, 4.0);
+}
+
+// --- Engine-only behaviour: deadlock diagnostics and cached views. ---
+
+TEST(EngineDiagnostics, MissingCollectiveNamesBlockedRankAndCulprit) {
+  Engine e(zero_net());
+  std::vector<RankProgram> progs(2);
+  progs[0].compute(1.0);
+  progs[0].barrier();
+  try {
+    static_cast<void>(e.run(progs));
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("no rank can make progress"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rank 0 blocked at pc 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(barrier)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("waiting on rank 1 (which already finished)"),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST(EngineDiagnostics, HaloDeadlockNamesWaitedOnPeer) {
+  Engine e(zero_net());
+  // rank 0 sits in a halo exchange; its peer never reaches the exchange
+  // because it is parked at an allreduce rank 0 never joins.
+  std::vector<RankProgram> progs(2);
+  progs[0].halo_exchange({1}, 0.0);
+  progs[1].allreduce(8.0);
+  progs[1].halo_exchange({0}, 0.0);
+  try {
+    static_cast<void>(e.run(progs));
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("rank 0 blocked at pc 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("halo exchange"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("waiting on peer 1"), std::string::npos) << msg;
+  }
+}
+
+TEST(EngineDiagnostics, MixedCollectiveKeepsOriginalMessage) {
+  Engine e(zero_net());
+  std::vector<RankProgram> progs(2);
+  progs[0].barrier();
+  progs[1].allreduce(8.0);
+  try {
+    static_cast<void>(e.run(progs));
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& err) {
+    EXPECT_STREQ(err.what(), "ranks disagree on collective type");
+  }
+}
+
+TEST(EngineRunResult, FinishTimesAreCachedViews) {
+  Engine e(zero_net());
+  std::vector<RankProgram> progs(2);
+  progs[0].compute(1.0);
+  progs[1].compute(2.0);
+  RunResult r = e.run(progs);
+  const std::vector<double>& ft = r.finish_times();
+  ASSERT_EQ(ft.size(), 2u);
+  EXPECT_DOUBLE_EQ(ft[0], 1.0);
+  EXPECT_DOUBLE_EQ(ft[1], 2.0);
+  // Borrowed view: repeated calls return the same storage, no copies.
+  EXPECT_EQ(&r.finish_times(), &ft);
+  EXPECT_EQ(r.finish_times().data(), ft.data());
+  const std::vector<double>& sr = r.sendrecv_times();
+  ASSERT_EQ(sr.size(), 2u);
+  EXPECT_EQ(&r.sendrecv_times(), &sr);
+}
+
+TEST(EngineRunResult, SealRefreshesViewsAfterMutation) {
+  Engine e(zero_net());
+  std::vector<RankProgram> progs(2);
+  progs[0].compute(1.0);
+  progs[1].compute(2.0);
+  RunResult r = e.run(progs);
+  r.ranks[0].finish_time_s = 7.0;
+  r.seal();
+  EXPECT_DOUBLE_EQ(r.makespan_s, 7.0);
+  EXPECT_DOUBLE_EQ(r.finish_times()[0], 7.0);
+}
+
+TEST(EngineImage, RunningCompiledImageMatchesProgramOverload) {
+  NetworkModel net;
+  net.latency_s = 1e-6;
+  net.bandwidth_bytes_per_s = 1e9;
+  Engine e(net);
+  std::vector<RankProgram> progs(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    progs[r].compute(1.0 + 0.1 * static_cast<double>(r));
+    progs[r].halo_exchange(topology::chain_1d(static_cast<RankId>(r), 4),
+                           4096.0);
+    progs[r].allreduce(64.0);
+  }
+  ProgramImage img = ProgramImage::compile(progs);
+  RunResult a = e.run(progs);
+  RunResult b = e.run(img);
+  ASSERT_EQ(a.ranks.size(), b.ranks.size());
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    EXPECT_EQ(a.ranks[r].finish_time_s, b.ranks[r].finish_time_s);
+    EXPECT_EQ(a.ranks[r].wait_s, b.ranks[r].wait_s);
+  }
 }
 
 class GridSyncScale : public ::testing::TestWithParam<std::size_t> {};
@@ -203,6 +320,7 @@ TEST_P(GridSyncScale, SlowRankGatesBulkSynchronousGrid) {
   // iterations the wave reaches everyone; makespan ~ slow rank's pace.
   const std::size_t n = GetParam();
   Engine e(zero_net());
+  ReferenceEngine ref(zero_net());
   auto dims = topology::balanced_dims_3d(n);
   const int iters = 12;
   std::vector<RankProgram> progs(n);
@@ -219,6 +337,13 @@ TEST_P(GridSyncScale, SlowRankGatesBulkSynchronousGrid) {
   // Everyone's total (compute + wait) is bounded by the makespan.
   for (const auto& rs : res.ranks) {
     EXPECT_LE(rs.finish_time_s, res.makespan_s + 1e-9);
+  }
+  // And the event-driven schedule reproduces the polling engine exactly.
+  RunResult expect = ref.run(progs);
+  EXPECT_EQ(res.makespan_s, expect.makespan_s);
+  for (std::size_t r = 0; r < n; ++r) {
+    EXPECT_EQ(res.ranks[r].finish_time_s, expect.ranks[r].finish_time_s);
+    EXPECT_EQ(res.ranks[r].wait_s, expect.ranks[r].wait_s);
   }
 }
 

@@ -1,12 +1,17 @@
 // Property-based fuzzing of the discrete-event engine: random SPMD programs
 // with random symmetric halo topologies must satisfy conservation and
-// ordering invariants regardless of structure.
+// ordering invariants regardless of structure — and the event-driven Engine
+// must reproduce the polling ReferenceEngine bit for bit (same RankStats,
+// same makespan, byte-identical doubles).
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <vector>
 
 #include "des/engine.hpp"
+#include "des/reference_engine.hpp"
 #include "util/rng.hpp"
 
 namespace vapb::des {
@@ -134,6 +139,152 @@ TEST_P(DesFuzz, SlowingOneRankNeverSpeedsAnyoneUp) {
   for (std::size_t r = 0; r < n; ++r) {
     ASSERT_GE(after.ranks[r].finish_time_s,
               before.ranks[r].finish_time_s - 1e-9);
+  }
+}
+
+// --- Differential fuzzing: Engine vs ReferenceEngine, bit for bit. ---
+
+/// Exact comparison: NaN-proof and sign-of-zero-proof, unlike ==.
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+void expect_identical(const RunResult& got, const RunResult& want) {
+  ASSERT_EQ(got.ranks.size(), want.ranks.size());
+  ASSERT_TRUE(same_bits(got.makespan_s, want.makespan_s))
+      << got.makespan_s << " vs " << want.makespan_s;
+  for (std::size_t r = 0; r < got.ranks.size(); ++r) {
+    const RankStats& g = got.ranks[r];
+    const RankStats& w = want.ranks[r];
+    ASSERT_TRUE(same_bits(g.compute_s, w.compute_s)) << "rank " << r;
+    ASSERT_TRUE(same_bits(g.wait_s, w.wait_s))
+        << "rank " << r << ": " << g.wait_s << " vs " << w.wait_s;
+    ASSERT_TRUE(same_bits(g.transfer_s, w.transfer_s)) << "rank " << r;
+    ASSERT_TRUE(same_bits(g.sendrecv_s, w.sendrecv_s)) << "rank " << r;
+    ASSERT_TRUE(same_bits(g.collective_s, w.collective_s)) << "rank " << r;
+    ASSERT_TRUE(same_bits(g.finish_time_s, w.finish_time_s))
+        << "rank " << r << ": " << g.finish_time_s << " vs "
+        << w.finish_time_s;
+  }
+}
+
+/// A network with nontrivial latency, bandwidth and an intra-node tier, so
+/// the differential test exercises asymmetric p2p costs too.
+NetworkModel fuzz_net(util::Rng& rng) {
+  NetworkModel net;
+  net.latency_s = rng.uniform(1e-7, 1e-5);
+  net.bandwidth_bytes_per_s = rng.uniform(1e8, 1e11);
+  net.intra_latency_s = rng.uniform(1e-8, 1e-6);
+  net.intra_bandwidth_bytes_per_s = rng.uniform(1e9, 1e12);
+  net.ranks_per_node = static_cast<std::uint32_t>(1 + rng.uniform_index(4));
+  return net;
+}
+
+TEST_P(DesFuzz, EventEngineMatchesReferenceBitForBit) {
+  util::Rng rng{util::SeedSequence(GetParam()).fork("differential")};
+  for (int trial = 0; trial < 10; ++trial) {
+    std::size_t n = 2 + rng.uniform_index(30);
+    FuzzCase fc = random_programs(n, rng);
+    NetworkModel net = fuzz_net(rng);
+    RunResult want = ReferenceEngine(net).run(fc.programs);
+    RunResult got = Engine(net).run(fc.programs);
+    expect_identical(got, want);
+    // Running the precompiled image must change nothing either.
+    RunResult img = Engine(net).run(ProgramImage::compile(fc.programs));
+    expect_identical(img, want);
+  }
+}
+
+TEST_P(DesFuzz, SyncFreeFastPathMatchesReferenceBitForBit) {
+  // Programs with no halo exchanges take Engine's analytic fast path; pin it
+  // against the reference separately so scheduler coverage can't mask it.
+  util::Rng rng{util::SeedSequence(GetParam()).fork("sync-free")};
+  for (int trial = 0; trial < 10; ++trial) {
+    std::size_t n = 2 + rng.uniform_index(30);
+    std::vector<RankProgram> progs(n);
+    int segments = 1 + static_cast<int>(rng.uniform_index(8));
+    for (int s = 0; s < segments; ++s) {
+      for (auto& p : progs) p.compute(rng.uniform(0.1, 5.0));
+      switch (rng.uniform_index(3)) {
+        case 0:
+          for (auto& p : progs) p.allreduce(rng.uniform(8.0, 1e5));
+          break;
+        case 1:
+          for (auto& p : progs) p.barrier();
+          break;
+        default:
+          break;  // compute-only segment
+      }
+    }
+    NetworkModel net = fuzz_net(rng);
+    RunResult want = ReferenceEngine(net).run(progs);
+    RunResult got = Engine(net).run(progs);
+    expect_identical(got, want);
+  }
+}
+
+TEST_P(DesFuzz, PhaseSyncFastPathMatchesReferenceBitForBit) {
+  // Pure-stencil programs — one constant symmetric neighbourhood per rank,
+  // no collectives — take Engine's phase-synchronous fast path; pin it
+  // against the reference separately so scheduler coverage can't mask it.
+  util::Rng rng{util::SeedSequence(GetParam()).fork("phase-sync")};
+  for (int trial = 0; trial < 10; ++trial) {
+    std::size_t n = 2 + rng.uniform_index(30);
+    auto graph = random_symmetric_graph(n, rng);
+    std::vector<RankProgram> progs(n);
+    int iters = 1 + static_cast<int>(rng.uniform_index(12));
+    double bytes = rng.uniform(0.0, 1e6);
+    for (int it = 0; it < iters; ++it) {
+      for (std::size_t r = 0; r < n; ++r) {
+        int comps = 1 + static_cast<int>(rng.uniform_index(2));
+        for (int c = 0; c < comps; ++c) {
+          progs[r].compute(rng.uniform(0.1, 5.0));
+        }
+        progs[r].halo_exchange(graph[r], bytes);
+      }
+      // Occasionally change the payload between iterations so the fast
+      // path's transfer-cost cache gets invalidated mid-run.
+      if (rng.uniform_index(4) == 0) bytes = rng.uniform(0.0, 1e6);
+    }
+    NetworkModel net = fuzz_net(rng);
+    RunResult want = ReferenceEngine(net).run(progs);
+    ProgramImage image = ProgramImage::compile(progs);
+    ASSERT_TRUE(image.uniform_topology());
+    ASSERT_EQ(image.collective_op_count(), 0u);
+    expect_identical(Engine(net).run(image), want);
+  }
+}
+
+TEST_P(DesFuzz, BothEnginesAgreeOnDeadlocks) {
+  // Chop a random tail off one rank's program: both engines must either
+  // complete or throw; when one deadlocks so must the other.
+  util::Rng rng{util::SeedSequence(GetParam()).fork("deadlock")};
+  for (int trial = 0; trial < 10; ++trial) {
+    std::size_t n = 2 + rng.uniform_index(10);
+    FuzzCase fc = random_programs(n, rng);
+    std::size_t victim = rng.uniform_index(n);
+    auto& ops = fc.programs[victim].ops;
+    if (!ops.empty()) ops.resize(rng.uniform_index(ops.size()));
+
+    bool ref_deadlock = false;
+    RunResult want;
+    try {
+      want = ReferenceEngine().run(fc.programs);
+    } catch (const DeadlockError&) {
+      ref_deadlock = true;
+    } catch (const InvalidArgument&) {
+      // Truncation broke halo symmetry; both engines reject at validation.
+      EXPECT_THROW(static_cast<void>(Engine().run(fc.programs)),
+                   InvalidArgument);
+      continue;
+    }
+    if (ref_deadlock) {
+      EXPECT_THROW(static_cast<void>(Engine().run(fc.programs)),
+                   DeadlockError);
+    } else {
+      RunResult got = Engine().run(fc.programs);
+      expect_identical(got, want);
+    }
   }
 }
 

@@ -1,0 +1,212 @@
+// ProgramImage / ImageBuilder: compilation of AoS rank programs into the
+// flattened SoA form the event-driven engine executes, and the workloads
+// generator that emits image form directly.
+#include "des/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+#include "workloads/programs.hpp"
+
+namespace vapb::des {
+namespace {
+
+TEST(ProgramImage, CompileFlattensOpsInProgramOrder) {
+  std::vector<RankProgram> progs(2);
+  progs[0].compute(1.5);
+  progs[0].halo_exchange({1}, 64.0);
+  progs[0].allreduce(8.0);
+  progs[1].compute(2.5);
+  progs[1].halo_exchange({0}, 64.0);
+  progs[1].allreduce(8.0);
+  progs[1].barrier();
+
+  ProgramImage img = ProgramImage::compile(progs);
+  ASSERT_EQ(img.nranks(), 2u);
+  EXPECT_EQ(img.total_ops(), 7u);
+  EXPECT_EQ(img.halo_op_count(), 2u);
+  EXPECT_EQ(img.op_begin(0), 0u);
+  EXPECT_EQ(img.op_end(0), 3u);
+  EXPECT_EQ(img.op_end(1), 7u);
+
+  EXPECT_EQ(img.kind(0), OpKind::kCompute);
+  EXPECT_DOUBLE_EQ(img.value(0), 1.5);
+  EXPECT_EQ(img.kind(1), OpKind::kHaloExchange);
+  EXPECT_DOUBLE_EQ(img.value(1), 64.0);
+  EXPECT_EQ(img.kind(2), OpKind::kAllreduce);
+  EXPECT_EQ(img.kind(6), OpKind::kBarrier);
+
+  // Each rank holds one halo phase; slots are consecutive.
+  EXPECT_EQ(img.total_halo_phases(), 2u);
+  EXPECT_EQ(img.halo_phase_begin(0), 0u);
+  EXPECT_EQ(img.halo_phase_begin(1), 1u);
+}
+
+TEST(ProgramImage, IdenticalPeerListsShareOneTopologyEntry) {
+  // 10 iterations of the same 2-rank exchange: the AoS form stores 10 peer
+  // vectors per rank, the image stores one topology entry per rank.
+  std::vector<RankProgram> progs(2);
+  for (int it = 0; it < 10; ++it) {
+    progs[0].compute(1.0);
+    progs[0].halo_exchange({1}, 64.0);
+    progs[1].compute(1.0);
+    progs[1].halo_exchange({0}, 64.0);
+  }
+  ProgramImage img = ProgramImage::compile(progs);
+  EXPECT_EQ(img.halo_op_count(), 20u);
+  EXPECT_EQ(img.topology_count(), 2u);
+  EXPECT_EQ(img.peer_edge_count(), 2u);
+  // All of rank 0's halo ops reference the same entry.
+  const std::uint32_t t = img.topology(img.op_begin(0) + 1);
+  for (std::size_t op = img.op_begin(0); op < img.op_end(0); ++op) {
+    if (img.kind(op) == OpKind::kHaloExchange) {
+      EXPECT_EQ(img.topology(op), t);
+    }
+  }
+  ASSERT_EQ(img.peer_count(t), 1u);
+  EXPECT_EQ(*img.peers_begin(t), 1u);
+  // One topology per rank, no collectives: the stencil shape the engine's
+  // phase-synchronous fast path keys on.
+  EXPECT_TRUE(img.uniform_topology());
+  EXPECT_EQ(img.collective_op_count(), 0u);
+}
+
+TEST(ProgramImage, PhaseVaryingPeerListsAreNotUniform) {
+  // Phase 0 pairs (0,1); phase 1 pairs (0,2): rank 0 uses two topologies.
+  // The bystander rank sits each phase out with an empty peer list, which
+  // keeps phase indices aligned and symmetry intact.
+  std::vector<RankProgram> progs(3);
+  progs[0].halo_exchange({1}, 8.0);
+  progs[1].halo_exchange({0}, 8.0);
+  progs[2].halo_exchange({}, 8.0);
+  progs[0].halo_exchange({2}, 8.0);
+  progs[1].halo_exchange({}, 8.0);
+  progs[2].halo_exchange({0}, 8.0);
+  ProgramImage img = ProgramImage::compile(progs);
+  EXPECT_FALSE(img.uniform_topology());
+}
+
+TEST(ProgramImage, CountsCollectiveOps) {
+  std::vector<RankProgram> progs(2);
+  for (auto& p : progs) {
+    p.compute(1.0);
+    p.allreduce(64.0);
+    p.barrier();
+  }
+  ProgramImage img = ProgramImage::compile(progs);
+  EXPECT_EQ(img.collective_op_count(), 4u);
+}
+
+TEST(ImageBuilder, RequiresNondecreasingRankOrder) {
+  ImageBuilder b(3);
+  b.compute(1, 1.0);
+  EXPECT_THROW(b.compute(0, 1.0), InvalidArgument);
+}
+
+TEST(ImageBuilder, RejectsOutOfRangeRankAndTopology) {
+  ImageBuilder b(2);
+  EXPECT_THROW(b.compute(2, 1.0), InvalidArgument);
+  EXPECT_THROW(b.halo_exchange(0, /*topology=*/0, 64.0), InvalidArgument);
+}
+
+TEST(ImageBuilder, SkippedRanksGetEmptyStreams) {
+  ImageBuilder b(3);
+  b.compute(2, 1.0);  // ranks 0 and 1 never add ops
+  ProgramImage img = b.build();
+  EXPECT_EQ(img.op_begin(0), img.op_end(0));
+  EXPECT_EQ(img.op_begin(1), img.op_end(1));
+  EXPECT_EQ(img.op_end(2) - img.op_begin(2), 1u);
+}
+
+TEST(ImageBuilder, ValidatesPeerRangeSelfAndSymmetry) {
+  {
+    std::vector<RankProgram> progs(2);
+    progs[0].halo_exchange({5}, 0.0);
+    progs[1].halo_exchange({0}, 0.0);
+    EXPECT_THROW(static_cast<void>(ProgramImage::compile(progs)),
+                 InvalidArgument);
+  }
+  {
+    std::vector<RankProgram> progs(1);
+    progs[0].halo_exchange({0}, 0.0);
+    EXPECT_THROW(static_cast<void>(ProgramImage::compile(progs)),
+                 InvalidArgument);
+  }
+  {
+    std::vector<RankProgram> progs(2);
+    progs[0].halo_exchange({1}, 0.0);
+    progs[1].compute(1.0);
+    try {
+      static_cast<void>(ProgramImage::compile(progs));
+      FAIL() << "expected InvalidArgument";
+    } catch (const InvalidArgument& err) {
+      EXPECT_NE(std::string(err.what()).find("asymmetric halo exchange"),
+                std::string::npos);
+    }
+  }
+}
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+TEST(BuildProgramImage, MatchesBuildProgramsBitForBitAcrossSuite) {
+  // The direct image generator must reproduce compile(build_programs(...))
+  // exactly for every workload communication pattern in the catalog.
+  const std::size_t nranks = 24;
+  const int iterations = 6;
+  workloads::ComputeTimeFn compute = [](std::size_t rank, int iter) {
+    return 1.0 + 0.01 * static_cast<double>(rank) +
+           0.001 * static_cast<double>(iter);
+  };
+  Engine engine;
+  for (const workloads::Workload* w : workloads::evaluation_suite()) {
+    auto programs = workloads::build_programs(*w, nranks, iterations, compute);
+    auto image = workloads::build_program_image(*w, nranks, iterations, compute);
+    RunResult want = engine.run(programs);
+    RunResult got = engine.run(image);
+    ASSERT_EQ(got.ranks.size(), want.ranks.size()) << w->name;
+    ASSERT_TRUE(same_bits(got.makespan_s, want.makespan_s)) << w->name;
+    for (std::size_t r = 0; r < nranks; ++r) {
+      ASSERT_TRUE(same_bits(got.ranks[r].finish_time_s,
+                            want.ranks[r].finish_time_s))
+          << w->name << " rank " << r;
+      ASSERT_TRUE(same_bits(got.ranks[r].wait_s, want.ranks[r].wait_s))
+          << w->name << " rank " << r;
+      ASSERT_TRUE(
+          same_bits(got.ranks[r].transfer_s, want.ranks[r].transfer_s))
+          << w->name << " rank " << r;
+    }
+  }
+}
+
+TEST(BuildProgramImage, StoresStencilTopologyOncePerRank) {
+  const std::size_t nranks = 27;
+  const int iterations = 50;
+  workloads::ComputeTimeFn compute = [](std::size_t, int) { return 1.0; };
+  const workloads::Workload& mhd = workloads::mhd();  // kHalo3D pattern
+  auto image = workloads::build_program_image(mhd, nranks, iterations, compute);
+  EXPECT_EQ(image.halo_op_count(), nranks * static_cast<std::size_t>(iterations));
+  // One topology entry per rank regardless of iteration count.
+  EXPECT_EQ(image.topology_count(), nranks);
+}
+
+TEST(BuildProgramImage, RejectsDegenerateArguments) {
+  workloads::ComputeTimeFn compute = [](std::size_t, int) { return 1.0; };
+  const workloads::Workload& mhd = workloads::mhd();
+  EXPECT_THROW(
+      static_cast<void>(workloads::build_program_image(mhd, 0, 1, compute)),
+      InvalidArgument);
+  EXPECT_THROW(
+      static_cast<void>(workloads::build_program_image(mhd, 4, 0, compute)),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vapb::des
