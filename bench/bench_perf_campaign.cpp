@@ -20,6 +20,7 @@
 #include <thread>
 
 #include "bench/common.hpp"
+#include "util/telemetry.hpp"
 
 using namespace vapb;
 
@@ -61,6 +62,7 @@ struct SweepRun {
   std::vector<core::CampaignResult> results;
   double elapsed_s = 0.0;
   core::CalibrationCache::Stats cache;
+  util::Telemetry telemetry;  ///< per-stage timings over the whole sweep
 };
 
 /// Runs the whole Figure-7 sweep (engine construction included: the PVT is
@@ -75,6 +77,7 @@ SweepRun run_sweep(const cluster::Cluster& cluster, std::size_t modules,
   for (const core::CampaignSpec& spec :
        bench::fig7_specs(modules, repetitions)) {
     run.results.push_back(engine.run(spec));
+    run.telemetry.merge(run.results.back().telemetry);
   }
   auto t1 = std::chrono::steady_clock::now();
   run.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
@@ -131,7 +134,7 @@ int main(int argc, char** argv) {
         ++mismatches;
         std::printf("DETERMINISM FAILURE: %s @ %.0f W, %s, rep %d\n",
                     sj[i].job.workload->name.c_str(), sj[i].job.budget_w,
-                    core::scheme_name(sj[i].job.scheme).c_str(),
+                    sj[i].job.scheme.c_str(),
                     sj[i].job.repetition);
       }
     }
@@ -147,6 +150,17 @@ int main(int argc, char** argv) {
               serial.elapsed_s / parallel.elapsed_s);
   std::printf("cache speedup   (parallel, cold/warm):    %.2fx\n",
               parallel.elapsed_s / warm.elapsed_s);
+
+  std::printf("\nper-stage breakdown (parallel cold sweep):\n");
+  std::printf("  %-10s %8s %12s %12s %12s\n", "stage", "calls", "total [s]",
+              "mean [ms]", "max [ms]");
+  for (const auto& [stage, s] : parallel.telemetry.stages()) {
+    std::printf("  %-10s %8llu %12.3f %12.3f %12.3f\n", stage.c_str(),
+                static_cast<unsigned long long>(s.calls), s.total_s,
+                s.calls != 0 ? 1e3 * s.total_s / static_cast<double>(s.calls)
+                             : 0.0,
+                1e3 * s.max_s);
+  }
 
   if (!opt.out.empty()) {
     std::ofstream f(opt.out);
@@ -166,7 +180,9 @@ int main(int argc, char** argv) {
       << "  \"parallel_speedup\": " << serial.elapsed_s / parallel.elapsed_s
       << ",\n"
       << "  \"cache_speedup\": " << parallel.elapsed_s / warm.elapsed_s
-      << "\n}\n";
+      << ",\n  \"telemetry\": ";
+    parallel.telemetry.write_json(f);
+    f << "}\n";
     std::printf("wrote %s\n", opt.out.c_str());
   }
   return 0;

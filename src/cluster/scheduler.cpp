@@ -7,6 +7,40 @@
 
 namespace vapb::cluster {
 
+std::string allocation_policy_name(AllocationPolicy policy) {
+  switch (policy) {
+    case AllocationPolicy::kContiguous:
+      return "contiguous";
+    case AllocationPolicy::kRandom:
+      return "random";
+    case AllocationPolicy::kStrided:
+      return "strided";
+    case AllocationPolicy::kWorstPower:
+      return "worst-power";
+    case AllocationPolicy::kBestPower:
+      return "best-power";
+  }
+  throw InternalError("unhandled allocation policy");
+}
+
+AllocationPolicy allocation_policy_by_name(const std::string& name) {
+  for (AllocationPolicy p : all_allocation_policies()) {
+    if (allocation_policy_name(p) == name) return p;
+  }
+  std::string msg = "unknown allocation policy '" + name + "'; valid:";
+  for (AllocationPolicy p : all_allocation_policies()) {
+    msg += ' ';
+    msg += allocation_policy_name(p);
+  }
+  throw InvalidArgument(msg);
+}
+
+std::vector<AllocationPolicy> all_allocation_policies() {
+  return {AllocationPolicy::kContiguous, AllocationPolicy::kRandom,
+          AllocationPolicy::kStrided, AllocationPolicy::kWorstPower,
+          AllocationPolicy::kBestPower};
+}
+
 std::vector<hw::ModuleId> Scheduler::allocate(
     std::size_t count, AllocationPolicy policy, util::SeedSequence seed,
     const hw::PowerProfile* ranking_profile) const {

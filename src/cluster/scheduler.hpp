@@ -6,6 +6,7 @@
 // luck interacts with variation-aware budgeting.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -21,6 +22,17 @@ enum class AllocationPolicy {
   kWorstPower,      ///< adversarial: the most power-hungry modules (per a profile)
   kBestPower,       ///< the most power-efficient modules
 };
+
+/// Stable CLI/config spelling of a policy ("contiguous", "random", ...).
+[[nodiscard]] std::string allocation_policy_name(AllocationPolicy policy);
+
+/// Inverse of allocation_policy_name. Throws InvalidArgument listing every
+/// valid spelling on an unknown name.
+[[nodiscard]] AllocationPolicy allocation_policy_by_name(
+    const std::string& name);
+
+/// Every policy, in enum order.
+[[nodiscard]] std::vector<AllocationPolicy> all_allocation_policies();
 
 class Scheduler {
  public:

@@ -153,13 +153,23 @@ std::shared_ptr<const Pmt> CalibrationCache::scheme_pmt(
     SchemeKind kind, const cluster::Cluster& cluster,
     std::span<const hw::ModuleId> allocation, const workloads::Workload& app,
     const Pvt& pvt, const TestRunResult& test, util::SeedSequence seed) {
-  std::string key = "pmt/" + scheme_name(kind) + '/' + app.name + '/' +
+  return scheme_pmt(scheme_name(kind), cluster, allocation, app, pvt, test,
+                    seed, [&] {
+                      return core::scheme_pmt(kind, cluster, allocation, app,
+                                              pvt, test, seed);
+                    });
+}
+
+std::shared_ptr<const Pmt> CalibrationCache::scheme_pmt(
+    const std::string& scheme, const cluster::Cluster& cluster,
+    std::span<const hw::ModuleId> allocation, const workloads::Workload& app,
+    const Pvt& pvt, const TestRunResult& test, util::SeedSequence seed,
+    const std::function<Pmt()>& build) {
+  std::string key = "pmt/" + scheme + '/' + app.name + '/' +
                     key_of({cluster.fingerprint(),
                             hash_allocation(allocation), hash_pvt(pvt),
                             hash_test(test), seed.value()});
-  return impl_->get_or_compute<Pmt>(impl_->pmts, key, [&] {
-    return core::scheme_pmt(kind, cluster, allocation, app, pvt, test, seed);
-  });
+  return impl_->get_or_compute<Pmt>(impl_->pmts, key, build);
 }
 
 void CalibrationCache::clear() {

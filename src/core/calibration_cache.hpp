@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -68,6 +69,16 @@ class CalibrationCache {
       SchemeKind kind, const cluster::Cluster& cluster,
       std::span<const hw::ModuleId> allocation, const workloads::Workload& app,
       const Pvt& pvt, const TestRunResult& test, util::SeedSequence seed);
+
+  /// Name-keyed variant for registry schemes: `build` constructs the PMT on
+  /// a miss. The key format matches the kind-keyed overload (which delegates
+  /// here), so built-in schemes share entries regardless of which overload
+  /// warmed the cache.
+  std::shared_ptr<const Pmt> scheme_pmt(
+      const std::string& scheme, const cluster::Cluster& cluster,
+      std::span<const hw::ModuleId> allocation, const workloads::Workload& app,
+      const Pvt& pvt, const TestRunResult& test, util::SeedSequence seed,
+      const std::function<Pmt()>& build);
 
   /// Drops every entry (e.g. to measure cold-cache cost).
   void clear();

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <ostream>
 
+#include "core/scheme_registry.hpp"
+#include "core/stages.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/catalog.hpp"
@@ -17,29 +19,42 @@ namespace {
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
-// The scheme pipeline of Runner::run_scheme with the PMT construction routed
-// through the process-wide CalibrationCache. Seeds match run_scheme exactly,
-// so the metrics are bitwise identical to the uncached path.
+// The staged pipeline of Runner::run_scheme with the power-model stage
+// wrapped in the process-wide CalibrationCache decorator. Seeds and cache
+// keys match the uncached path exactly, so the metrics are bitwise identical
+// regardless of which path warmed the cache.
 RunMetrics run_scheme_cached(const cluster::Cluster& cluster,
                              const Runner& runner,
-                             const workloads::Workload& w, SchemeKind kind,
-                             double budget_w, const Pvt& pvt,
-                             const TestRunResult& test) {
-  std::shared_ptr<const Pmt> pmt = CalibrationCache::global().scheme_pmt(
-      kind, cluster, runner.allocation(), w, pvt, test,
-      Runner::scheme_seed(cluster, w, kind));
-  BudgetResult budget = solve_budget(*pmt, util::Watts{budget_w});
-  return runner.run_budgeted(w, enforcement_of(kind), budget,
-                             scheme_name(kind), budget_w);
+                             const workloads::Workload& w,
+                             const std::string& scheme, double budget_w,
+                             const Pvt& pvt, const TestRunResult& test) {
+  SchemeDefinition def = SchemeRegistry::global().get(scheme);
+  if (def.power_model) {
+    def.power_model = std::make_shared<CachedPowerModelStage>(def.power_model);
+  }
+  RunContext ctx;
+  ctx.cluster = &cluster;
+  ctx.runner = &runner;
+  ctx.allocation = runner.allocation();
+  ctx.workload = &w;
+  ctx.scheme = scheme;
+  ctx.budget_w = budget_w;
+  ctx.seed = Runner::scheme_seed(cluster, w, scheme);
+  ctx.telemetry = runner.config().telemetry;
+  // Non-owning views: the campaign's artifacts outlive the pipeline run.
+  ctx.pvt = std::shared_ptr<const Pvt>(std::shared_ptr<const Pvt>(), &pvt);
+  ctx.test = std::shared_ptr<const TestRunResult>(
+      std::shared_ptr<const TestRunResult>(), &test);
+  return run_pipeline(def, ctx);
 }
 
-RunMetrics infeasible_metrics(const workloads::Workload& w, SchemeKind kind,
-                              double budget_w) {
+RunMetrics infeasible_metrics(const workloads::Workload& w,
+                              const std::string& scheme, double budget_w) {
   // "-" cell: the modules cannot be operated at this budget; the paper does
   // not run these.
   RunMetrics m;
   m.workload = w.name;
-  m.scheme = scheme_name(kind);
+  m.scheme = scheme;
   m.budget_w = budget_w;
   m.feasible = false;
   return m;
@@ -143,10 +158,10 @@ CellResult Campaign::run_cell(const workloads::Workload& w, double budget_w,
     SchemeOutcome out;
     out.kind = kind;
     if (cell.cls == CellClass::kInfeasible) {
-      out.metrics = infeasible_metrics(w, kind, budget_w);
+      out.metrics = infeasible_metrics(w, scheme_name(kind), budget_w);
     } else {
-      out.metrics = run_scheme_cached(cluster_, runner_, w, kind, budget_w,
-                                      *pvt_, test);
+      out.metrics = run_scheme_cached(cluster_, runner_, w, scheme_name(kind),
+                                      budget_w, *pvt_, test);
       if (kind == SchemeKind::kNaive) naive_makespan = out.metrics.makespan_s;
     }
     cell.schemes.push_back(std::move(out));
@@ -199,14 +214,23 @@ CampaignEngine::CampaignEngine(const cluster::Cluster& cluster,
   VAPB_REQUIRE_MSG(pvt_ != nullptr, "CampaignEngine: null PVT");
 }
 
+std::vector<std::string> CampaignSpec::scheme_list() const {
+  if (!scheme_names.empty()) return scheme_names;
+  std::vector<std::string> names;
+  names.reserve(schemes.size());
+  for (SchemeKind kind : schemes) names.push_back(scheme_name(kind));
+  return names;
+}
+
 std::vector<CampaignJob> CampaignEngine::expand(const CampaignSpec& spec) {
   std::vector<CampaignJob> jobs;
   jobs.reserve(spec.job_count());
   const std::uint64_t base = spec.config.run_salt;
+  const std::vector<std::string> schemes = spec.scheme_list();
   for (const workloads::Workload* w : spec.workloads) {
     if (w == nullptr) throw InvalidArgument("CampaignSpec: null workload");
     for (double budget_w : spec.budgets_w) {
-      for (SchemeKind scheme : spec.schemes) {
+      for (const std::string& scheme : schemes) {
         for (int rep = 0; rep < spec.repetitions; ++rep) {
           CampaignJob job;
           job.index = jobs.size();
@@ -238,7 +262,8 @@ CellClass CampaignEngine::classify(const workloads::Workload& w,
 }
 
 CampaignJobResult CampaignEngine::run_job(const CampaignJob& job,
-                                          const RunConfig& base) const {
+                                          const RunConfig& base,
+                                          util::Telemetry* telemetry) const {
   CalibrationCache& cache = CalibrationCache::global();
   const workloads::Workload& w = *job.workload;
 
@@ -251,6 +276,7 @@ CampaignJobResult CampaignEngine::run_job(const CampaignJob& job,
   out.cls = classify_against(*truth, job.budget_w);
   if (out.cls == CellClass::kInfeasible) {
     out.metrics = infeasible_metrics(w, job.scheme, job.budget_w);
+    if (telemetry != nullptr) telemetry->add_counter("jobs_infeasible");
     return out;
   }
 
@@ -258,6 +284,8 @@ CampaignJobResult CampaignEngine::run_job(const CampaignJob& job,
       cluster_, allocation_.front(), w, test_run_seed(cluster_, w));
   RunConfig cfg = base;
   cfg.run_salt = job.salt;
+  // Each job writes its own sink; the engine merges them under a lock.
+  cfg.telemetry = telemetry;
   Runner runner(cluster_, allocation_, cfg);
   out.metrics = run_scheme_cached(cluster_, runner, w, job.scheme,
                                   job.budget_w, *pvt_, *test);
@@ -267,7 +295,8 @@ CampaignJobResult CampaignEngine::run_job(const CampaignJob& job,
 CampaignResult CampaignEngine::run(const CampaignSpec& spec,
                                    const ProgressFn& progress) {
   if (spec.workloads.empty() || spec.budgets_w.empty() ||
-      spec.schemes.empty() || spec.repetitions < 1) {
+      (spec.schemes.empty() && spec.scheme_names.empty()) ||
+      spec.repetitions < 1) {
     throw InvalidArgument(
         "CampaignSpec needs workloads, budgets, schemes and repetitions >= 1");
   }
@@ -278,9 +307,16 @@ CampaignResult CampaignEngine::run(const CampaignSpec& spec,
   CampaignResult result;
   result.jobs.resize(jobs.size());
   std::mutex progress_mutex;
+  std::mutex telemetry_mutex;
   std::size_t completed = 0;
   auto run_one = [&](std::size_t k) {
-    result.jobs[k] = run_job(jobs[k], spec.config);
+    util::Telemetry local;
+    result.jobs[k] = run_job(jobs[k], spec.config, &local);
+    local.add_counter("jobs");
+    {
+      std::lock_guard lock(telemetry_mutex);
+      result.telemetry.merge(local);
+    }
     if (progress) {
       std::lock_guard lock(progress_mutex);
       CampaignProgress p;
@@ -304,7 +340,7 @@ CampaignResult CampaignEngine::run(const CampaignSpec& spec,
            std::to_string(r.job.repetition);
   };
   for (const CampaignJobResult& r : result.jobs) {
-    if (r.job.scheme == SchemeKind::kNaive && r.metrics.feasible &&
+    if (r.job.scheme == "Naive" && r.metrics.feasible &&
         r.metrics.makespan_s > 0.0) {
       naive_makespans[cell_key(r)] = r.metrics.makespan_s;
     }
@@ -323,15 +359,20 @@ CampaignResult CampaignEngine::run(const CampaignSpec& spec,
   result.cache.hits = after.hits - before.hits;
   result.cache.misses = after.misses - before.misses;
   result.cache.entries = after.entries;
+  result.telemetry.add_counter("cache_hits", result.cache.hits);
+  result.telemetry.add_counter("cache_misses", result.cache.misses);
   result.elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (spec.config.telemetry != nullptr) {
+    spec.config.telemetry->merge(result.telemetry);
+  }
   return result;
 }
 
 const CampaignJobResult* CampaignResult::find(const std::string& workload,
                                               double budget_w,
-                                              SchemeKind scheme,
+                                              const std::string& scheme,
                                               int repetition) const {
   for (const CampaignJobResult& r : jobs) {
     if (r.job.workload->name == workload && r.job.budget_w == budget_w &&
@@ -340,6 +381,13 @@ const CampaignJobResult* CampaignResult::find(const std::string& workload,
     }
   }
   return nullptr;
+}
+
+const CampaignJobResult* CampaignResult::find(const std::string& workload,
+                                              double budget_w,
+                                              SchemeKind scheme,
+                                              int repetition) const {
+  return find(workload, budget_w, scheme_name(scheme), repetition);
 }
 
 namespace {
@@ -363,7 +411,7 @@ void write_job_fields(std::ostream& out, const CampaignJobResult& r,
   if (json) out << "\"budget_w\":";
   out << r.job.budget_w << ',';
   if (json) out << "\"scheme\":";
-  out << q << scheme_name(r.job.scheme) << q << ',';
+  out << q << r.job.scheme << q << ',';
   if (json) out << "\"repetition\":";
   out << r.job.repetition << ',';
   if (json) out << "\"cell\":";

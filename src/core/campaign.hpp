@@ -27,6 +27,7 @@
 
 #include "core/calibration_cache.hpp"
 #include "core/runner.hpp"
+#include "util/telemetry.hpp"
 
 namespace vapb::core {
 
@@ -111,13 +112,26 @@ struct CampaignSpec {
   std::vector<const workloads::Workload*> workloads;
   std::vector<double> budgets_w;  ///< application-level budgets [W]
   std::vector<SchemeKind> schemes = all_schemes();
+  /// Registry scheme names; when non-empty this takes precedence over
+  /// `schemes`, and may name any scheme registered in
+  /// SchemeRegistry::global() — including ones added after the fact.
+  std::vector<std::string> scheme_names;
   int repetitions = 1;
   /// Base run configuration. `config.run_salt` seeds repetition 0; later
-  /// repetitions fork fresh salts from it.
+  /// repetitions fork fresh salts from it. A caller-provided
+  /// `config.telemetry` sink is not written during the (multi-threaded) run;
+  /// the engine merges the aggregated CampaignResult::telemetry into it once
+  /// at the end.
   RunConfig config;
 
+  /// The effective scheme names: `scheme_names` when non-empty, otherwise
+  /// the names of `schemes`.
+  [[nodiscard]] std::vector<std::string> scheme_list() const;
+
   [[nodiscard]] std::size_t job_count() const {
-    return workloads.size() * budgets_w.size() * schemes.size() *
+    const std::size_t n =
+        scheme_names.empty() ? schemes.size() : scheme_names.size();
+    return workloads.size() * budgets_w.size() * n *
            static_cast<std::size_t>(repetitions > 0 ? repetitions : 0);
   }
 };
@@ -130,7 +144,7 @@ struct CampaignJob {
   std::size_t index = 0;  ///< dense index in spec expansion order
   const workloads::Workload* workload = nullptr;
   double budget_w = 0.0;
-  SchemeKind scheme = SchemeKind::kNaive;
+  std::string scheme;  ///< registered scheme name
   int repetition = 0;
   std::uint64_t salt = 0;
 };
@@ -150,8 +164,16 @@ struct CampaignResult {
   /// Calibration-cache activity during this run.
   CalibrationCache::Stats cache;
   double elapsed_s = 0.0;
+  /// Per-stage timings and counters aggregated over every job. Timings are
+  /// observability-only: merge order follows job completion, so the float
+  /// sums may differ between runs while the metrics stay bit-identical.
+  util::Telemetry telemetry;
 
   /// Looks up a job result; nullptr when not part of the spec.
+  [[nodiscard]] const CampaignJobResult* find(const std::string& workload,
+                                              double budget_w,
+                                              const std::string& scheme,
+                                              int repetition = 0) const;
   [[nodiscard]] const CampaignJobResult* find(const std::string& workload,
                                               double budget_w,
                                               SchemeKind scheme,
@@ -201,7 +223,8 @@ class CampaignEngine {
 
  private:
   [[nodiscard]] CampaignJobResult run_job(const CampaignJob& job,
-                                          const RunConfig& base) const;
+                                          const RunConfig& base,
+                                          util::Telemetry* telemetry) const;
 
   const cluster::Cluster& cluster_;
   std::vector<hw::ModuleId> allocation_;

@@ -1,13 +1,46 @@
 #include "core/dynamic.hpp"
 
+#include <memory>
 #include <optional>
 
+#include "core/pipeline.hpp"
+#include "core/scheme_registry.hpp"
 #include "util/error.hpp"
 #include "workloads/catalog.hpp"
 
 namespace vapb::core {
 
 namespace {
+
+// Solve-only pipeline: the scheme's power-model stage feeding its budget
+// solver, with enforcement and execution left null. The static baselines
+// use this to price a workload's budget without running it; the per-phase
+// executions then go through Runner::run_budgeted (a FixedBudgetStage
+// pipeline), so dynamic reallocation is stage compositions end to end.
+BudgetResult solve_phase_budget(Campaign& campaign, SchemeKind scheme,
+                                const workloads::Workload& w, double budget_w,
+                                util::SeedSequence seed) {
+  SchemeDefinition def = SchemeRegistry::global().get(scheme_name(scheme));
+  def.calibration = nullptr;  // artifacts provided below
+  def.enforcement_stage = nullptr;
+  def.execution = nullptr;
+  RunContext ctx;
+  ctx.cluster = &campaign.cluster();
+  ctx.allocation = campaign.allocation();
+  ctx.workload = &w;
+  ctx.scheme = def.name;
+  ctx.budget_w = budget_w;
+  ctx.seed = seed;
+  ctx.telemetry = campaign.config().telemetry;
+  // Non-owning views: the campaign's artifacts outlive this solve.
+  const Pvt& pvt = campaign.pvt();
+  const TestRunResult& test = campaign.test_run(w);
+  ctx.pvt = std::shared_ptr<const Pvt>(std::shared_ptr<const Pvt>(), &pvt);
+  ctx.test = std::shared_ptr<const TestRunResult>(
+      std::shared_ptr<const TestRunResult>(), &test);
+  static_cast<void>(run_pipeline(def, ctx));
+  return *ctx.budget;
+}
 
 void validate(const PhasedApplication& app) {
   if (app.phases.empty()) {
@@ -98,10 +131,9 @@ DynamicRunResult run_phased_static(Campaign& campaign,
   validate(app);
   // One solve against the blended power model...
   workloads::Workload blend = app.blended();
-  Pmt pmt = scheme_pmt(scheme, campaign.cluster(), campaign.allocation(),
-                       blend, campaign.pvt(), campaign.test_run(blend),
-                       campaign.cluster().seed().fork("static-blend"));
-  BudgetResult solved = solve_budget(pmt, util::Watts{budget_w});
+  BudgetResult solved =
+      solve_phase_budget(campaign, scheme, blend, budget_w,
+                         campaign.cluster().seed().fork("static-blend"));
 
   // ...applied unchanged to every phase (which executes with its own true
   // power/performance characteristics).
@@ -140,11 +172,9 @@ DynamicRunResult run_phased_static_worstcase(Campaign& campaign,
   // Solve every phase, keep the most conservative (lowest-alpha) result.
   std::optional<BudgetResult> binding;
   for (const Phase& p : app.phases) {
-    Pmt pmt = scheme_pmt(scheme, campaign.cluster(), campaign.allocation(),
-                         *p.workload, campaign.pvt(),
-                         campaign.test_run(*p.workload),
-                         campaign.cluster().seed().fork("static-worst"));
-    BudgetResult solved = solve_budget(pmt, util::Watts{budget_w});
+    BudgetResult solved =
+        solve_phase_budget(campaign, scheme, *p.workload, budget_w,
+                           campaign.cluster().seed().fork("static-worst"));
     if (!binding || solved.alpha < binding->alpha) binding = solved;
   }
   DynamicRunResult out;

@@ -1,0 +1,40 @@
+#include "core/pipeline.hpp"
+
+#include "util/error.hpp"
+
+namespace vapb::core {
+
+namespace {
+
+template <typename Stage, typename Fn>
+void run_stage(RunContext& ctx, const std::shared_ptr<const Stage>& stage,
+               const char* name, Fn invoke) {
+  if (!stage) return;
+  if (ctx.telemetry != nullptr) {
+    util::ScopedStage timer(*ctx.telemetry, name);
+    invoke(*stage);
+  } else {
+    invoke(*stage);
+  }
+}
+
+}  // namespace
+
+RunMetrics run_pipeline(const SchemeDefinition& def, RunContext& ctx) {
+  if (ctx.cluster == nullptr || ctx.workload == nullptr) {
+    throw InvalidArgument("run_pipeline: context needs cluster and workload");
+  }
+  run_stage(ctx, def.calibration, "calibrate",
+            [&](const CalibrationStage& s) { s.calibrate(ctx); });
+  run_stage(ctx, def.power_model, "model",
+            [&](const PowerModelStage& s) { s.model(ctx); });
+  run_stage(ctx, def.budget_solve, "solve",
+            [&](const BudgetSolveStage& s) { s.solve(ctx); });
+  run_stage(ctx, def.enforcement_stage, "enforce",
+            [&](const EnforcementStage& s) { s.enforce(ctx); });
+  run_stage(ctx, def.execution, "execute",
+            [&](const ExecutionStage& s) { s.execute(ctx); });
+  return ctx.metrics;
+}
+
+}  // namespace vapb::core

@@ -1,0 +1,127 @@
+// The staged budgeting pipeline — the paper's five-step mitigation recipe
+// made explicit (Section 5, Figure 4):
+//
+//   calibrate -> model -> solve -> enforce -> execute
+//
+// Each step is a small interface; a scheme is a composition of stage
+// implementations (see stages.hpp for the concrete ones and
+// scheme_registry.hpp for the named compositions). A typed RunContext is
+// threaded through the stages: every stage reads the fields upstream stages
+// filled and writes its own. The driver (run_pipeline) owns stage ordering
+// and per-stage telemetry; stages own the physics.
+//
+// Determinism contract: a stage may draw randomness only from ctx.seed
+// forks, never from execution order or the clock, so a pipeline run is a
+// pure function of (cluster, allocation, workload, scheme, budget, seed,
+// salt) — bit-identical to the pre-pipeline monolithic runner.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/budget.hpp"
+#include "core/runner.hpp"
+#include "util/telemetry.hpp"
+
+namespace vapb::core {
+
+/// The typed state threaded through the five stages. The driver fills the
+/// immutable inputs; each stage fills its own output block.
+struct RunContext {
+  // -- Inputs (set by the driver / caller) ----------------------------------
+  const cluster::Cluster* cluster = nullptr;
+  /// Required by the enforcement/execution stages; model-only pipelines
+  /// (e.g. a standalone PMT build) may leave it null.
+  const Runner* runner = nullptr;
+  /// The modules granted to the job. Must outlive the pipeline run.
+  std::span<const hw::ModuleId> allocation;
+  const workloads::Workload* workload = nullptr;
+  std::string scheme;        ///< registered scheme name; doubles as run label
+  double budget_w = 0.0;     ///< application-level budget (0 = unconstrained)
+  util::SeedSequence seed{0};     ///< the scheme's seed subtree
+  util::Telemetry* telemetry = nullptr;  ///< optional per-stage sink (not owned)
+
+  // -- CalibrationStage outputs ---------------------------------------------
+  std::shared_ptr<const Pvt> pvt;
+  std::shared_ptr<const TestRunResult> test;
+
+  // -- PowerModelStage output -----------------------------------------------
+  std::shared_ptr<const Pmt> pmt;
+
+  // -- BudgetSolveStage output ----------------------------------------------
+  std::optional<BudgetResult> budget;
+
+  // -- EnforcementStage outputs ---------------------------------------------
+  Enforcement enforcement = Enforcement::kPowerCap;
+  bool rapl_jitter = false;  ///< model RAPL's dynamic-control clock dither
+  std::vector<hw::OperatingPoint> ops;  ///< sustained per-module points
+
+  // -- ExecutionStage output ------------------------------------------------
+  RunMetrics metrics;
+};
+
+/// Produces the calibration artifacts (system PVT, single-module test run)
+/// the power model needs: fills ctx.pvt / ctx.test.
+class CalibrationStage {
+ public:
+  virtual ~CalibrationStage() = default;
+  virtual void calibrate(RunContext& ctx) const = 0;
+};
+
+/// Builds the scheme's Power Model Table over the allocation: fills ctx.pmt.
+class PowerModelStage {
+ public:
+  virtual ~PowerModelStage() = default;
+  virtual void model(RunContext& ctx) const = 0;
+};
+
+/// Turns the PMT and the application budget into per-module allocations:
+/// fills ctx.budget.
+class BudgetSolveStage {
+ public:
+  virtual ~BudgetSolveStage() = default;
+  virtual void solve(RunContext& ctx) const = 0;
+};
+
+/// Applies the allocations to the hardware controls and determines the
+/// sustained operating points: fills ctx.ops / ctx.rapl_jitter.
+class EnforcementStage {
+ public:
+  virtual ~EnforcementStage() = default;
+  virtual void enforce(RunContext& ctx) const = 0;
+};
+
+/// Runs the workload on the DES MPI runtime at the enforced operating
+/// points and assembles the paper's metrics: fills ctx.metrics.
+class ExecutionStage {
+ public:
+  virtual ~ExecutionStage() = default;
+  virtual void execute(RunContext& ctx) const = 0;
+};
+
+/// One scheme as a composition of stages. A null stage is skipped by the
+/// driver — partial pipelines (e.g. model+solve only, or enforce+execute
+/// under a pre-solved budget) are how run_budgeted and dynamic reallocation
+/// reuse the machinery.
+struct SchemeDefinition {
+  std::string name;
+  Enforcement enforcement = Enforcement::kPowerCap;
+  bool variation_aware = false;
+  bool oracle = false;
+
+  std::shared_ptr<const CalibrationStage> calibration;
+  std::shared_ptr<const PowerModelStage> power_model;
+  std::shared_ptr<const BudgetSolveStage> budget_solve;
+  std::shared_ptr<const EnforcementStage> enforcement_stage;
+  std::shared_ptr<const ExecutionStage> execution;
+};
+
+/// Runs the non-null stages of `def` over `ctx` in pipeline order, timing
+/// each into ctx.telemetry (when set) under the stage names "calibrate",
+/// "model", "solve", "enforce" and "execute". Returns ctx.metrics.
+RunMetrics run_pipeline(const SchemeDefinition& def, RunContext& ctx);
+
+}  // namespace vapb::core

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <set>
 
+#include "core/pipeline.hpp"
+#include "core/scheme_registry.hpp"
+#include "core/stages.hpp"
 #include "stats/variation.hpp"
 #include "util/error.hpp"
 
@@ -33,9 +37,12 @@ double RunMetrics::vt_raw() const {
   return stats::worst_case_ratio(des.finish_times());
 }
 
-std::vector<double> RunMetrics::module_powers_w() const {
-  return collect(modules,
-                 +[](const ModuleOutcome& m) { return m.op.module_w(); });
+const std::vector<double>& RunMetrics::module_powers_w() const {
+  if (module_powers_cache_.size() != modules.size()) {
+    module_powers_cache_ = collect(
+        modules, +[](const ModuleOutcome& m) { return m.op.module_w(); });
+  }
+  return module_powers_cache_;
 }
 
 std::vector<double> RunMetrics::cpu_powers_w() const {
@@ -69,35 +76,59 @@ Runner::Runner(const cluster::Cluster& cluster,
   }
 }
 
+RunContext Runner::make_context(const workloads::Workload& w,
+                                const std::string& scheme,
+                                double budget_w) const {
+  RunContext ctx;
+  ctx.cluster = &cluster_;
+  ctx.runner = this;
+  ctx.allocation = allocation_;
+  ctx.workload = &w;
+  ctx.scheme = scheme;
+  ctx.budget_w = budget_w;
+  ctx.telemetry = config_.telemetry;
+  return ctx;
+}
+
 RunMetrics Runner::run_uncapped(const workloads::Workload& w) const {
-  std::vector<hw::OperatingPoint> ops;
-  ops.reserve(allocation_.size());
-  for (auto id : allocation_) {
-    hw::Rapl rapl(cluster_.module(id), config_.rapl);
-    ops.push_back(rapl.operating_point(w.profile, config_.turbo));
-  }
-  RunMetrics m = execute(w, ops, /*rapl_jitter=*/false, "Uncapped");
-  m.budget_w = 0.0;
-  m.constrained = false;
-  m.alpha = 1.0;
-  m.target_freq_ghz = cluster_.spec().ladder.fmax();
-  return m;
+  SchemeDefinition def;
+  def.name = "Uncapped";
+  def.enforcement_stage = std::make_shared<UncappedEnforcementStage>();
+  def.execution = std::make_shared<DesExecutionStage>();
+  RunContext ctx = make_context(w, "Uncapped", 0.0);
+  return run_pipeline(def, ctx);
+}
+
+util::SeedSequence Runner::scheme_seed(const cluster::Cluster& cluster,
+                                       const workloads::Workload& w,
+                                       const std::string& scheme) {
+  return cluster.seed().fork(w.name).fork(scheme);
 }
 
 util::SeedSequence Runner::scheme_seed(const cluster::Cluster& cluster,
                                        const workloads::Workload& w,
                                        SchemeKind scheme) {
-  return cluster.seed().fork(w.name).fork(scheme_name(scheme));
+  return scheme_seed(cluster, w, scheme_name(scheme));
+}
+
+RunMetrics Runner::run_scheme(const workloads::Workload& w,
+                              const std::string& scheme, double budget_w,
+                              const Pvt& pvt, const TestRunResult& test) const {
+  SchemeDefinition def = SchemeRegistry::global().get(scheme);
+  RunContext ctx = make_context(w, scheme, budget_w);
+  ctx.seed = scheme_seed(cluster_, w, scheme);
+  // Non-owning views: the caller's artifacts outlive the pipeline run, and
+  // a provided artifact makes the calibration stage a no-op for it.
+  ctx.pvt = std::shared_ptr<const Pvt>(std::shared_ptr<const Pvt>(), &pvt);
+  ctx.test = std::shared_ptr<const TestRunResult>(
+      std::shared_ptr<const TestRunResult>(), &test);
+  return run_pipeline(def, ctx);
 }
 
 RunMetrics Runner::run_scheme(const workloads::Workload& w, SchemeKind scheme,
                               double budget_w, const Pvt& pvt,
                               const TestRunResult& test) const {
-  util::SeedSequence seed = scheme_seed(cluster_, w, scheme);
-  Pmt pmt = scheme_pmt(scheme, cluster_, allocation_, w, pvt, test, seed);
-  BudgetResult budget = solve_budget(pmt, util::Watts{budget_w});
-  return run_budgeted(w, enforcement_of(scheme), budget, scheme_name(scheme),
-                      budget_w);
+  return run_scheme(w, scheme_name(scheme), budget_w, pvt, test);
 }
 
 RunMetrics Runner::run_budgeted(const workloads::Workload& w,
@@ -105,61 +136,14 @@ RunMetrics Runner::run_budgeted(const workloads::Workload& w,
                                 const BudgetResult& budget,
                                 const std::string& label,
                                 double budget_w) const {
-  if (budget.allocations.size() != allocation_.size()) {
-    throw InvalidArgument("run_budgeted: budget covers " +
-                          std::to_string(budget.allocations.size()) +
-                          " modules, allocation has " +
-                          std::to_string(allocation_.size()));
-  }
-
-  // Materialize the hardware controllers and apply the plan (PMMD region).
-  std::vector<hw::Rapl> rapls;
-  std::vector<hw::CpufreqGovernor> governors;
-  rapls.reserve(allocation_.size());
-  governors.reserve(allocation_.size());
-  for (auto id : allocation_) {
-    rapls.emplace_back(cluster_.module(id), config_.rapl);
-    governors.emplace_back(cluster_.module(id));
-  }
-
-  PmmdPlan plan;
-  plan.enforcement = enforcement;
-  plan.settings.reserve(allocation_.size());
-  for (std::size_t i = 0; i < allocation_.size(); ++i) {
-    PmmdSetting s;
-    s.module = allocation_[i];
-    if (enforcement == Enforcement::kPowerCap) {
-      s.cpu_cap_w = budget.allocations[i].cpu_cap_w;
-    } else {
-      s.freq_ghz = budget.target_freq_ghz;
-    }
-    plan.settings.push_back(s);
-  }
-  PmmdSession session(plan, rapls, governors);
-
-  std::vector<hw::OperatingPoint> ops;
-  ops.reserve(allocation_.size());
-  for (std::size_t i = 0; i < allocation_.size(); ++i) {
-    if (enforcement == Enforcement::kPowerCap) {
-      ops.push_back(rapls[i].operating_point(w.profile));
-    } else {
-      ops.push_back(governors[i].operating_point(w.profile));
-    }
-  }
-
-  RunMetrics m = execute(
-      w, ops, /*rapl_jitter=*/enforcement == Enforcement::kPowerCap, label);
-  m.budget_w = budget_w;
-  m.alpha = budget.alpha;
-  m.target_freq_ghz = budget.target_freq_ghz.value();
-  m.constrained = budget.constrained;
-  for (std::size_t i = 0; i < allocation_.size(); ++i) {
-    m.modules[i].alloc_module_w = budget.allocations[i].module_w.value();
-    if (enforcement == Enforcement::kPowerCap) {
-      m.modules[i].cpu_cap_w = budget.allocations[i].cpu_cap_w.value();
-    }
-  }
-  return m;
+  SchemeDefinition def;
+  def.name = label;
+  def.enforcement = enforcement;
+  def.budget_solve = std::make_shared<FixedBudgetStage>(budget);
+  def.enforcement_stage = std::make_shared<PmmdEnforcementStage>(enforcement);
+  def.execution = std::make_shared<DesExecutionStage>();
+  RunContext ctx = make_context(w, label, budget_w);
+  return run_pipeline(def, ctx);
 }
 
 RunMetrics Runner::execute(const workloads::Workload& w,

@@ -15,7 +15,13 @@
 #include "des/engine.hpp"
 #include "workloads/programs.hpp"
 
+namespace vapb::util {
+class Telemetry;
+}  // namespace vapb::util
+
 namespace vapb::core {
+
+struct RunContext;  // pipeline.hpp
 
 struct RunConfig {
   int iterations = 0;  ///< 0 = the workload's default
@@ -24,6 +30,10 @@ struct RunConfig {
   des::NetworkModel network{};
   /// Distinguishes repeated runs of the same configuration (fresh noise).
   std::uint64_t run_salt = 0;
+  /// Optional per-stage timing sink threaded through pipeline runs (not
+  /// owned, may be null). Timings are observability-only and never feed
+  /// back into results.
+  util::Telemetry* telemetry = nullptr;
 };
 
 /// Where one module ended up during the run.
@@ -57,10 +67,16 @@ struct RunMetrics {
   [[nodiscard]] double vf() const;  ///< perf-frequency max/min
   [[nodiscard]] double vt_raw() const;  ///< per-rank finish time max/min
 
-  [[nodiscard]] std::vector<double> module_powers_w() const;
+  /// Borrowed view, lazily filled from `modules` and cached (same idiom as
+  /// des::RunResult::finish_times()) — Vp and the power summaries hit this
+  /// repeatedly per run.
+  [[nodiscard]] const std::vector<double>& module_powers_w() const;
   [[nodiscard]] std::vector<double> cpu_powers_w() const;
   [[nodiscard]] std::vector<double> dram_powers_w() const;
   [[nodiscard]] std::vector<double> perf_freqs_ghz() const;
+
+ private:
+  mutable std::vector<double> module_powers_cache_;
 };
 
 class Runner {
@@ -74,18 +90,31 @@ class Runner {
     return allocation_;
   }
 
+  [[nodiscard]] const RunConfig& config() const { return config_; }
+
   /// Unconstrained reference run (the normalization baseline).
   [[nodiscard]] RunMetrics run_uncapped(const workloads::Workload& w) const;
 
-  /// Full pipeline for one scheme at one application-level budget.
+  /// Full pipeline for one registered scheme at one application-level
+  /// budget: resolves `scheme` through SchemeRegistry::global() and runs
+  /// its stage composition.
+  [[nodiscard]] RunMetrics run_scheme(const workloads::Workload& w,
+                                      const std::string& scheme,
+                                      double budget_w, const Pvt& pvt,
+                                      const TestRunResult& test) const;
+
+  /// Enum convenience for the built-in schemes; forwards to the name form.
   [[nodiscard]] RunMetrics run_scheme(const workloads::Workload& w,
                                       SchemeKind scheme, double budget_w,
                                       const Pvt& pvt,
                                       const TestRunResult& test) const;
 
-  /// The seed subtree run_scheme hands to scheme_pmt. Exposed so callers
-  /// that build the PMT themselves (e.g. through the CalibrationCache)
-  /// reproduce run_scheme's results bit-for-bit.
+  /// The seed subtree run_scheme hands to the power-model stage. Exposed so
+  /// callers that build the PMT themselves (e.g. through the
+  /// CalibrationCache) reproduce run_scheme's results bit-for-bit.
+  [[nodiscard]] static util::SeedSequence scheme_seed(
+      const cluster::Cluster& cluster, const workloads::Workload& w,
+      const std::string& scheme);
   [[nodiscard]] static util::SeedSequence scheme_seed(
       const cluster::Cluster& cluster, const workloads::Workload& w,
       SchemeKind scheme);
@@ -97,11 +126,19 @@ class Runner {
                                         const std::string& label,
                                         double budget_w) const;
 
- private:
+  /// Raw DES execution at explicit operating points — the pipeline's
+  /// execution stage calls back into this; it draws all noise from the
+  /// canonical (cluster seed, workload, label, salt) subtree.
   [[nodiscard]] RunMetrics execute(const workloads::Workload& w,
                                    const std::vector<hw::OperatingPoint>& ops,
                                    bool rapl_jitter,
                                    const std::string& label) const;
+
+ private:
+  /// Seeds a RunContext with this runner's cluster/allocation/telemetry.
+  [[nodiscard]] RunContext make_context(const workloads::Workload& w,
+                                        const std::string& scheme,
+                                        double budget_w) const;
 
   const cluster::Cluster& cluster_;
   std::vector<hw::ModuleId> allocation_;

@@ -1,0 +1,119 @@
+#include "core/scheme_registry.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "core/stages.hpp"
+#include "util/error.hpp"
+
+namespace vapb::core {
+
+void SchemeRegistry::add(std::string name, Factory factory) {
+  if (name.empty()) throw InvalidArgument("SchemeRegistry: empty scheme name");
+  if (!factory) {
+    throw InvalidArgument("SchemeRegistry: null factory for '" + name + "'");
+  }
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  if (!inserted) {
+    throw InvalidArgument("SchemeRegistry: scheme '" + name +
+                          "' is already registered");
+  }
+  order_.push_back(std::move(name));
+}
+
+bool SchemeRegistry::contains(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  return factories_.find(name) != factories_.end();
+}
+
+SchemeDefinition SchemeRegistry::get(std::string_view name) const {
+  Factory factory;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::string msg = "SchemeRegistry: unknown scheme '";
+      msg += name;
+      msg += "'; registered schemes:";
+      for (const std::string& n : order_) {
+        msg += ' ';
+        msg += n;
+      }
+      throw InvalidArgument(msg);
+    }
+    factory = it->second;
+  }
+  return factory();
+}
+
+std::vector<std::string> SchemeRegistry::names() const {
+  std::lock_guard lock(mutex_);
+  return order_;
+}
+
+namespace {
+
+// One shared instance of each stateless stage serves every definition.
+SchemeDefinition compose(std::string name, Enforcement enforcement,
+                         bool variation_aware, bool oracle,
+                         std::shared_ptr<const PowerModelStage> power_model) {
+  SchemeDefinition def;
+  def.name = std::move(name);
+  def.enforcement = enforcement;
+  def.variation_aware = variation_aware;
+  def.oracle = oracle;
+  static const auto calibration = std::make_shared<CachedCalibrationStage>();
+  static const auto solve = std::make_shared<AlphaSolveStage>();
+  static const auto cap =
+      std::make_shared<PmmdEnforcementStage>(Enforcement::kPowerCap);
+  static const auto freq =
+      std::make_shared<PmmdEnforcementStage>(Enforcement::kFreqSelect);
+  static const auto execute = std::make_shared<DesExecutionStage>();
+  def.calibration = calibration;
+  def.power_model = std::move(power_model);
+  def.budget_solve = solve;
+  def.enforcement_stage =
+      enforcement == Enforcement::kPowerCap ? cap : freq;
+  def.execution = execute;
+  return def;
+}
+
+void register_builtins(SchemeRegistry& r) {
+  const auto naive = std::make_shared<NaivePmtStage>();
+  const auto averaged = std::make_shared<AveragedCalibratedPmtStage>();
+  const auto calibrated = std::make_shared<CalibratedPmtStage>();
+  const auto oracle = std::make_shared<OraclePmtStage>();
+  r.add("Naive", [naive] {
+    return compose("Naive", Enforcement::kPowerCap, false, false, naive);
+  });
+  r.add("Pc", [averaged] {
+    return compose("Pc", Enforcement::kPowerCap, false, false, averaged);
+  });
+  r.add("VaPcOr", [oracle] {
+    return compose("VaPcOr", Enforcement::kPowerCap, true, true, oracle);
+  });
+  r.add("VaPc", [calibrated] {
+    return compose("VaPc", Enforcement::kPowerCap, true, false, calibrated);
+  });
+  r.add("VaFsOr", [oracle] {
+    return compose("VaFsOr", Enforcement::kFreqSelect, true, true, oracle);
+  });
+  r.add("VaFs", [calibrated] {
+    return compose("VaFs", Enforcement::kFreqSelect, true, false, calibrated);
+  });
+}
+
+}  // namespace
+
+SchemeRegistry& SchemeRegistry::global() {
+  static SchemeRegistry registry;
+  static const bool seeded = [] {
+    register_builtins(registry);
+    return true;
+  }();
+  static_cast<void>(seeded);
+  return registry;
+}
+
+}  // namespace vapb::core

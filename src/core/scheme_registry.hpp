@@ -1,0 +1,57 @@
+// String-keyed registry of scheme definitions — the single place a power
+// allocation scheme is named and composed from pipeline stages.
+//
+// The six paper schemes are pre-registered in the process-wide instance in
+// Figure 7's legend order; adding a new scheme is one `add()` call with a
+// factory that composes existing (or new) stages. Everything downstream —
+// Runner, the campaign engines, vapbctl — resolves schemes by name through
+// this registry, so a registered scheme needs no dispatch edits anywhere.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace vapb::core {
+
+class SchemeRegistry {
+ public:
+  /// Builds a fresh SchemeDefinition. Factories run on every get() so
+  /// definitions may hold per-lookup state, though the built-ins are
+  /// stateless and shared.
+  using Factory = std::function<SchemeDefinition()>;
+
+  SchemeRegistry() = default;
+  SchemeRegistry(const SchemeRegistry&) = delete;
+  SchemeRegistry& operator=(const SchemeRegistry&) = delete;
+
+  /// The process-wide instance, pre-seeded with the paper's six schemes.
+  static SchemeRegistry& global();
+
+  /// Registers `factory` under `name`. Throws InvalidArgument on an empty
+  /// name, a null factory, or a name already registered.
+  void add(std::string name, Factory factory);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Resolves `name` to its definition. Throws InvalidArgument naming every
+  /// registered scheme when `name` is unknown — a CLI typo surfaces the
+  /// valid spellings.
+  [[nodiscard]] SchemeDefinition get(std::string_view name) const;
+
+  /// Registered names in registration order (built-ins first, in Figure 7's
+  /// legend order).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> order_;
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+}  // namespace vapb::core

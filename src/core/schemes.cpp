@@ -1,30 +1,27 @@
+// The SchemeKind enum survives only as a thin alias layer over the
+// SchemeRegistry: names and composition live in scheme_registry.cpp, and
+// these helpers resolve through it so the registry is the single source of
+// truth for a scheme's enforcement/awareness/oracle metadata.
 #include "core/schemes.hpp"
 
+#include <memory>
+
+#include "core/scheme_registry.hpp"
+#include "core/stages.hpp"
 #include "util/error.hpp"
 
 namespace vapb::core {
 
 Enforcement enforcement_of(SchemeKind kind) {
-  switch (kind) {
-    case SchemeKind::kNaive:
-    case SchemeKind::kPc:
-    case SchemeKind::kVaPc:
-    case SchemeKind::kVaPcOr:
-      return Enforcement::kPowerCap;
-    case SchemeKind::kVaFs:
-    case SchemeKind::kVaFsOr:
-      return Enforcement::kFreqSelect;
-  }
-  throw InternalError("unhandled scheme");
+  return SchemeRegistry::global().get(scheme_name(kind)).enforcement;
 }
 
 bool is_variation_aware(SchemeKind kind) {
-  return kind == SchemeKind::kVaPc || kind == SchemeKind::kVaPcOr ||
-         kind == SchemeKind::kVaFs || kind == SchemeKind::kVaFsOr;
+  return SchemeRegistry::global().get(scheme_name(kind)).variation_aware;
 }
 
 bool is_oracle(SchemeKind kind) {
-  return kind == SchemeKind::kVaPcOr || kind == SchemeKind::kVaFsOr;
+  return SchemeRegistry::global().get(scheme_name(kind)).oracle;
 }
 
 std::string scheme_name(SchemeKind kind) {
@@ -55,22 +52,25 @@ Pmt scheme_pmt(SchemeKind kind, const cluster::Cluster& cluster,
                const workloads::Workload& app, const Pvt& pvt,
                const TestRunResult& test, util::SeedSequence seed,
                const NaiveTable& naive) {
-  const auto& ladder = cluster.spec().ladder;
-  switch (kind) {
-    case SchemeKind::kNaive:
-      return constant_pmt(PmtEntry{naive.tdp_cpu_w, naive.tdp_dram_w,
-                                   naive.min_cpu_w, naive.min_dram_w},
-                          allocation.size(), ladder);
-    case SchemeKind::kPc:
-      return averaged_pmt(calibrate_pmt(pvt, test, allocation, ladder));
-    case SchemeKind::kVaPc:
-    case SchemeKind::kVaFs:
-      return calibrate_pmt(pvt, test, allocation, ladder);
-    case SchemeKind::kVaPcOr:
-    case SchemeKind::kVaFsOr:
-      return oracle_pmt(cluster, allocation, app, seed.fork("oracle-pmt"));
+  RunContext ctx;
+  ctx.cluster = &cluster;
+  ctx.allocation = allocation;
+  ctx.workload = &app;
+  ctx.scheme = scheme_name(kind);
+  ctx.seed = seed;
+  // Non-owning views: the caller's artifacts outlive this call.
+  ctx.pvt = std::shared_ptr<const Pvt>(std::shared_ptr<const Pvt>(), &pvt);
+  ctx.test = std::shared_ptr<const TestRunResult>(
+      std::shared_ptr<const TestRunResult>(), &test);
+  std::shared_ptr<const PowerModelStage> stage;
+  if (kind == SchemeKind::kNaive) {
+    // The registry's Naive uses the default table; honor a custom one here.
+    stage = std::make_shared<NaivePmtStage>(naive);
+  } else {
+    stage = SchemeRegistry::global().get(ctx.scheme).power_model;
   }
-  throw InternalError("unhandled scheme");
+  stage->model(ctx);
+  return Pmt(*ctx.pmt);
 }
 
 }  // namespace vapb::core

@@ -1,0 +1,222 @@
+#include "core/stages.hpp"
+
+#include <string>
+#include <utility>
+
+#include "core/calibration_cache.hpp"
+#include "core/pmmd.hpp"
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::core {
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw InvalidArgument(std::string("pipeline stage: ") + what);
+}
+
+void count(RunContext& ctx, const char* counter) {
+  if (ctx.telemetry != nullptr) ctx.telemetry->add_counter(counter);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Calibration
+// ---------------------------------------------------------------------------
+
+void CachedCalibrationStage::calibrate(RunContext& ctx) const {
+  require(ctx.cluster != nullptr, "calibration needs a cluster");
+  require(ctx.workload != nullptr, "calibration needs a workload");
+  if (!ctx.pvt) {
+    ctx.pvt = CalibrationCache::global().pvt(
+        *ctx.cluster, workloads::pvt_microbench(),
+        ctx.cluster->seed().fork("pvt"));
+    count(ctx, "pvt_from_cache");
+  }
+  if (!ctx.test) {
+    require(!ctx.allocation.empty(), "calibration needs an allocation");
+    ctx.test = CalibrationCache::global().test_run(
+        *ctx.cluster, ctx.allocation.front(), *ctx.workload,
+        ctx.cluster->seed().fork("test-run").fork(ctx.workload->name));
+    count(ctx, "test_run_from_cache");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Power model
+// ---------------------------------------------------------------------------
+
+void NaivePmtStage::model(RunContext& ctx) const {
+  require(ctx.cluster != nullptr, "power model needs a cluster");
+  ctx.pmt = std::make_shared<const Pmt>(
+      constant_pmt(PmtEntry{table_.tdp_cpu_w, table_.tdp_dram_w,
+                            table_.min_cpu_w, table_.min_dram_w},
+                   ctx.allocation.size(), ctx.cluster->spec().ladder));
+}
+
+void AveragedCalibratedPmtStage::model(RunContext& ctx) const {
+  require(ctx.cluster != nullptr, "power model needs a cluster");
+  require(ctx.pvt && ctx.test, "power model needs calibration artifacts");
+  ctx.pmt = std::make_shared<const Pmt>(
+      averaged_pmt(calibrate_pmt(*ctx.pvt, *ctx.test, ctx.allocation,
+                                 ctx.cluster->spec().ladder)));
+}
+
+void CalibratedPmtStage::model(RunContext& ctx) const {
+  require(ctx.cluster != nullptr, "power model needs a cluster");
+  require(ctx.pvt && ctx.test, "power model needs calibration artifacts");
+  ctx.pmt = std::make_shared<const Pmt>(calibrate_pmt(
+      *ctx.pvt, *ctx.test, ctx.allocation, ctx.cluster->spec().ladder));
+}
+
+void OraclePmtStage::model(RunContext& ctx) const {
+  require(ctx.cluster != nullptr, "power model needs a cluster");
+  require(ctx.workload != nullptr, "power model needs a workload");
+  ctx.pmt = std::make_shared<const Pmt>(
+      oracle_pmt(*ctx.cluster, ctx.allocation, *ctx.workload,
+                 ctx.seed.fork("oracle-pmt")));
+}
+
+CachedPowerModelStage::CachedPowerModelStage(
+    std::shared_ptr<const PowerModelStage> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) throw InvalidArgument("CachedPowerModelStage: null inner stage");
+}
+
+void CachedPowerModelStage::model(RunContext& ctx) const {
+  require(ctx.cluster != nullptr, "power model needs a cluster");
+  require(ctx.workload != nullptr, "power model needs a workload");
+  require(ctx.pvt && ctx.test,
+          "cached power model needs calibration artifacts");
+  require(!ctx.scheme.empty(), "cached power model needs a scheme name");
+  ctx.pmt = CalibrationCache::global().scheme_pmt(
+      ctx.scheme, *ctx.cluster, ctx.allocation, *ctx.workload, *ctx.pvt,
+      *ctx.test, ctx.seed, [&] {
+        inner_->model(ctx);
+        return Pmt(*ctx.pmt);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Budget solve
+// ---------------------------------------------------------------------------
+
+void AlphaSolveStage::solve(RunContext& ctx) const {
+  require(ctx.pmt != nullptr, "budget solve needs a power model");
+  ctx.budget = solve_budget(*ctx.pmt, util::Watts{ctx.budget_w});
+}
+
+void FixedBudgetStage::solve(RunContext& ctx) const {
+  ctx.budget = preset_;
+}
+
+// ---------------------------------------------------------------------------
+// Enforcement
+// ---------------------------------------------------------------------------
+
+void PmmdEnforcementStage::enforce(RunContext& ctx) const {
+  require(ctx.runner != nullptr, "enforcement needs a runner");
+  require(ctx.workload != nullptr, "enforcement needs a workload");
+  require(ctx.budget.has_value(), "enforcement needs a solved budget");
+  const BudgetResult& budget = *ctx.budget;
+  const std::span<const hw::ModuleId> allocation = ctx.allocation;
+  if (budget.allocations.size() != allocation.size()) {
+    throw InvalidArgument("run_budgeted: budget covers " +
+                          std::to_string(budget.allocations.size()) +
+                          " modules, allocation has " +
+                          std::to_string(allocation.size()));
+  }
+
+  // Materialize the hardware controllers and apply the plan (PMMD region).
+  const RunConfig& config = ctx.runner->config();
+  std::vector<hw::Rapl> rapls;
+  std::vector<hw::CpufreqGovernor> governors;
+  rapls.reserve(allocation.size());
+  governors.reserve(allocation.size());
+  for (auto id : allocation) {
+    rapls.emplace_back(ctx.cluster->module(id), config.rapl);
+    governors.emplace_back(ctx.cluster->module(id));
+  }
+
+  PmmdPlan plan;
+  plan.enforcement = enforcement_;
+  plan.settings.reserve(allocation.size());
+  for (std::size_t i = 0; i < allocation.size(); ++i) {
+    PmmdSetting s;
+    s.module = allocation[i];
+    if (enforcement_ == Enforcement::kPowerCap) {
+      s.cpu_cap_w = budget.allocations[i].cpu_cap_w;
+    } else {
+      s.freq_ghz = budget.target_freq_ghz;
+    }
+    plan.settings.push_back(s);
+  }
+  PmmdSession session(plan, rapls, governors);
+
+  // The sustained operating points are value snapshots, so the PMMD region
+  // may end here without affecting execution.
+  ctx.ops.clear();
+  ctx.ops.reserve(allocation.size());
+  for (std::size_t i = 0; i < allocation.size(); ++i) {
+    if (enforcement_ == Enforcement::kPowerCap) {
+      ctx.ops.push_back(rapls[i].operating_point(ctx.workload->profile));
+    } else {
+      ctx.ops.push_back(governors[i].operating_point(ctx.workload->profile));
+    }
+  }
+  ctx.enforcement = enforcement_;
+  ctx.rapl_jitter = enforcement_ == Enforcement::kPowerCap;
+}
+
+void UncappedEnforcementStage::enforce(RunContext& ctx) const {
+  require(ctx.runner != nullptr, "enforcement needs a runner");
+  require(ctx.workload != nullptr, "enforcement needs a workload");
+  const RunConfig& config = ctx.runner->config();
+  ctx.ops.clear();
+  ctx.ops.reserve(ctx.allocation.size());
+  for (auto id : ctx.allocation) {
+    hw::Rapl rapl(ctx.cluster->module(id), config.rapl);
+    ctx.ops.push_back(rapl.operating_point(ctx.workload->profile,
+                                           config.turbo));
+  }
+  // Synthesize the unconstrained solution so the execution stage's metric
+  // fill is uniform: alpha 1 at fmax, no binding constraint, no caps.
+  BudgetResult budget;
+  budget.constrained = false;
+  budget.alpha = 1.0;
+  budget.target_freq_ghz = util::GigaHertz{ctx.cluster->spec().ladder.fmax()};
+  budget.allocations.resize(ctx.allocation.size());
+  ctx.budget = std::move(budget);
+  ctx.enforcement = Enforcement::kPowerCap;
+  ctx.rapl_jitter = false;
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+void DesExecutionStage::execute(RunContext& ctx) const {
+  require(ctx.runner != nullptr, "execution needs a runner");
+  require(ctx.workload != nullptr, "execution needs a workload");
+  require(ctx.budget.has_value(), "execution needs a solved budget");
+  require(ctx.ops.size() == ctx.allocation.size(),
+          "execution needs enforced operating points");
+  const BudgetResult& budget = *ctx.budget;
+  RunMetrics m =
+      ctx.runner->execute(*ctx.workload, ctx.ops, ctx.rapl_jitter, ctx.scheme);
+  m.budget_w = ctx.budget_w;
+  m.alpha = budget.alpha;
+  m.target_freq_ghz = budget.target_freq_ghz.value();
+  m.constrained = budget.constrained;
+  for (std::size_t i = 0; i < m.modules.size(); ++i) {
+    m.modules[i].alloc_module_w = budget.allocations[i].module_w.value();
+    if (ctx.enforcement == Enforcement::kPowerCap) {
+      m.modules[i].cpu_cap_w = budget.allocations[i].cpu_cap_w.value();
+    }
+  }
+  ctx.metrics = std::move(m);
+}
+
+}  // namespace vapb::core

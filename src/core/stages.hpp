@@ -1,0 +1,139 @@
+// Concrete stage implementations for the staged budgeting pipeline.
+//
+// These are the building blocks the paper's six schemes are composed from
+// (see scheme_registry.cpp for the compositions). All stages are stateless
+// or hold only immutable configuration, so one instance can serve any
+// number of concurrent pipeline runs.
+#pragma once
+
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "core/schemes.hpp"
+
+namespace vapb::core {
+
+// ---------------------------------------------------------------------------
+// Calibration
+// ---------------------------------------------------------------------------
+
+/// Fills whatever calibration artifacts the caller did not provide from the
+/// process-wide CalibrationCache, with the canonical seed forks: the system
+/// PVT (paper's *STREAM microbenchmark) under cluster.seed().fork("pvt") and
+/// the single-module test run under .fork("test-run").fork(workload). A
+/// pre-populated field is left untouched, so callers holding their own PVT
+/// (e.g. one loaded from a file) keep it.
+class CachedCalibrationStage final : public CalibrationStage {
+ public:
+  void calibrate(RunContext& ctx) const override;
+};
+
+// ---------------------------------------------------------------------------
+// Power model
+// ---------------------------------------------------------------------------
+
+/// Naive's application-independent table: TDP maxima, empirical minima,
+/// replicated over the allocation.
+class NaivePmtStage final : public PowerModelStage {
+ public:
+  explicit NaivePmtStage(NaiveTable table = {}) : table_(table) {}
+  void model(RunContext& ctx) const override;
+
+ private:
+  NaiveTable table_;
+};
+
+/// Pc's table: the PVT-calibrated PMT collapsed to its fleet average
+/// (application-dependent, variation-unaware).
+class AveragedCalibratedPmtStage final : public PowerModelStage {
+ public:
+  void model(RunContext& ctx) const override;
+};
+
+/// The paper's variation-aware calibration: single-module test run scaled
+/// through the PVT onto every allocated module (VaPc / VaFs).
+class CalibratedPmtStage final : public PowerModelStage {
+ public:
+  void model(RunContext& ctx) const override;
+};
+
+/// Perfect calibration: the application measured on every allocated module
+/// (VaPcOr / VaFsOr). Draws from ctx.seed.fork("oracle-pmt").
+class OraclePmtStage final : public PowerModelStage {
+ public:
+  void model(RunContext& ctx) const override;
+};
+
+/// Decorator that memoizes any power-model stage through the process-wide
+/// CalibrationCache, keyed on (scheme name, fleet, allocation, workload, PVT
+/// and test-run content, seed) — the campaign engines wrap scheme stages
+/// with this so a sweep builds each PMT once.
+class CachedPowerModelStage final : public PowerModelStage {
+ public:
+  explicit CachedPowerModelStage(std::shared_ptr<const PowerModelStage> inner);
+  void model(RunContext& ctx) const override;
+
+ private:
+  std::shared_ptr<const PowerModelStage> inner_;
+};
+
+// ---------------------------------------------------------------------------
+// Budget solve
+// ---------------------------------------------------------------------------
+
+/// The paper's Eq. 6-9 solve: the largest common frequency coefficient
+/// alpha whose predicted total power fits ctx.budget_w.
+class AlphaSolveStage final : public BudgetSolveStage {
+ public:
+  void solve(RunContext& ctx) const override;
+};
+
+/// Applies a pre-solved budget unchanged — the static baseline in dynamic
+/// reallocation, and the stage behind Runner::run_budgeted.
+class FixedBudgetStage final : public BudgetSolveStage {
+ public:
+  explicit FixedBudgetStage(BudgetResult preset) : preset_(std::move(preset)) {}
+  void solve(RunContext& ctx) const override;
+
+ private:
+  BudgetResult preset_;
+};
+
+// ---------------------------------------------------------------------------
+// Enforcement
+// ---------------------------------------------------------------------------
+
+/// Applies the solved allocations through a PMMD session (RAPL caps for
+/// power capping, cpufreq targets for frequency selection) and records the
+/// sustained operating point of every module.
+class PmmdEnforcementStage final : public EnforcementStage {
+ public:
+  explicit PmmdEnforcementStage(Enforcement enforcement)
+      : enforcement_(enforcement) {}
+  void enforce(RunContext& ctx) const override;
+
+ private:
+  Enforcement enforcement_;
+};
+
+/// No enforcement: every module runs at its unconstrained operating point
+/// (with opportunistic turbo when the runner's config allows it). Fills
+/// ctx.budget with the unconstrained solution (alpha 1, target fmax, empty
+/// allocations) so the execution stage's metric fill needs no special case.
+class UncappedEnforcementStage final : public EnforcementStage {
+ public:
+  void enforce(RunContext& ctx) const override;
+};
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Runs the workload on the discrete-event MPI runtime at the enforced
+/// operating points and merges the solver outputs into the metrics.
+class DesExecutionStage final : public ExecutionStage {
+ public:
+  void execute(RunContext& ctx) const override;
+};
+
+}  // namespace vapb::core

@@ -1,0 +1,100 @@
+#include "util/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <ostream>
+
+namespace vapb::util {
+
+double monotonic_seconds() {
+  // Telemetry measures real elapsed time; timings are reported for
+  // observability only and never feed back into the simulation, so results
+  // stay seed-deterministic.
+  // vapb-lint: allow(determinism-clock): observability-only wall clock
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+void Telemetry::record_stage(std::string_view stage, double seconds) {
+  auto it = stages_.find(stage);
+  if (it == stages_.end()) {
+    it = stages_.emplace(std::string(stage), StageStats{}).first;
+  }
+  StageStats& s = it->second;
+  ++s.calls;
+  s.total_s += seconds;
+  s.max_s = std::max(s.max_s, seconds);
+}
+
+void Telemetry::add_counter(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::uint64_t{0}).first;
+  }
+  it->second += delta;
+}
+
+void Telemetry::merge(const Telemetry& other) {
+  for (const auto& [name, s] : other.stages_) {
+    auto it = stages_.find(name);
+    if (it == stages_.end()) {
+      stages_.emplace(name, s);
+      continue;
+    }
+    it->second.calls += s.calls;
+    it->second.total_s += s.total_s;
+    it->second.max_s = std::max(it->second.max_s, s.max_s);
+  }
+  for (const auto& [name, n] : other.counters_) add_counter(name, n);
+}
+
+namespace {
+
+// Stage and counter names are internal identifiers, but escape the JSON
+// specials anyway so a stray name cannot corrupt the document.
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Telemetry::write_json(std::ostream& os) const {
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  os << std::setprecision(17);
+  os << "{\"stages\": {";
+  bool first = true;
+  for (const auto& [name, s] : stages_) {
+    if (!first) os << ", ";
+    first = false;
+    write_json_string(os, name);
+    os << ": {\"calls\": " << s.calls << ", \"total_s\": " << s.total_s
+       << ", \"max_s\": " << s.max_s << '}';
+  }
+  os << "}, \"counters\": {";
+  first = true;
+  for (const auto& [name, n] : counters_) {
+    if (!first) os << ", ";
+    first = false;
+    write_json_string(os, name);
+    os << ": " << n;
+  }
+  os << "}}\n";
+  os.flags(flags);
+  os.precision(precision);
+}
+
+ScopedStage::ScopedStage(Telemetry& sink, std::string_view stage)
+    : sink_(&sink), stage_(stage), start_s_(monotonic_seconds()) {}
+
+ScopedStage::~ScopedStage() {
+  sink_->record_stage(stage_, monotonic_seconds() - start_s_);
+}
+
+}  // namespace vapb::util

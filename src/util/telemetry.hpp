@@ -1,0 +1,81 @@
+// Lightweight per-stage telemetry: named wall-clock timers and counters
+// with a structured JSON sink.
+//
+// Telemetry is a plain value type — each pipeline run accumulates into its
+// own instance and the campaign engine merges per-job instances under its
+// own lock, so no synchronisation happens here. Timings are observability
+// only: they never feed back into the simulation, which keeps the
+// determinism contract intact (results depend only on seeds, never on the
+// clock).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace vapb::util {
+
+/// Seconds on a monotonic clock with an arbitrary epoch. Only differences
+/// are meaningful.
+[[nodiscard]] double monotonic_seconds();
+
+class Telemetry {
+ public:
+  struct StageStats {
+    std::uint64_t calls = 0;
+    double total_s = 0.0;
+    double max_s = 0.0;
+  };
+
+  /// Folds one timed invocation of `stage` into its running stats.
+  void record_stage(std::string_view stage, double seconds);
+
+  /// Bumps the named counter by `delta` (creating it at zero first).
+  void add_counter(std::string_view name, std::uint64_t delta = 1);
+
+  /// Accumulates another instance into this one: stage stats fold together
+  /// (calls and totals add, max takes the max) and counters add.
+  void merge(const Telemetry& other);
+
+  [[nodiscard]] const std::map<std::string, StageStats, std::less<>>&
+  stages() const {
+    return stages_;
+  }
+  [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>&
+  counters() const {
+    return counters_;
+  }
+  [[nodiscard]] bool empty() const {
+    return stages_.empty() && counters_.empty();
+  }
+
+  /// Writes `{"stages": {name: {"calls": n, "total_s": t, "max_s": m}},
+  /// "counters": {name: n}}` with keys in lexicographic order, followed by
+  /// a newline.
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::map<std::string, StageStats, std::less<>> stages_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+};
+
+/// RAII stage timer: records the wall time between construction and
+/// destruction under `stage` in `sink`. The sink must outlive the timer.
+class ScopedStage {
+ public:
+  ScopedStage(Telemetry& sink, std::string_view stage);
+  ~ScopedStage();
+
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  Telemetry* sink_;
+  std::string stage_;
+  double start_s_;
+};
+
+}  // namespace vapb::util

@@ -67,6 +67,92 @@ TEST_F(CampaignFixture, ClassificationMatchesTableFour) {
   EXPECT_EQ(row(workloads::mvmc()), "...XXX-");
 }
 
+TEST_F(CampaignFixture, ClassifiesExactBudgetBoundaries) {
+  // Table 4's cell edges: a budget exactly at the oracle fmin floor is the
+  // last feasible point (strictly below is "-"), and a budget exactly at the
+  // fmax demand is the first unconstrained point (strictly below is "X").
+  const workloads::Workload& w = workloads::mhd();
+  const Pmt& truth = campaign_->oracle(w);
+  const double at_min = truth.total_min_w().value();
+  const double at_max = truth.total_max_w().value();
+  ASSERT_LT(at_min, at_max);
+
+  EXPECT_EQ(campaign_->classify(w, at_min), CellClass::kValid);
+  EXPECT_EQ(campaign_->classify(w, std::nextafter(at_min, 0.0)),
+            CellClass::kInfeasible);
+  EXPECT_EQ(campaign_->classify(w, at_max), CellClass::kUnconstrained);
+  EXPECT_EQ(campaign_->classify(w, std::nextafter(at_max, 0.0)),
+            CellClass::kValid);
+}
+
+TEST_F(CampaignFixture, FminBoundaryEnforcesFminUnderBothEnforcements) {
+  // Budget exactly at the fmin floor: the solve lands on alpha = 0 / target
+  // fmin exactly, and both enforcement paths run the modules there.
+  const workloads::Workload& w = workloads::mhd();
+  const Pmt& truth = campaign_->oracle(w);
+  const double at_min = truth.total_min_w().value();
+  const double fmin = cluster_.spec().ladder.fmin();
+
+  BudgetResult solved = solve_budget(truth, util::Watts{at_min});
+  EXPECT_TRUE(solved.fits_at_fmin);
+  EXPECT_TRUE(solved.constrained);
+  EXPECT_DOUBLE_EQ(solved.alpha, 0.0);
+  EXPECT_DOUBLE_EQ(solved.target_freq_ghz.value(), fmin);
+
+  RunMetrics pc = campaign_->runner().run_budgeted(
+      w, Enforcement::kPowerCap, solved, "pc-at-fmin", at_min);
+  EXPECT_TRUE(pc.feasible);
+  EXPECT_TRUE(pc.constrained);
+  EXPECT_DOUBLE_EQ(pc.alpha, 0.0);
+  EXPECT_DOUBLE_EQ(pc.target_freq_ghz, fmin);
+  EXPECT_GT(pc.makespan_s, 0.0);
+
+  RunMetrics fs = campaign_->runner().run_budgeted(
+      w, Enforcement::kFreqSelect, solved, "fs-at-fmin", at_min);
+  EXPECT_TRUE(fs.feasible);
+  EXPECT_DOUBLE_EQ(fs.target_freq_ghz, fmin);
+  EXPECT_GT(fs.makespan_s, 0.0);
+  for (const ModuleOutcome& m : fs.modules) {
+    // Static frequency selection pins every module to the target.
+    EXPECT_DOUBLE_EQ(m.op.freq_ghz, fmin);
+  }
+}
+
+TEST_F(CampaignFixture, UnconstrainedBoundaryRunsAtFmaxUnderBothEnforcements) {
+  // Budget exactly at the fmax demand: alpha = 1, the budget stops binding,
+  // and both enforcement paths run every module at fmax.
+  const workloads::Workload& w = workloads::mhd();
+  const Pmt& truth = campaign_->oracle(w);
+  const double at_max = truth.total_max_w().value();
+  const double fmax = cluster_.spec().ladder.fmax();
+
+  BudgetResult solved = solve_budget(truth, util::Watts{at_max});
+  EXPECT_FALSE(solved.constrained);
+  EXPECT_DOUBLE_EQ(solved.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(solved.target_freq_ghz.value(), fmax);
+
+  RunMetrics pc = campaign_->runner().run_budgeted(
+      w, Enforcement::kPowerCap, solved, "pc-at-fmax", at_max);
+  EXPECT_TRUE(pc.feasible);
+  EXPECT_FALSE(pc.constrained);
+  EXPECT_DOUBLE_EQ(pc.target_freq_ghz, fmax);
+
+  RunMetrics fs = campaign_->runner().run_budgeted(
+      w, Enforcement::kFreqSelect, solved, "fs-at-fmax", at_max);
+  EXPECT_TRUE(fs.feasible);
+  EXPECT_DOUBLE_EQ(fs.target_freq_ghz, fmax);
+  for (const ModuleOutcome& m : fs.modules) {
+    EXPECT_DOUBLE_EQ(m.op.freq_ghz, fmax);
+  }
+
+  // The fmin-floor runs above are strictly slower than the unconstrained
+  // boundary runs.
+  RunMetrics slow = campaign_->runner().run_budgeted(
+      w, Enforcement::kFreqSelect,
+      solve_budget(truth, truth.total_min_w()), "fs-at-fmin", 0.0);
+  EXPECT_GT(slow.makespan_s, fs.makespan_s);
+}
+
 TEST_F(CampaignFixture, RunCellProducesAllSchemes) {
   CellResult cell = campaign_->run_cell(workloads::mhd(), budget(80.0));
   EXPECT_EQ(cell.cls, CellClass::kValid);

@@ -1,0 +1,168 @@
+// SchemeRegistry tests: the six paper schemes are pre-registered in legend
+// order with metadata matching the SchemeKind helpers, lookup errors list
+// the valid spellings, and — the point of the registry — a seventh scheme
+// composed from existing stages runs through Runner and the campaign engine
+// via one add() call, with no dispatch edits anywhere.
+#include "core/scheme_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "cluster/scheduler.hpp"
+#include "core/campaign.hpp"
+#include "core/stages.hpp"
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::core {
+namespace {
+
+const std::vector<std::string> kLegend = {"Naive",  "Pc",     "VaPcOr",
+                                          "VaPc",   "VaFsOr", "VaFs"};
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+TEST(SchemeRegistry, BuiltinsRegisteredInLegendOrder) {
+  const auto names = SchemeRegistry::global().names();
+  ASSERT_GE(names.size(), kLegend.size());
+  for (std::size_t i = 0; i < kLegend.size(); ++i) {
+    EXPECT_EQ(names[i], kLegend[i]);
+  }
+  for (const std::string& n : kLegend) {
+    EXPECT_TRUE(SchemeRegistry::global().contains(n)) << n;
+  }
+  EXPECT_FALSE(SchemeRegistry::global().contains("NoSuchScheme"));
+}
+
+TEST(SchemeRegistry, BuiltinMetadataMatchesSchemeKindHelpers) {
+  for (SchemeKind kind : all_schemes()) {
+    SchemeDefinition def = SchemeRegistry::global().get(scheme_name(kind));
+    EXPECT_EQ(def.name, scheme_name(kind));
+    EXPECT_EQ(def.enforcement, enforcement_of(kind));
+    EXPECT_EQ(def.variation_aware, is_variation_aware(kind));
+    EXPECT_EQ(def.oracle, is_oracle(kind));
+    // Every built-in is a full five-stage composition.
+    EXPECT_TRUE(def.calibration != nullptr);
+    EXPECT_TRUE(def.power_model != nullptr);
+    EXPECT_TRUE(def.budget_solve != nullptr);
+    EXPECT_TRUE(def.enforcement_stage != nullptr);
+    EXPECT_TRUE(def.execution != nullptr);
+  }
+}
+
+TEST(SchemeRegistry, UnknownNameListsEveryRegisteredScheme) {
+  try {
+    (void)SchemeRegistry::global().get("VaPcOracle");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown scheme 'VaPcOracle'"), std::string::npos)
+        << msg;
+    for (const std::string& n : kLegend) {
+      EXPECT_NE(msg.find(n), std::string::npos)
+          << "missing " << n << ": " << msg;
+    }
+  }
+}
+
+TEST(SchemeRegistry, RejectsBadRegistrations) {
+  auto& reg = SchemeRegistry::global();
+  EXPECT_THROW(reg.add("", [] { return SchemeDefinition{}; }),
+               InvalidArgument);
+  EXPECT_THROW(reg.add("NullFactory", SchemeRegistry::Factory{}),
+               InvalidArgument);
+  EXPECT_FALSE(reg.contains("NullFactory"));
+  EXPECT_THROW(reg.add("Naive", [] { return SchemeDefinition{}; }),
+               InvalidArgument);
+}
+
+/// The acceptance-criterion scheme: Naive's application-independent table
+/// enforced by frequency selection — a composition the paper never names,
+/// built purely from existing stages. Registered once per process (tests
+/// share the global registry).
+void register_naive_fs() {
+  auto& reg = SchemeRegistry::global();
+  if (reg.contains("NaiveFs")) return;
+  reg.add("NaiveFs", [] {
+    SchemeDefinition def;
+    def.name = "NaiveFs";
+    def.enforcement = Enforcement::kFreqSelect;
+    def.variation_aware = false;
+    def.oracle = false;
+    def.calibration = std::make_shared<CachedCalibrationStage>();
+    def.power_model = std::make_shared<NaivePmtStage>();
+    def.budget_solve = std::make_shared<AlphaSolveStage>();
+    def.enforcement_stage =
+        std::make_shared<PmmdEnforcementStage>(Enforcement::kFreqSelect);
+    def.execution = std::make_shared<DesExecutionStage>();
+    return def;
+  });
+}
+
+TEST(SchemeRegistry, SeventhSchemeRunsViaRegistrationAlone) {
+  register_naive_fs();
+  EXPECT_TRUE(SchemeRegistry::global().contains("NaiveFs"));
+
+  constexpr std::size_t kModules = 16;
+  cluster::Cluster cluster(hw::ha8k(), util::SeedSequence(77), kModules);
+  std::vector<hw::ModuleId> alloc(kModules);
+  std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+  RunConfig cfg;
+  cfg.iterations = 4;  // keep tests fast
+  const workloads::Workload& w = workloads::mhd();
+  const double budget_w = 90.0 * kModules;
+
+  // Through the parallel engine: the spec names the scheme, nothing else
+  // changed — no runner/campaign/CLI dispatch knows "NaiveFs" exists.
+  CampaignSpec spec;
+  spec.workloads = {&w};
+  spec.budgets_w = {budget_w};
+  spec.scheme_names = {"Naive", "NaiveFs"};
+  spec.config = cfg;
+  EXPECT_EQ(spec.job_count(), 2u);
+  CampaignEngine engine(cluster, alloc, /*threads=*/2);
+  CampaignResult result = engine.run(spec);
+  const CampaignJobResult* job = result.find(w.name, budget_w, "NaiveFs");
+  ASSERT_NE(job, nullptr);
+  EXPECT_TRUE(job->metrics.feasible);
+  EXPECT_GT(job->metrics.makespan_s, 0.0);
+  EXPECT_FALSE(job->metrics.modules.empty());
+  // The engine computed a speedup against the Naive job in the same spec.
+  EXPECT_TRUE(std::isfinite(job->speedup_vs_naive));
+  EXPECT_GT(job->speedup_vs_naive, 0.0);
+
+  // And the engine's cached path reproduces a direct Runner::run_scheme of
+  // the registered name bit-for-bit.
+  Campaign campaign(cluster, alloc, cfg);
+  RunMetrics direct = campaign.runner().run_scheme(
+      w, std::string("NaiveFs"), budget_w, campaign.pvt(),
+      campaign.test_run(w));
+  EXPECT_EQ(bits(direct.makespan_s), bits(job->metrics.makespan_s));
+  EXPECT_EQ(bits(direct.alpha), bits(job->metrics.alpha));
+  EXPECT_EQ(bits(direct.target_freq_ghz), bits(job->metrics.target_freq_ghz));
+  EXPECT_EQ(bits(direct.total_power_w), bits(job->metrics.total_power_w));
+  ASSERT_EQ(direct.modules.size(), job->metrics.modules.size());
+  for (std::size_t i = 0; i < direct.modules.size(); ++i) {
+    EXPECT_EQ(bits(direct.modules[i].op.freq_ghz),
+              bits(job->metrics.modules[i].op.freq_ghz));
+    EXPECT_EQ(bits(direct.modules[i].op.duty),
+              bits(job->metrics.modules[i].op.duty));
+  }
+}
+
+TEST(SchemeRegistry, AllocationPolicyNamesRoundTrip) {
+  for (cluster::AllocationPolicy p : cluster::all_allocation_policies()) {
+    EXPECT_EQ(cluster::allocation_policy_by_name(
+                  cluster::allocation_policy_name(p)),
+              p);
+  }
+  EXPECT_THROW(cluster::allocation_policy_by_name("fastest"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vapb::core

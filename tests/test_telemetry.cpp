@@ -1,0 +1,122 @@
+#include "util/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vapb::util {
+namespace {
+
+TEST(Telemetry, StartsEmpty) {
+  Telemetry t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.stages().empty());
+  EXPECT_TRUE(t.counters().empty());
+}
+
+TEST(Telemetry, RecordStageAccumulatesCallsTotalAndMax) {
+  Telemetry t;
+  t.record_stage("solve", 0.25);
+  t.record_stage("solve", 0.5);
+  t.record_stage("solve", 0.125);
+  ASSERT_EQ(t.stages().size(), 1u);
+  const Telemetry::StageStats& s = t.stages().at("solve");
+  EXPECT_EQ(s.calls, 3u);
+  EXPECT_DOUBLE_EQ(s.total_s, 0.875);
+  EXPECT_DOUBLE_EQ(s.max_s, 0.5);
+  EXPECT_FALSE(t.empty());
+}
+
+TEST(Telemetry, CountersAccumulate) {
+  Telemetry t;
+  t.add_counter("cache_hit");
+  t.add_counter("cache_hit", 4);
+  t.add_counter("cache_miss", 0);
+  EXPECT_EQ(t.counters().at("cache_hit"), 5u);
+  EXPECT_EQ(t.counters().at("cache_miss"), 0u);
+}
+
+TEST(Telemetry, MergeFoldsStagesAndCounters) {
+  Telemetry a;
+  a.record_stage("calibrate", 1.0);
+  a.record_stage("solve", 0.25);
+  a.add_counter("jobs", 2);
+
+  Telemetry b;
+  b.record_stage("solve", 0.75);
+  b.record_stage("execute", 0.5);
+  b.add_counter("jobs", 3);
+  b.add_counter("cache_hit", 1);
+
+  a.merge(b);
+  EXPECT_EQ(a.stages().size(), 3u);
+  EXPECT_EQ(a.stages().at("solve").calls, 2u);
+  EXPECT_DOUBLE_EQ(a.stages().at("solve").total_s, 1.0);
+  EXPECT_DOUBLE_EQ(a.stages().at("solve").max_s, 0.75);
+  EXPECT_EQ(a.stages().at("calibrate").calls, 1u);
+  EXPECT_EQ(a.stages().at("execute").calls, 1u);
+  EXPECT_EQ(a.counters().at("jobs"), 5u);
+  EXPECT_EQ(a.counters().at("cache_hit"), 1u);
+}
+
+TEST(Telemetry, MergeIntoEmptyCopies) {
+  Telemetry b;
+  b.record_stage("execute", 0.5);
+  b.add_counter("jobs", 3);
+  Telemetry a;
+  a.merge(b);
+  EXPECT_EQ(a.stages().at("execute").calls, 1u);
+  EXPECT_DOUBLE_EQ(a.stages().at("execute").max_s, 0.5);
+  EXPECT_EQ(a.counters().at("jobs"), 3u);
+}
+
+TEST(Telemetry, WriteJsonEmitsSortedStableDocument) {
+  Telemetry t;
+  t.record_stage("solve", 0.5);
+  t.record_stage("calibrate", 0.25);
+  t.add_counter("jobs", 2);
+  std::ostringstream os;
+  t.write_json(os);
+  EXPECT_EQ(os.str(),
+            "{\"stages\": {"
+            "\"calibrate\": {\"calls\": 1, \"total_s\": 0.25, "
+            "\"max_s\": 0.25}, "
+            "\"solve\": {\"calls\": 1, \"total_s\": 0.5, \"max_s\": 0.5}}, "
+            "\"counters\": {\"jobs\": 2}}\n");
+}
+
+TEST(Telemetry, WriteJsonEscapesSpecials) {
+  Telemetry t;
+  t.add_counter("a\"b\\c", 1);
+  std::ostringstream os;
+  t.write_json(os);
+  EXPECT_NE(os.str().find("\"a\\\"b\\\\c\": 1"), std::string::npos);
+}
+
+TEST(Telemetry, WriteJsonRestoresStreamFormatting) {
+  Telemetry t;
+  t.record_stage("solve", 0.125);
+  std::ostringstream os;
+  os.precision(3);
+  t.write_json(os);
+  EXPECT_EQ(os.precision(), 3);
+}
+
+TEST(ScopedStage, RecordsOneCallWithNonNegativeElapsed) {
+  Telemetry t;
+  { ScopedStage timer(t, "execute"); }
+  ASSERT_EQ(t.stages().size(), 1u);
+  const Telemetry::StageStats& s = t.stages().at("execute");
+  EXPECT_EQ(s.calls, 1u);
+  EXPECT_GE(s.total_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.total_s, s.max_s);
+}
+
+TEST(MonotonicSeconds, NeverDecreases) {
+  const double a = monotonic_seconds();
+  const double b = monotonic_seconds();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace vapb::util

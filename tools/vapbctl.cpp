@@ -9,20 +9,28 @@
 //                                         full pipeline + metrics
 //   campaign [--workload W] [--threads N] [--repetitions R]
 //            [--budgets "110,100,.."] [--schemes "Naive,VaFs"]
-//            [--csv F] [--json F]
+//            [--csv F] [--json F] [--telemetry-out F]
 //                                         parallel sweep of the Table-4 grid
 //   report   [--workload W] [--out F]     full Markdown campaign report
 //
+// Scheme names are resolved through core::SchemeRegistry, so registered
+// extension schemes work everywhere the built-ins do.
+//
 // Common flags: --arch {cab|vulcan|teller|ha8k}  --modules N  --seed S
 //               --pvt FILE (reuse a saved PVT)
+//               --alloc-policy {contiguous|random|strided|worst-power|
+//                               best-power} (scheduler placement; default is
+//               the identity allocation 0..N-1)
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <numeric>
 #include <sstream>
 
+#include "cluster/scheduler.hpp"
 #include "core/campaign.hpp"
 #include "core/report.hpp"
+#include "core/scheme_registry.hpp"
 #include "hw/arch_io.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
@@ -62,8 +70,19 @@ Context make_context(const util::CliArgs& args) {
   auto seed = static_cast<std::uint64_t>(args.get_long_or("seed", 2015));
   auto modules = static_cast<std::size_t>(args.get_long_or("modules", 128));
   cluster::Cluster cluster(spec, util::SeedSequence(seed), modules);
-  std::vector<hw::ModuleId> alloc(modules);
-  std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+  std::vector<hw::ModuleId> alloc;
+  if (args.has("alloc-policy")) {
+    // Scheduler-driven placement; power-ordered policies rank with the PVT
+    // microbenchmark's profile (the paper's calibration workload).
+    cluster::AllocationPolicy policy =
+        cluster::allocation_policy_by_name(args.get("alloc-policy"));
+    alloc = cluster::Scheduler(cluster).allocate(
+        modules, policy, cluster.seed().fork("scheduler"),
+        &workloads::pvt_microbench().profile);
+  } else {
+    alloc.resize(modules);
+    std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+  }
   std::shared_ptr<const core::Pvt> pvt = [&] {
     if (args.has("pvt")) {
       std::ifstream in(args.get("pvt"));
@@ -170,19 +189,18 @@ int cmd_run(const util::CliArgs& args) {
   double budget = args.get_double_or("budget-w", 0.0);
   if (budget <= 0.0) throw InvalidArgument("--budget-w must be positive");
   std::string scheme_name = args.get_or("scheme", "VaFs");
-  core::SchemeKind scheme = [&] {
-    for (auto k : core::all_schemes()) {
-      if (core::scheme_name(k) == scheme_name) return k;
-    }
-    throw InvalidArgument("unknown --scheme '" + scheme_name + "'");
-  }();
+  if (!core::SchemeRegistry::global().contains(scheme_name)) {
+    // get() throws the informative error naming every registered scheme.
+    static_cast<void>(core::SchemeRegistry::global().get(scheme_name));
+  }
 
   core::Runner runner(ctx.cluster, ctx.allocation);
   core::TestRunResult test = core::single_module_test_run(
       ctx.cluster, ctx.allocation.front(), w,
       ctx.cluster.seed().fork("ctl-test"));
   core::RunMetrics base = runner.run_uncapped(w);
-  core::RunMetrics m = runner.run_scheme(w, scheme, budget, *ctx.pvt, test);
+  core::RunMetrics m =
+      runner.run_scheme(w, scheme_name, budget, *ctx.pvt, test);
   std::printf("%s under %s at %s:\n", w.name.c_str(), scheme_name.c_str(),
               util::fmt_watts(budget).c_str());
   std::printf("  alpha %.3f, target %s\n", m.alpha,
@@ -212,17 +230,14 @@ std::vector<double> parse_budget_list(const std::string& list,
   return budgets;
 }
 
-std::vector<core::SchemeKind> parse_scheme_list(const std::string& list) {
-  std::vector<core::SchemeKind> schemes;
+std::vector<std::string> parse_scheme_list(const std::string& list) {
+  std::vector<std::string> schemes;
   for (const std::string& part : util::split(list, ',')) {
-    bool found = false;
-    for (auto k : core::all_schemes()) {
-      if (core::scheme_name(k) == part) {
-        schemes.push_back(k);
-        found = true;
-      }
+    if (!core::SchemeRegistry::global().contains(part)) {
+      // get() throws the informative error naming every registered scheme.
+      static_cast<void>(core::SchemeRegistry::global().get(part));
     }
-    if (!found) throw InvalidArgument("--schemes: unknown scheme '" + part + "'");
+    schemes.push_back(part);
   }
   return schemes;
 }
@@ -240,8 +255,9 @@ int cmd_campaign(const util::CliArgs& args) {
   spec.budgets_w = parse_budget_list(
       args.get_or("budgets", "110,100,90,80,70,60,50"), modules);
   if (args.has("schemes")) {
-    spec.schemes = parse_scheme_list(args.get("schemes"));
+    spec.scheme_names = parse_scheme_list(args.get("schemes"));
   }
+  const std::vector<std::string> scheme_names = spec.scheme_list();
   spec.repetitions =
       static_cast<int>(args.get_long_or("repetitions", 1));
   auto threads = static_cast<std::size_t>(args.get_long_or("threads", 0));
@@ -262,15 +278,15 @@ int cmd_campaign(const util::CliArgs& args) {
   for (const workloads::Workload* w : spec.workloads) {
     std::printf("%s\n", w->name.c_str());
     std::vector<std::string> headers{"Cm [W]", "cell"};
-    for (auto k : spec.schemes) headers.push_back(core::scheme_name(k));
+    for (const std::string& s : scheme_names) headers.push_back(s);
     util::Table t(headers);
     for (double budget_w : spec.budgets_w) {
       t.add_row();
       t.add_cell(budget_w / static_cast<double>(modules), 0);
-      const auto* any = result.find(w->name, budget_w, spec.schemes.front());
+      const auto* any = result.find(w->name, budget_w, scheme_names.front());
       t.add_cell(any ? core::cell_class_name(any->cls) : "?");
-      for (auto k : spec.schemes) {
-        const auto* r = result.find(w->name, budget_w, k);
+      for (const std::string& s : scheme_names) {
+        const auto* r = result.find(w->name, budget_w, s);
         t.add_cell(r && r->metrics.feasible
                        ? util::fmt_double(r->speedup_vs_naive, 2) + "x"
                        : "-");
@@ -297,6 +313,13 @@ int cmd_campaign(const util::CliArgs& args) {
     if (!f) throw Error("cannot write " + args.get("json"));
     core::write_campaign_json(result, f);
     std::printf("per-job JSON written to %s\n", args.get("json").c_str());
+  }
+  if (args.has("telemetry-out")) {
+    std::ofstream f(args.get("telemetry-out"));
+    if (!f) throw Error("cannot write " + args.get("telemetry-out"));
+    result.telemetry.write_json(f);
+    std::printf("per-stage telemetry JSON written to %s\n",
+                args.get("telemetry-out").c_str());
   }
   return 0;
 }
@@ -328,12 +351,12 @@ int usage() {
   std::fprintf(stderr,
                "usage: vapbctl <systems|workloads|pvt|solve|run|campaign|report> "
                "[--arch A | --arch-file F] [--modules N] [--seed S] "
-               "[--pvt FILE]\n"
+               "[--pvt FILE] [--alloc-policy P]\n"
                "               [--workload W] [--budget-w P] [--scheme S] "
                "[--out FILE]\n"
                "               campaign: [--threads N] [--repetitions R] "
                "[--budgets \"Cm,..\"] [--schemes \"S,..\"] [--csv F] "
-               "[--json F]\n");
+               "[--json F] [--telemetry-out F]\n");
   return 2;
 }
 
@@ -342,9 +365,10 @@ int usage() {
 int main(int argc, char** argv) {
   try {
     util::CliArgs args(argc, argv,
-                       {"arch", "arch-file", "modules", "seed", "pvt", "workload",
-                        "budget-w", "scheme", "out", "threads", "repetitions",
-                        "budgets", "schemes", "csv", "json"});
+                       {"arch", "arch-file", "modules", "seed", "pvt",
+                        "alloc-policy", "workload", "budget-w", "scheme",
+                        "out", "threads", "repetitions", "budgets", "schemes",
+                        "csv", "json", "telemetry-out"});
     if (args.positional().empty()) return usage();
     const std::string& cmd = args.positional().front();
     if (cmd == "systems") return cmd_systems();
