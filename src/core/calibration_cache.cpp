@@ -164,11 +164,12 @@ std::shared_ptr<const Pmt> CalibrationCache::scheme_pmt(
     const std::string& scheme, const cluster::Cluster& cluster,
     std::span<const hw::ModuleId> allocation, const workloads::Workload& app,
     const Pvt& pvt, const TestRunResult& test, util::SeedSequence seed,
-    const std::function<Pmt()>& build) {
+    const std::function<Pmt()>& build, std::uint64_t fault_fingerprint) {
   std::string key = "pmt/" + scheme + '/' + app.name + '/' +
                     key_of({cluster.fingerprint(),
                             hash_allocation(allocation), hash_pvt(pvt),
-                            hash_test(test), seed.value()});
+                            hash_test(test), seed.value(),
+                            fault_fingerprint});
   return impl_->get_or_compute<Pmt>(impl_->pmts, key, build);
 }
 

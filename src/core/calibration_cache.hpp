@@ -72,13 +72,17 @@ class CalibrationCache {
 
   /// Name-keyed variant for registry schemes: `build` constructs the PMT on
   /// a miss. The key format matches the kind-keyed overload (which delegates
-  /// here), so built-in schemes share entries regardless of which overload
-  /// warmed the cache.
+  /// here with fingerprint 0), so built-in schemes share entries regardless
+  /// of which overload warmed the cache. `fault_fingerprint` is the active
+  /// fault scenario's fingerprint (0 = no faults): two different scenarios
+  /// — in particular two different scenario seeds — can never share an
+  /// entry, even when their perturbed calibration artifacts happen to hash
+  /// alike.
   std::shared_ptr<const Pmt> scheme_pmt(
       const std::string& scheme, const cluster::Cluster& cluster,
       std::span<const hw::ModuleId> allocation, const workloads::Workload& app,
       const Pvt& pvt, const TestRunResult& test, util::SeedSequence seed,
-      const std::function<Pmt()>& build);
+      const std::function<Pmt()>& build, std::uint64_t fault_fingerprint = 0);
 
   /// Drops every entry (e.g. to measure cold-cache cost).
   void clear();

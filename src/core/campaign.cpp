@@ -41,6 +41,7 @@ RunMetrics run_scheme_cached(const cluster::Cluster& cluster,
   ctx.budget_w = budget_w;
   ctx.seed = Runner::scheme_seed(cluster, w, scheme);
   ctx.telemetry = runner.config().telemetry;
+  ctx.fault = runner.config().fault;
   // Non-owning views: the campaign's artifacts outlive the pipeline run.
   ctx.pvt = std::shared_ptr<const Pvt>(std::shared_ptr<const Pvt>(), &pvt);
   ctx.test = std::shared_ptr<const TestRunResult>(

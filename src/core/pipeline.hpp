@@ -26,6 +26,10 @@
 #include "core/runner.hpp"
 #include "util/telemetry.hpp"
 
+namespace vapb::fault {
+class FaultInjector;
+}  // namespace vapb::fault
+
 namespace vapb::core {
 
 /// The typed state threaded through the five stages. The driver fills the
@@ -43,6 +47,11 @@ struct RunContext {
   double budget_w = 0.0;     ///< application-level budget (0 = unconstrained)
   util::SeedSequence seed{0};     ///< the scheme's seed subtree
   util::Telemetry* telemetry = nullptr;  ///< optional per-stage sink (not owned)
+  /// Optional fault injector (not owned, may be null). Stages consult it at
+  /// their seams; null — or a disabled scenario — leaves every stage on
+  /// exactly the unperturbed code path, bit-identical to before faults
+  /// existed.
+  const fault::FaultInjector* fault = nullptr;
 
   // -- CalibrationStage outputs ---------------------------------------------
   std::shared_ptr<const Pvt> pvt;

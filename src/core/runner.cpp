@@ -87,6 +87,7 @@ RunContext Runner::make_context(const workloads::Workload& w,
   ctx.scheme = scheme;
   ctx.budget_w = budget_w;
   ctx.telemetry = config_.telemetry;
+  ctx.fault = config_.fault;
   return ctx;
 }
 

@@ -19,6 +19,10 @@ namespace vapb::util {
 class Telemetry;
 }  // namespace vapb::util
 
+namespace vapb::fault {
+class FaultInjector;
+}  // namespace vapb::fault
+
 namespace vapb::core {
 
 struct RunContext;  // pipeline.hpp
@@ -34,6 +38,10 @@ struct RunConfig {
   /// owned, may be null). Timings are observability-only and never feed
   /// back into results.
   util::Telemetry* telemetry = nullptr;
+  /// Optional fault injector applied at the pipeline seams (not owned, may
+  /// be null; must outlive every run that uses this config). Null keeps
+  /// runs bit-identical to an injection-free build.
+  const fault::FaultInjector* fault = nullptr;
 };
 
 /// Where one module ended up during the run.

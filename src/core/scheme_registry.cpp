@@ -1,5 +1,7 @@
 #include "core/scheme_registry.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <memory>
 #include <utility>
 
@@ -7,6 +9,28 @@
 #include "util/error.hpp"
 
 namespace vapb::core {
+
+namespace {
+
+/// Plain Levenshtein distance — registries hold a handful of short names, so
+/// the quadratic table is trivial and exactness beats cleverness.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
 
 void SchemeRegistry::add(std::string name, Factory factory) {
   if (name.empty()) throw InvalidArgument("SchemeRegistry: empty scheme name");
@@ -35,10 +59,15 @@ SchemeDefinition SchemeRegistry::get(std::string_view name) const {
     if (it == factories_.end()) {
       std::string msg = "SchemeRegistry: unknown scheme '";
       msg += name;
-      msg += "'; registered schemes:";
-      for (const std::string& n : order_) {
-        msg += ' ';
-        msg += n;
+      msg += '\'';
+      if (order_.empty()) {
+        msg += "; no schemes are registered";
+      } else {
+        msg += "; registered schemes (closest first):";
+        for (const std::string& n : suggest_locked(name)) {
+          msg += ' ';
+          msg += n;
+        }
       }
       throw InvalidArgument(msg);
     }
@@ -50,6 +79,30 @@ SchemeDefinition SchemeRegistry::get(std::string_view name) const {
 std::vector<std::string> SchemeRegistry::names() const {
   std::lock_guard lock(mutex_);
   return order_;
+}
+
+void SchemeRegistry::clear() {
+  std::lock_guard lock(mutex_);
+  order_.clear();
+  factories_.clear();
+}
+
+std::vector<std::string> SchemeRegistry::suggestions(
+    std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  return suggest_locked(name);
+}
+
+std::vector<std::string> SchemeRegistry::suggest_locked(
+    std::string_view name) const {
+  // Stable sort over registration order makes equal distances keep their
+  // legend positions, so the suggestion list is deterministic.
+  std::vector<std::string> out = order_;
+  std::stable_sort(out.begin(), out.end(),
+                   [name](const std::string& a, const std::string& b) {
+                     return edit_distance(name, a) < edit_distance(name, b);
+                   });
+  return out;
 }
 
 namespace {
@@ -102,6 +155,32 @@ void register_builtins(SchemeRegistry& r) {
   r.add("VaFs", [calibrated] {
     return compose("VaFs", Enforcement::kFreqSelect, true, false, calibrated);
   });
+  // The fault-tolerant counterparts (appended after the legend six so the
+  // legend order is undisturbed): variation-aware calibration plus a static
+  // guard band on the solve and violation-triggered re-budgeting around the
+  // execution. Under a clean run they behave like a slightly conservative
+  // VaPc/VaFs; under injected faults they trade a few percent of head-room
+  // for a far lower budget-violation rate.
+  for (Enforcement enf : {Enforcement::kPowerCap, Enforcement::kFreqSelect}) {
+    const std::string name =
+        enf == Enforcement::kPowerCap ? "VaPcRobust" : "VaFsRobust";
+    r.add(name, [name, enf, calibrated] {
+      SchemeDefinition def =
+          compose(name, enf, /*variation_aware=*/true, /*oracle=*/false,
+                  calibrated);
+      static const auto guarded_solve =
+          std::make_shared<GuardBandSolveStage>();
+      static const auto resolve_cap = std::make_shared<ResolveOnViolationStage>(
+          Enforcement::kPowerCap, guarded_solve->guard_frac());
+      static const auto resolve_freq =
+          std::make_shared<ResolveOnViolationStage>(
+              Enforcement::kFreqSelect, guarded_solve->guard_frac());
+      def.budget_solve = guarded_solve;
+      def.execution =
+          enf == Enforcement::kPowerCap ? resolve_cap : resolve_freq;
+      return def;
+    });
+  }
 }
 
 }  // namespace

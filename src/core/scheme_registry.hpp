@@ -41,14 +41,30 @@ class SchemeRegistry {
 
   /// Resolves `name` to its definition. Throws InvalidArgument naming every
   /// registered scheme when `name` is unknown — a CLI typo surfaces the
-  /// valid spellings.
+  /// valid spellings, closest (by edit distance) first.
   [[nodiscard]] SchemeDefinition get(std::string_view name) const;
 
   /// Registered names in registration order (built-ins first, in Figure 7's
   /// legend order).
   [[nodiscard]] std::vector<std::string> names() const;
 
+  /// Removes every registration. The process-wide instance keeps its
+  /// built-ins for the life of the process; this exists so tests can drive a
+  /// local registry through its empty state.
+  void clear();
+
+  /// Registered names ordered by edit distance to `name` (ties by
+  /// registration order) — the "did you mean" list get() embeds in its
+  /// unknown-scheme error.
+  [[nodiscard]] std::vector<std::string> suggestions(
+      std::string_view name) const;
+
  private:
+  /// suggestions() with mutex_ already held (get() builds its error inside
+  /// the lock).
+  [[nodiscard]] std::vector<std::string> suggest_locked(
+      std::string_view name) const;
+
   mutable std::mutex mutex_;
   std::vector<std::string> order_;
   std::map<std::string, Factory, std::less<>> factories_;

@@ -2,9 +2,11 @@
 
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/calibration_cache.hpp"
 #include "core/pmmd.hpp"
+#include "fault/injector.hpp"
 #include "util/error.hpp"
 #include "workloads/catalog.hpp"
 
@@ -18,6 +20,22 @@ void require(bool ok, const char* what) {
 
 void count(RunContext& ctx, const char* counter) {
   if (ctx.telemetry != nullptr) ctx.telemetry->add_counter(counter);
+}
+
+/// The injector when faults are actually on; null keeps every stage on the
+/// bit-identical unperturbed path.
+const fault::FaultInjector* active_fault(const RunContext& ctx) {
+  return (ctx.fault != nullptr && ctx.fault->enabled()) ? ctx.fault : nullptr;
+}
+
+/// The injector event for this run's transient faults: one draw per campaign
+/// job (workload x budget x repetition salt), identical for every scheme of
+/// that job and at any thread count.
+std::uint64_t fault_job_event(const RunContext& ctx) {
+  return fault::job_event(
+      ctx.workload != nullptr ? std::string_view(ctx.workload->name)
+                              : std::string_view(),
+      ctx.budget_w, ctx.runner != nullptr ? ctx.runner->config().run_salt : 0);
 }
 
 }  // namespace
@@ -41,6 +59,40 @@ void CachedCalibrationStage::calibrate(RunContext& ctx) const {
         *ctx.cluster, ctx.allocation.front(), *ctx.workload,
         ctx.cluster->seed().fork("test-run").fork(ctx.workload->name));
     count(ctx, "test_run_from_cache");
+  }
+  if (const fault::FaultInjector* fi = active_fault(ctx)) {
+    // Faults corrupt what calibration *saw*, not the hardware itself:
+    // replace the artifacts with perturbed copies (sensor noise on every
+    // reading, plus the drift prefix the measurement epoch had accumulated)
+    // so every downstream consumer works from the faulty measurements. The
+    // originals — possibly shared with other runs — are never mutated.
+    std::vector<PvtEntry> entries = ctx.pvt->entries();
+    for (std::size_t m = 0; m < entries.size(); ++m) {
+      const double stale = fi->stale_drift_factor(m);
+      PvtEntry& e = entries[m];
+      e.cpu_max = stale * fi->perturb_reading_w(e.cpu_max, "sensor-pvt", m, 0);
+      e.dram_max =
+          stale * fi->perturb_reading_w(e.dram_max, "sensor-pvt", m, 1);
+      e.cpu_min = stale * fi->perturb_reading_w(e.cpu_min, "sensor-pvt", m, 2);
+      e.dram_min =
+          stale * fi->perturb_reading_w(e.dram_min, "sensor-pvt", m, 3);
+    }
+    ctx.pvt = std::make_shared<const Pvt>(ctx.pvt->microbench_name(),
+                                          std::move(entries));
+
+    TestRunResult t = *ctx.test;
+    const auto mod = static_cast<std::uint64_t>(t.module);
+    const double stale = fi->stale_drift_factor(mod);
+    const auto sense = [&](util::Watts w, std::uint64_t event) {
+      return util::Watts{
+          stale * fi->perturb_reading_w(w.value(), "sensor-test", mod, event)};
+    };
+    t.cpu_max_w = sense(t.cpu_max_w, 0);
+    t.dram_max_w = sense(t.dram_max_w, 1);
+    t.cpu_min_w = sense(t.cpu_min_w, 2);
+    t.dram_min_w = sense(t.dram_min_w, 3);
+    ctx.test = std::make_shared<const TestRunResult>(t);
+    count(ctx, "fault_calibration_perturbed");
   }
 }
 
@@ -91,12 +143,15 @@ void CachedPowerModelStage::model(RunContext& ctx) const {
   require(ctx.pvt && ctx.test,
           "cached power model needs calibration artifacts");
   require(!ctx.scheme.empty(), "cached power model needs a scheme name");
+  const fault::FaultInjector* fi = active_fault(ctx);
   ctx.pmt = CalibrationCache::global().scheme_pmt(
       ctx.scheme, *ctx.cluster, ctx.allocation, *ctx.workload, *ctx.pvt,
-      *ctx.test, ctx.seed, [&] {
+      *ctx.test, ctx.seed,
+      [&] {
         inner_->model(ctx);
         return Pmt(*ctx.pmt);
-      });
+      },
+      fi != nullptr ? fi->fingerprint() : 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -110,6 +165,20 @@ void AlphaSolveStage::solve(RunContext& ctx) const {
 
 void FixedBudgetStage::solve(RunContext& ctx) const {
   ctx.budget = preset_;
+}
+
+GuardBandSolveStage::GuardBandSolveStage(double guard_frac)
+    : guard_frac_(guard_frac) {
+  if (!(guard_frac >= 0.0 && guard_frac < 1.0)) {
+    throw InvalidArgument("GuardBandSolveStage: guard_frac must be in [0, 1)");
+  }
+}
+
+void GuardBandSolveStage::solve(RunContext& ctx) const {
+  require(ctx.pmt != nullptr, "budget solve needs a power model");
+  ctx.budget =
+      solve_budget(*ctx.pmt, util::Watts{ctx.budget_w * (1.0 - guard_frac_)});
+  count(ctx, "guard_band_solve");
 }
 
 // ---------------------------------------------------------------------------
@@ -168,6 +237,54 @@ void PmmdEnforcementStage::enforce(RunContext& ctx) const {
   }
   ctx.enforcement = enforcement_;
   ctx.rapl_jitter = enforcement_ == Enforcement::kPowerCap;
+
+  if (const fault::FaultInjector* fi = active_fault(ctx)) {
+    // Here faults hit the hardware itself: each module's true power has
+    // drifted since calibration, and RAPL enforces its cap with an error.
+    const std::uint64_t event = fault_job_event(ctx);
+    for (std::size_t i = 0; i < allocation.size(); ++i) {
+      const auto mod = static_cast<std::uint64_t>(allocation[i]);
+      const double drift = fi->drift_factor(mod);
+      hw::OperatingPoint& op = ctx.ops[i];
+      if (enforcement_ == Enforcement::kPowerCap) {
+        const double cap_w = budget.allocations[i].cpu_cap_w.value();
+        const double cap_err =
+            cap_w > 0.0 ? fi->realized_cap_w(cap_w, mod, event) / cap_w : 1.0;
+        // The sustained point pins cpu_w to the cap exactly when it binds
+        // (Rapl::operating_point), so near-cap power identifies the
+        // cap-limited modules.
+        const bool cap_limited = cap_w > 0.0 && op.cpu_w >= 0.999 * cap_w;
+        if (cap_limited) {
+          // CPU power rides the (mis-)enforced cap — an optimistic
+          // controller lets the module draw above its allocation — and
+          // drift is paid in clock: frequency at fixed power scales as the
+          // head-room, err / drift to first order.
+          op.cpu_w = cap_w * cap_err;
+          op.freq_ghz *= cap_err / drift;
+          op.perf_freq_ghz *= cap_err / drift;
+        } else {
+          const double demand_w = op.cpu_w * drift;
+          if (cap_w > 0.0 && demand_w > cap_w * cap_err) {
+            // Drift pushed the free-running draw into the realized cap.
+            const double clip = cap_w * cap_err / demand_w;
+            op.cpu_w = cap_w * cap_err;
+            op.freq_ghz *= clip;
+            op.perf_freq_ghz *= clip;
+          } else {
+            // Head-room: the drifted draw fits under the cap unchanged.
+            op.cpu_w = demand_w;
+          }
+        }
+        op.dram_w *= drift;  // DRAM power is never capped
+      } else {
+        // Frequency selection pins the clock, so drift lands entirely on
+        // power — the mechanism behind VaFs's budget violations.
+        op.cpu_w *= drift;
+        op.dram_w *= drift;
+      }
+    }
+    count(ctx, "fault_enforcement_perturbed");
+  }
 }
 
 void UncappedEnforcementStage::enforce(RunContext& ctx) const {
@@ -204,8 +321,35 @@ void DesExecutionStage::execute(RunContext& ctx) const {
   require(ctx.ops.size() == ctx.allocation.size(),
           "execution needs enforced operating points");
   const BudgetResult& budget = *ctx.budget;
-  RunMetrics m =
-      ctx.runner->execute(*ctx.workload, ctx.ops, ctx.rapl_jitter, ctx.scheme);
+
+  const std::vector<hw::OperatingPoint>* run_ops = &ctx.ops;
+  std::vector<hw::OperatingPoint> faulted_ops;
+  if (const fault::FaultInjector* fi = active_fault(ctx)) {
+    require(ctx.cluster != nullptr, "execution fault seam needs a cluster");
+    // Transient events during the run: thermal throttles shave the compute
+    // rate, a hard failure restarts the rank's remaining work on a spare at
+    // fmin — both expressed as a lower effective performance frequency.
+    faulted_ops = ctx.ops;
+    const std::uint64_t event = fault_job_event(ctx);
+    for (std::size_t i = 0; i < faulted_ops.size(); ++i) {
+      const auto mod = static_cast<std::uint64_t>(ctx.allocation[i]);
+      const double tmul = fi->throttle_perf_multiplier(mod, event);
+      if (tmul < 1.0) {
+        faulted_ops[i].perf_freq_ghz *= tmul;
+        count(ctx, "fault_throttle_hit");
+      }
+    }
+    const double spare_ghz = ctx.cluster->spec().ladder.fmin();
+    for (std::size_t slot : fi->failed_slots(faulted_ops.size())) {
+      faulted_ops[slot].perf_freq_ghz = fi->failed_perf_freq_ghz(
+          faulted_ops[slot].perf_freq_ghz, spare_ghz);
+      count(ctx, "fault_module_failure");
+    }
+    run_ops = &faulted_ops;
+  }
+
+  RunMetrics m = ctx.runner->execute(*ctx.workload, *run_ops, ctx.rapl_jitter,
+                                     ctx.scheme);
   m.budget_w = ctx.budget_w;
   m.alpha = budget.alpha;
   m.target_freq_ghz = budget.target_freq_ghz.value();
@@ -217,6 +361,54 @@ void DesExecutionStage::execute(RunContext& ctx) const {
     }
   }
   ctx.metrics = std::move(m);
+}
+
+ResolveOnViolationStage::ResolveOnViolationStage(Enforcement enforcement,
+                                                 double guard_frac,
+                                                 double undershoot_frac,
+                                                 double resolve_penalty_frac)
+    : guard_frac_(guard_frac),
+      undershoot_frac_(undershoot_frac),
+      resolve_penalty_frac_(resolve_penalty_frac),
+      enforce_(enforcement) {
+  if (!(guard_frac >= 0.0 && guard_frac < 1.0) ||
+      !(undershoot_frac >= 0.0 && undershoot_frac < 1.0) ||
+      !(resolve_penalty_frac >= 0.0)) {
+    throw InvalidArgument("ResolveOnViolationStage: fractions out of range");
+  }
+}
+
+void ResolveOnViolationStage::execute(RunContext& ctx) const {
+  des_.execute(ctx);
+  if (ctx.budget_w <= 0.0 || !ctx.budget.has_value() || !ctx.pmt) return;
+
+  const double measured_total_w = ctx.metrics.total_power_w;
+  const double target_w = ctx.budget_w * (1.0 - guard_frac_);
+  const bool over = measured_total_w > ctx.budget_w;
+  const bool under = ctx.budget->constrained &&
+                     measured_total_w < target_w * (1.0 - undershoot_frac_);
+  if (!over && !under) return;
+
+  // Re-solve against the unchanged PMT at a measured-feedback-corrected
+  // target: this round realized measured/target times what the solver asked
+  // for, so asking for target^2/measured cancels the gap to first order —
+  // whatever mix of drift, sensor error or enforcement error produced it.
+  // (Correcting the PMT itself would not converge here: the perturbations
+  // are anchored to the calibration-time model, so a truth-corrected table
+  // gets the same gap applied twice on re-enforcement.) The half-guard
+  // ceiling keeps the corrected ask safely under the budget even where the
+  // gap does not reproduce exactly, e.g. across frequency-ladder rungs.
+  // One pass only: the correction already reflects reality.
+  if (measured_total_w <= 0.0) return;
+  const double corrected_w =
+      std::min(target_w * (target_w / measured_total_w), ctx.budget_w) *
+      (1.0 - 0.5 * guard_frac_);
+  ctx.budget = solve_budget(*ctx.pmt, util::Watts{corrected_w});
+  enforce_.enforce(ctx);
+  des_.execute(ctx);
+  // The correction pass is not free: budget for the stall.
+  ctx.metrics.makespan_s *= 1.0 + resolve_penalty_frac_;
+  count(ctx, over ? "fault_resolve_overshoot" : "fault_resolve_undershoot");
 }
 
 }  // namespace vapb::core

@@ -99,6 +99,22 @@ class FixedBudgetStage final : public BudgetSolveStage {
   BudgetResult preset_;
 };
 
+/// The robust solve: Eq. 6-9 against a derated budget,
+/// budget_w * (1 - guard_frac). The guard band absorbs sensor noise, drift
+/// and enforcement error before they become budget violations; the paired
+/// ResolveOnViolationStage reclaims the head-room when the guess was too
+/// conservative.
+class GuardBandSolveStage final : public BudgetSolveStage {
+ public:
+  explicit GuardBandSolveStage(double guard_frac = 0.04);
+  void solve(RunContext& ctx) const override;
+
+  [[nodiscard]] double guard_frac() const { return guard_frac_; }
+
+ private:
+  double guard_frac_;
+};
+
 // ---------------------------------------------------------------------------
 // Enforcement
 // ---------------------------------------------------------------------------
@@ -134,6 +150,32 @@ class UncappedEnforcementStage final : public EnforcementStage {
 class DesExecutionStage final : public ExecutionStage {
  public:
   void execute(RunContext& ctx) const override;
+};
+
+/// Violation-triggered re-budgeting, the dynamic half of the robust schemes
+/// (the static half is GuardBandSolveStage). Executes normally, compares the
+/// measured total power against the budget, and on an overshoot — or a
+/// wasteful undershoot while constrained — re-solves at a measured-feedback-
+/// corrected target (target^2/measured, capped at the half-guard point),
+/// re-enforces and re-executes once: the first round's realized/asked gap
+/// cancels to first order, whatever mix of drift, sensor or enforcement
+/// error produced it. The correction pass costs resolve_penalty_frac of the
+/// makespan (the budget stall the paper's dynamic reallocation also pays,
+/// Section 6.2).
+class ResolveOnViolationStage final : public ExecutionStage {
+ public:
+  explicit ResolveOnViolationStage(Enforcement enforcement,
+                                   double guard_frac = 0.04,
+                                   double undershoot_frac = 0.08,
+                                   double resolve_penalty_frac = 0.02);
+  void execute(RunContext& ctx) const override;
+
+ private:
+  double guard_frac_;
+  double undershoot_frac_;
+  double resolve_penalty_frac_;
+  PmmdEnforcementStage enforce_;
+  DesExecutionStage des_;
 };
 
 }  // namespace vapb::core

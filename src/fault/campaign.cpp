@@ -1,0 +1,158 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <utility>
+
+#include "fault/injector.hpp"
+#include "util/error.hpp"
+
+namespace vapb::fault {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+FaultSchemeResult reduce_scheme(const std::string& scheme,
+                                const core::CampaignResult& campaign) {
+  FaultSchemeResult out;
+  out.scheme = scheme;
+  std::size_t violations = 0;
+  double overshoot_sum = 0.0;
+  double makespan_sum = 0.0;
+  double speedup_sum = 0.0;
+  std::size_t speedups = 0;
+  for (const core::CampaignJobResult& r : campaign.jobs) {
+    if (r.job.scheme != scheme || !r.metrics.feasible) continue;
+    ++out.jobs;
+    const double over_w = r.metrics.total_power_w - r.metrics.budget_w;
+    if (over_w > 0.0) {
+      ++violations;
+      overshoot_sum += over_w;
+    }
+    makespan_sum += r.metrics.makespan_s;
+    if (std::isfinite(r.speedup_vs_naive)) {
+      speedup_sum += r.speedup_vs_naive;
+      ++speedups;
+    }
+  }
+  if (out.jobs > 0) {
+    out.violation_rate = static_cast<double>(violations) /
+                         static_cast<double>(out.jobs);
+    out.mean_overshoot_w = overshoot_sum / static_cast<double>(out.jobs);
+    out.mean_makespan_s = makespan_sum / static_cast<double>(out.jobs);
+  }
+  out.mean_speedup_vs_naive =
+      speedups > 0 ? speedup_sum / static_cast<double>(speedups) : kNaN;
+  return out;
+}
+
+void write_json_number(std::ostream& out, double v) {
+  if (std::isfinite(v)) {
+    out << v;
+  } else {
+    out << "null";
+  }
+}
+
+}  // namespace
+
+const FaultSchemeResult& FaultPointResult::scheme(
+    const std::string& name) const {
+  auto it = std::find_if(
+      schemes.begin(), schemes.end(),
+      [&](const FaultSchemeResult& s) { return s.scheme == name; });
+  if (it == schemes.end()) {
+    throw InvalidArgument("FaultPointResult: scheme '" + name +
+                          "' was not part of the sweep");
+  }
+  return *it;
+}
+
+FaultCampaign::FaultCampaign(const cluster::Cluster& cluster,
+                             std::vector<hw::ModuleId> allocation,
+                             std::size_t threads)
+    : cluster_(cluster),
+      allocation_(std::move(allocation)),
+      threads_(threads) {}
+
+std::vector<FaultScenario> FaultCampaign::expand(const FaultGrid& grid) {
+  if (grid.noise_fracs.empty() || grid.drift_fracs.empty() ||
+      grid.failure_counts.empty()) {
+    throw InvalidArgument("FaultGrid needs at least one value per axis");
+  }
+  std::vector<FaultScenario> out;
+  out.reserve(grid.point_count());
+  for (double noise : grid.noise_fracs) {
+    for (double drift : grid.drift_fracs) {
+      for (int failures : grid.failure_counts) {
+        FaultScenario sc = grid.base;
+        sc.sensor_noise_frac = noise;
+        sc.drift_frac = drift;
+        sc.failure_count = failures;
+        sc.validate();
+        out.push_back(sc);
+      }
+    }
+  }
+  return out;
+}
+
+FaultCampaignResult FaultCampaign::run(const core::CampaignSpec& spec,
+                                       const FaultGrid& grid) const {
+  if (spec.config.fault != nullptr) {
+    throw InvalidArgument(
+        "FaultCampaign: spec.config.fault is managed per grid point and must "
+        "be null");
+  }
+  const std::vector<std::string> schemes = spec.scheme_list();
+  core::CampaignEngine engine(cluster_, allocation_, threads_);
+
+  FaultCampaignResult result;
+  for (const FaultScenario& scenario : expand(grid)) {
+    const FaultInjector injector(scenario);
+    core::CampaignSpec point_spec = spec;
+    point_spec.config.fault = &injector;
+    FaultPointResult point;
+    point.scenario = scenario;
+    point.campaign = engine.run(point_spec);
+    point.schemes.reserve(schemes.size());
+    for (const std::string& scheme : schemes) {
+      point.schemes.push_back(reduce_scheme(scheme, point.campaign));
+    }
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+void write_fault_campaign_json(const FaultCampaignResult& result,
+                               std::ostream& out) {
+  const auto saved = out.precision(17);
+  out << "{\"points\":[";
+  for (std::size_t p = 0; p < result.points.size(); ++p) {
+    const FaultPointResult& point = result.points[p];
+    if (p) out << ',';
+    out << "{\"scenario\":" << point.scenario.serialize() << ",\"schemes\":[";
+    for (std::size_t s = 0; s < point.schemes.size(); ++s) {
+      const FaultSchemeResult& r = point.schemes[s];
+      if (s) out << ',';
+      out << "{\"scheme\":\"" << r.scheme << "\",\"jobs\":" << r.jobs
+          << ",\"violation_rate\":";
+      write_json_number(out, r.violation_rate);
+      out << ",\"mean_overshoot_w\":";
+      write_json_number(out, r.mean_overshoot_w);
+      out << ",\"mean_makespan_s\":";
+      write_json_number(out, r.mean_makespan_s);
+      out << ",\"mean_speedup_vs_naive\":";
+      write_json_number(out, r.mean_speedup_vs_naive);
+      out << '}';
+    }
+    out << "]}";
+  }
+  out << "]}";
+  out.precision(saved);
+}
+
+}  // namespace vapb::fault

@@ -1,0 +1,98 @@
+// FaultCampaign — the degradation sweep: how badly does each power-budgeting
+// scheme break, and how well does its robust counterpart hold up, as the
+// fault intensity grows?
+//
+// A FaultGrid crosses sensor-noise sigmas x drift rates x failure counts;
+// every grid point runs a full CampaignEngine sweep (workloads x budgets x
+// schemes x repetitions) under that point's FaultScenario and reduces each
+// scheme to the headline degradation metrics: budget-violation rate, mean
+// overshoot watts, mean makespan and mean speedup vs Naive.
+//
+// Deterministic: grid expansion, job expansion and the per-point reductions
+// are all fixed-order, so a FaultCampaignResult is a pure function of
+// (cluster, allocation, spec, grid) — bitwise identical at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "fault/scenario.hpp"
+
+namespace vapb::fault {
+
+/// The cross-product of fault intensities to sweep. `base` carries every
+/// scenario knob the grid does not vary (seed, staleness, throttle shape,
+/// RAPL error, ...); each grid point overrides sensor_noise_frac,
+/// drift_frac and failure_count.
+struct FaultGrid {
+  std::vector<double> noise_fracs = {0.0, 0.05};
+  std::vector<double> drift_fracs = {0.0, 0.04};
+  std::vector<int> failure_counts = {0};
+  FaultScenario base;
+
+  [[nodiscard]] std::size_t point_count() const {
+    return noise_fracs.size() * drift_fracs.size() * failure_counts.size();
+  }
+};
+
+/// One scheme's degradation metrics at one grid point, reduced over the
+/// point's feasible campaign jobs in spec expansion order.
+struct FaultSchemeResult {
+  std::string scheme;
+  std::size_t jobs = 0;  ///< feasible jobs the means cover
+  /// Share of feasible jobs whose measured total power exceeded the budget.
+  double violation_rate = 0.0;
+  /// Mean of max(0, total_power_w - budget_w) over feasible jobs.
+  double mean_overshoot_w = 0.0;
+  double mean_makespan_s = 0.0;
+  /// Mean speedup vs the Naive job of the same cell (finite entries only;
+  /// NaN when the spec has no Naive reference).
+  double mean_speedup_vs_naive = 0.0;
+};
+
+struct FaultPointResult {
+  FaultScenario scenario;
+  std::vector<FaultSchemeResult> schemes;  ///< in spec scheme-list order
+  /// The underlying sweep, for callers that need per-job detail (tests
+  /// compare these bitwise across thread counts).
+  core::CampaignResult campaign;
+
+  [[nodiscard]] const FaultSchemeResult& scheme(const std::string& name) const;
+};
+
+struct FaultCampaignResult {
+  /// One entry per grid point, in expansion order (noise outermost, then
+  /// drift, then failure count).
+  std::vector<FaultPointResult> points;
+};
+
+class FaultCampaign {
+ public:
+  /// `threads` fans each grid point's campaign across a pool (0 = hardware
+  /// concurrency, 1 = serial); the reductions never depend on it.
+  FaultCampaign(const cluster::Cluster& cluster,
+                std::vector<hw::ModuleId> allocation, std::size_t threads = 0);
+
+  /// The deterministic scenario expansion of `grid`.
+  [[nodiscard]] static std::vector<FaultScenario> expand(const FaultGrid& grid);
+
+  /// Runs `spec` under every grid scenario. `spec.config.fault` is managed
+  /// by the campaign and must be null on entry.
+  [[nodiscard]] FaultCampaignResult run(const core::CampaignSpec& spec,
+                                        const FaultGrid& grid) const;
+
+ private:
+  const cluster::Cluster& cluster_;
+  std::vector<hw::ModuleId> allocation_;
+  std::size_t threads_;
+};
+
+/// The sweep as one JSON object: every grid point's scenario and per-scheme
+/// degradation metrics (non-finite means become null).
+void write_fault_campaign_json(const FaultCampaignResult& result,
+                               std::ostream& out);
+
+}  // namespace vapb::fault

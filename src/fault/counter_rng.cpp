@@ -1,0 +1,61 @@
+#include "fault/counter_rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace vapb::fault {
+
+namespace {
+
+constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+
+// The SplitMix64 output finalizer (Steele/Lea/Flood): full avalanche over
+// 64 bits, bijective, and already the idiom util::SplitMix64 uses.
+std::uint64_t finalize(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return finalize(h + kGamma + v);
+}
+
+}  // namespace
+
+CounterRng::CounterRng(std::uint64_t scenario_seed, std::string_view stream,
+                       std::uint64_t module)
+    : key_(mix(mix(scenario_seed, util::fnv1a(stream)), module)) {}
+
+std::uint64_t CounterRng::bits(std::uint64_t event) const {
+  // Two finalizer rounds over (key, counter): the first decorrelates
+  // adjacent counters, the second removes the residual structure a single
+  // round leaves between neighbouring keys.
+  return finalize(finalize(key_ + (event + 1) * kGamma));
+}
+
+double CounterRng::uniform(std::uint64_t event) const {
+  // 53 mantissa bits — the standard uint64-to-[0,1) construction.
+  return static_cast<double>(bits(event) >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t CounterRng::uniform_index(std::uint64_t event,
+                                        std::uint64_t n) const {
+  VAPB_REQUIRE_MSG(n > 0, "CounterRng::uniform_index: n must be positive");
+  return static_cast<std::uint64_t>(uniform(event) * static_cast<double>(n)) %
+         n;
+}
+
+double CounterRng::normal(std::uint64_t event) const {
+  // Box-Muller without the cached second variate: counter-based draws must
+  // stay stateless, so each event pays for both uniforms.
+  const double u1 = uniform(2 * event);
+  const double u2 = uniform(2 * event + 1);
+  const double r = std::sqrt(-2.0 * std::log(1.0 - u1));
+  return r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace vapb::fault

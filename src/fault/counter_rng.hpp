@@ -1,0 +1,50 @@
+// Counter-based random-number generation for fault injection.
+//
+// Unlike util::Xoshiro256 (a stateful stream), CounterRng is a pure
+// function: every draw is keyed on (scenario seed, stream name, module id,
+// event index) and nothing else. There is no generator state to advance, so
+// any thread can evaluate any event in any order and the value is always
+// the same — the property that keeps a FaultCampaign bitwise identical at
+// one thread and at sixty-four.
+//
+// The construction is SplitMix/Philox-style: the key components are folded
+// together with the SplitMix64 golden-gamma increment and each draw runs
+// the (key, counter) pair through two rounds of the SplitMix64 finalizer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace vapb::fault {
+
+class CounterRng {
+ public:
+  /// One logical stream of a scenario: `stream` names the injector (e.g.
+  /// "sensor-test", "drift"), `module` binds it to a module id. Draws are
+  /// then indexed by an explicit event counter.
+  CounterRng(std::uint64_t scenario_seed, std::string_view stream,
+             std::uint64_t module);
+
+  /// The mixed 64-bit key of this stream (exposed for cache fingerprints).
+  [[nodiscard]] std::uint64_t key() const { return key_; }
+
+  /// Raw 64 random bits for event `event`.
+  [[nodiscard]] std::uint64_t bits(std::uint64_t event) const;
+
+  /// Uniform double in [0, 1) for event `event`.
+  [[nodiscard]] double uniform(std::uint64_t event) const;
+
+  /// Uniform integer in [0, n) for event `event` (n > 0).
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t event,
+                                            std::uint64_t n) const;
+
+  /// Standard normal via Box-Muller for event `event`. Consumes the bit
+  /// counters 2*event and 2*event+1, so normal and uniform draws on the
+  /// same stream should use disjoint event ranges.
+  [[nodiscard]] double normal(std::uint64_t event) const;
+
+ private:
+  std::uint64_t key_;
+};
+
+}  // namespace vapb::fault

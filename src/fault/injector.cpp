@@ -1,0 +1,138 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "fault/counter_rng.hpp"
+#include "util/error.hpp"
+
+namespace vapb::fault {
+
+namespace {
+
+// Multiplicative perturbations are clamped away from zero so a pathological
+// draw can never produce a non-physical (negative or zero) power.
+constexpr double kFloor = 0.05;
+
+double clamp_factor(double f) { return std::max(kFloor, f); }
+
+// Drift walk prefix: prod_{s<steps} (1 + frac * N_s), one normal per step.
+double walk(const FaultScenario& sc, std::uint64_t module, int steps) {
+  CounterRng rng(sc.seed, "drift", module);
+  double d = 1.0;
+  for (int s = 0; s < steps; ++s) {
+    d *= clamp_factor(1.0 + sc.drift_frac *
+                                rng.normal(static_cast<std::uint64_t>(s)));
+  }
+  return clamp_factor(d);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultScenario scenario)
+    : scenario_(scenario), enabled_(scenario.any()) {
+  scenario_.validate();
+}
+
+double FaultInjector::perturb_reading_w(double watts, std::string_view stream,
+                                        std::uint64_t module,
+                                        std::uint64_t event) const {
+  if (scenario_.sensor_noise_frac <= 0.0) return watts;
+  CounterRng rng(scenario_.seed, stream, module);
+  return watts *
+         clamp_factor(1.0 + scenario_.sensor_noise_frac * rng.normal(event));
+}
+
+double FaultInjector::drift_factor(std::uint64_t module) const {
+  if (scenario_.drift_frac <= 0.0 || scenario_.drift_steps <= 0) return 1.0;
+  return walk(scenario_, module, scenario_.drift_steps);
+}
+
+double FaultInjector::stale_drift_factor(std::uint64_t module) const {
+  if (scenario_.drift_frac <= 0.0 || scenario_.drift_steps <= 0) return 1.0;
+  // Calibration saw the first (1 - staleness) share of the walk; both
+  // prefixes draw the same per-step normals, so fresh calibration
+  // (staleness 0) sees exactly what execution sees.
+  const int seen = static_cast<int>(std::lround(
+      (1.0 - scenario_.staleness) * scenario_.drift_steps));
+  return walk(scenario_, module, std::clamp(seen, 0, scenario_.drift_steps));
+}
+
+double FaultInjector::realized_cap_w(double cap_w, std::uint64_t module,
+                                     std::uint64_t event) const {
+  if (scenario_.rapl_error_frac <= 0.0) return cap_w;
+  CounterRng rng(scenario_.seed, "rapl-error", module);
+  return cap_w *
+         clamp_factor(1.0 + scenario_.rapl_error_frac * rng.normal(event));
+}
+
+int FaultInjector::throttle_events(std::uint64_t module,
+                                   std::uint64_t event) const {
+  if (scenario_.throttle_rate <= 0.0) return 0;
+  // Deterministic thinning of the expected rate: the integer part always
+  // strikes, the fractional part strikes when this module's uniform says so.
+  const double rate = scenario_.throttle_rate;
+  const int whole = static_cast<int>(rate);
+  CounterRng rng(scenario_.seed, "throttle", module);
+  return whole + (rng.uniform(event) < rate - whole ? 1 : 0);
+}
+
+double FaultInjector::throttle_perf_multiplier(std::uint64_t module,
+                                               std::uint64_t event) const {
+  const int events = throttle_events(module, event);
+  if (events == 0) return 1.0;
+  // One event costs duration * (1 - perf) of the run's compute rate.
+  const double per_event =
+      1.0 - scenario_.throttle_duration_frac *
+                (1.0 - scenario_.throttle_perf_frac);
+  return std::pow(per_event, events);
+}
+
+std::vector<std::size_t> FaultInjector::failed_slots(std::size_t n) const {
+  std::vector<std::size_t> out;
+  if (scenario_.failure_count <= 0 || n == 0) return out;
+  const std::size_t want =
+      std::min(static_cast<std::size_t>(scenario_.failure_count), n);
+  CounterRng rng(scenario_.seed, "failure", 0);
+  std::uint64_t event = 0;
+  while (out.size() < want) {
+    const auto slot = static_cast<std::size_t>(rng.uniform_index(event++, n));
+    if (std::find(out.begin(), out.end(), slot) == out.end()) {
+      out.push_back(slot);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double FaultInjector::failed_perf_freq_ghz(double perf_freq_ghz,
+                                           double spare_freq_ghz) const {
+  VAPB_REQUIRE_MSG(perf_freq_ghz > 0.0 && spare_freq_ghz > 0.0,
+                   "failed_perf_freq_ghz needs positive frequencies");
+  const double tf = scenario_.failure_time_frac;
+  // Work-weighted harmonic blend: tf of the work at full speed, the rest on
+  // the spare (which is never faster than the original point).
+  const double spare = std::min(perf_freq_ghz, spare_freq_ghz);
+  return 1.0 / (tf / perf_freq_ghz + (1.0 - tf) / spare);
+}
+
+std::uint64_t job_event(std::string_view workload, double budget_w,
+                        std::uint64_t run_salt) {
+  // FNV-1a over the job identity; CounterRng's finalizer scrambles it
+  // further, so this only needs to be collision-free, not well mixed.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xff)) * 1099511628211ull;
+    }
+  };
+  for (const char c : workload) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  }
+  mix(std::bit_cast<std::uint64_t>(budget_w));
+  mix(run_salt);
+  return h;
+}
+
+}  // namespace vapb::fault

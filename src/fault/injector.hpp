@@ -1,0 +1,97 @@
+// FaultInjector — the executable form of a FaultScenario.
+//
+// The injector exposes the scalar perturbation primitives the pipeline
+// seams apply at their own layer: the calibration stage perturbs Pc/Pd
+// readings and applies the stale part of the drift walk, the enforcement
+// stage applies the realized-cap error and the full drift, and the
+// execution stage applies throttle events and hard failures. Keeping the
+// injector scalar (no core types) lets vapb_core link vapb_fault without a
+// cycle.
+//
+// Every method is const and every draw goes through fault::CounterRng, so
+// one injector instance can serve any number of concurrent pipeline runs
+// and always produces the same perturbation for the same (module, event).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "fault/scenario.hpp"
+
+namespace vapb::fault {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultScenario scenario);
+
+  [[nodiscard]] const FaultScenario& scenario() const { return scenario_; }
+
+  /// False for an all-zero scenario: every hook is skipped and runs stay
+  /// bit-identical to no injection.
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Scenario fingerprint (0 when disabled) — calibration-cache key part.
+  [[nodiscard]] std::uint64_t fingerprint() const {
+    return enabled_ ? scenario_.fingerprint() : 0;
+  }
+
+  // -- Calibration seam ------------------------------------------------------
+
+  /// A power reading of `watts` as the noisy sensor reports it. `stream`
+  /// separates the reading sites (e.g. "sensor-pvt-cpu-max"), `module` and
+  /// `event` identify the measurement.
+  [[nodiscard]] double perturb_reading_w(double watts, std::string_view stream,
+                                         std::uint64_t module,
+                                         std::uint64_t event) const;
+
+  /// Multiplicative drift factor the hardware has accumulated by execution
+  /// time (the full walk).
+  [[nodiscard]] double drift_factor(std::uint64_t module) const;
+
+  /// The prefix of the walk the calibration artifacts saw; with the default
+  /// staleness of 1 this is 1.0 (calibration predates all drift).
+  [[nodiscard]] double stale_drift_factor(std::uint64_t module) const;
+
+  // -- Enforcement seam ------------------------------------------------------
+
+  /// The cap the hardware actually holds when `cap_w` was requested. `event`
+  /// identifies the enforcement episode (see job_event) so re-measurement
+  /// error differs between jobs but is stable within one.
+  [[nodiscard]] double realized_cap_w(double cap_w, std::uint64_t module,
+                                      std::uint64_t event) const;
+
+  // -- Execution seam --------------------------------------------------------
+
+  /// Number of transient throttle events striking `module` during the run
+  /// identified by `event`.
+  [[nodiscard]] int throttle_events(std::uint64_t module,
+                                    std::uint64_t event) const;
+
+  /// Run-average performance multiplier of those events (1.0 when none).
+  [[nodiscard]] double throttle_perf_multiplier(std::uint64_t module,
+                                                std::uint64_t event) const;
+
+  /// The allocation slots (indices into an n-module allocation) that suffer
+  /// a hard failure, sorted ascending; distinct, at most min(count, n).
+  [[nodiscard]] std::vector<std::size_t> failed_slots(std::size_t n) const;
+
+  /// Effective performance-equivalent frequency of a failed module: a
+  /// failure_time_frac share of the work at `perf_freq_ghz`, the rest on a
+  /// cold spare at `spare_freq_ghz` (harmonic blend).
+  [[nodiscard]] double failed_perf_freq_ghz(double perf_freq_ghz,
+                                            double spare_freq_ghz) const;
+
+ private:
+  FaultScenario scenario_;
+  bool enabled_;
+};
+
+/// Event key for the per-run fault draws: a pure function of the job identity
+/// (workload, budget, run salt), so transient faults differ between campaign
+/// jobs yet hit every scheme of the same job identically, at any thread
+/// count. Persistent faults (drift, hard failures) ignore it by design.
+[[nodiscard]] std::uint64_t job_event(std::string_view workload,
+                                      double budget_w, std::uint64_t run_salt);
+
+}  // namespace vapb::fault

@@ -1,0 +1,323 @@
+#include "fault/scenario.hpp"
+
+#include <bit>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vapb::fault {
+
+namespace {
+
+constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t z = h + kGamma + v;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix(std::uint64_t h, double v) {
+  return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+// The field table: one row per scenario knob, shared by the JSON parser,
+// the CLI shorthand and the serializer so the three can never disagree on
+// spelling.
+enum class FieldKind { kUint64, kInt, kDouble };
+
+struct Field {
+  const char* name;
+  FieldKind kind;
+  void* (*slot)(FaultScenario&);
+};
+
+template <auto Member>
+void* slot_of(FaultScenario& s) {
+  return &(s.*Member);
+}
+
+const std::vector<Field>& fields() {
+  static const std::vector<Field> kFields = {
+      {"seed", FieldKind::kUint64, &slot_of<&FaultScenario::seed>},
+      {"sensor_noise_frac", FieldKind::kDouble,
+       &slot_of<&FaultScenario::sensor_noise_frac>},
+      {"drift_frac", FieldKind::kDouble, &slot_of<&FaultScenario::drift_frac>},
+      {"drift_steps", FieldKind::kInt, &slot_of<&FaultScenario::drift_steps>},
+      {"staleness", FieldKind::kDouble, &slot_of<&FaultScenario::staleness>},
+      {"rapl_error_frac", FieldKind::kDouble,
+       &slot_of<&FaultScenario::rapl_error_frac>},
+      {"throttle_rate", FieldKind::kDouble,
+       &slot_of<&FaultScenario::throttle_rate>},
+      {"throttle_perf_frac", FieldKind::kDouble,
+       &slot_of<&FaultScenario::throttle_perf_frac>},
+      {"throttle_duration_frac", FieldKind::kDouble,
+       &slot_of<&FaultScenario::throttle_duration_frac>},
+      {"failure_count", FieldKind::kInt,
+       &slot_of<&FaultScenario::failure_count>},
+      {"failure_time_frac", FieldKind::kDouble,
+       &slot_of<&FaultScenario::failure_time_frac>},
+  };
+  return kFields;
+}
+
+[[noreturn]] void unknown_field(const std::string& name) {
+  std::string msg = "FaultScenario: unknown field '" + name +
+                    "'; valid fields:";
+  for (const Field& f : fields()) {
+    msg += ' ';
+    msg += f.name;
+  }
+  throw InvalidArgument(msg);
+}
+
+void assign(FaultScenario& s, const std::string& name,
+            const std::string& value) {
+  for (const Field& f : fields()) {
+    if (name != f.name) continue;
+    const char* text = value.c_str();
+    char* end = nullptr;
+    switch (f.kind) {
+      case FieldKind::kUint64:
+        *static_cast<std::uint64_t*>(f.slot(s)) =
+            std::strtoull(text, &end, 10);
+        break;
+      case FieldKind::kInt:
+        *static_cast<int*>(f.slot(s)) =
+            static_cast<int>(std::strtol(text, &end, 10));
+        break;
+      case FieldKind::kDouble:
+        *static_cast<double*>(f.slot(s)) = std::strtod(text, &end);
+        break;
+    }
+    if (end == text || (end != nullptr && *end != '\0')) {
+      throw InvalidArgument("FaultScenario: bad value '" + value +
+                            "' for field '" + name + "'");
+    }
+    return;
+  }
+  unknown_field(name);
+}
+
+// Removes // line and /* block */ comments; string literals are respected
+// so a quoted "//" survives. Unterminated block comments throw.
+std::string strip_comments(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '"') {
+      out += c;
+      ++i;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < text.size()) out += text[i++];
+        out += text[i++];
+      }
+      if (i < text.size()) out += text[i++];
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      const std::size_t close = text.find("*/", i + 2);
+      if (close == std::string::npos) {
+        throw InvalidArgument("FaultScenario: unterminated /* comment");
+      }
+      i = close + 2;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+// Minimal recursive-descent reader for the scenario grammar: one flat JSON
+// object mapping string keys to numbers.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string text) : text_(std::move(text)) {}
+
+  std::map<std::string, std::string> read_object() {
+    std::map<std::string, std::string> out;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      finish();
+      return out;
+    }
+    while (true) {
+      std::string key = read_string();
+      expect(':');
+      std::string value = read_number();
+      if (!out.emplace(std::move(key), std::move(value)).second) {
+        throw InvalidArgument("FaultScenario: duplicate field in JSON");
+      }
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    finish();
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgument("FaultScenario: JSON parse error: " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::string read_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') out += text_[pos_++];
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  std::string read_number() {
+    skip_ws();
+    std::string out;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      out += text_[pos_++];
+    }
+    if (out.empty()) fail("expected a number");
+    return out;
+  }
+
+  void finish() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after object");
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool FaultScenario::any() const {
+  return sensor_noise_frac > 0.0 || (drift_frac > 0.0 && drift_steps > 0) ||
+         rapl_error_frac > 0.0 || throttle_rate > 0.0 || failure_count > 0;
+}
+
+std::uint64_t FaultScenario::fingerprint() const {
+  std::uint64_t h = mix(0x76617062666c74ULL, seed);  // "vapbflt"
+  h = mix(h, sensor_noise_frac);
+  h = mix(h, drift_frac);
+  h = mix(h, static_cast<std::uint64_t>(drift_steps));
+  h = mix(h, staleness);
+  h = mix(h, rapl_error_frac);
+  h = mix(h, throttle_rate);
+  h = mix(h, throttle_perf_frac);
+  h = mix(h, throttle_duration_frac);
+  h = mix(h, static_cast<std::uint64_t>(failure_count));
+  h = mix(h, failure_time_frac);
+  return h == 0 ? 1 : h;
+}
+
+std::string FaultScenario::serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\n";
+  os << "  \"seed\": " << seed << ",\n";
+  os << "  \"sensor_noise_frac\": " << sensor_noise_frac << ",\n";
+  os << "  \"drift_frac\": " << drift_frac << ",\n";
+  os << "  \"drift_steps\": " << drift_steps << ",\n";
+  os << "  \"staleness\": " << staleness << ",\n";
+  os << "  \"rapl_error_frac\": " << rapl_error_frac << ",\n";
+  os << "  \"throttle_rate\": " << throttle_rate << ",\n";
+  os << "  \"throttle_perf_frac\": " << throttle_perf_frac << ",\n";
+  os << "  \"throttle_duration_frac\": " << throttle_duration_frac << ",\n";
+  os << "  \"failure_count\": " << failure_count << ",\n";
+  os << "  \"failure_time_frac\": " << failure_time_frac << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+FaultScenario FaultScenario::parse(const std::string& json) {
+  JsonReader reader(strip_comments(json));
+  FaultScenario s;
+  for (const auto& [key, value] : reader.read_object()) {
+    assign(s, key, value);
+  }
+  s.validate();
+  return s;
+}
+
+FaultScenario FaultScenario::parse_kv(const std::string& spec) {
+  FaultScenario s;
+  std::size_t pos = 0;
+  while (pos <= spec.size() && !spec.empty()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (part.empty()) continue;
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      throw InvalidArgument("FaultScenario: expected key=value, got '" + part +
+                            "'");
+    }
+    assign(s, part.substr(0, eq), part.substr(eq + 1));
+    if (pos > spec.size()) break;
+  }
+  s.validate();
+  return s;
+}
+
+void FaultScenario::validate() const {
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw InvalidArgument(std::string("FaultScenario: ") + what);
+  };
+  require(sensor_noise_frac >= 0.0 && sensor_noise_frac < 1.0,
+          "sensor_noise_frac must be in [0, 1)");
+  require(drift_frac >= 0.0 && drift_frac < 1.0,
+          "drift_frac must be in [0, 1)");
+  require(drift_steps >= 0, "drift_steps must be non-negative");
+  require(staleness >= 0.0 && staleness <= 1.0,
+          "staleness must be in [0, 1]");
+  require(rapl_error_frac >= 0.0 && rapl_error_frac < 1.0,
+          "rapl_error_frac must be in [0, 1)");
+  require(throttle_rate >= 0.0, "throttle_rate must be non-negative");
+  require(throttle_perf_frac > 0.0 && throttle_perf_frac <= 1.0,
+          "throttle_perf_frac must be in (0, 1]");
+  require(throttle_duration_frac >= 0.0 && throttle_duration_frac <= 1.0,
+          "throttle_duration_frac must be in [0, 1]");
+  require(failure_count >= 0, "failure_count must be non-negative");
+  require(failure_time_frac >= 0.0 && failure_time_frac < 1.0,
+          "failure_time_frac must be in [0, 1)");
+}
+
+}  // namespace vapb::fault

@@ -1,0 +1,86 @@
+// FaultScenario — the declarative spec of a perturbation experiment.
+//
+// A scenario composes the six injectors of the paper's threats-to-validity
+// section (sensor inaccuracy, aging/temperature drift, stale calibration,
+// imperfect cap enforcement, transient throttling, hard module failure)
+// into one value type. It parses from a small JSON grammar (flat object,
+// // and /* */ comments allowed) or from the CLI's "key=value,key=value"
+// shorthand, serializes back to canonical JSON, and hashes to a stable
+// fingerprint that keys caches and reports.
+//
+// All randomness a scenario implies is drawn through fault::CounterRng keyed
+// on `seed`, so a scenario value fully determines every perturbation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vapb::fault {
+
+struct FaultScenario {
+  /// Master seed of every injector stream. Two scenarios that differ only
+  /// in seed perturb the same way statistically but never share draws (or
+  /// calibration-cache entries).
+  std::uint64_t seed = 1;
+
+  // -- Sensor noise ----------------------------------------------------------
+  /// sd of the multiplicative Gaussian noise applied to every Pc/Pd power
+  /// reading taken during calibration (PVT generation and the single-module
+  /// test run). 0 disables.
+  double sensor_noise_frac = 0.0;
+
+  // -- PVT drift / aging -----------------------------------------------------
+  /// Per-step sd of the per-module multiplicative drift walk: module i's
+  /// true power is scaled by prod_{s<steps} (1 + drift_frac * N_{i,s}).
+  double drift_frac = 0.0;
+  /// Steps of the walk the hardware has taken by execution time.
+  int drift_steps = 4;
+  /// Calibration staleness: fraction of the walk the calibration artifacts
+  /// have NOT seen. 1 (default) = calibration predates all drift; 0 = the
+  /// calibration is fresh and already includes it.
+  double staleness = 1.0;
+
+  // -- RAPL enforcement error ------------------------------------------------
+  /// sd of the multiplicative error between the requested power cap and the
+  /// cap the hardware actually realizes.
+  double rapl_error_frac = 0.0;
+
+  // -- Transient thermal throttling -------------------------------------------
+  /// Expected throttle events per module per run (may exceed 1).
+  double throttle_rate = 0.0;
+  /// Performance multiplier while a throttle event is active.
+  double throttle_perf_frac = 0.5;
+  /// Fraction of the run one event stays active.
+  double throttle_duration_frac = 0.05;
+
+  // -- Hard module failure ---------------------------------------------------
+  /// Modules that die mid-run (each restarts on a cold spare at fmin).
+  int failure_count = 0;
+  /// Fraction of the run completed when the failure strikes.
+  double failure_time_frac = 0.5;
+
+  /// True when at least one injector is active. A default-constructed (or
+  /// all-zero) scenario leaves every run bit-identical to no injection.
+  [[nodiscard]] bool any() const;
+
+  /// Stable content hash over every field (seed included); 0 is never
+  /// returned so callers can use 0 as "no scenario".
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Canonical JSON form; parse(serialize()) reproduces the value exactly.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parses the JSON grammar: one flat object of "name": number pairs, with
+  /// // line and /* block */ comments stripped first. Unknown keys throw
+  /// InvalidArgument naming the valid spellings.
+  static FaultScenario parse(const std::string& json);
+
+  /// Parses the CLI shorthand "sensor_noise_frac=0.05,drift_frac=0.02".
+  static FaultScenario parse_kv(const std::string& spec);
+
+  /// Throws InvalidArgument when a field is out of range (negative sd,
+  /// fraction outside [0,1], ...).
+  void validate() const;
+};
+
+}  // namespace vapb::fault

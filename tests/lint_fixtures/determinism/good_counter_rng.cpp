@@ -1,0 +1,9 @@
+// Fixture: drawing fault perturbations through fault::CounterRng is the
+// approved way to randomize outside util::SeedSequence — counter-based,
+// stateless, reproducible at any thread count.
+#include "fault/counter_rng.hpp"
+
+double perturb(double watts, std::uint64_t module, std::uint64_t event) {
+  vapb::fault::CounterRng rng(/*seed=*/1, "sensor-pvt", module);
+  return watts * (1.0 + 0.05 * rng.normal(event));
+}

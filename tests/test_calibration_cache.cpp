@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/scenario.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/catalog.hpp"
 
@@ -86,6 +87,56 @@ TEST_F(CalibrationCacheFixture, SchemePmtKeyedOnSchemeKind) {
                              workloads::mhd(), *pvt, *test, sseed);
   EXPECT_EQ(a.get(), b.get());
   EXPECT_NE(a.get(), c.get());
+}
+
+TEST_F(CalibrationCacheFixture, FaultFingerprintsNeverShareEntries) {
+  auto pvt = cache_.pvt(cluster_, workloads::pvt_microbench(), pvt_seed());
+  auto seed = cluster_.seed().fork("test-run").fork("MHD");
+  auto test =
+      cache_.test_run(cluster_, alloc_.front(), workloads::mhd(), seed);
+  auto sseed = cluster_.seed().fork("MHD").fork("VaPc");
+
+  int builds = 0;
+  const auto build = [&] {
+    ++builds;
+    return constant_pmt(
+        PmtEntry{util::Watts{80.0}, util::Watts{12.0}, util::Watts{40.0},
+                 util::Watts{6.0}},
+        kModules, cluster_.spec().ladder);
+  };
+  const auto lookup = [&](std::uint64_t fingerprint) {
+    return cache_.scheme_pmt("VaPc", cluster_, alloc_, workloads::mhd(), *pvt,
+                             *test, sseed, build, fingerprint);
+  };
+
+  // Two scenarios that differ only in seed have distinct fingerprints and
+  // must get distinct cache entries, even though every other key part —
+  // including the calibration artifacts' content hashes — is identical.
+  fault::FaultScenario one;
+  one.seed = 1;
+  one.drift_frac = 0.04;
+  fault::FaultScenario two = one;
+  two.seed = 2;
+  ASSERT_NE(one.fingerprint(), two.fingerprint());
+
+  auto a = lookup(one.fingerprint());
+  auto b = lookup(two.fingerprint());
+  auto none = lookup(0);  // injection off
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), none.get());
+  EXPECT_EQ(builds, 3);
+
+  // Same fingerprint is still a hit.
+  EXPECT_EQ(lookup(one.fingerprint()).get(), a.get());
+  EXPECT_EQ(lookup(0).get(), none.get());
+  EXPECT_EQ(builds, 3);
+
+  // The fingerprint-0 entry is the one the kind-keyed overload shares.
+  EXPECT_EQ(cache_
+                .scheme_pmt(SchemeKind::kVaPc, cluster_, alloc_,
+                            workloads::mhd(), *pvt, *test, sseed)
+                .get(),
+            none.get());
 }
 
 TEST_F(CalibrationCacheFixture, ClearDropsEntriesButKeepsCounters) {

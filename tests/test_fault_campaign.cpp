@@ -1,0 +1,197 @@
+#include "fault/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "fault/injector.hpp"
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::fault {
+namespace {
+
+// Two sweeps must agree bit-for-bit, job by job, in expansion order.
+void expect_jobs_identical(const core::CampaignResult& a,
+                           const core::CampaignResult& b) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const core::CampaignJobResult& x = a.jobs[i];
+    const core::CampaignJobResult& y = b.jobs[i];
+    ASSERT_EQ(x.job.scheme, y.job.scheme);
+    ASSERT_EQ(x.job.budget_w, y.job.budget_w);
+    ASSERT_EQ(x.job.repetition, y.job.repetition);
+    EXPECT_EQ(x.metrics.feasible, y.metrics.feasible);
+    EXPECT_EQ(x.metrics.constrained, y.metrics.constrained);
+    EXPECT_EQ(x.metrics.alpha, y.metrics.alpha);
+    EXPECT_EQ(x.metrics.makespan_s, y.metrics.makespan_s);
+    EXPECT_EQ(x.metrics.total_power_w, y.metrics.total_power_w);
+    EXPECT_EQ(x.metrics.total_cpu_power_w, y.metrics.total_cpu_power_w);
+    EXPECT_EQ(x.metrics.total_dram_power_w, y.metrics.total_dram_power_w);
+  }
+}
+
+class FaultCampaignFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kModules = 16;
+
+  static std::vector<hw::ModuleId> allocation(std::size_t n) {
+    std::vector<hw::ModuleId> alloc(n);
+    std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+    return alloc;
+  }
+
+  core::CampaignSpec spec() const {
+    core::CampaignSpec s;
+    s.workloads = {&workloads::mhd()};
+    s.budgets_w = {90.0 * kModules, 80.0 * kModules};
+    s.scheme_names = {"Naive", "VaPc", "VaPcRobust", "VaFs", "VaFsRobust"};
+    s.repetitions = 5;
+    s.config.iterations = 6;  // keep the DES part fast
+    return s;
+  }
+
+  cluster::Cluster cluster_{hw::ha8k(), util::SeedSequence(2015), kModules};
+};
+
+TEST_F(FaultCampaignFixture, ExpandCrossesAxesNoiseOutermost) {
+  FaultGrid grid;
+  grid.noise_fracs = {0.0, 0.05};
+  grid.drift_fracs = {0.0, 0.04};
+  grid.failure_counts = {0, 1};
+  grid.base.seed = 7;
+  grid.base.rapl_error_frac = 0.03;
+
+  const std::vector<FaultScenario> points = FaultCampaign::expand(grid);
+  ASSERT_EQ(points.size(), grid.point_count());
+  ASSERT_EQ(points.size(), 8u);
+  // noise outermost, then drift, then failures; base knobs carried through.
+  EXPECT_EQ(points[0].sensor_noise_frac, 0.0);
+  EXPECT_EQ(points[0].drift_frac, 0.0);
+  EXPECT_EQ(points[0].failure_count, 0);
+  EXPECT_EQ(points[1].failure_count, 1);
+  EXPECT_EQ(points[2].drift_frac, 0.04);
+  EXPECT_EQ(points[4].sensor_noise_frac, 0.05);
+  for (const FaultScenario& s : points) {
+    EXPECT_EQ(s.seed, 7u);
+    EXPECT_EQ(s.rapl_error_frac, 0.03);
+  }
+}
+
+TEST_F(FaultCampaignFixture, ExpandRejectsEmptyAxes) {
+  FaultGrid grid;
+  grid.noise_fracs.clear();
+  EXPECT_THROW((void)FaultCampaign::expand(grid), InvalidArgument);
+  grid = FaultGrid{};
+  grid.drift_fracs.clear();
+  EXPECT_THROW((void)FaultCampaign::expand(grid), InvalidArgument);
+  grid = FaultGrid{};
+  grid.failure_counts.clear();
+  EXPECT_THROW((void)FaultCampaign::expand(grid), InvalidArgument);
+}
+
+TEST_F(FaultCampaignFixture, RunRejectsCallerManagedInjector) {
+  FaultGrid grid;
+  core::CampaignSpec s = spec();
+  const FaultInjector injector(grid.base);
+  s.config.fault = &injector;
+  const FaultCampaign sweep(cluster_, allocation(kModules), 1);
+  EXPECT_THROW((void)sweep.run(s, grid), InvalidArgument);
+}
+
+TEST_F(FaultCampaignFixture, ZeroPointIsBitIdenticalToNoInjection) {
+  FaultGrid grid;
+  grid.noise_fracs = {0.0};
+  grid.drift_fracs = {0.0};
+  grid.failure_counts = {0};
+
+  core::CampaignSpec s = spec();
+  s.repetitions = 2;
+
+  const FaultCampaign sweep(cluster_, allocation(kModules), 2);
+  const FaultCampaignResult faulted = sweep.run(s, grid);
+  ASSERT_EQ(faulted.points.size(), 1u);
+  EXPECT_FALSE(faulted.points[0].scenario.any());
+
+  core::CampaignEngine engine(cluster_, allocation(kModules), 2);
+  const core::CampaignResult plain = engine.run(s);
+
+  expect_jobs_identical(faulted.points[0].campaign, plain);
+}
+
+TEST_F(FaultCampaignFixture, FixedSeedSweepIsThreadCountInvariant) {
+  FaultGrid grid;
+  grid.noise_fracs = {0.05};
+  grid.drift_fracs = {0.04};
+  grid.failure_counts = {1};
+  grid.base.seed = 2015;
+  grid.base.rapl_error_frac = 0.05;
+  grid.base.throttle_rate = 0.25;
+
+  core::CampaignSpec s = spec();
+  s.repetitions = 2;
+  s.scheme_names = {"Naive", "VaPc", "VaPcRobust"};
+
+  const FaultCampaignResult serial =
+      FaultCampaign(cluster_, allocation(kModules), 1).run(s, grid);
+  const FaultCampaignResult pooled =
+      FaultCampaign(cluster_, allocation(kModules), 4).run(s, grid);
+
+  ASSERT_EQ(serial.points.size(), 1u);
+  ASSERT_EQ(pooled.points.size(), 1u);
+  expect_jobs_identical(serial.points[0].campaign, pooled.points[0].campaign);
+  for (std::size_t i = 0; i < serial.points[0].schemes.size(); ++i) {
+    const FaultSchemeResult& x = serial.points[0].schemes[i];
+    const FaultSchemeResult& y = pooled.points[0].schemes[i];
+    EXPECT_EQ(x.scheme, y.scheme);
+    EXPECT_EQ(x.violation_rate, y.violation_rate);
+    EXPECT_EQ(x.mean_overshoot_w, y.mean_overshoot_w);
+    EXPECT_EQ(x.mean_makespan_s, y.mean_makespan_s);
+  }
+}
+
+// The headline claim of the degradation campaign: under sensor noise plus
+// drift (and an imperfectly-enforced RAPL cap), the guard-band + re-budget
+// schemes violate the budget strictly less often than their plain
+// counterparts while still beating Naive on makespan.
+TEST_F(FaultCampaignFixture, RobustSchemesViolateLessWithoutLosingSpeedup) {
+  FaultGrid grid;
+  grid.noise_fracs = {0.05};
+  grid.drift_fracs = {0.04};
+  grid.failure_counts = {0};
+  grid.base.seed = 1;
+  grid.base.rapl_error_frac = 0.05;
+
+  const FaultCampaign sweep(cluster_, allocation(kModules), 2);
+  const FaultCampaignResult result = sweep.run(spec(), grid);
+  ASSERT_EQ(result.points.size(), 1u);
+  const FaultPointResult& point = result.points[0];
+
+  for (const auto& [plain_name, robust_name] :
+       {std::pair<const char*, const char*>{"VaPc", "VaPcRobust"},
+        std::pair<const char*, const char*>{"VaFs", "VaFsRobust"}}) {
+    const FaultSchemeResult& plain = point.scheme(plain_name);
+    const FaultSchemeResult& robust = point.scheme(robust_name);
+    ASSERT_GT(plain.jobs, 0u);
+    ASSERT_GT(robust.jobs, 0u);
+    // The faults actually hurt the plain scheme...
+    EXPECT_GT(plain.violation_rate, 0.0) << plain_name;
+    // ...and the robust counterpart strictly improves on it...
+    EXPECT_LT(robust.violation_rate, plain.violation_rate) << robust_name;
+    EXPECT_LE(robust.mean_overshoot_w, plain.mean_overshoot_w) << robust_name;
+    // ...while keeping the variation-aware speedup over Naive.
+    ASSERT_TRUE(std::isfinite(robust.mean_speedup_vs_naive)) << robust_name;
+    EXPECT_GE(robust.mean_speedup_vs_naive, 1.0) << robust_name;
+  }
+}
+
+TEST_F(FaultCampaignFixture, PointSchemeLookupThrowsOnUnknownName) {
+  FaultPointResult point;
+  point.schemes.push_back(FaultSchemeResult{"VaPc", 1, 0.0, 0.0, 0.0, 1.0});
+  EXPECT_EQ(&point.scheme("VaPc"), &point.schemes[0]);
+  EXPECT_THROW((void)point.scheme("VaPcOracle"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vapb::fault

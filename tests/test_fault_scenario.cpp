@@ -1,0 +1,171 @@
+#include "fault/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vapb::fault {
+namespace {
+
+void expect_equal(const FaultScenario& a, const FaultScenario& b) {
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.sensor_noise_frac, b.sensor_noise_frac);
+  EXPECT_EQ(a.drift_frac, b.drift_frac);
+  EXPECT_EQ(a.drift_steps, b.drift_steps);
+  EXPECT_EQ(a.staleness, b.staleness);
+  EXPECT_EQ(a.rapl_error_frac, b.rapl_error_frac);
+  EXPECT_EQ(a.throttle_rate, b.throttle_rate);
+  EXPECT_EQ(a.throttle_perf_frac, b.throttle_perf_frac);
+  EXPECT_EQ(a.throttle_duration_frac, b.throttle_duration_frac);
+  EXPECT_EQ(a.failure_count, b.failure_count);
+  EXPECT_EQ(a.failure_time_frac, b.failure_time_frac);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(FaultScenario, DefaultIsInert) {
+  const FaultScenario s;
+  EXPECT_FALSE(s.any());
+  EXPECT_NE(s.fingerprint(), 0u);  // 0 is reserved for "no scenario"
+}
+
+TEST(FaultScenario, AnyTripsOnEachInjector) {
+  FaultScenario s;
+  s.sensor_noise_frac = 0.01;
+  EXPECT_TRUE(s.any());
+  s = FaultScenario{};
+  s.drift_frac = 0.01;
+  EXPECT_TRUE(s.any());
+  s.drift_steps = 0;  // a zero-step walk drifts nothing
+  EXPECT_FALSE(s.any());
+  s = FaultScenario{};
+  s.rapl_error_frac = 0.01;
+  EXPECT_TRUE(s.any());
+  s = FaultScenario{};
+  s.throttle_rate = 0.5;
+  EXPECT_TRUE(s.any());
+  s = FaultScenario{};
+  s.failure_count = 1;
+  EXPECT_TRUE(s.any());
+}
+
+TEST(FaultScenario, ParsesJsonWithComments) {
+  const FaultScenario s = FaultScenario::parse(R"(
+    // line comment before the object
+    {
+      "seed": 7,          // trailing comment
+      /* block comment */ "sensor_noise_frac": 0.05,
+      "drift_frac": 0.02,
+      "failure_count": 2
+    }
+  )");
+  EXPECT_EQ(s.seed, 7u);
+  EXPECT_EQ(s.sensor_noise_frac, 0.05);
+  EXPECT_EQ(s.drift_frac, 0.02);
+  EXPECT_EQ(s.failure_count, 2);
+  EXPECT_EQ(s.staleness, 1.0);  // untouched default
+}
+
+TEST(FaultScenario, SerializeRoundTripsExactly) {
+  FaultScenario s;
+  s.seed = 123456789;
+  s.sensor_noise_frac = 0.037;
+  s.drift_frac = 1.0 / 3.0;  // needs full precision to survive
+  s.drift_steps = 9;
+  s.staleness = 0.25;
+  s.rapl_error_frac = 0.011;
+  s.throttle_rate = 1.75;
+  s.throttle_perf_frac = 0.6;
+  s.throttle_duration_frac = 0.125;
+  s.failure_count = 3;
+  s.failure_time_frac = 0.9;
+  expect_equal(s, FaultScenario::parse(s.serialize()));
+}
+
+TEST(FaultScenario, UnknownFieldNamesTheValidSpellings) {
+  try {
+    (void)FaultScenario::parse(R"({"sensor_noise": 0.05})");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown field 'sensor_noise'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("sensor_noise_frac"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("drift_frac"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("failure_count"), std::string::npos) << msg;
+  }
+}
+
+TEST(FaultScenario, RejectsMalformedJson) {
+  EXPECT_THROW((void)FaultScenario::parse("{"), InvalidArgument);
+  EXPECT_THROW((void)FaultScenario::parse(R"({"seed": })"), InvalidArgument);
+  EXPECT_THROW((void)FaultScenario::parse(R"({"seed": 1} extra)"),
+               InvalidArgument);
+  EXPECT_THROW((void)FaultScenario::parse(R"({"seed": 1, "seed": 2})"),
+               InvalidArgument);
+  EXPECT_THROW((void)FaultScenario::parse("/* never closed {"),
+               InvalidArgument);
+}
+
+TEST(FaultScenario, ParsesCliShorthand) {
+  const FaultScenario s =
+      FaultScenario::parse_kv("sensor_noise_frac=0.05,drift_frac=0.02,seed=9");
+  EXPECT_EQ(s.seed, 9u);
+  EXPECT_EQ(s.sensor_noise_frac, 0.05);
+  EXPECT_EQ(s.drift_frac, 0.02);
+
+  EXPECT_THROW((void)FaultScenario::parse_kv("drift_frac"), InvalidArgument);
+  EXPECT_THROW((void)FaultScenario::parse_kv("bogus=1"), InvalidArgument);
+  EXPECT_THROW((void)FaultScenario::parse_kv("drift_frac=abc"),
+               InvalidArgument);
+}
+
+TEST(FaultScenario, ValidateRejectsOutOfRangeFields) {
+  FaultScenario s;
+  s.sensor_noise_frac = -0.1;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+  s = FaultScenario{};
+  s.staleness = 1.5;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+  s = FaultScenario{};
+  s.throttle_perf_frac = 0.0;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+  s = FaultScenario{};
+  s.failure_count = -1;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+  s = FaultScenario{};
+  s.failure_time_frac = 1.0;
+  EXPECT_THROW(s.validate(), InvalidArgument);
+}
+
+TEST(FaultScenario, ExampleFileParsesAndRoundTrips) {
+  std::ifstream f(VAPB_EXAMPLES_DIR "/fault_scenario.json");
+  ASSERT_TRUE(f) << "examples/fault_scenario.json missing";
+  std::ostringstream text;
+  text << f.rdbuf();
+
+  const FaultScenario s = FaultScenario::parse(text.str());
+  EXPECT_EQ(s.seed, 2015u);
+  EXPECT_EQ(s.sensor_noise_frac, 0.05);
+  EXPECT_EQ(s.drift_frac, 0.04);
+  EXPECT_EQ(s.failure_count, 1);
+  EXPECT_TRUE(s.any());
+
+  // The canonical form reproduces the example's value exactly.
+  expect_equal(s, FaultScenario::parse(s.serialize()));
+}
+
+TEST(FaultScenario, FingerprintSeparatesSeedsAndFields) {
+  FaultScenario a;
+  FaultScenario b;
+  b.seed = 2;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b = FaultScenario{};
+  b.drift_frac = 1e-9;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+}  // namespace
+}  // namespace vapb::fault

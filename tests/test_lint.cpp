@@ -105,6 +105,31 @@ TEST(Determinism, AllowlistIsPathScoped) {
       lint_source("src/core/runner.cpp", clock, kEmptyIndex).empty());
 }
 
+TEST(Determinism, CounterRngIsApprovedSource) {
+  // The counter-based fault RNG implementation is on the allowlist (it may
+  // reference the banned engine names in its own docs)...
+  const std::string bad = fixture("determinism/bad_rand.cpp");
+  EXPECT_TRUE(
+      lint_source("src/fault/counter_rng.cpp", bad, kEmptyIndex).empty());
+  EXPECT_TRUE(
+      lint_source("src/fault/counter_rng.hpp", bad, kEmptyIndex).empty());
+  // ...but the rest of src/fault is not exempt.
+  EXPECT_FALSE(
+      lint_source("src/fault/injector.cpp", bad, kEmptyIndex).empty());
+
+  // Drawing through fault::CounterRng lints clean anywhere.
+  auto vs =
+      lint_source("tests/lint_fixtures/determinism/good_counter_rng.cpp",
+                  fixture("determinism/good_counter_rng.cpp"), kEmptyIndex);
+  EXPECT_TRUE(vs.empty()) << ::testing::PrintToString(rules_hit(vs));
+
+  // The violation message names it as an approved alternative.
+  auto flagged = lint_source("src/core/x.cpp", bad, kEmptyIndex);
+  ASSERT_FALSE(flagged.empty());
+  EXPECT_NE(flagged.front().message.find("fault::CounterRng"),
+            std::string::npos);
+}
+
 TEST(UnitMixing, FlagsCrossUnitArithmetic) {
   auto vs = lint_source("tests/lint_fixtures/unit_mixing/bad_mix.cpp",
                         fixture("unit_mixing/bad_mix.cpp"), kEmptyIndex);

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -78,6 +79,82 @@ TEST(SchemeRegistry, RejectsBadRegistrations) {
   EXPECT_FALSE(reg.contains("NullFactory"));
   EXPECT_THROW(reg.add("Naive", [] { return SchemeDefinition{}; }),
                InvalidArgument);
+}
+
+TEST(SchemeRegistry, RobustSchemesFollowTheLegendSix) {
+  const auto names = SchemeRegistry::global().names();
+  ASSERT_GE(names.size(), kLegend.size() + 2);
+  // Appended after the paper's legend so legend-order consumers are
+  // untouched.
+  EXPECT_EQ(names[kLegend.size()], "VaPcRobust");
+  EXPECT_EQ(names[kLegend.size() + 1], "VaFsRobust");
+
+  for (const auto& [name, enf] :
+       {std::pair<const char*, Enforcement>{"VaPcRobust",
+                                            Enforcement::kPowerCap},
+        std::pair<const char*, Enforcement>{"VaFsRobust",
+                                            Enforcement::kFreqSelect}}) {
+    const SchemeDefinition def = SchemeRegistry::global().get(name);
+    EXPECT_EQ(def.name, name);
+    EXPECT_EQ(def.enforcement, enf);
+    EXPECT_TRUE(def.variation_aware);
+    EXPECT_FALSE(def.oracle);
+    // The robust composition: guard-band solve + re-budget-on-violation
+    // execution, reusing the calibrated stages everywhere else.
+    EXPECT_NE(dynamic_cast<const GuardBandSolveStage*>(def.budget_solve.get()),
+              nullptr)
+        << name;
+    EXPECT_NE(
+        dynamic_cast<const ResolveOnViolationStage*>(def.execution.get()),
+        nullptr)
+        << name;
+  }
+}
+
+TEST(SchemeRegistry, ClearDrivesALocalRegistryThroughEmpty) {
+  SchemeRegistry reg;
+  reg.add("Only", [] { return SchemeDefinition{}; });
+  EXPECT_TRUE(reg.contains("Only"));
+
+  reg.clear();
+  EXPECT_FALSE(reg.contains("Only"));
+  EXPECT_TRUE(reg.names().empty());
+  try {
+    (void)reg.get("Only");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("no schemes are registered"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // A cleared name is registrable again — clear() really forgot it.
+  reg.add("Only", [] { return SchemeDefinition{}; });
+  EXPECT_TRUE(reg.contains("Only"));
+}
+
+TEST(SchemeRegistry, SuggestionsOrderByEditDistance) {
+  const auto& reg = SchemeRegistry::global();
+  EXPECT_EQ(reg.suggestions("VaPcc").front(), "VaPc");
+  EXPECT_EQ(reg.suggestions("VaFsRobus").front(), "VaFsRobust");
+  EXPECT_EQ(reg.suggestions("Nave").front(), "Naive");
+  // Every registered name appears exactly once.
+  auto sorted = reg.suggestions("anything");
+  auto names = reg.names();
+  std::sort(sorted.begin(), sorted.end());
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(sorted, names);
+
+  // And get() surfaces the closest name first in its error.
+  try {
+    (void)reg.get("VaPcc");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    const std::size_t list = msg.find("(closest first):");
+    ASSERT_NE(list, std::string::npos) << msg;
+    EXPECT_NE(msg.find("(closest first): VaPc "), std::string::npos) << msg;
+  }
 }
 
 /// The acceptance-criterion scheme: Naive's application-independent table

@@ -53,11 +53,13 @@ std::string stem_of(const std::string& path) {
 }
 
 // Deterministic simulation is the project's core guarantee; only the seeded
-// RNG wrapper, the wall-clock-reporting campaign driver, and standalone
-// tools/benches may touch the banned facilities.
+// RNG wrapper, the counter-based fault RNG, the wall-clock-reporting campaign
+// driver, and standalone tools/benches may touch the banned facilities.
 bool random_allowed(const std::string& path) {
   return has_segment(path, "bench") || has_segment(path, "tools") ||
-         ends_with(path, "util/rng.hpp") || ends_with(path, "util/rng.cpp");
+         ends_with(path, "util/rng.hpp") || ends_with(path, "util/rng.cpp") ||
+         ends_with(path, "fault/counter_rng.hpp") ||
+         ends_with(path, "fault/counter_rng.cpp");
 }
 
 bool clock_allowed(const std::string& path) {
@@ -279,7 +281,7 @@ void check_determinism(const std::string& path,
         out.push_back(Violation{
             path, t.line, "determinism-random",
             "'" + t.text + "' breaks reproducibility; use util::SeedSequence "
-            "/ util::SplitMix instead"});
+            "/ util::SplitMix or fault::CounterRng instead"});
       }
     }
     if (!clk_ok) {
@@ -463,7 +465,7 @@ const std::vector<RuleInfo>& rule_catalog() {
   static const std::vector<RuleInfo> kCatalog = {
       {"determinism-random",
        "bans rand()/std::random_device/std::mt19937* outside src/util/rng.*, "
-       "bench/, tools/"},
+       "src/fault/counter_rng.*, bench/, tools/"},
       {"determinism-clock",
        "bans std::chrono wall clocks outside src/core/campaign.cpp, "
        "src/util/rng.*, bench/, tools/"},

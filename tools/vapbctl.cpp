@@ -11,6 +11,10 @@
 //            [--budgets "110,100,.."] [--schemes "Naive,VaFs"]
 //            [--csv F] [--json F] [--telemetry-out F]
 //                                         parallel sweep of the Table-4 grid
+//   fault    [--workload W] [--schemes "VaPc,VaPcRobust"] [--budgets "90,80"]
+//            [--scenario "k=v,.." | --scenario-file F] [--noise "0,0.05"]
+//            [--drift "0,0.04"] [--failures "0,1"] [--out F]
+//                                         fault-injection degradation sweep
 //   report   [--workload W] [--out F]     full Markdown campaign report
 //
 // Scheme names are resolved through core::SchemeRegistry, so registered
@@ -22,6 +26,7 @@
 //                               best-power} (scheduler placement; default is
 //               the identity allocation 0..N-1)
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <numeric>
@@ -31,6 +36,8 @@
 #include "core/campaign.hpp"
 #include "core/report.hpp"
 #include "core/scheme_registry.hpp"
+#include "fault/campaign.hpp"
+#include "fault/scenario.hpp"
 #include "hw/arch_io.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
@@ -217,6 +224,17 @@ int cmd_run(const util::CliArgs& args) {
   return 0;
 }
 
+/// Output files are written after a (possibly long) run, so a doomed path
+/// must fail up front with the actual problem, not a late "cannot write".
+void require_parent_dir(const std::string& path, const char* flag) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty() && !std::filesystem::is_directory(parent)) {
+    throw InvalidArgument(std::string(flag) + " " + path + ": directory '" +
+                          parent.string() + "' does not exist");
+  }
+}
+
 std::vector<double> parse_budget_list(const std::string& list,
                                       std::size_t modules) {
   std::vector<double> budgets;
@@ -261,6 +279,12 @@ int cmd_campaign(const util::CliArgs& args) {
   spec.repetitions =
       static_cast<int>(args.get_long_or("repetitions", 1));
   auto threads = static_cast<std::size_t>(args.get_long_or("threads", 0));
+  // Fail on doomed output paths before spending minutes on the sweep.
+  if (args.has("csv")) require_parent_dir(args.get("csv"), "--csv");
+  if (args.has("json")) require_parent_dir(args.get("json"), "--json");
+  if (args.has("telemetry-out")) {
+    require_parent_dir(args.get("telemetry-out"), "--telemetry-out");
+  }
 
   core::CampaignEngine engine(ctx.cluster, ctx.allocation, ctx.pvt, threads);
   core::CampaignResult result =
@@ -324,6 +348,100 @@ int cmd_campaign(const util::CliArgs& args) {
   return 0;
 }
 
+std::vector<double> parse_double_list(const std::string& list,
+                                      const char* flag) {
+  std::vector<double> out;
+  for (const std::string& part : util::split(list, ',')) {
+    char* end = nullptr;
+    double v = std::strtod(part.c_str(), &end);
+    if (end == part.c_str() || *end != '\0') {
+      throw InvalidArgument(std::string(flag) + ": bad value '" + part + "'");
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<int> parse_int_list(const std::string& list, const char* flag) {
+  std::vector<int> out;
+  for (double v : parse_double_list(list, flag)) {
+    out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+int cmd_fault(const util::CliArgs& args) {
+  Context ctx = make_context(args);
+  const std::size_t modules = ctx.allocation.size();
+
+  fault::FaultGrid grid;
+  if (args.has("scenario-file")) {
+    std::ifstream in(args.get("scenario-file"));
+    if (!in) {
+      throw Error("cannot open scenario file: " + args.get("scenario-file"));
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    grid.base = fault::FaultScenario::parse(ss.str());
+  } else if (args.has("scenario")) {
+    grid.base = fault::FaultScenario::parse_kv(args.get("scenario"));
+  }
+  if (args.has("noise")) {
+    grid.noise_fracs = parse_double_list(args.get("noise"), "--noise");
+  }
+  if (args.has("drift")) {
+    grid.drift_fracs = parse_double_list(args.get("drift"), "--drift");
+  }
+  if (args.has("failures")) {
+    grid.failure_counts = parse_int_list(args.get("failures"), "--failures");
+  }
+  if (args.has("out")) require_parent_dir(args.get("out"), "--out");
+
+  core::CampaignSpec spec;
+  if (args.has("workload")) {
+    spec.workloads.push_back(&workloads::by_name(args.get("workload")));
+  } else {
+    spec.workloads = workloads::evaluation_suite();
+  }
+  spec.budgets_w = parse_budget_list(args.get_or("budgets", "90,80"), modules);
+  spec.scheme_names =
+      parse_scheme_list(args.get_or("schemes", "Naive,VaPc,VaPcRobust"));
+  spec.repetitions = static_cast<int>(args.get_long_or("repetitions", 1));
+  auto threads = static_cast<std::size_t>(args.get_long_or("threads", 0));
+
+  fault::FaultCampaign sweep(ctx.cluster, ctx.allocation, threads);
+  fault::FaultCampaignResult result = sweep.run(spec, grid);
+
+  for (const fault::FaultPointResult& point : result.points) {
+    std::printf("noise %.3f  drift %.3f  failures %d  (seed %llu)\n",
+                point.scenario.sensor_noise_frac, point.scenario.drift_frac,
+                point.scenario.failure_count,
+                static_cast<unsigned long long>(point.scenario.seed));
+    util::Table t({"scheme", "jobs", "violation rate", "overshoot",
+                   "makespan", "speedup vs Naive"});
+    for (const fault::FaultSchemeResult& s : point.schemes) {
+      t.add_row();
+      t.add_cell(s.scheme);
+      t.add_cell(static_cast<long long>(s.jobs));
+      t.add_cell(util::fmt_double(s.violation_rate * 100.0, 1) + "%");
+      t.add_cell(util::fmt_watts(s.mean_overshoot_w));
+      t.add_cell(util::fmt_seconds(s.mean_makespan_s));
+      t.add_cell(std::isfinite(s.mean_speedup_vs_naive)
+                     ? util::fmt_double(s.mean_speedup_vs_naive, 2) + "x"
+                     : "-");
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  if (args.has("out")) {
+    std::ofstream f(args.get("out"));
+    if (!f) throw Error("cannot write " + args.get("out"));
+    fault::write_fault_campaign_json(result, f);
+    std::printf("degradation JSON written to %s\n", args.get("out").c_str());
+  }
+  return 0;
+}
+
 int cmd_report(const util::CliArgs& args) {
   Context ctx = make_context(args);
   core::Campaign campaign(ctx.cluster, ctx.allocation);
@@ -349,14 +467,18 @@ int cmd_report(const util::CliArgs& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: vapbctl <systems|workloads|pvt|solve|run|campaign|report> "
+               "usage: vapbctl "
+               "<systems|workloads|pvt|solve|run|campaign|fault|report> "
                "[--arch A | --arch-file F] [--modules N] [--seed S] "
                "[--pvt FILE] [--alloc-policy P]\n"
                "               [--workload W] [--budget-w P] [--scheme S] "
                "[--out FILE]\n"
                "               campaign: [--threads N] [--repetitions R] "
                "[--budgets \"Cm,..\"] [--schemes \"S,..\"] [--csv F] "
-               "[--json F] [--telemetry-out F]\n");
+               "[--json F] [--telemetry-out F]\n"
+               "               fault: [--scenario \"k=v,..\" | "
+               "--scenario-file F] [--noise \"0,0.05\"] [--drift \"0,0.04\"] "
+               "[--failures \"0,1\"] [--out F]\n");
   return 2;
 }
 
@@ -368,7 +490,8 @@ int main(int argc, char** argv) {
                        {"arch", "arch-file", "modules", "seed", "pvt",
                         "alloc-policy", "workload", "budget-w", "scheme",
                         "out", "threads", "repetitions", "budgets", "schemes",
-                        "csv", "json", "telemetry-out"});
+                        "csv", "json", "telemetry-out", "scenario",
+                        "scenario-file", "noise", "drift", "failures"});
     if (args.positional().empty()) return usage();
     const std::string& cmd = args.positional().front();
     if (cmd == "systems") return cmd_systems();
@@ -377,6 +500,7 @@ int main(int argc, char** argv) {
     if (cmd == "solve") return cmd_solve(args);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "fault") return cmd_fault(args);
     if (cmd == "report") return cmd_report(args);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return usage();
