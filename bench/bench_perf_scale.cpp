@@ -1,0 +1,282 @@
+// Extreme-scale performance harness: times every stage of a VaPc campaign
+// cell — fleet fabrication, SoA gather, PVT calibration, PMT build, the
+// flat and hierarchical budget solves, and the full pipeline run — over a
+// module-count ladder (1,920 -> 30k -> 100k -> 1M), checks that the
+// hierarchical solve on the 1-level tree is bit-identical to the flat
+// solve at every size, and emits a machine-readable JSON report.
+//
+//   bench_perf_scale [modules] [--repetitions R] [--out FILE]
+//                    [--baseline FILE]
+//
+// The ladder is filtered to sizes <= the module cap, so a CI smoke run
+// (e.g. 30k modules) only gates against the baseline entries whose shape it
+// actually reproduces. With --baseline, the run fails (exit 1) when any
+// matching case's end-to-end cell throughput [modules/s] drops below half
+// the committed value — a >2x regression — which keeps the gate insensitive
+// to absolute machine speed.
+//
+// The cell runs a fixed small iteration count (the solve/enforce cost per
+// module is iteration-independent; the DES execute scales linearly in it),
+// so the throughput metric tracks the per-module pipeline cost the tentpole
+// optimizes rather than an arbitrary simulated-application length.
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "cluster/cluster_soa.hpp"
+#include "cluster/power_tree.hpp"
+#include "core/pvt.hpp"
+#include "core/test_run.hpp"
+
+using namespace vapb;
+
+namespace {
+
+constexpr int kCellIterations = 4;  ///< DES iterations per timed cell
+constexpr double kBudgetPerModuleW = 80.0;  ///< a constrained VaPc point
+
+using bench_clock = std::chrono::steady_clock;
+
+template <typename Fn>
+double time_s(const Fn& fn) {
+  const auto t0 = bench_clock::now();
+  fn();
+  return std::chrono::duration<double>(bench_clock::now() - t0).count();
+}
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Flat solve vs hierarchical solve on the 1-level tree: every output field
+/// must match bit for bit (the ISSUE's degenerate-case guarantee).
+bool identical(const core::BudgetResult& a, const core::BudgetResult& b) {
+  if (a.fits_at_fmin != b.fits_at_fmin || a.constrained != b.constrained ||
+      !same_bits(a.alpha, b.alpha) ||
+      !same_bits(a.target_freq_ghz.value(), b.target_freq_ghz.value()) ||
+      !same_bits(a.predicted_total_w.value(), b.predicted_total_w.value()) ||
+      a.allocations.size() != b.allocations.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.allocations.size(); ++i) {
+    if (!same_bits(a.allocations[i].module_w.value(),
+                   b.allocations[i].module_w.value()) ||
+        !same_bits(a.allocations[i].cpu_cap_w.value(),
+                   b.allocations[i].cpu_cap_w.value()) ||
+        !same_bits(a.allocations[i].dram_w.value(),
+                   b.allocations[i].dram_w.value())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct CaseResult {
+  std::string name;
+  std::size_t modules = 0;
+  double fabricate_s = 0.0;   ///< Cluster construction (fleet draw)
+  double gather_s = 0.0;      ///< AoS -> ClusterSoA
+  double pvt_s = 0.0;         ///< system PVT calibration
+  double model_s = 0.0;       ///< test run + PMT calibration
+  double solve_flat_s = 0.0;  ///< Eq. 6 flat budget solve
+  double solve_tree_s = 0.0;  ///< 3-level hierarchical solve
+  double cell_s = 0.0;        ///< full VaPc pipeline run (solve..execute)
+  double throughput_mps = 0.0;  ///< modules / cell_s — the gated metric
+};
+
+CaseResult run_case(std::size_t n, int repetitions) {
+  CaseResult res;
+  res.modules = n;
+  res.name = "vapc_cell_" + std::to_string(n) + "m";
+
+  std::unique_ptr<cluster::Cluster> fleet;
+  res.fabricate_s = time_s([&] {
+    fleet = std::make_unique<cluster::Cluster>(hw::ha8k(),
+                                               bench::master_seed(), n);
+  });
+
+  std::unique_ptr<cluster::ClusterSoA> soa;
+  res.gather_s = time_s([&] {
+    soa = std::make_unique<cluster::ClusterSoA>(
+        cluster::ClusterSoA::gather(*fleet));
+  });
+
+  // Seeds follow the canonical calibration conventions so the provided
+  // artifacts are bit-identical to what the pipeline would build itself.
+  const workloads::Workload& app = workloads::mhd();
+  std::unique_ptr<core::Pvt> pvt;
+  res.pvt_s = time_s([&] {
+    pvt = std::make_unique<core::Pvt>(core::Pvt::generate(
+        *fleet, workloads::pvt_microbench(), fleet->seed().fork("pvt")));
+  });
+
+  const std::vector<hw::ModuleId> alloc = bench::full_allocation(n);
+  core::TestRunResult test;
+  std::unique_ptr<core::Pmt> pmt;
+  res.model_s = time_s([&] {
+    test = core::single_module_test_run(
+        *fleet, alloc.front(), app,
+        fleet->seed().fork("test-run").fork(app.name));
+    pmt = std::make_unique<core::Pmt>(core::calibrate_pmt(
+        *pvt, test, alloc, fleet->spec().ladder));
+  });
+
+  const util::Watts budget_w{kBudgetPerModuleW * static_cast<double>(n)};
+  const std::size_t fanouts[] = {16, 24};
+  const double headroom[] = {0.90, 0.85};
+  const cluster::PowerTree tree =
+      cluster::PowerTree::uniform_tdp(*soa, fanouts, headroom);
+  const cluster::PowerTree one_level = cluster::PowerTree::flat(n);
+
+  // Correctness gate before any timing: the hierarchical solve on the
+  // 1-level degenerate tree reproduces the flat solve bit for bit.
+  if (!identical(core::solve_budget(*pmt, budget_w),
+                 core::solve_budget_tree(*pmt, one_level, budget_w))) {
+    std::fprintf(stderr, "BIT-IDENTITY FAILURE in case %s\n",
+                 res.name.c_str());
+    std::exit(1);
+  }
+
+  res.solve_flat_s = res.solve_tree_s = res.cell_s =
+      std::numeric_limits<double>::infinity();
+  core::RunConfig config;
+  config.iterations = kCellIterations;
+  config.tree = &tree;
+  const core::Runner runner(*fleet, alloc, config);
+  for (int rep = 0; rep < repetitions; ++rep) {
+    res.solve_flat_s = std::min(res.solve_flat_s, time_s([&] {
+      static_cast<void>(core::solve_budget(*pmt, budget_w));
+    }));
+    res.solve_tree_s = std::min(res.solve_tree_s, time_s([&] {
+      static_cast<void>(core::solve_budget_tree(*pmt, tree, budget_w));
+    }));
+    res.cell_s = std::min(res.cell_s, time_s([&] {
+      const core::RunMetrics m = runner.run_scheme(
+          app, core::SchemeKind::kVaPc, budget_w.value(), *pvt, test);
+      if (m.modules.size() != n) {
+        std::fprintf(stderr, "cell produced %zu outcomes for %zu modules\n",
+                     m.modules.size(), n);
+        std::exit(1);
+      }
+    }));
+  }
+  res.throughput_mps = static_cast<double>(n) / res.cell_s;
+  return res;
+}
+
+void write_json(const std::string& path, std::size_t modules, int repetitions,
+                const std::vector<CaseResult>& cases) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"bench\": \"bench_perf_scale\",\n"
+     << "  \"modules\": " << modules << ",\n"
+     << "  \"repetitions\": " << repetitions << ",\n"
+     << "  \"cell_iterations\": " << kCellIterations << ",\n"
+     << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    os << "    {\"name\": \"" << c.name << "\", \"modules\": " << c.modules
+       << ", \"fabricate_s\": " << c.fabricate_s
+       << ", \"gather_s\": " << c.gather_s << ", \"pvt_s\": " << c.pvt_s
+       << ", \"model_s\": " << c.model_s
+       << ", \"solve_flat_s\": " << c.solve_flat_s
+       << ", \"solve_tree_s\": " << c.solve_tree_s
+       << ", \"cell_s\": " << c.cell_s
+       << ", \"throughput_mps\": " << c.throughput_mps << "}"
+       << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  f << os.str();
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Pulls "throughput_mps" for a case name out of a previously written
+/// report. Returns a negative value when the case is absent.
+double baseline_throughput(const std::string& text, const std::string& name) {
+  const std::string key = "\"name\": \"" + name + "\"";
+  std::size_t pos = text.find(key);
+  if (pos == std::string::npos) return -1.0;
+  const std::string field = "\"throughput_mps\": ";
+  pos = text.find(field, pos);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + pos + field.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv, 1000000);
+  const int reps = std::max(opt.repetitions, 1);
+
+  std::vector<std::size_t> ladder{1920, 30000, 100000, 1000000};
+  ladder.erase(std::remove_if(ladder.begin(), ladder.end(),
+                              [&](std::size_t s) { return s > opt.modules; }),
+               ladder.end());
+  if (ladder.empty()) ladder.push_back(opt.modules);
+
+  std::printf(
+      "== VaPc cell at scale (up to %zu modules, min over %d reps) ==\n\n",
+      opt.modules, reps);
+
+  std::vector<CaseResult> cases;
+  for (std::size_t n : ladder) cases.push_back(run_case(n, reps));
+
+  std::printf("%-20s %11s %11s %11s %11s %11s %11s %11s %12s\n", "case",
+              "fabricate_s", "gather_s", "pvt_s", "model_s", "flat_s",
+              "tree_s", "cell_s", "modules/s");
+  for (const CaseResult& c : cases) {
+    std::printf("%-20s %11.4f %11.4f %11.4f %11.4f %11.4f %11.4f %11.4f "
+                "%12.0f\n",
+                c.name.c_str(), c.fabricate_s, c.gather_s, c.pvt_s, c.model_s,
+                c.solve_flat_s, c.solve_tree_s, c.cell_s, c.throughput_mps);
+  }
+
+  if (!opt.out.empty()) write_json(opt.out, opt.modules, reps, cases);
+
+  if (!opt.baseline.empty()) {
+    std::ifstream f(opt.baseline);
+    if (!f) {
+      std::fprintf(stderr, "cannot read baseline %s\n", opt.baseline.c_str());
+      return 1;
+    }
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const std::string text = ss.str();
+    int gated = 0, failures = 0;
+    for (const CaseResult& c : cases) {
+      const double base = baseline_throughput(text, c.name);
+      if (base <= 0.0) {
+        std::printf("baseline: no entry for %s (skipped)\n", c.name.c_str());
+        continue;
+      }
+      ++gated;
+      if (c.throughput_mps < base / 2.0) {
+        ++failures;
+        std::printf(
+            "PERF REGRESSION: %s throughput %.0f modules/s is below half "
+            "the committed baseline %.0f\n",
+            c.name.c_str(), c.throughput_mps, base);
+      } else {
+        std::printf("baseline ok: %s %.0f modules/s (committed %.0f)\n",
+                    c.name.c_str(), c.throughput_mps, base);
+      }
+    }
+    if (failures > 0) return 1;
+    std::printf("baseline gate passed on %d case%s\n", gated,
+                gated == 1 ? "" : "s");
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vapb::cluster {
 
@@ -52,11 +53,18 @@ Cluster::Cluster(hw::ArchSpec spec, util::SeedSequence master_seed,
   VAPB_REQUIRE_MSG(n > 0, "cluster needs at least one module");
   fingerprint_ = fleet_fingerprint(spec_, master_seed, n);
   util::SeedSequence fab = master_seed.fork("fabrication");
+  // Each module's variation draw is keyed on (fab seed, id) alone, so
+  // fabrication parallelizes bit-identically: draw into a flat array in
+  // parallel, then assemble the modules in id order.
+  std::vector<hw::ModuleVariation> variations(n);
+  util::parallel_for(n, [&](std::size_t i) {
+    variations[i] =
+        hw::draw_variation(spec_.variation, fab, static_cast<hw::ModuleId>(i));
+  });
   modules_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    auto id = static_cast<hw::ModuleId>(i);
-    hw::ModuleVariation v = hw::draw_variation(spec_.variation, fab, id);
-    modules_.emplace_back(id, v, spec_.ladder, spec_.tdp_cpu_w, fab);
+    modules_.emplace_back(static_cast<hw::ModuleId>(i), variations[i],
+                          spec_.ladder, spec_.tdp_cpu_w, fab);
   }
 }
 

@@ -1,0 +1,32 @@
+#include "cluster/cluster_soa.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace vapb::cluster {
+
+ClusterSoA ClusterSoA::gather(const Cluster& cluster) {
+  const std::size_t n = cluster.size();
+  ClusterSoA soa;
+  soa.fingerprint_ = cluster.fingerprint();
+  soa.cpu_dyn_scale_.resize(n);
+  soa.cpu_static_scale_.resize(n);
+  soa.dram_scale_.resize(n);
+  soa.freq_scale_.resize(n);
+  soa.max_freq_ghz_.resize(n);
+  soa.tdp_cpu_w_.resize(n);
+  // Element-wise transposition: each index writes only its own slots, so the
+  // gather is bit-identical at any thread count.
+  util::parallel_for(n, [&](std::size_t i) {
+    const hw::Module& m = cluster.modules()[i];
+    const hw::ModuleVariation& v = m.variation();
+    soa.cpu_dyn_scale_[i] = v.cpu_dyn;
+    soa.cpu_static_scale_[i] = v.cpu_static;
+    soa.dram_scale_[i] = v.dram;
+    soa.freq_scale_[i] = v.freq;
+    soa.max_freq_ghz_[i] = m.max_freq_ghz();
+    soa.tdp_cpu_w_[i] = m.tdp_cpu_w();
+  });
+  return soa;
+}
+
+}  // namespace vapb::cluster

@@ -1,0 +1,74 @@
+// Structure-of-arrays view of a fabricated fleet.
+//
+// Cluster stores modules as an array of objects, which is the right shape
+// for the per-module hardware emulation (RAPL, cpufreq, sensors) but the
+// wrong one for fleet-scale math: the hierarchical budget solve, capacity
+// provisioning and the scaling benches stream one coefficient of every
+// module, not every coefficient of one module. ClusterSoA gathers those
+// per-module coefficients — variation scales, frequency capability, TDP
+// caps — into parallel arrays once, so the hot loops become flat,
+// auto-vectorizable passes. The gather is element-wise (chunked through the
+// ThreadPool) and therefore bit-identical at any thread count.
+//
+// The per-workload power-model coefficients (PVT/PMT) live one layer up in
+// core::PmtSoA, which this layer cannot depend on; together the two carry
+// the full SoA layout of a solve.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace vapb::cluster {
+
+class ClusterSoA {
+ public:
+  /// Gathers every module's coefficients from `cluster` in parallel.
+  static ClusterSoA gather(const Cluster& cluster);
+
+  [[nodiscard]] std::size_t size() const { return cpu_dyn_scale_.size(); }
+
+  // Per-module variation scales (1.0 = fleet average), indexed by ModuleId.
+  [[nodiscard]] std::span<const double> cpu_dyn_scale() const {
+    return cpu_dyn_scale_;
+  }
+  [[nodiscard]] std::span<const double> cpu_static_scale() const {
+    return cpu_static_scale_;
+  }
+  [[nodiscard]] std::span<const double> dram_scale() const {
+    return dram_scale_;
+  }
+  [[nodiscard]] std::span<const double> freq_scale() const {
+    return freq_scale_;
+  }
+
+  /// Highest reachable frequency per module (no turbo).
+  [[nodiscard]] std::span<const double> max_freq_ghz() const {
+    return max_freq_ghz_;
+  }
+
+  /// Nameplate CPU power cap per module — what enclosure provisioning
+  /// works from (PowerTree::uniform_tdp).
+  [[nodiscard]] std::span<const double> tdp_cpu_w() const {
+    return tdp_cpu_w_;
+  }
+
+  /// Fingerprint of the fleet the arrays were gathered from
+  /// (Cluster::fingerprint), so caches can key on it.
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  ClusterSoA() = default;
+
+  std::vector<double> cpu_dyn_scale_;
+  std::vector<double> cpu_static_scale_;
+  std::vector<double> dram_scale_;
+  std::vector<double> freq_scale_;
+  std::vector<double> max_freq_ghz_;
+  std::vector<double> tdp_cpu_w_;
+  std::uint64_t fingerprint_ = 0;
+};
+
+}  // namespace vapb::cluster

@@ -1,0 +1,173 @@
+#include "cluster/power_tree.hpp"
+
+#include <string>
+#include <utility>
+
+#include "cluster/cluster_soa.hpp"
+#include "util/error.hpp"
+#include "util/reduce.hpp"
+
+namespace vapb::cluster {
+
+namespace {
+
+/// Balanced split point: child i of `parts` over a range of `len` modules
+/// starts at begin + (i * len) / parts, so sibling sizes differ by at most
+/// one and the union is exactly the parent range.
+std::uint32_t split_point(std::uint32_t begin, std::size_t len,
+                          std::size_t parts, std::size_t i) {
+  return begin + static_cast<std::uint32_t>(i * len / parts);
+}
+
+}  // namespace
+
+PowerTree::PowerTree(std::size_t modules, std::vector<PowerTreeNode> nodes,
+                     std::vector<std::size_t> level_offsets)
+    : modules_(modules),
+      nodes_(std::move(nodes)),
+      level_offsets_(std::move(level_offsets)) {
+  validate();
+}
+
+PowerTree PowerTree::flat(std::size_t modules) {
+  if (modules == 0) throw InvalidArgument("PowerTree: zero modules");
+  PowerTreeNode root;
+  root.module_begin = 0;
+  root.module_end = static_cast<std::uint32_t>(modules);
+  return PowerTree(modules, {root}, {0, 1});
+}
+
+PowerTree PowerTree::uniform(std::size_t modules,
+                             std::span<const std::size_t> fanouts,
+                             std::span<const double> level_capacity_w) {
+  if (modules == 0) throw InvalidArgument("PowerTree: zero modules");
+  if (fanouts.size() != level_capacity_w.size()) {
+    throw InvalidArgument(
+        "PowerTree::uniform: one capacity per fanout level required");
+  }
+
+  std::vector<PowerTreeNode> nodes;
+  std::vector<std::size_t> offsets{0};
+  PowerTreeNode root;
+  root.module_begin = 0;
+  root.module_end = static_cast<std::uint32_t>(modules);
+  nodes.push_back(root);
+  offsets.push_back(nodes.size());
+
+  std::size_t parent_begin = 0;
+  for (std::size_t k = 0; k < fanouts.size(); ++k) {
+    const std::size_t fanout = fanouts[k];
+    if (fanout == 0) throw InvalidArgument("PowerTree::uniform: zero fanout");
+    const std::size_t parent_end = nodes.size();
+    for (std::size_t p = parent_begin; p < parent_end; ++p) {
+      const std::size_t len = nodes[p].module_count();
+      // A parent spanning fewer modules than the fanout keeps one child per
+      // module instead of empty children.
+      const std::size_t parts = len < fanout ? len : fanout;
+      nodes[p].first_child = static_cast<std::uint32_t>(nodes.size());
+      nodes[p].child_count = static_cast<std::uint32_t>(parts);
+      for (std::size_t i = 0; i < parts; ++i) {
+        PowerTreeNode child;
+        child.module_begin = split_point(nodes[p].module_begin, len, parts, i);
+        child.module_end =
+            split_point(nodes[p].module_begin, len, parts, i + 1);
+        child.capacity_w = level_capacity_w[k];
+        nodes.push_back(child);
+      }
+    }
+    parent_begin = parent_end;
+    offsets.push_back(nodes.size());
+  }
+  return PowerTree(modules, std::move(nodes), std::move(offsets));
+}
+
+PowerTree PowerTree::uniform_tdp(const ClusterSoA& soa,
+                                 std::span<const std::size_t> fanouts,
+                                 std::span<const double> headroom_frac) {
+  if (fanouts.size() != headroom_frac.size()) {
+    throw InvalidArgument(
+        "PowerTree::uniform_tdp: one headroom per fanout level required");
+  }
+  // Shape first (capacities placeholder), then provision every node from the
+  // TDP mass of the modules it spans.
+  std::vector<double> inf(fanouts.size(),
+                          std::numeric_limits<double>::infinity());
+  PowerTree tree = uniform(soa.size(), fanouts, inf);
+  const std::span<const double> tdp = soa.tdp_cpu_w();
+  for (std::size_t k = 1; k < tree.level_count(); ++k) {
+    const double frac = headroom_frac[k - 1];
+    if (!(frac > 0.0)) {
+      throw InvalidArgument("PowerTree::uniform_tdp: non-positive headroom");
+    }
+    for (std::size_t j = tree.level_offsets_[k]; j < tree.level_offsets_[k + 1];
+         ++j) {
+      PowerTreeNode& node = tree.nodes_[j];
+      const std::size_t begin = node.module_begin;
+      node.capacity_w =
+          frac * util::chunked_sum(node.module_count(), [&](std::size_t i) {
+            return tdp[begin + i];
+          });
+    }
+  }
+  return tree;
+}
+
+std::span<const PowerTreeNode> PowerTree::level(std::size_t k) const {
+  if (k >= level_count()) {
+    throw InvalidArgument("PowerTree: level " + std::to_string(k) +
+                          " out of range");
+  }
+  return {nodes_.data() + level_offsets_[k],
+          level_offsets_[k + 1] - level_offsets_[k]};
+}
+
+bool PowerTree::unconstrained() const {
+  for (const PowerTreeNode& n : nodes_) {
+    if (n.capped()) return false;
+  }
+  return true;
+}
+
+void PowerTree::validate() const {
+  if (modules_ == 0) throw InvalidArgument("PowerTree: zero modules");
+  if (nodes_.empty() || level_offsets_.size() < 2 ||
+      level_offsets_.front() != 0 || level_offsets_.back() != nodes_.size()) {
+    throw InvalidArgument("PowerTree: malformed level index");
+  }
+  for (std::size_t k = 0; k < level_count(); ++k) {
+    const std::span<const PowerTreeNode> lvl = level(k);
+    std::uint32_t cursor = 0;
+    for (const PowerTreeNode& n : lvl) {
+      if (n.module_begin != cursor || n.module_end <= n.module_begin) {
+        throw InvalidArgument(
+            "PowerTree: level " + std::to_string(k) +
+            " does not partition the modules into non-empty ranges");
+      }
+      if (!(n.capacity_w > 0.0)) {
+        throw InvalidArgument("PowerTree: non-positive node capacity");
+      }
+      cursor = n.module_end;
+      if (!n.leaf_group()) {
+        if (k + 1 >= level_count()) {
+          throw InvalidArgument("PowerTree: children past the deepest level");
+        }
+        const PowerTreeNode& first = nodes_[n.first_child];
+        const PowerTreeNode& last = nodes_[n.first_child + n.child_count - 1];
+        if (first.module_begin != n.module_begin ||
+            last.module_end != n.module_end) {
+          throw InvalidArgument(
+              "PowerTree: children do not cover the parent range");
+        }
+      } else if (k + 1 < level_count()) {
+        throw InvalidArgument(
+            "PowerTree: leaf group above the deepest level");
+      }
+    }
+    if (cursor != static_cast<std::uint32_t>(modules_)) {
+      throw InvalidArgument("PowerTree: level " + std::to_string(k) +
+                            " does not cover every module");
+    }
+  }
+}
+
+}  // namespace vapb::cluster

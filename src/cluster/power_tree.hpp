@@ -1,0 +1,100 @@
+// The hierarchical power-capacity model of a production system.
+//
+// Real machines do not budget power flat: a module sits on a board, the
+// board in a cabinet, the cabinet behind a feed — and every one of those
+// levels has its own capacity (breaker rating, PSU envelope, facility
+// contract). A PowerTree captures that as a balanced hierarchy of nodes
+// over the module axis: each node owns a contiguous [begin, end) range of
+// module ids plus the capacity of its enclosing physical level, and each
+// level partitions the fleet. The 1-level tree (a single unconstrained root
+// spanning every module) is the degenerate case under which the
+// hierarchical solve reproduces the flat solve bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace vapb::cluster {
+
+class ClusterSoA;
+
+/// One node of the capacity hierarchy: a contiguous module range and the
+/// power capacity of this enclosure (infinity = unconstrained).
+struct PowerTreeNode {
+  std::uint32_t module_begin = 0;
+  std::uint32_t module_end = 0;  ///< half-open
+  /// Children occupy [first_child, first_child + child_count) of the next
+  /// level down; a node on the deepest level has child_count 0 and its
+  /// modules are the leaves.
+  std::uint32_t first_child = 0;
+  std::uint32_t child_count = 0;
+  double capacity_w = std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] std::size_t module_count() const {
+    return static_cast<std::size_t>(module_end) - module_begin;
+  }
+  [[nodiscard]] bool leaf_group() const { return child_count == 0; }
+  [[nodiscard]] bool capped() const {
+    return capacity_w != std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Levels of nodes over a fixed module count. Level 0 is the single root;
+/// each level's nodes partition [0, modules) into contiguous ranges, and a
+/// node's children partition exactly its own range.
+class PowerTree {
+ public:
+  /// The 1-level degenerate tree: one unconstrained root over n modules.
+  static PowerTree flat(std::size_t modules);
+
+  /// A balanced tree: the root plus one level per fanout entry. Level k+1
+  /// splits every level-k node into fanouts[k] near-equal contiguous parts,
+  /// each carrying level_capacity_w[k] (per node; infinity = uncapped).
+  /// Module counts that do not divide evenly are balanced to within one.
+  static PowerTree uniform(std::size_t modules,
+                           std::span<const std::size_t> fanouts,
+                           std::span<const double> level_capacity_w);
+
+  /// uniform() with per-node capacities derived from the fabricated fleet:
+  /// every level-k node's capacity is headroom_frac[k] times the sum of the
+  /// TDP caps of the modules it spans — the way real enclosures are
+  /// provisioned (a fraction of worst-case nameplate power).
+  static PowerTree uniform_tdp(const ClusterSoA& soa,
+                               std::span<const std::size_t> fanouts,
+                               std::span<const double> headroom_frac);
+
+  [[nodiscard]] std::size_t module_count() const { return modules_; }
+  [[nodiscard]] std::size_t level_count() const {
+    return level_offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::vector<PowerTreeNode>& nodes() const {
+    return nodes_;
+  }
+  [[nodiscard]] std::span<const PowerTreeNode> level(std::size_t k) const;
+  [[nodiscard]] const PowerTreeNode& root() const { return nodes_.front(); }
+
+  /// True when this is the 1-level degenerate tree (flat budgeting).
+  [[nodiscard]] bool trivial() const { return level_count() == 1; }
+
+  /// True when no node carries a finite capacity (only the application
+  /// budget constrains the solve, whatever the shape).
+  [[nodiscard]] bool unconstrained() const;
+
+ private:
+  PowerTree(std::size_t modules, std::vector<PowerTreeNode> nodes,
+            std::vector<std::size_t> level_offsets);
+
+  void validate() const;
+
+  std::size_t modules_ = 0;
+  /// All nodes, level by level (root first); level k occupies
+  /// [level_offsets_[k], level_offsets_[k + 1]).
+  std::vector<PowerTreeNode> nodes_;
+  std::vector<std::size_t> level_offsets_;
+};
+
+}  // namespace vapb::cluster

@@ -30,6 +30,7 @@ AllocationPolicy allocation_policy_by_name(const std::string& name) {
   std::string msg = "unknown allocation policy '" + name + "'; valid:";
   for (AllocationPolicy p : all_allocation_policies()) {
     msg += ' ';
+    // vapb-lint: allow(determinism-reduction): ordered text, not an FP sum
     msg += allocation_policy_name(p);
   }
   throw InvalidArgument(msg);

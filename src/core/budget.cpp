@@ -1,51 +1,261 @@
 #include "core/budget.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "util/error.hpp"
+#include "util/reduce.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vapb::core {
 
+namespace {
+
+/// The Eq. 6 alpha solve over one aggregate table (a node's subtree totals),
+/// with the flat solve's exact arithmetic: raw alpha for the constrained
+/// flag, clamped alpha for the fill, proportional best-effort scale when the
+/// grant lands below the fmin floor.
+struct AlphaScale {
+  double alpha_raw = 0.0;  ///< unclamped Eq. 6 coefficient
+  double alpha = 0.0;      ///< clamped to [0, 1]
+  double scale = 1.0;      ///< best-effort shrink when !fits
+  bool fits = true;        ///< grant >= fmin floor
+};
+
+AlphaScale solve_alpha(double grant_w, double min_w, double max_w) {
+  AlphaScale r;
+  if (max_w - min_w <= 1e-12) {
+    // Degenerate table (fmax == fmin power): any alpha realizes the same
+    // power; use 1 so the frequency target is fmax.
+    r.alpha_raw = grant_w >= min_w ? 1.0 : 0.0;
+  } else {
+    r.alpha_raw = (grant_w - min_w) / (max_w - min_w);  // Eq. 6
+  }
+  r.fits = grant_w >= min_w;
+  r.alpha = std::clamp(r.alpha_raw, 0.0, 1.0);
+  r.scale = r.fits ? 1.0 : grant_w / min_w;
+  return r;
+}
+
+/// Per-node solver state alongside PowerTree::nodes().
+struct NodeState {
+  double min_w = 0.0;     ///< subtree power at fmin (sum of module mins)
+  double max_w = 0.0;     ///< subtree power at fmax
+  double usable_w = 0.0;  ///< what the subtree can absorb: min(capacity,
+                          ///< children's usable sum; leaf: max_w)
+  double grant_w = 0.0;   ///< power granted by the parent
+  AlphaScale fill;        ///< leaf groups: the local flat solve
+};
+
+}  // namespace
+
+PmtSoA PmtSoA::gather(const Pmt& pmt) {
+  const std::vector<PmtEntry>& entries = pmt.entries();
+  const std::size_t n = entries.size();
+  PmtSoA soa;
+  soa.cpu_min_w.resize(n);
+  soa.cpu_span_w.resize(n);
+  soa.dram_min_w.resize(n);
+  soa.dram_span_w.resize(n);
+  soa.module_min_w.resize(n);
+  soa.module_max_w.resize(n);
+  util::parallel_for(
+      n,
+      [&](std::size_t i) {
+        const PmtEntry& e = entries[i];
+        soa.cpu_min_w[i] = e.cpu_min_w.value();
+        soa.cpu_span_w[i] = (e.cpu_max_w - e.cpu_min_w).value();
+        soa.dram_min_w[i] = e.dram_min_w.value();
+        soa.dram_span_w[i] = (e.dram_max_w - e.dram_min_w).value();
+        soa.module_min_w[i] = e.module_min_w().value();
+        soa.module_max_w[i] = e.module_max_w().value();
+      },
+      1024);
+  return soa;
+}
+
 BudgetResult solve_budget(const Pmt& pmt, util::Watts budget_w) {
+  return solve_budget_tree(pmt, cluster::PowerTree::flat(pmt.size()),
+                           budget_w);
+}
+
+BudgetResult solve_budget_tree(const Pmt& pmt, const cluster::PowerTree& tree,
+                               util::Watts budget_w) {
   if (budget_w <= util::Watts{0.0}) {
     throw InvalidArgument("solve_budget: budget <= 0");
   }
+  if (tree.module_count() != pmt.size()) {
+    throw InvalidArgument("solve_budget_tree: tree covers " +
+                          std::to_string(tree.module_count()) +
+                          " modules, PMT has " + std::to_string(pmt.size()));
+  }
+
+  const PmtSoA soa = PmtSoA::gather(pmt);
+  const std::vector<cluster::PowerTreeNode>& nodes = tree.nodes();
+  std::vector<NodeState> ns(nodes.size());
+
+  // Bottom-up aggregation: subtree fmin/fmax totals and usable capacity.
+  // Leaf-group sums use the chunked association; interior sums run over the
+  // (few) children in order.
+  for (std::size_t k = tree.level_count(); k-- > 0;) {
+    const std::span<const cluster::PowerTreeNode> lvl = tree.level(k);
+    const std::size_t base =
+        static_cast<std::size_t>(lvl.data() - nodes.data());
+    for (std::size_t j = 0; j < lvl.size(); ++j) {
+      const cluster::PowerTreeNode& node = lvl[j];
+      NodeState& s = ns[base + j];
+      if (node.leaf_group()) {
+        const std::size_t begin = node.module_begin;
+        s.min_w = util::chunked_sum(node.module_count(), [&](std::size_t i) {
+          return soa.module_min_w[begin + i];
+        });
+        s.max_w = util::chunked_sum(node.module_count(), [&](std::size_t i) {
+          return soa.module_max_w[begin + i];
+        });
+        s.usable_w = std::min(node.capacity_w, s.max_w);
+      } else {
+        double min_w = 0.0;
+        double max_w = 0.0;
+        double usable_w = 0.0;
+        for (std::uint32_t c = 0; c < node.child_count; ++c) {
+          const NodeState& child = ns[node.first_child + c];
+          min_w += child.min_w;
+          max_w += child.max_w;
+          usable_w += child.usable_w;
+        }
+        s.min_w = min_w;
+        s.max_w = max_w;
+        s.usable_w = std::min(node.capacity_w, usable_w);
+      }
+    }
+  }
+
+  // Top-down reconciliation: the root's grant is the application budget
+  // (never above the root enclosure's own capacity); every interior node
+  // water-fills its children.
+  bool any_clamp = false;
+  ns[0].grant_w = std::min(budget_w.value(), nodes[0].capacity_w);
+  for (std::size_t k = 0; k + 1 < tree.level_count(); ++k) {
+    const std::span<const cluster::PowerTreeNode> lvl = tree.level(k);
+    const std::size_t base =
+        static_cast<std::size_t>(lvl.data() - nodes.data());
+    for (std::size_t j = 0; j < lvl.size(); ++j) {
+      const cluster::PowerTreeNode& node = lvl[j];
+      if (node.leaf_group()) continue;
+      const std::uint32_t c0 = node.first_child;
+      const std::uint32_t cn = node.child_count;
+      std::vector<char> clamped(cn, 0);
+      for (std::uint32_t round = 0; round < cn; ++round) {
+        double min_a = 0.0;
+        double max_a = 0.0;
+        double clamped_w = 0.0;
+        std::uint32_t active = 0;
+        for (std::uint32_t i = 0; i < cn; ++i) {
+          const NodeState& c = ns[c0 + i];
+          if (clamped[i] != 0) {
+            clamped_w += c.grant_w;
+          } else {
+            min_a += c.min_w;
+            max_a += c.max_w;
+            ++active;
+          }
+        }
+        if (active == 0) break;
+        const double grant_a = ns[base + j].grant_w - clamped_w;
+        const AlphaScale a = solve_alpha(grant_a, min_a, max_a);
+        bool changed = false;
+        for (std::uint32_t i = 0; i < cn; ++i) {
+          if (clamped[i] != 0) continue;
+          NodeState& c = ns[c0 + i];
+          const double demand_w =
+              a.fits ? c.min_w + a.alpha * (c.max_w - c.min_w)
+                     : c.min_w * a.scale;
+          if (demand_w > c.usable_w) {
+            // This child's enclosure (or subtree) cannot absorb its share:
+            // pin it at its usable capacity and hand the surplus back to the
+            // siblings in the next round.
+            c.grant_w = c.usable_w;
+            clamped[i] = 1;
+            changed = true;
+            any_clamp = true;
+          } else {
+            c.grant_w = demand_w;
+          }
+        }
+        if (!changed) break;
+      }
+    }
+  }
+
+  // Local flat solves at the leaf groups.
+  const std::span<const cluster::PowerTreeNode> leaves =
+      tree.level(tree.level_count() - 1);
+  const std::size_t leaf_base =
+      static_cast<std::size_t>(leaves.data() - nodes.data());
+  bool leaves_fit = true;
+  for (std::size_t j = 0; j < leaves.size(); ++j) {
+    NodeState& s = ns[leaf_base + j];
+    if (tree.level_count() == 1) s.grant_w = ns[0].grant_w;
+    s.fill = solve_alpha(s.grant_w, s.min_w, s.max_w);
+    leaves_fit = leaves_fit && s.fill.fits;
+  }
 
   BudgetResult r;
-  const util::Watts total_min = pmt.total_min_w();
-  const util::Watts total_max = pmt.total_max_w();
-
-  double alpha;
-  if (total_max - total_min <= util::Watts{1e-12}) {
-    // Degenerate PMT (fmax == fmin power): any alpha realizes the same
-    // power; use 1 so the frequency target is fmax.
-    alpha = budget_w >= total_min ? 1.0 : 0.0;
-  } else {
-    alpha = (budget_w - total_min) / (total_max - total_min);  // Eq. 6
-  }
-  r.fits_at_fmin = budget_w >= total_min;
-  r.constrained = alpha < 1.0;
-  r.alpha = std::clamp(alpha, 0.0, 1.0);
+  const AlphaScale root = tree.trivial()
+                              ? ns[0].fill
+                              : solve_alpha(ns[0].grant_w, ns[0].min_w,
+                                            ns[0].max_w);
+  r.fits_at_fmin = root.fits && leaves_fit;
+  r.constrained = root.alpha_raw < 1.0 || any_clamp;
+  r.alpha = root.alpha;
   r.target_freq_ghz = pmt.freq_at(r.alpha);
 
-  // Best effort below the table's fmin floor: shrink every allocation
-  // proportionally so the predicted total still meets the budget (the caps
-  // then land below the predicted fmin powers and RAPL throttles).
-  const double scale =
-      r.fits_at_fmin ? 1.0 : budget_w / total_min;
-
-  r.allocations.reserve(pmt.size());
-  for (const PmtEntry& e : pmt.entries()) {
-    ModuleBudget mb;
-    mb.module_w = e.module_at(r.alpha) * scale;      // Eq. 7
-    mb.dram_w = e.dram_at(r.alpha) * scale;
-    mb.cpu_cap_w = mb.module_w - mb.dram_w;          // Eq. 8-9
-    VAPB_REQUIRE_MSG(mb.cpu_cap_w > util::Watts{0.0},
-                     "derived CPU cap must be positive (bad PMT?)");
-    r.allocations.push_back(mb);
-    r.predicted_total_w += mb.module_w;
+  // Per-module fill (Eq. 7-9) with the enclosing leaf group's coefficient —
+  // flat affine math over the SoA arrays, chunked across the pool. The
+  // arithmetic matches the flat solve expression for expression, so the
+  // 1-level tree reproduces it bit-for-bit.
+  r.allocations.resize(pmt.size());
+  std::vector<ModuleBudget>& out = r.allocations;
+  const auto fill_leaf = [&](std::size_t j) {
+    const cluster::PowerTreeNode& node = leaves[j];
+    const NodeState& s = ns[leaf_base + j];
+    const double alpha = s.fill.alpha;
+    const double scale = s.fill.scale;
+    for (std::size_t m = node.module_begin; m < node.module_end; ++m) {
+      const double cpu_w = alpha * soa.cpu_span_w[m] + soa.cpu_min_w[m];
+      const double dram_w = alpha * soa.dram_span_w[m] + soa.dram_min_w[m];
+      ModuleBudget& mb = out[m];
+      mb.module_w = util::Watts{(cpu_w + dram_w) * scale};  // Eq. 7
+      mb.dram_w = util::Watts{dram_w * scale};
+      mb.cpu_cap_w = mb.module_w - mb.dram_w;               // Eq. 8-9
+      VAPB_REQUIRE_MSG(mb.cpu_cap_w > util::Watts{0.0},
+                       "derived CPU cap must be positive (bad PMT?)");
+    }
+  };
+  if (leaves.size() > 1) {
+    util::parallel_for(leaves.size(), fill_leaf, 1);
+  } else {
+    util::parallel_for(
+        pmt.size(),
+        [&](std::size_t m) {
+          const double alpha = ns[leaf_base].fill.alpha;
+          const double scale = ns[leaf_base].fill.scale;
+          const double cpu_w = alpha * soa.cpu_span_w[m] + soa.cpu_min_w[m];
+          const double dram_w =
+              alpha * soa.dram_span_w[m] + soa.dram_min_w[m];
+          ModuleBudget& mb = out[m];
+          mb.module_w = util::Watts{(cpu_w + dram_w) * scale};
+          mb.dram_w = util::Watts{dram_w * scale};
+          mb.cpu_cap_w = mb.module_w - mb.dram_w;
+          VAPB_REQUIRE_MSG(mb.cpu_cap_w > util::Watts{0.0},
+                           "derived CPU cap must be positive (bad PMT?)");
+        },
+        1024);
   }
+  r.predicted_total_w = util::chunked_sum(
+      out.size(), [&](std::size_t i) { return out[i].module_w; });
   return r;
 }
 

@@ -4,10 +4,16 @@
 // level power budget, find the largest common frequency coefficient alpha in
 // [0, 1] whose total predicted module power fits the budget, then derive each
 // module's individual power allocation and CPU cap.
+// The hierarchical variant (solve_budget_tree) runs the same Eq. 6 solve
+// against a cluster::PowerTree: every interior node's capacity is honored by
+// water-filling — solve per subtree, clamp children whose demand exceeds
+// what their enclosure can deliver, and re-solve the siblings over the
+// reclaimed surplus. The flat solve is exactly the 1-level degenerate case.
 #pragma once
 
 #include <vector>
 
+#include "cluster/power_tree.hpp"
 #include "core/pmt.hpp"
 #include "util/units.hpp"
 
@@ -39,10 +45,44 @@ struct BudgetResult {
   std::vector<ModuleBudget> allocations;  ///< aligned with the PMT entries
 };
 
+/// Structure-of-arrays view of a PMT: the four affine coefficients of every
+/// module's power model as flat arrays (minimum and fmax-fmin span, CPU and
+/// DRAM), plus the per-module min/max totals. This is the layout the solve's
+/// hot loops stream — plain contiguous doubles the compiler auto-vectorizes —
+/// gathered element-wise (bit-identical at any thread count).
+struct PmtSoA {
+  std::vector<double> cpu_min_w;
+  std::vector<double> cpu_span_w;   ///< cpu_max - cpu_min
+  std::vector<double> dram_min_w;
+  std::vector<double> dram_span_w;  ///< dram_max - dram_min
+  std::vector<double> module_min_w;
+  std::vector<double> module_max_w;
+
+  static PmtSoA gather(const Pmt& pmt);
+
+  [[nodiscard]] std::size_t size() const { return cpu_min_w.size(); }
+};
+
 /// Solves Eq. 6 with alpha clamped to [0, 1] and derives per-module
 /// allocations (Eq. 7-9). Never throws for tight budgets — inspect
-/// `fits_at_fmin`.
+/// `fits_at_fmin`. Equivalent to solve_budget_tree over the 1-level tree.
 BudgetResult solve_budget(const Pmt& pmt, util::Watts budget_w);
+
+/// Hierarchical Eq. 6 solve over a power tree. Top-down from the root, every
+/// node's grant is distributed to its children by the flat alpha solve over
+/// the children's aggregate tables; a child whose share would exceed its own
+/// usable capacity (its capacity_w, or the sum of what its subtree can
+/// absorb) is clamped there and the surplus re-solved over its siblings, so
+/// the final allocation respects every level's constraint. Leaf groups then
+/// fill per-module allocations exactly as the flat solve does. With a
+/// 1-level tree this is bit-identical to solve_budget. `fits_at_fmin` is
+/// false when any leaf group's grant lands below its fmin floor (its
+/// allocations are then scaled best-effort, as in the flat solve);
+/// `constrained` is true when the root solve clamps alpha below 1 or any
+/// interior capacity forced a clamp. `alpha` / `target_freq_ghz` report the
+/// root-level coefficient.
+BudgetResult solve_budget_tree(const Pmt& pmt, const cluster::PowerTree& tree,
+                               util::Watts budget_w);
 
 /// Like solve_budget but throws InfeasibleBudget when the budget cannot be
 /// met at fmin. For callers that treat infeasibility as an error (e.g. a

@@ -45,6 +45,10 @@ struct RunContext {
   const workloads::Workload* workload = nullptr;
   std::string scheme;        ///< registered scheme name; doubles as run label
   double budget_w = 0.0;     ///< application-level budget (0 = unconstrained)
+  /// Optional hierarchical capacity model for the budget solve (not owned,
+  /// may be null = flat budgeting). Copied from RunConfig::tree by
+  /// Runner::make_context.
+  const cluster::PowerTree* tree = nullptr;
   util::SeedSequence seed{0};     ///< the scheme's seed subtree
   util::Telemetry* telemetry = nullptr;  ///< optional per-stage sink (not owned)
   /// Optional fault injector (not owned, may be null). Stages consult it at

@@ -5,6 +5,7 @@
 
 #include "hw/ladder.hpp"
 #include "util/error.hpp"
+#include "util/reduce.hpp"
 #include "util/thread_pool.hpp"
 
 namespace vapb::core {
@@ -26,15 +27,15 @@ const PmtEntry& Pmt::entry(std::size_t k) const {
 }
 
 util::Watts Pmt::total_min_w() const {
-  util::Watts s{};
-  for (const auto& e : entries_) s += e.module_min_w();
-  return s;
+  return util::chunked_sum(entries_.size(), [&](std::size_t i) {
+    return entries_[i].module_min_w();
+  });
 }
 
 util::Watts Pmt::total_max_w() const {
-  util::Watts s{};
-  for (const auto& e : entries_) s += e.module_max_w();
-  return s;
+  return util::chunked_sum(entries_.size(), [&](std::size_t i) {
+    return entries_[i].module_max_w();
+  });
 }
 
 Pmt calibrate_pmt(const Pvt& pvt, const TestRunResult& test,
@@ -52,15 +53,19 @@ Pmt calibrate_pmt(const Pvt& pvt, const TestRunResult& test,
   const util::Watts avg_cpu_min = test.cpu_min_w / k.cpu_min;
   const util::Watts avg_dram_min = test.dram_min_w / k.dram_min;
 
-  std::vector<PmtEntry> entries;
-  entries.reserve(allocation.size());
-  for (hw::ModuleId id : allocation) {
-    const PvtEntry& s = pvt.entry(id);
-    entries.push_back(PmtEntry{avg_cpu_max * s.cpu_max,
-                               avg_dram_max * s.dram_max,
-                               avg_cpu_min * s.cpu_min,
-                               avg_dram_min * s.dram_min});
-  }
+  // Element-wise scale-out over the allocation — bit-identical at any
+  // thread count.
+  std::vector<PmtEntry> entries(allocation.size());
+  util::parallel_for(
+      allocation.size(),
+      [&](std::size_t i) {
+        const PvtEntry& s = pvt.entry(allocation[i]);
+        entries[i] = PmtEntry{avg_cpu_max * s.cpu_max,
+                              avg_dram_max * s.dram_max,
+                              avg_cpu_min * s.cpu_min,
+                              avg_dram_min * s.dram_min};
+      },
+      1024);
   return Pmt(std::move(entries), ladder.fmax_freq(), ladder.fmin_freq());
 }
 
@@ -86,13 +91,16 @@ Pmt constant_pmt(PmtEntry entry, std::size_t n,
 }
 
 Pmt averaged_pmt(const Pmt& pmt) {
+  const std::vector<PmtEntry>& es = pmt.entries();
   PmtEntry avg{};
-  for (const auto& e : pmt.entries()) {
-    avg.cpu_max_w += e.cpu_max_w;
-    avg.dram_max_w += e.dram_max_w;
-    avg.cpu_min_w += e.cpu_min_w;
-    avg.dram_min_w += e.dram_min_w;
-  }
+  avg.cpu_max_w = util::chunked_sum(
+      es.size(), [&](std::size_t i) { return es[i].cpu_max_w; });
+  avg.dram_max_w = util::chunked_sum(
+      es.size(), [&](std::size_t i) { return es[i].dram_max_w; });
+  avg.cpu_min_w = util::chunked_sum(
+      es.size(), [&](std::size_t i) { return es[i].cpu_min_w; });
+  avg.dram_min_w = util::chunked_sum(
+      es.size(), [&](std::size_t i) { return es[i].dram_min_w; });
   const auto n = static_cast<double>(pmt.size());
   avg.cpu_max_w /= n;
   avg.dram_max_w /= n;

@@ -10,6 +10,8 @@
 #include "core/stages.hpp"
 #include "stats/variation.hpp"
 #include "util/error.hpp"
+#include "util/reduce.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vapb::core {
 
@@ -86,6 +88,7 @@ RunContext Runner::make_context(const workloads::Workload& w,
   ctx.workload = &w;
   ctx.scheme = scheme;
   ctx.budget_w = budget_w;
+  ctx.tree = config_.tree;
   ctx.telemetry = config_.telemetry;
   ctx.fault = config_.fault;
   return ctx;
@@ -162,13 +165,18 @@ RunMetrics Runner::execute(const workloads::Workload& w,
                                     .fork("salt", config_.run_salt);
 
   // Persistent per-rank efficiency factors for this run (NUMA/OS placement).
+  // Each rank's draw comes from its own seed fork, so the element-wise fill
+  // is bit-identical at any thread count.
   std::vector<double> rank_factor(n, 1.0);
   if (w.per_rank_noise_frac > 0.0) {
-    for (std::size_t r = 0; r < n; ++r) {
-      util::Rng rng(run_seed.fork("rank-noise", r));
-      rank_factor[r] =
-          std::max(0.5, 1.0 + w.per_rank_noise_frac * rng.normal());
-    }
+    util::parallel_for(
+        n,
+        [&](std::size_t r) {
+          util::Rng rng(run_seed.fork("rank-noise", r));
+          rank_factor[r] =
+              std::max(0.5, 1.0 + w.per_rank_noise_frac * rng.normal());
+        },
+        1024);
   }
 
   const double jitter_sd = config_.rapl.control_jitter_sd_ghz;
@@ -206,13 +214,21 @@ RunMetrics Runner::execute(const workloads::Workload& w,
   m.des = engine.run(image);
   m.makespan_s = m.des.makespan_s;
   m.modules.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    m.modules[i].id = allocation_[i];
-    m.modules[i].op = ops[i];
-    m.total_power_w += ops[i].module_w();
-    m.total_cpu_power_w += ops[i].cpu_w;
-    m.total_dram_power_w += ops[i].dram_w;
-  }
+  util::parallel_for(
+      n,
+      [&](std::size_t i) {
+        m.modules[i].id = allocation_[i];
+        m.modules[i].op = ops[i];
+      },
+      1024);
+  // Fixed chunked association — identical to the former sequential
+  // accumulation for any fleet that fits one chunk, and deterministic beyond.
+  m.total_power_w =
+      util::chunked_sum(n, [&](std::size_t i) { return ops[i].module_w(); });
+  m.total_cpu_power_w =
+      util::chunked_sum(n, [&](std::size_t i) { return ops[i].cpu_w; });
+  m.total_dram_power_w =
+      util::chunked_sum(n, [&](std::size_t i) { return ops[i].dram_w; });
   return m;
 }
 

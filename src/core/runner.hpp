@@ -23,6 +23,10 @@ namespace vapb::fault {
 class FaultInjector;
 }  // namespace vapb::fault
 
+namespace vapb::cluster {
+class PowerTree;  // cluster/power_tree.hpp
+}  // namespace vapb::cluster
+
 namespace vapb::core {
 
 struct RunContext;  // pipeline.hpp
@@ -32,6 +36,11 @@ struct RunConfig {
   bool turbo = false;  ///< allow opportunistic turbo when uncapped
   hw::RaplConfig rapl{};
   des::NetworkModel network{};
+  /// Optional hierarchical capacity model (not owned, may be null; must
+  /// outlive every run that uses this config). Budget-solve stages then run
+  /// the hierarchical solve against it; null budgets flat — the 1-level
+  /// degenerate tree — which is bit-identical to solve_budget.
+  const cluster::PowerTree* tree = nullptr;
   /// Distinguishes repeated runs of the same configuration (fresh noise).
   std::uint64_t run_salt = 0;
   /// Optional per-stage timing sink threaded through pipeline runs (not

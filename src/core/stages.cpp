@@ -5,9 +5,11 @@
 #include <vector>
 
 #include "core/calibration_cache.hpp"
-#include "core/pmmd.hpp"
 #include "fault/injector.hpp"
+#include "hw/cpufreq.hpp"
+#include "hw/rapl.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/catalog.hpp"
 
 namespace vapb::core {
@@ -160,7 +162,13 @@ void CachedPowerModelStage::model(RunContext& ctx) const {
 
 void AlphaSolveStage::solve(RunContext& ctx) const {
   require(ctx.pmt != nullptr, "budget solve needs a power model");
-  ctx.budget = solve_budget(*ctx.pmt, util::Watts{ctx.budget_w});
+  if (ctx.tree != nullptr) {
+    ctx.budget =
+        solve_budget_tree(*ctx.pmt, *ctx.tree, util::Watts{ctx.budget_w});
+    count(ctx, "hierarchical_solve");
+  } else {
+    ctx.budget = solve_budget(*ctx.pmt, util::Watts{ctx.budget_w});
+  }
 }
 
 void FixedBudgetStage::solve(RunContext& ctx) const {
@@ -176,8 +184,13 @@ GuardBandSolveStage::GuardBandSolveStage(double guard_frac)
 
 void GuardBandSolveStage::solve(RunContext& ctx) const {
   require(ctx.pmt != nullptr, "budget solve needs a power model");
-  ctx.budget =
-      solve_budget(*ctx.pmt, util::Watts{ctx.budget_w * (1.0 - guard_frac_)});
+  const util::Watts derated_w{ctx.budget_w * (1.0 - guard_frac_)};
+  if (ctx.tree != nullptr) {
+    ctx.budget = solve_budget_tree(*ctx.pmt, *ctx.tree, derated_w);
+    count(ctx, "hierarchical_solve");
+  } else {
+    ctx.budget = solve_budget(*ctx.pmt, derated_w);
+  }
   count(ctx, "guard_band_solve");
 }
 
@@ -198,43 +211,28 @@ void PmmdEnforcementStage::enforce(RunContext& ctx) const {
                           std::to_string(allocation.size()));
   }
 
-  // Materialize the hardware controllers and apply the plan (PMMD region).
+  // The PMMD region (apply the setting on entry, snapshot the sustained
+  // operating point, restore on exit) is independent per module, so it runs
+  // as one element-wise pass chunked across the thread pool — bit-identical
+  // at any thread count, and without materializing fleet-sized controller
+  // vectors on the way.
   const RunConfig& config = ctx.runner->config();
-  std::vector<hw::Rapl> rapls;
-  std::vector<hw::CpufreqGovernor> governors;
-  rapls.reserve(allocation.size());
-  governors.reserve(allocation.size());
-  for (auto id : allocation) {
-    rapls.emplace_back(ctx.cluster->module(id), config.rapl);
-    governors.emplace_back(ctx.cluster->module(id));
-  }
-
-  PmmdPlan plan;
-  plan.enforcement = enforcement_;
-  plan.settings.reserve(allocation.size());
-  for (std::size_t i = 0; i < allocation.size(); ++i) {
-    PmmdSetting s;
-    s.module = allocation[i];
-    if (enforcement_ == Enforcement::kPowerCap) {
-      s.cpu_cap_w = budget.allocations[i].cpu_cap_w;
-    } else {
-      s.freq_ghz = budget.target_freq_ghz;
-    }
-    plan.settings.push_back(s);
-  }
-  PmmdSession session(plan, rapls, governors);
-
-  // The sustained operating points are value snapshots, so the PMMD region
-  // may end here without affecting execution.
-  ctx.ops.clear();
-  ctx.ops.reserve(allocation.size());
-  for (std::size_t i = 0; i < allocation.size(); ++i) {
-    if (enforcement_ == Enforcement::kPowerCap) {
-      ctx.ops.push_back(rapls[i].operating_point(ctx.workload->profile));
-    } else {
-      ctx.ops.push_back(governors[i].operating_point(ctx.workload->profile));
-    }
-  }
+  ctx.ops.assign(allocation.size(), hw::OperatingPoint{});
+  util::parallel_for(
+      allocation.size(),
+      [&](std::size_t i) {
+        const hw::Module& module = ctx.cluster->module(allocation[i]);
+        if (enforcement_ == Enforcement::kPowerCap) {
+          hw::Rapl rapl(module, config.rapl);
+          rapl.set_cpu_limit(budget.allocations[i].cpu_cap_w);
+          ctx.ops[i] = rapl.operating_point(ctx.workload->profile);
+        } else {
+          hw::CpufreqGovernor governor(module);
+          governor.set_frequency(budget.target_freq_ghz);
+          ctx.ops[i] = governor.operating_point(ctx.workload->profile);
+        }
+      },
+      256);
   ctx.enforcement = enforcement_;
   ctx.rapl_jitter = enforcement_ == Enforcement::kPowerCap;
 
@@ -291,13 +289,15 @@ void UncappedEnforcementStage::enforce(RunContext& ctx) const {
   require(ctx.runner != nullptr, "enforcement needs a runner");
   require(ctx.workload != nullptr, "enforcement needs a workload");
   const RunConfig& config = ctx.runner->config();
-  ctx.ops.clear();
-  ctx.ops.reserve(ctx.allocation.size());
-  for (auto id : ctx.allocation) {
-    hw::Rapl rapl(ctx.cluster->module(id), config.rapl);
-    ctx.ops.push_back(rapl.operating_point(ctx.workload->profile,
-                                           config.turbo));
-  }
+  ctx.ops.assign(ctx.allocation.size(), hw::OperatingPoint{});
+  util::parallel_for(
+      ctx.allocation.size(),
+      [&](std::size_t i) {
+        hw::Rapl rapl(ctx.cluster->module(ctx.allocation[i]), config.rapl);
+        ctx.ops[i] =
+            rapl.operating_point(ctx.workload->profile, config.turbo);
+      },
+      256);
   // Synthesize the unconstrained solution so the execution stage's metric
   // fill is uniform: alpha 1 at fmax, no binding constraint, no caps.
   BudgetResult budget;
@@ -354,12 +354,16 @@ void DesExecutionStage::execute(RunContext& ctx) const {
   m.alpha = budget.alpha;
   m.target_freq_ghz = budget.target_freq_ghz.value();
   m.constrained = budget.constrained;
-  for (std::size_t i = 0; i < m.modules.size(); ++i) {
-    m.modules[i].alloc_module_w = budget.allocations[i].module_w.value();
-    if (ctx.enforcement == Enforcement::kPowerCap) {
-      m.modules[i].cpu_cap_w = budget.allocations[i].cpu_cap_w.value();
-    }
-  }
+  const bool cap = ctx.enforcement == Enforcement::kPowerCap;
+  util::parallel_for(
+      m.modules.size(),
+      [&](std::size_t i) {
+        m.modules[i].alloc_module_w = budget.allocations[i].module_w.value();
+        if (cap) {
+          m.modules[i].cpu_cap_w = budget.allocations[i].cpu_cap_w.value();
+        }
+      },
+      1024);
   ctx.metrics = std::move(m);
 }
 
@@ -403,7 +407,10 @@ void ResolveOnViolationStage::execute(RunContext& ctx) const {
   const double corrected_w =
       std::min(target_w * (target_w / measured_total_w), ctx.budget_w) *
       (1.0 - 0.5 * guard_frac_);
-  ctx.budget = solve_budget(*ctx.pmt, util::Watts{corrected_w});
+  ctx.budget =
+      ctx.tree != nullptr
+          ? solve_budget_tree(*ctx.pmt, *ctx.tree, util::Watts{corrected_w})
+          : solve_budget(*ctx.pmt, util::Watts{corrected_w});
   enforce_.enforce(ctx);
   des_.execute(ctx);
   // The correction pass is not free: budget for the stall.

@@ -1,0 +1,44 @@
+// Deterministic chunked reductions.
+//
+// Floating-point addition is not associative, so the bitwise-determinism
+// contract (DESIGN.md §8) forbids reductions whose association depends on
+// thread count or scheduling. chunked_sum is the sanctioned pattern: partial
+// sums over fixed-size chunks of consecutive indices, combined in chunk
+// order — a fixed association that is independent of how (or whether) the
+// chunks are evaluated in parallel. For n <= chunk the result is bit-equal
+// to the plain sequential left-to-right sum, which keeps the committed
+// golden digests (24-module grids) valid.
+#pragma once
+
+#include <cstddef>
+
+namespace vapb::util {
+
+/// Chunk width of chunked_sum. One fixed constant for the whole codebase:
+/// two call sites summing the same values always agree bit-for-bit.
+inline constexpr std::size_t kChunkedSumGrain = 4096;
+
+/// Sum of fn(i) for i in [0, n) under the fixed chunked association
+/// (chunk_0) + (chunk_1) + ...; each chunk is summed left to right. The
+/// result is a pure function of the fn values — never of thread count or
+/// evaluation order — and equals the sequential sum whenever n <= chunk.
+/// fn's return type must be default-constructible to zero and support +=.
+template <class Fn>
+[[nodiscard]] auto chunked_sum(std::size_t n, const Fn& fn,
+                               std::size_t chunk = kChunkedSumGrain) {
+  using T = decltype(fn(std::size_t{0}));
+  T acc{};
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = begin + chunk < n ? begin + chunk : n;
+    T part{};
+    for (std::size_t i = begin; i < end; ++i) part += fn(i);
+    if (begin == 0) {
+      acc = part;  // bit-equal to summing straight into acc
+    } else {
+      acc += part;
+    }
+  }
+  return acc;
+}
+
+}  // namespace vapb::util

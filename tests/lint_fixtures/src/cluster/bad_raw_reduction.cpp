@@ -1,0 +1,20 @@
+// Deliberate violation corpus for determinism-reduction: loop-carried
+// floating-point accumulations in the cluster layer whose result depends on
+// association order.
+double fleet_power_w(const double* module_w, unsigned long n) {
+  double total_w = 0.0;
+  for (unsigned long i = 0; i < n; ++i) {
+    total_w += module_w[i];
+  }
+  return total_w;
+}
+
+double worst_case_w(const double* module_w, unsigned long n) {
+  double acc_w = 0.0;
+  unsigned long i = 0;
+  while (i < n) {
+    acc_w += 2.0 * module_w[i];
+    ++i;
+  }
+  return acc_w;
+}

@@ -1,0 +1,18 @@
+// The sanctioned cluster-layer reduction pattern: util::chunked_sum's fixed
+// chunk association makes the floating-point result independent of the
+// surrounding parallelism. Induction steps and text assembly are not
+// reductions and stay clean.
+#include "util/reduce.hpp"
+
+double fleet_power_w(const double* module_w, unsigned long n) {
+  return vapb::util::chunked_sum(
+      n, [&](unsigned long i) { return module_w[i]; });
+}
+
+unsigned long strided_visits(unsigned long n, unsigned long stride) {
+  unsigned long visits = 0;
+  for (unsigned long i = 0; i < n; i += stride) {
+    visits = visits + 1;
+  }
+  return visits;
+}

@@ -130,6 +130,49 @@ TEST(Determinism, CounterRngIsApprovedSource) {
             std::string::npos);
 }
 
+TEST(Reduction, FlagsRawLoopReductionsInClusterLayer) {
+  auto vs =
+      lint_source("tests/lint_fixtures/src/cluster/bad_raw_reduction.cpp",
+                  fixture("src/cluster/bad_raw_reduction.cpp"), kEmptyIndex);
+  int n = 0;
+  for (const Violation& v : vs) n += v.rule == "determinism-reduction" ? 1 : 0;
+  EXPECT_EQ(n, 2);  // one per raw loop (for and while)
+  ASSERT_FALSE(vs.empty());
+  EXPECT_NE(vs.front().message.find("util::chunked_sum"), std::string::npos);
+}
+
+TEST(Reduction, ChunkedPatternAndInductionStepsAreClean) {
+  auto vs = lint_source(
+      "tests/lint_fixtures/src/cluster/good_chunked_reduction.cpp",
+      fixture("src/cluster/good_chunked_reduction.cpp"), kEmptyIndex);
+  EXPECT_TRUE(vs.empty()) << ::testing::PrintToString(rules_hit(vs));
+}
+
+TEST(Reduction, OnlyAppliesUnderSrcCluster) {
+  const std::string bad = fixture("src/cluster/bad_raw_reduction.cpp");
+  // The same content is legal everywhere else: the rule polices the SoA
+  // cluster layer, where fleet-sized numeric passes live.
+  EXPECT_TRUE(lint_source("src/core/budget.cpp", bad, kEmptyIndex).empty());
+  EXPECT_TRUE(lint_source("bench/bench_x.cpp", bad, kEmptyIndex).empty());
+  EXPECT_FALSE(
+      lint_source("src/cluster/cluster_soa.cpp", bad, kEmptyIndex).empty());
+}
+
+TEST(Reduction, StringAppendAndNestedHeadersAreNotReductions) {
+  // A nested loop's induction step (`i += stride`) sits in the outer body
+  // but is still a header, and literal appends build text, not sums.
+  auto vs = lint_source(
+      "src/cluster/x.cpp",
+      "void f(unsigned n) {\n"
+      "  for (unsigned r = 0; r < n; ++r) {\n"
+      "    for (unsigned i = 0; i < n; i += 2) { g(i); }\n"
+      "    s += \"x\";\n"
+      "  }\n"
+      "}\n",
+      kEmptyIndex);
+  EXPECT_TRUE(vs.empty()) << ::testing::PrintToString(rules_hit(vs));
+}
+
 TEST(UnitMixing, FlagsCrossUnitArithmetic) {
   auto vs = lint_source("tests/lint_fixtures/unit_mixing/bad_mix.cpp",
                         fixture("unit_mixing/bad_mix.cpp"), kEmptyIndex);

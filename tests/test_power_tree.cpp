@@ -1,0 +1,377 @@
+// PowerTree shape invariants and the hierarchical budget solve:
+//  * construction partitions every level and rejects malformed shapes;
+//  * the 1-level degenerate tree reproduces the flat solve bit for bit;
+//  * reconciliation never allocates past any interior node's capacity and
+//    redistributes a clamped node's surplus to its siblings;
+//  * hierarchical campaign runs are bitwise identical across thread counts.
+#include "cluster/power_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "cluster/cluster_soa.hpp"
+#include "core/budget.hpp"
+#include "core/campaign.hpp"
+#include "util/reduce.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// A mildly varied synthetic PMT: enough spread that clamps and alphas are
+/// exercised, fully deterministic without fabricating a fleet.
+core::Pmt varied_pmt(std::size_t n) {
+  std::vector<core::PmtEntry> entries(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = 1.0 + 0.1 * static_cast<double>(i % 7) / 7.0;
+    entries[i] = core::PmtEntry{util::Watts{90.0 * v}, util::Watts{18.0},
+                                util::Watts{40.0 * v}, util::Watts{12.0}};
+  }
+  return core::Pmt(std::move(entries), util::GigaHertz{2.0},
+                   util::GigaHertz{1.2});
+}
+
+void expect_identical(const core::BudgetResult& a,
+                      const core::BudgetResult& b) {
+  EXPECT_EQ(a.fits_at_fmin, b.fits_at_fmin);
+  EXPECT_EQ(a.constrained, b.constrained);
+  EXPECT_TRUE(same_bits(a.alpha, b.alpha));
+  EXPECT_TRUE(
+      same_bits(a.target_freq_ghz.value(), b.target_freq_ghz.value()));
+  EXPECT_TRUE(
+      same_bits(a.predicted_total_w.value(), b.predicted_total_w.value()));
+  ASSERT_EQ(a.allocations.size(), b.allocations.size());
+  for (std::size_t i = 0; i < a.allocations.size(); ++i) {
+    EXPECT_TRUE(same_bits(a.allocations[i].module_w.value(),
+                          b.allocations[i].module_w.value()))
+        << "module_w differs at " << i;
+    EXPECT_TRUE(same_bits(a.allocations[i].cpu_cap_w.value(),
+                          b.allocations[i].cpu_cap_w.value()))
+        << "cpu_cap_w differs at " << i;
+    EXPECT_TRUE(same_bits(a.allocations[i].dram_w.value(),
+                          b.allocations[i].dram_w.value()))
+        << "dram_w differs at " << i;
+  }
+}
+
+TEST(PowerTree, FlatIsTrivialAndUnconstrained) {
+  const cluster::PowerTree t = cluster::PowerTree::flat(17);
+  EXPECT_EQ(t.module_count(), 17u);
+  EXPECT_EQ(t.level_count(), 1u);
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_TRUE(t.trivial());
+  EXPECT_TRUE(t.unconstrained());
+  EXPECT_TRUE(t.root().leaf_group());
+  EXPECT_FALSE(t.root().capped());
+  EXPECT_EQ(t.root().module_count(), 17u);
+}
+
+TEST(PowerTree, UniformPartitionsEveryLevelWithinOne) {
+  const std::size_t fanouts[] = {4, 3};
+  const double caps[] = {kInf, 200.0};
+  const cluster::PowerTree t = cluster::PowerTree::uniform(26, fanouts, caps);
+  EXPECT_EQ(t.level_count(), 3u);
+  EXPECT_FALSE(t.trivial());
+  EXPECT_FALSE(t.unconstrained());
+  for (std::size_t k = 0; k < t.level_count(); ++k) {
+    std::size_t covered = 0;
+    std::size_t lo = 26, hi = 0;
+    for (const cluster::PowerTreeNode& n : t.level(k)) {
+      covered += n.module_count();
+      lo = std::min(lo, n.module_count());
+      hi = std::max(hi, n.module_count());
+      if (k + 1 < t.level_count()) {
+        EXPECT_FALSE(n.leaf_group());
+        std::size_t child_modules = 0;
+        for (std::uint32_t c = 0; c < n.child_count; ++c) {
+          child_modules = child_modules +
+                          t.nodes()[n.first_child + c].module_count();
+        }
+        EXPECT_EQ(child_modules, n.module_count());
+      } else {
+        EXPECT_TRUE(n.leaf_group());
+      }
+    }
+    EXPECT_EQ(covered, 26u);     // each level partitions the fleet
+    EXPECT_LE(hi - lo, 1u);      // balanced to within one module
+  }
+  // Capacity landed on the configured level only.
+  for (const cluster::PowerTreeNode& n : t.level(1)) {
+    EXPECT_FALSE(n.capped());
+  }
+  for (const cluster::PowerTreeNode& n : t.level(2)) {
+    EXPECT_EQ(n.capacity_w, 200.0);
+  }
+}
+
+TEST(PowerTree, TinyFleetNeverGetsEmptyChildren) {
+  const std::size_t fanouts[] = {8};
+  const double caps[] = {kInf};
+  const cluster::PowerTree t = cluster::PowerTree::uniform(3, fanouts, caps);
+  EXPECT_EQ(t.level(1).size(), 3u);  // one child per module, not 8
+  for (const cluster::PowerTreeNode& n : t.level(1)) {
+    EXPECT_EQ(n.module_count(), 1u);
+  }
+}
+
+TEST(PowerTree, ConstructionRejectsMalformedShapes) {
+  const std::size_t fanouts[] = {4};
+  const double caps[] = {kInf};
+  const double two_caps[] = {kInf, kInf};
+  const std::size_t zero_fanout[] = {0};
+  EXPECT_THROW(static_cast<void>(cluster::PowerTree::flat(0)),
+               InvalidArgument);
+  EXPECT_THROW(
+      static_cast<void>(cluster::PowerTree::uniform(0, fanouts, caps)),
+      InvalidArgument);
+  EXPECT_THROW(
+      static_cast<void>(cluster::PowerTree::uniform(8, zero_fanout, caps)),
+      InvalidArgument);
+  EXPECT_THROW(
+      static_cast<void>(cluster::PowerTree::uniform(8, fanouts, two_caps)),
+      InvalidArgument);
+}
+
+TEST(PowerTree, UniformTdpProvisionsFromSpannedModules) {
+  cluster::Cluster fleet(hw::ha8k(), util::SeedSequence(2015), 24);
+  const cluster::ClusterSoA soa = cluster::ClusterSoA::gather(fleet);
+  const std::size_t fanouts[] = {4};
+  const double headroom[] = {0.8};
+  const cluster::PowerTree t =
+      cluster::PowerTree::uniform_tdp(soa, fanouts, headroom);
+  for (const cluster::PowerTreeNode& n : t.level(1)) {
+    double tdp_sum = 0.0;
+    for (std::size_t m = n.module_begin; m < n.module_end; ++m) {
+      tdp_sum += soa.tdp_cpu_w()[m];
+    }
+    EXPECT_TRUE(n.capped());
+    EXPECT_NEAR(n.capacity_w, 0.8 * tdp_sum, 1e-9);
+  }
+}
+
+TEST(HierarchicalSolve, OneLevelTreeMatchesFlatSolveBitwise) {
+  const core::Pmt pmt = varied_pmt(54);
+  const cluster::PowerTree one = cluster::PowerTree::flat(pmt.size());
+  // Sweep from infeasible through constrained to unconstrained.
+  for (double per_module : {30.0, 55.0, 75.0, 95.0, 140.0}) {
+    const util::Watts budget{per_module * static_cast<double>(pmt.size())};
+    expect_identical(core::solve_budget(pmt, budget),
+                     core::solve_budget_tree(pmt, one, budget));
+  }
+}
+
+/// An uncapped multi-level tree is mathematically the flat solve, but leaf
+/// groups solve alpha from per-group aggregates, so agreement is to rounding
+/// — bit-identity is guaranteed only for the 1-level degenerate tree.
+TEST(HierarchicalSolve, UncappedTreeOfAnyShapeMatchesFlatSolveToRounding) {
+  const core::Pmt pmt = varied_pmt(48);
+  const std::size_t fanouts[] = {4, 3};
+  const double caps[] = {kInf, kInf};
+  const cluster::PowerTree t =
+      cluster::PowerTree::uniform(pmt.size(), fanouts, caps);
+  ASSERT_TRUE(t.unconstrained());
+  for (double per_module : {55.0, 75.0, 95.0}) {
+    const util::Watts budget{per_module * static_cast<double>(pmt.size())};
+    const core::BudgetResult flat = core::solve_budget(pmt, budget);
+    const core::BudgetResult tree = core::solve_budget_tree(pmt, t, budget);
+    EXPECT_EQ(flat.fits_at_fmin, tree.fits_at_fmin);
+    EXPECT_EQ(flat.constrained, tree.constrained);
+    EXPECT_NEAR(tree.alpha, flat.alpha, 1e-12);
+    EXPECT_NEAR(tree.predicted_total_w.value(), flat.predicted_total_w.value(),
+                1e-9 * budget.value());
+    ASSERT_EQ(tree.allocations.size(), flat.allocations.size());
+    for (std::size_t i = 0; i < flat.allocations.size(); ++i) {
+      EXPECT_NEAR(tree.allocations[i].module_w.value(),
+                  flat.allocations[i].module_w.value(),
+                  1e-9 * flat.allocations[i].module_w.value());
+    }
+  }
+}
+
+TEST(HierarchicalSolve, ReconciliationRespectsEveryNodeCapacity) {
+  const core::Pmt pmt = varied_pmt(60);
+  const std::size_t fanouts[] = {5, 3};
+  for (double per_module : {40.0, 60.0, 80.0, 110.0}) {
+    const util::Watts budget{per_module * static_cast<double>(pmt.size())};
+    // Cabinet and board capacities tight against the ~112 W/module fmax
+    // demand, so the upper budgets force clamps on both levels.
+    const double level_caps[] = {1100.0, 420.0};
+    const cluster::PowerTree t =
+        cluster::PowerTree::uniform(pmt.size(), fanouts, level_caps);
+    const core::BudgetResult r = core::solve_budget_tree(pmt, t, budget);
+    ASSERT_EQ(r.allocations.size(), pmt.size());
+    for (const cluster::PowerTreeNode& n : t.nodes()) {
+      double within = 0.0;
+      for (std::size_t m = n.module_begin; m < n.module_end; ++m) {
+        within += r.allocations[m].module_w.value();
+      }
+      EXPECT_LE(within, n.capacity_w * (1.0 + 1e-12))
+          << "node [" << n.module_begin << ", " << n.module_end
+          << ") exceeds its capacity at budget " << budget.value();
+    }
+    EXPECT_LE(r.predicted_total_w.value(), budget.value() * (1.0 + 1e-12));
+  }
+}
+
+TEST(HierarchicalSolve, ClampedNodeSurplusGoesToSiblings) {
+  const core::Pmt pmt = varied_pmt(40);
+  const std::size_t fanouts[] = {4};
+  // One level of 4 cabinets; cap them all at a value only binding because
+  // uniform() cannot express per-node caps — the first cabinet's demand at
+  // the flat alpha exceeds it, so its surplus must flow to the others.
+  const double caps[] = {1050.0};
+  const cluster::PowerTree t =
+      cluster::PowerTree::uniform(pmt.size(), fanouts, caps);
+  const util::Watts budget{90.0 * static_cast<double>(pmt.size())};
+
+  const core::BudgetResult flat = core::solve_budget(pmt, budget);
+  const core::BudgetResult tree = core::solve_budget_tree(pmt, t, budget);
+  ASSERT_TRUE(flat.constrained);
+  EXPECT_TRUE(tree.constrained);
+
+  // The tree spends no more than the flat solve overall...
+  EXPECT_LE(tree.predicted_total_w.value(),
+            flat.predicted_total_w.value() * (1.0 + 1e-12));
+  // ...and anything a clamped cabinet gave up is not simply discarded: the
+  // total stays within one cabinet-cap of the flat spend.
+  EXPECT_GT(tree.predicted_total_w.value(),
+            flat.predicted_total_w.value() - 1050.0);
+  for (const cluster::PowerTreeNode& n : t.level(1)) {
+    double within = 0.0;
+    for (std::size_t m = n.module_begin; m < n.module_end; ++m) {
+      within += tree.allocations[m].module_w.value();
+    }
+    EXPECT_LE(within, n.capacity_w * (1.0 + 1e-12));
+  }
+}
+
+TEST(HierarchicalSolve, SizeMismatchAndBadBudgetThrow) {
+  const core::Pmt pmt = varied_pmt(12);
+  const cluster::PowerTree t = cluster::PowerTree::flat(13);
+  EXPECT_THROW(
+      static_cast<void>(core::solve_budget_tree(pmt, t, util::Watts{100.0})),
+      InvalidArgument);
+  const cluster::PowerTree ok = cluster::PowerTree::flat(12);
+  EXPECT_THROW(
+      static_cast<void>(core::solve_budget_tree(pmt, ok, util::Watts{0.0})),
+      InvalidArgument);
+}
+
+TEST(PmtSoA, GatherMirrorsEntriesElementwise) {
+  const core::Pmt pmt = varied_pmt(10);
+  const core::PmtSoA soa = core::PmtSoA::gather(pmt);
+  ASSERT_EQ(soa.size(), pmt.size());
+  for (std::size_t i = 0; i < pmt.size(); ++i) {
+    const core::PmtEntry& e = pmt.entry(i);
+    EXPECT_TRUE(same_bits(soa.cpu_min_w[i], e.cpu_min_w.value()));
+    EXPECT_TRUE(same_bits(soa.cpu_span_w[i],
+                          (e.cpu_max_w - e.cpu_min_w).value()));
+    EXPECT_TRUE(same_bits(soa.dram_min_w[i], e.dram_min_w.value()));
+    EXPECT_TRUE(same_bits(soa.dram_span_w[i],
+                          (e.dram_max_w - e.dram_min_w).value()));
+    EXPECT_TRUE(same_bits(soa.module_min_w[i], e.module_min_w().value()));
+    EXPECT_TRUE(same_bits(soa.module_max_w[i], e.module_max_w().value()));
+  }
+}
+
+TEST(ClusterSoATest, GatherMirrorsModules) {
+  cluster::Cluster fleet(hw::ha8k(), util::SeedSequence(7), 16);
+  const cluster::ClusterSoA soa = cluster::ClusterSoA::gather(fleet);
+  ASSERT_EQ(soa.size(), 16u);
+  EXPECT_EQ(soa.fingerprint(), fleet.fingerprint());
+  for (std::size_t i = 0; i < soa.size(); ++i) {
+    const hw::Module& m = fleet.modules()[i];
+    EXPECT_TRUE(same_bits(soa.max_freq_ghz()[i], m.max_freq_ghz()));
+    EXPECT_TRUE(same_bits(soa.tdp_cpu_w()[i], m.tdp_cpu_w()));
+  }
+}
+
+/// Fixed-seed hierarchical campaigns must be bitwise identical at 1 and 4
+/// threads — the tree path obeys the same determinism contract as flat runs.
+TEST(HierarchicalCampaign, BitwiseIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kModules = 24;
+  cluster::Cluster fleet(hw::ha8k(), util::SeedSequence(2015), kModules);
+  const cluster::ClusterSoA soa = cluster::ClusterSoA::gather(fleet);
+  const std::size_t fanouts[] = {4};
+  const double headroom[] = {0.85};
+  const cluster::PowerTree tree =
+      cluster::PowerTree::uniform_tdp(soa, fanouts, headroom);
+
+  std::vector<hw::ModuleId> alloc(kModules);
+  std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+
+  core::CampaignSpec spec;
+  spec.workloads = {&workloads::mhd()};
+  spec.budgets_w = {90.0 * kModules, 70.0 * kModules};
+  spec.schemes = {core::SchemeKind::kNaive, core::SchemeKind::kVaPc};
+  spec.repetitions = 1;
+  spec.config.iterations = 4;
+  spec.config.tree = &tree;
+
+  const auto run_at = [&](std::size_t threads) {
+    core::CampaignEngine engine(fleet, alloc, threads);
+    return engine.run(spec);
+  };
+  const core::CampaignResult a = run_at(1);
+  const core::CampaignResult b = run_at(4);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  ASSERT_GT(a.jobs.size(), 0u);
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    const core::RunMetrics& ma = a.jobs[j].metrics;
+    const core::RunMetrics& mb = b.jobs[j].metrics;
+    EXPECT_EQ(a.jobs[j].cls, b.jobs[j].cls);
+    EXPECT_TRUE(same_bits(ma.alpha, mb.alpha));
+    EXPECT_TRUE(same_bits(ma.makespan_s, mb.makespan_s));
+    EXPECT_TRUE(same_bits(ma.total_power_w, mb.total_power_w));
+    ASSERT_EQ(ma.modules.size(), mb.modules.size());
+    for (std::size_t i = 0; i < ma.modules.size(); ++i) {
+      EXPECT_TRUE(same_bits(ma.modules[i].alloc_module_w,
+                            mb.modules[i].alloc_module_w));
+      EXPECT_TRUE(same_bits(ma.modules[i].op.cpu_w, mb.modules[i].op.cpu_w));
+      EXPECT_TRUE(same_bits(ma.modules[i].op.perf_freq_ghz,
+                            mb.modules[i].op.perf_freq_ghz));
+    }
+  }
+}
+
+/// chunked_sum's fixed association: equal to the sequential left-to-right
+/// sum below one chunk, stable across any surrounding parallelism above it.
+TEST(ChunkedSum, MatchesSequentialBelowOneChunk) {
+  std::vector<double> xs(1000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = 1.0 / (1.0 + static_cast<double>(i));
+  }
+  double seq = 0.0;
+  for (double x : xs) seq += x;
+  const double chunked =
+      util::chunked_sum(xs.size(), [&](std::size_t i) { return xs[i]; });
+  EXPECT_TRUE(same_bits(seq, chunked));
+}
+
+TEST(ChunkedSum, FixedAssociationAcrossChunkBoundaries) {
+  std::vector<double> xs(10000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = 0.1 * static_cast<double>((i * 2654435761u) % 97);
+  }
+  const auto at = [&](std::size_t i) { return xs[i]; };
+  // Same chunk size -> bit-identical on repeat evaluation.
+  EXPECT_TRUE(same_bits(util::chunked_sum(xs.size(), at),
+                        util::chunked_sum(xs.size(), at)));
+  // The value is defined by the chunk size, not the caller's thread count.
+  const double want = util::chunked_sum(xs.size(), at);
+  EXPECT_TRUE(same_bits(want, util::chunked_sum(xs.size(), at,
+                                                util::kChunkedSumGrain)));
+}
+
+}  // namespace
+}  // namespace vapb

@@ -303,6 +303,66 @@ void check_determinism(const std::string& path,
   }
 }
 
+// The SoA/cluster layer is where fleet-sized numeric passes live, and a raw
+// loop-carried `x += f(i)` reduction there is exactly the pattern whose
+// floating-point result depends on association order — the thing
+// util::chunked_sum's fixed chunk association exists to pin down. The rule
+// is scoped to src/cluster/ (where the vectorized passes are) and flags any
+// compound `+=` inside a loop body; string/character appends are exempt
+// (they are not floating-point reductions), and the loop header itself
+// (`i += stride`) is never a reduction.
+void check_reduction(const std::string& path, const std::vector<Token>& toks,
+                     std::vector<Violation>& out) {
+  if (path.find("src/cluster/") == std::string::npos) return;
+  // Mark every token inside a loop header (never a reduction: `i += stride`
+  // is the induction step) and inside a loop body. Nested loops overlap;
+  // marking token-wise keeps each `+=` flagged at most once.
+  std::vector<char> in_header(toks.size(), 0);
+  std::vector<char> in_body(toks.size(), 0);
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!(is_ident(toks[i], "for") || is_ident(toks[i], "while"))) continue;
+    std::size_t j = i + 1;
+    if (j >= toks.size() || !is_punct(toks[j], "(")) continue;
+    int paren = 1;
+    in_header[j] = 1;
+    ++j;
+    while (j < toks.size() && paren > 0) {
+      if (is_punct(toks[j], "(")) ++paren;
+      if (is_punct(toks[j], ")")) --paren;
+      in_header[j] = 1;
+      ++j;
+    }
+    if (j >= toks.size()) break;
+    // Body span: a braced block or a single statement up to ';'.
+    std::size_t body_end = j;
+    if (is_punct(toks[j], "{")) {
+      int brace = 1;
+      ++body_end;
+      while (body_end < toks.size() && brace > 0) {
+        if (is_punct(toks[body_end], "{")) ++brace;
+        if (is_punct(toks[body_end], "}")) --brace;
+        ++body_end;
+      }
+    } else {
+      while (body_end < toks.size() && !is_punct(toks[body_end], ";")) {
+        ++body_end;
+      }
+    }
+    for (std::size_t k = j; k < body_end; ++k) in_body[k] = 1;
+  }
+  for (std::size_t k = 1; k < toks.size(); ++k) {
+    if (!is_punct(toks[k], "+=") || !in_body[k] || in_header[k]) continue;
+    if (toks[k - 1].kind != TokKind::kIdent) continue;
+    // Appending literals builds text, not a floating-point sum.
+    if (k + 1 < toks.size() && toks[k + 1].kind == TokKind::kString) continue;
+    out.push_back(Violation{
+        path, toks[k].line, "determinism-reduction",
+        "loop-carried '" + toks[k - 1].text +
+            " +=' reduction depends on association order; accumulate "
+            "through util::chunked_sum (fixed chunk association) instead"});
+  }
+}
+
 void check_unit_mixing(const std::string& path, const std::vector<Token>& toks,
                        std::vector<Violation>& out) {
   static constexpr std::array<std::string_view, 8> kOps = {
@@ -469,6 +529,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"determinism-clock",
        "bans std::chrono wall clocks outside src/core/campaign.cpp, "
        "src/util/rng.*, bench/, tools/"},
+      {"determinism-reduction",
+       "flags raw loop-carried '+=' reductions in src/cluster/ — accumulate "
+       "through util::chunked_sum's fixed chunk association"},
       {"unit-mixing",
        "flags +,-,comparison between identifiers carrying different unit "
        "suffixes (_w, _ghz, _j, _s)"},
@@ -527,6 +590,7 @@ std::vector<Violation> lint_source(const std::string& display_path,
 
   std::vector<Violation> raw;
   check_determinism(path, lexed.tokens, raw);
+  check_reduction(path, lexed.tokens, raw);
   check_unit_mixing(path, lexed.tokens, raw);
   check_unit_suffix(path, lexed.tokens, raw);
   check_unused_includes(path, lexed.tokens, index, raw);
