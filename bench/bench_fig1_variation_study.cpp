@@ -64,11 +64,13 @@ void study(const hw::ArchSpec& spec, std::size_t sockets, const char* tag) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --modules caps the per-system socket counts (paper sizes by default).
+  const bench::Options opt = bench::parse_options(argc, argv, 2386);
   std::printf("== Figure 1: CPU power/performance variation, 1-socket EP ==\n\n");
-  study(hw::cab(), 2386, "cab");
-  study(hw::vulcan(), 48, "vulcan");
-  study(hw::teller(), 64, "teller");
+  study(hw::cab(), std::min<std::size_t>(2386, opt.modules), "cab");
+  study(hw::vulcan(), std::min<std::size_t>(48, opt.modules), "vulcan");
+  study(hw::teller(), std::min<std::size_t>(64, opt.modules), "teller");
   std::printf(
       "\nPaper: Cab 23%% power / ~0%% perf; Vulcan 11%% power / ~0%% perf;\n"
       "Teller 21%% power / 17%% perf with more-power <-> faster.\n"

@@ -9,9 +9,10 @@
 
 using namespace vapb;
 
-int main() {
-  const std::size_t n = 64;
-  std::printf("== Figure 3: MHD synchronization overhead (64 modules) ==\n\n");
+int main(int argc, char** argv) {
+  const std::size_t n = bench::parse_options(argc, argv, 64).modules;
+  std::printf("== Figure 3: MHD synchronization overhead (%zu modules) ==\n\n",
+              n);
   cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), n);
   core::Campaign campaign(cluster, bench::full_allocation(n));
   const workloads::Workload& w = workloads::mhd();

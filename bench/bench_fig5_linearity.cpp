@@ -18,7 +18,7 @@ namespace {
 
 void linearity(const cluster::Cluster& cluster, const workloads::Workload& w,
                const std::string& tag) {
-  const std::size_t n = 64;
+  const std::size_t n = cluster.modules().size();
   stats::Accumulator r2_cpu, r2_dram, r2_mod;
   util::CsvWriter csv("fig5_" + tag + ".csv",
                       {"module", "freq_ghz", "cpu_w", "dram_w", "module_w"});
@@ -49,9 +49,11 @@ void linearity(const cluster::Cluster& cluster, const workloads::Workload& w,
 
 }  // namespace
 
-int main() {
-  std::printf("== Figure 5: power vs CPU frequency linearity (64 modules) ==\n\n");
-  cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), 64);
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv, 64);
+  std::printf("== Figure 5: power vs CPU frequency linearity (%zu modules) ==\n\n",
+              opt.modules);
+  cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), opt.modules);
   linearity(cluster, workloads::dgemm(), "dgemm");
   linearity(cluster, workloads::mhd(), "mhd");
   std::printf(

@@ -3,6 +3,7 @@
 // behaviour on a 100 W reference load.
 #include <cstdio>
 
+#include "bench/common.hpp"
 #include "hw/sensor.hpp"
 #include "stats/summary.hpp"
 #include "util/rng.hpp"
@@ -11,7 +12,9 @@
 
 using namespace vapb;
 
-int main() {
+int main(int argc, char** argv) {
+  // No size knob here; parsing still rejects mistyped flags.
+  bench::parse_options(argc, argv);
   std::printf("== Table 1: Power Measurement Techniques ==\n\n");
   util::Table table({"Technique", "Reported", "Granularity", "Power Capping",
                      "sample sd @100W", "1s-avg err @100W"});

@@ -8,7 +8,9 @@
 
 using namespace vapb;
 
-int main() {
+int main(int argc, char** argv) {
+  // --modules caps the per-fleet sample used for the realized spread.
+  const bench::Options opt = bench::parse_options(argc, argv, 2048);
   std::printf("== Table 2: Architectures Under Consideration ==\n\n");
   util::Table table({"Site", "Microarch", "Nodes", "Procs/Node", "Cores/Proc",
                      "CPU Freq", "Mem/Node", "TDP", "Power Msrmt",
@@ -16,7 +18,7 @@ int main() {
   for (const hw::ArchSpec& spec : hw::all_archs()) {
     // Realized spread: each module's *STREAM CPU power at nominal frequency.
     std::size_t n = std::min<std::size_t>(
-        static_cast<std::size_t>(spec.total_modules()), 2048);
+        static_cast<std::size_t>(spec.total_modules()), opt.modules);
     cluster::Cluster cluster(spec, bench::master_seed(), n);
     std::vector<double> powers;
     powers.reserve(n);

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "util/error.hpp"
+#include "util/reduce.hpp"
 
 namespace vapb::core {
 
@@ -204,13 +205,17 @@ BatchResult BatchSimulator::run(const std::vector<BatchJob>& jobs,
   }
 
   double completed = 0.0;
-  double wait_sum = 0.0;
   for (const JobOutcome& out : result.jobs) {
     if (!out.completed) continue;
     completed += 1.0;
-    wait_sum += out.wait_s();
     result.makespan_s = std::max(result.makespan_s, out.finish_s);
   }
+  // Incomplete jobs contribute an exact 0.0, so the chunked sum stays
+  // bit-equal to accumulating only the completed subset in job order.
+  const double wait_sum =
+      util::chunked_sum(result.jobs.size(), [&](std::size_t i) {
+        return result.jobs[i].completed ? result.jobs[i].wait_s() : 0.0;
+      });
   if (completed > 0.0) {
     result.mean_wait_s = wait_sum / completed;
     if (result.makespan_s > 0.0) {

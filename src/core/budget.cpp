@@ -116,17 +116,14 @@ BudgetResult solve_budget_tree(const Pmt& pmt, const cluster::PowerTree& tree,
         });
         s.usable_w = std::min(node.capacity_w, s.max_w);
       } else {
-        double min_w = 0.0;
-        double max_w = 0.0;
-        double usable_w = 0.0;
-        for (std::uint32_t c = 0; c < node.child_count; ++c) {
-          const NodeState& child = ns[node.first_child + c];
-          min_w += child.min_w;
-          max_w += child.max_w;
-          usable_w += child.usable_w;
-        }
-        s.min_w = min_w;
-        s.max_w = max_w;
+        const NodeState* child = &ns[node.first_child];
+        const std::size_t cn = node.child_count;
+        s.min_w = util::chunked_sum(
+            cn, [&](std::size_t c) { return child[c].min_w; });
+        s.max_w = util::chunked_sum(
+            cn, [&](std::size_t c) { return child[c].max_w; });
+        const double usable_w = util::chunked_sum(
+            cn, [&](std::size_t c) { return child[c].usable_w; });
         s.usable_w = std::min(node.capacity_w, usable_w);
       }
     }
@@ -148,19 +145,23 @@ BudgetResult solve_budget_tree(const Pmt& pmt, const cluster::PowerTree& tree,
       const std::uint32_t cn = node.child_count;
       std::vector<char> clamped(cn, 0);
       for (std::uint32_t round = 0; round < cn; ++round) {
-        double min_a = 0.0;
-        double max_a = 0.0;
-        double clamped_w = 0.0;
+        // Chunked association keeps every per-round aggregate a pure
+        // function of the child values, independent of how (or whether)
+        // these rounds ever parallelize. Clamped children contribute an
+        // exact 0.0 to the active sums (and vice versa), which leaves each
+        // sum bit-equal to accumulating the matching subset in child order.
+        const double clamped_w = util::chunked_sum(cn, [&](std::size_t i) {
+          return clamped[i] != 0 ? ns[c0 + i].grant_w : 0.0;
+        });
+        const double min_a = util::chunked_sum(cn, [&](std::size_t i) {
+          return clamped[i] != 0 ? 0.0 : ns[c0 + i].min_w;
+        });
+        const double max_a = util::chunked_sum(cn, [&](std::size_t i) {
+          return clamped[i] != 0 ? 0.0 : ns[c0 + i].max_w;
+        });
         std::uint32_t active = 0;
         for (std::uint32_t i = 0; i < cn; ++i) {
-          const NodeState& c = ns[c0 + i];
-          if (clamped[i] != 0) {
-            clamped_w += c.grant_w;
-          } else {
-            min_a += c.min_w;
-            max_a += c.max_w;
-            ++active;
-          }
+          if (clamped[i] == 0) ++active;
         }
         if (active == 0) break;
         const double grant_a = ns[base + j].grant_w - clamped_w;

@@ -301,6 +301,7 @@ CampaignResult CampaignEngine::run(const CampaignSpec& spec,
     throw InvalidArgument(
         "CampaignSpec needs workloads, budgets, schemes and repetitions >= 1");
   }
+  // vapb-lint: allow(determinism-taint): elapsed_s is observability only
   const auto t0 = std::chrono::steady_clock::now();
   const CalibrationCache::Stats before = CalibrationCache::global().stats();
   const std::vector<CampaignJob> jobs = expand(spec);
@@ -363,6 +364,7 @@ CampaignResult CampaignEngine::run(const CampaignSpec& spec,
   result.telemetry.add_counter("cache_hits", result.cache.hits);
   result.telemetry.add_counter("cache_misses", result.cache.misses);
   result.elapsed_s =
+      // vapb-lint: allow(determinism-taint): elapsed_s is observability only
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   if (spec.config.telemetry != nullptr) {

@@ -7,30 +7,9 @@
 
 #include "core/stages.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace vapb::core {
-
-namespace {
-
-/// Plain Levenshtein distance — registries hold a handful of short names, so
-/// the quadratic table is trivial and exactness beats cleverness.
-std::size_t edit_distance(std::string_view a, std::string_view b) {
-  std::vector<std::size_t> row(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    std::size_t diag = row[0];
-    row[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t up = row[j];
-      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
-      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
-      diag = up;
-    }
-  }
-  return row[b.size()];
-}
-
-}  // namespace
 
 void SchemeRegistry::add(std::string name, Factory factory) {
   if (name.empty()) throw InvalidArgument("SchemeRegistry: empty scheme name");
@@ -100,7 +79,8 @@ std::vector<std::string> SchemeRegistry::suggest_locked(
   std::vector<std::string> out = order_;
   std::stable_sort(out.begin(), out.end(),
                    [name](const std::string& a, const std::string& b) {
-                     return edit_distance(name, a) < edit_distance(name, b);
+                     return util::edit_distance(name, a) <
+                            util::edit_distance(name, b);
                    });
   return out;
 }

@@ -28,12 +28,17 @@ FaultSchemeResult reduce_scheme(const std::string& scheme,
     if (r.job.scheme != scheme || !r.metrics.feasible) continue;
     ++out.jobs;
     const double over_w = r.metrics.total_power_w - r.metrics.budget_w;
+    // These three means accumulate sequentially over the fixed
+    // campaign.jobs order, so the association never varies with threads.
     if (over_w > 0.0) {
       ++violations;
+      // vapb-lint: allow(determinism-taint): fixed sequential job order
       overshoot_sum += over_w;
     }
+    // vapb-lint: allow(determinism-taint): fixed sequential job order
     makespan_sum += r.metrics.makespan_s;
     if (std::isfinite(r.speedup_vs_naive)) {
+      // vapb-lint: allow(determinism-taint): fixed sequential job order
       speedup_sum += r.speedup_vs_naive;
       ++speedups;
     }

@@ -53,7 +53,11 @@ double Sensor::measure_avg_w(double true_power_w, double duration_s) {
   // negligible; scale the residual error analytically instead.
   const std::size_t kMaxDraws = 10000;
   std::size_t draws = std::min(n, kMaxDraws);
+  // Stateful sequential noise draws: the accumulation order is pinned to
+  // the draw order, so this loop can never parallelize and its left-to-right
+  // association is part of the committed golden digests.
   double sum = 0.0;
+  // vapb-lint: allow(determinism-taint): fixed sequential draw order
   for (std::size_t i = 0; i < draws; ++i) sum += sample_w(true_power_w);
   double mean = sum / static_cast<double>(draws);
   if (draws < n) {

@@ -35,7 +35,10 @@ CliArgs::CliArgs(int argc, const char* const* argv,
       }
     }
     if (!allowed(name)) {
-      throw InvalidArgument("unknown flag --" + name);
+      std::string msg = "unknown flag --" + name;
+      const std::string suggestion = nearest_name(name, allowed_flags);
+      if (!suggestion.empty()) msg += " (did you mean --" + suggestion + "?)";
+      throw InvalidArgument(msg);
     }
     if (flags_.count(name)) {
       throw InvalidArgument("flag --" + name + " given twice");
@@ -46,6 +49,13 @@ CliArgs::CliArgs(int argc, const char* const* argv,
 
 bool CliArgs::has(const std::string& flag) const {
   return flags_.count(flag) > 0;
+}
+
+std::vector<std::string> CliArgs::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) names.push_back(name);
+  return names;
 }
 
 std::string CliArgs::get(const std::string& flag) const {

@@ -38,6 +38,10 @@ class CliArgs {
                                      double fallback) const;
   [[nodiscard]] long get_long_or(const std::string& flag, long fallback) const;
 
+  /// Names of every flag present on the command line, sorted. Lets callers
+  /// with per-subcommand vocabularies re-validate after dispatch.
+  [[nodiscard]] std::vector<std::string> flag_names() const;
+
  private:
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;

@@ -35,6 +35,7 @@ template <class Fn>
     if (begin == 0) {
       acc = part;  // bit-equal to summing straight into acc
     } else {
+      // vapb-lint: allow(determinism-taint): this IS the fixed association
       acc += part;
     }
   }

@@ -35,4 +35,14 @@ bool starts_with(std::string_view s, std::string_view prefix);
 /// Joins items with a separator.
 std::string join(const std::vector<std::string>& items, std::string_view sep);
 
+/// Plain Levenshtein distance — callers hold a handful of short names, so
+/// the quadratic table is trivial and exactness beats cleverness.
+[[nodiscard]] std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The candidate closest to `name` by edit distance, or "" when nothing is
+/// close enough to plausibly be a typo (distance must not exceed
+/// max(2, |name| / 3)). Ties break toward the earlier candidate.
+[[nodiscard]] std::string nearest_name(
+    std::string_view name, const std::vector<std::string>& candidates);
+
 }  // namespace vapb::util

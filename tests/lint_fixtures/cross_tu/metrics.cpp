@@ -1,0 +1,20 @@
+// Cross-TU taint sink: folds the helper from noise.cpp into a RunResult.
+namespace fix {
+
+struct RunResult {
+  double total_w = 0.0;
+};
+
+double ambient_jitter();
+double scaled_w(double base_w);
+
+// Deterministic helper on the same sink path — must not be flagged.
+double scaled_w(double base_w) { return base_w * 2.0; }
+
+RunResult finalize_run(double base_w) {
+  RunResult r;
+  r.total_w = scaled_w(base_w) + ambient_jitter();
+  return r;
+}
+
+}  // namespace fix

@@ -1,0 +1,13 @@
+// Cross-TU taint source: an unseeded draw helper. The sink that makes this
+// a finding lives in metrics.cpp — neither file is a violation on its own.
+#include <cstdlib>
+
+namespace fix {
+
+double ambient_jitter() { return static_cast<double>(std::rand()) / 100.0; }
+
+// Same source kind, but nothing on a sink path calls it: the analyzer must
+// stay quiet here (reachability, not mere presence, is what the rule proves).
+double unreferenced_draw() { return static_cast<double>(std::rand()); }
+
+}  // namespace fix

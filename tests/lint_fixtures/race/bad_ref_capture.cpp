@@ -1,0 +1,22 @@
+// parallel_for body accumulates through a by-reference capture: concurrent
+// chunks race on `total_w` and the association varies with the schedule.
+#include <cstddef>
+#include <vector>
+
+namespace fix {
+
+double sum_powers(ThreadPool& pool, const std::vector<double>& xs) {
+  double total_w = 0.0;
+  parallel_for(pool, xs.size(), [&](std::size_t i) { total_w += xs[i]; });
+  return total_w;
+}
+
+void count_ready(ThreadPool& pool, const std::vector<int>& flags) {
+  long ready = 0;
+  parallel_for(pool, flags.size(), [&ready, &flags](std::size_t i) {
+    const int flag = flags[i];
+    if (flag != 0) ++ready;
+  });
+}
+
+}  // namespace fix

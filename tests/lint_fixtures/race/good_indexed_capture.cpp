@@ -1,0 +1,19 @@
+// The safe shapes: per-element stores subscripted by the loop index, locals
+// declared inside the body, and by-value captures (each chunk gets a copy).
+#include <cstddef>
+#include <vector>
+
+namespace fix {
+
+void square_all(ThreadPool& pool, std::vector<double>& out) {
+  parallel_for(pool, out.size(), [&](std::size_t i) { out[i] = out[i] * 2.0; });
+}
+
+void scale_all(ThreadPool& pool, std::vector<double>& out, double gain) {
+  parallel_for(pool, out.size(), [&out, gain](std::size_t i) {
+    double scaled = out[i] * gain;
+    out[i] = scaled;
+  });
+}
+
+}  // namespace fix

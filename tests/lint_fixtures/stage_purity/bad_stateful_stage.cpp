@@ -1,0 +1,24 @@
+// A pipeline stage that keeps score in a member: the write happens two
+// calls below the run entry point, so only the transitive closure sees it.
+namespace fix {
+
+class TallyStage {
+ public:
+  void run(int jobs);
+
+ private:
+  void note(int jobs);
+  void bump();
+
+  int runs_ = 0;
+};
+
+void TallyStage::run(int jobs) { note(jobs); }
+
+void TallyStage::note(int jobs) {
+  if (jobs > 0) bump();
+}
+
+void TallyStage::bump() { runs_ = runs_ + 1; }
+
+}  // namespace fix

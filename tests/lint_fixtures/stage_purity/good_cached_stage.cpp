@@ -1,0 +1,19 @@
+// The sanctioned exceptions: a mutable *cache* member may memoize on the run
+// path, and members may be freely written outside the run-path methods.
+namespace fix {
+
+class PlanStage {
+ public:
+  void run(double budget_w);
+  void configure(double gain);
+
+ private:
+  double gain_ = 1.0;
+  mutable double plan_cache_w_ = 0.0;
+};
+
+void PlanStage::run(double budget_w) { plan_cache_w_ = budget_w * gain_; }
+
+void PlanStage::configure(double gain) { gain_ = gain; }
+
+}  // namespace fix

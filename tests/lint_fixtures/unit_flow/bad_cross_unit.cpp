@@ -1,0 +1,14 @@
+// Unit mismatches across a call boundary: a watts value lands in a joules
+// parameter, and a watts-returning call is stored in a seconds variable.
+namespace fix {
+
+double integrate_power(double energy_j, double window_s);
+double avg_power_w(double draw_w);
+
+double report(double total_w, double span_s) {
+  double mean = integrate_power(total_w, span_s);
+  double elapsed_s = avg_power_w(total_w);
+  return mean + elapsed_s;
+}
+
+}  // namespace fix

@@ -1,0 +1,11 @@
+// Callee vocabulary for the unit-flow pair: definitions live in their own TU
+// so the mismatches in bad_cross_unit.cpp are only visible cross-TU.
+namespace fix {
+
+double integrate_power(double energy_j, double window_s) {
+  return energy_j / window_s;
+}
+
+double avg_power_w(double draw_w) { return draw_w; }
+
+}  // namespace fix

@@ -1,0 +1,13 @@
+// The same call shapes with agreeing suffixes (or none at all) are clean.
+namespace fix {
+
+double integrate_power(double energy_j, double window_s);
+double avg_power_w(double draw_w);
+
+double summarize(double used_j, double span_s, double peak_w) {
+  double mean = integrate_power(used_j, span_s);
+  double smoothed_w = avg_power_w(peak_w);
+  return mean + smoothed_w;
+}
+
+}  // namespace fix

@@ -64,6 +64,34 @@ TEST(Cli, UnknownFlagRejected) {
   EXPECT_THROW(parse({"--bogus=1"}), InvalidArgument);
 }
 
+TEST(Cli, UnknownFlagSuggestsNearestName) {
+  try {
+    parse({"--module=12"});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean --modules?"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Cli, UnknownFlagFarFromVocabularyHasNoSuggestion) {
+  try {
+    parse({"--zzzzzzzz=1"});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Cli, FlagNamesAreSortedAndComplete) {
+  CliArgs args = parse({"--modules=4", "--arch", "cab", "--flag"});
+  EXPECT_EQ(args.flag_names(),
+            (std::vector<std::string>{"arch", "flag", "modules"}));
+  EXPECT_TRUE(parse({"cmd"}).flag_names().empty());
+}
+
 TEST(Cli, DuplicateFlagRejected) {
   EXPECT_THROW(parse({"--arch=a", "--arch=b"}), InvalidArgument);
 }

@@ -1,0 +1,328 @@
+// Tests for the vapb-lint driver layer: deterministic file collection,
+// parallel runs, baseline filtering, the JSON/SARIF serializers, and the
+// self-check over the analyzer's own sources plus a generated worst-case
+// tree (budgeted by the lint_selfcheck ctest timeout).
+#include "driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace vapb::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempTree : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("vapb_lint_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+ public:
+  std::string write(const std::string& rel, const std::string& content) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p, std::ios::binary);
+    out << content;
+    return p.string();
+  }
+
+  fs::path root_;
+};
+
+using CollectFiles = TempTree;
+using RunLint = TempTree;
+using SelfCheck = TempTree;
+
+TEST_F(CollectFiles, SortsSiblingsBeforeRecursing) {
+  // Sorted-before-recursion order differs from a global path sort: '-' < '/'
+  // in ASCII, so a flat sort would put "a-b.cpp" before "a/k.cpp". Pinning
+  // the traversal keeps reports byte-stable across filesystems.
+  write("b.cpp", "int b;\n");
+  write("a/z.cpp", "int z;\n");
+  write("a/k.cpp", "int k;\n");
+  write("a-b.cpp", "int ab;\n");
+  std::string error;
+  std::vector<std::string> files = collect_files({root_.string()}, error);
+  EXPECT_TRUE(error.empty());
+  ASSERT_EQ(files.size(), 4u);
+  EXPECT_EQ(fs::path(files[0]).filename(), "k.cpp");
+  EXPECT_EQ(fs::path(files[1]).filename(), "z.cpp");
+  EXPECT_EQ(fs::path(files[2]).filename(), "a-b.cpp");
+  EXPECT_EQ(fs::path(files[3]).filename(), "b.cpp");
+}
+
+TEST_F(CollectFiles, SkipsFixtureBuildAndVcsDirsButHonorsExplicitFiles) {
+  write("src/real.cpp", "int r;\n");
+  const std::string fixture =
+      write("lint_fixtures/planted.cpp", "int p;\n");
+  write("build/generated.cpp", "int g;\n");
+  write(".git/objects/fake.cpp", "int f;\n");
+  std::string error;
+  std::vector<std::string> files = collect_files({root_.string()}, error);
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(fs::path(files[0]).filename(), "real.cpp");
+  // Naming a file inside a skipped directory still lints it.
+  files = collect_files({fixture}, error);
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(fs::path(files[0]).filename(), "planted.cpp");
+}
+
+TEST_F(CollectFiles, DeduplicatesOverlappingInputs) {
+  const std::string f = write("src/one.cpp", "int o;\n");
+  std::string error;
+  std::vector<std::string> files =
+      collect_files({f, root_.string(), f}, error);
+  EXPECT_EQ(files.size(), 1u);
+}
+
+TEST_F(CollectFiles, MissingPathIsAnError) {
+  std::string error;
+  std::vector<std::string> files =
+      collect_files({(root_ / "no_such").string()}, error);
+  EXPECT_TRUE(files.empty());
+  EXPECT_FALSE(error.empty());
+}
+
+// A small tree with one token finding and one cross-file semantic finding.
+void plant_findings(TempTree& t) {
+  t.write("src/core/draw.cpp",
+          "namespace fix {\n"
+          "double draw() { return static_cast<double>(std::rand()); }\n"
+          "}  // namespace fix\n");
+  t.write("src/core/sink.cpp",
+          "namespace fix {\n"
+          "double draw();\n"
+          "RunMetrics make() {\n"
+          "  RunMetrics m;\n"
+          "  draw();\n"
+          "  return m;\n"
+          "}\n"
+          "}  // namespace fix\n");
+}
+
+TEST_F(RunLint, ThreadCountDoesNotChangeTheReport) {
+  plant_findings(*this);
+  LintOptions opts;
+  opts.paths = {root_.string()};
+  const LintRun serial = run_lint(opts);
+  opts.jobs = 4;
+  const LintRun parallel = run_lint(opts);
+  ASSERT_EQ(serial.exit_code, 1);
+  ASSERT_EQ(parallel.exit_code, 1);
+  ASSERT_EQ(serial.violations.size(), parallel.violations.size());
+  for (std::size_t i = 0; i < serial.violations.size(); ++i) {
+    EXPECT_EQ(serial.violations[i].file, parallel.violations[i].file);
+    EXPECT_EQ(serial.violations[i].line, parallel.violations[i].line);
+    EXPECT_EQ(serial.violations[i].rule, parallel.violations[i].rule);
+    EXPECT_EQ(serial.violations[i].message, parallel.violations[i].message);
+  }
+  EXPECT_EQ(to_json(serial.violations), to_json(parallel.violations));
+  EXPECT_EQ(to_sarif(serial.violations), to_sarif(parallel.violations));
+}
+
+TEST_F(RunLint, FindsCrossTuTaintEndToEnd) {
+  plant_findings(*this);
+  LintOptions opts;
+  opts.paths = {root_.string()};
+  const LintRun run = run_lint(opts);
+  bool taint = false;
+  for (const Violation& v : run.violations) {
+    taint = taint || v.rule == "determinism-taint";
+  }
+  EXPECT_TRUE(taint);
+}
+
+TEST_F(RunLint, BaselineRoundTripsAndFilters) {
+  plant_findings(*this);
+  const std::string baseline = (root_ / "baseline.txt").string();
+  LintOptions opts;
+  opts.paths = {(root_ / "src").string()};
+  opts.write_baseline = baseline;
+  const LintRun wrote = run_lint(opts);
+  // Writing a baseline is itself a successful operation (exit 0), but the
+  // findings it grandfathered are still reported back to the caller.
+  ASSERT_EQ(wrote.exit_code, 0);
+  ASSERT_FALSE(wrote.violations.empty());
+  {
+    std::ifstream in(baseline);
+    ASSERT_TRUE(in.is_open());
+    std::string first;
+    std::getline(in, first);
+    EXPECT_EQ(first.rfind('#', 0), 0u) << "baseline starts with a comment";
+  }
+  // With the baseline applied the same tree is clean, exit code 0.
+  LintOptions filtered;
+  filtered.paths = opts.paths;
+  filtered.baseline = baseline;
+  const LintRun clean = run_lint(filtered);
+  EXPECT_EQ(clean.exit_code, 0);
+  EXPECT_TRUE(clean.violations.empty());
+  EXPECT_EQ(clean.baseline_filtered, wrote.violations.size());
+  // A fresh finding is NOT absorbed by the stale baseline.
+  write("src/core/fresh.cpp",
+        "namespace fix {\n"
+        "RunMetrics fresh() {\n"
+        "  std::mt19937 gen;\n"
+        "  return RunMetrics{};\n"
+        "}\n"
+        "}  // namespace fix\n");
+  const LintRun dirty = run_lint(filtered);
+  EXPECT_EQ(dirty.exit_code, 1);
+  EXPECT_FALSE(dirty.violations.empty());
+}
+
+TEST_F(RunLint, FingerprintIgnoresLineNumbers) {
+  Violation a{"src/x.cpp", 10, "determinism-taint", "msg"};
+  Violation b{"src/x.cpp", 99, "determinism-taint", "msg"};
+  EXPECT_EQ(baseline_fingerprint(a), baseline_fingerprint(b));
+  Violation c{"src/y.cpp", 10, "determinism-taint", "msg"};
+  EXPECT_NE(baseline_fingerprint(a), baseline_fingerprint(c));
+}
+
+// -- serializers ------------------------------------------------------------
+
+TEST(LintJson, EscapesAndStructures) {
+  const std::string json = to_json(
+      {Violation{"src/a.cpp", 3, "unit-flow", "say \"hi\" \\ there"}});
+  EXPECT_NE(json.find("\"file\": \"src/a.cpp\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(json.find("say \\\"hi\\\" \\\\ there"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  // An empty run still produces the full object shape.
+  const std::string empty = to_json({});
+  EXPECT_NE(empty.find("\"violations\": []"), std::string::npos) << empty;
+  EXPECT_NE(empty.find("\"count\": 0"), std::string::npos);
+}
+
+// Minimal structural validation against SARIF 2.1.0: every required property
+// of the minimum viable log file, plus our own invariants. (The full JSON
+// schema needs a schema-validator dependency; these checks mirror its
+// required-property list for the objects we emit.)
+TEST(LintSarif, MeetsSarif210RequiredShape) {
+  const std::vector<Violation> vs = {
+      Violation{"src/a.cpp", 3, "determinism-taint", "first \"quoted\""},
+      Violation{"tools/b.cpp", 7, "unit-flow", "second"}};
+  const std::string s = to_sarif(vs);
+  // Log-level required properties.
+  EXPECT_NE(s.find("\"$schema\""), std::string::npos);
+  EXPECT_NE(s.find("sarif-schema-2.1.0.json"), std::string::npos);
+  EXPECT_NE(s.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(s.find("\"runs\": ["), std::string::npos);
+  // runs[].tool.driver with name and rule metadata.
+  EXPECT_NE(s.find("\"tool\""), std::string::npos);
+  EXPECT_NE(s.find("\"driver\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\": \"vapb-lint\""), std::string::npos);
+  EXPECT_NE(s.find("\"rules\": ["), std::string::npos);
+  // Every reported ruleId must appear in the driver's rule catalog entries.
+  EXPECT_NE(s.find("\"id\": \"determinism-taint\""), std::string::npos);
+  EXPECT_NE(s.find("\"id\": \"unit-flow\""), std::string::npos);
+  // results[] with ruleId/level/message/locations.
+  EXPECT_NE(s.find("\"ruleId\": \"determinism-taint\""), std::string::npos);
+  EXPECT_NE(s.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(s.find("first \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(s.find("\"uri\": \"src/a.cpp\""), std::string::npos);
+  EXPECT_NE(s.find("\"uriBaseId\": \"%SRCROOT%\""), std::string::npos);
+  EXPECT_NE(s.find("\"startLine\": 3"), std::string::npos);
+  // Balanced braces/brackets — cheap well-formedness guard.
+  long brace = 0, bracket = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++brace;
+    if (c == '}') --brace;
+    if (c == '[') ++bracket;
+    if (c == ']') --bracket;
+    EXPECT_GE(brace, 0);
+    EXPECT_GE(bracket, 0);
+  }
+  EXPECT_EQ(brace, 0);
+  EXPECT_EQ(bracket, 0);
+}
+
+TEST(LintSarif, EmptyRunIsStillAValidLog) {
+  const std::string s = to_sarif({});
+  EXPECT_NE(s.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(s.find("\"results\": []"), std::string::npos);
+}
+
+TEST(LintSarif, LineZeroFindingsClampToOne) {
+  // region.startLine must be >= 1 per the schema; file-level findings
+  // (line 0) clamp rather than emit an invalid region.
+  const std::string s =
+      to_sarif({Violation{"src/a.cpp", 0, "unused-include", "whole-file"}});
+  EXPECT_NE(s.find("\"startLine\": 1"), std::string::npos);
+  EXPECT_EQ(s.find("\"startLine\": 0"), std::string::npos);
+}
+
+// -- self-check -------------------------------------------------------------
+
+// The analyzer's own sources must lint clean, and a generated worst-case
+// tree (many same-name functions -> maximal call-graph fan-out, plus a
+// seeded fraction of real findings) must complete inside the lint_selfcheck
+// ctest timeout with exactly the seeded findings detected.
+TEST_F(SelfCheck, OwnSourcesAndWorstCaseTreeUnderBudget) {
+  LintOptions own;
+  own.paths = {VAPB_LINT_SOURCE_DIR};
+  const LintRun own_run = run_lint(own);
+  EXPECT_EQ(own_run.exit_code, 0) << to_json(own_run.violations);
+  EXPECT_GE(own_run.files_linted, 8u);
+
+  const int kFiles = 160;
+  const int kFnsPerFile = 20;
+  int seeded = 0;
+  for (int f = 0; f < kFiles; ++f) {
+    std::string src = "namespace worst {\n";
+    for (int g = 0; g < kFnsPerFile; ++g) {
+      // Every file defines the same function names: name-only resolution
+      // fans out to kFiles candidates per call site.
+      src += "double shared_fn_" + std::to_string(g) + "(double load_w) {\n";
+      src += "  return helper_" + std::to_string((g + 1) % kFnsPerFile) +
+             "(load_w);\n}\n";
+      src += "double helper_" + std::to_string(g) +
+             "(double x) { return x; }\n";
+    }
+    if (f % 20 == 0) {
+      src += "RunMetrics tainted() {\n"
+             "  std::rand();\n"
+             "  return RunMetrics{};\n"
+             "}\n";
+      ++seeded;
+    }
+    src += "}  // namespace worst\n";
+    write("src/gen/file_" + std::to_string(f) + ".cpp", src);
+  }
+  LintOptions opts;
+  opts.paths = {root_.string()};
+  opts.jobs = 4;
+  const LintRun run = run_lint(opts);
+  EXPECT_EQ(run.files_linted, static_cast<std::size_t>(kFiles));
+  int taint = 0, random = 0;
+  for (const Violation& v : run.violations) {
+    taint += v.rule == "determinism-taint" ? 1 : 0;
+    random += v.rule == "determinism-random" ? 1 : 0;
+  }
+  EXPECT_EQ(taint, seeded);
+  EXPECT_EQ(random, seeded);
+}
+
+}  // namespace
+}  // namespace vapb::lint

@@ -1,0 +1,295 @@
+// Tests for vapb-lint's project-level layer: the structural parser, the
+// symbol index + call graph, and the four semantic rule families, driven by
+// the committed multi-file fixture corpus under tests/lint_fixtures/.
+#include "semantic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "parser.hpp"
+
+namespace vapb::lint {
+namespace {
+
+std::string fixture(const std::string& rel) {
+  std::ifstream in(std::string(VAPB_LINT_FIXTURE_DIR) + "/" + rel,
+                   std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << rel;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+FileModel parse_fixture(const std::string& rel) {
+  return parse_file("tests/lint_fixtures/" + rel, lex(fixture(rel)));
+}
+
+FileModel parse_inline(const std::string& path, const std::string& source) {
+  return parse_file(path, lex(source));
+}
+
+std::vector<Violation> analyze(std::vector<FileModel> files) {
+  ProjectIndex index = build_project_index(std::move(files));
+  return run_semantic_rules(index, build_call_graph(index));
+}
+
+int count_rule(const std::vector<Violation>& vs, const std::string& rule) {
+  int n = 0;
+  for (const Violation& v : vs) n += v.rule == rule ? 1 : 0;
+  return n;
+}
+
+const FunctionDef* find_fn(const ProjectIndex& index, const std::string& name) {
+  const auto it = index.by_name.find(name);
+  if (it == index.by_name.end() || it->second.empty()) return nullptr;
+  return &index.functions[static_cast<std::size_t>(it->second.front())];
+}
+
+// -- parser -----------------------------------------------------------------
+
+TEST(LintParser, ExtractsFunctionsMethodsAndParams) {
+  FileModel m = parse_inline(
+      "src/x.cpp",
+      "namespace outer {\n"
+      "double free_fn(int count, const std::string& label) { return 0; }\n"
+      "class Widget {\n"
+      " public:\n"
+      "  int size() const;\n"
+      "};\n"
+      "int Widget::size() const { return 2; }\n"
+      "}  // namespace outer\n");
+  ASSERT_EQ(m.functions.size(), 2u);
+  EXPECT_EQ(m.functions[0].name, "free_fn");
+  EXPECT_EQ(m.functions[0].qualified, "outer::free_fn");
+  EXPECT_EQ(m.functions[0].class_name, "");
+  ASSERT_EQ(m.functions[0].params.size(), 2u);
+  EXPECT_EQ(m.functions[0].params[0].name, "count");
+  EXPECT_EQ(m.functions[0].params[1].name, "label");
+  EXPECT_EQ(m.functions[1].name, "size");
+  EXPECT_EQ(m.functions[1].class_name, "Widget");
+  EXPECT_TRUE(m.functions[1].is_const);
+  ASSERT_EQ(m.classes.size(), 1u);
+  EXPECT_EQ(m.classes[0].name, "Widget");
+}
+
+TEST(LintParser, DeclarationsAreNotDefinitions) {
+  FileModel m = parse_inline("src/x.cpp",
+                             "double forward_decl(int a);\n"
+                             "double defined(int a) { return a; }\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "defined");
+}
+
+TEST(LintParser, RecordsLambdaCapturesAndWrites) {
+  FileModel m = parse_inline(
+      "src/x.cpp",
+      "void f(Pool& pool, std::vector<double>& out) {\n"
+      "  double total = 0.0;\n"
+      "  parallel_for(pool, out.size(), [&](std::size_t i) {\n"
+      "    out[i] = 1.0;\n"
+      "    total += 2.0;\n"
+      "  });\n"
+      "}\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  ASSERT_EQ(m.functions[0].lambdas.size(), 1u);
+  const LambdaFact& lam = m.functions[0].lambdas[0];
+  EXPECT_EQ(lam.host_call, "parallel_for");
+  EXPECT_TRUE(lam.ref_default);
+  EXPECT_EQ(lam.index_param, "i");
+  ASSERT_EQ(lam.writes.size(), 2u);
+  EXPECT_EQ(lam.writes[0].name, "out");
+  EXPECT_TRUE(lam.writes[0].indexed);
+  EXPECT_EQ(lam.writes[1].name, "total");
+  EXPECT_FALSE(lam.writes[1].indexed);
+}
+
+TEST(LintParser, AtomicDeclarationsAreRecorded) {
+  FileModel m = parse_inline("src/x.cpp",
+                             "void f() {\n"
+                             "  std::atomic<int> count{0};\n"
+                             "  std::atomic<bool>* flag = nullptr;\n"
+                             "}\n");
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].atomic_names.count("count"), 1u);
+  EXPECT_EQ(m.functions[0].atomic_names.count("flag"), 1u);
+}
+
+TEST(LintSemantic, AtomicCounterWritesAreNotRaces) {
+  auto vs = analyze({parse_inline(
+      "src/x.cpp",
+      "void f(Pool& pool, std::size_t n) {\n"
+      "  std::atomic<long> count{0};\n"
+      "  parallel_for(pool, n, [&](std::size_t i) { ++count; });\n"
+      "}\n")});
+  EXPECT_EQ(count_rule(vs, "parallel-capture-race"), 0);
+}
+
+TEST(LintSemantic, PrefixIncrementOfIndexedElementIsClean) {
+  auto vs = analyze({parse_inline(
+      "src/x.cpp",
+      "void f(Pool& pool, std::vector<int>& hits) {\n"
+      "  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });\n"
+      "}\n")});
+  EXPECT_EQ(count_rule(vs, "parallel-capture-race"), 0);
+}
+
+TEST(LintSemantic, SubscriptedStoreWithWrongIndexIsARace) {
+  // Every chunk writes element 0: subscripted, but not by the loop index.
+  auto vs = analyze({parse_inline(
+      "src/x.cpp",
+      "void f(Pool& pool, std::vector<double>& out, std::size_t n) {\n"
+      "  parallel_for(pool, n, [&](std::size_t i) { out[0] += 1.0; });\n"
+      "}\n")});
+  EXPECT_EQ(count_rule(vs, "parallel-capture-race"), 1);
+}
+
+TEST(LintParser, UnitSuffixTable) {
+  EXPECT_EQ(unit_suffix_of("budget_w"), "watts");
+  EXPECT_EQ(unit_suffix_of("total_watts"), "watts");
+  EXPECT_EQ(unit_suffix_of("span_s"), "seconds");
+  EXPECT_EQ(unit_suffix_of("used_j"), "joules");
+  EXPECT_EQ(unit_suffix_of("clock_ghz"), "gigahertz");
+  EXPECT_EQ(unit_suffix_of("watts_per_s"), "");  // rates are their own unit
+  EXPECT_EQ(unit_suffix_of("count"), "");
+}
+
+// -- symbol index + call graph ----------------------------------------------
+
+TEST(LintCallGraph, QualifiedCallsResolveConfidently) {
+  ProjectIndex index = build_project_index(
+      {parse_inline("src/a.cpp",
+                    "namespace util { double clamp(double x) { return x; } }\n"
+                    "namespace des { double clamp(double x) { return x; } }\n"
+                    "double use() { return util::clamp(1.0); }\n")});
+  const FunctionDef* use = find_fn(index, "use");
+  ASSERT_NE(use, nullptr);
+  ASSERT_EQ(use->calls.size(), 1u);
+  bool confident = false;
+  std::vector<int> targets = resolve_call(index, *use, use->calls[0],
+                                          &confident);
+  EXPECT_TRUE(confident);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(index.functions[static_cast<std::size_t>(targets[0])].qualified,
+            "util::clamp");
+}
+
+TEST(LintCallGraph, SameClassMethodWinsOverNameFallback) {
+  ProjectIndex index = build_project_index({parse_inline(
+      "src/a.cpp",
+      "class A { public: void run(); void helper(); };\n"
+      "class B { public: void helper(); };\n"
+      "void A::run() { helper(); }\n"
+      "void A::helper() {}\n"
+      "void B::helper() {}\n")});
+  const FunctionDef* run = find_fn(index, "run");
+  ASSERT_NE(run, nullptr);
+  ASSERT_EQ(run->calls.size(), 1u);
+  bool confident = false;
+  std::vector<int> targets =
+      resolve_call(index, *run, run->calls[0], &confident);
+  EXPECT_TRUE(confident);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(index.functions[static_cast<std::size_t>(targets[0])].class_name,
+            "A");
+}
+
+TEST(LintCallGraph, OverloadSetsResolveToEveryCandidateUnconfidently) {
+  ProjectIndex index = build_project_index({parse_inline(
+      "src/a.cpp",
+      "double f(double x) { return x; }\n"
+      "double f(double x, double y) { return x + y; }\n"
+      "double g() { return f(1.0); }\n")});
+  const FunctionDef* g = find_fn(index, "g");
+  ASSERT_NE(g, nullptr);
+  ASSERT_EQ(g->calls.size(), 1u);
+  bool confident = true;
+  std::vector<int> targets = resolve_call(index, *g, g->calls[0], &confident);
+  EXPECT_FALSE(confident);  // name fallback over a 2-element overload set
+  EXPECT_EQ(targets.size(), 2u);
+}
+
+TEST(LintCallGraph, CyclesTerminateAndStillPropagateTaint) {
+  // tick <-> tock is a call cycle; the sink BFS and the purity closure must
+  // terminate, and the source inside tock must still reach the sink.
+  auto vs = analyze({parse_inline(
+      "src/a.cpp",
+      "RunMetrics tick(int n) {\n"
+      "  if (n > 0) tock(n - 1);\n"
+      "  return RunMetrics{};\n"
+      "}\n"
+      "void tock(int n) {\n"
+      "  if (n > 0) tick(n - 1);\n"
+      "  std::rand();\n"
+      "}\n")});
+  EXPECT_EQ(count_rule(vs, "determinism-taint"), 1);
+}
+
+TEST(LintCallGraph, InheritanceCyclesDoNotHangStageDetection) {
+  auto vs = analyze({parse_inline("src/a.cpp",
+                                  "class A : public B { };\n"
+                                  "class B : public A { };\n"
+                                  "void f() {}\n")});
+  EXPECT_TRUE(vs.empty());
+}
+
+// -- fixture corpus: the four semantic families -----------------------------
+
+TEST(SemanticFixtures, CrossTuTaintIsCaught) {
+  auto vs = analyze({parse_fixture("cross_tu/noise.cpp"),
+                     parse_fixture("cross_tu/metrics.cpp")});
+  ASSERT_EQ(count_rule(vs, "determinism-taint"), 1);
+  const Violation& v = vs.front();
+  // The finding lands at the source site, names the sink, and shows the path.
+  EXPECT_EQ(v.file, "tests/lint_fixtures/cross_tu/noise.cpp");
+  EXPECT_NE(v.message.find("fix::finalize_run"), std::string::npos)
+      << v.message;
+  EXPECT_NE(v.message.find("call path"), std::string::npos) << v.message;
+  EXPECT_NE(v.message.find("ambient_jitter"), std::string::npos) << v.message;
+  // unreferenced_draw uses the same source but is unreachable from any sink.
+  EXPECT_EQ(v.line, 7);
+}
+
+TEST(SemanticFixtures, CrossTuTaintNeedsBothFiles) {
+  EXPECT_TRUE(analyze({parse_fixture("cross_tu/noise.cpp")}).empty());
+  EXPECT_TRUE(analyze({parse_fixture("cross_tu/metrics.cpp")}).empty());
+}
+
+TEST(SemanticFixtures, ParallelCaptureRace) {
+  auto bad = analyze({parse_fixture("race/bad_ref_capture.cpp")});
+  EXPECT_EQ(count_rule(bad, "parallel-capture-race"), 2);
+  for (const Violation& v : bad) {
+    EXPECT_NE(v.message.find("captured by reference"), std::string::npos);
+  }
+  auto good = analyze({parse_fixture("race/good_indexed_capture.cpp")});
+  EXPECT_EQ(count_rule(good, "parallel-capture-race"), 0);
+}
+
+TEST(SemanticFixtures, StagePurityFlagsTransitiveMemberWrites) {
+  auto bad = analyze({parse_fixture("stage_purity/bad_stateful_stage.cpp")});
+  ASSERT_EQ(count_rule(bad, "stage-purity"), 1);
+  // The write sits two calls below run(): run -> note -> bump.
+  EXPECT_NE(bad.front().message.find("bump"), std::string::npos)
+      << bad.front().message;
+  EXPECT_NE(bad.front().message.find("runs_"), std::string::npos);
+  auto good = analyze({parse_fixture("stage_purity/good_cached_stage.cpp")});
+  EXPECT_EQ(count_rule(good, "stage-purity"), 0);
+}
+
+TEST(SemanticFixtures, UnitFlowAcrossCallBoundaries) {
+  auto bad = analyze({parse_fixture("unit_flow/convert.cpp"),
+                      parse_fixture("unit_flow/bad_cross_unit.cpp")});
+  // One argument mismatch (watts -> joules) and one return mismatch
+  // (watts-returning call stored in a seconds variable).
+  EXPECT_EQ(count_rule(bad, "unit-flow"), 2);
+  auto good = analyze({parse_fixture("unit_flow/convert.cpp"),
+                       parse_fixture("unit_flow/good_matched_units.cpp")});
+  EXPECT_EQ(count_rule(good, "unit-flow"), 0);
+}
+
+}  // namespace
+}  // namespace vapb::lint

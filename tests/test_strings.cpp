@@ -59,5 +59,34 @@ TEST(Strings, Join) {
   EXPECT_EQ(join({"solo"}, ","), "solo");
 }
 
+TEST(Strings, EditDistance) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("scheme", "schemes"), 1u);  // insertion
+  EXPECT_EQ(edit_distance("VaPc", "VaFs"), 2u);       // two substitutions
+}
+
+TEST(Strings, NearestNameWithinBudget) {
+  const std::vector<std::string> names = {"modules", "threads", "repetitions"};
+  EXPECT_EQ(nearest_name("module", names), "modules");
+  EXPECT_EQ(nearest_name("treads", names), "threads");
+}
+
+TEST(Strings, NearestNameRejectsFarMatches) {
+  const std::vector<std::string> names = {"modules", "threads"};
+  // budget = max(2, 3/3) = 2; "xyz" is > 2 edits from everything.
+  EXPECT_EQ(nearest_name("xyz", names), "");
+  EXPECT_EQ(nearest_name("anything", {}), "");
+}
+
+TEST(Strings, NearestNameTiesBreakTowardEarlierCandidate) {
+  // Both are one edit away; the first listed wins, deterministically.
+  EXPECT_EQ(nearest_name("vapx", {"vapa", "vapb"}), "vapa");
+  EXPECT_EQ(nearest_name("vapx", {"vapb", "vapa"}), "vapb");
+}
+
 }  // namespace
 }  // namespace vapb::util

@@ -77,6 +77,7 @@ TEST(ParallelFor, SmallNRunsSerially) {
   // With n <= grain the loop is serial on the caller thread, so mutation
   // without synchronization is safe and ordered.
   parallel_for(pool, 10,
+               // vapb-lint: allow(parallel-capture-race): serial-path test
                [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
                /*grain=*/64);
   std::vector<int> expected(10);
@@ -175,6 +176,7 @@ TEST(ParallelFor, GrainOneOnSingleWorkerPool) {
   ThreadPool pool(1);
   std::vector<int> order;
   parallel_for(pool, 64,
+               // vapb-lint: allow(parallel-capture-race): serial-path test
                [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
                /*grain=*/1);
   std::vector<int> expected(64);

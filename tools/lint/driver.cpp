@@ -1,0 +1,345 @@
+#include "driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "parser.hpp"
+#include "semantic.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fs = std::filesystem;
+
+namespace vapb::lint {
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp";
+}
+
+// Fixture trees contain deliberate violations; a directory scan must not
+// wander into them. Explicitly named files/dirs are always processed.
+bool skipped_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "lint_fixtures" || name == "build" || name == ".git";
+}
+
+// Sorted-before-recursion walk: entries of each directory are collected,
+// sorted by filename, and only then visited, so the traversal order never
+// depends on readdir() order.
+void walk_sorted(const fs::path& dir, std::vector<std::string>& out) {
+  std::vector<fs::path> entries;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    entries.push_back(it->path());
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.filename().string() < b.filename().string();
+            });
+  for (const fs::path& p : entries) {
+    std::error_code type_ec;
+    if (fs::is_directory(p, type_ec)) {
+      if (!skipped_dir(p)) walk_sorted(p, out);
+    } else if (fs::is_regular_file(p, type_ec) && lintable(p)) {
+      out.push_back(p.generic_string());
+    }
+  }
+}
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return "";
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  ok = true;
+  return ss.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::set<std::string> load_baseline(const std::string& path, bool& ok) {
+  std::set<std::string> fingerprints;
+  std::ifstream in(path);
+  if (!in) {
+    ok = false;
+    return fingerprints;
+  }
+  ok = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    fingerprints.insert(line);
+  }
+  return fingerprints;
+}
+
+}  // namespace
+
+std::vector<std::string> collect_files(const std::vector<std::string>& paths,
+                                       std::string& error) {
+  std::vector<std::string> files;
+  for (const std::string& arg : paths) {
+    const fs::path p(arg);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      walk_sorted(p, files);
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p.generic_string());
+    } else {
+      error = "cannot read '" + arg + "'";
+      return {};
+    }
+  }
+  // Stable dedupe: keep the first occurrence, preserve traversal order.
+  std::set<std::string> seen;
+  std::vector<std::string> unique;
+  unique.reserve(files.size());
+  for (std::string& f : files) {
+    if (seen.insert(f).second) unique.push_back(std::move(f));
+  }
+  return unique;
+}
+
+std::string baseline_fingerprint(const Violation& v) {
+  return v.rule + "|" + v.file + "|" + v.message;
+}
+
+LintRun run_lint(const LintOptions& opts) {
+  LintRun run;
+  std::vector<std::string> files = collect_files(opts.paths, run.error);
+  if (!run.error.empty()) {
+    run.exit_code = 2;
+    return run;
+  }
+  run.files_linted = files.size();
+
+  // Read everything up front (IO errors fail fast and deterministically).
+  std::vector<std::string> texts(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    bool ok = false;
+    texts[i] = read_file(files[i], ok);
+    if (!ok) {
+      run.error = "cannot read '" + files[i] + "'";
+      run.exit_code = 2;
+      return run;
+    }
+  }
+
+  // Header index for the unused-include rule (cheap, sequential).
+  std::vector<std::pair<std::string, std::string>> headers;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (fs::path(files[i]).extension() == ".hpp") {
+      headers.emplace_back(files[i], texts[i]);
+    }
+  }
+  const HeaderIndex header_index = build_header_index(headers);
+
+  // Per-file pass: token rules + structural model + suppressions. Each file
+  // is independent; results land in per-index slots, so the merge order is
+  // the (already deterministic) traversal order regardless of --jobs.
+  std::vector<std::vector<Violation>> token_findings(files.size());
+  std::vector<FileModel> models(files.size());
+  std::vector<FileSuppressions> suppressions(files.size());
+  const auto lint_one = [&](std::size_t i) {
+    token_findings[i] = lint_source(files[i], texts[i], header_index);
+    models[i] = parse_file(files[i], lex(texts[i]));
+    suppressions[i] = collect_suppressions(files[i], texts[i]);
+  };
+  if (opts.jobs > 1 && files.size() > 1) {
+    util::ThreadPool pool(static_cast<std::size_t>(opts.jobs));
+    util::parallel_for(pool, files.size(), lint_one, /*grain=*/1);
+  } else {
+    for (std::size_t i = 0; i < files.size(); ++i) lint_one(i);
+  }
+
+  // Project-wide semantic pass on the merged symbol index.
+  const ProjectIndex index = build_project_index(std::move(models));
+  const CallGraph graph = build_call_graph(index);
+  std::vector<Violation> semantic = run_semantic_rules(index, graph);
+
+  // Suppression filtering for semantic findings happens here (token rules
+  // already self-filter inside lint_source): an allow(...) at the source
+  // site covers the finding.
+  std::map<std::string, const FileSuppressions*> sup_by_file;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    sup_by_file[files[i]] = &suppressions[i];
+  }
+  std::vector<Violation> all;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    for (Violation& v : token_findings[i]) all.push_back(std::move(v));
+  }
+  for (Violation& v : semantic) {
+    const auto it = sup_by_file.find(v.file);
+    if (it != sup_by_file.end()) {
+      const auto rule_it = it->second->lines.find(v.rule);
+      if (rule_it != it->second->lines.end() &&
+          rule_it->second.count(v.line) > 0) {
+        continue;
+      }
+    }
+    all.push_back(std::move(v));
+  }
+
+  // Report in traversal order, then by line/rule/message within a file.
+  std::map<std::string, std::size_t> file_order;
+  for (std::size_t i = 0; i < files.size(); ++i) file_order[files[i]] = i;
+  const auto order_of = [&](const std::string& file) {
+    const auto it = file_order.find(file);
+    return it == file_order.end() ? files.size() : it->second;
+  };
+  std::sort(all.begin(), all.end(),
+            [&](const Violation& a, const Violation& b) {
+              const std::size_t fa = order_of(a.file);
+              const std::size_t fb = order_of(b.file);
+              return std::tie(fa, a.line, a.rule, a.message) <
+                     std::tie(fb, b.line, b.rule, b.message);
+            });
+
+  if (!opts.write_baseline.empty()) {
+    std::set<std::string> fingerprints;
+    for (const Violation& v : all) fingerprints.insert(baseline_fingerprint(v));
+    std::ofstream out(opts.write_baseline);
+    if (!out) {
+      run.error = "cannot write '" + opts.write_baseline + "'";
+      run.exit_code = 2;
+      return run;
+    }
+    out << "# vapb-lint baseline: one rule|file|message fingerprint per "
+           "line.\n# Entries grandfather existing findings; keep this file "
+           "empty on main.\n";
+    for (const std::string& fp : fingerprints) out << fp << "\n";
+    run.violations = std::move(all);
+    return run;
+  }
+
+  if (!opts.baseline.empty()) {
+    bool ok = false;
+    const std::set<std::string> baseline = load_baseline(opts.baseline, ok);
+    if (!ok) {
+      run.error = "cannot read baseline '" + opts.baseline + "'";
+      run.exit_code = 2;
+      return run;
+    }
+    std::vector<Violation> kept;
+    kept.reserve(all.size());
+    for (Violation& v : all) {
+      if (baseline.count(baseline_fingerprint(v)) > 0) {
+        ++run.baseline_filtered;
+      } else {
+        kept.push_back(std::move(v));
+      }
+    }
+    all = std::move(kept);
+  }
+
+  run.violations = std::move(all);
+  run.exit_code = run.violations.empty() ? 0 : 1;
+  return run;
+}
+
+std::string to_json(const std::vector<Violation>& violations) {
+  std::ostringstream out;
+  out << "{\n  \"violations\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"file\": \"" << json_escape(v.file) << "\", \"line\": "
+        << v.line << ", \"rule\": \"" << json_escape(v.rule)
+        << "\", \"message\": \"" << json_escape(v.message) << "\"}";
+  }
+  out << (violations.empty() ? "" : "\n  ") << "],\n  \"count\": "
+      << violations.size() << "\n}\n";
+  return out.str();
+}
+
+std::string to_sarif(const std::vector<Violation>& violations) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n"
+      << "          \"name\": \"vapb-lint\",\n"
+      << "          \"version\": \"2.0.0\",\n"
+      << "          \"informationUri\": "
+         "\"https://example.invalid/vapb/docs/LINT.md\",\n"
+      << "          \"rules\": [";
+  const auto& catalog = rule_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "            {\"id\": \"" << json_escape(catalog[i].name)
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(catalog[i].description) << "\"}}";
+  }
+  out << "\n          ]\n        }\n      },\n      \"results\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "        {\n"
+        << "          \"ruleId\": \"" << json_escape(v.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(v.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \""
+        << json_escape(v.file) << "\", \"uriBaseId\": \"%SRCROOT%\"},\n"
+        << "                \"region\": {\"startLine\": "
+        << (v.line > 0 ? v.line : 1) << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }";
+  }
+  out << (violations.empty() ? "" : "\n      ") << "]\n    }\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace vapb::lint

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace vapb::lint {
+
+/// Options for one analyzer run, mapped 1:1 from the CLI.
+struct LintOptions {
+  std::vector<std::string> paths;  ///< files and/or directories
+  int jobs = 1;                    ///< per-file workers (ThreadPool), >= 1
+  std::string format = "text";     ///< text | json | sarif
+  std::string out;                 ///< output file ("" = stdout)
+  std::string baseline;            ///< grandfathered-finding file ("" = none)
+  std::string write_baseline;      ///< write fingerprints here and finish
+};
+
+struct LintRun {
+  std::vector<Violation> violations;  ///< post-suppression, post-baseline
+  std::size_t files_linted = 0;
+  std::size_t baseline_filtered = 0;  ///< findings dropped by --baseline
+  int exit_code = 0;                  ///< 0 clean, 1 findings, 2 usage/IO
+  std::string error;                  ///< populated when exit_code == 2
+};
+
+/// Expands files/directories into the lintable file list. Directory entries
+/// are sorted lexicographically *before* recursing, so the resulting order
+/// (and every downstream report) is byte-stable across filesystems.
+/// Fixture/build/VCS directories are skipped during recursion; explicitly
+/// named files are always included.
+[[nodiscard]] std::vector<std::string> collect_files(
+    const std::vector<std::string>& paths, std::string& error);
+
+/// Runs the full analyzer: per-file token rules (parallel across `jobs`
+/// workers with a deterministic merge), then the project-wide semantic
+/// rules on the merged symbol index, then suppression and baseline
+/// filtering. Pure with respect to `opts.out` — writing is the CLI's job.
+[[nodiscard]] LintRun run_lint(const LintOptions& opts);
+
+/// Stable identity of a finding for baseline files: rule|file|message —
+/// line numbers are deliberately excluded so unrelated edits above a
+/// grandfathered finding do not un-grandfather it.
+[[nodiscard]] std::string baseline_fingerprint(const Violation& v);
+
+/// Serializers for --format. Both escape per JSON rules and end with '\n'.
+[[nodiscard]] std::string to_json(const std::vector<Violation>& violations);
+[[nodiscard]] std::string to_sarif(const std::vector<Violation>& violations);
+
+}  // namespace vapb::lint

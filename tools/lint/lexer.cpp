@@ -17,10 +17,10 @@ bool is_ident_char(char c) {
 }
 
 // Multi-character punctuators, longest first so maximal munch wins.
-constexpr std::array<std::string_view, 24> kPuncts = {
+constexpr std::array<std::string_view, 26> kPuncts = {
     "<<=", ">>=", "<=>", "->*", "...", "::", "->", "<=", ">=", "==", "!=",
-    "&&",  "||",  "+=",  "-=",  "*=", "/=", "%=", "^=", "|=", "&=", "<<",
-    ">>",  "##"};
+    "&&",  "||",  "+=",  "-=",  "*=", "/=", "%=", "^=", "|=", "&=", "++",
+    "--",  "<<",  ">>",  "##"};
 
 }  // namespace
 

@@ -1,56 +1,44 @@
 // vapb-lint: project-specific static analysis for the VAPB codebase.
 //
-// Enforces determinism (no ambient randomness or wall clocks in the
-// simulation core), unit safety (no arithmetic across unit suffixes,
-// no unsuffixed physical quantities), and hygiene (unused project includes,
-// 'using namespace' in headers, [[nodiscard]] on pure accessors).
+// v2 is a two-layer analyzer: per-file token rules (determinism allowlists,
+// unit suffixes, hygiene) plus project-wide semantic rules on a symbol index
+// and call graph (cross-TU determinism taint, parallel-capture races, stage
+// purity, unit flow across call boundaries). See docs/LINT.md for the rule
+// catalog and suppression guidance.
 //
-// Usage: vapb-lint [--list-rules] <file|dir>...
+// Usage: vapb-lint [options] <file|dir>...
+//   --list-rules          print the rule catalog and exit
+//   --jobs N              lint files on N workers (default 1); output is
+//                         bit-identical for every N
+//   --format text|json|sarif   report format (default text)
+//   --out FILE            write the report to FILE instead of stdout
+//   --baseline FILE       drop findings whose fingerprints appear in FILE
+//   --write-baseline FILE write current finding fingerprints to FILE
 // Exits 0 when clean, 1 on violations, 2 on usage/IO errors.
 
-#include <algorithm>
 #include <cstdio>
-#include <filesystem>
+#include <cstdlib>
 #include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "rules.hpp"
-
-namespace fs = std::filesystem;
+#include "driver.hpp"
 
 namespace {
 
-bool lintable(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".hpp" || ext == ".cpp";
-}
-
-// Fixture trees contain deliberate violations; a directory scan must not
-// wander into them. Explicitly named files are always linted.
-bool skipped_dir(const fs::path& p) {
-  const std::string name = p.filename().string();
-  return name == "lint_fixtures" || name == "build" || name == ".git";
-}
-
-std::string read_file(const fs::path& p, bool& ok) {
-  std::ifstream in(p, std::ios::binary);
-  if (!in) {
-    ok = false;
-    return "";
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  ok = true;
-  return ss.str();
+int usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: vapb-lint [--list-rules] [--jobs N] "
+               "[--format text|json|sarif] [--out FILE]\n"
+               "                 [--baseline FILE] [--write-baseline FILE] "
+               "<file|dir>...\n");
+  return to == stdout ? 0 : 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<fs::path> files;
-  bool any_args = false;
+  vapb::lint::LintOptions opts;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--list-rules") {
@@ -59,71 +47,95 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
-    if (arg == "--help" || arg == "-h") {
-      std::printf("usage: vapb-lint [--list-rules] <file|dir>...\n");
-      return 0;
-    }
-    any_args = true;
-    fs::path p(arg);
-    std::error_code ec;
-    if (fs::is_directory(p, ec)) {
-      fs::recursive_directory_iterator it(p, ec), end;
-      for (; it != end; it.increment(ec)) {
-        if (ec) break;
-        if (it->is_directory() && skipped_dir(it->path())) {
-          it.disable_recursion_pending();
-          continue;
-        }
-        if (it->is_regular_file() && lintable(it->path())) {
-          files.push_back(it->path());
-        }
+    if (arg == "--help" || arg == "-h") return usage(stdout);
+    const auto flag_value = [&](const char* flag) -> const char* {
+      if (arg != flag) return nullptr;
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "vapb-lint: %s needs a value\n", flag);
+        std::exit(2);
       }
-    } else if (fs::is_regular_file(p, ec)) {
-      files.push_back(p);
-    } else {
-      std::fprintf(stderr, "vapb-lint: cannot read '%s'\n", arg.c_str());
-      return 2;
+      return argv[++a];
+    };
+    if (const char* v = flag_value("--jobs")) {
+      opts.jobs = std::atoi(v);
+      if (opts.jobs < 1) {
+        std::fprintf(stderr, "vapb-lint: --jobs must be >= 1\n");
+        return 2;
+      }
+      continue;
     }
+    if (const char* v = flag_value("--format")) {
+      opts.format = v;
+      if (opts.format != "text" && opts.format != "json" &&
+          opts.format != "sarif") {
+        std::fprintf(stderr, "vapb-lint: unknown format '%s'\n", v);
+        return 2;
+      }
+      continue;
+    }
+    if (const char* v = flag_value("--out")) {
+      opts.out = v;
+      continue;
+    }
+    if (const char* v = flag_value("--baseline")) {
+      opts.baseline = v;
+      continue;
+    }
+    if (const char* v = flag_value("--write-baseline")) {
+      opts.write_baseline = v;
+      continue;
+    }
+    if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      std::fprintf(stderr, "vapb-lint: unknown option '%s'\n", arg.c_str());
+      return usage(stderr);
+    }
+    opts.paths.push_back(arg);
   }
-  if (!any_args) {
-    std::fprintf(stderr, "usage: vapb-lint [--list-rules] <file|dir>...\n");
+  if (opts.paths.empty()) return usage(stderr);
+
+  const vapb::lint::LintRun run = vapb::lint::run_lint(opts);
+  if (run.exit_code == 2) {
+    std::fprintf(stderr, "vapb-lint: %s\n", run.error.c_str());
     return 2;
   }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
+  if (!opts.write_baseline.empty()) {
+    std::fprintf(stderr, "vapb-lint: wrote %zu fingerprint%s to %s\n",
+                 run.violations.size(), run.violations.size() == 1 ? "" : "s",
+                 opts.write_baseline.c_str());
+    return 0;
+  }
 
-  // Pass 1: index every header so unused-include can resolve project names.
-  std::vector<std::pair<std::string, std::string>> headers;
-  std::vector<std::pair<std::string, std::string>> sources;
-  for (const fs::path& p : files) {
-    bool ok = false;
-    std::string text = read_file(p, ok);
-    if (!ok) {
-      std::fprintf(stderr, "vapb-lint: cannot read '%s'\n",
-                   p.string().c_str());
+  std::string report;
+  if (opts.format == "json") {
+    report = vapb::lint::to_json(run.violations);
+  } else if (opts.format == "sarif") {
+    report = vapb::lint::to_sarif(run.violations);
+  } else {
+    for (const vapb::lint::Violation& v : run.violations) {
+      report += v.file + ":" + std::to_string(v.line) + ": [" + v.rule + "] " +
+                v.message + "\n";
+    }
+    if (!run.violations.empty()) {
+      report += "vapb-lint: " + std::to_string(run.violations.size()) +
+                " violation" + (run.violations.size() == 1 ? "" : "s") +
+                " in " + std::to_string(run.files_linted) + " file" +
+                (run.files_linted == 1 ? "" : "s");
+      if (run.baseline_filtered > 0) {
+        report += " (" + std::to_string(run.baseline_filtered) +
+                  " baseline-filtered)";
+      }
+      report += "\n";
+    }
+  }
+  if (opts.out.empty()) {
+    std::fputs(report.c_str(), stdout);
+  } else {
+    std::ofstream out(opts.out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "vapb-lint: cannot write '%s'\n", opts.out.c_str());
       return 2;
     }
-    const std::string display = p.generic_string();
-    if (p.extension() == ".hpp") headers.emplace_back(display, text);
-    sources.emplace_back(display, std::move(text));
+    out << report;
   }
-  const vapb::lint::HeaderIndex index = vapb::lint::build_header_index(headers);
-
-  // Pass 2: lint everything.
-  std::size_t violations = 0;
-  for (const auto& [display, text] : sources) {
-    for (const vapb::lint::Violation& v :
-         vapb::lint::lint_source(display, text, index)) {
-      std::printf("%s:%d: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
-                  v.message.c_str());
-      ++violations;
-    }
-  }
-  if (violations > 0) {
-    std::printf("vapb-lint: %zu violation%s in %zu file%s\n", violations,
-                violations == 1 ? "" : "s", sources.size(),
-                sources.size() == 1 ? "" : "s");
-    return 1;
-  }
-  return 0;
+  return run.exit_code;
 }

@@ -1,0 +1,937 @@
+#include "parser.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace vapb::lint {
+
+namespace {
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+bool is_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",     "while",    "switch",   "return",  "sizeof",
+      "alignof",  "catch",   "throw",    "new",      "delete",  "do",
+      "else",     "case",    "default",  "static_assert",       "decltype",
+      "typeid",   "noexcept","alignas",  "co_return","co_await","co_yield",
+      "static_cast",         "dynamic_cast",         "const_cast",
+      "reinterpret_cast",    "assert",   "requires", "goto",    "try"};
+  return kKeywords.count(s) > 0;
+}
+
+// Skips a balanced bracket pair starting at `i` (which must sit on the open
+// bracket); returns the index one past the close, or `n` when unbalanced.
+std::size_t skip_balanced(const std::vector<Token>& t, std::size_t i,
+                          std::string_view open, std::string_view close) {
+  std::size_t n = t.size();
+  if (i >= n || !is_punct(t[i], open)) return i;
+  int depth = 0;
+  for (; i < n; ++i) {
+    if (is_punct(t[i], open)) ++depth;
+    if (is_punct(t[i], close) && --depth == 0) return i + 1;
+  }
+  return n;
+}
+
+// Walks back over a `ns :: ns :: name` chain ending at `name_idx`; returns
+// the index of the chain's first token.
+std::size_t chain_start(const std::vector<Token>& t, std::size_t name_idx) {
+  std::size_t i = name_idx;
+  while (i >= 2 && is_punct(t[i - 1], "::") &&
+         t[i - 2].kind == TokKind::kIdent) {
+    i -= 2;
+  }
+  return i;
+}
+
+std::string join_tokens(const std::vector<Token>& t, std::size_t begin,
+                        std::size_t end) {
+  std::string out;
+  for (std::size_t i = begin; i < end && i < t.size(); ++i) {
+    if (!out.empty()) out += ' ';
+    out += t[i].text;
+  }
+  return out;
+}
+
+constexpr std::array<std::string_view, 8> kRandomNames = {
+    "rand",        "srand",      "random_device",
+    "mt19937",     "mt19937_64", "default_random_engine",
+    "minstd_rand", "minstd_rand0"};
+
+constexpr std::array<std::string_view, 3> kClockNames = {
+    "system_clock", "steady_clock", "high_resolution_clock"};
+
+constexpr std::array<std::string_view, 10> kIntegerTypeNames = {
+    "uintptr_t", "intptr_t", "size_t",   "uint64_t", "uint32_t",
+    "int64_t",   "int32_t",  "unsigned", "long",     "int"};
+
+constexpr std::array<std::string_view, 4> kUnorderedNames = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+constexpr std::array<std::string_view, 8> kCompoundAssign = {
+    "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^="};
+
+constexpr std::array<std::string_view, 7> kMutatingMethods = {
+    "push_back", "emplace_back", "insert", "emplace", "erase", "clear",
+    "resize"};
+
+// Accumulator-name vocabulary for the raw-reduction taint source: either a
+// unit suffix or a word that names a running aggregate.
+bool names_accumulator(const std::string& name) {
+  if (!unit_suffix_of(name).empty()) return true;
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) {
+                   return static_cast<char>(std::tolower(c));
+                 });
+  static constexpr std::array<std::string_view, 6> kWords = {
+      "sum", "total", "acc", "mean", "power", "energy"};
+  for (std::string_view w : kWords) {
+    if (lower.find(w) != std::string::npos) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  Parser(const std::string& path, const LexResult& lexed)
+      : t_(lexed.tokens), n_(lexed.tokens.size()) {
+    out_.path = path;
+  }
+
+  FileModel run() {
+    collect_unordered_names();
+    parse_decls(0, n_, -1, {});
+    return std::move(out_);
+  }
+
+ private:
+  // -- declaration scope ----------------------------------------------------
+
+  // Parses the declarations in [begin, end): namespaces, classes, enums and
+  // function definitions. `class_idx` indexes out_.classes when inside a
+  // class body; `scopes` is the lexical "::"-joined prefix.
+  void parse_decls(std::size_t begin, std::size_t end, int class_idx,
+                   std::vector<std::string> scopes) {
+    std::size_t i = begin;
+    while (i < end) {
+      const Token& tok = t_[i];
+      // Preprocessor directive: skip the rest of its line.
+      if (is_punct(tok, "#")) {
+        const int line = tok.line;
+        while (i < end && t_[i].line == line) ++i;
+        continue;
+      }
+      if (is_ident(tok, "template")) {
+        i = skip_angles(i + 1);
+        continue;
+      }
+      if (is_ident(tok, "namespace")) {
+        std::size_t j = i + 1;
+        std::string name;
+        while (j < end && t_[j].kind == TokKind::kIdent) {
+          name = t_[j].text;
+          ++j;
+          if (j < end && is_punct(t_[j], "::")) ++j;
+        }
+        if (j < end && is_punct(t_[j], "{")) {
+          std::size_t close = skip_balanced(t_, j, "{", "}");
+          auto inner = scopes;
+          if (!name.empty()) inner.push_back(name);
+          parse_decls(j + 1, close - 1, -1, inner);
+          i = close;
+        } else {
+          i = j + 1;  // namespace alias or using-directive fragment
+        }
+        continue;
+      }
+      if ((is_ident(tok, "class") || is_ident(tok, "struct")) && i + 1 < end &&
+          t_[i + 1].kind == TokKind::kIdent) {
+        i = parse_class(i, end, scopes);
+        continue;
+      }
+      if (is_ident(tok, "enum")) {
+        while (i < end && !is_punct(t_[i], "{") && !is_punct(t_[i], ";")) ++i;
+        if (i < end && is_punct(t_[i], "{")) i = skip_balanced(t_, i, "{", "}");
+        continue;
+      }
+      if (is_ident(tok, "using") || is_ident(tok, "typedef") ||
+          is_ident(tok, "friend")) {
+        while (i < end && !is_punct(t_[i], ";")) ++i;
+        ++i;
+        continue;
+      }
+      // Generic declaration: find the first top-level `;`, `{` or `(`.
+      std::size_t decl_start = i;
+      std::size_t j = i;
+      while (j < end && !is_punct(t_[j], ";") && !is_punct(t_[j], "{") &&
+             !is_punct(t_[j], "(")) {
+        if (is_punct(t_[j], "<")) {
+          std::size_t after = skip_angles(j);
+          if (after > j + 1) {
+            j = after;
+            continue;
+          }
+        }
+        ++j;
+      }
+      if (j >= end) break;
+      if (is_punct(t_[j], ";")) {
+        if (class_idx >= 0) record_member(decl_start, j, class_idx);
+        i = j + 1;
+        continue;
+      }
+      if (is_punct(t_[j], "{")) {
+        std::size_t close = skip_balanced(t_, j, "{", "}");
+        if (class_idx >= 0) record_member(decl_start, j, class_idx);
+        i = close;
+        continue;
+      }
+      // `(`: function definition, declaration, or variable with ctor syntax.
+      i = parse_maybe_function(decl_start, j, end, class_idx, scopes);
+    }
+  }
+
+  // Parses `class Name [final] [: bases] { ... }` starting at the keyword.
+  std::size_t parse_class(std::size_t i, std::size_t end,
+                          const std::vector<std::string>& scopes) {
+    const std::string name = t_[i + 1].text;
+    std::size_t j = i + 2;
+    // Find the body or the terminating `;` (forward declaration).
+    std::size_t colon = 0;
+    while (j < end && !is_punct(t_[j], "{") && !is_punct(t_[j], ";")) {
+      if (is_punct(t_[j], ":") && colon == 0) colon = j;
+      if (is_punct(t_[j], "<")) {
+        std::size_t after = skip_angles(j);
+        if (after > j + 1) {
+          j = after;
+          continue;
+        }
+      }
+      if (is_punct(t_[j], "(")) return j;  // not a class: `struct` var? bail
+      ++j;
+    }
+    if (j >= end || is_punct(t_[j], ";")) return j + 1;
+    ClassDef cls;
+    cls.file = out_.path;
+    cls.line = t_[i].line;
+    cls.name = name;
+    if (colon != 0) {
+      for (std::size_t b = colon + 1; b < j; ++b) {
+        if (t_[b].kind != TokKind::kIdent) continue;
+        const std::string& text = t_[b].text;
+        if (text == "public" || text == "protected" || text == "private" ||
+            text == "virtual" || text == "final") {
+          continue;
+        }
+        // Keep only the final component of each qualified base name.
+        if (b + 1 < j && is_punct(t_[b + 1], "::")) continue;
+        cls.bases.push_back(text);
+        // Skip template arguments of this base.
+        if (b + 1 < j && is_punct(t_[b + 1], "<")) b = skip_angles(b + 1) - 1;
+      }
+    }
+    out_.classes.push_back(std::move(cls));
+    const int idx = static_cast<int>(out_.classes.size()) - 1;
+    std::size_t close = skip_balanced(t_, j, "{", "}");
+    auto inner = scopes;
+    inner.push_back(name);
+    parse_decls(j + 1, close - 1, idx, inner);
+    return close;
+  }
+
+  // Records a trailing-underscore data member declared in [begin, end).
+  void record_member(std::size_t begin, std::size_t end, int class_idx) {
+    bool is_mutable = false;
+    for (std::size_t k = begin; k < end; ++k) {
+      if (is_ident(t_[k], "mutable")) is_mutable = true;
+      if (t_[k].kind != TokKind::kIdent || t_[k].text.size() < 2 ||
+          t_[k].text.back() != '_') {
+        continue;
+      }
+      const bool terminated = k + 1 >= end || is_punct(t_[k + 1], ";") ||
+                              is_punct(t_[k + 1], "=") ||
+                              is_punct(t_[k + 1], "{") ||
+                              is_punct(t_[k + 1], ",");
+      if (!terminated) continue;
+      ClassDef& cls = out_.classes[static_cast<std::size_t>(class_idx)];
+      cls.members.insert(t_[k].text);
+      if (is_mutable) cls.mutable_members.insert(t_[k].text);
+    }
+  }
+
+  // Decides whether the `(` at `paren` opens a function definition; parses
+  // it when it does. Returns the index to resume declaration scanning at.
+  std::size_t parse_maybe_function(std::size_t decl_start, std::size_t paren,
+                                   std::size_t end, int class_idx,
+                                   const std::vector<std::string>& scopes) {
+    // The name chain directly before the paren.
+    if (paren == 0 || t_[paren - 1].kind != TokKind::kIdent) {
+      return skip_statement(paren, end);
+    }
+    const std::size_t name_idx = paren - 1;
+    if (is_keyword(t_[name_idx].text)) return skip_statement(paren, end);
+    std::size_t close = skip_balanced(t_, paren, "(", ")");
+    if (close >= end + 1 && close > n_) return close;
+    // Trailing specifiers up to the body, a `;`, or an initializer list.
+    std::size_t k = close;
+    bool is_const = false;
+    while (k < end) {
+      const Token& tk = t_[k];
+      if (is_ident(tk, "const")) {
+        is_const = true;
+        ++k;
+      } else if (is_ident(tk, "noexcept")) {
+        ++k;
+        if (k < end && is_punct(t_[k], "(")) k = skip_balanced(t_, k, "(", ")");
+      } else if (is_ident(tk, "override") || is_ident(tk, "final") ||
+                 is_punct(tk, "&") || is_punct(tk, "&&")) {
+        ++k;
+      } else if (is_punct(tk, "->")) {
+        // Trailing return type: consume type tokens until `{` or `;`.
+        ++k;
+        while (k < end && !is_punct(t_[k], "{") && !is_punct(t_[k], ";")) {
+          if (is_punct(t_[k], "<")) {
+            std::size_t after = skip_angles(k);
+            if (after > k + 1) {
+              k = after;
+              continue;
+            }
+          }
+          ++k;
+        }
+      } else {
+        break;
+      }
+    }
+    if (k >= end) return end;
+    if (is_punct(t_[k], ";")) return k + 1;        // declaration only
+    if (is_punct(t_[k], "=")) return skip_statement(k, end);  // = default etc.
+    std::size_t body = 0;
+    if (is_punct(t_[k], ":")) {
+      // Constructor initializer list: name(...)/{...} items, comma-separated.
+      std::size_t p = k + 1;
+      while (p < end) {
+        while (p < end && !is_punct(t_[p], "(") && !is_punct(t_[p], "{") &&
+               !is_punct(t_[p], ";")) {
+          if (is_punct(t_[p], "<")) {
+            std::size_t after = skip_angles(p);
+            if (after > p + 1) {
+              p = after;
+              continue;
+            }
+          }
+          ++p;
+        }
+        if (p >= end || is_punct(t_[p], ";")) return p + 1;
+        const bool brace_after_name =
+            is_punct(t_[p], "{") && p > 0 && t_[p - 1].kind == TokKind::kIdent;
+        if (is_punct(t_[p], "(") || brace_after_name) {
+          p = is_punct(t_[p], "(") ? skip_balanced(t_, p, "(", ")")
+                                   : skip_balanced(t_, p, "{", "}");
+          if (p < end && is_punct(t_[p], ",")) {
+            ++p;
+            continue;
+          }
+          if (p < end && is_punct(t_[p], "{")) {
+            body = p;
+            break;
+          }
+          return p;
+        }
+        // `{` not after a name: the body itself.
+        body = p;
+        break;
+      }
+    } else if (is_punct(t_[k], "{")) {
+      body = k;
+    } else {
+      return skip_statement(k, end);  // variable with ctor syntax, etc.
+    }
+    if (body == 0) return k + 1;
+
+    FunctionDef fn;
+    fn.file = out_.path;
+    fn.line = t_[name_idx].line;
+    fn.name = t_[name_idx].text;
+    const std::size_t chain = chain_start(t_, name_idx);
+    std::string prefix;
+    for (const std::string& s : scopes) prefix += s + "::";
+    for (std::size_t q = chain; q < name_idx; q += 2) {
+      prefix += t_[q].text + "::";
+    }
+    fn.qualified = prefix + fn.name;
+    if (class_idx >= 0) {
+      fn.class_name = out_.classes[static_cast<std::size_t>(class_idx)].name;
+    } else if (chain < name_idx) {
+      fn.class_name = t_[name_idx - 2].text;
+    }
+    fn.is_const = is_const;
+    // Tokens before the name chain approximate the return type; empty for
+    // constructors/destructors.
+    fn.return_type = join_tokens(t_, decl_start, chain);
+    parse_params(paren, close - 1, fn);
+    std::size_t body_close = skip_balanced(t_, body, "{", "}");
+    scan_body(body + 1, body_close - 1, fn);
+    out_.functions.push_back(std::move(fn));
+    return body_close;
+  }
+
+  void parse_params(std::size_t open, std::size_t close, FunctionDef& fn) {
+    std::size_t start = open + 1;
+    int paren = 0, brace = 0;
+    for (std::size_t i = open + 1; i <= close && i < n_; ++i) {
+      const bool top = paren == 0 && brace == 0;
+      if (is_punct(t_[i], "(")) ++paren;
+      if (is_punct(t_[i], ")")) --paren;
+      if (is_punct(t_[i], "{")) ++brace;
+      if (is_punct(t_[i], "}")) --brace;
+      if (is_punct(t_[i], "<")) {
+        std::size_t after = skip_angles(i);
+        if (after > i + 1 && after <= close) i = after - 1;
+        continue;
+      }
+      if ((i == close || (top && is_punct(t_[i], ","))) && i > start) {
+        add_param(start, i, fn);
+        start = i + 1;
+      }
+    }
+  }
+
+  void add_param(std::size_t begin, std::size_t end, FunctionDef& fn) {
+    // Drop a default argument.
+    std::size_t stop = begin;
+    while (stop < end && !is_punct(t_[stop], "=")) ++stop;
+    // Find the last identifier before `stop`.
+    std::size_t last = std::string::npos;
+    for (std::size_t i = begin; i < stop; ++i) {
+      if (t_[i].kind == TokKind::kIdent) last = i;
+    }
+    if (last == std::string::npos) return;
+    Param p;
+    const bool named =
+        last > begin && !is_punct(t_[last - 1], "::") &&
+        (t_[last - 1].kind == TokKind::kIdent || is_punct(t_[last - 1], "&") ||
+         is_punct(t_[last - 1], "*") || is_punct(t_[last - 1], ">") ||
+         is_punct(t_[last - 1], "..."));
+    if (named) {
+      p.name = t_[last].text;
+      p.type = join_tokens(t_, begin, last);
+    } else {
+      p.type = join_tokens(t_, begin, stop);
+    }
+    fn.params.push_back(std::move(p));
+  }
+
+  // -- function bodies ------------------------------------------------------
+
+  void scan_body(std::size_t begin, std::size_t end, FunctionDef& fn) {
+    mark_loops(begin, end);
+    for (std::size_t i = begin; i < end && i < n_; ++i) {
+      const Token& tok = t_[i];
+      if (tok.kind == TokKind::kIdent) {
+        scan_sources(i, fn);
+        if (i + 1 < end && is_punct(t_[i + 1], "(") &&
+            !is_keyword(tok.text)) {
+          record_call(i, fn);
+        }
+        // `std::atomic<T> name` declarations: writes to these names are
+        // synchronized, which the capture-race rule must know.
+        if (tok.text == "atomic" && i + 1 < end && is_punct(t_[i + 1], "<")) {
+          std::size_t j = skip_angles(i + 1);
+          while (j < end &&
+                 (is_punct(t_[j], "&") || is_punct(t_[j], "*"))) {
+            ++j;
+          }
+          if (j < end && t_[j].kind == TokKind::kIdent) {
+            fn.atomic_names.insert(t_[j].text);
+          }
+        }
+      }
+      if (tok.kind == TokKind::kPunct) {
+        if (is_write_op(tok.text) && i >= 1 &&
+            t_[i - 1].kind == TokKind::kIdent) {
+          record_member_write(i, fn);
+          if (tok.text == "+=") record_raw_reduction(i, begin, fn);
+        }
+        // A lambda argument of a call: `f(..., [caps](params){...}, ...)`.
+        if (tok.text == "[" && i >= 1 &&
+            (is_punct(t_[i - 1], "(") || is_punct(t_[i - 1], ","))) {
+          scan_lambda(i, end, fn);
+        }
+      }
+    }
+  }
+
+  static bool is_write_op(const std::string& s) {
+    if (s == "=") return true;
+    return std::find(kCompoundAssign.begin(), kCompoundAssign.end(), s) !=
+           kCompoundAssign.end();
+  }
+
+  // Marks loop headers/bodies within the current function body so the
+  // raw-reduction source can tell an induction step from a reduction.
+  void mark_loops(std::size_t begin, std::size_t end) {
+    in_header_.assign(n_, 0);
+    in_loop_body_.assign(n_, 0);
+    for (std::size_t i = begin; i < end && i < n_; ++i) {
+      if (!(is_ident(t_[i], "for") || is_ident(t_[i], "while"))) continue;
+      std::size_t j = i + 1;
+      if (j >= n_ || !is_punct(t_[j], "(")) continue;
+      std::size_t hdr_end = skip_balanced(t_, j, "(", ")");
+      for (std::size_t k = j; k < hdr_end; ++k) in_header_[k] = 1;
+      std::size_t body_end = hdr_end;
+      if (hdr_end < n_ && is_punct(t_[hdr_end], "{")) {
+        body_end = skip_balanced(t_, hdr_end, "{", "}");
+      } else {
+        while (body_end < n_ && !is_punct(t_[body_end], ";")) ++body_end;
+      }
+      for (std::size_t k = hdr_end; k < body_end && k < n_; ++k) {
+        in_loop_body_[k] = 1;
+      }
+    }
+  }
+
+  void scan_sources(std::size_t i, FunctionDef& fn) {
+    const Token& tok = t_[i];
+    const bool qualified = i >= 1 && is_punct(t_[i - 1], "::");
+    const bool called = i + 1 < n_ && is_punct(t_[i + 1], "(");
+    for (std::string_view b : kRandomNames) {
+      if (tok.text != b) continue;
+      if ((b == "rand" || b == "srand") && !qualified && !called) continue;
+      fn.sources.push_back(SourceFact{SourceKind::kRandom, tok.text, tok.line});
+    }
+    for (std::string_view b : kClockNames) {
+      if (tok.text == b) {
+        fn.sources.push_back(
+            SourceFact{SourceKind::kClock, tok.text, tok.line});
+      }
+    }
+    if ((tok.text == "time" || tok.text == "clock") && qualified && called &&
+        i >= 2 && is_ident(t_[i - 2], "std")) {
+      fn.sources.push_back(
+          SourceFact{SourceKind::kClock, "std::" + tok.text, tok.line});
+    }
+    if (tok.text == "reinterpret_cast" && i + 1 < n_ &&
+        is_punct(t_[i + 1], "<")) {
+      const std::size_t close = skip_angles(i + 1);
+      for (std::size_t k = i + 2; k + 1 < close; ++k) {
+        if (t_[k].kind != TokKind::kIdent) continue;
+        for (std::string_view ty : kIntegerTypeNames) {
+          if (t_[k].text == ty) {
+            fn.sources.push_back(SourceFact{SourceKind::kPointerToInt,
+                                            "reinterpret_cast<" + t_[k].text +
+                                                ">",
+                                            tok.line});
+            k = close;
+            break;
+          }
+        }
+      }
+    }
+    // Range-for over a variable of unordered type: `for (... : name)`.
+    if (tok.text == "for" && i + 1 < n_ && is_punct(t_[i + 1], "(")) {
+      const std::size_t close = skip_balanced(t_, i + 1, "(", ")");
+      int depth = 0;
+      for (std::size_t k = i + 1; k + 1 < close; ++k) {
+        if (is_punct(t_[k], "(")) ++depth;
+        if (is_punct(t_[k], ")")) --depth;
+        if (depth == 1 && is_punct(t_[k], ":") && !is_punct(t_[k - 1], ":") &&
+            (k + 1 >= n_ || !is_punct(t_[k + 1], ":"))) {
+          // Final identifier of the range expression.
+          std::string range_name;
+          for (std::size_t r = k + 1; r + 1 < close; ++r) {
+            if (t_[r].kind == TokKind::kIdent) range_name = t_[r].text;
+          }
+          if (unordered_names_.count(range_name) > 0) {
+            fn.sources.push_back(SourceFact{SourceKind::kUnorderedIter,
+                                            range_name, t_[k].line});
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  void record_call(std::size_t name_idx, FunctionDef& fn) {
+    const std::size_t chain = chain_start(t_, name_idx);
+    // In a call expression the token before the callee chain is punctuation
+    // or a connective keyword — an identifier there means `Type name(...)`.
+    if (chain >= 1) {
+      const Token& prev = t_[chain - 1];
+      if (prev.kind == TokKind::kIdent && !is_keyword(prev.text) &&
+          prev.text != "return" && prev.text != "co_return") {
+        return;
+      }
+    }
+    CallSite call;
+    call.name = t_[name_idx].text;
+    call.line = t_[name_idx].line;
+    if (chain >= 2 && is_punct(t_[chain - 1], "=") &&
+        t_[chain - 2].kind == TokKind::kIdent) {
+      call.lhs_name = t_[chain - 2].text;
+    }
+    if (chain < name_idx) {
+      call.qualifier = join_tokens(t_, chain, name_idx - 1);
+      // join_tokens inserts spaces: "util ::" -> strip to "util".
+      std::string q;
+      for (std::size_t q_i = chain; q_i < name_idx - 1; ++q_i) {
+        if (t_[q_i].kind == TokKind::kIdent) {
+          if (!q.empty()) q += "::";
+          q += t_[q_i].text;
+        }
+      }
+      call.qualifier = q;
+    }
+    // Arguments: top-level comma-separated slices; record plain chains.
+    const std::size_t open = name_idx + 1;
+    const std::size_t close = skip_balanced(t_, open, "(", ")");
+    std::size_t start = open + 1;
+    int paren = 1, brace = 0, bracket = 0;
+    for (std::size_t i = open + 1; i < close && i + 1 <= close; ++i) {
+      if (is_punct(t_[i], "(")) ++paren;
+      if (is_punct(t_[i], ")")) --paren;
+      if (is_punct(t_[i], "{")) ++brace;
+      if (is_punct(t_[i], "}")) --brace;
+      if (is_punct(t_[i], "[")) ++bracket;
+      if (is_punct(t_[i], "]")) --bracket;
+      const bool top = paren == 1 && brace == 0 && bracket == 0;
+      const bool at_end = i + 1 == close;
+      if ((top && is_punct(t_[i], ",")) || at_end) {
+        const std::size_t slice_end =
+            at_end && !is_punct(t_[i], ",") ? i + 1 : i;
+        call.arg_names.push_back(plain_chain_name(start, slice_end));
+        start = i + 1;
+      }
+    }
+    fn.calls.push_back(std::move(call));
+  }
+
+  // Returns the final identifier when [begin, end) is a pure access chain
+  // (`a`, `x.b`, `p->c`, `s::d`), "" otherwise.
+  std::string plain_chain_name(std::size_t begin, std::size_t end) {
+    std::string last;
+    bool expect_ident = true;
+    for (std::size_t i = begin; i < end && i < n_; ++i) {
+      const Token& tok = t_[i];
+      if (expect_ident) {
+        if (tok.kind != TokKind::kIdent) return "";
+        last = tok.text;
+        expect_ident = false;
+      } else {
+        if (!(is_punct(tok, ".") || is_punct(tok, "->") ||
+              is_punct(tok, "::"))) {
+          return "";
+        }
+        expect_ident = true;
+      }
+    }
+    return expect_ident ? "" : last;
+  }
+
+  void record_member_write(std::size_t op_idx, FunctionDef& fn) {
+    const Token& name = t_[op_idx - 1];
+    if (name.text.size() < 2 || name.text.back() != '_') return;
+    // Only writes through `this`: bare `member_` or `this->member_`.
+    if (op_idx >= 2) {
+      const Token& before = t_[op_idx - 2];
+      if (is_punct(before, ".") || is_punct(before, "->")) {
+        if (!(op_idx >= 3 && is_ident(t_[op_idx - 3], "this"))) return;
+      }
+    }
+    fn.member_writes.push_back(MemberWrite{name.text, name.line});
+  }
+
+  void record_raw_reduction(std::size_t op_idx, std::size_t body_begin,
+                            FunctionDef& fn) {
+    if (!in_loop_body_[op_idx] || in_header_[op_idx]) return;
+    const Token& name = t_[op_idx - 1];
+    // The accumulator must be a bare scalar: `stats[r].x +=` is per-element.
+    if (op_idx >= 2) {
+      const Token& before = t_[op_idx - 2];
+      if (is_punct(before, ".") || is_punct(before, "->") ||
+          is_punct(before, "]") || is_punct(before, "::")) {
+        return;
+      }
+    }
+    if (op_idx + 1 < n_ && t_[op_idx + 1].kind == TokKind::kString) return;
+    if (!names_accumulator(name.text)) return;
+    static_cast<void>(body_begin);
+    fn.sources.push_back(
+        SourceFact{SourceKind::kRawReduction, name.text, name.line});
+  }
+
+  void scan_lambda(std::size_t open_bracket, std::size_t end,
+                   FunctionDef& fn) {
+    LambdaFact lam;
+    lam.line = t_[open_bracket].line;
+    lam.host_call = enclosing_call_name(open_bracket);
+    std::size_t close = skip_balanced(t_, open_bracket, "[", "]");
+    for (std::size_t i = open_bracket + 1; i + 1 < close; ++i) {
+      if (is_punct(t_[i], "&")) {
+        if (i + 1 < close - 1 && t_[i + 1].kind == TokKind::kIdent) {
+          lam.ref_captures.push_back(t_[i + 1].text);
+          ++i;
+        } else {
+          lam.ref_default = true;
+        }
+      } else if (t_[i].kind == TokKind::kIdent && t_[i].text != "this") {
+        lam.val_captures.push_back(t_[i].text);
+      }
+    }
+    std::size_t k = close;
+    if (k < end && is_punct(t_[k], "(")) {
+      const std::size_t pclose = skip_balanced(t_, k, "(", ")");
+      // First parameter's name: last identifier before the first top-level
+      // `,` or the closing paren.
+      std::size_t stop = k + 1;
+      int depth = 1;
+      while (stop < pclose - 1) {
+        if (is_punct(t_[stop], "(")) ++depth;
+        if (is_punct(t_[stop], ")")) --depth;
+        if (depth == 1 && is_punct(t_[stop], ",")) break;
+        ++stop;
+      }
+      for (std::size_t p = k + 1; p < stop; ++p) {
+        if (t_[p].kind == TokKind::kIdent) lam.index_param = t_[p].text;
+      }
+      k = pclose;
+    }
+    while (k < end && !is_punct(t_[k], "{") && !is_punct(t_[k], ";") &&
+           !is_punct(t_[k], ")")) {
+      ++k;
+    }
+    if (k >= end || !is_punct(t_[k], "{")) return;
+    const std::size_t body_close = skip_balanced(t_, k, "{", "}");
+    scan_lambda_writes(k + 1, body_close - 1, lam);
+    fn.lambdas.push_back(std::move(lam));
+  }
+
+  std::string enclosing_call_name(std::size_t open_bracket) {
+    // Walk back from the `(`/`,` before the lambda to the call's open paren,
+    // then take the identifier in front of it.
+    std::size_t i = open_bracket - 1;
+    if (is_punct(t_[i], ",")) {
+      int paren = 0, brace = 0, bracket = 0;
+      while (i > 0) {
+        const Token& tok = t_[i];
+        if (is_punct(tok, ")")) ++paren;
+        if (is_punct(tok, "}")) ++brace;
+        if (is_punct(tok, "]")) ++bracket;
+        if (is_punct(tok, "{")) --brace;
+        if (is_punct(tok, "[")) --bracket;
+        if (is_punct(tok, "(")) {
+          if (paren == 0 && brace <= 0 && bracket <= 0) break;
+          --paren;
+        }
+        --i;
+      }
+    }
+    if (i == 0 || !is_punct(t_[i], "(")) return "";
+    return t_[i - 1].kind == TokKind::kIdent ? t_[i - 1].text : "";
+  }
+
+  // Resolves the identifier at `idx` (tail of a possible `a.b->c` chain) to
+  // the name the write actually lands on: the chain's base object — that is
+  // what capture semantics act on. `this->member_` resolves to the member.
+  std::string write_target(std::size_t idx) {
+    std::size_t j = idx;
+    while (j >= 2 && (is_punct(t_[j - 1], ".") || is_punct(t_[j - 1], "->")) &&
+           t_[j - 2].kind == TokKind::kIdent) {
+      j -= 2;
+    }
+    if (is_ident(t_[j], "this") && j + 2 <= idx) return t_[j + 2].text;
+    return t_[j].text;
+  }
+
+  void scan_lambda_writes(std::size_t begin, std::size_t end,
+                          LambdaFact& lam) {
+    // Names declared inside the body: `Type name` / `Type& name` patterns.
+    std::set<std::string> declared;
+    for (std::size_t i = begin + 1; i < end && i < n_; ++i) {
+      if (t_[i].kind != TokKind::kIdent) continue;
+      const Token& prev = t_[i - 1];
+      const bool type_before =
+          (prev.kind == TokKind::kIdent && !is_keyword(prev.text) &&
+           prev.text != "return") ||
+          ((is_punct(prev, "&") || is_punct(prev, "*") ||
+            is_punct(prev, ">")) &&
+           i >= 2 && t_[i - 2].kind == TokKind::kIdent);
+      if (type_before) declared.insert(t_[i].text);
+    }
+    auto add_write = [&](const std::string& name, int line, std::size_t op_idx,
+                         bool prefix_op = false) {
+      if (name == lam.index_param) return;
+      WriteFact w;
+      w.name = name;
+      w.line = line;
+      w.declared_local = declared.count(name) > 0;
+      // The written chain's span: from the previous `;`/`{`/`}` to the op —
+      // or, for a prefix ++/--, from the op to the end of the statement.
+      std::size_t s = op_idx;
+      std::size_t e = op_idx;
+      if (prefix_op) {
+        while (e < end && !is_punct(t_[e], ";")) ++e;
+      } else {
+        while (s > begin && !is_punct(t_[s - 1], ";") &&
+               !is_punct(t_[s - 1], "{") && !is_punct(t_[s - 1], "}")) {
+          --s;
+        }
+      }
+      for (std::size_t q = s; q < e; ++q) {
+        if (!lam.index_param.empty() && is_ident(t_[q], lam.index_param)) {
+          w.indexed = true;
+        }
+      }
+      lam.writes.push_back(std::move(w));
+    };
+    for (std::size_t i = begin; i < end && i < n_; ++i) {
+      const Token& tok = t_[i];
+      if (tok.kind != TokKind::kPunct) continue;
+      if (is_write_op(tok.text) && i >= 1 &&
+          t_[i - 1].kind == TokKind::kIdent) {
+        add_write(write_target(i - 1), t_[i - 1].line, i);
+      }
+      // Subscripted store `base[expr] op= ...`: the write lands on `base`,
+      // and the index check decides whether the store is per-element.
+      if (is_write_op(tok.text) && i >= 1 && is_punct(t_[i - 1], "]")) {
+        int depth = 0;
+        std::size_t j = i - 1;
+        while (j > begin) {
+          if (is_punct(t_[j], "]")) ++depth;
+          if (is_punct(t_[j], "[")) {
+            --depth;
+            if (depth == 0) break;
+          }
+          --j;
+        }
+        if (depth == 0 && j > begin && t_[j - 1].kind == TokKind::kIdent) {
+          add_write(write_target(j - 1), t_[j - 1].line, i);
+        }
+      }
+      if ((tok.text == "++" || tok.text == "--")) {
+        if (i >= 1 && t_[i - 1].kind == TokKind::kIdent) {
+          add_write(write_target(i - 1), t_[i - 1].line, i);
+        } else if (i + 1 < end && t_[i + 1].kind == TokKind::kIdent) {
+          add_write(t_[i + 1].text, t_[i + 1].line, i, /*prefix_op=*/true);
+        }
+      }
+      // Mutating container methods on a captured object.
+      if ((tok.text == "." || tok.text == "->") && i >= 1 && i + 2 < end &&
+          t_[i - 1].kind == TokKind::kIdent &&
+          t_[i + 1].kind == TokKind::kIdent && is_punct(t_[i + 2], "(")) {
+        for (std::string_view m : kMutatingMethods) {
+          if (t_[i + 1].text == m) {
+            add_write(write_target(i - 1), t_[i - 1].line, i);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // -- misc -----------------------------------------------------------------
+
+  // Skips a balanced `<...>` starting at `i` when it plausibly opens a
+  // template argument list; returns i + 1 (no-op) when it looks like a
+  // comparison (no matching `>` on the same nesting before a `;`).
+  std::size_t skip_angles(std::size_t i) {
+    if (i >= n_ || !is_punct(t_[i], "<")) return i + 1;
+    int depth = 0;
+    for (std::size_t k = i; k < n_; ++k) {
+      if (is_punct(t_[k], "<")) ++depth;
+      if (is_punct(t_[k], "<<")) return i + 1;
+      if (is_punct(t_[k], ";") || is_punct(t_[k], "{")) return i + 1;
+      if (is_punct(t_[k], ">")) {
+        if (--depth == 0) return k + 1;
+      }
+      if (is_punct(t_[k], ">>")) {
+        depth -= 2;
+        if (depth <= 0) return k + 1;
+      }
+    }
+    return i + 1;
+  }
+
+  std::size_t skip_statement(std::size_t i, std::size_t end) {
+    int brace = 0;
+    while (i < end) {
+      if (is_punct(t_[i], "{")) ++brace;
+      if (is_punct(t_[i], "}")) --brace;
+      if (is_punct(t_[i], ";") && brace <= 0) return i + 1;
+      ++i;
+    }
+    return end;
+  }
+
+  void collect_unordered_names() {
+    for (std::size_t i = 0; i + 1 < n_; ++i) {
+      if (t_[i].kind != TokKind::kIdent) continue;
+      bool unordered = false;
+      for (std::string_view u : kUnorderedNames) {
+        if (t_[i].text == u) unordered = true;
+      }
+      if (!unordered || !is_punct(t_[i + 1], "<")) continue;
+      std::size_t after = skip_angles(i + 1);
+      // Skip refs/pointers between the type and the declared name.
+      while (after < n_ && (is_punct(t_[after], "&") ||
+                            is_punct(t_[after], "*") ||
+                            is_ident(t_[after], "const"))) {
+        ++after;
+      }
+      if (after < n_ && t_[after].kind == TokKind::kIdent) {
+        unordered_names_.insert(t_[after].text);
+      }
+    }
+  }
+
+  const std::vector<Token>& t_;
+  std::size_t n_;
+  FileModel out_;
+  std::set<std::string> unordered_names_;
+  std::vector<char> in_header_;
+  std::vector<char> in_loop_body_;
+};
+
+}  // namespace
+
+std::string unit_suffix_of(std::string name) {
+  if (!name.empty() && name.back() == '_') name.pop_back();
+  // Compound rates like cpu_dyn_w_per_ghz carry their own derived unit; the
+  // simple suffix vocabulary cannot judge them.
+  if (name.find("_per_") != std::string::npos) return "";
+  static const std::array<std::pair<std::string_view, std::string_view>, 8>
+      kSuffixes = {{{"_watts", "watts"},
+                    {"_w", "watts"},
+                    {"_ghz", "gigahertz"},
+                    {"_hz", "hertz"},
+                    {"_joules", "joules"},
+                    {"_j", "joules"},
+                    {"_seconds", "seconds"},
+                    {"_s", "seconds"}}};
+  for (const auto& [suffix, unit] : kSuffixes) {
+    const std::string s(suffix);
+    if (name.size() >= s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      return std::string(unit);
+    }
+  }
+  return "";
+}
+
+FileModel parse_file(const std::string& path, const LexResult& lexed) {
+  return Parser(path, lexed).run();
+}
+
+}  // namespace vapb::lint

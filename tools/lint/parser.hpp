@@ -1,0 +1,112 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace vapb::lint {
+
+/// Structural model of one translation unit, extracted by a lightweight
+/// recognizer on top of the lexer. It is not a C++ front end: it recovers
+/// exactly the shapes the semantic rules need — function/method definitions
+/// with their parameters, call sites with simple-argument names, lambda
+/// captures, member-mutation sites, class bases/members, and nondeterminism
+/// source facts — and deliberately nothing more. Known soundness limits are
+/// documented in DESIGN.md §11.
+
+struct Param {
+  std::string type;  ///< joined declaration tokens before the name
+  std::string name;  ///< "" when unnamed
+};
+
+struct CallSite {
+  std::string name;       ///< final component, e.g. "parallel_for"
+  std::string qualifier;  ///< "util" for util::parallel_for, "" if unqualified
+  int line = 0;
+  /// One entry per argument: the final identifier when the argument is a
+  /// plain chain (`a`, `x.b`, `s::c`), "" for anything more complex.
+  std::vector<std::string> arg_names;
+  /// Identifier the call's result is assigned to (`x = f(...)`), "" if none.
+  std::string lhs_name;
+};
+
+struct MemberWrite {
+  std::string member;  ///< trailing-underscore member name
+  int line = 0;
+};
+
+/// Nondeterminism source categories for the determinism-taint rule.
+enum class SourceKind {
+  kRandom,        ///< rand()/std::random_device/std::mt19937*...
+  kClock,         ///< wall clocks (system/steady/high_resolution, std::time)
+  kPointerToInt,  ///< reinterpret_cast of a pointer to an integer type
+  kUnorderedIter, ///< range-for over an unordered container
+  kRawReduction,  ///< scalar loop-carried += of a unitful accumulator
+};
+
+struct SourceFact {
+  SourceKind kind;
+  std::string what;  ///< the offending identifier / accumulator name
+  int line = 0;
+};
+
+struct WriteFact {
+  std::string name;       ///< written identifier
+  int line = 0;
+  bool indexed = false;   ///< LHS mentions the lambda's index parameter
+  bool declared_local = false;  ///< name is declared inside the lambda body
+};
+
+struct LambdaFact {
+  std::string host_call;  ///< name of the call this lambda is an argument of
+  int line = 0;
+  bool ref_default = false;               ///< [&] capture default
+  std::vector<std::string> ref_captures;  ///< explicit &name captures
+  std::vector<std::string> val_captures;  ///< explicit name / =name captures
+  std::string index_param;                ///< first lambda parameter ("" none)
+  std::vector<WriteFact> writes;          ///< assignments inside the body
+};
+
+struct FunctionDef {
+  std::string file;
+  int line = 0;
+  std::string name;        ///< unqualified
+  std::string qualified;   ///< lexical scope + A::b qualifiers, "::"-joined
+  std::string class_name;  ///< enclosing / prefix class ("" free function)
+  bool is_const = false;
+  std::string return_type;  ///< best-effort joined tokens ("" for ctors)
+  std::vector<Param> params;
+  std::vector<CallSite> calls;
+  std::vector<MemberWrite> member_writes;
+  std::vector<SourceFact> sources;
+  std::vector<LambdaFact> lambdas;
+  /// Names declared `std::atomic<...>` in this body: writes synchronize.
+  std::set<std::string> atomic_names;
+};
+
+struct ClassDef {
+  std::string file;
+  int line = 0;
+  std::string name;
+  std::vector<std::string> bases;  ///< final components of base-class names
+  std::set<std::string> members;          ///< trailing-underscore data members
+  std::set<std::string> mutable_members;  ///< subset declared `mutable`
+};
+
+struct FileModel {
+  std::string path;
+  std::vector<FunctionDef> functions;
+  std::vector<ClassDef> classes;
+};
+
+/// Extracts the structural model of one file from its token stream.
+[[nodiscard]] FileModel parse_file(const std::string& path,
+                                   const LexResult& lexed);
+
+/// Canonical physical unit named by an identifier's suffix ("" = none);
+/// shared by the token-level unit rules and the semantic unit-flow rule.
+[[nodiscard]] std::string unit_suffix_of(std::string name);
+
+}  // namespace vapb::lint

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "lexer.hpp"
+#include "parser.hpp"
 
 namespace vapb::lint {
 
@@ -76,25 +77,9 @@ bool in_unit_scoped_dirs(const std::string& path) {
 // ---------------------------------------------------------------------------
 
 // Canonical physical unit of an identifier, judged by suffix ("" = none).
-// A trailing underscore (member convention) is stripped first.
+// Delegates to the suffix vocabulary shared with the semantic unit-flow rule.
 std::string unit_of(std::string name) {
-  if (!name.empty() && name.back() == '_') name.pop_back();
-  // Compound rates like cpu_dyn_w_per_ghz carry their own derived unit; the
-  // simple suffix vocabulary cannot judge them.
-  if (name.find("_per_") != std::string::npos) return "";
-  static const std::array<std::pair<std::string_view, std::string_view>, 8>
-      kSuffixes = {{{"_watts", "watts"},
-                    {"_w", "watts"},
-                    {"_ghz", "gigahertz"},
-                    {"_hz", "hertz"},
-                    {"_joules", "joules"},
-                    {"_j", "joules"},
-                    {"_seconds", "seconds"},
-                    {"_s", "seconds"}}};
-  for (const auto& [suffix, unit] : kSuffixes) {
-    if (ends_with(name, suffix)) return std::string(unit);
-  }
-  return "";
+  return unit_suffix_of(std::move(name));
 }
 
 bool contains_word(const std::string& name, std::string_view word) {
@@ -546,6 +531,19 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"bad-suppression",
        "flags malformed vapb-lint suppression comments (missing reason or "
        "unknown rule)"},
+      {"determinism-taint",
+       "cross-TU dataflow: nondeterminism sources (randomness, wall clocks, "
+       "pointer-to-int casts, unordered iteration, raw float reductions) "
+       "transitively reachable from RunResult/CampaignResult sinks"},
+      {"parallel-capture-race",
+       "flags parallel_for lambdas that capture by reference and write a "
+       "captured name not subscripted by the loop index"},
+      {"stage-purity",
+       "flags *Stage subclasses whose run path writes a member that is not "
+       "a mutable *cache_ memo"},
+      {"unit-flow",
+       "flags unit-suffix mismatches across call boundaries: arguments vs "
+       "parameter names, call results vs assigned variables"},
   };
   return kCatalog;
 }
@@ -606,6 +604,16 @@ std::vector<Violation> lint_source(const std::string& display_path,
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
     return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
   });
+  return out;
+}
+
+FileSuppressions collect_suppressions(const std::string& display_path,
+                                      const std::string& source) {
+  const LexResult lexed = lex(source);
+  Suppressions sup =
+      parse_suppressions(normalize(display_path), lexed.comments);
+  FileSuppressions out;
+  out.lines = std::move(sup.lines);
   return out;
 }
 

@@ -41,4 +41,14 @@ struct HeaderIndex {
                                                  const std::string& source,
                                                  const HeaderIndex& index);
 
+/// Reasoned allow-directives of one file, keyed rule -> covered lines. The
+/// driver applies these to project-wide semantic findings at the source site
+/// (malformed directives are reported separately by lint_source).
+struct FileSuppressions {
+  std::map<std::string, std::set<int>> lines;
+};
+
+[[nodiscard]] FileSuppressions collect_suppressions(
+    const std::string& display_path, const std::string& source);
+
 }  // namespace vapb::lint

@@ -1,0 +1,488 @@
+#include "semantic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+namespace vapb::lint {
+
+namespace {
+
+bool has_segment(const std::string& path, std::string_view segment) {
+  std::size_t pos = 0;
+  while ((pos = path.find(segment, pos)) != std::string::npos) {
+    const bool at_start = pos == 0 || path[pos - 1] == '/';
+    const std::size_t end = pos + segment.size();
+    const bool at_end = end == path.size() || path[end] == '/';
+    if (at_start && at_end) return true;
+    pos = end;
+  }
+  return false;
+}
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Fixture trees opt into every semantic rule regardless of path layout so
+// the analyzer can be exercised outside src/.
+bool in_fixtures(const std::string& path) {
+  return path.find("lint_fixtures") != std::string::npos;
+}
+
+// Taint facts only matter inside the simulation core (and fixtures):
+// bench/ and tools/ are standalone drivers that already may use ambient
+// randomness, and tests/ assert on results rather than produce them.
+bool taint_scoped(const std::string& path) {
+  return in_fixtures(path) || has_segment(path, "src");
+}
+
+// Files whose randomness / clock use is sanctioned by design (the seeded
+// RNG wrappers, the counter-based fault RNG); mirrors the token-level
+// allowlists in rules.cpp.
+bool sanctioned_random(const std::string& path) {
+  return ends_with(path, "util/rng.hpp") || ends_with(path, "util/rng.cpp") ||
+         ends_with(path, "fault/counter_rng.hpp") ||
+         ends_with(path, "fault/counter_rng.cpp");
+}
+
+// Type names that identify deterministic sinks: any function whose signature
+// mentions one of these produces (or carries) externally observable results
+// that the golden digests pin down.
+constexpr std::array<std::string_view, 8> kSinkTypes = {
+    "RunResult",    "RunMetrics",        "RunContext",      "CampaignResult",
+    "BudgetResult", "FaultCampaignResult", "FaultPointResult", "CampaignSpec"};
+
+bool mentions_sink_type(const std::string& joined) {
+  std::size_t start = 0;
+  while (start <= joined.size()) {
+    std::size_t space = joined.find(' ', start);
+    if (space == std::string::npos) space = joined.size();
+    const std::string_view word(joined.data() + start, space - start);
+    for (std::string_view sink : kSinkTypes) {
+      if (word == sink) return true;
+    }
+    if (space == joined.size()) break;
+    start = space + 1;
+  }
+  return false;
+}
+
+bool is_sink_function(const FunctionDef& fn) {
+  if (!taint_scoped(fn.file)) return false;
+  if (fn.name.find("digest") != std::string::npos) return true;
+  if (mentions_sink_type(fn.return_type)) return true;
+  for (const Param& p : fn.params) {
+    if (mentions_sink_type(p.type)) return true;
+  }
+  for (std::string_view sink : kSinkTypes) {
+    if (fn.class_name == sink) return true;
+  }
+  return false;
+}
+
+std::string source_kind_word(SourceKind kind) {
+  switch (kind) {
+    case SourceKind::kRandom:
+      return "ambient randomness";
+    case SourceKind::kClock:
+      return "wall clock";
+    case SourceKind::kPointerToInt:
+      return "pointer-to-integer conversion";
+    case SourceKind::kUnorderedIter:
+      return "unordered-container iteration";
+    case SourceKind::kRawReduction:
+      return "order-sensitive float reduction";
+  }
+  return "nondeterminism";
+}
+
+std::string taint_rule_for(SourceKind kind) {
+  // Every taint finding reports as determinism-taint so one suppression
+  // grammar covers the family; the kind shows up in the message.
+  static_cast<void>(kind);
+  return "determinism-taint";
+}
+
+// True when the source fact is excluded by design (sanctioned files,
+// driver-only paths, DES simulated-time accumulation).
+bool fact_excluded(const std::string& path, const SourceFact& fact) {
+  if (!taint_scoped(path)) return true;
+  if (in_fixtures(path)) return false;
+  switch (fact.kind) {
+    case SourceKind::kRandom:
+    case SourceKind::kClock:
+      return sanctioned_random(path);
+    case SourceKind::kRawReduction:
+      // The DES engines define simulated time by fixed sequential
+      // accumulation; both engines share the association and the fuzz suite
+      // pins them bit-for-bit against each other.
+      return path.find("src/des/") != std::string::npos;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ProjectIndex build_project_index(std::vector<FileModel> files) {
+  // Deterministic function ids regardless of input order.
+  std::sort(files.begin(), files.end(),
+            [](const FileModel& a, const FileModel& b) {
+              return a.path < b.path;
+            });
+  ProjectIndex index;
+  for (FileModel& file : files) {
+    for (FunctionDef& fn : file.functions) {
+      index.by_name[fn.name].push_back(
+          static_cast<int>(index.functions.size()));
+      index.functions.push_back(std::move(fn));
+    }
+    for (ClassDef& cls : file.classes) {
+      auto [it, inserted] = index.classes.try_emplace(cls.name, cls);
+      if (!inserted) {
+        ClassDef& merged = it->second;
+        for (const std::string& b : cls.bases) {
+          if (std::find(merged.bases.begin(), merged.bases.end(), b) ==
+              merged.bases.end()) {
+            merged.bases.push_back(b);
+          }
+        }
+        merged.members.insert(cls.members.begin(), cls.members.end());
+        merged.mutable_members.insert(cls.mutable_members.begin(),
+                                      cls.mutable_members.end());
+      }
+    }
+  }
+  return index;
+}
+
+std::vector<int> resolve_call(const ProjectIndex& index,
+                              const FunctionDef& caller, const CallSite& call,
+                              bool* confident) {
+  if (confident != nullptr) *confident = false;
+  const auto it = index.by_name.find(call.name);
+  if (it == index.by_name.end()) return {};
+  const std::vector<int>& candidates = it->second;
+  // 1. Qualified call: the definition's qualified name must end with
+  //    "<qualifier>::<name>".
+  if (!call.qualifier.empty()) {
+    const std::string want = call.qualifier + "::" + call.name;
+    std::vector<int> matched;
+    for (int id : candidates) {
+      const std::string& q =
+          index.functions[static_cast<std::size_t>(id)].qualified;
+      if (q == want || ends_with(q, "::" + want)) matched.push_back(id);
+    }
+    if (!matched.empty()) {
+      if (confident != nullptr) *confident = true;
+      return matched;
+    }
+  }
+  // 2. Same-class method resolution.
+  if (!caller.class_name.empty()) {
+    std::vector<int> matched;
+    for (int id : candidates) {
+      if (index.functions[static_cast<std::size_t>(id)].class_name ==
+          caller.class_name) {
+        matched.push_back(id);
+      }
+    }
+    if (!matched.empty()) {
+      if (confident != nullptr) *confident = true;
+      return matched;
+    }
+  }
+  // 3. Name-only fallback: every definition sharing the unqualified name.
+  //    Over-approximate (sound for reachability); only "confident" when the
+  //    name is unique project-wide.
+  if (confident != nullptr) *confident = candidates.size() == 1;
+  return candidates;
+}
+
+CallGraph build_call_graph(const ProjectIndex& index) {
+  CallGraph graph;
+  graph.edges.resize(index.functions.size());
+  for (std::size_t f = 0; f < index.functions.size(); ++f) {
+    const FunctionDef& fn = index.functions[f];
+    std::set<int> targets;
+    for (const CallSite& call : fn.calls) {
+      for (int id : resolve_call(index, fn, call)) {
+        if (static_cast<std::size_t>(id) != f) targets.insert(id);
+      }
+    }
+    graph.edges[f].assign(targets.begin(), targets.end());
+  }
+  return graph;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule 1: determinism-taint
+// ---------------------------------------------------------------------------
+
+void check_determinism_taint(const ProjectIndex& index, const CallGraph& graph,
+                             std::vector<Violation>& out) {
+  const std::size_t n = index.functions.size();
+  // Forward BFS from every sink: reached[f] holds the id of the function we
+  // were called from on the shortest path back to a sink (or the sink-entry
+  // marker), sink_of[f] the originating sink.
+  std::vector<int> parent(n, -1);
+  std::vector<int> sink_of(n, -1);
+  std::vector<char> reached(n, 0);
+  std::deque<int> queue;
+  for (std::size_t f = 0; f < n; ++f) {
+    if (is_sink_function(index.functions[f])) {
+      reached[f] = 1;
+      sink_of[f] = static_cast<int>(f);
+      queue.push_back(static_cast<int>(f));
+    }
+  }
+  while (!queue.empty()) {
+    const int f = queue.front();
+    queue.pop_front();
+    for (int callee : graph.edges[static_cast<std::size_t>(f)]) {
+      if (reached[static_cast<std::size_t>(callee)]) continue;
+      reached[static_cast<std::size_t>(callee)] = 1;
+      parent[static_cast<std::size_t>(callee)] = f;
+      sink_of[static_cast<std::size_t>(callee)] =
+          sink_of[static_cast<std::size_t>(f)];
+      queue.push_back(callee);
+    }
+  }
+  for (std::size_t f = 0; f < n; ++f) {
+    if (!reached[f]) continue;
+    const FunctionDef& fn = index.functions[f];
+    for (const SourceFact& fact : fn.sources) {
+      if (fact_excluded(fn.file, fact)) continue;
+      // Reconstruct the call path sink -> ... -> fn.
+      std::vector<std::string> chain;
+      for (int cur = static_cast<int>(f); cur != -1;
+           cur = parent[static_cast<std::size_t>(cur)]) {
+        chain.push_back(
+            index.functions[static_cast<std::size_t>(cur)].qualified);
+      }
+      std::reverse(chain.begin(), chain.end());
+      std::ostringstream msg;
+      msg << source_kind_word(fact.kind) << " '" << fact.what
+          << "' can taint deterministic sink '"
+          << index.functions[static_cast<std::size_t>(sink_of[f])].qualified
+          << "'";
+      if (chain.size() > 1) {
+        msg << " (call path: ";
+        for (std::size_t c = 0; c < chain.size(); ++c) {
+          if (c != 0) msg << " -> ";
+          msg << chain[c];
+        }
+        msg << ")";
+      }
+      if (fact.kind == SourceKind::kRawReduction) {
+        msg << "; accumulate through util::chunked_sum";
+      }
+      out.push_back(Violation{fn.file, fact.line, taint_rule_for(fact.kind),
+                              msg.str()});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: parallel-capture-race
+// ---------------------------------------------------------------------------
+
+void check_capture_race(const ProjectIndex& index,
+                        std::vector<Violation>& out) {
+  for (const FunctionDef& fn : index.functions) {
+    std::set<std::string> param_names;
+    for (const Param& p : fn.params) {
+      if (!p.name.empty()) param_names.insert(p.name);
+    }
+    for (const LambdaFact& lam : fn.lambdas) {
+      if (lam.host_call != "parallel_for") continue;
+      const bool by_ref = lam.ref_default || !lam.ref_captures.empty();
+      if (!by_ref) continue;
+      for (const WriteFact& w : lam.writes) {
+        if (w.indexed || w.declared_local) continue;
+        if (fn.atomic_names.count(w.name) > 0) continue;
+        const bool explicitly_ref =
+            std::find(lam.ref_captures.begin(), lam.ref_captures.end(),
+                      w.name) != lam.ref_captures.end();
+        const bool member_write = w.name.size() >= 2 && w.name.back() == '_';
+        if (!lam.ref_default && !explicitly_ref && !member_write) continue;
+        const bool by_value =
+            std::find(lam.val_captures.begin(), lam.val_captures.end(),
+                      w.name) != lam.val_captures.end();
+        if (by_value) continue;
+        out.push_back(Violation{
+            fn.file, w.line, "parallel-capture-race",
+            "parallel_for body writes '" + w.name +
+                "' captured by reference without subscripting the loop "
+                "index — concurrent chunks race; index into per-element "
+                "storage or reduce with util::chunked_sum after the loop"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: stage-purity
+// ---------------------------------------------------------------------------
+
+bool is_stage_class(const ProjectIndex& index, const std::string& name,
+                    std::set<std::string>& visiting) {
+  if (ends_with(name, "Stage")) return true;
+  if (!visiting.insert(name).second) return false;  // inheritance cycle guard
+  const auto it = index.classes.find(name);
+  if (it == index.classes.end()) return false;
+  for (const std::string& base : it->second.bases) {
+    if (is_stage_class(index, base, visiting)) return true;
+  }
+  return false;
+}
+
+void check_stage_purity(const ProjectIndex& index, const CallGraph& graph,
+                        std::vector<Violation>& out) {
+  static constexpr std::array<std::string_view, 6> kRunMethods = {
+      "calibrate", "model", "solve", "enforce", "execute", "run"};
+  // Entry points: run-path methods of *Stage classes.
+  std::set<std::string> stage_classes;
+  for (const auto& [name, cls] : index.classes) {
+    std::set<std::string> visiting;
+    if (is_stage_class(index, name, visiting)) stage_classes.insert(name);
+  }
+  const std::size_t n = index.functions.size();
+  std::vector<char> on_run_path(n, 0);
+  std::deque<int> queue;
+  for (std::size_t f = 0; f < n; ++f) {
+    const FunctionDef& fn = index.functions[f];
+    if (stage_classes.count(fn.class_name) == 0) continue;
+    const bool entry =
+        std::find(kRunMethods.begin(), kRunMethods.end(), fn.name) !=
+        kRunMethods.end();
+    if (!entry) continue;
+    on_run_path[f] = 1;
+    queue.push_back(static_cast<int>(f));
+  }
+  // Extend to same-class helpers transitively called from the run path.
+  while (!queue.empty()) {
+    const int f = queue.front();
+    queue.pop_front();
+    const std::string& cls =
+        index.functions[static_cast<std::size_t>(f)].class_name;
+    for (int callee : graph.edges[static_cast<std::size_t>(f)]) {
+      const FunctionDef& target =
+          index.functions[static_cast<std::size_t>(callee)];
+      if (target.class_name != cls) continue;
+      if (on_run_path[static_cast<std::size_t>(callee)]) continue;
+      on_run_path[static_cast<std::size_t>(callee)] = 1;
+      queue.push_back(callee);
+    }
+  }
+  for (std::size_t f = 0; f < n; ++f) {
+    if (!on_run_path[f]) continue;
+    const FunctionDef& fn = index.functions[f];
+    const auto cls_it = index.classes.find(fn.class_name);
+    for (const MemberWrite& w : fn.member_writes) {
+      // Only judge identifiers we know to be members of this class; a local
+      // that happens to end in '_' is not a purity violation.
+      if (cls_it == index.classes.end() ||
+          cls_it->second.members.count(w.member) == 0) {
+        continue;
+      }
+      const bool mutable_cache =
+          cls_it->second.mutable_members.count(w.member) > 0 &&
+          w.member.find("cache") != std::string::npos;
+      if (mutable_cache) continue;
+      out.push_back(Violation{
+          fn.file, w.line, "stage-purity",
+          "stage run path '" + fn.qualified + "' writes member '" + w.member +
+              "'; stages must be stateless — results travel through "
+              "RunContext, and only mutable *cache_ members may memoize"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: unit-flow
+// ---------------------------------------------------------------------------
+
+void check_unit_flow(const ProjectIndex& index, std::vector<Violation>& out) {
+  for (const FunctionDef& fn : index.functions) {
+    for (const CallSite& call : fn.calls) {
+      bool confident = false;
+      const std::vector<int> targets =
+          resolve_call(index, fn, call, &confident);
+      if (!confident || targets.empty()) continue;
+      // Prefer an overload whose arity matches the call.
+      const FunctionDef* target = nullptr;
+      for (int id : targets) {
+        const FunctionDef& cand = index.functions[static_cast<std::size_t>(id)];
+        if (cand.params.size() == call.arg_names.size()) {
+          if (target != nullptr) {
+            target = nullptr;  // ambiguous overload set: skip
+            break;
+          }
+          target = &cand;
+        }
+      }
+      if (target == nullptr) continue;
+      for (std::size_t a = 0; a < call.arg_names.size(); ++a) {
+        const std::string& arg = call.arg_names[a];
+        if (arg.empty()) continue;
+        const std::string arg_unit = unit_suffix_of(arg);
+        const std::string param_unit = unit_suffix_of(target->params[a].name);
+        if (arg_unit.empty() || param_unit.empty() || arg_unit == param_unit) {
+          continue;
+        }
+        out.push_back(Violation{
+            fn.file, call.line, "unit-flow",
+            "argument '" + arg + "' (" + arg_unit + ") flows into parameter '" +
+                target->params[a].name + "' (" + param_unit + ") of '" +
+                target->qualified +
+                "'; convert explicitly or adopt util::units types"});
+      }
+      // Return flow: `x_s = f(...)` where f's own name carries a unit.
+      if (!call.lhs_name.empty()) {
+        const std::string lhs_unit = unit_suffix_of(call.lhs_name);
+        const std::string ret_unit = unit_suffix_of(target->name);
+        if (!lhs_unit.empty() && !ret_unit.empty() && lhs_unit != ret_unit) {
+          out.push_back(Violation{
+              fn.file, call.line, "unit-flow",
+              "result of '" + target->qualified + "' (" + ret_unit +
+                  ") assigned to '" + call.lhs_name + "' (" + lhs_unit +
+                  "); convert explicitly or adopt util::units types"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Violation> run_semantic_rules(const ProjectIndex& index,
+                                          const CallGraph& graph) {
+  std::vector<Violation> out;
+  check_determinism_taint(index, graph, out);
+  check_capture_race(index, out);
+  check_stage_purity(index, graph, out);
+  check_unit_flow(index, out);
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Violation& a, const Violation& b) {
+                          return a.file == b.file && a.line == b.line &&
+                                 a.rule == b.rule && a.message == b.message;
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace vapb::lint

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "parser.hpp"
+#include "rules.hpp"
+
+namespace vapb::lint {
+
+/// Project-wide symbol index: every parsed translation unit merged into one
+/// flat function table plus a class table keyed by class name (header members
+/// and out-of-line method definitions of the same class merge into one entry).
+struct ProjectIndex {
+  std::vector<FunctionDef> functions;
+  std::map<std::string, std::vector<int>> by_name;  ///< unqualified name -> ids
+  std::map<std::string, ClassDef> classes;          ///< merged by class name
+};
+
+[[nodiscard]] ProjectIndex build_project_index(std::vector<FileModel> files);
+
+/// Static call graph over ProjectIndex::functions. Call sites resolve by
+/// qualified-suffix match first, then same-class method lookup, then an
+/// unqualified-name fallback (every definition sharing the name — a sound
+/// over-approximation for reachability; see DESIGN.md §11).
+struct CallGraph {
+  std::vector<std::vector<int>> edges;  ///< edges[f] = callee function ids
+};
+
+[[nodiscard]] CallGraph build_call_graph(const ProjectIndex& index);
+
+/// Resolves one call site from the body of `caller` to function ids.
+/// `confident` is set when the resolution is unambiguous enough for
+/// unit-flow checking (qualified match, same-class method, or unique name).
+[[nodiscard]] std::vector<int> resolve_call(const ProjectIndex& index,
+                                            const FunctionDef& caller,
+                                            const CallSite& call,
+                                            bool* confident = nullptr);
+
+/// Runs the four semantic rule families (determinism-taint,
+/// parallel-capture-race, stage-purity, unit-flow) over the whole project.
+/// Suppressions are applied later by the driver at the finding site.
+[[nodiscard]] std::vector<Violation> run_semantic_rules(
+    const ProjectIndex& index, const CallGraph& graph);
+
+}  // namespace vapb::lint

@@ -25,6 +25,7 @@
 //               --alloc-policy {contiguous|random|strided|worst-power|
 //                               best-power} (scheduler placement; default is
 //               the identity allocation 0..N-1)
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -482,6 +483,54 @@ int usage() {
   return 2;
 }
 
+// The flags each subcommand understands. Parsing happens once against the
+// union (the subcommand is only known afterwards); dispatch then re-validates
+// against the specific vocabulary so `vapbctl systems --budget-w 5` is a
+// typo-suggesting error instead of a silently ignored flag.
+const std::vector<std::string>& subcommand_flags(const std::string& cmd) {
+  static const std::vector<std::string> kNone;
+  static const std::vector<std::string> kCommon = {
+      "arch", "arch-file", "modules", "seed", "pvt", "alloc-policy"};
+  static const auto with_common = [](std::vector<std::string> extra) {
+    extra.insert(extra.end(), kCommon.begin(), kCommon.end());
+    return extra;
+  };
+  static const std::vector<std::string> kPvt = with_common({"out"});
+  static const std::vector<std::string> kSolve =
+      with_common({"workload", "budget-w"});
+  static const std::vector<std::string> kRun =
+      with_common({"workload", "budget-w", "scheme"});
+  static const std::vector<std::string> kCampaign = with_common(
+      {"workload", "threads", "repetitions", "budgets", "schemes", "csv",
+       "json", "telemetry-out"});
+  static const std::vector<std::string> kFault = with_common(
+      {"workload", "threads", "repetitions", "budgets", "schemes", "scenario",
+       "scenario-file", "noise", "drift", "failures", "out"});
+  static const std::vector<std::string> kReport =
+      with_common({"workload", "out"});
+  if (cmd == "pvt") return kPvt;
+  if (cmd == "solve") return kSolve;
+  if (cmd == "run") return kRun;
+  if (cmd == "campaign") return kCampaign;
+  if (cmd == "fault") return kFault;
+  if (cmd == "report") return kReport;
+  return kNone;  // systems, workloads take no flags
+}
+
+void validate_subcommand_flags(const util::CliArgs& args,
+                               const std::string& cmd) {
+  const std::vector<std::string>& allowed = subcommand_flags(cmd);
+  for (const std::string& name : args.flag_names()) {
+    if (std::find(allowed.begin(), allowed.end(), name) != allowed.end()) {
+      continue;
+    }
+    std::string msg = "'" + cmd + "' does not take --" + name;
+    const std::string suggestion = util::nearest_name(name, allowed);
+    if (!suggestion.empty()) msg += " (did you mean --" + suggestion + "?)";
+    throw vapb::InvalidArgument(msg);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -494,6 +543,7 @@ int main(int argc, char** argv) {
                         "scenario-file", "noise", "drift", "failures"});
     if (args.positional().empty()) return usage();
     const std::string& cmd = args.positional().front();
+    validate_subcommand_flags(args, cmd);
     if (cmd == "systems") return cmd_systems();
     if (cmd == "workloads") return cmd_workloads();
     if (cmd == "pvt") return cmd_pvt(args);
