@@ -1,0 +1,438 @@
+// Open-loop load on the BudgetService: a deterministic stream of budget
+// solves with a configurable duplicate fraction is pushed through (a) a
+// naive one-pipeline-per-request loop that re-runs the test run and PMT
+// calibration for every request, and (b) the batched service with in-flight
+// dedup, PMT memoization and the finished-reply LRU. Every service reply is
+// checked bitwise against the naive solve for its key — the speedup is only
+// reported if the answers are identical.
+//
+//   bench_perf_service [modules] [--requests N] [--dup-frac F]
+//                      [--repetitions R] [--threads T] [--out FILE]
+//                      [--baseline FILE] [--soak-seconds S]
+//
+// The gated metric is service requests/sec; with --baseline the run fails
+// when it drops below half the committed value. Latency percentiles come
+// from per-request completion handlers (the service itself never reads a
+// clock — timestamps live in bench-side closures). --soak-seconds switches
+// to a sustained-load soak: the stream is cycled for ~S seconds and the run
+// fails if any reply is dropped or mismatched.
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/calibration_cache.hpp"
+#include "core/scheme_registry.hpp"
+#include "service/budget_service.hpp"
+
+using namespace vapb;
+
+namespace {
+
+using bench_clock = std::chrono::steady_clock;
+
+struct ServiceOptions {
+  std::size_t modules = 1920;
+  std::size_t threads = 0;
+  int repetitions = 3;
+  std::size_t requests = 1024;
+  double dup_frac = 0.5;
+  double soak_seconds = 0.0;
+  std::string out;
+  std::string baseline;
+};
+
+ServiceOptions parse(int argc, char** argv) {
+  try {
+    util::CliArgs args(argc, argv,
+                       {"modules", "threads", "repetitions", "requests",
+                        "dup-frac", "soak-seconds", "out", "baseline"});
+    ServiceOptions opt;
+    if (!args.positional().empty()) {
+      opt.modules =
+          std::strtoul(args.positional().front().c_str(), nullptr, 10);
+    }
+    opt.modules = static_cast<std::size_t>(
+        args.get_long_or("modules", static_cast<long>(opt.modules)));
+    opt.threads = static_cast<std::size_t>(args.get_long_or("threads", 0));
+    opt.repetitions = static_cast<int>(args.get_long_or("repetitions", 3));
+    opt.requests =
+        static_cast<std::size_t>(args.get_long_or("requests", 1024));
+    opt.dup_frac = args.get_double_or("dup-frac", 0.5);
+    opt.soak_seconds = args.get_double_or("soak-seconds", 0.0);
+    opt.out = args.get_or("out", "");
+    opt.baseline = args.get_or("baseline", "");
+    if (opt.modules == 0) throw InvalidArgument("--modules must be > 0");
+    if (opt.requests == 0) throw InvalidArgument("--requests must be > 0");
+    if (opt.repetitions < 1) {
+      throw InvalidArgument("--repetitions must be >= 1");
+    }
+    if (opt.dup_frac < 0.0 || opt.dup_frac > 1.0) {
+      throw InvalidArgument("--dup-frac must be in [0, 1]");
+    }
+    if (opt.threads > 0) util::ThreadPool::set_global_threads(opt.threads);
+    return opt;
+  } catch (const Error& e) {
+    std::fprintf(stderr,
+                 "%s: %s\nusage: %s [modules] [--requests N] [--dup-frac F] "
+                 "[--repetitions R] [--threads T] [--out FILE] "
+                 "[--baseline FILE] [--soak-seconds S]\n",
+                 argv[0], e.what(), argv[0]);
+    std::exit(2);
+  }
+}
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool identical(const core::BudgetResult& a, const core::BudgetResult& b) {
+  if (a.fits_at_fmin != b.fits_at_fmin || a.constrained != b.constrained ||
+      !same_bits(a.alpha, b.alpha) ||
+      !same_bits(a.target_freq_ghz.value(), b.target_freq_ghz.value()) ||
+      !same_bits(a.predicted_total_w.value(), b.predicted_total_w.value()) ||
+      a.allocations.size() != b.allocations.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.allocations.size(); ++i) {
+    if (!same_bits(a.allocations[i].module_w.value(),
+                   b.allocations[i].module_w.value()) ||
+        !same_bits(a.allocations[i].cpu_cap_w.value(),
+                   b.allocations[i].cpu_cap_w.value()) ||
+        !same_bits(a.allocations[i].dram_w.value(),
+                   b.allocations[i].dram_w.value())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One pipeline per request, nothing shared but the system PVT (the same
+/// concession CampaignEngine makes): re-runs the single-module test run and
+/// the full PMT calibration, then solves. This is the service's competitor.
+core::BudgetResult naive_solve(const cluster::Cluster& cluster,
+                               const std::vector<hw::ModuleId>& alloc,
+                               std::shared_ptr<const core::Pvt> pvt,
+                               const service::BudgetRequest& req) {
+  const workloads::Workload& w = workloads::by_name(req.workload);
+  core::SchemeDefinition def = core::SchemeRegistry::global().get(req.scheme);
+  core::RunContext ctx;
+  ctx.cluster = &cluster;
+  ctx.allocation = alloc;
+  ctx.workload = &w;
+  ctx.scheme = req.scheme;
+  ctx.budget_w = req.budget_w;
+  ctx.seed = core::Runner::scheme_seed(cluster, w, req.scheme);
+  ctx.pvt = std::move(pvt);
+  ctx.test = std::make_shared<const core::TestRunResult>(
+      core::single_module_test_run(cluster, alloc.front(), w,
+                                   core::test_run_seed(cluster, w)));
+  if (def.calibration) def.calibration->calibrate(ctx);
+  if (def.power_model) def.power_model->model(ctx);
+  def.budget_solve->solve(ctx);
+  return std::move(*ctx.budget);
+}
+
+/// The deterministic request stream: position i is a duplicate (drawn from
+/// a small hot set of Table-4-style cells) with probability dup_frac, and a
+/// unique budget solve otherwise. No RNG state — the i-th request is a pure
+/// function of (i, dup_frac, modules), so every rep replays the same load.
+std::vector<service::BudgetRequest> make_stream(std::size_t requests,
+                                                double dup_frac,
+                                                std::size_t modules) {
+  static const char* kHotWorkloads[] = {"MHD", "*DGEMM", "*STREAM", "NPB-BT"};
+  static const double kHotCm[] = {90.0, 80.0};
+  const auto dup_permille = static_cast<std::uint32_t>(dup_frac * 1000.0);
+  std::vector<service::BudgetRequest> stream;
+  stream.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    const auto h =
+        static_cast<std::uint32_t>(i) * 2654435761u;  // Knuth hash of i
+    service::BudgetRequest req;
+    req.scheme = "VaPc";
+    req.kind = service::RequestKind::kSolve;
+    if ((h >> 16) % 1000 < dup_permille) {
+      req.workload = kHotWorkloads[h % 4];
+      req.budget_w = kHotCm[(h >> 8) % 2] * static_cast<double>(modules);
+    } else {
+      // Unique budgets: distinct doubles -> distinct cache keys.
+      req.workload = "MHD";
+      req.budget_w = (70.0 + static_cast<double>(i) * 1e-3) *
+                     static_cast<double>(modules);
+    }
+    stream.push_back(std::move(req));
+  }
+  return stream;
+}
+
+struct LoadResult {
+  double elapsed_s = 0.0;
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  service::BudgetService::Stats stats;
+  std::uint64_t mismatches = 0;
+  std::uint64_t completed = 0;
+};
+
+/// Pushes `stream` through a cold service (fresh reply LRU, cleared
+/// calibration cache) and stamps per-request latency in completion
+/// handlers. Replies are verified bitwise against `reference` as they land.
+LoadResult run_service_pass(
+    const ServiceOptions& opt, const service::ClusterState& state,
+    const std::vector<service::BudgetRequest>& stream,
+    const std::map<std::string, core::BudgetResult>& reference) {
+  core::CalibrationCache::global().clear();
+  service::ServiceConfig config;
+  config.worker_threads = opt.threads;
+  LoadResult res;
+  std::vector<double> latencies(stream.size(), 0.0);
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> completed{0};
+  const auto t0 = bench_clock::now();
+  {
+    service::BudgetService svc(config);
+    svc.register_cluster(state);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const auto submit_t = bench_clock::now();
+      const core::BudgetResult* expect = &reference.at(stream[i].cache_key());
+      svc.submit(stream[i],
+                 [&latencies, &mismatches, &completed, expect, submit_t,
+                  i](const service::BudgetReply& reply) {
+                   latencies[i] = std::chrono::duration<double>(
+                                      bench_clock::now() - submit_t)
+                                      .count();
+                   if (!reply.ok || !identical(reply.budget, *expect)) {
+                     mismatches.fetch_add(1, std::memory_order_relaxed);
+                   }
+                   completed.fetch_add(1, std::memory_order_relaxed);
+                 });
+    }
+    // Open-loop: wait for the last handler rather than sampling stats with
+    // requests still queued. Destruction then just joins the batcher.
+    while (completed.load(std::memory_order_relaxed) < stream.size()) {
+      std::this_thread::yield();
+    }
+    res.stats = svc.stats();
+  }
+  res.elapsed_s =
+      std::chrono::duration<double>(bench_clock::now() - t0).count();
+  res.rps = static_cast<double>(stream.size()) / res.elapsed_s;
+  res.mismatches = mismatches.load();
+  res.completed = completed.load();
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double p) {
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(latencies.size() - 1));
+    return latencies[idx] * 1e6;
+  };
+  res.p50_us = pct(0.50);
+  res.p95_us = pct(0.95);
+  res.p99_us = pct(0.99);
+  return res;
+}
+
+void write_json(const std::string& path, const ServiceOptions& opt,
+                double naive_rps, const LoadResult& best) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"bench\": \"bench_perf_service\",\n"
+     << "  \"modules\": " << opt.modules << ",\n"
+     << "  \"requests\": " << opt.requests << ",\n"
+     << "  \"dup_frac\": " << opt.dup_frac << ",\n"
+     << "  \"repetitions\": " << opt.repetitions << ",\n"
+     << "  \"cases\": [\n"
+     << "    {\"name\": \"service_solve\", \"requests_per_s\": " << best.rps
+     << ", \"naive_requests_per_s\": " << naive_rps
+     << ", \"speedup\": " << best.rps / naive_rps
+     << ", \"p50_us\": " << best.p50_us << ", \"p95_us\": " << best.p95_us
+     << ", \"p99_us\": " << best.p99_us
+     << ", \"computed\": " << best.stats.computed
+     << ", \"dedup_hits\": " << best.stats.dedup_hits
+     << ", \"reply_hits\": " << best.stats.reply_hits << "}\n"
+     << "  ]\n}\n";
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  f << os.str();
+  std::printf("wrote %s\n", path.c_str());
+}
+
+double baseline_rps(const std::string& text) {
+  const std::string field = "\"requests_per_s\": ";
+  const std::size_t pos = text.find(field);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + pos + field.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServiceOptions opt = parse(argc, argv);
+
+  const auto cluster = std::make_shared<const cluster::Cluster>(
+      hw::ha8k(), bench::master_seed(), opt.modules);
+  const std::vector<hw::ModuleId> alloc = bench::full_allocation(opt.modules);
+  service::ClusterState state;
+  state.cluster = cluster;
+  state.allocation = alloc;
+  state.pvt = std::make_shared<const core::Pvt>(core::Pvt::generate(
+      *cluster, workloads::pvt_microbench(), cluster->seed().fork("pvt")));
+
+  const std::vector<service::BudgetRequest> stream =
+      make_stream(opt.requests, opt.dup_frac, opt.modules);
+
+  // Ground truth: one naive solve per distinct key (also the identity
+  // reference every service reply is checked against).
+  std::map<std::string, core::BudgetResult> reference;
+  for (const service::BudgetRequest& req : stream) {
+    if (!reference.count(req.cache_key())) {
+      reference.emplace(req.cache_key(),
+                        naive_solve(*cluster, alloc, state.pvt, req));
+    }
+  }
+  std::printf(
+      "== BudgetService open-loop load: %zu requests, %.0f%% duplicates, "
+      "%zu distinct keys, %zu modules ==\n\n",
+      opt.requests, opt.dup_frac * 100.0, reference.size(), opt.modules);
+
+  if (opt.soak_seconds > 0.0) {
+    // Sustained load: cycle the stream until the deadline, then drain and
+    // require every submitted request to have completed with the right bits.
+    core::CalibrationCache::global().clear();
+    std::atomic<std::uint64_t> mismatches{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::uint64_t submitted = 0;
+    const auto t0 = bench_clock::now();
+    service::BudgetService::Stats stats;
+    {
+      service::BudgetService svc{service::ServiceConfig{}};
+      svc.register_cluster(state);
+      while (std::chrono::duration<double>(bench_clock::now() - t0).count() <
+             opt.soak_seconds) {
+        for (const service::BudgetRequest& req : stream) {
+          const core::BudgetResult* expect = &reference.at(req.cache_key());
+          svc.submit(req, [&mismatches, &completed,
+                           expect](const service::BudgetReply& reply) {
+            if (!reply.ok || !identical(reply.budget, *expect)) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+            completed.fetch_add(1, std::memory_order_relaxed);
+          });
+          ++submitted;
+        }
+      }
+      while (completed.load(std::memory_order_relaxed) < submitted) {
+        std::this_thread::yield();
+      }
+      stats = svc.stats();
+    }
+    const double elapsed =
+        std::chrono::duration<double>(bench_clock::now() - t0).count();
+    const std::uint64_t dropped = submitted - completed.load();
+    std::printf(
+        "soak: %llu requests in %.1fs (%.0f req/s), %llu dropped, "
+        "%llu mismatched; computed %llu, dedup %llu, reply hits %llu\n",
+        static_cast<unsigned long long>(submitted), elapsed,
+        static_cast<double>(submitted) / elapsed,
+        static_cast<unsigned long long>(dropped),
+        static_cast<unsigned long long>(mismatches.load()),
+        static_cast<unsigned long long>(stats.computed),
+        static_cast<unsigned long long>(stats.dedup_hits),
+        static_cast<unsigned long long>(stats.reply_hits));
+    if (dropped != 0 || mismatches.load() != 0) {
+      std::fprintf(stderr, "SOAK FAILURE: dropped or mismatched replies\n");
+      return 1;
+    }
+    std::printf("soak passed: zero dropped, zero mismatched\n");
+    return 0;
+  }
+
+  // Competitor: the naive loop, best of R reps.
+  double naive_s = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < opt.repetitions; ++rep) {
+    const auto t0 = bench_clock::now();
+    for (const service::BudgetRequest& req : stream) {
+      const core::BudgetResult r = naive_solve(*cluster, alloc, state.pvt, req);
+      if (!identical(r, reference.at(req.cache_key()))) {
+        std::fprintf(stderr, "NAIVE NON-DETERMINISM for %s\n",
+                     req.cache_key().c_str());
+        return 1;
+      }
+    }
+    naive_s = std::min(
+        naive_s,
+        std::chrono::duration<double>(bench_clock::now() - t0).count());
+  }
+  const double naive_rps = static_cast<double>(opt.requests) / naive_s;
+
+  // The service, cold per rep (fresh reply LRU + cleared calibration cache).
+  LoadResult best;
+  for (int rep = 0; rep < opt.repetitions; ++rep) {
+    LoadResult r = run_service_pass(opt, state, stream, reference);
+    if (r.completed != stream.size() || r.mismatches != 0) {
+      std::fprintf(stderr,
+                   "IDENTITY FAILURE: %llu/%zu completed, %llu mismatched\n",
+                   static_cast<unsigned long long>(r.completed),
+                   stream.size(),
+                   static_cast<unsigned long long>(r.mismatches));
+      return 1;
+    }
+    if (rep == 0 || r.rps > best.rps) best = r;
+  }
+
+  std::printf("%-16s %12s %12s %10s %10s %10s\n", "case", "req/s",
+              "naive req/s", "p50_us", "p95_us", "p99_us");
+  std::printf("%-16s %12.0f %12.0f %10.1f %10.1f %10.1f\n", "service_solve",
+              best.rps, naive_rps, best.p50_us, best.p95_us, best.p99_us);
+  std::printf(
+      "speedup %.2fx; computed %llu, dedup hits %llu, reply hits %llu, "
+      "evictions %llu, batches %llu (max %llu)\n",
+      best.rps / naive_rps,
+      static_cast<unsigned long long>(best.stats.computed),
+      static_cast<unsigned long long>(best.stats.dedup_hits),
+      static_cast<unsigned long long>(best.stats.reply_hits),
+      static_cast<unsigned long long>(best.stats.reply_evictions),
+      static_cast<unsigned long long>(best.stats.batches),
+      static_cast<unsigned long long>(best.stats.max_batch));
+
+  if (!opt.out.empty()) write_json(opt.out, opt, naive_rps, best);
+
+  if (!opt.baseline.empty()) {
+    std::ifstream f(opt.baseline);
+    if (!f) {
+      std::fprintf(stderr, "cannot read baseline %s\n", opt.baseline.c_str());
+      return 1;
+    }
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const double base = baseline_rps(ss.str());
+    if (base <= 0.0) {
+      std::fprintf(stderr, "baseline %s has no requests_per_s\n",
+                   opt.baseline.c_str());
+      return 1;
+    }
+    if (best.rps < base / 2.0) {
+      std::printf(
+          "PERF REGRESSION: service %.0f req/s is below half the committed "
+          "baseline %.0f\n",
+          best.rps, base);
+      return 1;
+    }
+    std::printf("baseline gate passed: %.0f req/s (committed %.0f)\n",
+                best.rps, base);
+  }
+  return 0;
+}

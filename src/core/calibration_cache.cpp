@@ -3,6 +3,7 @@
 #include <bit>
 #include <functional>
 #include <future>
+#include <list>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -60,20 +61,60 @@ struct CalibrationCache::Impl {
   template <typename T>
   using Slot = std::shared_future<std::shared_ptr<const T>>;
 
+  // Entry recency is a single list across the three artifact maps: the key
+  // prefix ("pvt/", "test/", "oracle/", "pmt/") routes an evicted key back
+  // to its map. Front = most recently used.
+  template <typename T>
+  struct Entry {
+    Slot<T> slot;
+    std::list<std::string>::iterator lru;
+  };
+
   mutable std::mutex mutex;
-  std::map<std::string, Slot<Pvt>> pvts;
-  std::map<std::string, Slot<TestRunResult>> test_runs;
-  std::map<std::string, Slot<Pmt>> pmts;
+  std::map<std::string, Entry<Pvt>> pvts;
+  std::map<std::string, Entry<TestRunResult>> test_runs;
+  std::map<std::string, Entry<Pmt>> pmts;
+  std::list<std::string> lru;
+  std::size_t capacity = 0;  // 0 = unbounded
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
 
-  // Returns the entry for `key`, computing it at most once process-wide.
-  // Concurrent callers block on the computing thread's shared_future. A
-  // throwing maker propagates to every waiter and the entry is dropped so a
-  // later call can retry.
+  std::size_t population() const {
+    return pvts.size() + test_runs.size() + pmts.size();
+  }
+
+  // Drops the key from whichever map owns it (dispatch on the key prefix the
+  // public methods stamp) and from the recency list.
+  void erase_key(const std::string& key) {
+    auto drop = [&](auto& slots) {
+      auto it = slots.find(key);
+      if (it == slots.end()) return false;
+      lru.erase(it->second.lru);
+      slots.erase(it);
+      return true;
+    };
+    if (!drop(pvts) && !drop(test_runs) && !drop(pmts)) return;
+  }
+
+  // Evicts least-recently-used entries until the population fits the
+  // capacity. Requires the lock to be held.
+  void enforce_capacity() {
+    if (capacity == 0) return;
+    while (population() > capacity && !lru.empty()) {
+      erase_key(lru.back());
+      ++evictions;
+    }
+  }
+
+  // Returns the entry for `key`, computing it at most once process-wide
+  // (per residency: a bounded cache may recompute after eviction, bitwise
+  // identically). Concurrent callers block on the computing thread's
+  // shared_future. A throwing maker propagates to every waiter and the
+  // entry is dropped so a later call can retry.
   template <typename T>
   std::shared_ptr<const T> get_or_compute(
-      std::map<std::string, Slot<T>>& slots, const std::string& key,
+      std::map<std::string, Entry<T>>& slots, const std::string& key,
       const std::function<T()>& make) {
     std::promise<std::shared_ptr<const T>> promise;
     Slot<T> slot;
@@ -84,11 +125,19 @@ struct CalibrationCache::Impl {
       if (it == slots.end()) {
         ++misses;
         compute = true;
-        it = slots.emplace(key, promise.get_future().share()).first;
+        lru.push_front(key);
+        it = slots
+                 .emplace(key, Entry<T>{promise.get_future().share(),
+                                        lru.begin()})
+                 .first;
+        // The fresh entry sits at the list front, so it survives even a
+        // capacity-1 cache.
+        enforce_capacity();
       } else {
         ++hits;
+        lru.splice(lru.begin(), lru, it->second.lru);
       }
-      slot = it->second;
+      slot = it->second.slot;
     }
     if (compute) {
       try {
@@ -96,7 +145,7 @@ struct CalibrationCache::Impl {
       } catch (...) {
         promise.set_exception(std::current_exception());
         std::lock_guard lock(mutex);
-        slots.erase(key);
+        erase_key(key);
       }
     }
     return slot.get();
@@ -178,6 +227,18 @@ void CalibrationCache::clear() {
   impl_->pvts.clear();
   impl_->test_runs.clear();
   impl_->pmts.clear();
+  impl_->lru.clear();
+}
+
+void CalibrationCache::set_capacity(std::size_t max_entries) {
+  std::lock_guard lock(impl_->mutex);
+  impl_->capacity = max_entries;
+  impl_->enforce_capacity();
+}
+
+std::size_t CalibrationCache::capacity() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->capacity;
 }
 
 CalibrationCache::Stats CalibrationCache::stats() const {
@@ -185,8 +246,9 @@ CalibrationCache::Stats CalibrationCache::stats() const {
   Stats s;
   s.hits = impl_->hits;
   s.misses = impl_->misses;
-  s.entries = impl_->pvts.size() + impl_->test_runs.size() +
-              impl_->pmts.size();
+  s.evictions = impl_->evictions;
+  s.entries = impl_->population();
+  s.capacity = impl_->capacity;
   return s;
 }
 

@@ -31,7 +31,9 @@ class CalibrationCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
     std::size_t entries = 0;
+    std::size_t capacity = 0;  ///< 0 = unbounded
   };
 
   CalibrationCache();
@@ -86,6 +88,16 @@ class CalibrationCache {
 
   /// Drops every entry (e.g. to measure cold-cache cost).
   void clear();
+
+  /// Bounds the cache to at most `max_entries` artifacts, evicting the
+  /// least-recently-used entries first (a hit refreshes recency). 0 — the
+  /// default — keeps the historical unbounded behavior. Shrinking below the
+  /// current population evicts immediately. Evicting an entry that waiters
+  /// are still computing is safe: they hold their own reference and a later
+  /// request simply recomputes the (deterministic, bit-identical) artifact.
+  void set_capacity(std::size_t max_entries);
+
+  [[nodiscard]] std::size_t capacity() const;
 
   [[nodiscard]] Stats stats() const;
 

@@ -19,17 +19,18 @@ namespace {
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
-// The staged pipeline of Runner::run_scheme with the power-model stage
-// wrapped in the process-wide CalibrationCache decorator. Seeds and cache
-// keys match the uncached path exactly, so the metrics are bitwise identical
-// regardless of which path warmed the cache.
+}  // namespace
+
 RunMetrics run_scheme_cached(const cluster::Cluster& cluster,
                              const Runner& runner,
                              const workloads::Workload& w,
                              const std::string& scheme, double budget_w,
-                             const Pvt& pvt, const TestRunResult& test) {
+                             const Pvt& pvt, const TestRunResult& test,
+                             std::shared_ptr<const Pmt> primed_pmt) {
   SchemeDefinition def = SchemeRegistry::global().get(scheme);
-  if (def.power_model) {
+  if (primed_pmt) {
+    def.power_model = std::make_shared<ProvidedPmtStage>(std::move(primed_pmt));
+  } else if (def.power_model) {
     def.power_model = std::make_shared<CachedPowerModelStage>(def.power_model);
   }
   RunContext ctx;
@@ -49,8 +50,9 @@ RunMetrics run_scheme_cached(const cluster::Cluster& cluster,
   return run_pipeline(def, ctx);
 }
 
-RunMetrics infeasible_metrics(const workloads::Workload& w,
-                              const std::string& scheme, double budget_w) {
+RunMetrics infeasible_run_metrics(const workloads::Workload& w,
+                                  const std::string& scheme,
+                                  double budget_w) {
   // "-" cell: the modules cannot be operated at this budget; the paper does
   // not run these.
   RunMetrics m;
@@ -61,7 +63,7 @@ RunMetrics infeasible_metrics(const workloads::Workload& w,
   return m;
 }
 
-CellClass classify_against(const Pmt& truth, double budget_w) {
+CellClass classify_cell(const Pmt& truth, double budget_w) {
   const util::Watts budget{budget_w};
   if (budget < truth.total_min_w()) return CellClass::kInfeasible;
   if (budget >= truth.total_max_w()) return CellClass::kUnconstrained;
@@ -77,8 +79,6 @@ util::SeedSequence test_run_seed(const cluster::Cluster& cluster,
                                  const workloads::Workload& w) {
   return cluster.seed().fork("test-run").fork(w.name);
 }
-
-}  // namespace
 
 std::string cell_class_name(CellClass c) {
   switch (c) {
@@ -144,7 +144,7 @@ const RunMetrics& Campaign::uncapped(const workloads::Workload& w) {
 }
 
 CellClass Campaign::classify(const workloads::Workload& w, double budget_w) {
-  return classify_against(oracle(w), budget_w);
+  return classify_cell(oracle(w), budget_w);
 }
 
 CellResult Campaign::run_cell(const workloads::Workload& w, double budget_w,
@@ -159,7 +159,7 @@ CellResult Campaign::run_cell(const workloads::Workload& w, double budget_w,
     SchemeOutcome out;
     out.kind = kind;
     if (cell.cls == CellClass::kInfeasible) {
-      out.metrics = infeasible_metrics(w, scheme_name(kind), budget_w);
+      out.metrics = infeasible_run_metrics(w, scheme_name(kind), budget_w);
     } else {
       out.metrics = run_scheme_cached(cluster_, runner_, w, scheme_name(kind),
                                       budget_w, *pvt_, test);
@@ -259,7 +259,7 @@ CellClass CampaignEngine::classify(const workloads::Workload& w,
                                    double budget_w) const {
   std::shared_ptr<const Pmt> truth = CalibrationCache::global().oracle(
       cluster_, allocation_, w, oracle_seed(cluster_, w));
-  return classify_against(*truth, budget_w);
+  return classify_cell(*truth, budget_w);
 }
 
 CampaignJobResult CampaignEngine::run_job(const CampaignJob& job,
@@ -274,9 +274,9 @@ CampaignJobResult CampaignEngine::run_job(const CampaignJob& job,
 
   std::shared_ptr<const Pmt> truth =
       cache.oracle(cluster_, allocation_, w, oracle_seed(cluster_, w));
-  out.cls = classify_against(*truth, job.budget_w);
+  out.cls = classify_cell(*truth, job.budget_w);
   if (out.cls == CellClass::kInfeasible) {
-    out.metrics = infeasible_metrics(w, job.scheme, job.budget_w);
+    out.metrics = infeasible_run_metrics(w, job.scheme, job.budget_w);
     if (telemetry != nullptr) telemetry->add_counter("jobs_infeasible");
     return out;
   }
@@ -361,8 +361,12 @@ CampaignResult CampaignEngine::run(const CampaignSpec& spec,
   result.cache.hits = after.hits - before.hits;
   result.cache.misses = after.misses - before.misses;
   result.cache.entries = after.entries;
+  result.cache.evictions = after.evictions - before.evictions;
+  result.cache.capacity = after.capacity;
   result.telemetry.add_counter("cache_hits", result.cache.hits);
   result.telemetry.add_counter("cache_misses", result.cache.misses);
+  result.telemetry.add_counter("cache_evictions", result.cache.evictions);
+  result.telemetry.add_counter("cache_entries", result.cache.entries);
   result.elapsed_s =
       // vapb-lint: allow(determinism-taint): elapsed_s is observability only
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

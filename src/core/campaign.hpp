@@ -40,6 +40,38 @@ enum class CellClass {
 
 std::string cell_class_name(CellClass c);
 
+/// Ground-truth cell classification of a budget against an oracle PMT — the
+/// Table 4 convention shared by Campaign, CampaignEngine and the
+/// BudgetService.
+[[nodiscard]] CellClass classify_cell(const Pmt& truth, double budget_w);
+
+/// The canonical seed forks for the shared calibration artifacts. Every
+/// consumer of CalibrationCache::oracle / ::test_run must derive its seeds
+/// through these, or cache hits would stop being bit-identical replays.
+[[nodiscard]] util::SeedSequence oracle_seed(const cluster::Cluster& cluster,
+                                             const workloads::Workload& w);
+[[nodiscard]] util::SeedSequence test_run_seed(const cluster::Cluster& cluster,
+                                               const workloads::Workload& w);
+
+/// The metrics recorded for a "-" cell: the modules cannot be operated at
+/// this budget, so nothing runs (feasible = false, everything else zero).
+[[nodiscard]] RunMetrics infeasible_run_metrics(const workloads::Workload& w,
+                                                const std::string& scheme,
+                                                double budget_w);
+
+/// The staged pipeline of Runner::run_scheme with the power-model stage
+/// wrapped in the process-wide CalibrationCache decorator — or replaced
+/// outright by `primed_pmt` when one is supplied (e.g. a table restored from
+/// a service snapshot; the caller owns the guarantee that it equals what the
+/// stage would build). Seeds and cache keys match the uncached path exactly,
+/// so the metrics are bitwise identical regardless of which path warmed the
+/// cache.
+[[nodiscard]] RunMetrics run_scheme_cached(
+    const cluster::Cluster& cluster, const Runner& runner,
+    const workloads::Workload& w, const std::string& scheme, double budget_w,
+    const Pvt& pvt, const TestRunResult& test,
+    std::shared_ptr<const Pmt> primed_pmt = nullptr);
+
 struct SchemeOutcome {
   SchemeKind kind;
   RunMetrics metrics;

@@ -156,6 +156,17 @@ void CachedPowerModelStage::model(RunContext& ctx) const {
       fi != nullptr ? fi->fingerprint() : 0);
 }
 
+ProvidedPmtStage::ProvidedPmtStage(std::shared_ptr<const Pmt> pmt)
+    : pmt_(std::move(pmt)) {
+  VAPB_REQUIRE_MSG(pmt_ != nullptr, "ProvidedPmtStage needs a table");
+}
+
+void ProvidedPmtStage::model(RunContext& ctx) const {
+  require(ctx.allocation.size() == pmt_->size(),
+          "provided PMT does not cover this allocation");
+  ctx.pmt = pmt_;
+}
+
 // ---------------------------------------------------------------------------
 // Budget solve
 // ---------------------------------------------------------------------------

@@ -77,6 +77,20 @@ class CachedPowerModelStage final : public PowerModelStage {
   std::shared_ptr<const PowerModelStage> inner_;
 };
 
+/// Installs a pre-built PMT instead of modeling one — the snapshot /
+/// BudgetService fast path. The caller owns the guarantee that the table is
+/// bitwise what the replaced stage would have produced for this context
+/// (snapshots record tables built by the canonical stages, so a restored
+/// table satisfies it by construction).
+class ProvidedPmtStage final : public PowerModelStage {
+ public:
+  explicit ProvidedPmtStage(std::shared_ptr<const Pmt> pmt);
+  void model(RunContext& ctx) const override;
+
+ private:
+  std::shared_ptr<const Pmt> pmt_;
+};
+
 // ---------------------------------------------------------------------------
 // Budget solve
 // ---------------------------------------------------------------------------

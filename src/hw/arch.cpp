@@ -1,5 +1,7 @@
 #include "hw/arch.hpp"
 
+#include "util/error.hpp"
+
 namespace vapb::hw {
 
 ArchSpec cab() {
@@ -125,5 +127,21 @@ ArchSpec ha8k() {
 }
 
 std::vector<ArchSpec> all_archs() { return {cab(), vulcan(), teller(), ha8k()}; }
+
+ArchSpec arch_by_name(const std::string& name) {
+  if (name == "cab") return cab();
+  if (name == "vulcan") return vulcan();
+  if (name == "teller") return teller();
+  if (name == "ha8k") return ha8k();
+  throw InvalidArgument("unknown architecture '" + name +
+                        "' (cab|vulcan|teller|ha8k)");
+}
+
+std::string arch_short_name(const ArchSpec& spec) {
+  for (const char* name : {"cab", "vulcan", "teller", "ha8k"}) {
+    if (arch_by_name(name).system == spec.system) return name;
+  }
+  return "";
+}
 
 }  // namespace vapb::hw

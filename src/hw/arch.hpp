@@ -58,4 +58,14 @@ ArchSpec ha8k();
 /// All four, in Table 2 order.
 std::vector<ArchSpec> all_archs();
 
+/// Preset lookup by short name ("cab", "vulcan", "teller", "ha8k") — the
+/// vocabulary vapbctl's --arch flag and service snapshots share. Throws
+/// InvalidArgument (listing the valid names) for anything else.
+ArchSpec arch_by_name(const std::string& name);
+
+/// The short name of a preset ("ha8k" for the HA8K spec), matched on
+/// `ArchSpec::system`; "" when `spec` is not one of the Table-2 presets
+/// (e.g. loaded from an --arch-file).
+std::string arch_short_name(const ArchSpec& spec);
+
 }  // namespace vapb::hw

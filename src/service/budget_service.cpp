@@ -1,0 +1,428 @@
+#include "service/budget_service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <condition_variable>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/calibration_cache.hpp"
+#include "core/pipeline.hpp"
+#include "core/scheme_registry.hpp"
+#include "core/stages.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::service {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+std::string request_kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kSolve:
+      return "solve";
+    case RequestKind::kRun:
+      return "run";
+  }
+  throw InternalError("unhandled request kind");
+}
+
+RequestKind request_kind_by_name(const std::string& name) {
+  if (name == "solve") return RequestKind::kSolve;
+  if (name == "run") return RequestKind::kRun;
+  throw InvalidArgument("unknown request kind '" + name + "' (solve|run)");
+}
+
+std::string BudgetRequest::cache_key() const {
+  // Exact, collision-free by construction: every field that feeds the pure
+  // function, with the budget spelled as raw bits so -0.0 vs 0.0 and other
+  // same-value-different-bits pairs cannot alias.
+  std::ostringstream os;
+  os << std::hex << cluster_fingerprint << '/' << scheme << '/' << workload
+     << '/' << std::bit_cast<std::uint64_t>(budget_w) << '/' << salt << '/'
+     << request_kind_name(kind);
+  return os.str();
+}
+
+std::uint64_t BudgetRequest::fingerprint() const {
+  return mix(util::fnv1a(cache_key()), 0x5ca1ab1eULL);
+}
+
+ClusterState calibrate_state(std::shared_ptr<const cluster::Cluster> cluster,
+                             std::vector<hw::ModuleId> allocation,
+                             const std::vector<std::string>& workloads,
+                             const std::vector<std::string>& schemes) {
+  if (!cluster) throw InvalidArgument("calibrate_state: null cluster");
+  if (allocation.empty()) {
+    throw InvalidArgument("calibrate_state: empty allocation");
+  }
+  ClusterState state;
+  state.cluster = cluster;
+  state.allocation = std::move(allocation);
+  state.pvt = core::CalibrationCache::global().pvt(
+      *cluster, workloads::pvt_microbench(), cluster->seed().fork("pvt"));
+  for (const std::string& wname : workloads) {
+    const workloads::Workload& w = workloads::by_name(wname);
+    state.test_runs[w.name] = core::CalibrationCache::global().test_run(
+        *cluster, state.allocation.front(), w,
+        core::test_run_seed(*cluster, w));
+    for (const std::string& scheme : schemes) {
+      core::SchemeDefinition def =
+          core::SchemeRegistry::global().get(scheme);
+      if (!def.power_model) continue;
+      // Build the table with the scheme's own (cache-decorated) stage so a
+      // restored snapshot is bitwise what a live run would model.
+      core::RunContext ctx;
+      ctx.cluster = cluster.get();
+      ctx.allocation = state.allocation;
+      ctx.workload = &w;
+      ctx.scheme = scheme;
+      ctx.seed = core::Runner::scheme_seed(*cluster, w, scheme);
+      ctx.pvt = state.pvt;
+      ctx.test = state.test_runs[w.name];
+      core::CachedPowerModelStage(def.power_model).model(ctx);
+      state.pmts[scheme + '/' + w.name] = ctx.pmt;
+    }
+  }
+  return state;
+}
+
+// ---------------------------------------------------------------------------
+// Service engine
+// ---------------------------------------------------------------------------
+
+struct BudgetService::Impl {
+  struct Pending {
+    BudgetRequest request;
+    std::string key;
+    std::promise<ReplyPtr> promise;
+    std::shared_future<ReplyPtr> future;
+    std::vector<ReplyHandler> handlers;
+  };
+
+  struct CachedReply {
+    ReplyPtr reply;
+    std::list<std::string>::iterator lru;
+  };
+
+  // kRun base config with the per-request-overridden sinks stripped.
+  static core::RunConfig sanitized(core::RunConfig cfg) {
+    cfg.telemetry = nullptr;
+    cfg.fault = nullptr;
+    return cfg;
+  }
+
+  explicit Impl(const ServiceConfig& config)
+      : max_batch(config.max_batch),
+        reply_capacity(config.reply_cache_capacity),
+        run_config(sanitized(config.run)),
+        pool(config.worker_threads),
+        batcher([this] { batcher_main(); }) {}
+
+  // -- shared state (guarded by `mutex`) ------------------------------------
+  mutable std::mutex mutex;
+  std::condition_variable queue_cv;
+  std::deque<std::shared_ptr<Pending>> queue;
+  std::map<std::string, std::shared_ptr<Pending>> inflight;
+  std::map<std::string, CachedReply> replies;
+  std::list<std::string> reply_lru;  // front = most recently used
+  std::map<std::uint64_t, ClusterState> clusters;
+  std::uint64_t default_cluster = 0;
+  Stats stats;
+  bool stop = false;
+
+  // -- immutable after construction -----------------------------------------
+  const std::size_t max_batch;
+  const std::size_t reply_capacity;
+  const core::RunConfig run_config;
+  util::ThreadPool pool;
+  std::thread batcher;  // must be last: it reads the fields above
+
+  ~Impl() {
+    {
+      std::lock_guard lock(mutex);
+      stop = true;
+    }
+    queue_cv.notify_all();
+    batcher.join();
+  }
+
+  // Requires the lock. Returns the cached reply for `key` (refreshing its
+  // recency) or null.
+  ReplyPtr lookup_reply(const std::string& key) {
+    auto it = replies.find(key);
+    if (it == replies.end()) return nullptr;
+    reply_lru.splice(reply_lru.begin(), reply_lru, it->second.lru);
+    return it->second.reply;
+  }
+
+  // Requires the lock.
+  void store_reply(const std::string& key, ReplyPtr reply) {
+    auto it = replies.find(key);
+    if (it != replies.end()) {
+      it->second.reply = std::move(reply);
+      reply_lru.splice(reply_lru.begin(), reply_lru, it->second.lru);
+      return;
+    }
+    reply_lru.push_front(key);
+    replies.emplace(key, CachedReply{std::move(reply), reply_lru.begin()});
+    if (reply_capacity == 0) return;
+    while (replies.size() > reply_capacity && !reply_lru.empty()) {
+      replies.erase(reply_lru.back());
+      reply_lru.pop_back();
+      ++stats.reply_evictions;
+    }
+  }
+
+  void batcher_main() {
+    std::unique_lock lock(mutex);
+    for (;;) {
+      queue_cv.wait(lock, [&] { return stop || !queue.empty(); });
+      if (queue.empty() && stop) return;
+      std::vector<std::shared_ptr<Pending>> batch;
+      const std::size_t take = std::min(queue.size(), max_batch);
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue.front()));
+        queue.pop_front();
+      }
+      ++stats.batches;
+      stats.max_batch = std::max<std::uint64_t>(stats.max_batch, take);
+      lock.unlock();
+      process_batch(batch);
+      lock.lock();
+    }
+  }
+
+  void process_batch(const std::vector<std::shared_ptr<Pending>>& batch) {
+    std::vector<ReplyPtr> computed(batch.size());
+    auto run_one = [&](std::size_t i) {
+      computed[i] = compute(batch[i]->request);
+    };
+    if (batch.size() == 1 || pool.size() <= 1) {
+      for (std::size_t i = 0; i < batch.size(); ++i) run_one(i);
+    } else {
+      util::parallel_for(pool, batch.size(), run_one, /*grain=*/1);
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Pending& p = *batch[i];
+      std::vector<ReplyHandler> handlers;
+      {
+        std::lock_guard lock(mutex);
+        stats.computed += 1;
+        store_reply(p.key, computed[i]);
+        handlers = std::move(p.handlers);
+        inflight.erase(p.key);
+      }
+      p.promise.set_value(computed[i]);
+      for (const ReplyHandler& h : handlers) h(*computed[i]);
+    }
+  }
+
+  // The pure function: reply = f(cluster state, request). Runs on a pool
+  // worker (or the batcher); draws randomness only from the canonical seed
+  // forks, never from the clock or scheduling, so replies are bit-identical
+  // to direct pipeline runs.
+  ReplyPtr compute(const BudgetRequest& req) const {
+    auto reply = std::make_shared<BudgetReply>();
+    reply->request = req;
+    try {
+      const ClusterState& state = cluster_for(req.cluster_fingerprint);
+      const workloads::Workload& w = workloads::by_name(req.workload);
+      const cluster::Cluster& cluster = *state.cluster;
+      core::CalibrationCache& cache = core::CalibrationCache::global();
+
+      std::shared_ptr<const core::TestRunResult> test;
+      if (auto it = state.test_runs.find(w.name);
+          it != state.test_runs.end()) {
+        test = it->second;
+      } else {
+        test = cache.test_run(cluster, state.allocation.front(), w,
+                              core::test_run_seed(cluster, w));
+      }
+      std::shared_ptr<const core::Pmt> primed;
+      if (auto it = state.pmts.find(req.scheme + '/' + w.name);
+          it != state.pmts.end()) {
+        primed = it->second;
+      }
+
+      if (req.kind == RequestKind::kRun) {
+        std::shared_ptr<const core::Pmt> truth = cache.oracle(
+            cluster, state.allocation, w, core::oracle_seed(cluster, w));
+        reply->cls = core::classify_cell(*truth, req.budget_w);
+        if (reply->cls == core::CellClass::kInfeasible) {
+          reply->metrics =
+              core::infeasible_run_metrics(w, req.scheme, req.budget_w);
+        } else {
+          core::RunConfig cfg = run_config;
+          cfg.run_salt = req.salt;
+          cfg.telemetry = nullptr;
+          cfg.fault = nullptr;
+          core::Runner runner(cluster, state.allocation, cfg);
+          reply->metrics =
+              core::run_scheme_cached(cluster, runner, w, req.scheme,
+                                      req.budget_w, *state.pvt, *test, primed);
+        }
+        reply->ok = true;
+        return reply;
+      }
+
+      // kSolve: calibrate -> model -> solve, no enforcement/execution.
+      core::SchemeDefinition def =
+          core::SchemeRegistry::global().get(req.scheme);
+      if (!def.budget_solve) {
+        throw InvalidArgument("scheme '" + req.scheme +
+                              "' has no budget-solve stage");
+      }
+      core::RunContext ctx;
+      ctx.cluster = &cluster;
+      ctx.allocation = state.allocation;
+      ctx.workload = &w;
+      ctx.scheme = req.scheme;
+      ctx.budget_w = req.budget_w;
+      ctx.tree = run_config.tree;
+      ctx.seed = core::Runner::scheme_seed(cluster, w, req.scheme);
+      ctx.pvt = state.pvt;
+      ctx.test = test;
+      if (def.calibration) def.calibration->calibrate(ctx);
+      if (primed) {
+        ctx.pmt = primed;
+      } else if (def.power_model) {
+        core::CachedPowerModelStage(def.power_model).model(ctx);
+      }
+      def.budget_solve->solve(ctx);
+      VAPB_REQUIRE(ctx.budget.has_value());
+      reply->budget = std::move(*ctx.budget);
+      reply->ok = true;
+    } catch (const std::exception& e) {
+      reply->ok = false;
+      reply->error = e.what();
+    }
+    return reply;
+  }
+
+  const ClusterState& cluster_for(std::uint64_t fingerprint) const {
+    std::lock_guard lock(mutex);
+    if (clusters.empty()) {
+      throw InvalidArgument("BudgetService: no cluster registered");
+    }
+    const std::uint64_t key =
+        fingerprint == 0 ? default_cluster : fingerprint;
+    auto it = clusters.find(key);
+    if (it == clusters.end()) {
+      std::ostringstream os;
+      os << "BudgetService: unknown cluster fingerprint " << std::hex << key;
+      throw InvalidArgument(os.str());
+    }
+    return it->second;
+  }
+};
+
+BudgetService::BudgetService(ServiceConfig config) : config_(config) {
+  if (config_.max_batch == 0) {
+    throw InvalidArgument("ServiceConfig.max_batch must be >= 1");
+  }
+  impl_ = std::make_unique<Impl>(config_);
+}
+
+BudgetService::~BudgetService() = default;
+
+void BudgetService::register_cluster(ClusterState state) {
+  if (!state.cluster) {
+    throw InvalidArgument("register_cluster: null cluster");
+  }
+  if (state.allocation.empty()) {
+    throw InvalidArgument("register_cluster: empty allocation");
+  }
+  if (!state.pvt) {
+    state.pvt = core::CalibrationCache::global().pvt(
+        *state.cluster, workloads::pvt_microbench(),
+        state.cluster->seed().fork("pvt"));
+  }
+  const std::uint64_t fp = state.cluster->fingerprint();
+  std::lock_guard lock(impl_->mutex);
+  if (impl_->clusters.count(fp) != 0) {
+    throw InvalidArgument("register_cluster: fingerprint already registered");
+  }
+  if (impl_->clusters.empty()) impl_->default_cluster = fp;
+  impl_->clusters.emplace(fp, std::move(state));
+}
+
+bool BudgetService::has_cluster(std::uint64_t fingerprint) const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->clusters.count(fingerprint) != 0;
+}
+
+std::shared_future<ReplyPtr> BudgetService::submit(BudgetRequest request,
+                                                   ReplyHandler done) {
+  std::string key = request.cache_key();
+  ReplyPtr hit;
+  std::shared_future<ReplyPtr> future;
+  {
+    std::lock_guard lock(impl_->mutex);
+    ++impl_->stats.requests;
+    hit = impl_->lookup_reply(key);
+    if (hit != nullptr) {
+      ++impl_->stats.reply_hits;
+    } else if (auto it = impl_->inflight.find(key);
+               it != impl_->inflight.end()) {
+      // Coalesce onto the in-flight run: one compute fans out to everyone.
+      ++impl_->stats.dedup_hits;
+      if (done) it->second->handlers.push_back(std::move(done));
+      return it->second->future;
+    } else {
+      auto pending = std::make_shared<Impl::Pending>();
+      pending->request = std::move(request);
+      pending->key = key;
+      pending->future = pending->promise.get_future().share();
+      if (done) pending->handlers.push_back(std::move(done));
+      future = pending->future;
+      impl_->inflight.emplace(std::move(key), pending);
+      impl_->queue.push_back(std::move(pending));
+    }
+  }
+  if (hit != nullptr) {
+    if (done) done(*hit);
+    std::promise<ReplyPtr> ready;
+    ready.set_value(hit);
+    return ready.get_future().share();
+  }
+  impl_->queue_cv.notify_one();
+  return future;
+}
+
+ReplyPtr BudgetService::solve(BudgetRequest request) {
+  return submit(std::move(request)).get();
+}
+
+BudgetService::Stats BudgetService::stats() const {
+  std::lock_guard lock(impl_->mutex);
+  Stats s = impl_->stats;
+  s.reply_entries = impl_->replies.size();
+  return s;
+}
+
+void BudgetService::merge_stats(util::Telemetry& telemetry) const {
+  const Stats s = stats();
+  telemetry.add_counter("service_requests", s.requests);
+  telemetry.add_counter("service_computed", s.computed);
+  telemetry.add_counter("service_dedup_hits", s.dedup_hits);
+  telemetry.add_counter("service_reply_hits", s.reply_hits);
+  telemetry.add_counter("service_reply_evictions", s.reply_evictions);
+  telemetry.add_counter("service_batches", s.batches);
+}
+
+}  // namespace vapb::service

@@ -1,0 +1,187 @@
+// BudgetService — the budgeting pipeline as a long-running, batched engine.
+//
+// The paper's variation-aware budgeting is a pure function: (cluster
+// fingerprint, scheme, workload, budget) -> allocation vector. A production
+// center re-solves budgets continuously as jobs arrive, budgets move and
+// measured power drifts, so the service makes sustained requests/sec and
+// tail latency first-class quantities without giving up the repo's
+// determinism contract:
+//
+//  * requests enter an async MPSC queue (`submit` is safe from any thread)
+//    and a single batcher thread drains them in bounded batches, fanning
+//    each batch over the service's own util::ThreadPool;
+//  * identical in-flight requests are deduplicated at submit time: one
+//    pipeline run fans its reply out to every waiter, keyed on the request's
+//    exact cache key (scheme/workload/budget bits/salt/kind);
+//  * finished replies park in a bounded LRU so repeat traffic is a hash
+//    lookup, with hit/miss/eviction counters mergeable into util::Telemetry.
+//
+// Every reply is a pure function of (registered cluster state, request) —
+// the service derives all seeds from the canonical forks Campaign uses, so
+// a reply is bitwise identical to running the pipeline directly, regardless
+// of batching, dedup, worker count or client thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/budget.hpp"
+#include "core/campaign.hpp"
+#include "core/pmt.hpp"
+#include "core/pvt.hpp"
+#include "core/runner.hpp"
+#include "core/test_run.hpp"
+#include "util/telemetry.hpp"
+
+namespace vapb::service {
+
+/// What a request asks for: a budget solve (calibrate/model/solve — the
+/// high-rate service operation) or a full pipeline run including DES
+/// execution (what CampaignEngine::run_job does per cell).
+enum class RequestKind { kSolve, kRun };
+
+std::string request_kind_name(RequestKind kind);
+RequestKind request_kind_by_name(const std::string& name);
+
+struct BudgetRequest {
+  /// Cluster::fingerprint() of a registered cluster; 0 targets the service's
+  /// default (first-registered) cluster.
+  std::uint64_t cluster_fingerprint = 0;
+  std::string scheme;    ///< registered scheme name (SchemeRegistry)
+  std::string workload;  ///< workload catalog name
+  double budget_w = 0.0;  ///< application-level budget [W]
+  RequestKind kind = RequestKind::kSolve;
+  /// kRun only: Runner run_salt (repetition salt, CampaignJob convention).
+  std::uint64_t salt = 0;
+
+  /// Exact dedup/LRU key: two requests with equal keys are the same pure
+  /// function application and must receive bitwise-equal replies.
+  [[nodiscard]] std::string cache_key() const;
+
+  /// 64-bit hash of cache_key for display/telemetry.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+struct BudgetReply {
+  BudgetRequest request;
+  bool ok = false;
+  std::string error;  ///< set when !ok (unknown scheme/workload/cluster, ...)
+
+  // kSolve output.
+  core::BudgetResult budget;
+
+  // kRun outputs (mirrors CampaignJobResult: classification against the
+  // oracle ground truth, then the full pipeline metrics; infeasible cells
+  // short-circuit with feasible = false).
+  core::CellClass cls = core::CellClass::kValid;
+  core::RunMetrics metrics;
+};
+
+using ReplyPtr = std::shared_ptr<const BudgetReply>;
+
+/// Per-request completion hook: invoked exactly once per submitted request
+/// when its reply is available — on the submitting thread for an LRU hit,
+/// on the batcher thread otherwise. Never invoked under the service lock.
+using ReplyHandler = std::function<void(const BudgetReply&)>;
+
+struct ServiceConfig {
+  /// Workers for the batch fan-out; 0 = hardware_concurrency. The service
+  /// owns its pool — pipeline-internal parallel_for still uses the global
+  /// one, so nesting cannot deadlock.
+  std::size_t worker_threads = 0;
+  /// Most requests drained per batch (>= 1).
+  std::size_t max_batch = 64;
+  /// Finished-reply LRU capacity; 0 = unbounded.
+  std::size_t reply_cache_capacity = 1024;
+  /// Base RunConfig for kRun requests (iterations, network, tree, ...).
+  /// `run_salt`, `telemetry` and `fault` are overridden per request —
+  /// faults are not served (they would break reply purity).
+  core::RunConfig run;
+};
+
+/// Everything the service needs to answer for one fabricated fleet. The
+/// calibration artifacts beyond `pvt` are optional warm-start state (e.g.
+/// restored from a snapshot): missing ones are computed on demand through
+/// the process-wide CalibrationCache with the canonical seed forks, so a
+/// warm and a cold entry serve bitwise-identical replies.
+struct ClusterState {
+  std::shared_ptr<const cluster::Cluster> cluster;
+  std::vector<hw::ModuleId> allocation;
+  std::shared_ptr<const core::Pvt> pvt;  ///< null = calibrate on register
+  /// Single-module test runs by workload name.
+  std::map<std::string, std::shared_ptr<const core::TestRunResult>> test_runs;
+  /// Calibrated PMTs by "<scheme>/<workload>".
+  std::map<std::string, std::shared_ptr<const core::Pmt>> pmts;
+};
+
+/// Runs calibration for `state` up front: the PVT, the test run of every
+/// named workload and the PMT of every (scheme, workload) pair — built by
+/// the schemes' own pipeline stages, so the tables are bitwise what a run
+/// would produce. This is what `vapbctl snapshot save` persists.
+ClusterState calibrate_state(std::shared_ptr<const cluster::Cluster> cluster,
+                             std::vector<hw::ModuleId> allocation,
+                             const std::vector<std::string>& workloads,
+                             const std::vector<std::string>& schemes);
+
+class BudgetService {
+ public:
+  struct Stats {
+    std::uint64_t requests = 0;      ///< submitted
+    std::uint64_t computed = 0;      ///< pipeline runs actually executed
+    std::uint64_t dedup_hits = 0;    ///< coalesced onto an in-flight run
+    std::uint64_t reply_hits = 0;    ///< served from the finished-reply LRU
+    std::uint64_t reply_evictions = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t max_batch = 0;     ///< largest batch drained so far
+    std::size_t reply_entries = 0;   ///< current LRU population
+  };
+
+  explicit BudgetService(ServiceConfig config = {});
+
+  /// Drains every queued request (fulfilling all outstanding futures) and
+  /// joins the batcher.
+  ~BudgetService();
+
+  BudgetService(const BudgetService&) = delete;
+  BudgetService& operator=(const BudgetService&) = delete;
+
+  /// Registers a fleet. The first registration becomes the default target
+  /// for requests with cluster_fingerprint 0. A missing `pvt` is calibrated
+  /// here (through the CalibrationCache). Throws InvalidArgument on a null
+  /// cluster, empty allocation or duplicate fingerprint.
+  void register_cluster(ClusterState state);
+
+  [[nodiscard]] bool has_cluster(std::uint64_t fingerprint) const;
+
+  /// Enqueues a request; returns a future every duplicate waiter shares.
+  /// `done` (optional) fires once per submitted request when the reply is
+  /// available. The reply is never null; errors are reported in-band
+  /// (ok = false) so one bad request cannot poison a batch.
+  std::shared_future<ReplyPtr> submit(BudgetRequest request,
+                                      ReplyHandler done = {});
+
+  /// Blocking convenience: submit + get.
+  ReplyPtr solve(BudgetRequest request);
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Adds the service counters ("service_requests", "service_computed",
+  /// "service_dedup_hits", "service_reply_hits", "service_reply_evictions",
+  /// "service_batches") to `telemetry`.
+  void merge_stats(util::Telemetry& telemetry) const;
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Impl;
+  ServiceConfig config_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace vapb::service

@@ -1,0 +1,438 @@
+#include "service/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster_soa.hpp"
+#include "hw/arch.hpp"
+#include "util/rng.hpp"
+
+namespace vapb::service {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'A', 'P', 'B', 'S', 'N', 'A', 'P'};
+constexpr std::size_t kHeaderBytes = 32;
+// First payload word: snapshots are raw host-layout doubles, so a file
+// written on a different-endianness host must be rejected, not reinterpreted.
+constexpr std::uint64_t kEndianSentinel = 0x0102030405060708ULL;
+
+[[noreturn]] void fail(const std::string& what) { throw SnapshotError(what); }
+
+std::uint64_t payload_checksum(const unsigned char* data, std::size_t n) {
+  return util::fnv1a(
+      std::string_view(reinterpret_cast<const char*>(data), n));
+}
+
+// -- payload serializer ------------------------------------------------------
+
+struct Writer {
+  std::string buf;
+
+  void raw(const void* p, std::size_t n) {
+    buf.append(static_cast<const char*>(p), n);
+  }
+  void pad() {
+    while (buf.size() % 8 != 0) buf.push_back('\0');
+  }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(const std::string& s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+    pad();
+  }
+};
+
+// -- bounds-checked payload reader -------------------------------------------
+
+struct Cursor {
+  const unsigned char* p;
+  std::size_t n;
+  std::size_t off = 0;
+
+  void need(std::size_t bytes, const char* what) {
+    if (n - off < bytes) {
+      std::ostringstream os;
+      os << "truncated snapshot: payload ends inside " << what << " (need "
+         << bytes << " bytes at offset " << off << ", " << (n - off)
+         << " left)";
+      fail(os.str());
+    }
+  }
+  std::uint64_t u64(const char* what) {
+    need(8, what);
+    std::uint64_t v;
+    std::memcpy(&v, p + off, 8);
+    off += 8;
+    return v;
+  }
+  double f64(const char* what) {
+    need(8, what);
+    double v;
+    std::memcpy(&v, p + off, 8);
+    off += 8;
+    return v;
+  }
+  std::string str(const char* what) {
+    const std::uint64_t len = u64(what);
+    need(len, what);
+    std::string s(reinterpret_cast<const char*>(p + off),
+                  static_cast<std::size_t>(len));
+    off += static_cast<std::size_t>(len);
+    while (off % 8 != 0) {
+      need(1, what);
+      ++off;
+    }
+    return s;
+  }
+  void skip_f64s(std::uint64_t count, const char* what) {
+    // Guard the multiply: a corrupted count must trip the bounds check, not
+    // wrap around it.
+    if (count > n / 8) need(n + 8, what);
+    need(static_cast<std::size_t>(count) * 8, what);
+    off += static_cast<std::size_t>(count) * 8;
+  }
+};
+
+// Walks the payload structure without materializing anything — shared by
+// load-time validation (which also derives the inventory counts) and by
+// nothing else; restore() re-reads through the same Cursor primitives.
+struct Inventory {
+  std::string arch;
+  std::uint64_t master_seed = 0;
+  std::uint64_t module_count = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t allocation_n = 0;
+  std::uint64_t test_runs_n = 0;
+  std::uint64_t pmts_n = 0;
+};
+
+Inventory walk(Cursor& c) {
+  Inventory inv;
+  if (c.u64("the endianness sentinel") != kEndianSentinel) {
+    fail("snapshot was written on an incompatible (different-endianness) "
+         "host");
+  }
+  inv.arch = c.str("the architecture name");
+  inv.master_seed = c.u64("the master seed");
+  inv.module_count = c.u64("the module count");
+  inv.fingerprint = c.u64("the fleet fingerprint");
+  inv.allocation_n = c.u64("the allocation size");
+  c.skip_f64s(inv.allocation_n, "the allocation");
+  c.str("the PVT microbenchmark name");
+  c.skip_f64s(c.u64("the PVT size") * 4, "the PVT entries");
+  c.skip_f64s(c.u64("the SoA size") * 6, "the SoA arrays");
+  inv.test_runs_n = c.u64("the test-run count");
+  for (std::uint64_t i = 0; i < inv.test_runs_n; ++i) {
+    c.str("a test-run workload name");
+    c.skip_f64s(7, "a test run");
+  }
+  inv.pmts_n = c.u64("the PMT count");
+  for (std::uint64_t i = 0; i < inv.pmts_n; ++i) {
+    c.str("a PMT scheme name");
+    c.str("a PMT workload name");
+    c.skip_f64s(2, "a PMT frequency range");
+    c.skip_f64s(c.u64("a PMT size") * 4, "PMT entries");
+  }
+  if (c.off != c.n) fail("snapshot has trailing bytes after the payload");
+  return inv;
+}
+
+}  // namespace
+
+void save_snapshot(const std::string& path, const std::string& arch,
+                   std::uint64_t master_seed, const ClusterState& state) {
+  if (!state.cluster || !state.pvt) {
+    throw InvalidArgument("save_snapshot: state needs a cluster and a PVT");
+  }
+  // Prove (arch, seed, count) actually reproduces this fleet before
+  // persisting the claim — a snapshot that cannot restore is worthless.
+  const hw::ArchSpec spec = hw::arch_by_name(arch);
+  cluster::Cluster refab(spec, util::SeedSequence(master_seed),
+                         state.cluster->size());
+  if (refab.fingerprint() != state.cluster->fingerprint()) {
+    throw InvalidArgument(
+        "save_snapshot: (arch, seed, modules) do not refabricate this "
+        "cluster — fingerprint mismatch");
+  }
+
+  Writer w;
+  w.u64(kEndianSentinel);
+  w.str(arch);
+  w.u64(master_seed);
+  w.u64(state.cluster->size());
+  w.u64(state.cluster->fingerprint());
+  w.u64(state.allocation.size());
+  for (hw::ModuleId id : state.allocation) w.u64(id);
+  w.str(state.pvt->microbench_name());
+  w.u64(state.pvt->size());
+  for (const core::PvtEntry& e : state.pvt->entries()) {
+    w.f64(e.cpu_max);
+    w.f64(e.dram_max);
+    w.f64(e.cpu_min);
+    w.f64(e.dram_min);
+  }
+  const cluster::ClusterSoA soa = cluster::ClusterSoA::gather(*state.cluster);
+  w.u64(soa.size());
+  for (auto span : {soa.cpu_dyn_scale(), soa.cpu_static_scale(),
+                    soa.dram_scale(), soa.freq_scale(), soa.max_freq_ghz(),
+                    soa.tdp_cpu_w()}) {
+    for (double v : span) w.f64(v);
+  }
+  w.u64(state.test_runs.size());
+  for (const auto& [name, test] : state.test_runs) {
+    w.str(name);
+    w.u64(test->module);
+    w.f64(test->fmax_ghz.value());
+    w.f64(test->fmin_ghz.value());
+    w.f64(test->cpu_max_w.value());
+    w.f64(test->dram_max_w.value());
+    w.f64(test->cpu_min_w.value());
+    w.f64(test->dram_min_w.value());
+  }
+  w.u64(state.pmts.size());
+  for (const auto& [key, pmt] : state.pmts) {
+    const std::size_t slash = key.find('/');
+    VAPB_REQUIRE_MSG(slash != std::string::npos,
+                     "ClusterState PMT keys are '<scheme>/<workload>'");
+    w.str(key.substr(0, slash));
+    w.str(key.substr(slash + 1));
+    w.f64(pmt->fmax_ghz().value());
+    w.f64(pmt->fmin_ghz().value());
+    w.u64(pmt->size());
+    for (const core::PmtEntry& e : pmt->entries()) {
+      w.f64(e.cpu_max_w.value());
+      w.f64(e.dram_max_w.value());
+      w.f64(e.cpu_min_w.value());
+      w.f64(e.dram_min_w.value());
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail("cannot open snapshot for writing: " + path);
+  std::uint32_t version = kSnapshotVersion;
+  std::uint32_t reserved = 0;
+  std::uint64_t payload_bytes = w.buf.size();
+  std::uint64_t checksum = payload_checksum(
+      reinterpret_cast<const unsigned char*>(w.buf.data()), w.buf.size());
+  out.write(kMagic, sizeof kMagic);
+  out.write(reinterpret_cast<const char*>(&version), sizeof version);
+  out.write(reinterpret_cast<const char*>(&reserved), sizeof reserved);
+  out.write(reinterpret_cast<const char*>(&payload_bytes),
+            sizeof payload_bytes);
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
+  out.write(w.buf.data(), static_cast<std::streamsize>(w.buf.size()));
+  out.flush();
+  if (!out) fail("short write while saving snapshot: " + path);
+}
+
+Snapshot Snapshot::load(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(vararg)
+  if (fd < 0) {
+    fail("cannot open snapshot: " + path + " (" + std::strerror(errno) + ")");
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail("cannot stat snapshot: " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < kHeaderBytes) {
+    ::close(fd);
+    std::ostringstream os;
+    os << "truncated snapshot: " << path << " holds " << size
+       << " bytes, smaller than the " << kHeaderBytes << "-byte header";
+    fail(os.str());
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) fail("mmap failed for snapshot: " + path);
+
+  Snapshot snap;
+  snap.data_ = static_cast<const unsigned char*>(map);
+  snap.size_ = size;
+  // From here on, `snap`'s destructor owns the munmap; validation failures
+  // release the mapping via stack unwinding.
+  if (std::memcmp(snap.data_, kMagic, sizeof kMagic) != 0) {
+    fail("not a VAPB snapshot (bad magic): " + path);
+  }
+  std::uint32_t version;
+  std::memcpy(&version, snap.data_ + 8, sizeof version);
+  if (version != kSnapshotVersion) {
+    std::ostringstream os;
+    os << "unsupported snapshot version " << version << " in " << path
+       << " (this build reads version " << kSnapshotVersion << ")";
+    fail(os.str());
+  }
+  snap.version_ = version;
+  std::uint64_t payload_bytes;
+  std::uint64_t checksum;
+  std::memcpy(&payload_bytes, snap.data_ + 16, sizeof payload_bytes);
+  std::memcpy(&checksum, snap.data_ + 24, sizeof checksum);
+  if (payload_bytes != size - kHeaderBytes) {
+    std::ostringstream os;
+    os << "truncated snapshot: header declares " << payload_bytes
+       << " payload bytes but " << path << " holds " << (size - kHeaderBytes);
+    fail(os.str());
+  }
+  if (payload_checksum(snap.data_ + kHeaderBytes, payload_bytes) != checksum) {
+    fail("snapshot checksum mismatch (file corrupted): " + path);
+  }
+  Cursor c{snap.data_ + kHeaderBytes, payload_bytes};
+  const Inventory inv = walk(c);
+  snap.arch_ = inv.arch;
+  snap.master_seed_ = inv.master_seed;
+  snap.module_count_ = static_cast<std::size_t>(inv.module_count);
+  snap.fingerprint_ = inv.fingerprint;
+  snap.allocation_n_ = static_cast<std::size_t>(inv.allocation_n);
+  snap.test_runs_n_ = static_cast<std::size_t>(inv.test_runs_n);
+  snap.pmts_n_ = static_cast<std::size_t>(inv.pmts_n);
+  return snap;
+}
+
+Snapshot::Snapshot(Snapshot&& other) noexcept { *this = std::move(other); }
+
+Snapshot& Snapshot::operator=(Snapshot&& other) noexcept {
+  if (this == &other) return *this;
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+  data_ = std::exchange(other.data_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  version_ = other.version_;
+  arch_ = std::move(other.arch_);
+  master_seed_ = other.master_seed_;
+  module_count_ = other.module_count_;
+  fingerprint_ = other.fingerprint_;
+  allocation_n_ = other.allocation_n_;
+  test_runs_n_ = other.test_runs_n_;
+  pmts_n_ = other.pmts_n_;
+  return *this;
+}
+
+Snapshot::~Snapshot() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+}
+
+ClusterState Snapshot::restore() const {
+  VAPB_REQUIRE_MSG(data_ != nullptr, "restore() on a moved-from Snapshot");
+  Cursor c{data_ + kHeaderBytes, size_ - kHeaderBytes};
+  c.u64("the endianness sentinel");
+  const std::string arch = c.str("the architecture name");
+  const std::uint64_t master_seed = c.u64("the master seed");
+  const auto module_count =
+      static_cast<std::size_t>(c.u64("the module count"));
+  const std::uint64_t fingerprint = c.u64("the fleet fingerprint");
+
+  ClusterState state;
+  hw::ArchSpec spec = [&] {
+    try {
+      return hw::arch_by_name(arch);
+    } catch (const InvalidArgument&) {
+      throw SnapshotError("snapshot names unknown architecture preset '" +
+                          arch + "'");
+    }
+  }();
+  auto cluster = std::make_shared<cluster::Cluster>(
+      std::move(spec), util::SeedSequence(master_seed), module_count);
+  if (cluster->fingerprint() != fingerprint) {
+    fail("snapshot fleet fingerprint mismatch: refabrication no longer "
+         "reproduces the stored fleet (architecture tables or fabrication "
+         "changed since the snapshot was written)");
+  }
+
+  const auto allocation_n =
+      static_cast<std::size_t>(c.u64("the allocation size"));
+  state.allocation.reserve(allocation_n);
+  for (std::size_t i = 0; i < allocation_n; ++i) {
+    const std::uint64_t id = c.u64("the allocation");
+    if (id >= module_count) {
+      fail("snapshot allocation names module " + std::to_string(id) +
+           " outside the fleet");
+    }
+    state.allocation.push_back(static_cast<hw::ModuleId>(id));
+  }
+
+  const std::string micro = c.str("the PVT microbenchmark name");
+  const auto pvt_n = static_cast<std::size_t>(c.u64("the PVT size"));
+  std::vector<core::PvtEntry> pvt_entries(pvt_n);
+  for (core::PvtEntry& e : pvt_entries) {
+    e.cpu_max = c.f64("a PVT entry");
+    e.dram_max = c.f64("a PVT entry");
+    e.cpu_min = c.f64("a PVT entry");
+    e.dram_min = c.f64("a PVT entry");
+  }
+  state.pvt =
+      std::make_shared<const core::Pvt>(micro, std::move(pvt_entries));
+
+  // The stored SoA arrays double as an end-to-end integrity check: regather
+  // from the refabricated fleet and require bitwise equality.
+  const auto soa_n = static_cast<std::size_t>(c.u64("the SoA size"));
+  const cluster::ClusterSoA soa = cluster::ClusterSoA::gather(*cluster);
+  if (soa_n != soa.size()) {
+    fail("snapshot SoA size does not match the refabricated fleet");
+  }
+  for (auto span : {soa.cpu_dyn_scale(), soa.cpu_static_scale(),
+                    soa.dram_scale(), soa.freq_scale(), soa.max_freq_ghz(),
+                    soa.tdp_cpu_w()}) {
+    for (double expected : span) {
+      const double stored = c.f64("the SoA arrays");
+      if (std::bit_cast<std::uint64_t>(stored) !=
+          std::bit_cast<std::uint64_t>(expected)) {
+        fail("snapshot SoA arrays diverge bitwise from the refabricated "
+             "fleet — refusing to serve from this snapshot");
+      }
+    }
+  }
+
+  const auto tests_n = static_cast<std::size_t>(c.u64("the test-run count"));
+  for (std::size_t i = 0; i < tests_n; ++i) {
+    const std::string wname = c.str("a test-run workload name");
+    auto t = std::make_shared<core::TestRunResult>();
+    t->module = static_cast<hw::ModuleId>(c.u64("a test run"));
+    t->fmax_ghz = util::GigaHertz{c.f64("a test run")};
+    t->fmin_ghz = util::GigaHertz{c.f64("a test run")};
+    t->cpu_max_w = util::Watts{c.f64("a test run")};
+    t->dram_max_w = util::Watts{c.f64("a test run")};
+    t->cpu_min_w = util::Watts{c.f64("a test run")};
+    t->dram_min_w = util::Watts{c.f64("a test run")};
+    state.test_runs.emplace(wname, std::move(t));
+  }
+
+  const auto pmts_n = static_cast<std::size_t>(c.u64("the PMT count"));
+  for (std::size_t i = 0; i < pmts_n; ++i) {
+    const std::string scheme = c.str("a PMT scheme name");
+    const std::string wname = c.str("a PMT workload name");
+    const util::GigaHertz fmax{c.f64("a PMT frequency range")};
+    const util::GigaHertz fmin{c.f64("a PMT frequency range")};
+    const auto n = static_cast<std::size_t>(c.u64("a PMT size"));
+    std::vector<core::PmtEntry> entries(n);
+    for (core::PmtEntry& e : entries) {
+      e.cpu_max_w = util::Watts{c.f64("PMT entries")};
+      e.dram_max_w = util::Watts{c.f64("PMT entries")};
+      e.cpu_min_w = util::Watts{c.f64("PMT entries")};
+      e.dram_min_w = util::Watts{c.f64("PMT entries")};
+    }
+    state.pmts.emplace(
+        scheme + '/' + wname,
+        std::make_shared<const core::Pmt>(std::move(entries), fmax, fmin));
+  }
+
+  state.cluster = std::move(cluster);
+  return state;
+}
+
+}  // namespace vapb::service

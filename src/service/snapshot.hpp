@@ -1,0 +1,111 @@
+// Versioned, checksummed, mmap-able binary snapshots of calibrated cluster
+// state, so a cold worker process reaches serving state with one mmap
+// instead of re-running calibration.
+//
+// A snapshot records the *identity* of the fabricated fleet (architecture
+// preset, master seed, module count, fingerprint) plus every derived
+// artifact a BudgetService serves from: the allocation, the system PVT, the
+// per-workload single-module test runs, the per-(scheme, workload) PMTs and
+// the ClusterSoA coefficient arrays. Restoring refabricates the (cheap,
+// deterministic) module objects from the identity and verifies both the
+// fleet fingerprint and a bitwise comparison of the regathered SoA arrays
+// against the stored ones — so a version skew that changes fabrication is
+// caught at load, never served.
+//
+// File layout (all integers/doubles raw host-endian, 8-byte aligned):
+//
+//   header  | magic "VAPBSNAP" | u32 version | u32 reserved
+//           | u64 payload_bytes | u64 fnv1a64(payload)
+//   payload | u64 endianness sentinel
+//           | identity: arch short name, u64 master seed, u64 module count,
+//             u64 fleet fingerprint
+//           | allocation: u64 n, n x u64 module ids
+//           | pvt: microbench name, u64 n, n x 4 doubles
+//           | soa: u64 n, 6 x (n doubles)
+//           | test runs: u64 n, n x {workload name, u64 module, 6 doubles}
+//           | pmts: u64 n, n x {scheme, workload, 2 doubles (fmax, fmin),
+//             u64 entries, entries x 4 doubles}
+//
+// Strings are u64 length + bytes, zero-padded to 8. A corrupted, truncated
+// or version-skewed file fails with a clear SnapshotError — never UB: the
+// loader bounds-checks every read against the mapped extent and verifies
+// the checksum before parsing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/budget_service.hpp"
+#include "util/error.hpp"
+
+namespace vapb::service {
+
+/// A snapshot file failed validation (bad magic, unsupported version,
+/// truncation, checksum mismatch, fingerprint skew) or could not be
+/// read/written.
+class SnapshotError : public Error {
+ public:
+  explicit SnapshotError(const std::string& what) : Error(what) {}
+};
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Writes `state` to `path`. `arch` must be the preset short name the
+/// cluster was fabricated from and `master_seed` the fabrication master
+/// seed (Cluster does not retain it); both are verified by refabrication at
+/// load time via the fleet fingerprint. Throws SnapshotError on I/O
+/// failure, InvalidArgument on an unknown arch or a state/identity
+/// mismatch.
+void save_snapshot(const std::string& path, const std::string& arch,
+                   std::uint64_t master_seed, const ClusterState& state);
+
+/// A loaded, validated snapshot: an mmap of the file plus the parsed view.
+/// Move-only; the mapping lives until destruction.
+class Snapshot {
+ public:
+  /// Maps and validates `path` (magic, version, size, checksum). Parsing is
+  /// deferred to restore(); the metadata accessors below are parsed here.
+  static Snapshot load(const std::string& path);
+
+  Snapshot(Snapshot&& other) noexcept;
+  Snapshot& operator=(Snapshot&& other) noexcept;
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+  ~Snapshot();
+
+  /// Refabricates the cluster and materializes every artifact. Verifies the
+  /// fleet fingerprint and the SoA arrays bitwise; throws SnapshotError if
+  /// the stored state cannot be reproduced on this build.
+  [[nodiscard]] ClusterState restore() const;
+
+  // -- identity / inventory (for `vapbctl snapshot load` summaries) ---------
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+  [[nodiscard]] const std::string& arch() const { return arch_; }
+  [[nodiscard]] std::uint64_t master_seed() const { return master_seed_; }
+  [[nodiscard]] std::size_t module_count() const { return module_count_; }
+  [[nodiscard]] std::uint64_t fleet_fingerprint() const {
+    return fingerprint_;
+  }
+  [[nodiscard]] std::size_t allocation_size() const { return allocation_n_; }
+  [[nodiscard]] std::size_t test_run_count() const { return test_runs_n_; }
+  [[nodiscard]] std::size_t pmt_count() const { return pmts_n_; }
+  [[nodiscard]] std::size_t file_bytes() const { return size_; }
+
+ private:
+  Snapshot() = default;
+
+  const unsigned char* data_ = nullptr;  // mmap base
+  std::size_t size_ = 0;
+
+  std::uint32_t version_ = 0;
+  std::string arch_;
+  std::uint64_t master_seed_ = 0;
+  std::size_t module_count_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  std::size_t allocation_n_ = 0;
+  std::size_t test_runs_n_ = 0;
+  std::size_t pmts_n_ = 0;
+};
+
+}  // namespace vapb::service

@@ -1,0 +1,20 @@
+// Fixture: the service reply is a deterministic sink. Folding unordered-map
+// iteration order into a BudgetReply escapes the token-level rules (which
+// scope raw reductions to src/cluster/), so the taint rule must catch it.
+#include <unordered_map>
+
+namespace fix::service {
+
+struct BudgetReply {
+  double total_w = 0.0;
+};
+
+BudgetReply summarize(const std::unordered_map<int, double>& powers) {
+  BudgetReply r;
+  for (const auto& [id, w] : powers) {
+    r.total_w += w;
+  }
+  return r;
+}
+
+}  // namespace fix::service

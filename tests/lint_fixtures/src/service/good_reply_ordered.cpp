@@ -1,0 +1,20 @@
+// Fixture: the deterministic counterpart — the reply folds a vector in index
+// order, so nothing order-sensitive reaches the sink and the analyzer must
+// stay quiet.
+#include <vector>
+
+namespace fix::service {
+
+struct BudgetReply {
+  double total_w = 0.0;
+};
+
+BudgetReply summarize(const std::vector<double>& powers) {
+  BudgetReply r;
+  for (double w : powers) {
+    r.total_w += w;
+  }
+  return r;
+}
+
+}  // namespace fix::service

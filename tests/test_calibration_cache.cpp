@@ -174,6 +174,109 @@ TEST_F(CalibrationCacheFixture, ConcurrentRequestsShareOneComputation) {
   EXPECT_EQ(cache_.stats().hits, static_cast<std::uint64_t>(kThreads - 1));
 }
 
+TEST_F(CalibrationCacheFixture, UnboundedByDefault) {
+  EXPECT_EQ(cache_.capacity(), 0u);
+  EXPECT_EQ(cache_.stats().capacity, 0u);
+  for (int i = 0; i < 8; ++i) {
+    cache_.test_run(cluster_, alloc_.front(), workloads::mhd(),
+                    cluster_.seed().fork("s", static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(cache_.stats().entries, 8u);
+  EXPECT_EQ(cache_.stats().evictions, 0u);
+}
+
+TEST_F(CalibrationCacheFixture, CapacityEvictsLeastRecentlyUsed) {
+  cache_.set_capacity(2);
+  EXPECT_EQ(cache_.capacity(), 2u);
+  const auto entry = [&](std::uint64_t i) {
+    return cache_.test_run(cluster_, alloc_.front(), workloads::mhd(),
+                           cluster_.seed().fork("s", i));
+  };
+  auto a = entry(0);
+  auto b = entry(1);
+  auto c = entry(2);  // evicts a (the coldest)
+  EXPECT_EQ(cache_.stats().entries, 2u);
+  EXPECT_EQ(cache_.stats().evictions, 1u);
+  // b and c are still cached; a must be recomputed (same bits, new object).
+  EXPECT_EQ(entry(1).get(), b.get());
+  EXPECT_EQ(entry(2).get(), c.get());
+  auto a2 = entry(0);
+  EXPECT_NE(a2.get(), a.get());
+  EXPECT_EQ(a2->cpu_max_w, a->cpu_max_w);
+}
+
+TEST_F(CalibrationCacheFixture, HitRefreshesRecency) {
+  cache_.set_capacity(2);
+  const auto entry = [&](std::uint64_t i) {
+    return cache_.test_run(cluster_, alloc_.front(), workloads::mhd(),
+                           cluster_.seed().fork("s", i));
+  };
+  auto a = entry(0);
+  auto b = entry(1);
+  entry(0);           // touch a: b is now the coldest
+  auto c = entry(2);  // evicts b, not a
+  EXPECT_EQ(entry(0).get(), a.get());
+  EXPECT_EQ(entry(2).get(), c.get());
+  EXPECT_NE(entry(1).get(), b.get());
+}
+
+TEST_F(CalibrationCacheFixture, LruSpansAllArtifactKinds) {
+  // The recency list is shared across the pvt/test/oracle/pmt maps: filling
+  // the cache with test runs can evict a PVT and vice versa.
+  cache_.set_capacity(2);
+  auto pvt = cache_.pvt(cluster_, workloads::pvt_microbench(), pvt_seed());
+  cache_.test_run(cluster_, alloc_.front(), workloads::mhd(),
+                  cluster_.seed().fork("s", 0));
+  cache_.test_run(cluster_, alloc_.front(), workloads::mhd(),
+                  cluster_.seed().fork("s", 1));
+  EXPECT_EQ(cache_.stats().entries, 2u);
+  EXPECT_EQ(cache_.stats().evictions, 1u);
+  // The PVT was the coldest entry and is gone.
+  auto again = cache_.pvt(cluster_, workloads::pvt_microbench(), pvt_seed());
+  EXPECT_NE(again.get(), pvt.get());
+}
+
+TEST_F(CalibrationCacheFixture, ShrinkingCapacityEvictsImmediately) {
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    cache_.test_run(cluster_, alloc_.front(), workloads::mhd(),
+                    cluster_.seed().fork("s", i));
+  }
+  EXPECT_EQ(cache_.stats().entries, 4u);
+  cache_.set_capacity(1);
+  EXPECT_EQ(cache_.stats().entries, 1u);
+  EXPECT_EQ(cache_.stats().evictions, 3u);
+  // Growing (or unbounding) never evicts.
+  cache_.set_capacity(0);
+  EXPECT_EQ(cache_.stats().entries, 1u);
+  EXPECT_EQ(cache_.stats().evictions, 3u);
+}
+
+TEST_F(CalibrationCacheFixture, ConcurrentMixedTrafficHonorsCapacity) {
+  // N threads hammer a capacity-4 cache with overlapping keys; the bound
+  // must hold at every observation point and all results stay bit-correct.
+  cache_.set_capacity(4);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 24; ++i) {
+        auto r = cache_.test_run(
+            cluster_, alloc_.front(), workloads::mhd(),
+            cluster_.seed().fork("s", static_cast<std::uint64_t>((t + i) % 6)));
+        ASSERT_NE(r, nullptr);
+        ASSERT_LE(cache_.stats().entries, 4u);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = cache_.stats();
+  EXPECT_LE(s.entries, 4u);
+  EXPECT_EQ(s.capacity, 4u);
+  // 6 distinct keys through a 4-slot cache must have evicted something.
+  EXPECT_GT(s.evictions, 0u);
+}
+
 TEST(CalibrationCacheGlobal, IsASingleton) {
   EXPECT_EQ(&CalibrationCache::global(), &CalibrationCache::global());
 }

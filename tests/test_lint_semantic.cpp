@@ -259,6 +259,33 @@ TEST(SemanticFixtures, CrossTuTaintNeedsBothFiles) {
   EXPECT_TRUE(analyze({parse_fixture("cross_tu/metrics.cpp")}).empty());
 }
 
+TEST(SemanticFixtures, ServiceReplyIsADeterminismSink) {
+  // Regression: BudgetReply/BudgetRequest were missing from the sink-type
+  // list, so a reply folded from unordered iteration lint-passed even though
+  // vapbd promises bit-identical replies across client thread counts.
+  auto bad = analyze({parse_fixture("src/service/bad_reply_unordered.cpp")});
+  ASSERT_EQ(count_rule(bad, "determinism-taint"), 1);
+  EXPECT_NE(bad.front().message.find("unordered-container iteration"),
+            std::string::npos)
+      << bad.front().message;
+  EXPECT_NE(bad.front().message.find("summarize"), std::string::npos)
+      << bad.front().message;
+  auto good = analyze({parse_fixture("src/service/good_reply_ordered.cpp")});
+  EXPECT_EQ(count_rule(good, "determinism-taint"), 0);
+}
+
+TEST(SemanticFixtures, ServiceRequestParameterMarksTheSink) {
+  // A function consuming a BudgetRequest is on the reply path even when its
+  // return type is opaque; ambient randomness reaching it must be flagged.
+  auto vs = analyze({parse_inline(
+      "src/service/handler.cpp",
+      "void handle(const BudgetRequest& req, Sink& out) {\n"
+      "  out.put(jitter(req.budget_w));\n"
+      "}\n"
+      "double jitter(double w) { return w + std::rand(); }\n")});
+  EXPECT_EQ(count_rule(vs, "determinism-taint"), 1);
+}
+
 TEST(SemanticFixtures, ParallelCaptureRace) {
   auto bad = analyze({parse_fixture("race/bad_ref_capture.cpp")});
   EXPECT_EQ(count_rule(bad, "parallel-capture-race"), 2);

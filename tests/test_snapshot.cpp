@@ -1,0 +1,230 @@
+// Snapshot tests: a saved fleet loads bit-identically to fresh calibration
+// (PVT, test runs, PMTs, SoA arrays), a snapshot-served BudgetService
+// answers exactly like a cold one, and corrupted / truncated / skewed files
+// fail with clear SnapshotErrors instead of UB.
+#include "service/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <vector>
+
+#include "cluster/cluster_soa.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::service {
+namespace {
+
+constexpr std::size_t kModules = 16;
+constexpr std::uint64_t kMasterSeed = 2015;
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+class SnapshotFixture : public ::testing::Test {
+ protected:
+  SnapshotFixture() {
+    cluster_ = std::make_shared<const cluster::Cluster>(
+        hw::ha8k(), util::SeedSequence(kMasterSeed), kModules);
+    alloc_.resize(kModules);
+    std::iota(alloc_.begin(), alloc_.end(), hw::ModuleId{0});
+    // Per-test file name: ctest runs each test as its own concurrent
+    // process, and mmap-ing a file another test is rewriting is a SIGBUS.
+    path_ = ::testing::TempDir() + "vapb_snapshot_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".snap";
+  }
+
+  ~SnapshotFixture() override { std::remove(path_.c_str()); }
+
+  ClusterState calibrated() const {
+    return calibrate_state(cluster_, alloc_, {"MHD", "*DGEMM"},
+                           {"Naive", "VaPc"});
+  }
+
+  void save(const ClusterState& state) const {
+    save_snapshot(path_, "ha8k", kMasterSeed, state);
+  }
+
+  /// Byte-level surgery for the corruption tests.
+  std::vector<char> read_file() const {
+    std::ifstream in(path_, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  void write_file(const std::vector<char>& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::shared_ptr<const cluster::Cluster> cluster_;
+  std::vector<hw::ModuleId> alloc_;
+  std::string path_;
+};
+
+TEST_F(SnapshotFixture, RoundTripIsBitIdentical) {
+  const ClusterState fresh = calibrated();
+  save(fresh);
+  const Snapshot snap = Snapshot::load(path_);
+  EXPECT_EQ(snap.version(), kSnapshotVersion);
+  EXPECT_EQ(snap.arch(), "ha8k");
+  EXPECT_EQ(snap.master_seed(), kMasterSeed);
+  EXPECT_EQ(snap.module_count(), kModules);
+  EXPECT_EQ(snap.fleet_fingerprint(), cluster_->fingerprint());
+  EXPECT_EQ(snap.test_run_count(), 2u);
+  EXPECT_EQ(snap.pmt_count(), 4u);
+
+  const ClusterState restored = snap.restore();
+  EXPECT_EQ(restored.cluster->fingerprint(), cluster_->fingerprint());
+  EXPECT_EQ(restored.allocation, fresh.allocation);
+
+  ASSERT_EQ(restored.pvt->size(), fresh.pvt->size());
+  for (std::size_t i = 0; i < fresh.pvt->size(); ++i) {
+    EXPECT_TRUE(same_bits(restored.pvt->entries()[i].cpu_max,
+                          fresh.pvt->entries()[i].cpu_max));
+    EXPECT_TRUE(same_bits(restored.pvt->entries()[i].dram_max,
+                          fresh.pvt->entries()[i].dram_max));
+    EXPECT_TRUE(same_bits(restored.pvt->entries()[i].cpu_min,
+                          fresh.pvt->entries()[i].cpu_min));
+    EXPECT_TRUE(same_bits(restored.pvt->entries()[i].dram_min,
+                          fresh.pvt->entries()[i].dram_min));
+  }
+  ASSERT_EQ(restored.test_runs.size(), fresh.test_runs.size());
+  for (const auto& [name, test] : fresh.test_runs) {
+    const auto it = restored.test_runs.find(name);
+    ASSERT_NE(it, restored.test_runs.end()) << name;
+    EXPECT_EQ(it->second->module, test->module);
+    EXPECT_TRUE(
+        same_bits(it->second->cpu_max_w.value(), test->cpu_max_w.value()));
+    EXPECT_TRUE(
+        same_bits(it->second->dram_max_w.value(), test->dram_max_w.value()));
+    EXPECT_TRUE(
+        same_bits(it->second->cpu_min_w.value(), test->cpu_min_w.value()));
+    EXPECT_TRUE(
+        same_bits(it->second->dram_min_w.value(), test->dram_min_w.value()));
+  }
+  ASSERT_EQ(restored.pmts.size(), fresh.pmts.size());
+  for (const auto& [key, pmt] : fresh.pmts) {
+    const auto it = restored.pmts.find(key);
+    ASSERT_NE(it, restored.pmts.end()) << key;
+    ASSERT_EQ(it->second->size(), pmt->size()) << key;
+    for (std::size_t i = 0; i < pmt->size(); ++i) {
+      EXPECT_TRUE(same_bits(it->second->entries()[i].cpu_max_w.value(),
+                            pmt->entries()[i].cpu_max_w.value()));
+      EXPECT_TRUE(same_bits(it->second->entries()[i].cpu_min_w.value(),
+                            pmt->entries()[i].cpu_min_w.value()));
+      EXPECT_TRUE(same_bits(it->second->entries()[i].dram_max_w.value(),
+                            pmt->entries()[i].dram_max_w.value()));
+    }
+  }
+}
+
+TEST_F(SnapshotFixture, SnapshotServedServiceMatchesColdService) {
+  const ClusterState fresh = calibrated();
+  save(fresh);
+  const ClusterState restored = Snapshot::load(path_).restore();
+
+  const auto solve = [](const ClusterState& state, double budget_w) {
+    ServiceConfig cfg;
+    cfg.worker_threads = 1;
+    BudgetService svc(cfg);
+    svc.register_cluster(state);
+    BudgetRequest req;
+    req.scheme = "VaPc";
+    req.workload = "MHD";
+    req.budget_w = budget_w;
+    return svc.solve(req);
+  };
+  for (double cm : {92.0, 76.0}) {
+    const double budget_w = cm * static_cast<double>(kModules);
+    const ReplyPtr warm = solve(restored, budget_w);
+    const ReplyPtr cold = solve(fresh, budget_w);
+    ASSERT_TRUE(warm->ok) << warm->error;
+    ASSERT_TRUE(cold->ok) << cold->error;
+    ASSERT_EQ(warm->budget.allocations.size(),
+              cold->budget.allocations.size());
+    EXPECT_TRUE(same_bits(warm->budget.alpha, cold->budget.alpha));
+    for (std::size_t i = 0; i < cold->budget.allocations.size(); ++i) {
+      EXPECT_TRUE(same_bits(warm->budget.allocations[i].module_w.value(),
+                            cold->budget.allocations[i].module_w.value()));
+    }
+  }
+}
+
+TEST_F(SnapshotFixture, SaveRejectsAnIdentityThatCannotRefabricate) {
+  const ClusterState state = calibrated();
+  EXPECT_THROW(save_snapshot(path_, "ha8k", kMasterSeed + 1, state),
+               InvalidArgument);
+  EXPECT_THROW(save_snapshot(path_, "cab", kMasterSeed, state),
+               InvalidArgument);
+  EXPECT_THROW(save_snapshot(path_, "atari", kMasterSeed, state),
+               InvalidArgument);
+}
+
+TEST_F(SnapshotFixture, MissingFileFailsCleanly) {
+  EXPECT_THROW(Snapshot::load(path_ + ".nope"), SnapshotError);
+}
+
+TEST_F(SnapshotFixture, CorruptedPayloadFailsTheChecksum) {
+  save(calibrated());
+  std::vector<char> bytes = read_file();
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
+  write_file(bytes);
+  try {
+    Snapshot::load(path_);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST_F(SnapshotFixture, TruncatedFileFailsWithSizeDiagnostics) {
+  save(calibrated());
+  std::vector<char> bytes = read_file();
+  // Truncated mid-payload: the header's declared size no longer fits.
+  std::vector<char> cut(bytes.begin(),
+                        bytes.begin() + static_cast<long>(bytes.size() / 2));
+  write_file(cut);
+  try {
+    Snapshot::load(path_);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+  // Truncated inside the header itself.
+  write_file({bytes.begin(), bytes.begin() + 9});
+  EXPECT_THROW(Snapshot::load(path_), SnapshotError);
+}
+
+TEST_F(SnapshotFixture, BadMagicAndVersionAreDistinctErrors) {
+  save(calibrated());
+  std::vector<char> bytes = read_file();
+
+  std::vector<char> not_snap = bytes;
+  not_snap[0] = 'X';
+  write_file(not_snap);
+  try {
+    Snapshot::load(path_);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+
+  std::vector<char> future = bytes;
+  future[8] = 99;  // u32 version little-endian low byte
+  write_file(future);
+  try {
+    Snapshot::load(path_);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace vapb::service

@@ -52,10 +52,14 @@ bool sanctioned_random(const std::string& path) {
 
 // Type names that identify deterministic sinks: any function whose signature
 // mentions one of these produces (or carries) externally observable results
-// that the golden digests pin down.
-constexpr std::array<std::string_view, 8> kSinkTypes = {
-    "RunResult",    "RunMetrics",        "RunContext",      "CampaignResult",
-    "BudgetResult", "FaultCampaignResult", "FaultPointResult", "CampaignSpec"};
+// that the golden digests pin down. The service request/reply pair is on the
+// list because vapbd promises bit-identical replies across client thread
+// counts — a reply is as externally observable as a campaign cell.
+constexpr std::array<std::string_view, 10> kSinkTypes = {
+    "RunResult",         "RunMetrics",       "RunContext",
+    "CampaignResult",    "BudgetResult",     "FaultCampaignResult",
+    "FaultPointResult",  "CampaignSpec",     "BudgetRequest",
+    "BudgetReply"};
 
 bool mentions_sink_type(const std::string& joined) {
   std::size_t start = 0;

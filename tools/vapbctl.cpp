@@ -16,6 +16,12 @@
 //            [--drift "0,0.04"] [--failures "0,1"] [--out F]
 //                                         fault-injection degradation sweep
 //   report   [--workload W] [--out F]     full Markdown campaign report
+//   serve    [--socket PATH | --stdio] [--snapshot F] [--threads N]
+//            [--max-batch N] [--reply-cache N] [--iterations N]
+//                                         run the budgeting daemon (vapbd)
+//   snapshot save --out F [--workloads "MHD,.."] [--schemes "VaPc,.."]
+//   snapshot load --in F                  write / validate a calibrated
+//                                         fleet snapshot (mmap-able binary)
 //
 // Scheme names are resolved through core::SchemeRegistry, so registered
 // extension schemes work everywhere the built-ins do.
@@ -40,6 +46,8 @@
 #include "fault/campaign.hpp"
 #include "fault/scenario.hpp"
 #include "hw/arch_io.hpp"
+#include "service/server.hpp"
+#include "service/snapshot.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -48,15 +56,6 @@
 using namespace vapb;
 
 namespace {
-
-hw::ArchSpec arch_by_name(const std::string& name) {
-  if (name == "cab") return hw::cab();
-  if (name == "vulcan") return hw::vulcan();
-  if (name == "teller") return hw::teller();
-  if (name == "ha8k") return hw::ha8k();
-  throw InvalidArgument("unknown --arch '" + name +
-                        "' (cab|vulcan|teller|ha8k)");
-}
 
 struct Context {
   cluster::Cluster cluster;
@@ -73,7 +72,7 @@ Context make_context(const util::CliArgs& args) {
       ss << in.rdbuf();
       return hw::arch_from_config_text(ss.str());
     }
-    return arch_by_name(args.get_or("arch", "ha8k"));
+    return hw::arch_by_name(args.get_or("arch", "ha8k"));
   }();
   auto seed = static_cast<std::uint64_t>(args.get_long_or("seed", 2015));
   auto modules = static_cast<std::size_t>(args.get_long_or("modules", 128));
@@ -286,6 +285,12 @@ int cmd_campaign(const util::CliArgs& args) {
   if (args.has("telemetry-out")) {
     require_parent_dir(args.get("telemetry-out"), "--telemetry-out");
   }
+  if (args.has("cache-capacity")) {
+    long cap = args.get_long_or("cache-capacity", 0);
+    if (cap < 0) throw InvalidArgument("--cache-capacity must be >= 0");
+    core::CalibrationCache::global().set_capacity(
+        static_cast<std::size_t>(cap));
+  }
 
   core::CampaignEngine engine(ctx.cluster, ctx.allocation, ctx.pvt, threads);
   core::CampaignResult result =
@@ -321,10 +326,11 @@ int cmd_campaign(const util::CliArgs& args) {
   }
   std::printf(
       "%zu jobs on %zu threads in %.2fs; calibration cache: %llu hits, "
-      "%llu misses, %zu entries\n",
+      "%llu misses, %llu evictions, %zu entries\n",
       result.jobs.size(), engine.threads(), result.elapsed_s,
       static_cast<unsigned long long>(result.cache.hits),
       static_cast<unsigned long long>(result.cache.misses),
+      static_cast<unsigned long long>(result.cache.evictions),
       result.cache.entries);
 
   if (args.has("csv")) {
@@ -443,6 +449,93 @@ int cmd_fault(const util::CliArgs& args) {
   return 0;
 }
 
+int cmd_serve(const util::CliArgs& args) {
+  service::DaemonOptions opt;
+  opt.arch = args.get_or("arch", opt.arch);
+  opt.modules = static_cast<std::size_t>(args.get_long_or("modules", 24));
+  opt.seed = static_cast<std::uint64_t>(args.get_long_or("seed", 2015));
+  opt.snapshot_path = args.get_or("snapshot", "");
+  opt.socket_path = args.get_or("socket", "");
+  opt.stdio = args.has("stdio");
+  opt.threads = static_cast<std::size_t>(args.get_long_or("threads", 0));
+  opt.max_batch = static_cast<std::size_t>(args.get_long_or("max-batch", 64));
+  opt.reply_cache =
+      static_cast<std::size_t>(args.get_long_or("reply-cache", 1024));
+  opt.iterations = static_cast<int>(args.get_long_or("iterations", 6));
+  opt.max_allocations =
+      static_cast<std::size_t>(args.get_long_or("max-allocations", 0));
+  return service::run_daemon(opt);
+}
+
+std::vector<std::string> parse_workload_list(const std::string& list) {
+  std::vector<std::string> names;
+  for (const std::string& part : util::split(list, ',')) {
+    // by_name throws the informative error listing the catalog.
+    names.push_back(workloads::by_name(part).name);
+  }
+  return names;
+}
+
+int cmd_snapshot(const util::CliArgs& args) {
+  if (args.positional().size() < 2 ||
+      (args.positional()[1] != "save" && args.positional()[1] != "load")) {
+    throw InvalidArgument("snapshot needs a 'save' or 'load' verb, e.g. "
+                          "`vapbctl snapshot save --out fleet.vapbsnap`");
+  }
+  const bool saving = args.positional()[1] == "save";
+
+  if (!saving) {
+    const std::string path = args.get("in");
+    service::Snapshot snap = service::Snapshot::load(path);
+    // restore() proves the stored state is reproducible on this build
+    // (fingerprint + bitwise SoA check), not just well-formed.
+    service::ClusterState state = snap.restore();
+    std::printf("%s: snapshot v%u, %zu bytes\n", path.c_str(),
+                snap.version(), snap.file_bytes());
+    std::printf("  fleet:      %s x%zu, master seed %llu, fingerprint %llx\n",
+                snap.arch().c_str(), snap.module_count(),
+                static_cast<unsigned long long>(snap.master_seed()),
+                static_cast<unsigned long long>(snap.fleet_fingerprint()));
+    std::printf("  state:      %zu allocated, %zu test runs, %zu PMTs\n",
+                snap.allocation_size(), snap.test_run_count(),
+                snap.pmt_count());
+    std::printf("  restore OK: %zu-module PVT regenerated bit-identically\n",
+                state.pvt->size());
+    return 0;
+  }
+
+  const std::string out = args.get("out");
+  require_parent_dir(out, "--out");
+  const std::string arch = args.get_or("arch", "ha8k");
+  const auto seed = static_cast<std::uint64_t>(args.get_long_or("seed", 2015));
+  Context ctx = make_context(args);
+
+  std::vector<std::string> workload_names;
+  if (args.has("workloads")) {
+    workload_names = parse_workload_list(args.get("workloads"));
+  } else {
+    for (auto* w : workloads::evaluation_suite()) {
+      workload_names.push_back(w->name);
+    }
+  }
+  std::vector<std::string> scheme_names =
+      args.has("schemes") ? parse_scheme_list(args.get("schemes"))
+                          : core::SchemeRegistry::global().names();
+
+  auto cluster =
+      std::make_shared<const cluster::Cluster>(std::move(ctx.cluster));
+  service::ClusterState state = service::calibrate_state(
+      cluster, ctx.allocation, workload_names, scheme_names);
+  service::save_snapshot(out, arch, seed, state);
+  std::printf(
+      "%s: %s x%zu (seed %llu) calibrated and saved — %zu test runs, "
+      "%zu PMTs\n",
+      out.c_str(), arch.c_str(), cluster->size(),
+      static_cast<unsigned long long>(seed), state.test_runs.size(),
+      state.pmts.size());
+  return 0;
+}
+
 int cmd_report(const util::CliArgs& args) {
   Context ctx = make_context(args);
   core::Campaign campaign(ctx.cluster, ctx.allocation);
@@ -469,17 +562,23 @@ int cmd_report(const util::CliArgs& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: vapbctl "
-               "<systems|workloads|pvt|solve|run|campaign|fault|report> "
+               "<systems|workloads|pvt|solve|run|campaign|fault|report|"
+               "serve|snapshot> "
                "[--arch A | --arch-file F] [--modules N] [--seed S] "
                "[--pvt FILE] [--alloc-policy P]\n"
                "               [--workload W] [--budget-w P] [--scheme S] "
                "[--out FILE]\n"
                "               campaign: [--threads N] [--repetitions R] "
                "[--budgets \"Cm,..\"] [--schemes \"S,..\"] [--csv F] "
-               "[--json F] [--telemetry-out F]\n"
+               "[--json F] [--telemetry-out F] [--cache-capacity N]\n"
                "               fault: [--scenario \"k=v,..\" | "
                "--scenario-file F] [--noise \"0,0.05\"] [--drift \"0,0.04\"] "
-               "[--failures \"0,1\"] [--out F]\n");
+               "[--failures \"0,1\"] [--out F]\n"
+               "               serve: [--socket PATH | --stdio] "
+               "[--snapshot F] [--threads N] [--max-batch N] "
+               "[--reply-cache N] [--iterations N] [--max-allocations N]\n"
+               "               snapshot: save --out F [--workloads \"W,..\"] "
+               "[--schemes \"S,..\"] | load --in F\n");
   return 2;
 }
 
@@ -502,18 +601,30 @@ const std::vector<std::string>& subcommand_flags(const std::string& cmd) {
       with_common({"workload", "budget-w", "scheme"});
   static const std::vector<std::string> kCampaign = with_common(
       {"workload", "threads", "repetitions", "budgets", "schemes", "csv",
-       "json", "telemetry-out"});
+       "json", "telemetry-out", "cache-capacity"});
   static const std::vector<std::string> kFault = with_common(
       {"workload", "threads", "repetitions", "budgets", "schemes", "scenario",
        "scenario-file", "noise", "drift", "failures", "out"});
   static const std::vector<std::string> kReport =
       with_common({"workload", "out"});
+  // serve fabricates from (arch, seed, modules) or a snapshot — the other
+  // common flags cannot round-trip through a daemon, so they are rejected.
+  static const std::vector<std::string> kServe = {
+      "arch", "modules", "seed", "snapshot", "socket", "stdio", "threads",
+      "max-batch", "reply-cache", "iterations", "max-allocations"};
+  // Snapshots identify fleets by preset name + master seed and calibrate
+  // through the canonical forks, so --arch-file and --pvt are rejected.
+  static const std::vector<std::string> kSnapshot = {
+      "arch", "modules", "seed", "alloc-policy", "out", "in", "workloads",
+      "schemes"};
   if (cmd == "pvt") return kPvt;
   if (cmd == "solve") return kSolve;
   if (cmd == "run") return kRun;
   if (cmd == "campaign") return kCampaign;
   if (cmd == "fault") return kFault;
   if (cmd == "report") return kReport;
+  if (cmd == "serve") return kServe;
+  if (cmd == "snapshot") return kSnapshot;
   return kNone;  // systems, workloads take no flags
 }
 
@@ -540,7 +651,10 @@ int main(int argc, char** argv) {
                         "alloc-policy", "workload", "budget-w", "scheme",
                         "out", "threads", "repetitions", "budgets", "schemes",
                         "csv", "json", "telemetry-out", "scenario",
-                        "scenario-file", "noise", "drift", "failures"});
+                        "scenario-file", "noise", "drift", "failures",
+                        "cache-capacity", "snapshot", "socket", "stdio",
+                        "max-batch", "reply-cache", "iterations",
+                        "max-allocations", "in", "workloads"});
     if (args.positional().empty()) return usage();
     const std::string& cmd = args.positional().front();
     validate_subcommand_flags(args, cmd);
@@ -552,6 +666,8 @@ int main(int argc, char** argv) {
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "fault") return cmd_fault(args);
     if (cmd == "report") return cmd_report(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "snapshot") return cmd_snapshot(args);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return usage();
   } catch (const vapb::Error& e) {

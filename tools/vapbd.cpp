@@ -1,0 +1,55 @@
+// vapbd — the budgeting daemon: a BudgetService behind newline-delimited
+// JSON, over a local AF_UNIX socket (--socket PATH) or stdio (--stdio).
+//
+//   vapbd --socket /tmp/vapbd.sock --arch ha8k --modules 24 --seed 2015
+//   vapbd --stdio --snapshot fleet.vapbsnap
+//
+// A --snapshot warm-starts the fleet from `vapbctl snapshot save` output;
+// otherwise the daemon fabricates and calibrates the fleet cold. Replies
+// are bitwise identical either way (the snapshot loader proves it at load
+// time). See src/service/server.hpp for the wire protocol.
+#include <cstdio>
+
+#include "service/server.hpp"
+#include "util/cli.hpp"
+
+using namespace vapb;
+
+int main(int argc, char** argv) {
+  try {
+    util::CliArgs args(argc, argv,
+                       {"arch", "modules", "seed", "snapshot", "socket",
+                        "stdio", "threads", "max-batch", "reply-cache",
+                        "iterations", "max-allocations"});
+    if (!args.positional().empty()) {
+      std::fprintf(stderr,
+                   "vapbd takes no positional arguments (got '%s')\n"
+                   "usage: vapbd [--socket PATH | --stdio] [--arch A] "
+                   "[--modules N] [--seed S] [--snapshot FILE] [--threads N] "
+                   "[--max-batch N] [--reply-cache N] [--iterations N] "
+                   "[--max-allocations N]\n",
+                   args.positional().front().c_str());
+      return 2;
+    }
+    service::DaemonOptions opt;
+    opt.arch = args.get_or("arch", opt.arch);
+    opt.modules =
+        static_cast<std::size_t>(args.get_long_or("modules", 24));
+    opt.seed = static_cast<std::uint64_t>(args.get_long_or("seed", 2015));
+    opt.snapshot_path = args.get_or("snapshot", "");
+    opt.socket_path = args.get_or("socket", "");
+    opt.stdio = args.has("stdio");
+    opt.threads = static_cast<std::size_t>(args.get_long_or("threads", 0));
+    opt.max_batch =
+        static_cast<std::size_t>(args.get_long_or("max-batch", 64));
+    opt.reply_cache =
+        static_cast<std::size_t>(args.get_long_or("reply-cache", 1024));
+    opt.iterations = static_cast<int>(args.get_long_or("iterations", 6));
+    opt.max_allocations =
+        static_cast<std::size_t>(args.get_long_or("max-allocations", 0));
+    return service::run_daemon(opt);
+  } catch (const vapb::Error& e) {
+    std::fprintf(stderr, "vapbd: %s\n", e.what());
+    return 1;
+  }
+}
