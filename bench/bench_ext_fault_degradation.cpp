@@ -2,7 +2,7 @@
 // robustness counterpart of its threats-to-validity discussion).
 //
 //   bench_ext_fault_degradation [modules] [--threads T] [--repetitions R]
-//                               [--out FILE]
+//                               [--out FILE] [--arch-mix cpu:N,gpu:N,dram:N]
 //
 // Crosses sensor-noise sigma x drift rate x hard-failure count over the
 // power-constrained schemes and their robust counterparts
@@ -12,10 +12,14 @@
 // the headline claim is that under nonzero noise + drift the robust schemes
 // violate the budget less often without giving up their speedup advantage.
 // With --out FILE the whole sweep lands as one JSON object
-// (BENCH_ext_fault_degradation.json in CI).
+// (BENCH_ext_fault_degradation.json in CI). With --arch-mix the sweep runs
+// on a heterogeneous fleet with per-class fault severity (GPUs: noisier
+// sensors, faster drift, more throttles; DRAM: quieter on every axis), so
+// CI exercises the class-scaled injector paths end to end.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 
 #include "bench/common.hpp"
 #include "fault/campaign.hpp"
@@ -24,13 +28,23 @@ using namespace vapb;
 
 int main(int argc, char** argv) {
   const bench::Options opt = bench::parse_options(argc, argv, 192);
-  const std::size_t n = opt.modules;
+  std::optional<hw::ClassMix> mix;
+  if (!opt.arch_mix.empty()) {
+    mix = hw::ClassMix::parse(opt.arch_mix);
+  }
+  const std::size_t n = mix ? mix->total() : opt.modules;
   std::printf(
-      "== Fault-injection degradation sweep (%zu modules, %d repetition%s) "
-      "==\n\n",
-      n, opt.repetitions, opt.repetitions == 1 ? "" : "s");
+      "== Fault-injection degradation sweep (%zu modules%s%s, "
+      "%d repetition%s) ==\n\n",
+      n, mix ? ", " : "", mix ? mix->str().c_str() : "", opt.repetitions,
+      opt.repetitions == 1 ? "" : "s");
 
-  cluster::Cluster cluster(hw::ha8k(), bench::master_seed(), n);
+  const cluster::Cluster cluster = [&]() -> cluster::Cluster {
+    if (mix && !mix->homogeneous_cpu()) {
+      return cluster::Cluster(hw::ha8k(), bench::master_seed(), *mix);
+    }
+    return cluster::Cluster(hw::ha8k(), bench::master_seed(), n);
+  }();
 
   core::CampaignSpec spec;
   spec.workloads = {&workloads::mhd(), &workloads::dgemm()};
@@ -48,6 +62,16 @@ int main(int argc, char** argv) {
   grid.noise_fracs = {0.0, 0.05};
   grid.drift_fracs = {0.0, 0.04, 0.08};
   grid.failure_counts = {0, 1};
+  if (cluster.heterogeneous()) {
+    // Class-dependent severity: GPU silicon faults harder than CPU on every
+    // axis, DRAM softer — the sweep then covers all three injector scalings.
+    grid.base.gpu_sensor_mult = 1.5;
+    grid.base.gpu_drift_mult = 1.5;
+    grid.base.gpu_throttle_mult = 2.0;
+    grid.base.dram_sensor_mult = 0.5;
+    grid.base.dram_drift_mult = 0.25;
+    grid.base.dram_throttle_mult = 0.5;
+  }
 
   fault::FaultCampaign sweep(cluster, bench::full_allocation(n), opt.threads);
   const fault::FaultCampaignResult result = sweep.run(spec, grid);

@@ -1,0 +1,263 @@
+// Heterogeneous-fleet misallocation study: what a CPU-only budget solve
+// costs on a mixed CPU+GPU+DRAM machine.
+//
+// The paper's Eq. 6 solve assumes every module expresses the same affine
+// power curve. On a heterogeneous fleet that assumption misallocates: a
+// class-blind solve fits one CPU curve to all modules, so GPU modules
+// (steeper curves, wider TDP) get power budgets sized for CPU silicon and
+// either throttle or overshoot. This bench fabricates the paper-sized
+// 1,920-module fleet as cpu:1536,gpu:320,dram:64, sweeps the Table-4
+// budget ladder, and runs the same VaPc cell twice per budget:
+//
+//   blind — legacy core::calibrate_pmt (one CPU table for every module),
+//           flat Eq. 6 solve, power-cap enforcement;
+//   aware — the scheme pipeline, which detects the mixed fleet and builds
+//           the per-class PMT (core::calibrate_pmt_per_class).
+//
+// Reported per budget: makespan of both arms, Vt against the uncapped
+// baseline (the paper's Figure-2 metric, now per mixed fleet), budget
+// overshoot of both arms, and the throughput gap
+//   gap% = (makespan_blind - makespan_aware) / makespan_blind * 100.
+// The bench hard-fails if every budget's gap is exactly zero — that means
+// the class threading collapsed and both arms ran the same solve.
+//
+//   bench_ext_hetero [modules] [--repetitions R] [--out FILE]
+//                    [--baseline FILE]
+//
+// With --baseline, the run fails (exit 1) when the class-aware cell
+// throughput [modules/s] drops below half the committed value — the same
+// machine-speed-insensitive >2x gate bench_perf_scale uses.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/budget.hpp"
+#include "core/pmt.hpp"
+#include "core/pvt.hpp"
+#include "core/runner.hpp"
+#include "core/schemes.hpp"
+#include "core/test_run.hpp"
+#include "hw/device_class.hpp"
+
+using namespace vapb;
+
+namespace {
+
+constexpr int kCellIterations = 4;  ///< DES iterations per timed cell
+constexpr double kGateCmW = 80.0;   ///< budget of the throughput-gated cell
+
+using bench_clock = std::chrono::steady_clock;
+
+template <typename Fn>
+double time_s(const Fn& fn) {
+  const auto t0 = bench_clock::now();
+  fn();
+  return std::chrono::duration<double>(bench_clock::now() - t0).count();
+}
+
+/// The paper fleet's 24:5:1 composition, scaled to `n` (cpu absorbs the
+/// rounding so counts always sum to n). 1,920 -> cpu:1536,gpu:320,dram:64.
+hw::ClassMix hetero_mix(std::size_t n) {
+  hw::ClassMix mix;
+  const std::size_t gpu = n / 6;
+  const std::size_t dram = n / 30;
+  mix.counts[hw::device_class_index(hw::DeviceClass::kGpu)] = gpu;
+  mix.counts[hw::device_class_index(hw::DeviceClass::kDram)] = dram;
+  mix.counts[hw::device_class_index(hw::DeviceClass::kCpu)] = n - gpu - dram;
+  return mix;
+}
+
+struct BudgetPoint {
+  double cm_w = 0.0;
+  double blind_makespan_s = 0.0;
+  double aware_makespan_s = 0.0;
+  double blind_vt = 0.0;
+  double aware_vt = 0.0;
+  double blind_overshoot_w = 0.0;  ///< max(0, measured - budget)
+  double aware_overshoot_w = 0.0;
+  double gap_pct = 0.0;  ///< (blind - aware) / blind makespan, percent
+};
+
+double overshoot_w(const core::RunMetrics& m) {
+  return std::max(0.0, m.total_power_w - m.budget_w);
+}
+
+void write_json(const std::string& path, std::size_t modules,
+                const std::string& mix, int repetitions,
+                const std::vector<BudgetPoint>& points,
+                const std::string& cell_name, double cell_s,
+                double throughput_mps, double mean_gap_pct) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"bench\": \"bench_ext_hetero\",\n"
+     << "  \"modules\": " << modules << ",\n"
+     << "  \"mix\": \"" << mix << "\",\n"
+     << "  \"repetitions\": " << repetitions << ",\n"
+     << "  \"cell_iterations\": " << kCellIterations << ",\n"
+     << "  \"mean_gap_pct\": " << mean_gap_pct << ",\n"
+     << "  \"cases\": [\n";
+  for (const BudgetPoint& p : points) {
+    os << "    {\"name\": \"hetero_cm" << p.cm_w << "\", \"cm_w\": " << p.cm_w
+       << ", \"blind_makespan_s\": " << p.blind_makespan_s
+       << ", \"aware_makespan_s\": " << p.aware_makespan_s
+       << ", \"blind_vt\": " << p.blind_vt
+       << ", \"aware_vt\": " << p.aware_vt
+       << ", \"blind_overshoot_w\": " << p.blind_overshoot_w
+       << ", \"aware_overshoot_w\": " << p.aware_overshoot_w
+       << ", \"gap_pct\": " << p.gap_pct << "},\n";
+  }
+  os << "    {\"name\": \"" << cell_name << "\", \"modules\": " << modules
+     << ", \"cell_s\": " << cell_s
+     << ", \"throughput_mps\": " << throughput_mps << "}\n"
+     << "  ]\n}\n";
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  f << os.str();
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Pulls "throughput_mps" for a case name out of a committed report.
+double baseline_throughput(const std::string& text, const std::string& name) {
+  const std::string key = "\"name\": \"" + name + "\"";
+  std::size_t pos = text.find(key);
+  if (pos == std::string::npos) return -1.0;
+  const std::string field = "\"throughput_mps\": ";
+  pos = text.find(field, pos);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + pos + field.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv, 1920);
+  const int reps = std::max(opt.repetitions, 1);
+  const std::size_t n = opt.modules;
+  const hw::ClassMix mix = hetero_mix(n);
+
+  std::printf("== heterogeneous misallocation (%s, min over %d reps) ==\n\n",
+              mix.str().c_str(), reps);
+
+  const cluster::Cluster fleet(hw::ha8k(), bench::master_seed(), mix);
+  const std::vector<hw::ModuleId> alloc = bench::full_allocation(n);
+  const workloads::Workload& app = workloads::mhd();
+
+  const core::Pvt pvt = core::Pvt::generate(fleet, workloads::pvt_microbench(),
+                                            fleet.seed().fork("pvt"));
+  const core::TestRunResult test = core::single_module_test_run(
+      fleet, alloc.front(), app,
+      fleet.seed().fork("test-run").fork(app.name));
+  // The class-blind arm: one CPU curve fitted to every module — exactly
+  // what the pre-device-class pipeline would compute on this fleet.
+  const core::Pmt blind_pmt =
+      core::calibrate_pmt(pvt, test, alloc, fleet.spec().ladder);
+
+  core::RunConfig config;
+  config.iterations = kCellIterations;
+  const core::Runner runner(fleet, alloc, config);
+  const core::RunMetrics base = runner.run_uncapped(app);
+
+  std::vector<BudgetPoint> points;
+  double gate_cell_s = std::numeric_limits<double>::infinity();
+  for (double cm : {110.0, 100.0, 90.0, 80.0, 70.0, 60.0}) {
+    const double budget_w = cm * static_cast<double>(n);
+    BudgetPoint p;
+    p.cm_w = cm;
+
+    const core::BudgetResult blind_solve =
+        core::solve_budget(blind_pmt, util::Watts{budget_w});
+    const core::RunMetrics blind = runner.run_budgeted(
+        app, core::Enforcement::kPowerCap, blind_solve, "VaPc-blind",
+        budget_w);
+
+    core::RunMetrics aware;
+    double cell_s = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < reps; ++rep) {
+      cell_s = std::min(cell_s, time_s([&] {
+        aware = runner.run_scheme(app, core::SchemeKind::kVaPc, budget_w, pvt,
+                                  test);
+      }));
+    }
+    if (cm == kGateCmW) gate_cell_s = cell_s;
+
+    p.blind_makespan_s = blind.makespan_s;
+    p.aware_makespan_s = aware.makespan_s;
+    p.blind_vt = core::vt_normalized(blind, base);
+    p.aware_vt = core::vt_normalized(aware, base);
+    p.blind_overshoot_w = overshoot_w(blind);
+    p.aware_overshoot_w = overshoot_w(aware);
+    p.gap_pct = blind.makespan_s > 0.0
+                    ? (blind.makespan_s - aware.makespan_s) /
+                          blind.makespan_s * 100.0
+                    : 0.0;
+    points.push_back(p);
+  }
+
+  std::printf("%-8s %12s %12s %8s %8s %12s %12s %8s\n", "Cm [W]", "blind [s]",
+              "aware [s]", "Vt_bl", "Vt_aw", "over_bl [W]", "over_aw [W]",
+              "gap %");
+  double gap_sum = 0.0;
+  double max_abs_gap = 0.0;
+  for (const BudgetPoint& p : points) {
+    std::printf("%-8.0f %12.4f %12.4f %8.3f %8.3f %12.1f %12.1f %8.2f\n",
+                p.cm_w, p.blind_makespan_s, p.aware_makespan_s, p.blind_vt,
+                p.aware_vt, p.blind_overshoot_w, p.aware_overshoot_w,
+                p.gap_pct);
+    gap_sum += p.gap_pct;
+    max_abs_gap = std::max(max_abs_gap, std::abs(p.gap_pct));
+  }
+  const double mean_gap = gap_sum / static_cast<double>(points.size());
+  const double throughput_mps = static_cast<double>(n) / gate_cell_s;
+  const std::string cell_name = "hetero_cell_" + std::to_string(n) + "m";
+  std::printf("\nmean throughput gap %.2f%% (class-aware over class-blind); "
+              "gated cell %.4fs -> %.0f modules/s\n",
+              mean_gap, gate_cell_s, throughput_mps);
+
+  // A fleet this skewed must show a measurable gap somewhere on the ladder;
+  // all-zero means the per-class tables never reached the solve.
+  if (max_abs_gap < 1e-9) {
+    std::fprintf(stderr,
+                 "HETERO GAP FAILURE: class-blind and class-aware solves "
+                 "produced identical makespans at every budget\n");
+    return 1;
+  }
+
+  if (!opt.out.empty()) {
+    write_json(opt.out, n, mix.str(), reps, points, cell_name, gate_cell_s,
+               throughput_mps, mean_gap);
+  }
+
+  if (!opt.baseline.empty()) {
+    std::ifstream f(opt.baseline);
+    if (!f) {
+      std::fprintf(stderr, "cannot read baseline %s\n", opt.baseline.c_str());
+      return 1;
+    }
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const double committed = baseline_throughput(ss.str(), cell_name);
+    if (committed <= 0.0) {
+      std::printf("baseline: no entry for %s (skipped)\n", cell_name.c_str());
+    } else if (throughput_mps < committed / 2.0) {
+      std::printf("PERF REGRESSION: %s throughput %.0f modules/s is below "
+                  "half the committed baseline %.0f\n",
+                  cell_name.c_str(), throughput_mps, committed);
+      return 1;
+    } else {
+      std::printf("baseline ok: %s %.0f modules/s (committed %.0f)\n",
+                  cell_name.c_str(), throughput_mps, committed);
+    }
+  }
+  return 0;
+}

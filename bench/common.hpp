@@ -32,6 +32,7 @@ struct Options {
   int repetitions = 1;
   std::string out;       ///< machine-readable BENCH_*.json path ("" = none)
   std::string baseline;  ///< committed baseline JSON to gate against
+  std::string arch_mix;  ///< per-class fleet, e.g. "cpu:24,gpu:6,dram:2"
 };
 
 /// Parses the uniform bench command line and sizes the global thread pool
@@ -39,8 +40,8 @@ struct Options {
 inline Options parse_options(int argc, char** argv,
                              std::size_t default_modules = 1920) {
   try {
-    util::CliArgs args(
-        argc, argv, {"modules", "threads", "repetitions", "out", "baseline"});
+    util::CliArgs args(argc, argv, {"modules", "threads", "repetitions", "out",
+                                    "baseline", "arch-mix"});
     Options opt;
     opt.modules = default_modules;
     if (const char* env = std::getenv("VAPB_BENCH_MODULES")) {
@@ -56,6 +57,7 @@ inline Options parse_options(int argc, char** argv,
     opt.repetitions = static_cast<int>(args.get_long_or("repetitions", 1));
     opt.out = args.get_or("out", "");
     opt.baseline = args.get_or("baseline", "");
+    opt.arch_mix = args.get_or("arch-mix", "");
     if (opt.modules == 0) throw InvalidArgument("--modules must be > 0");
     if (opt.repetitions < 1) {
       throw InvalidArgument("--repetitions must be >= 1");
@@ -65,7 +67,8 @@ inline Options parse_options(int argc, char** argv,
   } catch (const Error& e) {
     std::fprintf(stderr,
                  "%s: %s\nusage: %s [modules] [--modules N] [--threads T] "
-                 "[--repetitions R] [--out FILE] [--baseline FILE]\n",
+                 "[--repetitions R] [--out FILE] [--baseline FILE] "
+                 "[--arch-mix cpu:N,gpu:N,dram:N]\n",
                  argv[0], e.what(), argv[0]);
     std::exit(2);
   }

@@ -43,16 +43,22 @@ std::uint64_t fleet_fingerprint(const hw::ArchSpec& spec,
   return h;
 }
 
+// Extends the homogeneous fingerprint with the class layout. Only called
+// for genuinely heterogeneous mixes, so every cpu-only fleet — fabricated
+// through either constructor — keeps its original fingerprint and stays
+// shareable with pre-mix caches and snapshots.
+std::uint64_t hetero_fingerprint(std::uint64_t h, const hw::ClassMix& m) {
+  h = mix(h, util::fnv1a("class-mix"));
+  for (std::size_t c = 0; c < hw::kDeviceClassCount; ++c) {
+    h = mix(h, static_cast<std::uint64_t>(m.counts[c]));
+  }
+  return h;
+}
+
 }  // namespace
 
-Cluster::Cluster(hw::ArchSpec spec, util::SeedSequence master_seed,
-                 std::size_t module_count)
-    : spec_(std::move(spec)), seed_(master_seed.fork("cluster")) {
-  std::size_t n = module_count ? module_count
-                               : static_cast<std::size_t>(spec_.total_modules());
-  VAPB_REQUIRE_MSG(n > 0, "cluster needs at least one module");
-  fingerprint_ = fleet_fingerprint(spec_, master_seed, n);
-  util::SeedSequence fab = master_seed.fork("fabrication");
+void Cluster::fabricate_cpu_prefix(const util::SeedSequence& fab,
+                                   std::size_t n) {
   // Each module's variation draw is keyed on (fab seed, id) alone, so
   // fabrication parallelizes bit-identically: draw into a flat array in
   // parallel, then assemble the modules in id order.
@@ -61,11 +67,64 @@ Cluster::Cluster(hw::ArchSpec spec, util::SeedSequence master_seed,
     variations[i] =
         hw::draw_variation(spec_.variation, fab, static_cast<hw::ModuleId>(i));
   });
-  modules_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     modules_.emplace_back(static_cast<hw::ModuleId>(i), variations[i],
                           spec_.ladder, spec_.tdp_cpu_w, fab);
   }
+}
+
+Cluster::Cluster(hw::ArchSpec spec, util::SeedSequence master_seed,
+                 std::size_t module_count)
+    : spec_(std::move(spec)), seed_(master_seed.fork("cluster")) {
+  std::size_t n = module_count ? module_count
+                               : static_cast<std::size_t>(spec_.total_modules());
+  VAPB_REQUIRE_MSG(n > 0, "cluster needs at least one module");
+  fingerprint_ = fleet_fingerprint(spec_, master_seed, n);
+  mix_ = hw::ClassMix::cpu_only(n);
+  util::SeedSequence fab = master_seed.fork("fabrication");
+  modules_.reserve(n);
+  fabricate_cpu_prefix(fab, n);
+}
+
+Cluster::Cluster(hw::ArchSpec spec, util::SeedSequence master_seed,
+                 const hw::ClassMix& mix)
+    : spec_(std::move(spec)), seed_(master_seed.fork("cluster")), mix_(mix) {
+  const std::size_t total = mix_.total();
+  VAPB_REQUIRE_MSG(total > 0, "cluster needs at least one module");
+  fingerprint_ = fleet_fingerprint(spec_, master_seed, total);
+  if (!mix_.homogeneous_cpu()) {
+    fingerprint_ = hetero_fingerprint(fingerprint_, mix_);
+  }
+  util::SeedSequence fab = master_seed.fork("fabrication");
+  modules_.reserve(total);
+
+  // CPU block first, ids 0..cpu-1, byte-for-byte the homogeneous draws.
+  fabricate_cpu_prefix(fab, mix_.count(hw::DeviceClass::kCpu));
+
+  // Non-CPU classes follow, class-contiguous, each drawing from its own
+  // fabrication fork keyed by class name so adding a class never shifts
+  // another class's silicon.
+  for (hw::DeviceClass c : hw::all_device_classes()) {
+    if (c == hw::DeviceClass::kCpu) continue;
+    const std::size_t count = mix_.count(c);
+    if (count == 0) continue;
+    const hw::DeviceClassSpec cs = hw::device_class_spec(spec_, c);
+    const util::SeedSequence class_fab = fab.fork(hw::device_class_name(c));
+    const std::size_t base = modules_.size();
+    std::vector<hw::ModuleVariation> variations(count);
+    util::parallel_for(count, [&](std::size_t i) {
+      variations[i] = hw::draw_variation(cs.variation, class_fab,
+                                         static_cast<hw::ModuleId>(i));
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      modules_.emplace_back(static_cast<hw::ModuleId>(base + i), variations[i],
+                            cs.ladder, cs.tdp_w, class_fab, c, cs.power);
+    }
+  }
+}
+
+hw::DeviceClassSpec Cluster::class_spec(hw::DeviceClass c) const {
+  return hw::device_class_spec(spec_, c);
 }
 
 const hw::Module& Cluster::module(hw::ModuleId id) const {

@@ -20,8 +20,36 @@ class Cluster {
   Cluster(hw::ArchSpec spec, util::SeedSequence master_seed,
           std::size_t module_count = 0);
 
+  /// Fabricates a heterogeneous fleet per `mix` (e.g. cpu:1536,gpu:320,
+  /// dram:64): class specs come from hw::device_class_spec(spec, c). Module
+  /// ids are laid out class-contiguous in class index order — CPU modules
+  /// first, at ids 0..cpu-1, drawing *exactly* the variations the
+  /// homogeneous constructor draws for those ids; non-CPU classes follow,
+  /// each drawing from its own fabrication seed fork. A cpu-only mix is
+  /// therefore bit-identical to the homogeneous constructor of the same
+  /// size (and fingerprints equal).
+  Cluster(hw::ArchSpec spec, util::SeedSequence master_seed,
+          const hw::ClassMix& mix);
+
   [[nodiscard]] const hw::ArchSpec& spec() const { return spec_; }
   [[nodiscard]] std::size_t size() const { return modules_.size(); }
+
+  /// The fabricated composition. A homogeneous cluster reports a cpu-only
+  /// mix of its size.
+  [[nodiscard]] const hw::ClassMix& mix() const { return mix_; }
+
+  /// True when any non-CPU module exists — the gate every class-aware
+  /// branch checks; false keeps all legacy paths byte-for-byte untouched.
+  [[nodiscard]] bool heterogeneous() const { return !mix_.homogeneous_cpu(); }
+
+  /// Device class of a module (ids are class-contiguous).
+  [[nodiscard]] hw::DeviceClass device_class(hw::ModuleId id) const {
+    return module(id).device_class();
+  }
+
+  /// The class spec used for fabrication (CPU synthesized from the legacy
+  /// arch fields; see hw::device_class_spec).
+  [[nodiscard]] hw::DeviceClassSpec class_spec(hw::DeviceClass c) const;
 
   [[nodiscard]] const hw::Module& module(hw::ModuleId id) const;
   [[nodiscard]] const std::vector<hw::Module>& modules() const {
@@ -39,9 +67,12 @@ class Cluster {
   [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
 
  private:
+  void fabricate_cpu_prefix(const util::SeedSequence& fab, std::size_t n);
+
   hw::ArchSpec spec_;
   util::SeedSequence seed_;
   std::uint64_t fingerprint_ = 0;
+  hw::ClassMix mix_;
   std::vector<hw::Module> modules_;
 };
 

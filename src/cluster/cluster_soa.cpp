@@ -14,6 +14,7 @@ ClusterSoA ClusterSoA::gather(const Cluster& cluster) {
   soa.freq_scale_.resize(n);
   soa.max_freq_ghz_.resize(n);
   soa.tdp_cpu_w_.resize(n);
+  soa.device_class_.resize(n);
   // Element-wise transposition: each index writes only its own slots, so the
   // gather is bit-identical at any thread count.
   util::parallel_for(n, [&](std::size_t i) {
@@ -25,7 +26,9 @@ ClusterSoA ClusterSoA::gather(const Cluster& cluster) {
     soa.freq_scale_[i] = v.freq;
     soa.max_freq_ghz_[i] = m.max_freq_ghz();
     soa.tdp_cpu_w_[i] = m.tdp_cpu_w();
+    soa.device_class_[i] = static_cast<std::uint8_t>(m.device_class());
   });
+  soa.class_counts_ = cluster.mix().counts;
   return soa;
 }
 

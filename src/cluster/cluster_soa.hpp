@@ -15,7 +15,9 @@
 // the full SoA layout of a solve.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -50,9 +52,24 @@ class ClusterSoA {
   }
 
   /// Nameplate CPU power cap per module — what enclosure provisioning
-  /// works from (PowerTree::uniform_tdp).
+  /// works from (PowerTree::uniform_tdp). On a heterogeneous fleet this is
+  /// each module's *class* TDP, so capacity provisioning sizes enclosures
+  /// for the silicon actually installed.
   [[nodiscard]] std::span<const double> tdp_cpu_w() const {
     return tdp_cpu_w_;
+  }
+
+  /// Device class of every module, as raw hw::DeviceClass values (the
+  /// byte form snapshots store and the solve's per-class reductions index
+  /// with). All-kCpu on a homogeneous fleet.
+  [[nodiscard]] std::span<const std::uint8_t> device_class() const {
+    return device_class_;
+  }
+
+  /// Module count per class index; sums to size().
+  [[nodiscard]] const std::array<std::size_t, hw::kDeviceClassCount>&
+  class_counts() const {
+    return class_counts_;
   }
 
   /// Fingerprint of the fleet the arrays were gathered from
@@ -68,6 +85,8 @@ class ClusterSoA {
   std::vector<double> freq_scale_;
   std::vector<double> max_freq_ghz_;
   std::vector<double> tdp_cpu_w_;
+  std::vector<std::uint8_t> device_class_;
+  std::array<std::size_t, hw::kDeviceClassCount> class_counts_{};
   std::uint64_t fingerprint_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "cluster/scheduler.hpp"
 
 #include <algorithm>
+#include <array>
 #include <numeric>
 
 #include "util/error.hpp"
@@ -42,17 +43,22 @@ std::vector<AllocationPolicy> all_allocation_policies() {
           AllocationPolicy::kBestPower};
 }
 
-std::vector<hw::ModuleId> Scheduler::allocate(
+namespace {
+
+/// The policy logic over one contiguous id block [base, base + n). The
+/// whole-cluster allocate is the base = 0 case; allocate_mix runs it per
+/// class block.
+std::vector<hw::ModuleId> allocate_block(
+    const Cluster& cluster, hw::ModuleId base, std::size_t n,
     std::size_t count, AllocationPolicy policy, util::SeedSequence seed,
-    const hw::PowerProfile* ranking_profile) const {
-  const std::size_t n = cluster_.size();
+    const hw::PowerProfile* ranking_profile) {
   if (count == 0) throw InvalidArgument("Scheduler: count must be > 0");
   if (count > n) {
     throw InvalidArgument("Scheduler: requested " + std::to_string(count) +
-                          " modules, cluster has " + std::to_string(n));
+                          " modules, block has " + std::to_string(n));
   }
   std::vector<hw::ModuleId> all(n);
-  std::iota(all.begin(), all.end(), hw::ModuleId{0});
+  std::iota(all.begin(), all.end(), base);
 
   switch (policy) {
     case AllocationPolicy::kContiguous: {
@@ -90,7 +96,7 @@ std::vector<hw::ModuleId> Scheduler::allocate(
       std::vector<std::pair<double, hw::ModuleId>> ranked;
       ranked.reserve(n);
       for (auto id : all) {
-        const auto& m = cluster_.module(id);
+        const auto& m = cluster.module(id);
         ranked.emplace_back(
             m.module_power_w(*ranking_profile, m.ladder().fmax()), id);
       }
@@ -106,6 +112,50 @@ std::vector<hw::ModuleId> Scheduler::allocate(
     }
   }
   throw InternalError("Scheduler: unhandled policy");
+}
+
+}  // namespace
+
+std::vector<hw::ModuleId> Scheduler::allocate(
+    std::size_t count, AllocationPolicy policy, util::SeedSequence seed,
+    const hw::PowerProfile* ranking_profile) const {
+  return allocate_block(cluster_, hw::ModuleId{0}, cluster_.size(), count,
+                        policy, seed, ranking_profile);
+}
+
+std::vector<hw::ModuleId> Scheduler::allocate_mix(
+    const hw::ClassMix& want, AllocationPolicy policy, util::SeedSequence seed,
+    const hw::PowerProfile* ranking_profile) const {
+  if (want.total() == 0) throw InvalidArgument("Scheduler: empty class mix");
+  const hw::ClassMix& have = cluster_.mix();
+  std::vector<hw::ModuleId> out;
+  out.reserve(want.total());
+  // Module ids are class-contiguous in class index order, so each class's
+  // block starts at the exact prefix sum of the earlier class counts.
+  std::array<std::size_t, hw::kDeviceClassCount + 1> start{};
+  for (std::size_t k = 0; k < hw::kDeviceClassCount; ++k) {
+    start[k + 1] = start[k] + have.counts[k];
+  }
+  for (hw::DeviceClass c : hw::all_device_classes()) {
+    const auto base =
+        static_cast<hw::ModuleId>(start[hw::device_class_index(c)]);
+    const std::size_t block = have.count(c);
+    const std::size_t count = want.count(c);
+    if (count > block) {
+      throw InvalidArgument("Scheduler: requested " + std::to_string(count) +
+                            " " + hw::device_class_name(c) +
+                            " modules, fleet has " + std::to_string(block));
+    }
+    if (count > 0) {
+      // Per-class seed fork so adding a class never shifts another class's
+      // draw.
+      std::vector<hw::ModuleId> picks =
+          allocate_block(cluster_, base, block, count, policy,
+                         seed.fork(hw::device_class_name(c)), ranking_profile);
+      out.insert(out.end(), picks.begin(), picks.end());
+    }
+  }
+  return out;
 }
 
 }  // namespace vapb::cluster

@@ -46,6 +46,18 @@ class Scheduler {
       std::size_t count, AllocationPolicy policy, util::SeedSequence seed,
       const hw::PowerProfile* ranking_profile = nullptr) const;
 
+  /// Class-aware allocation for heterogeneous fleets: applies `policy`
+  /// *within* each device class (each class's ids form one contiguous
+  /// block) and returns the per-class picks concatenated in class index
+  /// order, ascending within a class — so a job asking for
+  /// cpu:24,gpu:8 gets exactly that composition regardless of policy luck.
+  /// Classes `want` doesn't request are skipped; asking for more modules
+  /// of a class than the fleet fabricated throws InvalidArgument.
+  [[nodiscard]] std::vector<hw::ModuleId> allocate_mix(
+      const hw::ClassMix& want, AllocationPolicy policy,
+      util::SeedSequence seed,
+      const hw::PowerProfile* ranking_profile = nullptr) const;
+
  private:
   const Cluster& cluster_;
 };

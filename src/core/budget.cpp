@@ -61,6 +61,7 @@ PmtSoA PmtSoA::gather(const Pmt& pmt) {
   soa.dram_span_w.resize(n);
   soa.module_min_w.resize(n);
   soa.module_max_w.resize(n);
+  soa.device_class.resize(n);
   util::parallel_for(
       n,
       [&](std::size_t i) {
@@ -71,6 +72,7 @@ PmtSoA PmtSoA::gather(const Pmt& pmt) {
         soa.dram_span_w[i] = (e.dram_max_w - e.dram_min_w).value();
         soa.module_min_w[i] = e.module_min_w().value();
         soa.module_max_w[i] = e.module_max_w().value();
+        soa.device_class[i] = static_cast<std::uint8_t>(pmt.device_class(i));
       },
       1024);
   return soa;

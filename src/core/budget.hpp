@@ -11,6 +11,7 @@
 // reclaimed surplus. The flat solve is exactly the 1-level degenerate case.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "cluster/power_tree.hpp"
@@ -57,6 +58,11 @@ struct PmtSoA {
   std::vector<double> dram_span_w;  ///< dram_max - dram_min
   std::vector<double> module_min_w;
   std::vector<double> module_max_w;
+  /// Device class per entry, raw hw::DeviceClass bytes (all-kCpu for a
+  /// homogeneous table). The watt columns already price each class — the
+  /// alpha solve never branches on this — but per-class reductions
+  /// (reporting, misallocation analysis) stream it alongside.
+  std::vector<std::uint8_t> device_class;
 
   static PmtSoA gather(const Pmt& pmt);
 

@@ -60,6 +60,11 @@ struct RunContext {
   // -- CalibrationStage outputs ---------------------------------------------
   std::shared_ptr<const Pvt> pvt;
   std::shared_ptr<const TestRunResult> test;
+  /// On a heterogeneous fleet: one test run per device class present in the
+  /// allocation (indexed by hw::device_class_index; absent classes stay
+  /// null). The kCpu slot aliases `test`. Untouched — all null — on
+  /// homogeneous fleets, where `test` alone carries the calibration.
+  ClassTestRuns class_tests;
 
   // -- PowerModelStage output -----------------------------------------------
   std::shared_ptr<const Pmt> pmt;

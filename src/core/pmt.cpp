@@ -17,6 +17,25 @@ Pmt::Pmt(std::vector<PmtEntry> entries, util::GigaHertz fmax_ghz,
   if (!(fmin_ > util::GigaHertz{0.0}) || !(fmax_ >= fmin_)) {
     throw ConfigError("Pmt: need 0 < fmin <= fmax");
   }
+  class_freq_.fill(ClassFreqRange{fmax_, fmin_});
+}
+
+Pmt::Pmt(std::vector<PmtEntry> entries, util::GigaHertz fmax_ghz,
+         util::GigaHertz fmin_ghz, std::vector<hw::DeviceClass> classes,
+         std::array<ClassFreqRange, hw::kDeviceClassCount> class_freq)
+    : Pmt(std::move(entries), fmax_ghz, fmin_ghz) {
+  if (classes.size() != entries_.size()) {
+    throw ConfigError("Pmt: classes must align with entries");
+  }
+  for (hw::DeviceClass c : classes) {
+    const ClassFreqRange& r = class_freq[hw::device_class_index(c)];
+    if (!(r.fmin_ghz > util::GigaHertz{0.0}) || !(r.fmax_ghz >= r.fmin_ghz)) {
+      throw ConfigError(std::string("Pmt: class ") + hw::device_class_name(c) +
+                        " needs 0 < fmin <= fmax");
+    }
+  }
+  classes_ = std::move(classes);
+  class_freq_ = class_freq;
 }
 
 const PmtEntry& Pmt::entry(std::size_t k) const {
@@ -69,6 +88,86 @@ Pmt calibrate_pmt(const Pvt& pvt, const TestRunResult& test,
   return Pmt(std::move(entries), ladder.fmax_freq(), ladder.fmin_freq());
 }
 
+namespace {
+
+/// Per-entry classes and per-class frequency ranges for a table over
+/// `allocation` of a mixed fleet.
+struct ClassLayout {
+  std::vector<hw::DeviceClass> classes;
+  std::array<ClassFreqRange, hw::kDeviceClassCount> freq{};
+};
+
+ClassLayout class_layout(const cluster::Cluster& cluster,
+                         std::span<const hw::ModuleId> allocation) {
+  ClassLayout l;
+  l.classes.reserve(allocation.size());
+  for (hw::ModuleId id : allocation) {
+    l.classes.push_back(cluster.device_class(id));
+  }
+  for (hw::DeviceClass c : hw::all_device_classes()) {
+    const hw::FrequencyLadder ladder = cluster.class_spec(c).ladder;
+    l.freq[hw::device_class_index(c)] =
+        ClassFreqRange{ladder.fmax_freq(), ladder.fmin_freq()};
+  }
+  return l;
+}
+
+}  // namespace
+
+Pmt calibrate_pmt_per_class(const cluster::Cluster& cluster, const Pvt& pvt,
+                            const ClassTestRuns& class_tests,
+                            std::span<const hw::ModuleId> allocation) {
+  if (allocation.empty()) {
+    throw InvalidArgument("calibrate_pmt_per_class: no modules");
+  }
+  ClassLayout layout = class_layout(cluster, allocation);
+
+  // Fleet-average estimates, one set per class present (Figure 6 applied
+  // class by class: the PVT scales are relative to the class average, so
+  // dividing a class's test run by its test module's scales recovers that
+  // class's average curve).
+  struct Avg {
+    util::Watts cpu_max{}, dram_max{}, cpu_min{}, dram_min{};
+    bool present = false;
+  };
+  std::array<Avg, hw::kDeviceClassCount> avg{};
+  for (std::size_t i = 0; i < allocation.size(); ++i) {
+    Avg& a = avg[hw::device_class_index(layout.classes[i])];
+    if (a.present) continue;
+    const hw::DeviceClass c = layout.classes[i];
+    const std::shared_ptr<const TestRunResult>& test =
+        class_tests[hw::device_class_index(c)];
+    if (!test) {
+      throw InvalidArgument(
+          std::string("calibrate_pmt_per_class: allocation contains ") +
+          hw::device_class_name(c) + " modules but no test run for the class");
+    }
+    const PvtEntry& k = pvt.entry(test->module);
+    VAPB_REQUIRE_MSG(k.cpu_max > 0 && k.dram_max > 0 && k.cpu_min > 0 &&
+                         k.dram_min > 0,
+                     "test module has non-positive PVT scales");
+    a.cpu_max = test->cpu_max_w / k.cpu_max;
+    a.dram_max = test->dram_max_w / k.dram_max;
+    a.cpu_min = test->cpu_min_w / k.cpu_min;
+    a.dram_min = test->dram_min_w / k.dram_min;
+    a.present = true;
+  }
+
+  std::vector<PmtEntry> entries(allocation.size());
+  util::parallel_for(
+      allocation.size(),
+      [&](std::size_t i) {
+        const Avg& a = avg[hw::device_class_index(layout.classes[i])];
+        const PvtEntry& s = pvt.entry(allocation[i]);
+        entries[i] = PmtEntry{a.cpu_max * s.cpu_max, a.dram_max * s.dram_max,
+                              a.cpu_min * s.cpu_min, a.dram_min * s.dram_min};
+      },
+      1024);
+  const auto& ladder = cluster.spec().ladder;
+  return Pmt(std::move(entries), ladder.fmax_freq(), ladder.fmin_freq(),
+             std::move(layout.classes), layout.freq);
+}
+
 Pmt oracle_pmt(const cluster::Cluster& cluster,
                std::span<const hw::ModuleId> allocation,
                const workloads::Workload& app, util::SeedSequence seed) {
@@ -80,6 +179,14 @@ Pmt oracle_pmt(const cluster::Cluster& cluster,
                                              seed.fork("oracle", i));
     entries[i] = PmtEntry{r.cpu_max_w, r.dram_max_w, r.cpu_min_w, r.dram_min_w};
   });
+  if (cluster.heterogeneous()) {
+    // The measurements already ran each module on its own ladder
+    // (single_module_test_run uses the module's fmax/fmin); carry the class
+    // layout so frequency derivation is per class too.
+    ClassLayout layout = class_layout(cluster, allocation);
+    return Pmt(std::move(entries), ladder.fmax_freq(), ladder.fmin_freq(),
+               std::move(layout.classes), layout.freq);
+  }
   return Pmt(std::move(entries), ladder.fmax_freq(), ladder.fmin_freq());
 }
 
@@ -92,6 +199,37 @@ Pmt constant_pmt(PmtEntry entry, std::size_t n,
 
 Pmt averaged_pmt(const Pmt& pmt) {
   const std::vector<PmtEntry>& es = pmt.entries();
+  if (pmt.heterogeneous()) {
+    // Class-wise collapse: variation-unaware *within* a class, but a GPU's
+    // average is still a GPU's — averaging a 5x-power device into the CPU
+    // mean would not be a power model at all.
+    std::array<PmtEntry, hw::kDeviceClassCount> sum{};
+    std::array<double, hw::kDeviceClassCount> count{};
+    for (std::size_t i = 0; i < es.size(); ++i) {
+      const std::size_t c = hw::device_class_index(pmt.device_class(i));
+      sum[c].cpu_max_w += es[i].cpu_max_w;
+      sum[c].dram_max_w += es[i].dram_max_w;
+      sum[c].cpu_min_w += es[i].cpu_min_w;
+      sum[c].dram_min_w += es[i].dram_min_w;
+      count[c] += 1.0;
+    }
+    std::vector<PmtEntry> entries(es.size());
+    std::vector<hw::DeviceClass> classes(es.size());
+    std::array<ClassFreqRange, hw::kDeviceClassCount> freq{};
+    for (hw::DeviceClass c : hw::all_device_classes()) {
+      freq[hw::device_class_index(c)] = pmt.class_range(c);
+    }
+    for (std::size_t i = 0; i < es.size(); ++i) {
+      const std::size_t c = hw::device_class_index(pmt.device_class(i));
+      entries[i] = PmtEntry{sum[c].cpu_max_w / count[c],
+                            sum[c].dram_max_w / count[c],
+                            sum[c].cpu_min_w / count[c],
+                            sum[c].dram_min_w / count[c]};
+      classes[i] = pmt.device_class(i);
+    }
+    return Pmt(std::move(entries), pmt.fmax_ghz(), pmt.fmin_ghz(),
+               std::move(classes), freq);
+  }
   PmtEntry avg{};
   avg.cpu_max_w = util::chunked_sum(
       es.size(), [&](std::size_t i) { return es[i].cpu_max_w; });

@@ -13,17 +13,30 @@
 // interpolation coefficient alpha is dimensionless.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "core/pvt.hpp"
 #include "core/test_run.hpp"
+#include "hw/device_class.hpp"
 #include "util/units.hpp"
 #include "workloads/workload.hpp"
 
 namespace vapb::core {
+
+/// Frequency range one device class sweeps as alpha goes 0 -> 1 inside a
+/// heterogeneous PMT. The Eq. 6 alpha solve itself is pure watts — one
+/// shared coefficient interpolates every entry's power — but the frequency
+/// that coefficient *realizes* is per class: alpha = 0.3 means 30% up the
+/// CPU ladder on a CPU and 30% up the GPU ladder on a GPU.
+struct ClassFreqRange {
+  util::GigaHertz fmax_ghz{};
+  util::GigaHertz fmin_ghz{};
+};
 
 struct PmtEntry {
   util::Watts cpu_max_w{};
@@ -57,6 +70,16 @@ class Pmt {
   Pmt(std::vector<PmtEntry> entries, util::GigaHertz fmax_ghz,
       util::GigaHertz fmin_ghz);
 
+  /// Heterogeneous table: `classes[k]` is the device class of entry k and
+  /// `class_freq` the frequency range each class sweeps over alpha. The
+  /// plain (fmax, fmin) pair stays the table's *reference* range (what
+  /// freq_at(alpha) and BudgetResult::target_freq_ghz report — by
+  /// convention the CPU ladder). `classes` must match `entries` in size;
+  /// every class that appears needs a valid (0 < fmin <= fmax) range.
+  Pmt(std::vector<PmtEntry> entries, util::GigaHertz fmax_ghz,
+      util::GigaHertz fmin_ghz, std::vector<hw::DeviceClass> classes,
+      std::array<ClassFreqRange, hw::kDeviceClassCount> class_freq);
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] const PmtEntry& entry(std::size_t k) const;
   [[nodiscard]] const std::vector<PmtEntry>& entries() const {
@@ -65,9 +88,35 @@ class Pmt {
   [[nodiscard]] util::GigaHertz fmax_ghz() const { return fmax_; }
   [[nodiscard]] util::GigaHertz fmin_ghz() const { return fmin_; }
 
-  /// Frequency realized by coefficient alpha (paper Eq. 1).
+  /// Frequency realized by coefficient alpha (paper Eq. 1) on the reference
+  /// (CPU) range.
   [[nodiscard]] util::GigaHertz freq_at(double alpha) const {
     return alpha * (fmax_ - fmin_) + fmin_;
+  }
+
+  /// True when the table carries per-entry device classes (built over a
+  /// mixed fleet). Homogeneous tables — every pre-mix construction — report
+  /// false and behave exactly as before.
+  [[nodiscard]] bool heterogeneous() const { return !classes_.empty(); }
+
+  /// Device class of entry k (kCpu for every entry of a homogeneous table).
+  [[nodiscard]] hw::DeviceClass device_class(std::size_t k) const {
+    return classes_.empty() ? hw::DeviceClass::kCpu : classes_[k];
+  }
+
+  /// Frequency range class `c` sweeps over alpha (the reference range on a
+  /// homogeneous table).
+  [[nodiscard]] const ClassFreqRange& class_range(hw::DeviceClass c) const {
+    return class_freq_[hw::device_class_index(c)];
+  }
+
+  /// Frequency entry k realizes at coefficient alpha — Eq. 1 evaluated on
+  /// the entry's own class range. Bit-identical to freq_at(alpha) on a
+  /// homogeneous table.
+  [[nodiscard]] util::GigaHertz freq_at(double alpha, std::size_t k) const {
+    const ClassFreqRange& r = class_freq_[hw::device_class_index(
+        classes_.empty() ? hw::DeviceClass::kCpu : classes_[k])];
+    return alpha * (r.fmax_ghz - r.fmin_ghz) + r.fmin_ghz;
   }
 
   /// Sums of module_min / module_max across entries.
@@ -77,6 +126,11 @@ class Pmt {
  private:
   std::vector<PmtEntry> entries_;
   util::GigaHertz fmax_, fmin_;
+  /// Empty on homogeneous tables; aligned with entries_ otherwise.
+  std::vector<hw::DeviceClass> classes_;
+  /// Every slot defaults to the reference range, so class_range() is safe
+  /// to call on any table.
+  std::array<ClassFreqRange, hw::kDeviceClassCount> class_freq_{};
 };
 
 /// The paper's calibration (Figure 6): divide the test-run measurements by
@@ -85,6 +139,23 @@ class Pmt {
 Pmt calibrate_pmt(const Pvt& pvt, const TestRunResult& test,
                   std::span<const hw::ModuleId> allocation,
                   const hw::FrequencyLadder& ladder);
+
+/// One pinned test run per device class, indexed by
+/// hw::device_class_index. Slots for classes absent from an allocation may
+/// be null.
+using ClassTestRuns =
+    std::array<std::shared_ptr<const TestRunResult>, hw::kDeviceClassCount>;
+
+/// Figure 6 calibration generalized to a mixed fleet: each device class
+/// gets its own single-module test run (a GPU's power curve says nothing
+/// about a DIMM's), divided by the test module's PVT scales — which are
+/// relative to the *class* average on a heterogeneous PVT — and scaled
+/// onto the allocated modules of that class. The resulting table carries
+/// per-entry classes and per-class frequency ranges. Throws when a class
+/// present in the allocation has no test run.
+Pmt calibrate_pmt_per_class(const cluster::Cluster& cluster, const Pvt& pvt,
+                            const ClassTestRuns& class_tests,
+                            std::span<const hw::ModuleId> allocation);
 
 /// Perfect calibration: runs the application on every allocated module.
 Pmt oracle_pmt(const cluster::Cluster& cluster,

@@ -1,5 +1,6 @@
 #include "core/pvt.hpp"
 
+#include <array>
 #include <sstream>
 
 #include "hw/sensor.hpp"
@@ -27,15 +28,18 @@ Pvt Pvt::generate(const cluster::Cluster& cluster,
                   const workloads::Workload& micro, util::SeedSequence seed,
                   double measure_seconds) {
   const std::size_t n = cluster.size();
-  const double fmax = cluster.spec().ladder.fmax();
-  const double fmin = cluster.spec().ladder.fmin();
 
   struct Raw {
     double cpu_max, dram_max, cpu_min, dram_min;
   };
+  // Every module is exercised at the extremes of *its own* ladder: a GPU's
+  // fmax is not a CPU's. On a homogeneous fleet each module's ladder is the
+  // architecture ladder, so the measurements are unchanged.
   std::vector<Raw> raw(n);
   util::parallel_for(n, [&](std::size_t i) {
     const hw::Module& m = cluster.module(static_cast<hw::ModuleId>(i));
+    const double fmax = m.ladder().fmax();
+    const double fmin = m.ladder().fmin();
     hw::Sensor sensor(cluster.spec().measurement,
                       seed.fork("pvt-sensor", i), micro.runtime_noise_frac);
     raw[i].cpu_max = sensor.measure_avg_w(m.cpu_power_w(micro.profile, fmax),
@@ -48,28 +52,41 @@ Pvt Pvt::generate(const cluster::Cluster& cluster,
                                            measure_seconds);
   });
 
-  Raw avg{0, 0, 0, 0};
-  for (const Raw& r : raw) {
-    avg.cpu_max += r.cpu_max;
-    avg.dram_max += r.dram_max;
-    avg.cpu_min += r.cpu_min;
-    avg.dram_min += r.dram_min;
+  // Scales are relative to the *class* average: comparing a DIMM to the
+  // CPU mean would read as huge "variation" that is really just device
+  // physics. A homogeneous fleet has one class covering every module, with
+  // the accumulation visiting modules in the same ascending order as the
+  // old fleet-wide mean — bit-identical.
+  std::array<Raw, hw::kDeviceClassCount> avg{};
+  std::array<double, hw::kDeviceClassCount> cnt{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = hw::device_class_index(
+        cluster.device_class(static_cast<hw::ModuleId>(i)));
+    avg[c].cpu_max += raw[i].cpu_max;
+    avg[c].dram_max += raw[i].dram_max;
+    avg[c].cpu_min += raw[i].cpu_min;
+    avg[c].dram_min += raw[i].dram_min;
+    cnt[c] += 1.0;
   }
-  const auto dn = static_cast<double>(n);
-  avg.cpu_max /= dn;
-  avg.dram_max /= dn;
-  avg.cpu_min /= dn;
-  avg.dram_min /= dn;
-  VAPB_REQUIRE_MSG(avg.cpu_max > 0 && avg.dram_max > 0 && avg.cpu_min > 0 &&
-                       avg.dram_min > 0,
-                   "PVT generation measured non-positive average power");
+  for (std::size_t c = 0; c < hw::kDeviceClassCount; ++c) {
+    if (cnt[c] == 0.0) continue;
+    avg[c].cpu_max /= cnt[c];
+    avg[c].dram_max /= cnt[c];
+    avg[c].cpu_min /= cnt[c];
+    avg[c].dram_min /= cnt[c];
+    VAPB_REQUIRE_MSG(avg[c].cpu_max > 0 && avg[c].dram_max > 0 &&
+                         avg[c].cpu_min > 0 && avg[c].dram_min > 0,
+                     "PVT generation measured non-positive average power");
+  }
 
   std::vector<PvtEntry> entries(n);
   for (std::size_t i = 0; i < n; ++i) {
-    entries[i].cpu_max = raw[i].cpu_max / avg.cpu_max;
-    entries[i].dram_max = raw[i].dram_max / avg.dram_max;
-    entries[i].cpu_min = raw[i].cpu_min / avg.cpu_min;
-    entries[i].dram_min = raw[i].dram_min / avg.dram_min;
+    const Raw& a = avg[hw::device_class_index(
+        cluster.device_class(static_cast<hw::ModuleId>(i)))];
+    entries[i].cpu_max = raw[i].cpu_max / a.cpu_max;
+    entries[i].dram_max = raw[i].dram_max / a.dram_max;
+    entries[i].cpu_min = raw[i].cpu_min / a.cpu_min;
+    entries[i].dram_min = raw[i].dram_min / a.dram_min;
   }
   return Pvt(micro.name, std::move(entries));
 }

@@ -154,7 +154,6 @@ RunMetrics Runner::execute(const workloads::Workload& w,
                            const std::vector<hw::OperatingPoint>& ops,
                            bool rapl_jitter, const std::string& label) const {
   const std::size_t n = allocation_.size();
-  const auto& ladder = cluster_.spec().ladder;
   const int iterations =
       config_.iterations > 0 ? config_.iterations : w.default_iterations;
 
@@ -188,9 +187,13 @@ RunMetrics Runner::execute(const workloads::Workload& w,
     double t;
     if (rapl_jitter && !op.throttled && jitter_sd > 0.0) {
       // RAPL's dynamic control dithers the clock around the sustained point.
+      // The floor is the *module's* ladder, not the architecture's CPU
+      // ladder — a GPU or DIMM dithers within its own frequency range.
+      const hw::Module& mod = cluster_.module(allocation_[rank]);
       double f = op.perf_freq_ghz + jitter_sd * rng.normal();
-      f = std::clamp(f, ladder.fmin() * (1.0 - config_.rapl.control_perf_penalty),
-                     cluster_.module(allocation_[rank]).max_freq_ghz());
+      f = std::clamp(
+          f, mod.ladder().fmin() * (1.0 - config_.rapl.control_perf_penalty),
+          mod.max_freq_ghz());
       t = w.iter_seconds_at(f);
     } else {
       t = w.iter_seconds(op);
@@ -208,6 +211,29 @@ RunMetrics Runner::execute(const workloads::Workload& w,
   auto image = workloads::build_program_image(w, n, iterations, compute);
   des::Engine engine(config_.network);
 
+  // The budgeter planned dynamic power at profile.data_entropy; silicon
+  // draws power at the entropy the run actually streamed through it. Scale
+  // each rank's CPU draw by the ratio of its module's entropy response at
+  // the realized vs the planned point — exactly 1.0 (hence a bitwise no-op)
+  // for every workload without a schedule.
+  std::vector<hw::OperatingPoint> realized;
+  const std::vector<hw::OperatingPoint>* points = &ops;
+  if (!w.phase_entropy.empty()) {
+    realized = ops;
+    util::parallel_for(
+        n,
+        [&](std::size_t r) {
+          const hw::Module& mod = cluster_.module(allocation_[r]);
+          const double planned = mod.entropy_factor(w.profile.data_entropy);
+          const double actual =
+              mod.entropy_factor(image.mean_compute_entropy(r));
+          realized[r].cpu_w *= actual / planned;
+        },
+        1024);
+    points = &realized;
+  }
+  const std::vector<hw::OperatingPoint>& pts = *points;
+
   RunMetrics m;
   m.workload = w.name;
   m.scheme = label;
@@ -218,17 +244,17 @@ RunMetrics Runner::execute(const workloads::Workload& w,
       n,
       [&](std::size_t i) {
         m.modules[i].id = allocation_[i];
-        m.modules[i].op = ops[i];
+        m.modules[i].op = pts[i];
       },
       1024);
   // Fixed chunked association — identical to the former sequential
   // accumulation for any fleet that fits one chunk, and deterministic beyond.
   m.total_power_w =
-      util::chunked_sum(n, [&](std::size_t i) { return ops[i].module_w(); });
+      util::chunked_sum(n, [&](std::size_t i) { return pts[i].module_w(); });
   m.total_cpu_power_w =
-      util::chunked_sum(n, [&](std::size_t i) { return ops[i].cpu_w; });
+      util::chunked_sum(n, [&](std::size_t i) { return pts[i].cpu_w; });
   m.total_dram_power_w =
-      util::chunked_sum(n, [&](std::size_t i) { return ops[i].dram_w; });
+      util::chunked_sum(n, [&](std::size_t i) { return pts[i].dram_w; });
   return m;
 }
 

@@ -62,6 +62,29 @@ void CachedCalibrationStage::calibrate(RunContext& ctx) const {
         ctx.cluster->seed().fork("test-run").fork(ctx.workload->name));
     count(ctx, "test_run_from_cache");
   }
+  if (ctx.cluster->heterogeneous()) {
+    // One pinned test run per device class present in the allocation — a
+    // CPU's power curve calibrates nothing about a GPU. The front module's
+    // class reuses `test` (same module, same draw); other classes pin their
+    // first allocated module under a class-named seed fork, so adding a
+    // class to the mix never changes another class's calibration.
+    const hw::DeviceClass front_class =
+        ctx.cluster->device_class(ctx.allocation.front());
+    ctx.class_tests[hw::device_class_index(front_class)] = ctx.test;
+    for (hw::ModuleId id : ctx.allocation) {
+      const hw::DeviceClass c = ctx.cluster->device_class(id);
+      std::shared_ptr<const TestRunResult>& slot =
+          ctx.class_tests[hw::device_class_index(c)];
+      if (slot) continue;
+      slot = CalibrationCache::global().test_run(
+          *ctx.cluster, id, *ctx.workload,
+          ctx.cluster->seed()
+              .fork("test-run")
+              .fork(ctx.workload->name)
+              .fork(hw::device_class_name(c)));
+      count(ctx, "class_test_run_from_cache");
+    }
+  }
   if (const fault::FaultInjector* fi = active_fault(ctx)) {
     // Faults corrupt what calibration *saw*, not the hardware itself:
     // replace the artifacts with perturbed copies (sensor noise on every
@@ -70,30 +93,63 @@ void CachedCalibrationStage::calibrate(RunContext& ctx) const {
     // originals — possibly shared with other runs — are never mutated.
     std::vector<PvtEntry> entries = ctx.pvt->entries();
     for (std::size_t m = 0; m < entries.size(); ++m) {
-      const double stale = fi->stale_drift_factor(m);
+      const auto mc = static_cast<std::uint32_t>(
+          ctx.cluster->device_class(static_cast<hw::ModuleId>(m)));
+      const double stale = fi->stale_drift_factor(m, mc);
       PvtEntry& e = entries[m];
-      e.cpu_max = stale * fi->perturb_reading_w(e.cpu_max, "sensor-pvt", m, 0);
+      e.cpu_max =
+          stale * fi->perturb_reading_w(e.cpu_max, "sensor-pvt", m, 0, mc);
       e.dram_max =
-          stale * fi->perturb_reading_w(e.dram_max, "sensor-pvt", m, 1);
-      e.cpu_min = stale * fi->perturb_reading_w(e.cpu_min, "sensor-pvt", m, 2);
+          stale * fi->perturb_reading_w(e.dram_max, "sensor-pvt", m, 1, mc);
+      e.cpu_min =
+          stale * fi->perturb_reading_w(e.cpu_min, "sensor-pvt", m, 2, mc);
       e.dram_min =
-          stale * fi->perturb_reading_w(e.dram_min, "sensor-pvt", m, 3);
+          stale * fi->perturb_reading_w(e.dram_min, "sensor-pvt", m, 3, mc);
     }
     ctx.pvt = std::make_shared<const Pvt>(ctx.pvt->microbench_name(),
                                           std::move(entries));
 
     TestRunResult t = *ctx.test;
     const auto mod = static_cast<std::uint64_t>(t.module);
-    const double stale = fi->stale_drift_factor(mod);
+    const auto tc = static_cast<std::uint32_t>(ctx.cluster->device_class(
+        static_cast<hw::ModuleId>(t.module)));
+    const double stale = fi->stale_drift_factor(mod, tc);
     const auto sense = [&](util::Watts w, std::uint64_t event) {
-      return util::Watts{
-          stale * fi->perturb_reading_w(w.value(), "sensor-test", mod, event)};
+      return util::Watts{stale * fi->perturb_reading_w(w.value(), "sensor-test",
+                                                       mod, event, tc)};
     };
     t.cpu_max_w = sense(t.cpu_max_w, 0);
     t.dram_max_w = sense(t.dram_max_w, 1);
     t.cpu_min_w = sense(t.cpu_min_w, 2);
     t.dram_min_w = sense(t.dram_min_w, 3);
     ctx.test = std::make_shared<const TestRunResult>(t);
+
+    // Per-class test runs see the same sensor/drift corruption, each
+    // through its own module's noise stream. The slot aliasing `test`
+    // (same module) re-aliases the perturbed copy instead of being
+    // perturbed twice.
+    for (std::size_t c = 0; c < hw::kDeviceClassCount; ++c) {
+      std::shared_ptr<const TestRunResult>& slot = ctx.class_tests[c];
+      if (!slot) continue;
+      if (slot->module == t.module) {
+        slot = ctx.test;
+        continue;
+      }
+      TestRunResult ct = *slot;
+      const auto cmod = static_cast<std::uint64_t>(ct.module);
+      const auto cc = static_cast<std::uint32_t>(c);
+      const double cstale = fi->stale_drift_factor(cmod, cc);
+      const auto csense = [&](util::Watts w, std::uint64_t event) {
+        return util::Watts{cstale * fi->perturb_reading_w(w.value(),
+                                                          "sensor-test", cmod,
+                                                          event, cc)};
+      };
+      ct.cpu_max_w = csense(ct.cpu_max_w, 0);
+      ct.dram_max_w = csense(ct.dram_max_w, 1);
+      ct.cpu_min_w = csense(ct.cpu_min_w, 2);
+      ct.dram_min_w = csense(ct.dram_min_w, 3);
+      slot = std::make_shared<const TestRunResult>(ct);
+    }
     count(ctx, "fault_calibration_perturbed");
   }
 }
@@ -113,6 +169,11 @@ void NaivePmtStage::model(RunContext& ctx) const {
 void AveragedCalibratedPmtStage::model(RunContext& ctx) const {
   require(ctx.cluster != nullptr, "power model needs a cluster");
   require(ctx.pvt && ctx.test, "power model needs calibration artifacts");
+  if (ctx.cluster->heterogeneous()) {
+    ctx.pmt = std::make_shared<const Pmt>(averaged_pmt(calibrate_pmt_per_class(
+        *ctx.cluster, *ctx.pvt, ctx.class_tests, ctx.allocation)));
+    return;
+  }
   ctx.pmt = std::make_shared<const Pmt>(
       averaged_pmt(calibrate_pmt(*ctx.pvt, *ctx.test, ctx.allocation,
                                  ctx.cluster->spec().ladder)));
@@ -121,6 +182,14 @@ void AveragedCalibratedPmtStage::model(RunContext& ctx) const {
 void CalibratedPmtStage::model(RunContext& ctx) const {
   require(ctx.cluster != nullptr, "power model needs a cluster");
   require(ctx.pvt && ctx.test, "power model needs calibration artifacts");
+  if (ctx.cluster->heterogeneous()) {
+    // Class-aware Figure 6: per-class test runs scaled through the
+    // class-relative PVT. The legacy single-test path stays byte-for-byte
+    // for homogeneous fleets.
+    ctx.pmt = std::make_shared<const Pmt>(calibrate_pmt_per_class(
+        *ctx.cluster, *ctx.pvt, ctx.class_tests, ctx.allocation));
+    return;
+  }
   ctx.pmt = std::make_shared<const Pmt>(calibrate_pmt(
       *ctx.pvt, *ctx.test, ctx.allocation, ctx.cluster->spec().ladder));
 }
@@ -228,6 +297,12 @@ void PmmdEnforcementStage::enforce(RunContext& ctx) const {
   // at any thread count, and without materializing fleet-sized controller
   // vectors on the way.
   const RunConfig& config = ctx.runner->config();
+  // On a heterogeneous table, frequency selection realizes alpha on each
+  // entry's own class ladder (Eq. 1 per class) — one shared coefficient,
+  // class-specific clocks. Homogeneous tables keep the single solved
+  // target verbatim.
+  const Pmt* class_pmt =
+      (ctx.pmt && ctx.pmt->heterogeneous()) ? ctx.pmt.get() : nullptr;
   ctx.ops.assign(allocation.size(), hw::OperatingPoint{});
   util::parallel_for(
       allocation.size(),
@@ -239,7 +314,9 @@ void PmmdEnforcementStage::enforce(RunContext& ctx) const {
           ctx.ops[i] = rapl.operating_point(ctx.workload->profile);
         } else {
           hw::CpufreqGovernor governor(module);
-          governor.set_frequency(budget.target_freq_ghz);
+          governor.set_frequency(class_pmt != nullptr
+                                     ? class_pmt->freq_at(budget.alpha, i)
+                                     : budget.target_freq_ghz);
           ctx.ops[i] = governor.operating_point(ctx.workload->profile);
         }
       },
@@ -253,7 +330,9 @@ void PmmdEnforcementStage::enforce(RunContext& ctx) const {
     const std::uint64_t event = fault_job_event(ctx);
     for (std::size_t i = 0; i < allocation.size(); ++i) {
       const auto mod = static_cast<std::uint64_t>(allocation[i]);
-      const double drift = fi->drift_factor(mod);
+      const double drift = fi->drift_factor(
+          mod,
+          static_cast<std::uint32_t>(ctx.cluster->device_class(allocation[i])));
       hw::OperatingPoint& op = ctx.ops[i];
       if (enforcement_ == Enforcement::kPowerCap) {
         const double cap_w = budget.allocations[i].cpu_cap_w.value();
@@ -344,14 +423,20 @@ void DesExecutionStage::execute(RunContext& ctx) const {
     const std::uint64_t event = fault_job_event(ctx);
     for (std::size_t i = 0; i < faulted_ops.size(); ++i) {
       const auto mod = static_cast<std::uint64_t>(ctx.allocation[i]);
-      const double tmul = fi->throttle_perf_multiplier(mod, event);
+      const double tmul = fi->throttle_perf_multiplier(
+          mod, event,
+          static_cast<std::uint32_t>(
+              ctx.cluster->device_class(ctx.allocation[i])));
       if (tmul < 1.0) {
         faulted_ops[i].perf_freq_ghz *= tmul;
         count(ctx, "fault_throttle_hit");
       }
     }
-    const double spare_ghz = ctx.cluster->spec().ladder.fmin();
     for (std::size_t slot : fi->failed_slots(faulted_ops.size())) {
+      // The spare inherits the failed module's class: a dead GPU's work
+      // restarts on a spare GPU at *its* ladder floor.
+      const double spare_ghz =
+          ctx.cluster->module(ctx.allocation[slot]).ladder().fmin();
       faulted_ops[slot].perf_freq_ghz = fi->failed_perf_freq_ghz(
           faulted_ops[slot].perf_freq_ghz, spare_ghz);
       count(ctx, "fault_module_failure");

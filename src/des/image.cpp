@@ -38,10 +38,14 @@ void ImageBuilder::begin_op(RankId rank) {
   }
 }
 
-void ImageBuilder::compute(RankId rank, double seconds) {
+void ImageBuilder::compute(RankId rank, double seconds, double entropy) {
   begin_op(rank);
+  if (entropy < 0.0 || entropy > 1.0) {
+    throw InvalidArgument("ImageBuilder: entropy must lie in [0, 1]");
+  }
   img_.kind_.push_back(static_cast<std::uint8_t>(OpKind::kCompute));
   img_.value_.push_back(seconds);
+  img_.entropy_.push_back(entropy);
   img_.topo_.push_back(0);
 }
 
@@ -54,6 +58,7 @@ void ImageBuilder::halo_exchange(RankId rank, std::uint32_t topology,
   }
   img_.kind_.push_back(static_cast<std::uint8_t>(OpKind::kHaloExchange));
   img_.value_.push_back(bytes_per_peer);
+  img_.entropy_.push_back(0.5);
   img_.topo_.push_back(topology);
   ++img_.halo_ops_;
 }
@@ -62,6 +67,7 @@ void ImageBuilder::allreduce(RankId rank, double bytes) {
   begin_op(rank);
   img_.kind_.push_back(static_cast<std::uint8_t>(OpKind::kAllreduce));
   img_.value_.push_back(bytes);
+  img_.entropy_.push_back(0.5);
   img_.topo_.push_back(0);
   ++img_.coll_ops_;
 }
@@ -70,6 +76,7 @@ void ImageBuilder::barrier(RankId rank) {
   begin_op(rank);
   img_.kind_.push_back(static_cast<std::uint8_t>(OpKind::kBarrier));
   img_.value_.push_back(0.0);
+  img_.entropy_.push_back(0.5);
   img_.topo_.push_back(0);
   ++img_.coll_ops_;
 }
@@ -147,6 +154,20 @@ ProgramImage ImageBuilder::build() {
     }
   }
   return std::move(img_);
+}
+
+double ProgramImage::mean_compute_entropy(std::size_t r) const {
+  // Seconds-weighted: a short high-entropy burst moves the mean less than a
+  // long one. Sequential left-to-right accumulation over one rank's ops —
+  // deterministic regardless of how callers parallelize over ranks.
+  double weighted = 0.0;
+  double seconds = 0.0;
+  for (std::size_t op = op_begin(r); op < op_end(r); ++op) {
+    if (kind(op) != OpKind::kCompute) continue;
+    weighted += entropy_[op] * value_[op];
+    seconds += value_[op];
+  }
+  return seconds > 0.0 ? weighted / seconds : 0.5;
 }
 
 ProgramImage ProgramImage::compile(const std::vector<RankProgram>& programs) {

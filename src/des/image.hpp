@@ -70,6 +70,19 @@ class ProgramImage {
     return topo_[op];
   }
 
+  /// Data entropy of a compute op in [0, 1] (0.5 for non-compute ops and
+  /// for programs built without an entropy schedule). The engine's timing
+  /// ignores it; the power accounting layer reads it back out through
+  /// mean_compute_entropy().
+  [[nodiscard]] double entropy(std::size_t op) const { return entropy_[op]; }
+
+  /// Seconds-weighted mean data entropy over rank r's compute ops — the
+  /// realized entropy its silicon integrated over the run, which is what
+  /// scales dynamic power when a schedule deviates from the planning
+  /// profile. Returns 0.5 (the neutral point) when the rank has no compute
+  /// seconds.
+  [[nodiscard]] double mean_compute_entropy(std::size_t r) const;
+
   /// Peer list of topology entry t: [peers_begin(t), peers_end(t)).
   [[nodiscard]] const RankId* peers_begin(std::uint32_t t) const {
     return peers_.data() + peer_begin_[t];
@@ -120,6 +133,7 @@ class ProgramImage {
 
   std::vector<std::uint8_t> kind_;
   std::vector<double> value_;
+  std::vector<double> entropy_;
   std::vector<std::uint32_t> topo_;
   std::vector<std::size_t> rank_begin_;        ///< size nranks + 1
   std::vector<std::size_t> halo_phase_begin_;  ///< size nranks + 1
@@ -141,7 +155,10 @@ class ImageBuilder {
   /// Registers a peer list; returns its index for halo_exchange().
   std::uint32_t add_topology(const std::vector<RankId>& peers);
 
-  void compute(RankId rank, double seconds);
+  /// `entropy` is the data entropy of the operands this phase streams
+  /// through the datapath; 0.5 is the neutral point every legacy caller
+  /// sits at.
+  void compute(RankId rank, double seconds, double entropy = 0.5);
   void halo_exchange(RankId rank, std::uint32_t topology,
                      double bytes_per_peer);
   void allreduce(RankId rank, double bytes);

@@ -18,12 +18,12 @@ constexpr double kFloor = 0.05;
 double clamp_factor(double f) { return std::max(kFloor, f); }
 
 // Drift walk prefix: prod_{s<steps} (1 + frac * N_s), one normal per step.
-double walk(const FaultScenario& sc, std::uint64_t module, int steps) {
+double walk(const FaultScenario& sc, std::uint64_t module, int steps,
+            double frac) {
   CounterRng rng(sc.seed, "drift", module);
   double d = 1.0;
   for (int s = 0; s < steps; ++s) {
-    d *= clamp_factor(1.0 + sc.drift_frac *
-                                rng.normal(static_cast<std::uint64_t>(s)));
+    d *= clamp_factor(1.0 + frac * rng.normal(static_cast<std::uint64_t>(s)));
   }
   return clamp_factor(d);
 }
@@ -37,26 +37,34 @@ FaultInjector::FaultInjector(FaultScenario scenario)
 
 double FaultInjector::perturb_reading_w(double watts, std::string_view stream,
                                         std::uint64_t module,
-                                        std::uint64_t event) const {
+                                        std::uint64_t event,
+                                        std::uint32_t device_class) const {
   if (scenario_.sensor_noise_frac <= 0.0) return watts;
+  // Class multiplier of 1.0 (every CPU, and every class by default) keeps
+  // the sd bitwise unchanged, so pre-mix callers see identical draws.
+  const double sd =
+      scenario_.sensor_noise_frac * scenario_.sensor_mult(device_class);
   CounterRng rng(scenario_.seed, stream, module);
-  return watts *
-         clamp_factor(1.0 + scenario_.sensor_noise_frac * rng.normal(event));
+  return watts * clamp_factor(1.0 + sd * rng.normal(event));
 }
 
-double FaultInjector::drift_factor(std::uint64_t module) const {
+double FaultInjector::drift_factor(std::uint64_t module,
+                                   std::uint32_t device_class) const {
   if (scenario_.drift_frac <= 0.0 || scenario_.drift_steps <= 0) return 1.0;
-  return walk(scenario_, module, scenario_.drift_steps);
+  return walk(scenario_, module, scenario_.drift_steps,
+              scenario_.drift_frac * scenario_.drift_mult(device_class));
 }
 
-double FaultInjector::stale_drift_factor(std::uint64_t module) const {
+double FaultInjector::stale_drift_factor(std::uint64_t module,
+                                         std::uint32_t device_class) const {
   if (scenario_.drift_frac <= 0.0 || scenario_.drift_steps <= 0) return 1.0;
   // Calibration saw the first (1 - staleness) share of the walk; both
   // prefixes draw the same per-step normals, so fresh calibration
   // (staleness 0) sees exactly what execution sees.
   const int seen = static_cast<int>(std::lround(
       (1.0 - scenario_.staleness) * scenario_.drift_steps));
-  return walk(scenario_, module, std::clamp(seen, 0, scenario_.drift_steps));
+  return walk(scenario_, module, std::clamp(seen, 0, scenario_.drift_steps),
+              scenario_.drift_frac * scenario_.drift_mult(device_class));
 }
 
 double FaultInjector::realized_cap_w(double cap_w, std::uint64_t module,
@@ -67,20 +75,22 @@ double FaultInjector::realized_cap_w(double cap_w, std::uint64_t module,
          clamp_factor(1.0 + scenario_.rapl_error_frac * rng.normal(event));
 }
 
-int FaultInjector::throttle_events(std::uint64_t module,
-                                   std::uint64_t event) const {
+int FaultInjector::throttle_events(std::uint64_t module, std::uint64_t event,
+                                   std::uint32_t device_class) const {
   if (scenario_.throttle_rate <= 0.0) return 0;
   // Deterministic thinning of the expected rate: the integer part always
   // strikes, the fractional part strikes when this module's uniform says so.
-  const double rate = scenario_.throttle_rate;
+  const double rate =
+      scenario_.throttle_rate * scenario_.throttle_mult(device_class);
   const int whole = static_cast<int>(rate);
   CounterRng rng(scenario_.seed, "throttle", module);
   return whole + (rng.uniform(event) < rate - whole ? 1 : 0);
 }
 
-double FaultInjector::throttle_perf_multiplier(std::uint64_t module,
-                                               std::uint64_t event) const {
-  const int events = throttle_events(module, event);
+double FaultInjector::throttle_perf_multiplier(
+    std::uint64_t module, std::uint64_t event,
+    std::uint32_t device_class) const {
+  const int events = throttle_events(module, event, device_class);
   if (events == 0) return 1.0;
   // One event costs duration * (1 - perf) of the run's compute rate.
   const double per_event =

@@ -40,18 +40,23 @@ class FaultInjector {
 
   /// A power reading of `watts` as the noisy sensor reports it. `stream`
   /// separates the reading sites (e.g. "sensor-pvt-cpu-max"), `module` and
-  /// `event` identify the measurement.
+  /// `event` identify the measurement. `device_class` (raw hw::DeviceClass
+  /// value; 0 = CPU) scales the noise sd by the scenario's class
+  /// multiplier — the default leaves every caller on CPU behavior.
   [[nodiscard]] double perturb_reading_w(double watts, std::string_view stream,
                                          std::uint64_t module,
-                                         std::uint64_t event) const;
+                                         std::uint64_t event,
+                                         std::uint32_t device_class = 0) const;
 
   /// Multiplicative drift factor the hardware has accumulated by execution
-  /// time (the full walk).
-  [[nodiscard]] double drift_factor(std::uint64_t module) const;
+  /// time (the full walk). `device_class` scales the per-step sd.
+  [[nodiscard]] double drift_factor(std::uint64_t module,
+                                    std::uint32_t device_class = 0) const;
 
   /// The prefix of the walk the calibration artifacts saw; with the default
   /// staleness of 1 this is 1.0 (calibration predates all drift).
-  [[nodiscard]] double stale_drift_factor(std::uint64_t module) const;
+  [[nodiscard]] double stale_drift_factor(std::uint64_t module,
+                                          std::uint32_t device_class = 0) const;
 
   // -- Enforcement seam ------------------------------------------------------
 
@@ -64,13 +69,14 @@ class FaultInjector {
   // -- Execution seam --------------------------------------------------------
 
   /// Number of transient throttle events striking `module` during the run
-  /// identified by `event`.
-  [[nodiscard]] int throttle_events(std::uint64_t module,
-                                    std::uint64_t event) const;
+  /// identified by `event`. `device_class` scales the expected rate.
+  [[nodiscard]] int throttle_events(std::uint64_t module, std::uint64_t event,
+                                    std::uint32_t device_class = 0) const;
 
   /// Run-average performance multiplier of those events (1.0 when none).
-  [[nodiscard]] double throttle_perf_multiplier(std::uint64_t module,
-                                                std::uint64_t event) const;
+  [[nodiscard]] double throttle_perf_multiplier(
+      std::uint64_t module, std::uint64_t event,
+      std::uint32_t device_class = 0) const;
 
   /// The allocation slots (indices into an n-module allocation) that suffer
   /// a hard failure, sorted ascending; distinct, at most min(count, n).

@@ -62,6 +62,18 @@ const std::vector<Field>& fields() {
        &slot_of<&FaultScenario::failure_count>},
       {"failure_time_frac", FieldKind::kDouble,
        &slot_of<&FaultScenario::failure_time_frac>},
+      {"gpu_sensor_mult", FieldKind::kDouble,
+       &slot_of<&FaultScenario::gpu_sensor_mult>},
+      {"gpu_drift_mult", FieldKind::kDouble,
+       &slot_of<&FaultScenario::gpu_drift_mult>},
+      {"gpu_throttle_mult", FieldKind::kDouble,
+       &slot_of<&FaultScenario::gpu_throttle_mult>},
+      {"dram_sensor_mult", FieldKind::kDouble,
+       &slot_of<&FaultScenario::dram_sensor_mult>},
+      {"dram_drift_mult", FieldKind::kDouble,
+       &slot_of<&FaultScenario::dram_drift_mult>},
+      {"dram_throttle_mult", FieldKind::kDouble,
+       &slot_of<&FaultScenario::dram_throttle_mult>},
   };
   return kFields;
 }
@@ -244,7 +256,31 @@ std::uint64_t FaultScenario::fingerprint() const {
   h = mix(h, throttle_duration_frac);
   h = mix(h, static_cast<std::uint64_t>(failure_count));
   h = mix(h, failure_time_frac);
+  h = mix(h, gpu_sensor_mult);
+  h = mix(h, gpu_drift_mult);
+  h = mix(h, gpu_throttle_mult);
+  h = mix(h, dram_sensor_mult);
+  h = mix(h, dram_drift_mult);
+  h = mix(h, dram_throttle_mult);
   return h == 0 ? 1 : h;
+}
+
+double FaultScenario::sensor_mult(std::uint32_t device_class) const {
+  if (device_class == 1) return gpu_sensor_mult;
+  if (device_class == 2) return dram_sensor_mult;
+  return 1.0;
+}
+
+double FaultScenario::drift_mult(std::uint32_t device_class) const {
+  if (device_class == 1) return gpu_drift_mult;
+  if (device_class == 2) return dram_drift_mult;
+  return 1.0;
+}
+
+double FaultScenario::throttle_mult(std::uint32_t device_class) const {
+  if (device_class == 1) return gpu_throttle_mult;
+  if (device_class == 2) return dram_throttle_mult;
+  return 1.0;
 }
 
 std::string FaultScenario::serialize() const {
@@ -261,7 +297,13 @@ std::string FaultScenario::serialize() const {
   os << "  \"throttle_perf_frac\": " << throttle_perf_frac << ",\n";
   os << "  \"throttle_duration_frac\": " << throttle_duration_frac << ",\n";
   os << "  \"failure_count\": " << failure_count << ",\n";
-  os << "  \"failure_time_frac\": " << failure_time_frac << "\n";
+  os << "  \"failure_time_frac\": " << failure_time_frac << ",\n";
+  os << "  \"gpu_sensor_mult\": " << gpu_sensor_mult << ",\n";
+  os << "  \"gpu_drift_mult\": " << gpu_drift_mult << ",\n";
+  os << "  \"gpu_throttle_mult\": " << gpu_throttle_mult << ",\n";
+  os << "  \"dram_sensor_mult\": " << dram_sensor_mult << ",\n";
+  os << "  \"dram_drift_mult\": " << dram_drift_mult << ",\n";
+  os << "  \"dram_throttle_mult\": " << dram_throttle_mult << "\n";
   os << "}\n";
   return os.str();
 }
@@ -318,6 +360,13 @@ void FaultScenario::validate() const {
   require(failure_count >= 0, "failure_count must be non-negative");
   require(failure_time_frac >= 0.0 && failure_time_frac < 1.0,
           "failure_time_frac must be in [0, 1)");
+  require(gpu_sensor_mult >= 0.0, "gpu_sensor_mult must be non-negative");
+  require(gpu_drift_mult >= 0.0, "gpu_drift_mult must be non-negative");
+  require(gpu_throttle_mult >= 0.0, "gpu_throttle_mult must be non-negative");
+  require(dram_sensor_mult >= 0.0, "dram_sensor_mult must be non-negative");
+  require(dram_drift_mult >= 0.0, "dram_drift_mult must be non-negative");
+  require(dram_throttle_mult >= 0.0,
+          "dram_throttle_mult must be non-negative");
 }
 
 }  // namespace vapb::fault

@@ -59,6 +59,27 @@ struct FaultScenario {
   /// Fraction of the run completed when the failure strikes.
   double failure_time_frac = 0.5;
 
+  // -- Per-device-class scaling ----------------------------------------------
+  /// Multipliers applied to the sensor-noise sd, per-drift-step sd and
+  /// throttle rate when the perturbed module is a GPU or DRAM module — wider
+  /// thermal envelopes throttle more, denser sensors read noisier. CPU
+  /// modules always use the base knobs. The defaults of 1.0 make every
+  /// class behave like a CPU, bitwise (x * 1.0 == x).
+  double gpu_sensor_mult = 1.0;
+  double gpu_drift_mult = 1.0;
+  double gpu_throttle_mult = 1.0;
+  double dram_sensor_mult = 1.0;
+  double dram_drift_mult = 1.0;
+  double dram_throttle_mult = 1.0;
+
+  /// Class multipliers by raw device-class index (0 = CPU, 1 = GPU,
+  /// 2 = DRAM — hw::DeviceClass values, kept raw here so vapb_fault stays
+  /// below vapb_hw in the layering). CPU (and out-of-range indices) map to
+  /// exactly 1.0.
+  [[nodiscard]] double sensor_mult(std::uint32_t device_class) const;
+  [[nodiscard]] double drift_mult(std::uint32_t device_class) const;
+  [[nodiscard]] double throttle_mult(std::uint32_t device_class) const;
+
   /// True when at least one injector is active. A default-constructed (or
   /// all-zero) scenario leaves every run bit-identical to no injection.
   [[nodiscard]] bool any() const;

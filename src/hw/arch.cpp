@@ -144,4 +144,61 @@ std::string arch_short_name(const ArchSpec& spec) {
   return "";
 }
 
+DeviceClassSpec device_class_spec(const ArchSpec& spec, DeviceClass c) {
+  DeviceClassSpec d;
+  d.device_class = c;
+  switch (c) {
+    case DeviceClass::kCpu:
+      // The legacy fields verbatim: a CPU-class module is the same silicon
+      // the homogeneous constructor fabricates. Only the entropy response
+      // is new, and it is exactly 1.0 at the default entropy of 0.5.
+      d.variation = spec.variation;
+      d.ladder = spec.ladder;
+      d.tdp_w = spec.tdp_cpu_w;
+      d.power.entropy_slope = 0.22;
+      return d;
+    case DeviceClass::kGpu:
+      // Sinha et al.: GPU-to-GPU power spread up to ~2x the CPU spread,
+      // plus a real clock-capability spread (boost binning is loose).
+      d.variation = spec.variation;
+      d.variation.cpu_dyn_sd = 2.0 * spec.variation.cpu_dyn_sd;
+      d.variation.cpu_dyn_lo = 1.0 - 2.0 * (1.0 - spec.variation.cpu_dyn_lo);
+      d.variation.cpu_dyn_hi = 1.0 + 2.0 * (spec.variation.cpu_dyn_hi - 1.0);
+      d.variation.cpu_static_sd = 1.6 * spec.variation.cpu_static_sd;
+      d.variation.cpu_static_lo =
+          1.0 - 1.6 * (1.0 - spec.variation.cpu_static_lo);
+      d.variation.cpu_static_hi =
+          1.0 + 1.6 * (spec.variation.cpu_static_hi - 1.0);
+      d.variation.freq_sd = 0.04;
+      d.variation.freq_lo = 0.90;
+      d.variation.freq_hi = 1.06;
+      d.variation.freq_power_corr = 0.5;
+      d.ladder = FrequencyLadder(0.6, 1.4, 0.05, 1.6);
+      d.tdp_w = 2.3 * spec.tdp_cpu_w;  // accelerator-card class TDP
+      d.power.static_mult = 1.8;       // bigger die, more leakage
+      d.power.dyn_mult = 5.2;          // W/GHz: wide datapaths
+      d.power.dram_mult = 1.4;         // on-card HBM stack
+      d.power.entropy_slope = 0.45;    // Bhalachandra: GPUs most sensitive
+      return d;
+    case DeviceClass::kDram:
+      // Memory expansion module: the device channel is the buffer/controller
+      // (low, nearly frequency-flat power), the memory channel dominates.
+      d.variation = spec.variation;
+      d.variation.cpu_dyn_sd = 0.5 * spec.variation.cpu_dyn_sd;
+      d.variation.cpu_dyn_lo = 1.0 - 0.5 * (1.0 - spec.variation.cpu_dyn_lo);
+      d.variation.cpu_dyn_hi = 1.0 + 0.5 * (spec.variation.cpu_dyn_hi - 1.0);
+      d.variation.dram_sd = 1.5 * spec.variation.dram_sd;
+      d.variation.dram_lo = 1.0 - 1.25 * (1.0 - spec.variation.dram_lo);
+      d.variation.dram_hi = 1.0 + 1.25 * (spec.variation.dram_hi - 1.0);
+      d.ladder = FrequencyLadder(0.8, 1.2, 0.2);
+      d.tdp_w = 0.25 * spec.tdp_cpu_w;
+      d.power.static_mult = 0.22;
+      d.power.dyn_mult = 0.12;
+      d.power.dram_mult = 3.0;
+      d.power.entropy_slope = 0.30;  // bit-flip rate drives DQ power
+      return d;
+  }
+  throw InvalidArgument("device_class_spec: invalid class");
+}
+
 }  // namespace vapb::hw

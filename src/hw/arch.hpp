@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "hw/device_class.hpp"
 #include "hw/ladder.hpp"
 #include "hw/sensor.hpp"
 #include "hw/variation.hpp"
@@ -67,5 +68,16 @@ ArchSpec arch_by_name(const std::string& name);
 /// `ArchSpec::system`; "" when `spec` is not one of the Table-2 presets
 /// (e.g. loaded from an --arch-file).
 std::string arch_short_name(const ArchSpec& spec);
+
+/// The fabrication spec of one device class within `spec`.
+///
+/// kCpu is synthesized verbatim from the legacy fields (spec.variation,
+/// spec.ladder, spec.tdp_cpu_w) plus the input-entropy response, so a CPU
+/// class module is the same silicon the homogeneous path fabricates. kGpu
+/// and kDram are derived from the architecture's CPU numbers with class
+/// constants calibrated against Sinha et al.'s GPU-to-GPU spread (up to
+/// ~2x the CPU spread, wide clock range, high TDP) and commodity DIMM
+/// behaviour (low, nearly frequency-flat power, large die-to-die spread).
+DeviceClassSpec device_class_spec(const ArchSpec& spec, DeviceClass c);
 
 }  // namespace vapb::hw

@@ -1,0 +1,109 @@
+#include "hw/device_class.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vapb::hw {
+
+namespace {
+
+const std::vector<std::string>& class_names() {
+  static const std::vector<std::string> kNames = {"cpu", "gpu", "dram"};
+  return kNames;
+}
+
+}  // namespace
+
+std::string device_class_name(DeviceClass c) {
+  const std::size_t i = device_class_index(c);
+  if (i >= kDeviceClassCount) {
+    throw InvalidArgument("device_class_name: invalid class value " +
+                          std::to_string(i));
+  }
+  return class_names()[i];
+}
+
+DeviceClass device_class_by_name(const std::string& name) {
+  const std::vector<std::string>& names = class_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (name == names[i]) return static_cast<DeviceClass>(i);
+  }
+  std::string msg = "unknown device class '" + name + "'";
+  const std::string near = util::nearest_name(name, names);
+  if (!near.empty()) msg += " (did you mean '" + near + "'?)";
+  msg += "; valid classes: " + util::join(names, ", ");
+  throw InvalidArgument(msg);
+}
+
+const std::array<DeviceClass, kDeviceClassCount>& all_device_classes() {
+  static const std::array<DeviceClass, kDeviceClassCount> kAll = {
+      DeviceClass::kCpu, DeviceClass::kGpu, DeviceClass::kDram};
+  return kAll;
+}
+
+std::size_t ClassMix::total() const {
+  std::size_t n = 0;
+  for (std::size_t c : counts) n += c;
+  return n;
+}
+
+bool ClassMix::homogeneous_cpu() const {
+  for (std::size_t i = 1; i < kDeviceClassCount; ++i) {
+    if (counts[i] != 0) return false;
+  }
+  return true;
+}
+
+std::string ClassMix::str() const {
+  std::string out;
+  for (std::size_t i = 0; i < kDeviceClassCount; ++i) {
+    if (counts[i] == 0) continue;
+    if (!out.empty()) out += ',';
+    out += class_names()[i] + ":" + std::to_string(counts[i]);
+  }
+  return out;
+}
+
+ClassMix ClassMix::parse(const std::string& spec) {
+  ClassMix mix;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = util::trim(spec.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (part.empty()) continue;
+    const std::size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      throw InvalidArgument("ClassMix: expected class:count, got '" + part +
+                            "'");
+    }
+    const DeviceClass c =
+        device_class_by_name(util::trim(part.substr(0, colon)));
+    const std::string count_text = util::trim(part.substr(colon + 1));
+    char* end = nullptr;
+    const unsigned long long count =
+        std::strtoull(count_text.c_str(), &end, 10);
+    if (end == count_text.c_str() || (end != nullptr && *end != '\0')) {
+      throw InvalidArgument("ClassMix: bad count '" + count_text + "' for '" +
+                            device_class_name(c) + "'");
+    }
+    std::size_t& slot = mix.counts[device_class_index(c)];
+    if (slot != 0) {
+      throw InvalidArgument("ClassMix: class '" + device_class_name(c) +
+                            "' given twice");
+    }
+    slot = static_cast<std::size_t>(count);
+  }
+  return mix;
+}
+
+ClassMix ClassMix::cpu_only(std::size_t n) {
+  ClassMix mix;
+  mix.counts[device_class_index(DeviceClass::kCpu)] = n;
+  return mix;
+}
+
+}  // namespace vapb::hw

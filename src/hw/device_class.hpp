@@ -1,0 +1,100 @@
+// Device classes — the generalization of the paper's implicit "module ==
+// CPU socket" assumption to heterogeneous fleets.
+//
+// A DeviceClass names what kind of silicon a module is: a CPU socket (the
+// paper's HA8K evaluation hardware), a GPU accelerator (Sinha et al., "Not
+// All GPUs Are Created Equal", measure GPU-to-GPU manufacturing spread as
+// large or larger than CPU spread), or a DRAM expansion module. Each class
+// carries its own variation distribution, frequency range, TDP and power
+// model, so calibration and the budget solves can treat a mixed fleet as
+// per-class affine tables instead of one global one.
+//
+// ClassPowerModel also carries the input-entropy response (Bhalachandra et
+// al.): the dynamic power term scales by 1 + entropy_slope * (e - 0.5),
+// which is *exactly* 1.0 at the default entropy of 0.5 — the all-CPU
+// degenerate path stays bit-identical by IEEE-754 multiplication by 1.0.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/ladder.hpp"
+#include "hw/variation.hpp"
+
+namespace vapb::hw {
+
+enum class DeviceClass : std::uint8_t {
+  kCpu = 0,
+  kGpu = 1,
+  kDram = 2,
+};
+
+inline constexpr std::size_t kDeviceClassCount = 3;
+
+/// Index form for per-class arrays (std::array<T, kDeviceClassCount>).
+[[nodiscard]] constexpr std::size_t device_class_index(DeviceClass c) {
+  return static_cast<std::size_t>(c);
+}
+
+/// Canonical short name: "cpu", "gpu", "dram".
+[[nodiscard]] std::string device_class_name(DeviceClass c);
+
+/// Reverse lookup. Unknown names throw InvalidArgument with a did-you-mean
+/// suggestion (same convention as the other CLI vocabularies).
+[[nodiscard]] DeviceClass device_class_by_name(const std::string& name);
+
+/// All classes in index order {kCpu, kGpu, kDram}.
+[[nodiscard]] const std::array<DeviceClass, kDeviceClassCount>&
+all_device_classes();
+
+/// How one device class expresses a workload's power curve. The multipliers
+/// apply on top of the workload's affine coefficients; every field defaults
+/// to the exact identity so a default-constructed model leaves the legacy
+/// CPU path bit-identical.
+struct ClassPowerModel {
+  double static_mult = 1.0;  ///< on the static (leakage) device term
+  double dyn_mult = 1.0;     ///< on the dynamic (switching) device term
+  double dram_mult = 1.0;    ///< on the attached-memory term
+  /// Input-entropy response of the dynamic term:
+  /// factor = 1 + entropy_slope * (entropy - 0.5). Exactly 1 at e = 0.5.
+  double entropy_slope = 0.0;
+};
+
+/// Fabrication parameters of one device class within an architecture.
+struct DeviceClassSpec {
+  DeviceClass device_class = DeviceClass::kCpu;
+  VariationDistribution variation;
+  FrequencyLadder ladder{1.0, 1.0, 0.1};
+  double tdp_w = 0.0;  ///< nameplate device power cap per module
+  ClassPowerModel power;
+};
+
+/// A heterogeneous fleet composition, e.g. "cpu:1536,gpu:320,dram:64".
+struct ClassMix {
+  std::array<std::size_t, kDeviceClassCount> counts{};
+
+  [[nodiscard]] std::size_t total() const;
+  [[nodiscard]] std::size_t count(DeviceClass c) const {
+    return counts[device_class_index(c)];
+  }
+
+  /// True for an empty mix or one with only CPU modules — the degenerate
+  /// case every legacy code path handles.
+  [[nodiscard]] bool homogeneous_cpu() const;
+
+  /// Canonical spec string ("cpu:1536,gpu:320,dram:64"; zero-count classes
+  /// omitted, index order). parse(str()) round-trips.
+  [[nodiscard]] std::string str() const;
+
+  /// Parses "class:count[,class:count...]". Unknown class names throw
+  /// InvalidArgument with a did-you-mean suggestion; repeated classes and
+  /// non-numeric counts throw too. An empty spec is an empty mix.
+  static ClassMix parse(const std::string& spec);
+
+  static ClassMix cpu_only(std::size_t n);
+};
+
+}  // namespace vapb::hw

@@ -8,12 +8,15 @@
 namespace vapb::hw {
 
 Module::Module(ModuleId id, ModuleVariation variation, FrequencyLadder ladder,
-               double tdp_cpu_w, util::SeedSequence fab_seed)
+               double tdp_cpu_w, util::SeedSequence fab_seed,
+               DeviceClass device_class, ClassPowerModel class_power)
     : id_(id),
       variation_(variation),
       ladder_(std::move(ladder)),
       tdp_cpu_w_(tdp_cpu_w),
-      fab_seed_(fab_seed) {
+      fab_seed_(fab_seed),
+      device_class_(device_class),
+      class_power_(class_power) {
   if (tdp_cpu_w_ <= 0.0) throw ConfigError("Module: TDP must be positive");
 }
 
@@ -46,13 +49,19 @@ double Module::eff_dram_scale(const PowerProfile& p) const {
 }
 
 double Module::cpu_power_w(const PowerProfile& profile, double f_ghz) const {
-  return eff_cpu_static_scale(profile) * profile.cpu_static_w +
-         eff_cpu_dyn_scale(profile) * profile.cpu_dyn_w_per_ghz * f_ghz;
+  // The class multipliers and the entropy factor are exactly 1.0 on the
+  // default CPU path, so appending them keeps every legacy value
+  // bit-identical (x * 1.0 is exact in IEEE-754).
+  return eff_cpu_static_scale(profile) * profile.cpu_static_w *
+             class_power_.static_mult +
+         eff_cpu_dyn_scale(profile) * profile.cpu_dyn_w_per_ghz * f_ghz *
+             class_power_.dyn_mult * entropy_factor(profile.data_entropy);
 }
 
 double Module::dram_power_w(const PowerProfile& profile, double f_ghz) const {
   return eff_dram_scale(profile) *
-         (profile.dram_static_w + profile.dram_dyn_w_per_ghz * f_ghz);
+         (profile.dram_static_w + profile.dram_dyn_w_per_ghz * f_ghz) *
+         class_power_.dram_mult;
 }
 
 double Module::module_power_w(const PowerProfile& profile, double f_ghz) const {
@@ -61,12 +70,14 @@ double Module::module_power_w(const PowerProfile& profile, double f_ghz) const {
 
 double Module::freq_for_cpu_power(const PowerProfile& profile,
                                   double cap_w) const {
-  double slope = eff_cpu_dyn_scale(profile) * profile.cpu_dyn_w_per_ghz;
+  double slope = eff_cpu_dyn_scale(profile) * profile.cpu_dyn_w_per_ghz *
+                 class_power_.dyn_mult * entropy_factor(profile.data_entropy);
   if (slope <= 0.0) {
     throw InvalidArgument("freq_for_cpu_power: workload '" + profile.name +
                           "' has non-positive dynamic power slope");
   }
-  double intercept = eff_cpu_static_scale(profile) * profile.cpu_static_w;
+  double intercept = eff_cpu_static_scale(profile) * profile.cpu_static_w *
+                     class_power_.static_mult;
   return (cap_w - intercept) / slope;
 }
 

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "hw/device_class.hpp"
 #include "hw/ladder.hpp"
 #include "hw/power_profile.hpp"
 #include "hw/variation.hpp"
@@ -18,13 +19,22 @@ class Module {
  public:
   /// `fab_seed` is the architecture-level fabrication seed; the module's
   /// idiosyncratic per-workload behaviour is derived from it deterministically.
+  /// The optional class parameters default to a CPU module with the exact
+  /// identity power model, which leaves every legacy power value
+  /// bit-identical (all the class multipliers are IEEE-754 1.0).
   Module(ModuleId id, ModuleVariation variation, FrequencyLadder ladder,
-         double tdp_cpu_w, util::SeedSequence fab_seed);
+         double tdp_cpu_w, util::SeedSequence fab_seed,
+         DeviceClass device_class = DeviceClass::kCpu,
+         ClassPowerModel class_power = {});
 
   [[nodiscard]] ModuleId id() const { return id_; }
   [[nodiscard]] const ModuleVariation& variation() const { return variation_; }
   [[nodiscard]] const FrequencyLadder& ladder() const { return ladder_; }
   [[nodiscard]] double tdp_cpu_w() const { return tdp_cpu_w_; }
+  [[nodiscard]] DeviceClass device_class() const { return device_class_; }
+  [[nodiscard]] const ClassPowerModel& class_power() const {
+    return class_power_;
+  }
 
   /// Highest frequency this part can reach: ladder fmax (or turbo) times the
   /// module's frequency-capability scale.
@@ -55,6 +65,12 @@ class Module {
   [[nodiscard]] double eff_cpu_dyn_scale(const PowerProfile& p) const;
   [[nodiscard]] double eff_dram_scale(const PowerProfile& p) const;
 
+  /// This class's dynamic-power modulation for input entropy `e`:
+  /// 1 + entropy_slope * (e - 0.5). Exactly 1.0 at e = 0.5 or slope 0.
+  [[nodiscard]] double entropy_factor(double entropy) const {
+    return 1.0 + class_power_.entropy_slope * (entropy - 0.5);
+  }
+
  private:
   /// Idiosyncratic per-(module, workload) factor; deterministic in
   /// (fab seed, module id, workload name). Mean 1, sd = p.idiosyncrasy_sd.
@@ -66,6 +82,8 @@ class Module {
   FrequencyLadder ladder_;
   double tdp_cpu_w_;
   util::SeedSequence fab_seed_;
+  DeviceClass device_class_;
+  ClassPowerModel class_power_;
 };
 
 }  // namespace vapb::hw

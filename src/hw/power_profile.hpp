@@ -34,6 +34,14 @@ struct PowerProfile {
   /// under 5%.
   double idiosyncrasy_sd = 0.0;
 
+  /// Entropy of the input data this workload switches through the datapath,
+  /// in [0, 1] (Bhalachandra et al.: dynamic power grows with operand bit
+  /// activity). A module's class decides how strongly this modulates its
+  /// dynamic power term (hw::ClassPowerModel::entropy_slope); at the
+  /// default of 0.5 the modulation factor is exactly 1.0, so legacy
+  /// profiles are untouched.
+  double data_entropy = 0.5;
+
   /// Average-module CPU power at frequency f [GHz].
   [[nodiscard]] double cpu_w(double f_ghz) const {
     return cpu_static_w + cpu_dyn_w_per_ghz * f_ghz;

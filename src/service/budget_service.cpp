@@ -79,6 +79,25 @@ ClusterState calibrate_state(std::shared_ptr<const cluster::Cluster> cluster,
     state.test_runs[w.name] = core::CalibrationCache::global().test_run(
         *cluster, state.allocation.front(), w,
         core::test_run_seed(*cluster, w));
+    core::ClassTestRuns class_tests{};
+    if (cluster->heterogeneous()) {
+      // Mirror the runner's calibration stage: one pinned test run per
+      // device class present in the allocation. The front module's class
+      // aliases the flat test run (same module, same draw); other classes
+      // pin their first allocated module under a class-named seed fork, so
+      // a warm snapshot restore is bitwise what a cold service calibrates.
+      class_tests[hw::device_class_index(
+          cluster->device_class(state.allocation.front()))] =
+          state.test_runs[w.name];
+      for (hw::ModuleId id : state.allocation) {
+        const hw::DeviceClass c = cluster->device_class(id);
+        auto& slot = class_tests[hw::device_class_index(c)];
+        if (slot) continue;
+        slot = core::CalibrationCache::global().test_run(
+            *cluster, id, w,
+            core::test_run_seed(*cluster, w).fork(hw::device_class_name(c)));
+      }
+    }
     for (const std::string& scheme : schemes) {
       core::SchemeDefinition def =
           core::SchemeRegistry::global().get(scheme);
@@ -93,6 +112,7 @@ ClusterState calibrate_state(std::shared_ptr<const cluster::Cluster> cluster,
       ctx.seed = core::Runner::scheme_seed(*cluster, w, scheme);
       ctx.pvt = state.pvt;
       ctx.test = state.test_runs[w.name];
+      ctx.class_tests = class_tests;
       core::CachedPowerModelStage(def.power_model).model(ctx);
       state.pmts[scheme + '/' + w.name] = ctx.pmt;
     }

@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <array>
 #include <bit>
 #include <cerrno>
 #include <cstring>
@@ -50,6 +51,10 @@ struct Writer {
   void str(const std::string& s) {
     u64(s.size());
     raw(s.data(), s.size());
+    pad();
+  }
+  void bytes(const std::uint8_t* p, std::size_t n) {
+    raw(p, n);
     pad();
   }
 };
@@ -103,6 +108,19 @@ struct Cursor {
     need(static_cast<std::size_t>(count) * 8, what);
     off += static_cast<std::size_t>(count) * 8;
   }
+  /// A raw byte block of `count` bytes, zero-padded to the next 8-byte
+  /// boundary (the device-class columns). Returns the block start.
+  const unsigned char* bytes(std::uint64_t count, const char* what) {
+    if (count > n) need(n + 8, what);
+    need(static_cast<std::size_t>(count), what);
+    const unsigned char* q = p + off;
+    off += static_cast<std::size_t>(count);
+    while (off % 8 != 0) {
+      need(1, what);
+      ++off;
+    }
+    return q;
+  }
 };
 
 // Walks the payload structure without materializing anything — shared by
@@ -110,6 +128,7 @@ struct Cursor {
 // nothing else; restore() re-reads through the same Cursor primitives.
 struct Inventory {
   std::string arch;
+  std::string mix;
   std::uint64_t master_seed = 0;
   std::uint64_t module_count = 0;
   std::uint64_t fingerprint = 0;
@@ -128,11 +147,14 @@ Inventory walk(Cursor& c) {
   inv.master_seed = c.u64("the master seed");
   inv.module_count = c.u64("the module count");
   inv.fingerprint = c.u64("the fleet fingerprint");
+  inv.mix = c.str("the class mix");
   inv.allocation_n = c.u64("the allocation size");
   c.skip_f64s(inv.allocation_n, "the allocation");
   c.str("the PVT microbenchmark name");
   c.skip_f64s(c.u64("the PVT size") * 4, "the PVT entries");
-  c.skip_f64s(c.u64("the SoA size") * 6, "the SoA arrays");
+  const std::uint64_t soa_n = c.u64("the SoA size");
+  c.skip_f64s(soa_n * 6, "the SoA arrays");
+  c.bytes(soa_n, "the device-class column");
   inv.test_runs_n = c.u64("the test-run count");
   for (std::uint64_t i = 0; i < inv.test_runs_n; ++i) {
     c.str("a test-run workload name");
@@ -143,7 +165,12 @@ Inventory walk(Cursor& c) {
     c.str("a PMT scheme name");
     c.str("a PMT workload name");
     c.skip_f64s(2, "a PMT frequency range");
-    c.skip_f64s(c.u64("a PMT size") * 4, "PMT entries");
+    const std::uint64_t entries_n = c.u64("a PMT size");
+    c.skip_f64s(entries_n * 4, "PMT entries");
+    if (c.u64("a PMT hetero flag") != 0) {
+      c.skip_f64s(2 * hw::kDeviceClassCount, "PMT class ranges");
+      c.bytes(entries_n, "the PMT class column");
+    }
   }
   if (c.off != c.n) fail("snapshot has trailing bytes after the payload");
   return inv;
@@ -156,14 +183,18 @@ void save_snapshot(const std::string& path, const std::string& arch,
   if (!state.cluster || !state.pvt) {
     throw InvalidArgument("save_snapshot: state needs a cluster and a PVT");
   }
-  // Prove (arch, seed, count) actually reproduces this fleet before
+  // Prove (arch, seed, mix) actually reproduces this fleet before
   // persisting the claim — a snapshot that cannot restore is worthless.
   const hw::ArchSpec spec = hw::arch_by_name(arch);
-  cluster::Cluster refab(spec, util::SeedSequence(master_seed),
-                         state.cluster->size());
+  const hw::ClassMix& mix = state.cluster->mix();
+  cluster::Cluster refab =
+      state.cluster->heterogeneous()
+          ? cluster::Cluster(spec, util::SeedSequence(master_seed), mix)
+          : cluster::Cluster(spec, util::SeedSequence(master_seed),
+                             state.cluster->size());
   if (refab.fingerprint() != state.cluster->fingerprint()) {
     throw InvalidArgument(
-        "save_snapshot: (arch, seed, modules) do not refabricate this "
+        "save_snapshot: (arch, seed, mix) do not refabricate this "
         "cluster — fingerprint mismatch");
   }
 
@@ -173,6 +204,7 @@ void save_snapshot(const std::string& path, const std::string& arch,
   w.u64(master_seed);
   w.u64(state.cluster->size());
   w.u64(state.cluster->fingerprint());
+  w.str(mix.str());
   w.u64(state.allocation.size());
   for (hw::ModuleId id : state.allocation) w.u64(id);
   w.str(state.pvt->microbench_name());
@@ -190,6 +222,7 @@ void save_snapshot(const std::string& path, const std::string& arch,
                     soa.tdp_cpu_w()}) {
     for (double v : span) w.f64(v);
   }
+  w.bytes(soa.device_class().data(), soa.device_class().size());
   w.u64(state.test_runs.size());
   for (const auto& [name, test] : state.test_runs) {
     w.str(name);
@@ -216,6 +249,22 @@ void save_snapshot(const std::string& path, const std::string& arch,
       w.f64(e.dram_max_w.value());
       w.f64(e.cpu_min_w.value());
       w.f64(e.dram_min_w.value());
+    }
+    // Per-class tail: only heterogeneous tables carry per-entry classes and
+    // per-class frequency ranges; writing the flag unconditionally keeps
+    // the structure self-describing.
+    w.u64(pmt->heterogeneous() ? 1 : 0);
+    if (pmt->heterogeneous()) {
+      for (hw::DeviceClass c : hw::all_device_classes()) {
+        const core::ClassFreqRange r = pmt->class_range(c);
+        w.f64(r.fmax_ghz.value());
+        w.f64(r.fmin_ghz.value());
+      }
+      std::vector<std::uint8_t> classes(pmt->size());
+      for (std::size_t k = 0; k < classes.size(); ++k) {
+        classes[k] = static_cast<std::uint8_t>(pmt->device_class(k));
+      }
+      w.bytes(classes.data(), classes.size());
     }
   }
 
@@ -269,6 +318,12 @@ Snapshot Snapshot::load(const std::string& path) {
   }
   std::uint32_t version;
   std::memcpy(&version, snap.data_ + 8, sizeof version);
+  if (version == 1) {
+    fail("unsupported snapshot version 1 in " + path +
+         ": version 1 predates the per-device-class fleet layout, so its "
+         "identity block cannot name the class mix this build budgets "
+         "with — re-save the snapshot with this build (version 2)");
+  }
   if (version != kSnapshotVersion) {
     std::ostringstream os;
     os << "unsupported snapshot version " << version << " in " << path
@@ -292,6 +347,7 @@ Snapshot Snapshot::load(const std::string& path) {
   Cursor c{snap.data_ + kHeaderBytes, payload_bytes};
   const Inventory inv = walk(c);
   snap.arch_ = inv.arch;
+  snap.mix_ = inv.mix;
   snap.master_seed_ = inv.master_seed;
   snap.module_count_ = static_cast<std::size_t>(inv.module_count);
   snap.fingerprint_ = inv.fingerprint;
@@ -312,6 +368,7 @@ Snapshot& Snapshot::operator=(Snapshot&& other) noexcept {
   size_ = std::exchange(other.size_, 0);
   version_ = other.version_;
   arch_ = std::move(other.arch_);
+  mix_ = std::move(other.mix_);
   master_seed_ = other.master_seed_;
   module_count_ = other.module_count_;
   fingerprint_ = other.fingerprint_;
@@ -336,6 +393,7 @@ ClusterState Snapshot::restore() const {
   const auto module_count =
       static_cast<std::size_t>(c.u64("the module count"));
   const std::uint64_t fingerprint = c.u64("the fleet fingerprint");
+  const std::string mix_str = c.str("the class mix");
 
   ClusterState state;
   hw::ArchSpec spec = [&] {
@@ -346,8 +404,25 @@ ClusterState Snapshot::restore() const {
                           arch + "'");
     }
   }();
-  auto cluster = std::make_shared<cluster::Cluster>(
-      std::move(spec), util::SeedSequence(master_seed), module_count);
+  const hw::ClassMix mix = [&] {
+    try {
+      return hw::ClassMix::parse(mix_str);
+    } catch (const InvalidArgument& e) {
+      throw SnapshotError("snapshot carries an unparseable class mix '" +
+                          mix_str + "': " + e.what());
+    }
+  }();
+  if (mix.total() != module_count) {
+    fail("snapshot class mix '" + mix_str + "' sums to " +
+         std::to_string(mix.total()) + " modules but the identity block "
+         "declares " + std::to_string(module_count));
+  }
+  auto cluster =
+      mix.homogeneous_cpu()
+          ? std::make_shared<cluster::Cluster>(
+                std::move(spec), util::SeedSequence(master_seed), module_count)
+          : std::make_shared<cluster::Cluster>(
+                std::move(spec), util::SeedSequence(master_seed), mix);
   if (cluster->fingerprint() != fingerprint) {
     fail("snapshot fleet fingerprint mismatch: refabrication no longer "
          "reproduces the stored fleet (architecture tables or fabrication "
@@ -397,6 +472,13 @@ ClusterState Snapshot::restore() const {
       }
     }
   }
+  const unsigned char* stored_classes =
+      c.bytes(soa_n, "the device-class column");
+  if (soa_n != 0 &&
+      std::memcmp(stored_classes, soa.device_class().data(), soa_n) != 0) {
+    fail("snapshot device-class column diverges from the refabricated "
+         "fleet — refusing to serve from this snapshot");
+  }
 
   const auto tests_n = static_cast<std::size_t>(c.u64("the test-run count"));
   for (std::size_t i = 0; i < tests_n; ++i) {
@@ -426,9 +508,30 @@ ClusterState Snapshot::restore() const {
       e.cpu_min_w = util::Watts{c.f64("PMT entries")};
       e.dram_min_w = util::Watts{c.f64("PMT entries")};
     }
-    state.pmts.emplace(
-        scheme + '/' + wname,
-        std::make_shared<const core::Pmt>(std::move(entries), fmax, fmin));
+    if (c.u64("a PMT hetero flag") != 0) {
+      std::array<core::ClassFreqRange, hw::kDeviceClassCount> ranges{};
+      for (core::ClassFreqRange& r : ranges) {
+        r.fmax_ghz = util::GigaHertz{c.f64("PMT class ranges")};
+        r.fmin_ghz = util::GigaHertz{c.f64("PMT class ranges")};
+      }
+      const unsigned char* cls = c.bytes(n, "the PMT class column");
+      std::vector<hw::DeviceClass> classes(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        if (cls[k] >= hw::kDeviceClassCount) {
+          fail("snapshot PMT class column holds invalid device class " +
+               std::to_string(cls[k]));
+        }
+        classes[k] = static_cast<hw::DeviceClass>(cls[k]);
+      }
+      state.pmts.emplace(scheme + '/' + wname,
+                         std::make_shared<const core::Pmt>(
+                             std::move(entries), fmax, fmin,
+                             std::move(classes), ranges));
+    } else {
+      state.pmts.emplace(
+          scheme + '/' + wname,
+          std::make_shared<const core::Pmt>(std::move(entries), fmax, fmin));
+    }
   }
 
   state.cluster = std::move(cluster);

@@ -12,24 +12,30 @@
 // against the stored ones — so a version skew that changes fabrication is
 // caught at load, never served.
 //
-// File layout (all integers/doubles raw host-endian, 8-byte aligned):
+// File layout, version 2 (all integers/doubles raw host-endian, 8-byte
+// aligned):
 //
 //   header  | magic "VAPBSNAP" | u32 version | u32 reserved
 //           | u64 payload_bytes | u64 fnv1a64(payload)
 //   payload | u64 endianness sentinel
 //           | identity: arch short name, u64 master seed, u64 module count,
-//             u64 fleet fingerprint
+//             u64 fleet fingerprint, class mix string ("cpu:1536,gpu:320")
 //           | allocation: u64 n, n x u64 module ids
 //           | pvt: microbench name, u64 n, n x 4 doubles
-//           | soa: u64 n, 6 x (n doubles)
+//           | soa: u64 n, 6 x (n doubles), n device-class bytes (padded)
 //           | test runs: u64 n, n x {workload name, u64 module, 6 doubles}
 //           | pmts: u64 n, n x {scheme, workload, 2 doubles (fmax, fmin),
-//             u64 entries, entries x 4 doubles}
+//             u64 entries, entries x 4 doubles, u64 hetero flag,
+//             [if hetero: 3 x 2 doubles class ranges, entries class bytes]}
 //
-// Strings are u64 length + bytes, zero-padded to 8. A corrupted, truncated
-// or version-skewed file fails with a clear SnapshotError — never UB: the
-// loader bounds-checks every read against the mapped extent and verifies
-// the checksum before parsing.
+// Strings are u64 length + bytes, zero-padded to 8. Version 2 added the
+// class mix to the identity block, the device-class column to the SoA
+// block and the optional per-class tail of each PMT; version 1 files are
+// rejected with a SnapshotError naming the skew (they predate device
+// classes, so a v1 fleet identity is ambiguous on this build). A
+// corrupted, truncated or version-skewed file fails with a clear
+// SnapshotError — never UB: the loader bounds-checks every read against
+// the mapped extent and verifies the checksum before parsing.
 #pragma once
 
 #include <cstdint>
@@ -49,7 +55,7 @@ class SnapshotError : public Error {
   explicit SnapshotError(const std::string& what) : Error(what) {}
 };
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Writes `state` to `path`. `arch` must be the preset short name the
 /// cluster was fabricated from and `master_seed` the fabrication master
@@ -82,6 +88,8 @@ class Snapshot {
   // -- identity / inventory (for `vapbctl snapshot load` summaries) ---------
   [[nodiscard]] std::uint32_t version() const { return version_; }
   [[nodiscard]] const std::string& arch() const { return arch_; }
+  /// Canonical class-mix string ("cpu:64" on a homogeneous fleet).
+  [[nodiscard]] const std::string& mix() const { return mix_; }
   [[nodiscard]] std::uint64_t master_seed() const { return master_seed_; }
   [[nodiscard]] std::size_t module_count() const { return module_count_; }
   [[nodiscard]] std::uint64_t fleet_fingerprint() const {
@@ -100,6 +108,7 @@ class Snapshot {
 
   std::uint32_t version_ = 0;
   std::string arch_;
+  std::string mix_;
   std::uint64_t master_seed_ = 0;
   std::size_t module_count_ = 0;
   std::uint64_t fingerprint_ = 0;

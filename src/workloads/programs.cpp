@@ -68,7 +68,7 @@ des::ProgramImage build_program_image(const Workload& w, std::size_t nranks,
               : des::topology::grid_3d(rank, dims[0], dims[1], dims[2]));
     }
     for (int it = 0; it < iterations; ++it) {
-      b.compute(rank, compute_seconds(r, it));
+      b.compute(rank, compute_seconds(r, it), w.entropy_at(it));
       switch (w.comm) {
         case CommPattern::kNone:
           break;

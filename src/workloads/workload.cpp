@@ -10,6 +10,16 @@ double Workload::iter_seconds_at(double f_ghz) const {
          (cpu_fraction * nominal_freq_ghz / f_ghz + (1.0 - cpu_fraction));
 }
 
+double Workload::entropy_at(int iteration) const {
+  if (phase_entropy.empty()) return profile.data_entropy;
+  VAPB_REQUIRE_MSG(iteration >= 0, "entropy_at: negative iteration");
+  const double e = phase_entropy[static_cast<std::size_t>(iteration) %
+                                 phase_entropy.size()];
+  VAPB_REQUIRE_MSG(e >= 0.0 && e <= 1.0,
+                   "phase_entropy values must lie in [0, 1]");
+  return e;
+}
+
 double Workload::iter_seconds(const hw::OperatingPoint& op) const {
   VAPB_REQUIRE_MSG(op.perf_freq_ghz > 0.0,
                    "iter_seconds: operating point has zero perf frequency");

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "hw/power_profile.hpp"
 #include "hw/rapl.hpp"
@@ -49,6 +50,20 @@ struct Workload {
   int reduce_every = 5;
 
   int default_iterations = 20;
+
+  // -- Data entropy ---------------------------------------------------------
+  /// Per-iteration data-entropy schedule in [0, 1], cycled over iterations
+  /// (iteration i uses phase_entropy[i % size]). Dynamic power tracks the
+  /// entropy of the operands flowing through the datapath (Bhalachandra et
+  /// al.), with a per-device-class sensitivity
+  /// (hw::ClassPowerModel::entropy_slope). Empty — the default for every
+  /// catalog workload — means every phase runs at profile.data_entropy, and
+  /// execution power is bit-identical to the pre-entropy model.
+  std::vector<double> phase_entropy;
+
+  /// Entropy of iteration `iteration` under the schedule (or
+  /// profile.data_entropy when no schedule is set).
+  [[nodiscard]] double entropy_at(int iteration) const;
 
   /// Iteration wall time on a module at operating point `op`.
   ///

@@ -1,0 +1,24 @@
+// Fixture: a per-device-class power table keyed by an unordered map. The
+// key space is tiny ({cpu, gpu, dram}) which makes the fold look harmless,
+// but iteration order is still hash-order — folding it into a BudgetReply
+// (the per-class summary rows vapbd serves) must be flagged.
+#include <unordered_map>
+
+namespace fix::service {
+
+enum class DeviceClass { kCpu, kGpu, kDram };
+
+struct BudgetReply {
+  double class_mean_w = 0.0;
+};
+
+BudgetReply class_summary(
+    const std::unordered_map<DeviceClass, double>& class_power_w) {
+  BudgetReply r;
+  for (const auto& [cls, w] : class_power_w) {
+    r.class_mean_w += w;
+  }
+  return r;
+}
+
+}  // namespace fix::service

@@ -1,0 +1,20 @@
+// Fixture: the deterministic counterpart — the per-class table lives in a
+// std::array indexed by device-class ordinal, so the reply folds in the
+// fixed class-index order and the analyzer must stay quiet.
+#include <array>
+
+namespace fix::service {
+
+struct BudgetReply {
+  double class_mean_w = 0.0;
+};
+
+BudgetReply class_summary(const std::array<double, 3>& class_power_w) {
+  BudgetReply r;
+  for (double w : class_power_w) {
+    r.class_mean_w += w;
+  }
+  return r;
+}
+
+}  // namespace fix::service

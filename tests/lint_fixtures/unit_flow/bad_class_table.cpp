@@ -1,0 +1,15 @@
+// Per-class table lookups with unit mismatches: the class ladder lookup
+// returns gigahertz but the caller banks it as a watts cap, and a seconds
+// span flows into rebudget's watts headroom parameter.
+namespace fix {
+
+double class_fmax_ghz(unsigned device_class);
+double rebudget(double headroom_w);
+
+double misbudget(unsigned device_class, double span_s) {
+  double cap_w = class_fmax_ghz(device_class);
+  double scaled = rebudget(span_s);
+  return cap_w + scaled;
+}
+
+}  // namespace fix

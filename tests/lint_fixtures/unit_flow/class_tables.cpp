@@ -1,0 +1,16 @@
+// Callee vocabulary for the per-class-table unit-flow pair: the lookups a
+// heterogeneous budget solve leans on, defined in their own TU so the
+// mismatches in bad_class_table.cpp are only visible cross-TU.
+namespace fix {
+
+double class_fmax_ghz(unsigned device_class) {
+  return device_class == 0 ? 2.2 : 1.4;
+}
+
+double class_tdp_w(unsigned device_class) {
+  return device_class == 0 ? 110.0 : 253.0;
+}
+
+double rebudget(double headroom_w) { return headroom_w * 0.5; }
+
+}  // namespace fix

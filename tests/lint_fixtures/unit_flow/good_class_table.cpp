@@ -1,0 +1,14 @@
+// The same per-class lookups consumed with agreeing suffixes are clean.
+namespace fix {
+
+double class_fmax_ghz(unsigned device_class);
+double class_tdp_w(unsigned device_class);
+double rebudget(double headroom_w);
+
+double budget(unsigned device_class) {
+  double peak_ghz = class_fmax_ghz(device_class);
+  double scaled = rebudget(class_tdp_w(device_class));
+  return peak_ghz * scaled;
+}
+
+}  // namespace fix

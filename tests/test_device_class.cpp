@@ -1,0 +1,288 @@
+// Device-class generalization: ClassMix parsing, heterogeneous fabrication
+// identities, per-class budgeting bit-identity (flat vs tree, 1 vs N
+// threads) and CellClass boundaries at the exact per-class fmin/fmax
+// budgets.
+#include "hw/device_class.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "cluster/power_tree.hpp"
+#include "core/budget.hpp"
+#include "core/campaign.hpp"
+#include "core/pmt.hpp"
+#include "core/pvt.hpp"
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb {
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+// ---------------------------------------------------------------------------
+// ClassMix
+// ---------------------------------------------------------------------------
+
+TEST(ClassMix, ParseRoundTripsTheCanonicalString) {
+  const hw::ClassMix mix = hw::ClassMix::parse("cpu:1536,gpu:320,dram:64");
+  EXPECT_EQ(mix.total(), 1920u);
+  EXPECT_EQ(mix.count(hw::DeviceClass::kCpu), 1536u);
+  EXPECT_EQ(mix.count(hw::DeviceClass::kGpu), 320u);
+  EXPECT_EQ(mix.count(hw::DeviceClass::kDram), 64u);
+  EXPECT_FALSE(mix.homogeneous_cpu());
+  EXPECT_EQ(mix.str(), "cpu:1536,gpu:320,dram:64");
+  EXPECT_EQ(hw::ClassMix::parse(mix.str()).counts, mix.counts);
+}
+
+TEST(ClassMix, ZeroCountClassesDropOutOfTheCanonicalString) {
+  const hw::ClassMix mix = hw::ClassMix::parse("gpu:4,cpu:12");
+  EXPECT_EQ(mix.str(), "cpu:12,gpu:4");  // index order, dram omitted
+}
+
+TEST(ClassMix, CpuOnlyIsHomogeneous) {
+  EXPECT_TRUE(hw::ClassMix::cpu_only(64).homogeneous_cpu());
+  EXPECT_TRUE(hw::ClassMix::parse("cpu:64").homogeneous_cpu());
+  EXPECT_TRUE(hw::ClassMix{}.homogeneous_cpu());
+  EXPECT_FALSE(hw::ClassMix::parse("cpu:64,dram:1").homogeneous_cpu());
+}
+
+TEST(ClassMix, UnknownClassSuggestsTheNearestName) {
+  try {
+    hw::ClassMix::parse("cpu:8,gpux:2");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gpux"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean 'gpu'"), std::string::npos) << what;
+    EXPECT_NE(what.find("cpu, gpu, dram"), std::string::npos) << what;
+  }
+}
+
+TEST(ClassMix, MalformedSpecsThrow) {
+  EXPECT_THROW(hw::ClassMix::parse("cpu"), InvalidArgument);
+  EXPECT_THROW(hw::ClassMix::parse("cpu:abc"), InvalidArgument);
+  EXPECT_THROW(hw::ClassMix::parse("cpu:4,cpu:4"), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Heterogeneous fabrication
+// ---------------------------------------------------------------------------
+
+TEST(HeteroCluster, CpuOnlyMixIsBitIdenticalToTheHomogeneousCtor) {
+  const cluster::Cluster homo(hw::ha8k(), util::SeedSequence(77), 24);
+  const cluster::Cluster mixed(hw::ha8k(), util::SeedSequence(77),
+                               hw::ClassMix::cpu_only(24));
+  EXPECT_FALSE(mixed.heterogeneous());
+  EXPECT_EQ(homo.fingerprint(), mixed.fingerprint());
+}
+
+TEST(HeteroCluster, ModulesAreClassContiguousInClassIndexOrder) {
+  const hw::ClassMix mix = hw::ClassMix::parse("cpu:12,gpu:6,dram:2");
+  const cluster::Cluster fleet(hw::ha8k(), util::SeedSequence(77), mix);
+  EXPECT_TRUE(fleet.heterogeneous());
+  ASSERT_EQ(fleet.size(), 20u);
+  for (hw::ModuleId id = 0; id < 12; ++id) {
+    EXPECT_EQ(fleet.device_class(id), hw::DeviceClass::kCpu);
+  }
+  for (hw::ModuleId id = 12; id < 18; ++id) {
+    EXPECT_EQ(fleet.device_class(id), hw::DeviceClass::kGpu);
+  }
+  for (hw::ModuleId id = 18; id < 20; ++id) {
+    EXPECT_EQ(fleet.device_class(id), hw::DeviceClass::kDram);
+  }
+}
+
+TEST(HeteroCluster, CpuPrefixDrawsExactlyAsTheHomogeneousFleet) {
+  // Non-CPU classes are appended after the CPU prefix from forked seed
+  // streams, so adding them must not shift a single CPU module's draw.
+  const cluster::Cluster homo(hw::ha8k(), util::SeedSequence(77), 12);
+  const cluster::Cluster mixed(hw::ha8k(), util::SeedSequence(77),
+                               hw::ClassMix::parse("cpu:12,gpu:6,dram:2"));
+  const hw::PowerProfile& profile = workloads::pvt_microbench().profile;
+  for (hw::ModuleId id = 0; id < 12; ++id) {
+    const hw::Module& a = homo.module(id);
+    const hw::Module& b = mixed.module(id);
+    EXPECT_TRUE(same_bits(a.module_power_w(profile, a.ladder().fmax()),
+                          b.module_power_w(profile, b.ladder().fmax())))
+        << "module " << id;
+  }
+}
+
+TEST(HeteroCluster, DefaultEntropyLeavesEveryClassFactorAtExactlyOne) {
+  const cluster::Cluster fleet(hw::ha8k(), util::SeedSequence(77),
+                               hw::ClassMix::parse("cpu:2,gpu:2,dram:2"));
+  for (hw::ModuleId id = 0; id < fleet.size(); ++id) {
+    EXPECT_TRUE(same_bits(fleet.module(id).entropy_factor(0.5), 1.0));
+  }
+  // Off-center entropy moves the non-CPU classes (nonzero slope); the CPU
+  // prefix keeps the legacy identity model so the all-CPU path never shifts.
+  EXPECT_TRUE(same_bits(fleet.module(0).entropy_factor(0.9), 1.0));
+  EXPECT_FALSE(same_bits(fleet.module(2).entropy_factor(0.9), 1.0));  // gpu
+  EXPECT_FALSE(same_bits(fleet.module(4).entropy_factor(0.9), 1.0));  // dram
+}
+
+// ---------------------------------------------------------------------------
+// Per-class budgeting: flat vs tree, 1 vs N threads
+// ---------------------------------------------------------------------------
+
+class HeteroBudgetFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kModules = 40;  // cpu:30,gpu:8,dram:2
+
+  HeteroBudgetFixture()
+      : fleet_(hw::ha8k(), util::SeedSequence(404),
+               hw::ClassMix::parse("cpu:30,gpu:8,dram:2")) {
+    alloc_.resize(kModules);
+    std::iota(alloc_.begin(), alloc_.end(), hw::ModuleId{0});
+  }
+
+  core::Pmt class_aware_pmt(const workloads::Workload& app) const {
+    const core::Pvt pvt = core::Pvt::generate(
+        fleet_, workloads::pvt_microbench(), fleet_.seed().fork("pvt"));
+    core::ClassTestRuns tests{};
+    for (hw::DeviceClass c : hw::all_device_classes()) {
+      if (fleet_.mix().count(c) == 0) continue;
+      hw::ModuleId module = 0;
+      for (hw::ModuleId id : alloc_) {
+        if (fleet_.device_class(id) == c) {
+          module = id;
+          break;
+        }
+      }
+      util::SeedSequence seed =
+          fleet_.seed().fork("test-run").fork(app.name);
+      if (c != hw::DeviceClass::kCpu) {
+        seed = seed.fork(hw::device_class_name(c));
+      }
+      tests[hw::device_class_index(c)] =
+          std::make_shared<const core::TestRunResult>(
+              core::single_module_test_run(fleet_, module, app, seed));
+    }
+    return core::calibrate_pmt_per_class(fleet_, pvt, tests, alloc_);
+  }
+
+  cluster::Cluster fleet_;
+  std::vector<hw::ModuleId> alloc_;
+};
+
+TEST_F(HeteroBudgetFixture, FlatAndOneLevelTreeSolvesAreBitIdentical) {
+  const core::Pmt pmt = class_aware_pmt(workloads::mhd());
+  ASSERT_TRUE(pmt.heterogeneous());
+  const cluster::PowerTree flat = cluster::PowerTree::flat(kModules);
+  for (double cm : {110.0, 90.0, 70.0, 50.0}) {
+    const util::Watts budget{cm * static_cast<double>(kModules)};
+    const core::BudgetResult a = core::solve_budget(pmt, budget);
+    const core::BudgetResult b = core::solve_budget_tree(pmt, flat, budget);
+    EXPECT_EQ(a.fits_at_fmin, b.fits_at_fmin);
+    EXPECT_EQ(a.constrained, b.constrained);
+    EXPECT_TRUE(same_bits(a.alpha, b.alpha)) << "Cm " << cm;
+    ASSERT_EQ(a.allocations.size(), b.allocations.size());
+    for (std::size_t k = 0; k < a.allocations.size(); ++k) {
+      EXPECT_TRUE(same_bits(a.allocations[k].module_w.value(),
+                            b.allocations[k].module_w.value()));
+      EXPECT_TRUE(same_bits(a.allocations[k].cpu_cap_w.value(),
+                            b.allocations[k].cpu_cap_w.value()));
+    }
+  }
+}
+
+TEST_F(HeteroBudgetFixture, TargetFrequencyFollowsEachEntrysClassRange) {
+  const core::Pmt pmt = class_aware_pmt(workloads::mhd());
+  const core::BudgetResult r =
+      core::solve_budget(pmt, util::Watts{80.0 * kModules});
+  ASSERT_TRUE(r.constrained);
+  for (std::size_t k = 0; k < pmt.size(); ++k) {
+    const core::ClassFreqRange& range =
+        pmt.class_range(pmt.device_class(k));
+    const util::GigaHertz f = pmt.freq_at(r.alpha, k);
+    EXPECT_GE(f.value(), range.fmin_ghz.value());
+    EXPECT_LE(f.value(), range.fmax_ghz.value());
+  }
+  // The reference (CPU) range is what freq_at(alpha) reports.
+  EXPECT_TRUE(same_bits(pmt.freq_at(r.alpha).value(),
+                        r.target_freq_ghz.value()));
+}
+
+TEST(HeteroCampaign, DigestsIdenticalAtOneAndFourThreads) {
+  const cluster::Cluster fleet(hw::ha8k(), util::SeedSequence(404),
+                               hw::ClassMix::parse("cpu:30,gpu:8,dram:2"));
+  std::vector<hw::ModuleId> alloc(fleet.size());
+  std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
+
+  core::CampaignSpec spec;
+  spec.workloads = {&workloads::mhd()};
+  spec.budgets_w = {80.0 * static_cast<double>(fleet.size())};
+  spec.schemes = {core::SchemeKind::kNaive, core::SchemeKind::kVaPc,
+                  core::SchemeKind::kVaFs};
+  spec.config.iterations = 6;
+
+  core::CampaignEngine serial(fleet, alloc, /*threads=*/1);
+  core::CampaignEngine wide(fleet, alloc, /*threads=*/4);
+  const core::CampaignResult a = serial.run(spec);
+  const core::CampaignResult b = wide.run(spec);
+  ASSERT_EQ(a.jobs.size(), 3u);
+  ASSERT_EQ(b.jobs.size(), a.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const core::RunMetrics& ma = a.jobs[i].metrics;
+    const core::RunMetrics& mb = b.jobs[i].metrics;
+    EXPECT_TRUE(same_bits(ma.makespan_s, mb.makespan_s));
+    EXPECT_TRUE(same_bits(ma.total_power_w, mb.total_power_w));
+    ASSERT_EQ(ma.modules.size(), mb.modules.size());
+    for (std::size_t k = 0; k < ma.modules.size(); ++k) {
+      EXPECT_TRUE(
+          same_bits(ma.modules[k].op.cpu_w, mb.modules[k].op.cpu_w));
+      EXPECT_TRUE(
+          same_bits(ma.modules[k].op.freq_ghz, mb.modules[k].op.freq_ghz));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CellClass boundaries at the exact per-class fmin/fmax budgets
+// ---------------------------------------------------------------------------
+
+TEST_F(HeteroBudgetFixture, CellClassFlipsExactlyAtTheClassSummedBounds) {
+  const core::Pmt truth = class_aware_pmt(workloads::mhd());
+  const double min_w = truth.total_min_w().value();  // fleet at per-class fmin
+  const double max_w = truth.total_max_w().value();  // fleet at per-class fmax
+  ASSERT_LT(min_w, max_w);
+
+  // classify_cell: budget < total_min -> infeasible; budget >= total_max ->
+  // unconstrained; valid in between. The bounds are the exact per-class
+  // fmin/fmax sums, so the flips happen at those watt values bit-for-bit.
+  EXPECT_EQ(core::classify_cell(truth, min_w), core::CellClass::kValid);
+  EXPECT_EQ(core::classify_cell(
+                truth, std::nextafter(min_w, 0.0)),
+            core::CellClass::kInfeasible);
+  EXPECT_EQ(core::classify_cell(truth, max_w),
+            core::CellClass::kUnconstrained);
+  EXPECT_EQ(core::classify_cell(
+                truth, std::nextafter(max_w, 0.0)),
+            core::CellClass::kValid);
+
+  // At exactly the fmin budget the solve pins alpha to 0 and fits; one ULP
+  // below it reports infeasible-at-fmin.
+  const core::BudgetResult at_min =
+      core::solve_budget(truth, util::Watts{min_w});
+  EXPECT_TRUE(at_min.fits_at_fmin);
+  EXPECT_TRUE(at_min.constrained);
+  const core::BudgetResult below_min = core::solve_budget(
+      truth, util::Watts{std::nextafter(min_w, 0.0)});
+  EXPECT_FALSE(below_min.fits_at_fmin);
+  // At the fmax budget the constraint stops binding: alpha clamps to 1.
+  const core::BudgetResult at_max =
+      core::solve_budget(truth, util::Watts{max_w});
+  EXPECT_FALSE(at_max.constrained);
+  EXPECT_TRUE(same_bits(at_max.alpha, 1.0));
+}
+
+}  // namespace
+}  // namespace vapb

@@ -274,6 +274,33 @@ TEST(SemanticFixtures, ServiceReplyIsADeterminismSink) {
   EXPECT_EQ(count_rule(good, "determinism-taint"), 0);
 }
 
+TEST(SemanticFixtures, DeviceClassMapFoldedIntoReplyIsTainted) {
+  // A per-device-class table keyed by an unordered map looks harmless (three
+  // keys), but iteration is still hash-order; folding it into the reply's
+  // per-class rows must be flagged. The array-indexed layout is the fix.
+  auto bad = analyze({parse_fixture("src/service/bad_reply_class_map.cpp")});
+  ASSERT_EQ(count_rule(bad, "determinism-taint"), 1);
+  EXPECT_NE(bad.front().message.find("unordered-container iteration"),
+            std::string::npos)
+      << bad.front().message;
+  EXPECT_NE(bad.front().message.find("class_summary"), std::string::npos)
+      << bad.front().message;
+  auto good =
+      analyze({parse_fixture("src/service/good_reply_class_array.cpp")});
+  EXPECT_EQ(count_rule(good, "determinism-taint"), 0);
+}
+
+TEST(SemanticFixtures, PerClassTableLookupsObeyUnitFlow) {
+  // One return mismatch (gigahertz lookup banked as a watts cap) and one
+  // argument mismatch (a seconds span into a watts headroom parameter).
+  auto bad = analyze({parse_fixture("unit_flow/class_tables.cpp"),
+                      parse_fixture("unit_flow/bad_class_table.cpp")});
+  EXPECT_EQ(count_rule(bad, "unit-flow"), 2);
+  auto good = analyze({parse_fixture("unit_flow/class_tables.cpp"),
+                       parse_fixture("unit_flow/good_class_table.cpp")});
+  EXPECT_EQ(count_rule(good, "unit-flow"), 0);
+}
+
 TEST(SemanticFixtures, ServiceRequestParameterMarksTheSink) {
   // A function consuming a BudgetRequest is on the reply path even when its
   // return type is opaque; ambient randomness reaching it must be flagged.

@@ -226,5 +226,118 @@ TEST_F(SnapshotFixture, BadMagicAndVersionAreDistinctErrors) {
   }
 }
 
+TEST_F(SnapshotFixture, VersionOneFilesAreRejectedWithTheClassMixReason) {
+  // Byte-surgery a valid v2 file down to version 1: the version field sits
+  // at byte 8, outside the checksum (which covers the payload only), so the
+  // loader sees a structurally intact v1 file and must reject it with the
+  // specific pre-device-class explanation — not the generic version error.
+  save(calibrated());
+  std::vector<char> bytes = read_file();
+  bytes[8] = 1;
+  write_file(bytes);
+  try {
+    Snapshot::load(path_);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("device-class"), std::string::npos) << what;
+    EXPECT_NE(what.find("re-save"), std::string::npos) << what;
+  }
+}
+
+class HeteroSnapshotFixture : public ::testing::Test {
+ protected:
+  HeteroSnapshotFixture() {
+    cluster_ = std::make_shared<const cluster::Cluster>(
+        hw::ha8k(), util::SeedSequence(kMasterSeed),
+        hw::ClassMix::parse("cpu:12,gpu:3,dram:1"));
+    alloc_.resize(cluster_->size());
+    std::iota(alloc_.begin(), alloc_.end(), hw::ModuleId{0});
+    path_ = ::testing::TempDir() + "vapb_snapshot_hetero_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".snap";
+  }
+
+  ~HeteroSnapshotFixture() override { std::remove(path_.c_str()); }
+
+  ClusterState calibrated() const {
+    return calibrate_state(cluster_, alloc_, {"MHD"}, {"Naive", "VaPc"});
+  }
+
+  std::shared_ptr<const cluster::Cluster> cluster_;
+  std::vector<hw::ModuleId> alloc_;
+  std::string path_;
+};
+
+TEST_F(HeteroSnapshotFixture, MixedFleetRoundTripsClassesAndRanges) {
+  const ClusterState fresh = calibrated();
+  save_snapshot(path_, "ha8k", kMasterSeed, fresh);
+  const Snapshot snap = Snapshot::load(path_);
+  EXPECT_EQ(snap.mix(), "cpu:12,gpu:3,dram:1");
+  EXPECT_EQ(snap.fleet_fingerprint(), cluster_->fingerprint());
+
+  const ClusterState restored = snap.restore();
+  EXPECT_TRUE(restored.cluster->heterogeneous());
+  EXPECT_EQ(restored.cluster->fingerprint(), cluster_->fingerprint());
+  for (hw::ModuleId id : alloc_) {
+    EXPECT_EQ(restored.cluster->device_class(id),
+              cluster_->device_class(id));
+  }
+  ASSERT_EQ(restored.pmts.size(), fresh.pmts.size());
+  for (const auto& [key, pmt] : fresh.pmts) {
+    const auto it = restored.pmts.find(key);
+    ASSERT_NE(it, restored.pmts.end()) << key;
+    ASSERT_EQ(it->second->heterogeneous(), pmt->heterogeneous()) << key;
+    for (std::size_t k = 0; k < pmt->size(); ++k) {
+      EXPECT_EQ(it->second->device_class(k), pmt->device_class(k));
+      EXPECT_TRUE(same_bits(it->second->entries()[k].cpu_max_w.value(),
+                            pmt->entries()[k].cpu_max_w.value()));
+    }
+    if (pmt->heterogeneous()) {
+      for (hw::DeviceClass c : hw::all_device_classes()) {
+        EXPECT_TRUE(same_bits(it->second->class_range(c).fmax_ghz.value(),
+                              pmt->class_range(c).fmax_ghz.value()));
+        EXPECT_TRUE(same_bits(it->second->class_range(c).fmin_ghz.value(),
+                              pmt->class_range(c).fmin_ghz.value()));
+      }
+    }
+  }
+}
+
+TEST_F(HeteroSnapshotFixture, WarmHeteroServiceMatchesColdBitwise) {
+  const ClusterState fresh = calibrated();
+  save_snapshot(path_, "ha8k", kMasterSeed, fresh);
+  const ClusterState restored = Snapshot::load(path_).restore();
+
+  const auto solve = [](const ClusterState& state, double budget_w) {
+    ServiceConfig cfg;
+    cfg.worker_threads = 1;
+    BudgetService svc(cfg);
+    svc.register_cluster(state);
+    BudgetRequest req;
+    req.scheme = "VaPc";
+    req.workload = "MHD";
+    req.budget_w = budget_w;
+    return svc.solve(req);
+  };
+  const double n = static_cast<double>(cluster_->size());
+  for (double cm : {95.0, 78.0}) {
+    const ReplyPtr warm = solve(restored, cm * n);
+    const ReplyPtr cold = solve(fresh, cm * n);
+    ASSERT_TRUE(warm->ok) << warm->error;
+    ASSERT_TRUE(cold->ok) << cold->error;
+    EXPECT_TRUE(same_bits(warm->budget.alpha, cold->budget.alpha));
+    ASSERT_EQ(warm->budget.allocations.size(),
+              cold->budget.allocations.size());
+    for (std::size_t i = 0; i < cold->budget.allocations.size(); ++i) {
+      EXPECT_TRUE(same_bits(warm->budget.allocations[i].module_w.value(),
+                            cold->budget.allocations[i].module_w.value()));
+      EXPECT_TRUE(same_bits(warm->budget.allocations[i].cpu_cap_w.value(),
+                            cold->budget.allocations[i].cpu_cap_w.value()));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace vapb::service

@@ -595,25 +595,30 @@ class Parser {
       call.qualifier = q;
     }
     // Arguments: top-level comma-separated slices; record plain chains.
+    // skip_balanced returns one past ')', so the argument region is
+    // [open + 1, close - 1): excluding ')' keeps the final argument a pure
+    // chain and keeps zero-arg calls at zero recorded arguments (both
+    // otherwise collapse to "" and defeat arity-matched unit-flow checks).
     const std::size_t open = name_idx + 1;
     const std::size_t close = skip_balanced(t_, open, "(", ")");
+    const std::size_t args_end = close > open ? close - 1 : open;
     std::size_t start = open + 1;
     int paren = 1, brace = 0, bracket = 0;
-    for (std::size_t i = open + 1; i < close && i + 1 <= close; ++i) {
+    for (std::size_t i = open + 1; i < args_end; ++i) {
       if (is_punct(t_[i], "(")) ++paren;
       if (is_punct(t_[i], ")")) --paren;
       if (is_punct(t_[i], "{")) ++brace;
       if (is_punct(t_[i], "}")) --brace;
       if (is_punct(t_[i], "[")) ++bracket;
       if (is_punct(t_[i], "]")) --bracket;
-      const bool top = paren == 1 && brace == 0 && bracket == 0;
-      const bool at_end = i + 1 == close;
-      if ((top && is_punct(t_[i], ",")) || at_end) {
-        const std::size_t slice_end =
-            at_end && !is_punct(t_[i], ",") ? i + 1 : i;
-        call.arg_names.push_back(plain_chain_name(start, slice_end));
+      if (paren == 1 && brace == 0 && bracket == 0 &&
+          is_punct(t_[i], ",")) {
+        call.arg_names.push_back(plain_chain_name(start, i));
         start = i + 1;
       }
+    }
+    if (args_end > open + 1) {
+      call.arg_names.push_back(plain_chain_name(start, args_end));
     }
     fn.calls.push_back(std::move(call));
   }

@@ -27,16 +27,20 @@
 // extension schemes work everywhere the built-ins do.
 //
 // Common flags: --arch {cab|vulcan|teller|ha8k}  --modules N  --seed S
+//               --arch-mix "cpu:96,gpu:24,dram:8" (heterogeneous fleet;
+//               fixes the module count, so it excludes --modules)
 //               --pvt FILE (reuse a saved PVT)
 //               --alloc-policy {contiguous|random|strided|worst-power|
 //                               best-power} (scheduler placement; default is
 //               the identity allocation 0..N-1)
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <sstream>
 
 #include "cluster/scheduler.hpp"
@@ -75,17 +79,37 @@ Context make_context(const util::CliArgs& args) {
     return hw::arch_by_name(args.get_or("arch", "ha8k"));
   }();
   auto seed = static_cast<std::uint64_t>(args.get_long_or("seed", 2015));
-  auto modules = static_cast<std::size_t>(args.get_long_or("modules", 128));
-  cluster::Cluster cluster(spec, util::SeedSequence(seed), modules);
+  // --arch-mix fabricates a heterogeneous fleet and therefore fixes the
+  // module count; combining it with --modules would be ambiguous.
+  std::optional<hw::ClassMix> mix;
+  if (args.has("arch-mix")) {
+    if (args.has("modules")) {
+      throw InvalidArgument(
+          "--arch-mix fixes the module count per class; drop --modules");
+    }
+    mix = hw::ClassMix::parse(args.get("arch-mix"));
+    if (mix->total() == 0) throw InvalidArgument("--arch-mix is empty");
+  }
+  auto modules = mix ? mix->total()
+                     : static_cast<std::size_t>(
+                           args.get_long_or("modules", 128));
+  cluster::Cluster cluster =
+      mix ? cluster::Cluster(spec, util::SeedSequence(seed), *mix)
+          : cluster::Cluster(spec, util::SeedSequence(seed), modules);
   std::vector<hw::ModuleId> alloc;
   if (args.has("alloc-policy")) {
     // Scheduler-driven placement; power-ordered policies rank with the PVT
-    // microbenchmark's profile (the paper's calibration workload).
+    // microbenchmark's profile (the paper's calibration workload). On a
+    // mixed fleet the policy applies within each class block.
     cluster::AllocationPolicy policy =
         cluster::allocation_policy_by_name(args.get("alloc-policy"));
-    alloc = cluster::Scheduler(cluster).allocate(
-        modules, policy, cluster.seed().fork("scheduler"),
-        &workloads::pvt_microbench().profile);
+    cluster::Scheduler sched(cluster);
+    alloc = mix ? sched.allocate_mix(*mix, policy,
+                                     cluster.seed().fork("scheduler"),
+                                     &workloads::pvt_microbench().profile)
+                : sched.allocate(modules, policy,
+                                 cluster.seed().fork("scheduler"),
+                                 &workloads::pvt_microbench().profile);
   } else {
     alloc.resize(modules);
     std::iota(alloc.begin(), alloc.end(), hw::ModuleId{0});
@@ -260,6 +284,32 @@ std::vector<std::string> parse_scheme_list(const std::string& list) {
   return schemes;
 }
 
+/// Device classes actually present in the fleet, in index order.
+std::vector<hw::DeviceClass> present_classes(const cluster::Cluster& cluster) {
+  std::vector<hw::DeviceClass> out;
+  for (hw::DeviceClass c : hw::all_device_classes()) {
+    if (cluster.mix().count(c) > 0) out.push_back(c);
+  }
+  return out;
+}
+
+/// Mean sustained module power (CPU + DRAM) per device class over one run.
+/// Classes absent from the run average to 0.
+std::array<double, hw::kDeviceClassCount> class_mean_power_w(
+    const cluster::Cluster& cluster, const core::RunMetrics& m) {
+  std::array<double, hw::kDeviceClassCount> sum{};
+  std::array<double, hw::kDeviceClassCount> cnt{};
+  for (const core::ModuleOutcome& mo : m.modules) {
+    const std::size_t k = hw::device_class_index(cluster.device_class(mo.id));
+    sum[k] += mo.op.cpu_w + mo.op.dram_w;
+    cnt[k] += 1.0;
+  }
+  for (std::size_t k = 0; k < sum.size(); ++k) {
+    if (cnt[k] > 0.0) sum[k] /= cnt[k];
+  }
+  return sum;
+}
+
 int cmd_campaign(const util::CliArgs& args) {
   Context ctx = make_context(args);
   const std::size_t modules = ctx.allocation.size();
@@ -305,10 +355,21 @@ int cmd_campaign(const util::CliArgs& args) {
                          : "infeasible");
       });
 
+  // Mixed fleets get one extra column per installed class: the mean module
+  // power that class sustained under the first scheme of the row.
+  const std::vector<hw::DeviceClass> classes =
+      ctx.cluster.heterogeneous() ? present_classes(ctx.cluster)
+                                  : std::vector<hw::DeviceClass>{};
+  if (ctx.cluster.heterogeneous()) {
+    std::printf("fleet: %s\n\n", ctx.cluster.mix().str().c_str());
+  }
   for (const workloads::Workload* w : spec.workloads) {
     std::printf("%s\n", w->name.c_str());
     std::vector<std::string> headers{"Cm [W]", "cell"};
     for (const std::string& s : scheme_names) headers.push_back(s);
+    for (hw::DeviceClass c : classes) {
+      headers.push_back(hw::device_class_name(c) + " W");
+    }
     util::Table t(headers);
     for (double budget_w : spec.budgets_w) {
       t.add_row();
@@ -320,6 +381,14 @@ int cmd_campaign(const util::CliArgs& args) {
         t.add_cell(r && r->metrics.feasible
                        ? util::fmt_double(r->speedup_vs_naive, 2) + "x"
                        : "-");
+      }
+      if (!classes.empty() && any != nullptr && any->metrics.feasible) {
+        const auto watts = class_mean_power_w(ctx.cluster, any->metrics);
+        for (hw::DeviceClass c : classes) {
+          t.add_cell(util::fmt_watts(watts[hw::device_class_index(c)]));
+        }
+      } else {
+        for (std::size_t k = 0; k < classes.size(); ++k) t.add_cell("-");
       }
     }
     std::printf("%s\n", t.str().c_str());
@@ -419,13 +488,24 @@ int cmd_fault(const util::CliArgs& args) {
   fault::FaultCampaign sweep(ctx.cluster, ctx.allocation, threads);
   fault::FaultCampaignResult result = sweep.run(spec, grid);
 
+  const std::vector<hw::DeviceClass> classes =
+      ctx.cluster.heterogeneous() ? present_classes(ctx.cluster)
+                                  : std::vector<hw::DeviceClass>{};
+  if (ctx.cluster.heterogeneous()) {
+    std::printf("fleet: %s\n\n", ctx.cluster.mix().str().c_str());
+  }
   for (const fault::FaultPointResult& point : result.points) {
     std::printf("noise %.3f  drift %.3f  failures %d  (seed %llu)\n",
                 point.scenario.sensor_noise_frac, point.scenario.drift_frac,
                 point.scenario.failure_count,
                 static_cast<unsigned long long>(point.scenario.seed));
-    util::Table t({"scheme", "jobs", "violation rate", "overshoot",
-                   "makespan", "speedup vs Naive"});
+    std::vector<std::string> headers{"scheme", "jobs", "violation rate",
+                                     "overshoot", "makespan",
+                                     "speedup vs Naive"};
+    for (hw::DeviceClass c : classes) {
+      headers.push_back(hw::device_class_name(c) + " W");
+    }
+    util::Table t(headers);
     for (const fault::FaultSchemeResult& s : point.schemes) {
       t.add_row();
       t.add_cell(s.scheme);
@@ -436,6 +516,21 @@ int cmd_fault(const util::CliArgs& args) {
       t.add_cell(std::isfinite(s.mean_speedup_vs_naive)
                      ? util::fmt_double(s.mean_speedup_vs_naive, 2) + "x"
                      : "-");
+      if (!classes.empty()) {
+        // Mean per-class module power over this scheme's feasible jobs.
+        std::array<double, hw::kDeviceClassCount> acc{};
+        double jobs = 0.0;
+        for (const core::CampaignJobResult& j : point.campaign.jobs) {
+          if (j.metrics.scheme != s.scheme || !j.metrics.feasible) continue;
+          const auto watts = class_mean_power_w(ctx.cluster, j.metrics);
+          for (std::size_t k = 0; k < acc.size(); ++k) acc[k] += watts[k];
+          jobs += 1.0;
+        }
+        for (hw::DeviceClass c : classes) {
+          const std::size_t k = hw::device_class_index(c);
+          t.add_cell(jobs > 0.0 ? util::fmt_watts(acc[k] / jobs) : "-");
+        }
+      }
     }
     std::printf("%s\n", t.str().c_str());
   }
@@ -492,8 +587,9 @@ int cmd_snapshot(const util::CliArgs& args) {
     service::ClusterState state = snap.restore();
     std::printf("%s: snapshot v%u, %zu bytes\n", path.c_str(),
                 snap.version(), snap.file_bytes());
-    std::printf("  fleet:      %s x%zu, master seed %llu, fingerprint %llx\n",
-                snap.arch().c_str(), snap.module_count(),
+    std::printf("  fleet:      %s x%zu (%s), master seed %llu, "
+                "fingerprint %llx\n",
+                snap.arch().c_str(), snap.module_count(), snap.mix().c_str(),
                 static_cast<unsigned long long>(snap.master_seed()),
                 static_cast<unsigned long long>(snap.fleet_fingerprint()));
     std::printf("  state:      %zu allocated, %zu test runs, %zu PMTs\n",
@@ -564,7 +660,8 @@ int usage() {
                "usage: vapbctl "
                "<systems|workloads|pvt|solve|run|campaign|fault|report|"
                "serve|snapshot> "
-               "[--arch A | --arch-file F] [--modules N] [--seed S] "
+               "[--arch A | --arch-file F] [--arch-mix \"cpu:96,gpu:24\"] "
+               "[--modules N] [--seed S] "
                "[--pvt FILE] [--alloc-policy P]\n"
                "               [--workload W] [--budget-w P] [--scheme S] "
                "[--out FILE]\n"
@@ -589,7 +686,8 @@ int usage() {
 const std::vector<std::string>& subcommand_flags(const std::string& cmd) {
   static const std::vector<std::string> kNone;
   static const std::vector<std::string> kCommon = {
-      "arch", "arch-file", "modules", "seed", "pvt", "alloc-policy"};
+      "arch", "arch-file", "arch-mix", "modules", "seed", "pvt",
+      "alloc-policy"};
   static const auto with_common = [](std::vector<std::string> extra) {
     extra.insert(extra.end(), kCommon.begin(), kCommon.end());
     return extra;
@@ -615,8 +713,8 @@ const std::vector<std::string>& subcommand_flags(const std::string& cmd) {
   // Snapshots identify fleets by preset name + master seed and calibrate
   // through the canonical forks, so --arch-file and --pvt are rejected.
   static const std::vector<std::string> kSnapshot = {
-      "arch", "modules", "seed", "alloc-policy", "out", "in", "workloads",
-      "schemes"};
+      "arch", "arch-mix", "modules", "seed", "alloc-policy", "out", "in",
+      "workloads", "schemes"};
   if (cmd == "pvt") return kPvt;
   if (cmd == "solve") return kSolve;
   if (cmd == "run") return kRun;
@@ -647,8 +745,8 @@ void validate_subcommand_flags(const util::CliArgs& args,
 int main(int argc, char** argv) {
   try {
     util::CliArgs args(argc, argv,
-                       {"arch", "arch-file", "modules", "seed", "pvt",
-                        "alloc-policy", "workload", "budget-w", "scheme",
+                       {"arch", "arch-file", "arch-mix", "modules", "seed",
+                        "pvt", "alloc-policy", "workload", "budget-w", "scheme",
                         "out", "threads", "repetitions", "budgets", "schemes",
                         "csv", "json", "telemetry-out", "scenario",
                         "scenario-file", "noise", "drift", "failures",
