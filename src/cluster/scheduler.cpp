@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace vapb::cluster {
 
@@ -25,14 +26,19 @@ std::string allocation_policy_name(AllocationPolicy policy) {
 }
 
 AllocationPolicy allocation_policy_by_name(const std::string& name) {
+  std::vector<std::string> names;
   for (AllocationPolicy p : all_allocation_policies()) {
-    if (allocation_policy_name(p) == name) return p;
+    names.push_back(allocation_policy_name(p));
+    if (names.back() == name) return p;
   }
-  std::string msg = "unknown allocation policy '" + name + "'; valid:";
-  for (AllocationPolicy p : all_allocation_policies()) {
+  std::string msg = "unknown allocation policy '" + name + "'";
+  const std::string suggestion = util::nearest_name(name, names);
+  if (!suggestion.empty()) msg += " (did you mean '" + suggestion + "'?)";
+  msg += "; valid:";
+  for (const std::string& n : names) {
     msg += ' ';
     // vapb-lint: allow(determinism-reduction): ordered text, not an FP sum
-    msg += allocation_policy_name(p);
+    msg += n;
   }
   throw InvalidArgument(msg);
 }
@@ -45,20 +51,21 @@ std::vector<AllocationPolicy> all_allocation_policies() {
 
 namespace {
 
-/// The policy logic over one contiguous id block [base, base + n). The
-/// whole-cluster allocate is the base = 0 case; allocate_mix runs it per
-/// class block.
-std::vector<hw::ModuleId> allocate_block(
-    const Cluster& cluster, hw::ModuleId base, std::size_t n,
-    std::size_t count, AllocationPolicy policy, util::SeedSequence seed,
+/// The policy logic over an arbitrary candidate pool (in the caller's
+/// order). The whole-cluster allocate passes the full iota block, so its
+/// draws are bit-identical to the historical [base, base + n) form;
+/// allocate_from hands in whatever free list the tenancy scheduler holds.
+std::vector<hw::ModuleId> allocate_pool(
+    const Cluster& cluster, std::vector<hw::ModuleId> pool, std::size_t count,
+    AllocationPolicy policy, util::SeedSequence seed,
     const hw::PowerProfile* ranking_profile) {
+  const std::size_t n = pool.size();
   if (count == 0) throw InvalidArgument("Scheduler: count must be > 0");
   if (count > n) {
     throw InvalidArgument("Scheduler: requested " + std::to_string(count) +
                           " modules, block has " + std::to_string(n));
   }
-  std::vector<hw::ModuleId> all(n);
-  std::iota(all.begin(), all.end(), base);
+  std::vector<hw::ModuleId> all = std::move(pool);
 
   switch (policy) {
     case AllocationPolicy::kContiguous: {
@@ -114,6 +121,18 @@ std::vector<hw::ModuleId> allocate_block(
   throw InternalError("Scheduler: unhandled policy");
 }
 
+/// The historical contiguous-block entry: builds the id block and defers to
+/// the pool form.
+std::vector<hw::ModuleId> allocate_block(
+    const Cluster& cluster, hw::ModuleId base, std::size_t n,
+    std::size_t count, AllocationPolicy policy, util::SeedSequence seed,
+    const hw::PowerProfile* ranking_profile) {
+  std::vector<hw::ModuleId> all(n);
+  std::iota(all.begin(), all.end(), base);
+  return allocate_pool(cluster, std::move(all), count, policy, seed,
+                       ranking_profile);
+}
+
 }  // namespace
 
 std::vector<hw::ModuleId> Scheduler::allocate(
@@ -121,6 +140,13 @@ std::vector<hw::ModuleId> Scheduler::allocate(
     const hw::PowerProfile* ranking_profile) const {
   return allocate_block(cluster_, hw::ModuleId{0}, cluster_.size(), count,
                         policy, seed, ranking_profile);
+}
+
+std::vector<hw::ModuleId> Scheduler::allocate_from(
+    std::vector<hw::ModuleId> pool, std::size_t count, AllocationPolicy policy,
+    util::SeedSequence seed, const hw::PowerProfile* ranking_profile) const {
+  return allocate_pool(cluster_, std::move(pool), count, policy, seed,
+                       ranking_profile);
 }
 
 std::vector<hw::ModuleId> Scheduler::allocate_mix(

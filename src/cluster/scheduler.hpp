@@ -58,6 +58,17 @@ class Scheduler {
       util::SeedSequence seed,
       const hw::PowerProfile* ranking_profile = nullptr) const;
 
+  /// Applies `policy` to an arbitrary candidate pool (in the caller's
+  /// order) instead of the whole cluster — the multi-tenant scheduler's
+  /// entry, where the free list is whatever earlier admissions left behind.
+  /// kContiguous picks a window of pool-adjacent ids. Passing the full
+  /// 0..size-1 block reproduces allocate() bit-for-bit.
+  /// Throws InvalidArgument if count == 0 or count > pool size.
+  [[nodiscard]] std::vector<hw::ModuleId> allocate_from(
+      std::vector<hw::ModuleId> pool, std::size_t count,
+      AllocationPolicy policy, util::SeedSequence seed,
+      const hw::PowerProfile* ranking_profile = nullptr) const;
+
  private:
   const Cluster& cluster_;
 };

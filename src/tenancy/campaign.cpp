@@ -1,0 +1,188 @@
+#include "tenancy/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vapb::tenancy {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+void write_json_number(std::ostream& out, double v) {
+  if (std::isfinite(v)) {
+    out << v;
+  } else {
+    out << "null";
+  }
+}
+
+double ratio(double value, double baseline) {
+  if (!std::isfinite(value) || !std::isfinite(baseline) || baseline == 0.0) {
+    return kNaN;
+  }
+  return value / baseline;
+}
+
+}  // namespace
+
+const TenancyPointResult& TenancyCampaignResult::point(
+    double arrival_scale, const std::string& placement,
+    const std::string& partition) const {
+  const auto it = std::find_if(
+      points.begin(), points.end(), [&](const TenancyPointResult& p) {
+        return p.trace.arrival_scale == arrival_scale &&
+               p.trace.placement == placement &&
+               p.trace.partition == partition;
+      });
+  if (it == points.end()) {
+    throw InvalidArgument("TenancyCampaignResult: no point (" + placement +
+                          ", " + partition + ") at that arrival scale");
+  }
+  return *it;
+}
+
+TenancyCampaign::TenancyCampaign(const cluster::Cluster& cluster,
+                                 std::shared_ptr<const core::Pvt> pvt,
+                                 std::size_t threads, TenancyOptions options)
+    : cluster_(cluster),
+      pvt_(std::move(pvt)),
+      threads_(threads),
+      options_(options) {
+  if (!pvt_) throw InvalidArgument("TenancyCampaign: null PVT");
+}
+
+std::vector<TenancyTrace> TenancyCampaign::expand(const TenancyGrid& grid) {
+  if (grid.arrival_scales.empty() || grid.policies.empty()) {
+    throw InvalidArgument("TenancyGrid needs at least one value per axis");
+  }
+  std::vector<TenancyTrace> out;
+  out.reserve(grid.point_count());
+  for (const double scale : grid.arrival_scales) {
+    for (const PolicyPair& pair : grid.policies) {
+      TenancyTrace trace = grid.base;
+      trace.arrival_scale = scale;
+      trace.placement = pair.placement;
+      trace.partition = pair.partition;
+      trace.validate();
+      out.push_back(std::move(trace));
+    }
+  }
+  return out;
+}
+
+TenancyCampaignResult TenancyCampaign::run(const TenancyGrid& grid) const {
+  const std::vector<TenancyTrace> traces = expand(grid);
+  const MachineScheduler scheduler(cluster_, pvt_, options_);
+
+  TenancyCampaignResult result;
+  result.points.resize(traces.size());
+  const auto run_one = [&](std::size_t k) {
+    result.points[k].trace = traces[k];
+    result.points[k].result = scheduler.run(traces[k]);
+  };
+  if (threads_ == 1 || traces.size() <= 1) {
+    for (std::size_t k = 0; k < traces.size(); ++k) run_one(k);
+  } else {
+    util::ThreadPool pool(threads_ == 0 ? 0
+                                        : std::min(threads_, traces.size()));
+    util::parallel_for(pool, traces.size(), run_one, /*grain=*/1);
+  }
+
+  // Score every point against the naive (contiguous, equal-share) point at
+  // its arrival scale — fixed order, after the barrier, so the ratios are
+  // thread-count independent.
+  for (TenancyPointResult& p : result.points) {
+    const TenancyPointResult* naive = nullptr;
+    for (const TenancyPointResult& q : result.points) {
+      if (q.trace.arrival_scale == p.trace.arrival_scale &&
+          q.trace.placement == "contiguous" &&
+          q.trace.partition == "equal-share") {
+        naive = &q;
+        break;
+      }
+    }
+    if (naive == nullptr) {
+      p.throughput_vs_naive = kNaN;
+      p.makespan_vs_naive = kNaN;
+      p.fairness_vs_naive = kNaN;
+      continue;
+    }
+    p.throughput_vs_naive =
+        ratio(p.result.throughput_jph, naive->result.throughput_jph);
+    p.makespan_vs_naive = ratio(p.result.makespan_s, naive->result.makespan_s);
+    p.fairness_vs_naive =
+        ratio(p.result.jain_fairness, naive->result.jain_fairness);
+  }
+  return result;
+}
+
+void write_tenancy_campaign_json(const TenancyCampaignResult& result,
+                                 std::ostream& out) {
+  const auto saved = out.precision(17);
+  out << "{\"points\":[";
+  for (std::size_t p = 0; p < result.points.size(); ++p) {
+    const TenancyPointResult& point = result.points[p];
+    if (p) out << ',';
+    out << "{\"trace\":" << point.trace.serialize()
+        << ",\"fingerprint\":" << point.result.trace_fingerprint
+        << ",\"makespan_s\":";
+    write_json_number(out, point.result.makespan_s);
+    out << ",\"throughput_jph\":";
+    write_json_number(out, point.result.throughput_jph);
+    out << ",\"mean_wait_s\":";
+    write_json_number(out, point.result.mean_wait_s);
+    out << ",\"mean_slowdown\":";
+    write_json_number(out, point.result.mean_slowdown);
+    out << ",\"jain_fairness\":";
+    write_json_number(out, point.result.jain_fairness);
+    out << ",\"energy_j\":";
+    write_json_number(out, point.result.energy_j);
+    out << ",\"power_utilization\":";
+    write_json_number(out, point.result.power_utilization);
+    out << ",\"resolves\":" << point.result.resolves
+        << ",\"throughput_vs_naive\":";
+    write_json_number(out, point.throughput_vs_naive);
+    out << ",\"makespan_vs_naive\":";
+    write_json_number(out, point.makespan_vs_naive);
+    out << ",\"fairness_vs_naive\":";
+    write_json_number(out, point.fairness_vs_naive);
+    out << ",\"jobs\":[";
+    for (std::size_t j = 0; j < point.result.jobs.size(); ++j) {
+      const JobOutcome& o = point.result.jobs[j];
+      if (j) out << ',';
+      out << "{\"name\":\"" << o.name << "\",\"workload\":\"" << o.workload
+          << "\",\"modules\":" << o.modules << ",\"arrival_s\":";
+      write_json_number(out, o.arrival_s);
+      out << ",\"start_s\":";
+      write_json_number(out, o.start_s);
+      out << ",\"finish_s\":";
+      write_json_number(out, o.finish_s);
+      out << ",\"wait_s\":";
+      write_json_number(out, o.wait_s);
+      out << ",\"turnaround_s\":";
+      write_json_number(out, o.turnaround_s);
+      out << ",\"solo_s\":";
+      write_json_number(out, o.solo_s);
+      out << ",\"slowdown\":";
+      write_json_number(out, o.slowdown);
+      out << ",\"energy_j\":";
+      write_json_number(out, o.energy_j);
+      out << ",\"final_budget_w\":";
+      write_json_number(out, o.final_budget_w);
+      out << ",\"segments\":" << o.segments << ",\"stalls\":" << o.stalls
+          << ",\"modules_lost\":" << o.modules_lost << '}';
+    }
+    out << "]}";
+  }
+  out << "]}";
+  out.precision(saved);
+}
+
+}  // namespace vapb::tenancy

@@ -1,0 +1,102 @@
+// TenancyCampaign — the co-scheduling policy sweep: how much throughput,
+// makespan and fairness does smarter module placement plus dynamic power
+// partitioning buy over naive equal-split, and how does the gap move with
+// arrival intensity?
+//
+// A TenancyGrid crosses arrival scales x (placement, partition) policy
+// pairs over one base trace; every grid point runs the full MachineScheduler
+// simulation and is scored against the naive (contiguous, equal-share)
+// point at the same arrival scale.
+//
+// Deterministic: grid expansion and reductions are fixed-order and every
+// point is a pure function of (cluster, trace), so the result is bitwise
+// identical at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tenancy/machine_scheduler.hpp"
+
+namespace vapb::tenancy {
+
+/// One (placement, partition) policy pair of the sweep.
+struct PolicyPair {
+  std::string placement;
+  std::string partition;
+};
+
+/// The cross-product to sweep. `base` carries the jobs and every trace knob
+/// the grid does not vary; each point overrides arrival_scale, placement
+/// and partition.
+struct TenancyGrid {
+  std::vector<double> arrival_scales = {1.0, 0.5, 0.25};
+  /// Policy pairs, naive first by convention. Defaults to naive equal-split
+  /// vs the variation-aware + water-filling combination the paper's
+  /// variation analysis motivates.
+  std::vector<PolicyPair> policies = {
+      {"contiguous", "equal-share"},
+      {"variation-aware", "water-fill"},
+  };
+  TenancyTrace base;
+
+  [[nodiscard]] std::size_t point_count() const {
+    return arrival_scales.size() * policies.size();
+  }
+};
+
+/// One grid point: the trace actually run and its simulation result, plus
+/// ratios against the naive (contiguous, equal-share) point at the same
+/// arrival scale (NaN when the grid has no such point or the baseline
+/// metric is zero; exactly 1 on the naive point itself).
+struct TenancyPointResult {
+  TenancyTrace trace;
+  TenancyResult result;
+  double throughput_vs_naive = 0.0;  ///< > 1 = more jobs per hour than naive
+  double makespan_vs_naive = 0.0;    ///< < 1 = finished the trace sooner
+  double fairness_vs_naive = 0.0;    ///< > 1 = fairer slowdowns
+};
+
+struct TenancyCampaignResult {
+  /// One entry per grid point, in expansion order (arrival scale outermost,
+  /// then policy pair).
+  std::vector<TenancyPointResult> points;
+
+  /// First point matching the pair at `arrival_scale` (exact compare);
+  /// throws InvalidArgument when the sweep has no such point.
+  [[nodiscard]] const TenancyPointResult& point(
+      double arrival_scale, const std::string& placement,
+      const std::string& partition) const;
+};
+
+class TenancyCampaign {
+ public:
+  /// `threads` fans the grid points across a pool (0 = hardware
+  /// concurrency, 1 = serial); the results never depend on it.
+  TenancyCampaign(const cluster::Cluster& cluster,
+                  std::shared_ptr<const core::Pvt> pvt,
+                  std::size_t threads = 0, TenancyOptions options = {});
+
+  /// The deterministic trace expansion of `grid` (every trace validated).
+  [[nodiscard]] static std::vector<TenancyTrace> expand(
+      const TenancyGrid& grid);
+
+  /// Runs every grid point and scores it against the naive point of its
+  /// arrival scale.
+  [[nodiscard]] TenancyCampaignResult run(const TenancyGrid& grid) const;
+
+ private:
+  const cluster::Cluster& cluster_;
+  std::shared_ptr<const core::Pvt> pvt_;
+  std::size_t threads_;
+  TenancyOptions options_;
+};
+
+/// The sweep as one JSON object: every point's trace, system metrics,
+/// vs-naive ratios and per-job outcomes (non-finite values become null).
+void write_tenancy_campaign_json(const TenancyCampaignResult& result,
+                                 std::ostream& out);
+
+}  // namespace vapb::tenancy

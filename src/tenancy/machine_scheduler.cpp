@@ -1,0 +1,609 @@
+#include "tenancy/machine_scheduler.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "cluster/scheduler.hpp"
+#include "core/calibration_cache.hpp"
+#include "core/campaign.hpp"
+#include "core/pmt.hpp"
+#include "hw/device_class.hpp"
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::tenancy {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+cluster::AllocationPolicy to_allocation_policy(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kContiguous:
+      return cluster::AllocationPolicy::kContiguous;
+    case PlacementPolicy::kRandom:
+      return cluster::AllocationPolicy::kRandom;
+    case PlacementPolicy::kStrided:
+      return cluster::AllocationPolicy::kStrided;
+    case PlacementPolicy::kWorstPower:
+      return cluster::AllocationPolicy::kWorstPower;
+    case PlacementPolicy::kBestPower:
+      return cluster::AllocationPolicy::kBestPower;
+    case PlacementPolicy::kVariationAware:
+      break;
+  }
+  throw InternalError("tenancy: no cluster policy for variation-aware");
+}
+
+/// One job currently holding modules: its remaining work and the pipeline
+/// segment it is executing (seg_makespan_s == inf while the job is stalled
+/// on an infeasible power share).
+struct Running {
+  std::size_t job = 0;
+  const workloads::Workload* w = nullptr;
+  std::vector<hw::ModuleId> alloc;
+  int remaining = 0;
+  double budget_w = -1.0;
+  double seg_start_s = 0.0;
+  double seg_makespan_s = kInf;
+  int seg_iterations = 0;
+  double seg_power_w = 0.0;
+  bool needs_restart = true;  ///< fresh admission or allocation change
+  bool stalled = false;
+  std::shared_ptr<const core::TestRunResult> test;
+  std::shared_ptr<const core::Pmt> floors;  ///< scheduler-side calibrated PMT
+  std::shared_ptr<const core::Pmt> oracle;  ///< ground truth for feasibility
+  core::RunMetrics metrics;                 ///< last solved segment
+
+  [[nodiscard]] double predicted_finish_s() const {
+    return seg_start_s + seg_makespan_s;
+  }
+};
+
+/// Rebuilds the per-allocation calibration artifacts the scheduler reads:
+/// the canonical cached test run(s), the calibrated PMT whose floors and
+/// demands drive power partitioning, and the oracle PMT that classifies a
+/// share as feasible. All seeds are the canonical campaign forks, so every
+/// artifact is shared with ordinary campaign runs over the same allocation.
+void build_artifacts(const cluster::Cluster& cluster, const core::Pvt& pvt,
+                     Running& r) {
+  core::CalibrationCache& cache = core::CalibrationCache::global();
+  r.test = cache.test_run(cluster, r.alloc.front(), *r.w,
+                          core::test_run_seed(cluster, *r.w));
+  if (cluster.heterogeneous()) {
+    core::ClassTestRuns class_tests;
+    const hw::DeviceClass front_class = cluster.device_class(r.alloc.front());
+    class_tests[hw::device_class_index(front_class)] = r.test;
+    for (hw::ModuleId id : r.alloc) {
+      const hw::DeviceClass c = cluster.device_class(id);
+      std::shared_ptr<const core::TestRunResult>& slot =
+          class_tests[hw::device_class_index(c)];
+      if (slot) continue;
+      slot = cache.test_run(
+          cluster, id, *r.w,
+          core::test_run_seed(cluster, *r.w).fork(hw::device_class_name(c)));
+    }
+    r.floors = std::make_shared<const core::Pmt>(
+        core::calibrate_pmt_per_class(cluster, pvt, class_tests, r.alloc));
+  } else {
+    r.floors = std::make_shared<const core::Pmt>(core::calibrate_pmt(
+        pvt, *r.test, r.alloc, cluster.spec().ladder));
+  }
+  r.oracle = cache.oracle(cluster, r.alloc, *r.w,
+                          core::oracle_seed(cluster, *r.w));
+}
+
+/// Splits the machine envelope across the running jobs. Returns one budget
+/// per running entry, in `running` order; plain scalar loops in fixed order
+/// keep the split bitwise deterministic.
+std::vector<double> partition_budgets(PartitionPolicy policy, double machine_w,
+                                      const std::vector<Running>& running) {
+  const std::size_t n = running.size();
+  std::vector<double> out(n, 0.0);
+  double total_modules = 0.0;
+  for (const Running& r : running) {
+    // vapb-lint: allow(determinism-taint): fixed admission order
+    total_modules += static_cast<double>(r.alloc.size());
+  }
+
+  if (policy == PartitionPolicy::kEqualShare) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out[j] = machine_w *
+               (static_cast<double>(running[j].alloc.size()) / total_modules);
+    }
+    return out;
+  }
+
+  std::vector<double> floor_w(n);
+  std::vector<double> demand_w(n);
+  double sum_floor = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    floor_w[j] = running[j].floors->total_min_w().value();
+    demand_w[j] = running[j].floors->total_max_w().value();
+    // vapb-lint: allow(determinism-taint): fixed admission order
+    sum_floor += floor_w[j];
+  }
+
+  if (machine_w <= sum_floor) {
+    // Over-committed: scale everyone's floor down proportionally (some or
+    // all shares will classify infeasible and stall until a job finishes).
+    for (std::size_t j = 0; j < n; ++j) {
+      out[j] = machine_w * (floor_w[j] / sum_floor);
+    }
+    return out;
+  }
+
+  if (policy == PartitionPolicy::kDemandProportional) {
+    double sum_span = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      // vapb-lint: allow(determinism-taint): fixed admission order
+      sum_span += std::max(0.0, demand_w[j] - floor_w[j]);
+    }
+    const double surplus = machine_w - sum_floor;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double share =
+          sum_span > 0.0
+              ? std::max(0.0, demand_w[j] - floor_w[j]) / sum_span
+              : static_cast<double>(running[j].alloc.size()) / total_modules;
+      out[j] = floor_w[j] + surplus * share;
+    }
+    return out;
+  }
+
+  // Water-fill: everyone starts at their floor; the surplus is poured
+  // per-module across the unclamped jobs, clamping each at its demand and
+  // redistributing what it could not absorb — the job-level analogue of
+  // solve_budget_tree's node water-filling.
+  double surplus = machine_w - sum_floor;
+  std::vector<char> clamped(n, 0);
+  for (std::size_t j = 0; j < n; ++j) out[j] = floor_w[j];
+  while (surplus > 1e-12) {
+    double open_modules = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      // vapb-lint: allow(determinism-taint): fixed admission order
+      if (clamped[j] == 0) open_modules += static_cast<double>(
+                               running[j].alloc.size());
+    }
+    if (open_modules <= 0.0) break;  // everyone saturated; leave the rest
+    const double per_module_w = surplus / open_modules;
+    bool clamped_any = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (clamped[j] != 0) continue;
+      const double want =
+          out[j] + per_module_w * static_cast<double>(running[j].alloc.size());
+      if (want >= demand_w[j]) {
+        surplus -= demand_w[j] - out[j];
+        out[j] = demand_w[j];
+        clamped[j] = 1;
+        clamped_any = true;
+      }
+    }
+    if (!clamped_any) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (clamped[j] != 0) continue;
+        out[j] += per_module_w * static_cast<double>(running[j].alloc.size());
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double jain_index(const std::vector<double>& xs) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : xs) {
+    // vapb-lint: allow(determinism-taint): fixed index order
+    sum += x;
+    // vapb-lint: allow(determinism-taint): fixed index order
+    sum_sq += x * x;
+  }
+  if (xs.empty() || sum_sq <= 0.0) return 0.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+MachineScheduler::MachineScheduler(const cluster::Cluster& cluster,
+                                   std::shared_ptr<const core::Pvt> pvt,
+                                   TenancyOptions options)
+    : cluster_(cluster), pvt_(std::move(pvt)), options_(options) {
+  if (!pvt_) throw InvalidArgument("MachineScheduler: null PVT");
+}
+
+std::vector<hw::ModuleId> MachineScheduler::place(
+    const std::vector<hw::ModuleId>& free_pool, const JobSpec& job,
+    PlacementPolicy policy, util::SeedSequence seed) const {
+  const workloads::Workload& w = workloads::by_name(job.workload);
+
+  // The variation-aware rank: a module's calibrated power appetite is the
+  // mean of its fmax PVT scales. Pool sorted hungry-first (ties by id), a
+  // window slides by the workload's compute fraction: frequency-insensitive
+  // jobs (cpu_fraction ~ 0) absorb the power-hungry silicon where the lost
+  // clocks cost them nothing, frequency-bound jobs get the efficient
+  // silicon that runs fastest per watt of share.
+  const auto variation_pick = [&](const std::vector<hw::ModuleId>& pool,
+                                  std::size_t count) {
+    if (count == 0) throw InvalidArgument("Scheduler: count must be > 0");
+    if (count > pool.size()) {
+      throw InvalidArgument("Scheduler: requested " + std::to_string(count) +
+                            " modules, block has " +
+                            std::to_string(pool.size()));
+    }
+    std::vector<std::pair<double, hw::ModuleId>> ranked;
+    ranked.reserve(pool.size());
+    for (const hw::ModuleId id : pool) {
+      const core::PvtEntry& e = pvt_->entry(id);
+      ranked.emplace_back(-(e.cpu_max + e.dram_max) / 2.0, id);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    // The catalog's cpu fractions only span ~[0.45, 0.99]; stretch that
+    // band over the whole ranking so the least frequency-sensitive job in
+    // the system actually takes the power-hungry head (and the most
+    // cpu-bound job the efficient tail) instead of everyone crowding the
+    // middle and leaving the hungriest silicon to whoever places last.
+    const double cf = std::clamp(w.cpu_fraction, 0.0, 1.0);
+    const double t = std::clamp((cf - 0.5) / 0.45, 0.0, 1.0);
+    const auto offset = static_cast<std::size_t>(std::llround(
+        static_cast<double>(pool.size() - count) * t));
+    std::vector<hw::ModuleId> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(ranked[offset + i].second);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  const auto pick = [&](const std::vector<hw::ModuleId>& pool,
+                        std::size_t count, util::SeedSequence s) {
+    if (policy == PlacementPolicy::kVariationAware) {
+      return variation_pick(pool, count);
+    }
+    cluster::Scheduler scheduler(cluster_);
+    return scheduler.allocate_from(pool, count, to_allocation_policy(policy),
+                                   s, &w.profile);
+  };
+
+  if (job.mix.empty()) {
+    return pick(free_pool, static_cast<std::size_t>(job.modules), seed);
+  }
+
+  // Class mixes select within each class's slice of the free pool, under a
+  // per-class seed fork (same convention as Scheduler::allocate_mix).
+  const hw::ClassMix want = hw::ClassMix::parse(job.mix);
+  std::vector<hw::ModuleId> out;
+  out.reserve(want.total());
+  for (const hw::DeviceClass c : hw::all_device_classes()) {
+    const std::size_t count = want.count(c);
+    if (count == 0) continue;
+    std::vector<hw::ModuleId> class_pool;
+    for (const hw::ModuleId id : free_pool) {
+      if (cluster_.device_class(id) == c) class_pool.push_back(id);
+    }
+    std::vector<hw::ModuleId> picks =
+        pick(class_pool, count, seed.fork(hw::device_class_name(c)));
+    out.insert(out.end(), picks.begin(), picks.end());
+  }
+  return out;
+}
+
+TenancyResult MachineScheduler::run(const TenancyTrace& trace) const {
+  trace.validate();
+  const PlacementPolicy placement = placement_policy_by_name(trace.placement);
+  const PartitionPolicy partition = partition_policy_by_name(trace.partition);
+  const double machine_w =
+      trace.budget_cm_w * static_cast<double>(cluster_.size());
+  const std::size_t n_jobs = trace.jobs.size();
+
+  // Per-job requests, validated against the machine up front.
+  std::vector<hw::ClassMix> mixes(n_jobs);
+  std::vector<std::size_t> requests(n_jobs);
+  for (std::size_t k = 0; k < n_jobs; ++k) {
+    const JobSpec& job = trace.jobs[k];
+    if (job.mix.empty()) {
+      requests[k] = static_cast<std::size_t>(job.modules);
+      if (requests[k] > cluster_.size()) {
+        throw InvalidArgument("tenancy: job '" + job.name + "' requests " +
+                              std::to_string(requests[k]) +
+                              " modules, machine has " +
+                              std::to_string(cluster_.size()));
+      }
+    } else {
+      mixes[k] = hw::ClassMix::parse(job.mix);
+      requests[k] = mixes[k].total();
+      for (const hw::DeviceClass c : hw::all_device_classes()) {
+        if (mixes[k].count(c) > cluster_.mix().count(c)) {
+          throw InvalidArgument(
+              "tenancy: job '" + job.name + "' requests " +
+              std::to_string(mixes[k].count(c)) + " " +
+              hw::device_class_name(c) + " modules, machine has " +
+              std::to_string(cluster_.mix().count(c)));
+        }
+      }
+    }
+  }
+
+  // Arrival order: effective time, ties by trace position.
+  std::vector<double> arrival_s(n_jobs);
+  for (std::size_t k = 0; k < n_jobs; ++k) {
+    arrival_s[k] = trace.jobs[k].arrival_s * trace.arrival_scale;
+  }
+  std::vector<std::size_t> order(n_jobs);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return arrival_s[a] < arrival_s[b];
+                   });
+
+  TenancyResult result;
+  result.trace_fingerprint = trace.fingerprint();
+  result.jobs.resize(n_jobs);
+  for (std::size_t k = 0; k < n_jobs; ++k) {
+    JobOutcome& o = result.jobs[k];
+    o.name = trace.jobs[k].name;
+    o.workload = trace.jobs[k].workload;
+    o.arrival_s = arrival_s[k];
+    o.start_s = kNaN;
+    o.finish_s = kNaN;
+    o.slowdown = kNaN;
+    o.solo_s = kNaN;
+  }
+
+  std::vector<hw::ModuleId> pool(cluster_.size());
+  std::iota(pool.begin(), pool.end(), hw::ModuleId{0});
+  std::deque<std::size_t> queue;
+  std::vector<Running> running;
+  std::size_t next_arrival = 0;
+  std::size_t finished = 0;
+  bool fail_pending = trace.fail_module >= 0;
+
+  const auto fits = [&](std::size_t k) {
+    if (trace.jobs[k].mix.empty()) return requests[k] <= pool.size();
+    std::array<std::size_t, hw::kDeviceClassCount> have{};
+    for (const hw::ModuleId id : pool) {
+      ++have[hw::device_class_index(cluster_.device_class(id))];
+    }
+    for (const hw::DeviceClass c : hw::all_device_classes()) {
+      if (mixes[k].count(c) > have[hw::device_class_index(c)]) return false;
+    }
+    return true;
+  };
+
+  // Cuts the active segment at time t, banking completed iterations (floor,
+  // never the full segment — completion is its own event) and the energy
+  // the job actually drew.
+  const auto advance = [&](Running& r, double t) {
+    if (r.stalled || !(t > r.seg_start_s) || r.seg_iterations == 0) return;
+    const double frac = (t - r.seg_start_s) / r.seg_makespan_s;
+    int done = static_cast<int>(
+        std::floor(static_cast<double>(r.seg_iterations) * frac));
+    done = std::clamp(done, 0, r.seg_iterations - 1);
+    r.remaining -= done;
+    result.jobs[r.job].energy_j += r.seg_power_w * (t - r.seg_start_s);
+  };
+
+  // Starts a fresh pipeline segment at time t under power share b_w: the
+  // staged pipeline re-solves the job's budget over its current allocation
+  // and remaining iterations. Infeasible shares (below the oracle's fmin
+  // floor, the campaign's "-" classification) stall the job until the next
+  // re-partition.
+  const auto start_segment = [&](Running& r, double t, double b_w) {
+    r.budget_w = b_w;
+    r.seg_start_s = t;
+    r.seg_iterations = 0;
+    if (core::classify_cell(*r.oracle, b_w) == core::CellClass::kInfeasible) {
+      r.stalled = true;
+      r.seg_makespan_s = kInf;
+      r.seg_power_w = 0.0;
+      ++result.jobs[r.job].stalls;
+      return;
+    }
+    core::RunConfig cfg = options_.config;
+    cfg.iterations = r.remaining;
+    if (options_.fault != nullptr) cfg.fault = options_.fault;
+    const core::Runner runner(cluster_, r.alloc, cfg);
+    r.metrics = core::run_scheme_cached(cluster_, runner, *r.w, trace.scheme,
+                                        b_w, *pvt_, *r.test);
+    if (!(r.metrics.makespan_s > 0.0)) {
+      throw InternalError("tenancy: pipeline returned a non-positive makespan");
+    }
+    r.stalled = false;
+    r.seg_makespan_s = r.metrics.makespan_s;
+    r.seg_iterations = r.remaining;
+    r.seg_power_w = r.metrics.total_power_w;
+    result.jobs[r.job].final_budget_w = b_w;
+    ++result.jobs[r.job].segments;
+    ++result.resolves;
+  };
+
+  const auto finish_job = [&](Running& r, double t) {
+    JobOutcome& o = result.jobs[r.job];
+    o.finish_s = t;
+    o.turnaround_s = t - o.arrival_s;
+    o.modules = r.alloc.size();
+    o.allocation = r.alloc;
+    o.final_metrics = std::move(r.metrics);
+    pool.insert(pool.end(), r.alloc.begin(), r.alloc.end());
+    std::sort(pool.begin(), pool.end());
+    ++finished;
+  };
+
+  double t = 0.0;
+  while (finished < n_jobs) {
+    double t_next = kInf;
+    if (next_arrival < n_jobs) {
+      t_next = std::min(t_next, arrival_s[order[next_arrival]]);
+    }
+    for (const Running& r : running) {
+      if (!r.stalled) t_next = std::min(t_next, r.predicted_finish_s());
+    }
+    if (fail_pending) t_next = std::min(t_next, trace.fail_time_s);
+    if (!std::isfinite(t_next)) {
+      throw InternalError(
+          "tenancy: simulation deadlocked — every running job is stalled on "
+          "an infeasible share (or a queued job can no longer be admitted) "
+          "and no event is pending");
+    }
+    t = t_next;
+    bool changed = false;
+
+    // 1. Completions: segments whose predicted finish has arrived.
+    for (auto it = running.begin(); it != running.end();) {
+      if (!it->stalled && it->predicted_finish_s() <= t) {
+        result.jobs[it->job].energy_j += it->seg_power_w * it->seg_makespan_s;
+        it->remaining -= it->seg_iterations;
+        finish_job(*it, t);
+        it = running.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+
+    // 2. The trace-level module failure.
+    if (fail_pending && trace.fail_time_s <= t) {
+      fail_pending = false;
+      const auto dead = static_cast<hw::ModuleId>(trace.fail_module);
+      const auto in_pool = std::find(pool.begin(), pool.end(), dead);
+      if (in_pool != pool.end()) {
+        pool.erase(in_pool);  // retired while idle; nobody re-plans
+      } else {
+        for (auto it = running.begin(); it != running.end(); ++it) {
+          const auto hit = std::find(it->alloc.begin(), it->alloc.end(), dead);
+          if (hit == it->alloc.end()) continue;
+          advance(*it, t);
+          it->alloc.erase(hit);
+          ++result.jobs[it->job].modules_lost;
+          if (!pool.empty()) {
+            // The lowest-id spare replaces the dead module.
+            it->alloc.push_back(pool.front());
+            pool.erase(pool.begin());
+            std::sort(it->alloc.begin(), it->alloc.end());
+          }
+          if (it->alloc.empty()) {
+            // Nothing left to run on: the job ends where the failure left it.
+            finish_job(*it, t);
+            running.erase(it);
+          } else {
+            build_artifacts(cluster_, *pvt_, *it);
+            it->needs_restart = true;
+          }
+          changed = true;
+          break;
+        }
+      }
+    }
+
+    // 3. Arrivals join the FCFS queue.
+    while (next_arrival < n_jobs && arrival_s[order[next_arrival]] <= t) {
+      queue.push_back(order[next_arrival]);
+      ++next_arrival;
+    }
+
+    // 4. Strict-FCFS admission: stop at the first job that does not fit.
+    while (!queue.empty() && fits(queue.front())) {
+      const std::size_t k = queue.front();
+      queue.pop_front();
+      Running r;
+      r.job = k;
+      r.w = &workloads::by_name(trace.jobs[k].workload);
+      r.alloc = place(pool, trace.jobs[k], placement,
+                      util::SeedSequence(trace.seed).fork("place", k));
+      std::vector<hw::ModuleId> next_pool;
+      next_pool.reserve(pool.size() - r.alloc.size());
+      std::set_difference(pool.begin(), pool.end(), r.alloc.begin(),
+                          r.alloc.end(), std::back_inserter(next_pool));
+      pool = std::move(next_pool);
+      r.remaining = trace.jobs[k].iterations > 0
+                        ? trace.jobs[k].iterations
+                        : r.w->default_iterations;
+      build_artifacts(cluster_, *pvt_, r);
+      JobOutcome& o = result.jobs[k];
+      o.start_s = t;
+      o.wait_s = t - o.arrival_s;
+      running.push_back(std::move(r));
+      changed = true;
+    }
+
+    // 5. Re-partition: when the running set changed, every job whose share
+    // moved (bitwise) or whose allocation changed gets a fresh segment.
+    if (changed && !running.empty()) {
+      const std::vector<double> budgets =
+          partition_budgets(partition, machine_w, running);
+      for (std::size_t j = 0; j < running.size(); ++j) {
+        Running& r = running[j];
+        if (!r.needs_restart && budgets[j] == r.budget_w) continue;
+        advance(r, t);
+        start_segment(r, t, budgets[j]);
+        r.needs_restart = false;
+      }
+    }
+  }
+
+  // Solo references: each job run alone at its machine-proportional share
+  // (budget_cm_w per module it held) — the slowdown normalization.
+  for (std::size_t k = 0; k < n_jobs; ++k) {
+    JobOutcome& o = result.jobs[k];
+    if (o.allocation.empty()) continue;
+    Running solo;
+    solo.job = k;
+    solo.w = &workloads::by_name(trace.jobs[k].workload);
+    solo.alloc = o.allocation;
+    build_artifacts(cluster_, *pvt_, solo);
+    const double b_ref =
+        machine_w * (static_cast<double>(o.allocation.size()) /
+                     static_cast<double>(cluster_.size()));
+    if (core::classify_cell(*solo.oracle, b_ref) ==
+        core::CellClass::kInfeasible) {
+      continue;  // solo_s / slowdown stay NaN
+    }
+    core::RunConfig cfg = options_.config;
+    cfg.iterations = trace.jobs[k].iterations;
+    if (options_.fault != nullptr) cfg.fault = options_.fault;
+    const core::Runner runner(cluster_, solo.alloc, cfg);
+    const core::RunMetrics m = core::run_scheme_cached(
+        cluster_, runner, *solo.w, trace.scheme, b_ref, *pvt_, *solo.test);
+    o.solo_s = m.makespan_s;
+    if (o.solo_s > 0.0) o.slowdown = o.turnaround_s / o.solo_s;
+  }
+
+  // System metrics.
+  double makespan = 0.0;
+  double wait_sum = 0.0;
+  double energy_sum = 0.0;
+  std::vector<double> slowdowns;
+  for (const JobOutcome& o : result.jobs) {
+    makespan = std::max(makespan, o.finish_s);
+    // vapb-lint: allow(determinism-taint): fixed trace order
+    wait_sum += o.wait_s;
+    // vapb-lint: allow(determinism-taint): fixed trace order
+    energy_sum += o.energy_j;
+    if (std::isfinite(o.slowdown)) slowdowns.push_back(o.slowdown);
+  }
+  result.makespan_s = makespan;
+  result.mean_wait_s = wait_sum / static_cast<double>(n_jobs);
+  result.energy_j = energy_sum;
+  result.throughput_jph =
+      makespan > 0.0 ? static_cast<double>(n_jobs) / makespan * 3600.0 : 0.0;
+  double slowdown_sum = 0.0;
+  for (const double s : slowdowns) {
+    // vapb-lint: allow(determinism-taint): fixed trace order
+    slowdown_sum += s;
+  }
+  result.mean_slowdown =
+      slowdowns.empty() ? kNaN
+                        : slowdown_sum / static_cast<double>(slowdowns.size());
+  result.jain_fairness = jain_index(slowdowns);
+  result.power_utilization =
+      makespan > 0.0 ? energy_sum / (machine_w * makespan) : 0.0;
+  return result;
+}
+
+}  // namespace vapb::tenancy

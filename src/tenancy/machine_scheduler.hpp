@@ -1,0 +1,124 @@
+// MachineScheduler — the multi-tenant co-scheduling simulation.
+//
+// A deterministic discrete-event loop over one machine: jobs from a
+// TenancyTrace arrive over (simulated) time, wait in a strict-FCFS queue,
+// and run concurrently once modules are free. At every event that changes
+// the running set — an admission, a completion, a module failure — the
+// scheduler re-partitions the machine power envelope across the running
+// jobs and re-solves each affected job's budget through the existing staged
+// pipeline (the dynamic re-solve machinery): each job's execution is a
+// sequence of pipeline segments, cut at iteration granularity whenever its
+// power share or allocation changes.
+//
+// Everything is a pure function of (cluster, trace, options): simulated
+// time only, all randomness through the trace seed's forks, bit-identical
+// regardless of the host machine or thread count.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/pvt.hpp"
+#include "core/runner.hpp"
+#include "tenancy/trace.hpp"
+
+namespace vapb::fault {
+class FaultInjector;
+}  // namespace vapb::fault
+
+namespace vapb::tenancy {
+
+struct TenancyOptions {
+  /// Base run configuration for every pipeline segment (iterations are
+  /// overridden per segment with the job's remaining work).
+  core::RunConfig config;
+  /// Optional fault injector composed into every segment (not owned, may be
+  /// null; must outlive the run) — the fault subsystem's perturbations on
+  /// top of the trace-level module failure.
+  const fault::FaultInjector* fault = nullptr;
+};
+
+/// What happened to one job of the trace.
+struct JobOutcome {
+  std::string name;
+  std::string workload;
+  std::size_t modules = 0;     ///< granted module count (after any failure)
+  double arrival_s = 0.0;      ///< effective (scaled) arrival time
+  double start_s = 0.0;        ///< first admission
+  double finish_s = 0.0;
+  double wait_s = 0.0;         ///< start - arrival
+  double turnaround_s = 0.0;   ///< finish - arrival
+  /// Makespan of the same job run alone at its machine-proportional power
+  /// share (budget_cm_w x modules) — the normalization for slowdown.
+  double solo_s = 0.0;
+  /// turnaround / solo: 1 = as good as running alone, NaN when the solo
+  /// reference itself is infeasible.
+  double slowdown = 0.0;
+  double energy_j = 0.0;       ///< integral of granted segment power
+  double final_budget_w = 0.0; ///< power share of the last segment
+  int segments = 0;            ///< pipeline re-solves this job went through
+  int stalls = 0;              ///< re-partitions whose share was infeasible
+  int modules_lost = 0;        ///< trace-level failures that hit this job
+  std::vector<hw::ModuleId> allocation;
+  /// Full pipeline metrics of the job's last segment — the degenerate
+  /// single-job trace pins these bit-identical to a direct pipeline run.
+  core::RunMetrics final_metrics;
+};
+
+/// System-level result of one trace run.
+struct TenancyResult {
+  std::uint64_t trace_fingerprint = 0;
+  std::vector<JobOutcome> jobs;  ///< trace order
+  double makespan_s = 0.0;       ///< last finish time
+  double throughput_jph = 0.0;   ///< jobs per hour of simulated time
+  double mean_wait_s = 0.0;
+  double mean_slowdown = 0.0;    ///< over jobs with a feasible solo reference
+  /// Jain's fairness index over per-job slowdowns: 1 = perfectly fair,
+  /// 1/n = one job got everything.
+  double jain_fairness = 0.0;
+  double energy_j = 0.0;
+  /// Time-averaged fraction of the machine envelope granted to running
+  /// jobs over [first arrival, makespan].
+  double power_utilization = 0.0;
+  int resolves = 0;  ///< pipeline segments across all jobs
+};
+
+/// Jain's fairness index (sum x)^2 / (n sum x^2) over positive entries;
+/// 0 when the list is empty or all-zero.
+[[nodiscard]] double jain_index(const std::vector<double>& xs);
+
+class MachineScheduler {
+ public:
+  /// `pvt` is the calibrated variation table placement and partitioning
+  /// read (the same artifact the pipeline calibrates budgets from).
+  MachineScheduler(const cluster::Cluster& cluster,
+                   std::shared_ptr<const core::Pvt> pvt,
+                   TenancyOptions options = {});
+
+  /// Runs the trace to completion and scores it. Throws InvalidArgument
+  /// when a job requests more modules than the machine has, and
+  /// InternalError if the simulation deadlocks (every running job stalled
+  /// on an infeasible share with nothing left to arrive).
+  [[nodiscard]] TenancyResult run(const TenancyTrace& trace) const;
+
+  /// Picks `job`'s modules from `free_pool` (ascending ids) under `policy`.
+  /// Exposed for tests: kVariationAware ranks the pool by each module's
+  /// calibrated PVT power scale and slides a window by the workload's
+  /// cpu_fraction — frequency-insensitive jobs get the power-hungry
+  /// silicon, frequency-bound jobs the efficient silicon.
+  [[nodiscard]] std::vector<hw::ModuleId> place(
+      const std::vector<hw::ModuleId>& free_pool, const JobSpec& job,
+      PlacementPolicy policy, util::SeedSequence seed) const;
+
+  [[nodiscard]] const cluster::Cluster& cluster() const { return cluster_; }
+  [[nodiscard]] const core::Pvt& pvt() const { return *pvt_; }
+
+ private:
+  const cluster::Cluster& cluster_;
+  std::shared_ptr<const core::Pvt> pvt_;
+  TenancyOptions options_;
+};
+
+}  // namespace vapb::tenancy

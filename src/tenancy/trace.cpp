@@ -1,0 +1,623 @@
+#include "tenancy/trace.hpp"
+
+#include <bit>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "hw/device_class.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace vapb::tenancy {
+
+namespace {
+
+constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t z = h + kGamma + v;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix(std::uint64_t h, double v) {
+  return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t mix_str(std::uint64_t h, const std::string& s) {
+  h = mix(h, static_cast<std::uint64_t>(s.size()));
+  for (const char c : s) h = mix(h, static_cast<std::uint64_t>(c));
+  return h;
+}
+
+// Field tables shared by the JSON parser, the CLI shorthand and the
+// serializer so the three can never disagree on spelling. String fields
+// must be quoted in JSON, numeric fields must not be.
+enum class FieldKind { kUint64, kInt, kDouble, kString };
+
+template <typename T>
+struct Field {
+  const char* name;
+  FieldKind kind;
+  void* (*slot)(T&);
+};
+
+template <typename T, auto Member>
+void* slot_of(T& s) {
+  return &(s.*Member);
+}
+
+const std::vector<Field<TenancyTrace>>& trace_fields() {
+  static const std::vector<Field<TenancyTrace>> kFields = {
+      {"seed", FieldKind::kUint64, &slot_of<TenancyTrace, &TenancyTrace::seed>},
+      {"budget_cm_w", FieldKind::kDouble,
+       &slot_of<TenancyTrace, &TenancyTrace::budget_cm_w>},
+      {"placement", FieldKind::kString,
+       &slot_of<TenancyTrace, &TenancyTrace::placement>},
+      {"partition", FieldKind::kString,
+       &slot_of<TenancyTrace, &TenancyTrace::partition>},
+      {"scheme", FieldKind::kString,
+       &slot_of<TenancyTrace, &TenancyTrace::scheme>},
+      {"arrival_scale", FieldKind::kDouble,
+       &slot_of<TenancyTrace, &TenancyTrace::arrival_scale>},
+      {"fail_module", FieldKind::kInt,
+       &slot_of<TenancyTrace, &TenancyTrace::fail_module>},
+      {"fail_time_s", FieldKind::kDouble,
+       &slot_of<TenancyTrace, &TenancyTrace::fail_time_s>},
+  };
+  return kFields;
+}
+
+const std::vector<Field<JobSpec>>& job_fields() {
+  static const std::vector<Field<JobSpec>> kFields = {
+      {"name", FieldKind::kString, &slot_of<JobSpec, &JobSpec::name>},
+      {"workload", FieldKind::kString, &slot_of<JobSpec, &JobSpec::workload>},
+      {"modules", FieldKind::kUint64, &slot_of<JobSpec, &JobSpec::modules>},
+      {"mix", FieldKind::kString, &slot_of<JobSpec, &JobSpec::mix>},
+      {"arrival_s", FieldKind::kDouble, &slot_of<JobSpec, &JobSpec::arrival_s>},
+      {"iterations", FieldKind::kInt, &slot_of<JobSpec, &JobSpec::iterations>},
+  };
+  return kFields;
+}
+
+template <typename T>
+[[noreturn]] void unknown_field(const char* what, const std::string& name,
+                                const std::vector<Field<T>>& fields) {
+  std::string msg = std::string("TenancyTrace: unknown ") + what + " field '" +
+                    name + "'";
+  std::vector<std::string> names;
+  names.reserve(fields.size());
+  for (const Field<T>& f : fields) names.emplace_back(f.name);
+  const std::string suggestion = util::nearest_name(name, names);
+  if (!suggestion.empty()) msg += " (did you mean '" + suggestion + "'?)";
+  msg += "; valid fields:";
+  for (const Field<T>& f : fields) {
+    msg += ' ';
+    msg += f.name;
+  }
+  throw InvalidArgument(msg);
+}
+
+/// A parsed JSON value: the raw token plus whether it was a quoted string
+/// (string fields require quotes, numeric fields reject them).
+struct Value {
+  std::string text;
+  bool quoted = false;
+};
+
+template <typename T>
+void assign(T& s, const char* what, const std::string& name,
+            const Value& value, bool check_quotes,
+            const std::vector<Field<T>>& fields) {
+  for (const Field<T>& f : fields) {
+    if (name != f.name) continue;
+    const bool wants_string = f.kind == FieldKind::kString;
+    if (check_quotes && wants_string != value.quoted) {
+      throw InvalidArgument(std::string("TenancyTrace: field '") + name +
+                            (wants_string ? "' needs a quoted string value"
+                                          : "' needs an unquoted number"));
+    }
+    if (wants_string) {
+      *static_cast<std::string*>(f.slot(s)) = value.text;
+      return;
+    }
+    const char* text = value.text.c_str();
+    char* end = nullptr;
+    switch (f.kind) {
+      case FieldKind::kUint64:
+        *static_cast<std::uint64_t*>(f.slot(s)) =
+            std::strtoull(text, &end, 10);
+        break;
+      case FieldKind::kInt:
+        *static_cast<int*>(f.slot(s)) =
+            static_cast<int>(std::strtol(text, &end, 10));
+        break;
+      case FieldKind::kDouble:
+        *static_cast<double*>(f.slot(s)) = std::strtod(text, &end);
+        break;
+      case FieldKind::kString:
+        break;  // handled above
+    }
+    if (end == text || (end != nullptr && *end != '\0')) {
+      throw InvalidArgument("TenancyTrace: bad value '" + value.text +
+                            "' for field '" + name + "'");
+    }
+    return;
+  }
+  unknown_field(what, name, fields);
+}
+
+// Removes // line and /* block */ comments; string literals are respected
+// so a quoted "//" survives. Unterminated block comments throw.
+std::string strip_comments(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '"') {
+      out += c;
+      ++i;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < text.size()) out += text[i++];
+        out += text[i++];
+      }
+      if (i < text.size()) out += text[i++];
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      const std::size_t close = text.find("*/", i + 2);
+      if (close == std::string::npos) {
+        throw InvalidArgument("TenancyTrace: unterminated /* comment");
+      }
+      i = close + 2;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+/// Recursive-descent reader for the trace grammar: one object of scalar
+/// fields, where exactly one key — "jobs" — may hold an array of flat
+/// objects. One nesting level, no more.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string text) : text_(std::move(text)) {}
+
+  struct Document {
+    std::map<std::string, Value> scalars;
+    std::vector<std::map<std::string, Value>> jobs;
+    bool has_jobs = false;
+  };
+
+  Document read_trace() {
+    Document doc;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      finish();
+      return doc;
+    }
+    while (true) {
+      std::string key = read_string();
+      expect(':');
+      skip_ws();
+      if (key == "jobs") {
+        if (doc.has_jobs) {
+          throw InvalidArgument("TenancyTrace: duplicate field in JSON");
+        }
+        doc.has_jobs = true;
+        doc.jobs = read_jobs();
+      } else {
+        Value value = read_value();
+        if (!doc.scalars.emplace(std::move(key), std::move(value)).second) {
+          throw InvalidArgument("TenancyTrace: duplicate field in JSON");
+        }
+      }
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    finish();
+    return doc;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgument("TenancyTrace: JSON parse error: " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::string read_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') out += text_[pos_++];
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  Value read_value() {
+    skip_ws();
+    if (peek() == '"') return {read_string(), /*quoted=*/true};
+    std::string out;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      out += text_[pos_++];
+    }
+    if (out.empty()) fail("expected a number or string");
+    return {std::move(out), /*quoted=*/false};
+  }
+
+  std::vector<std::map<std::string, Value>> read_jobs() {
+    std::vector<std::map<std::string, Value>> jobs;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return jobs;
+    }
+    while (true) {
+      jobs.push_back(read_flat_object());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    return jobs;
+  }
+
+  std::map<std::string, Value> read_flat_object() {
+    std::map<std::string, Value> out;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      std::string key = read_string();
+      expect(':');
+      Value value = read_value();
+      if (!out.emplace(std::move(key), std::move(value)).second) {
+        throw InvalidArgument("TenancyTrace: duplicate field in JSON job");
+      }
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    return out;
+  }
+
+  void finish() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after object");
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+/// "cpu48+gpu16" -> canonical hw::ClassMix spec "cpu:48,gpu:16".
+std::string parse_cli_mix(const std::string& spec) {
+  std::string canonical;
+  for (const std::string& part : util::split(spec, '+')) {
+    std::size_t digits = part.size();
+    while (digits > 0 &&
+           std::isdigit(static_cast<unsigned char>(part[digits - 1])) != 0) {
+      --digits;
+    }
+    if (digits == 0 || digits == part.size()) {
+      throw InvalidArgument("TenancyTrace: bad class count '" + part +
+                            "' (expected e.g. cpu48)");
+    }
+    if (!canonical.empty()) canonical += ',';
+    canonical += part.substr(0, digits) + ':' + part.substr(digits);
+  }
+  return hw::ClassMix::parse(canonical).str();
+}
+
+/// One CLI job entry: workload:modules@arrival with an optional
+/// x<iterations> suffix; modules is a count or a '+'-joined class list.
+JobSpec parse_cli_job(const std::string& entry) {
+  const std::size_t colon = entry.find(':');
+  const std::size_t at = entry.find('@', colon == std::string::npos ? 0 : colon);
+  if (colon == std::string::npos || at == std::string::npos || at < colon) {
+    throw InvalidArgument(
+        "TenancyTrace: bad job '" + entry +
+        "' (expected workload:modules@arrival[x<iterations>])");
+  }
+  JobSpec job;
+  job.workload = entry.substr(0, colon);
+  const std::string modules = entry.substr(colon + 1, at - colon - 1);
+  std::string tail = entry.substr(at + 1);
+  const std::size_t x = tail.find('x');
+  if (x != std::string::npos) {
+    job.iterations = static_cast<int>(std::strtol(tail.c_str() + x + 1,
+                                                  nullptr, 10));
+    tail = tail.substr(0, x);
+  }
+  const char* text = tail.c_str();
+  char* end = nullptr;
+  job.arrival_s = std::strtod(text, &end);
+  if (end == text || (end != nullptr && *end != '\0')) {
+    throw InvalidArgument("TenancyTrace: bad arrival '" + tail + "' in job '" +
+                          entry + "'");
+  }
+  if (!modules.empty() &&
+      modules.find_first_not_of("0123456789") == std::string::npos) {
+    job.modules = std::strtoull(modules.c_str(), nullptr, 10);
+  } else {
+    job.mix = parse_cli_mix(modules);
+  }
+  return job;
+}
+
+/// "j<index>" via snprintf — a plain string concatenation here trips GCC
+/// 12's -Wrestrict false positive (PR105329) under -O2.
+std::string auto_job_name(std::size_t index) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "j%zu", index);
+  return buf;
+}
+
+}  // namespace
+
+std::string placement_policy_name(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kContiguous:
+      return "contiguous";
+    case PlacementPolicy::kRandom:
+      return "random";
+    case PlacementPolicy::kStrided:
+      return "strided";
+    case PlacementPolicy::kWorstPower:
+      return "worst-power";
+    case PlacementPolicy::kBestPower:
+      return "best-power";
+    case PlacementPolicy::kVariationAware:
+      return "variation-aware";
+  }
+  throw InternalError("unhandled placement policy");
+}
+
+std::string partition_policy_name(PartitionPolicy p) {
+  switch (p) {
+    case PartitionPolicy::kEqualShare:
+      return "equal-share";
+    case PartitionPolicy::kDemandProportional:
+      return "demand-prop";
+    case PartitionPolicy::kWaterFill:
+      return "water-fill";
+  }
+  throw InternalError("unhandled partition policy");
+}
+
+std::vector<PlacementPolicy> all_placement_policies() {
+  return {PlacementPolicy::kContiguous,  PlacementPolicy::kRandom,
+          PlacementPolicy::kStrided,     PlacementPolicy::kWorstPower,
+          PlacementPolicy::kBestPower,   PlacementPolicy::kVariationAware};
+}
+
+std::vector<PartitionPolicy> all_partition_policies() {
+  return {PartitionPolicy::kEqualShare, PartitionPolicy::kDemandProportional,
+          PartitionPolicy::kWaterFill};
+}
+
+namespace {
+
+template <typename Policy>
+Policy policy_by_name(const char* what, const std::string& name,
+                      const std::vector<Policy>& all,
+                      std::string (*policy_name)(Policy)) {
+  std::vector<std::string> names;
+  names.reserve(all.size());
+  for (Policy p : all) {
+    names.push_back(policy_name(p));
+    if (names.back() == name) return p;
+  }
+  std::string msg =
+      std::string("unknown ") + what + " policy '" + name + "'";
+  const std::string suggestion = util::nearest_name(name, names);
+  if (!suggestion.empty()) msg += " (did you mean '" + suggestion + "'?)";
+  msg += "; valid:";
+  for (const std::string& n : names) {
+    msg += ' ';
+    // vapb-lint: allow(determinism-reduction): ordered text, not an FP sum
+    msg += n;
+  }
+  throw InvalidArgument(msg);
+}
+
+}  // namespace
+
+PlacementPolicy placement_policy_by_name(const std::string& name) {
+  return policy_by_name("placement", name, all_placement_policies(),
+                        &placement_policy_name);
+}
+
+PartitionPolicy partition_policy_by_name(const std::string& name) {
+  return policy_by_name("partition", name, all_partition_policies(),
+                        &partition_policy_name);
+}
+
+std::uint64_t TenancyTrace::fingerprint() const {
+  std::uint64_t h = mix(0x76617062746e63ULL, seed);  // "vapbtnc"
+  h = mix(h, budget_cm_w);
+  h = mix_str(h, placement);
+  h = mix_str(h, partition);
+  h = mix_str(h, scheme);
+  h = mix(h, arrival_scale);
+  h = mix(h, static_cast<std::uint64_t>(fail_module));
+  h = mix(h, fail_time_s);
+  h = mix(h, static_cast<std::uint64_t>(jobs.size()));
+  for (const JobSpec& j : jobs) {
+    h = mix_str(h, j.name);
+    h = mix_str(h, j.workload);
+    h = mix(h, j.modules);
+    h = mix_str(h, j.mix);
+    h = mix(h, j.arrival_s);
+    h = mix(h, static_cast<std::uint64_t>(j.iterations));
+  }
+  return h == 0 ? 1 : h;
+}
+
+std::string TenancyTrace::serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\n";
+  os << "  \"seed\": " << seed << ",\n";
+  os << "  \"budget_cm_w\": " << budget_cm_w << ",\n";
+  os << "  \"placement\": \"" << placement << "\",\n";
+  os << "  \"partition\": \"" << partition << "\",\n";
+  os << "  \"scheme\": \"" << scheme << "\",\n";
+  os << "  \"arrival_scale\": " << arrival_scale << ",\n";
+  os << "  \"fail_module\": " << fail_module << ",\n";
+  os << "  \"fail_time_s\": " << fail_time_s << ",\n";
+  os << "  \"jobs\": [\n";
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    const JobSpec& j = jobs[k];
+    os << "    {\"name\": \"" << j.name << "\", \"workload\": \"" << j.workload
+       << "\", ";
+    if (j.mix.empty()) {
+      os << "\"modules\": " << j.modules;
+    } else {
+      os << "\"mix\": \"" << j.mix << "\"";
+    }
+    os << ", \"arrival_s\": " << j.arrival_s
+       << ", \"iterations\": " << j.iterations << "}";
+    os << (k + 1 < jobs.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+TenancyTrace TenancyTrace::parse(const std::string& json) {
+  JsonReader reader(strip_comments(json));
+  const JsonReader::Document doc = reader.read_trace();
+  TenancyTrace t;
+  for (const auto& [key, value] : doc.scalars) {
+    assign(t, "trace", key, value, /*check_quotes=*/true, trace_fields());
+  }
+  for (std::size_t k = 0; k < doc.jobs.size(); ++k) {
+    JobSpec job;
+    for (const auto& [key, value] : doc.jobs[k]) {
+      assign(job, "job", key, value, /*check_quotes=*/true, job_fields());
+    }
+    if (job.name.empty()) job.name = auto_job_name(k);
+    if (!job.mix.empty()) job.mix = hw::ClassMix::parse(job.mix).str();
+    t.jobs.push_back(std::move(job));
+  }
+  t.validate();
+  return t;
+}
+
+TenancyTrace TenancyTrace::parse_kv(const std::string& spec) {
+  TenancyTrace t;
+  std::size_t pos = 0;
+  while (pos <= spec.size() && !spec.empty()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (part.empty()) continue;
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      throw InvalidArgument("TenancyTrace: expected key=value, got '" + part +
+                            "'");
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    if (key == "jobs") {
+      for (const std::string& entry : util::split(value, '|')) {
+        JobSpec job = parse_cli_job(entry);
+        job.name = auto_job_name(t.jobs.size());
+        t.jobs.push_back(std::move(job));
+      }
+    } else {
+      assign(t, "trace", key, {value, /*quoted=*/false},
+             /*check_quotes=*/false, trace_fields());
+    }
+    if (pos > spec.size()) break;
+  }
+  t.validate();
+  return t;
+}
+
+void TenancyTrace::validate() const {
+  auto require = [](bool ok, const std::string& what) {
+    if (!ok) throw InvalidArgument("TenancyTrace: " + what);
+  };
+  require(std::isfinite(budget_cm_w) && budget_cm_w > 0.0,
+          "budget_cm_w must be > 0");
+  require(std::isfinite(arrival_scale) && arrival_scale > 0.0,
+          "arrival_scale must be > 0");
+  require(!scheme.empty(), "scheme must be non-empty");
+  require(fail_module >= -1, "fail_module must be >= -1 (-1 = none)");
+  require(std::isfinite(fail_time_s) && fail_time_s >= 0.0,
+          "fail_time_s must be >= 0");
+  // Resolve the policies: unknown spellings throw with a suggestion.
+  (void)placement_policy_by_name(placement);
+  (void)partition_policy_by_name(partition);
+  require(!jobs.empty(), "at least one job is required");
+  for (const JobSpec& j : jobs) {
+    require(!j.name.empty(), "job names must be non-empty");
+    require(!j.workload.empty(), "job '" + j.name + "' needs a workload");
+    require((j.modules > 0) != (!j.mix.empty()),
+            "job '" + j.name +
+                "' needs exactly one of a module count or a class mix");
+    if (!j.mix.empty()) {
+      require(hw::ClassMix::parse(j.mix).total() > 0,
+              "job '" + j.name + "' requests an empty class mix");
+    }
+    require(std::isfinite(j.arrival_s) && j.arrival_s >= 0.0,
+            "job '" + j.name + "' needs arrival_s >= 0");
+    require(j.iterations >= 0,
+            "job '" + j.name + "' needs iterations >= 0");
+  }
+  for (std::size_t a = 0; a < jobs.size(); ++a) {
+    for (std::size_t b = a + 1; b < jobs.size(); ++b) {
+      require(jobs[a].name != jobs[b].name,
+              "duplicate job name '" + jobs[a].name + "'");
+    }
+  }
+}
+
+}  // namespace vapb::tenancy

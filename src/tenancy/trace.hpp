@@ -1,0 +1,108 @@
+// TenancyTrace — the declarative spec of a multi-tenant co-scheduling
+// experiment: which jobs arrive when, how many modules each wants, and how
+// the MachineScheduler divides modules (placement) and the machine power
+// envelope (partition) among whatever is running.
+//
+// The grammar mirrors FaultScenario's conventions: a small JSON form (one
+// object, // and /* */ comments allowed) extended with a "jobs" array of
+// flat objects, a CLI "key=value,..." shorthand with a compact job list,
+// canonical serialization (parse(serialize()) reproduces the value exactly)
+// and a stable non-zero fingerprint keying caches and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vapb::tenancy {
+
+/// How the MachineScheduler picks modules from the free pool for a job.
+/// The first five route through cluster::Scheduler::allocate_from with the
+/// matching AllocationPolicy; kVariationAware is the tenancy-specific
+/// policy that ranks the pool by calibrated PVT power scales and hands the
+/// power-hungry silicon to the least frequency-sensitive jobs.
+enum class PlacementPolicy {
+  kContiguous,
+  kRandom,
+  kStrided,
+  kWorstPower,
+  kBestPower,
+  kVariationAware,
+};
+
+/// How the machine budget is divided across the running jobs.
+enum class PartitionPolicy {
+  kEqualShare,           ///< naive: budget proportional to module count only
+  kDemandProportional,   ///< PMT floors + surplus proportional to demand span
+  kWaterFill,            ///< floors + per-module water-filling, clamped at demand
+};
+
+/// Stable CLI/config spelling ("contiguous", ..., "variation-aware").
+[[nodiscard]] std::string placement_policy_name(PlacementPolicy p);
+[[nodiscard]] std::string partition_policy_name(PartitionPolicy p);
+
+/// Inverse of the name functions. Unknown names throw InvalidArgument with
+/// a did-you-mean suggestion plus every valid spelling.
+[[nodiscard]] PlacementPolicy placement_policy_by_name(const std::string& name);
+[[nodiscard]] PartitionPolicy partition_policy_by_name(const std::string& name);
+
+/// Every policy, in enum order.
+[[nodiscard]] std::vector<PlacementPolicy> all_placement_policies();
+[[nodiscard]] std::vector<PartitionPolicy> all_partition_policies();
+
+/// One job of the trace: a workload, a module request (homogeneous count or
+/// per-class mix) and an arrival time.
+struct JobSpec {
+  std::string name;      ///< unique label; parsers default empty names to "j<index>"
+  std::string workload;  ///< catalog name (workloads::by_name)
+  /// Homogeneous module count. Exactly one of `modules` / `mix` is set.
+  std::uint64_t modules = 0;
+  /// Per-class request in canonical hw::ClassMix spelling
+  /// ("cpu:48,gpu:16"); empty = homogeneous count.
+  std::string mix;
+  double arrival_s = 0.0;  ///< nominal arrival time (scaled by arrival_scale)
+  int iterations = 0;      ///< 0 = the workload's default
+};
+
+struct TenancyTrace {
+  /// Master seed of every scheduler-side draw (placement forks per job).
+  std::uint64_t seed = 2015;
+  /// Machine power envelope, expressed per module like the campaign CLI's
+  /// Cm budgets: the machine budget is budget_cm_w x cluster size.
+  double budget_cm_w = 80.0;
+  std::string placement = "contiguous";
+  std::string partition = "equal-share";
+  std::string scheme = "VaPc";  ///< registry scheme every job runs under
+  /// Multiplier on every arrival_s: < 1 packs arrivals tighter (heavier
+  /// contention), > 1 spreads them out.
+  double arrival_scale = 1.0;
+  /// Tenancy-level hard failure: this module dies at fail_time_s, forcing
+  /// its job to reallocate mid-run. -1 = no failure.
+  int fail_module = -1;
+  double fail_time_s = 0.0;
+  std::vector<JobSpec> jobs;
+
+  /// Stable content hash over every field (jobs included); never 0.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Canonical JSON form; parse(serialize()) reproduces the value exactly.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parses the JSON grammar: one object of scalar fields plus a "jobs"
+  /// array of flat job objects, with // and /* */ comments stripped first.
+  /// Unknown keys throw InvalidArgument naming the valid spellings.
+  static TenancyTrace parse(const std::string& json);
+
+  /// Parses the CLI shorthand, e.g.
+  ///   "seed=7,partition=water-fill,jobs=MHD:64@0|DGEMM:cpu48+gpu16@5x8"
+  /// — jobs are '|'-separated workload:modules@arrival entries with an
+  /// optional x<iterations> suffix; modules is a count or a '+'-joined
+  /// class list (cpu48+gpu16).
+  static TenancyTrace parse_kv(const std::string& spec);
+
+  /// Throws InvalidArgument when a field is out of range, a policy name is
+  /// unknown, a job requests no (or ambiguous) modules, or names collide.
+  void validate() const;
+};
+
+}  // namespace vapb::tenancy

@@ -1,0 +1,30 @@
+// Fixture: the tenancy simulation's results are deterministic sinks — a
+// TenancyResult is promised bit-identical at any thread count. Folding
+// unordered-map iteration order into its system metrics must be flagged by
+// the taint rule even though the loop itself looks innocuous.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fix::tenancy {
+
+struct JobOutcome {
+  std::string name;
+  double energy_j = 0.0;
+};
+
+struct TenancyResult {
+  std::vector<JobOutcome> jobs;
+  double energy_j = 0.0;
+};
+
+TenancyResult reduce(const std::unordered_map<std::string, double>& by_job) {
+  TenancyResult r;
+  for (const auto& [name, energy] : by_job) {
+    r.jobs.push_back({name, energy});
+    r.energy_j += energy;
+  }
+  return r;
+}
+
+}  // namespace fix::tenancy

@@ -1,0 +1,29 @@
+// Fixture: the deterministic counterpart of bad_tenancy_unordered.cpp — the
+// same reduction over a fixed-order vector, which the taint rule must pass.
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fix::tenancy {
+
+struct JobOutcome {
+  std::string name;
+  double energy_j = 0.0;
+};
+
+struct TenancyResult {
+  std::vector<JobOutcome> jobs;
+  double energy_j = 0.0;
+};
+
+TenancyResult reduce(const std::vector<std::pair<std::string, double>>& jobs) {
+  TenancyResult r;
+  for (const auto& [name, energy] : jobs) {
+    r.jobs.push_back({name, energy});
+    // vapb-lint: allow(determinism-reduction): fixed job order
+    r.energy_j += energy;
+  }
+  return r;
+}
+
+}  // namespace fix::tenancy

@@ -290,6 +290,21 @@ TEST(SemanticFixtures, DeviceClassMapFoldedIntoReplyIsTainted) {
   EXPECT_EQ(count_rule(good, "determinism-taint"), 0);
 }
 
+TEST(SemanticFixtures, TenancyResultIsADeterminismSink) {
+  // TenancyResult / JobOutcome join the sink-type list with the tenancy
+  // subsystem: the co-scheduling simulation promises bitwise-identical
+  // results at any thread count, so hash-order folds into them must flag.
+  auto bad = analyze({parse_fixture("src/tenancy/bad_tenancy_unordered.cpp")});
+  ASSERT_EQ(count_rule(bad, "determinism-taint"), 1);
+  EXPECT_NE(bad.front().message.find("unordered-container iteration"),
+            std::string::npos)
+      << bad.front().message;
+  EXPECT_NE(bad.front().message.find("reduce"), std::string::npos)
+      << bad.front().message;
+  auto good = analyze({parse_fixture("src/tenancy/good_tenancy_ordered.cpp")});
+  EXPECT_EQ(count_rule(good, "determinism-taint"), 0);
+}
+
 TEST(SemanticFixtures, PerClassTableLookupsObeyUnitFlow) {
   // One return mismatch (gigahertz lookup banked as a watts cap) and one
   // argument mismatch (a seconds span into a watts headroom parameter).

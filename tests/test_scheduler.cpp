@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <set>
 
 #include "util/error.hpp"
@@ -113,6 +114,136 @@ INSTANTIATE_TEST_SUITE_P(
                       AllocationPolicy::kStrided,
                       AllocationPolicy::kWorstPower,
                       AllocationPolicy::kBestPower));
+
+// The exact error contract: callers (vapbctl, the tenancy scheduler) print
+// these messages verbatim, so the wording is pinned.
+
+template <typename Fn>
+std::string thrown_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const InvalidArgument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected InvalidArgument";
+  return "";
+}
+
+TEST_F(SchedulerFixture, ZeroCountMessageIsExact) {
+  EXPECT_EQ(thrown_message([&] {
+              (void)sched_.allocate(0, AllocationPolicy::kContiguous,
+                                    util::SeedSequence(9));
+            }),
+            "Scheduler: count must be > 0");
+}
+
+TEST_F(SchedulerFixture, OversizedCountMessageIsExact) {
+  EXPECT_EQ(thrown_message([&] {
+              (void)sched_.allocate(129, AllocationPolicy::kContiguous,
+                                    util::SeedSequence(9));
+            }),
+            "Scheduler: requested 129 modules, block has 128");
+}
+
+TEST_F(SchedulerFixture, MissingProfileMessageIsExact) {
+  EXPECT_EQ(thrown_message([&] {
+              (void)sched_.allocate(8, AllocationPolicy::kWorstPower,
+                                    util::SeedSequence(9));
+            }),
+            "Scheduler: power-ordered policy needs a ranking profile");
+}
+
+TEST_F(SchedulerFixture, EmptyMixMessageIsExact) {
+  EXPECT_EQ(thrown_message([&] {
+              (void)sched_.allocate_mix(hw::ClassMix{},
+                                        AllocationPolicy::kContiguous,
+                                        util::SeedSequence(9));
+            }),
+            "Scheduler: empty class mix");
+}
+
+TEST(SchedulerMix, PerClassExhaustionNamesTheClass) {
+  // cpu:8,gpu:3,dram:1 fleet: asking for 4 GPUs must name the gpu class and
+  // its fabricated count, not the overall fleet size.
+  Cluster fleet(hw::ha8k(), util::SeedSequence(17),
+                hw::ClassMix::parse("cpu:8,gpu:3,dram:1"));
+  Scheduler sched(fleet);
+  try {
+    (void)sched.allocate_mix(hw::ClassMix::parse("cpu:2,gpu:4"),
+                             AllocationPolicy::kContiguous,
+                             util::SeedSequence(9));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "Scheduler: requested 4 gpu modules, fleet has 3");
+  }
+}
+
+TEST_F(SchedulerFixture, MixCountExceedingClassBlockThrows) {
+  // Homogeneous fleet: every module is a CPU, so the cpu block is the whole
+  // cluster and one-past-it must fail with the per-class message.
+  try {
+    (void)sched_.allocate_mix(hw::ClassMix::parse("cpu:129"),
+                              AllocationPolicy::kContiguous,
+                              util::SeedSequence(9));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(),
+                 "Scheduler: requested 129 cpu modules, fleet has 128");
+  }
+}
+
+TEST_F(SchedulerFixture, AllocateFromFullBlockReproducesAllocate) {
+  std::vector<hw::ModuleId> pool(128);
+  std::iota(pool.begin(), pool.end(), hw::ModuleId{0});
+  const auto& profile = workloads::mhd().profile;
+  for (AllocationPolicy p : all_allocation_policies()) {
+    const auto direct =
+        sched_.allocate(24, p, util::SeedSequence(33), &profile);
+    const auto pooled =
+        sched_.allocate_from(pool, 24, p, util::SeedSequence(33), &profile);
+    EXPECT_EQ(direct, pooled) << allocation_policy_name(p);
+  }
+}
+
+TEST_F(SchedulerFixture, AllocateFromRespectsAFragmentedPool) {
+  // Only even ids are free: every policy must pick within them.
+  std::vector<hw::ModuleId> pool;
+  for (hw::ModuleId id = 0; id < 128; id += 2) pool.push_back(id);
+  const auto& profile = workloads::mhd().profile;
+  for (AllocationPolicy p : all_allocation_policies()) {
+    const auto ids =
+        sched_.allocate_from(pool, 16, p, util::SeedSequence(34), &profile);
+    ASSERT_EQ(ids.size(), 16u) << allocation_policy_name(p);
+    for (const hw::ModuleId id : ids) {
+      EXPECT_EQ(id % 2, 0u) << allocation_policy_name(p);
+    }
+  }
+  EXPECT_EQ(thrown_message([&] {
+              (void)sched_.allocate_from(pool, 65,
+                                         AllocationPolicy::kContiguous,
+                                         util::SeedSequence(34));
+            }),
+            "Scheduler: requested 65 modules, block has 64");
+}
+
+TEST(SchedulerNames, UnknownPolicySuggestsNearest) {
+  try {
+    (void)allocation_policy_by_name("contiguos");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(),
+                 "unknown allocation policy 'contiguos' (did you mean "
+                 "'contiguous'?); valid: contiguous random strided "
+                 "worst-power best-power");
+  }
+  // A name nothing like any policy gets the list without a suggestion.
+  try {
+    (void)allocation_policy_by_name("zzzzzzzzzzzz");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos);
+  }
+}
 
 }  // namespace
 }  // namespace vapb::cluster

@@ -1,0 +1,102 @@
+#include "tenancy/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/calibration_cache.hpp"
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::tenancy {
+namespace {
+
+class TenancyCampaignFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kModules = 24;
+
+  TenancyCampaignFixture() {
+    pvt_ = core::CalibrationCache::global().pvt(
+        cluster_, workloads::pvt_microbench(), cluster_.seed().fork("pvt"));
+  }
+
+  TenancyGrid small_grid() {
+    TenancyGrid grid;
+    grid.arrival_scales = {1.0, 0.5};
+    grid.base.seed = 3;
+    grid.base.budget_cm_w = 80.0;
+    grid.base.jobs.push_back({"a", "MHD", 12, "", 0.0, 2});
+    grid.base.jobs.push_back({"b", "*DGEMM", 12, "", 1.0, 2});
+    grid.base.jobs.push_back({"c", "NPB-EP", 8, "", 2.0, 2});
+    return grid;
+  }
+
+  cluster::Cluster cluster_{hw::ha8k(), util::SeedSequence(13), kModules};
+  std::shared_ptr<const core::Pvt> pvt_;
+};
+
+TEST_F(TenancyCampaignFixture, ExpandCrossesScalesAndPolicies) {
+  const TenancyGrid grid = small_grid();
+  const std::vector<TenancyTrace> traces = TenancyCampaign::expand(grid);
+  ASSERT_EQ(traces.size(), grid.point_count());
+  // Arrival scale is the outer axis, policy pairs the inner.
+  EXPECT_EQ(traces[0].arrival_scale, 1.0);
+  EXPECT_EQ(traces[0].placement, "contiguous");
+  EXPECT_EQ(traces[1].placement, "variation-aware");
+  EXPECT_EQ(traces[1].partition, "water-fill");
+  EXPECT_EQ(traces[2].arrival_scale, 0.5);
+}
+
+TEST_F(TenancyCampaignFixture, ExpandRejectsEmptyAxes) {
+  TenancyGrid grid = small_grid();
+  grid.policies.clear();
+  EXPECT_THROW((void)TenancyCampaign::expand(grid), InvalidArgument);
+}
+
+TEST_F(TenancyCampaignFixture, ThreadCountNeverChangesTheResult) {
+  const TenancyGrid grid = small_grid();
+  const TenancyCampaignResult serial =
+      TenancyCampaign(cluster_, pvt_, 1).run(grid);
+  const TenancyCampaignResult pooled =
+      TenancyCampaign(cluster_, pvt_, 4).run(grid);
+  std::ostringstream a;
+  std::ostringstream b;
+  write_tenancy_campaign_json(serial, a);
+  write_tenancy_campaign_json(pooled, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST_F(TenancyCampaignFixture, NaivePointScoresOneAgainstItself) {
+  const TenancyCampaignResult result =
+      TenancyCampaign(cluster_, pvt_, 1).run(small_grid());
+  const TenancyPointResult& naive =
+      result.point(1.0, "contiguous", "equal-share");
+  EXPECT_DOUBLE_EQ(naive.throughput_vs_naive, 1.0);
+  EXPECT_DOUBLE_EQ(naive.makespan_vs_naive, 1.0);
+  const TenancyPointResult& aware =
+      result.point(1.0, "variation-aware", "water-fill");
+  EXPECT_TRUE(std::isfinite(aware.throughput_vs_naive));
+  EXPECT_GT(aware.throughput_vs_naive, 0.0);
+  EXPECT_THROW((void)result.point(9.0, "contiguous", "equal-share"),
+               InvalidArgument);
+}
+
+TEST_F(TenancyCampaignFixture, JsonCarriesEveryPoint) {
+  const TenancyCampaignResult result =
+      TenancyCampaign(cluster_, pvt_, 1).run(small_grid());
+  std::ostringstream os;
+  write_tenancy_campaign_json(result, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"throughput_vs_naive\""), std::string::npos);
+  EXPECT_NE(json.find("\"jain_fairness\""), std::string::npos);
+  EXPECT_NE(json.find("\"variation-aware\""), std::string::npos);
+  std::size_t points = 0;
+  for (std::size_t pos = json.find("\"trace\""); pos != std::string::npos;
+       pos = json.find("\"trace\"", pos + 1)) {
+    ++points;
+  }
+  EXPECT_EQ(points, result.points.size());
+}
+
+}  // namespace
+}  // namespace vapb::tenancy

@@ -1,0 +1,296 @@
+#include "tenancy/machine_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/calibration_cache.hpp"
+#include "core/campaign.hpp"
+#include "core/pmt.hpp"
+#include "util/error.hpp"
+#include "workloads/catalog.hpp"
+
+namespace vapb::tenancy {
+namespace {
+
+class TenancyFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kModules = 32;
+
+  TenancyFixture() {
+    pvt_ = core::CalibrationCache::global().pvt(
+        cluster_, workloads::pvt_microbench(), cluster_.seed().fork("pvt"));
+    scheduler_ = std::make_unique<MachineScheduler>(cluster_, pvt_);
+  }
+
+  TenancyTrace base_trace() {
+    TenancyTrace t;
+    t.seed = 5;
+    t.budget_cm_w = 80.0;
+    return t;
+  }
+
+  std::vector<hw::ModuleId> full_pool() {
+    std::vector<hw::ModuleId> pool(kModules);
+    std::iota(pool.begin(), pool.end(), hw::ModuleId{0});
+    return pool;
+  }
+
+  double pvt_power_scale(hw::ModuleId id) {
+    const core::PvtEntry& e = pvt_->entry(id);
+    return (e.cpu_max + e.dram_max) / 2.0;
+  }
+
+  cluster::Cluster cluster_{hw::ha8k(), util::SeedSequence(7), kModules};
+  std::shared_ptr<const core::Pvt> pvt_;
+  std::unique_ptr<MachineScheduler> scheduler_;
+};
+
+TEST(JainIndex, MatchesDefinition) {
+  EXPECT_EQ(jain_index({}), 0.0);
+  EXPECT_EQ(jain_index({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 1.0, 1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 0.0, 0.0, 0.0}), 0.25);
+}
+
+// The tentpole acceptance check: a trace with one job asking for the whole
+// machine under contiguous placement and equal-share partitioning is the
+// degenerate case — exactly one segment whose metrics must be bit-identical
+// to driving the staged pipeline directly.
+TEST_F(TenancyFixture, SingleJobTraceMatchesDirectPipelineRun) {
+  TenancyTrace t = base_trace();
+  t.jobs.push_back({"solo", "MHD", kModules, "", 0.0, 4});
+  const TenancyResult r = scheduler_->run(t);
+
+  ASSERT_EQ(r.jobs.size(), 1u);
+  const JobOutcome& o = r.jobs[0];
+  EXPECT_EQ(o.start_s, 0.0);
+  EXPECT_EQ(o.wait_s, 0.0);
+  EXPECT_EQ(o.segments, 1);
+  EXPECT_EQ(o.stalls, 0);
+  EXPECT_EQ(o.modules, kModules);
+
+  // The direct pipeline run over the same allocation, budget and seeds.
+  const std::vector<hw::ModuleId> alloc = full_pool();
+  core::RunConfig cfg;
+  cfg.iterations = 4;
+  const core::Runner runner(cluster_, alloc, cfg);
+  auto test = core::CalibrationCache::global().test_run(
+      cluster_, alloc.front(), workloads::mhd(),
+      core::test_run_seed(cluster_, workloads::mhd()));
+  const double budget_w = t.budget_cm_w * static_cast<double>(kModules);
+  const core::RunMetrics direct = core::run_scheme_cached(
+      cluster_, runner, workloads::mhd(), t.scheme, budget_w, *pvt_, *test);
+
+  EXPECT_EQ(o.final_budget_w, budget_w);
+  EXPECT_EQ(o.final_metrics.makespan_s, direct.makespan_s);
+  EXPECT_EQ(o.final_metrics.total_power_w, direct.total_power_w);
+  EXPECT_EQ(o.final_metrics.alpha, direct.alpha);
+  EXPECT_EQ(o.final_metrics.target_freq_ghz, direct.target_freq_ghz);
+  EXPECT_EQ(o.finish_s, direct.makespan_s);
+  EXPECT_EQ(r.makespan_s, direct.makespan_s);
+  EXPECT_EQ(o.energy_j, direct.total_power_w * direct.makespan_s);
+}
+
+TEST_F(TenancyFixture, RunIsDeterministic) {
+  TenancyTrace t = base_trace();
+  t.jobs.push_back({"a", "MHD", 16, "", 0.0, 3});
+  t.jobs.push_back({"b", "*DGEMM", 16, "", 2.0, 3});
+  const TenancyResult r1 = scheduler_->run(t);
+  const TenancyResult r2 = scheduler_->run(t);
+  ASSERT_EQ(r1.jobs.size(), r2.jobs.size());
+  EXPECT_EQ(r1.makespan_s, r2.makespan_s);
+  EXPECT_EQ(r1.energy_j, r2.energy_j);
+  EXPECT_EQ(r1.jain_fairness, r2.jain_fairness);
+  for (std::size_t k = 0; k < r1.jobs.size(); ++k) {
+    EXPECT_EQ(r1.jobs[k].finish_s, r2.jobs[k].finish_s);
+    EXPECT_EQ(r1.jobs[k].energy_j, r2.jobs[k].energy_j);
+    EXPECT_EQ(r1.jobs[k].allocation, r2.jobs[k].allocation);
+  }
+}
+
+TEST_F(TenancyFixture, ConcurrentJobsSplitTheEnvelopeByModuleCount) {
+  TenancyTrace t = base_trace();
+  t.jobs.push_back({"a", "MHD", 16, "", 0.0, 3});
+  t.jobs.push_back({"b", "*DGEMM", 16, "", 0.0, 3});
+  const TenancyResult r = scheduler_->run(t);
+  const double machine_w = t.budget_cm_w * static_cast<double>(kModules);
+  // Both run from t = 0 under the equal split; the partition is
+  // work-conserving, so whoever finishes last is re-solved alone at the
+  // full machine envelope while the early finisher's last share was half.
+  EXPECT_EQ(r.jobs[0].start_s, 0.0);
+  EXPECT_EQ(r.jobs[1].start_s, 0.0);
+  const std::size_t last = r.jobs[0].finish_s > r.jobs[1].finish_s ? 0 : 1;
+  EXPECT_EQ(r.jobs[1 - last].final_budget_w, machine_w * (16.0 / 32.0));
+  EXPECT_EQ(r.jobs[last].final_budget_w, machine_w);
+  // Allocations are disjoint.
+  std::vector<hw::ModuleId> all = r.jobs[0].allocation;
+  all.insert(all.end(), r.jobs[1].allocation.begin(),
+             r.jobs[1].allocation.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+TEST_F(TenancyFixture, ScarceModulesForceFcfsQueueing) {
+  TenancyTrace t = base_trace();
+  t.jobs.push_back({"first", "MHD", 24, "", 0.0, 3});
+  t.jobs.push_back({"second", "MHD", 24, "", 0.0, 3});
+  const TenancyResult r = scheduler_->run(t);
+  EXPECT_EQ(r.jobs[0].wait_s, 0.0);
+  // The second 24-module job cannot start until the first finishes.
+  EXPECT_GT(r.jobs[1].wait_s, 0.0);
+  EXPECT_EQ(r.jobs[1].start_s, r.jobs[0].finish_s);
+  EXPECT_EQ(r.makespan_s, r.jobs[1].finish_s);
+  // Each job ran alone, so each held the full work-conserving envelope.
+  EXPECT_EQ(r.jobs[1].final_budget_w,
+            t.budget_cm_w * static_cast<double>(kModules));
+}
+
+TEST_F(TenancyFixture, WaterFillClampsEveryJobAtItsDemand) {
+  // An envelope far above everyone's fmax demand: water-filling must clamp
+  // each job at exactly its calibrated demand (bitwise — the same PMT the
+  // test recomputes here), unlike equal-share which just splits the excess.
+  TenancyTrace t = base_trace();
+  t.budget_cm_w = 400.0;
+  t.partition = "water-fill";
+  t.jobs.push_back({"a", "MHD", 16, "", 0.0, 3});
+  t.jobs.push_back({"b", "*DGEMM", 16, "", 0.0, 3});
+  const TenancyResult r = scheduler_->run(t);
+  for (const JobOutcome& o : r.jobs) {
+    const workloads::Workload& w = workloads::by_name(o.workload);
+    auto test = core::CalibrationCache::global().test_run(
+        cluster_, o.allocation.front(), w, core::test_run_seed(cluster_, w));
+    const core::Pmt floors = core::calibrate_pmt(*pvt_, *test, o.allocation,
+                                                 cluster_.spec().ladder);
+    EXPECT_EQ(o.final_budget_w, floors.total_max_w().value()) << o.name;
+  }
+}
+
+TEST_F(TenancyFixture, ModuleFailureForcesReallocation) {
+  // Placement draws only from the trace seed's per-job forks, never from
+  // the failure fields, so a dry run reveals which modules the job holds.
+  TenancyTrace t = base_trace();
+  t.jobs.push_back({"victim", "MHD", 16, "", 0.0, 6});
+  const TenancyResult dry = scheduler_->run(t);
+  const std::vector<hw::ModuleId> held = dry.jobs[0].allocation;
+  hw::ModuleId spare = 0;
+  while (std::find(held.begin(), held.end(), spare) != held.end()) ++spare;
+
+  t.fail_module = static_cast<int>(held[3]);
+  t.fail_time_s = 1.0e-3;  // strike early, well inside the run
+  const TenancyResult r = scheduler_->run(t);
+  const JobOutcome& o = r.jobs[0];
+  EXPECT_EQ(o.modules_lost, 1);
+  EXPECT_GE(o.segments, 2);   // the failure forced a re-solve
+  EXPECT_EQ(o.modules, 16u);  // a spare replaced the dead module
+  EXPECT_EQ(std::find(o.allocation.begin(), o.allocation.end(), held[3]),
+            o.allocation.end());
+  EXPECT_NE(std::find(o.allocation.begin(), o.allocation.end(), spare),
+            o.allocation.end());
+  // The swap re-solved onto different silicon, so the finish time moved
+  // (either way: the spare may be faster or slower than the dead module).
+  EXPECT_NE(r.jobs[0].finish_s, dry.jobs[0].finish_s);
+}
+
+TEST_F(TenancyFixture, IdlePoolFailureRetiresTheModule) {
+  TenancyTrace t = base_trace();
+  t.jobs.push_back({"a", "MHD", 8, "", 0.0, 3});
+  const TenancyResult dry = scheduler_->run(t);
+  const std::vector<hw::ModuleId>& held = dry.jobs[0].allocation;
+  hw::ModuleId idle = 0;
+  while (std::find(held.begin(), held.end(), idle) != held.end()) ++idle;
+  t.fail_module = static_cast<int>(idle);
+  t.fail_time_s = 1.0e-3;
+  const TenancyResult r = scheduler_->run(t);
+  EXPECT_EQ(r.jobs[0].modules_lost, 0);
+  EXPECT_EQ(r.jobs[0].segments, 1);
+}
+
+TEST_F(TenancyFixture, InfeasibleSharesDeadlockLoudly) {
+  TenancyTrace t = base_trace();
+  t.budget_cm_w = 40.0;  // below the fmin floor: nothing can ever run
+  t.jobs.push_back({"a", "MHD", kModules, "", 0.0, 3});
+  EXPECT_THROW((void)scheduler_->run(t), InternalError);
+}
+
+TEST_F(TenancyFixture, OversizedRequestsThrow) {
+  TenancyTrace t = base_trace();
+  t.jobs.push_back({"big", "MHD", kModules + 1, "", 0.0, 3});
+  try {
+    (void)scheduler_->run(t);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("job 'big' requests 33 modules"),
+              std::string::npos)
+        << e.what();
+  }
+  TenancyTrace m = base_trace();
+  m.jobs.push_back({"mixy", "MHD", 0, "gpu:1", 0.0, 3});
+  EXPECT_THROW((void)scheduler_->run(m), InvalidArgument)
+      << "homogeneous CPU fleet has no GPUs";
+}
+
+TEST_F(TenancyFixture, VariationAwarePlacementRoutesPowerByFrequencySensitivity) {
+  const std::vector<hw::ModuleId> pool = full_pool();
+  // *STREAM (cpu_fraction 0.45) is memory-bound, so losing CPU clocks costs
+  // it little: it should absorb the power-hungry silicon. NPB-EP
+  // (cpu_fraction 0.985) is frequency-bound and should get the efficient
+  // tail of the ranking.
+  JobSpec stream_job{"s", "*STREAM", 8, "", 0.0, 0};
+  JobSpec ep_job{"e", "NPB-EP", 8, "", 0.0, 0};
+  const util::SeedSequence seed = util::SeedSequence(5).fork("place", 0);
+  const auto stream_alloc = scheduler_->place(
+      pool, stream_job, PlacementPolicy::kVariationAware, seed);
+  const auto ep_alloc =
+      scheduler_->place(pool, ep_job, PlacementPolicy::kVariationAware, seed);
+  ASSERT_EQ(stream_alloc.size(), 8u);
+  ASSERT_EQ(ep_alloc.size(), 8u);
+  double stream_scale = 0.0;
+  double ep_scale = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    stream_scale += pvt_power_scale(stream_alloc[i]);
+    ep_scale += pvt_power_scale(ep_alloc[i]);
+  }
+  EXPECT_GT(stream_scale, ep_scale);
+}
+
+TEST_F(TenancyFixture, PlacementIsDeterministicPerSeed) {
+  const std::vector<hw::ModuleId> pool = full_pool();
+  JobSpec job{"a", "MHD", 8, "", 0.0, 0};
+  for (const PlacementPolicy p : all_placement_policies()) {
+    const util::SeedSequence seed = util::SeedSequence(9).fork("place", 1);
+    const auto a = scheduler_->place(pool, job, p, seed);
+    const auto b = scheduler_->place(pool, job, p, seed);
+    EXPECT_EQ(a, b) << placement_policy_name(p);
+    ASSERT_EQ(a.size(), 8u) << placement_policy_name(p);
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()))
+        << placement_policy_name(p);
+  }
+}
+
+TEST_F(TenancyFixture, HeterogeneousMixJobsGetTheirComposition) {
+  const cluster::Cluster fleet(hw::ha8k(), util::SeedSequence(11),
+                               hw::ClassMix::parse("cpu:8,gpu:3,dram:1"));
+  auto pvt = core::CalibrationCache::global().pvt(
+      fleet, workloads::pvt_microbench(), fleet.seed().fork("pvt"));
+  const MachineScheduler scheduler(fleet, pvt);
+  TenancyTrace t;
+  t.budget_cm_w = 80.0;
+  t.jobs.push_back({"mixed", "MHD", 0, "cpu:4,gpu:2", 0.0, 2});
+  const TenancyResult r = scheduler.run(t);
+  const JobOutcome& o = r.jobs[0];
+  ASSERT_EQ(o.modules, 6u);
+  std::size_t cpus = 0;
+  std::size_t gpus = 0;
+  for (const hw::ModuleId id : o.allocation) {
+    if (fleet.device_class(id) == hw::DeviceClass::kCpu) ++cpus;
+    if (fleet.device_class(id) == hw::DeviceClass::kGpu) ++gpus;
+  }
+  EXPECT_EQ(cpus, 4u);
+  EXPECT_EQ(gpus, 2u);
+}
+
+}  // namespace
+}  // namespace vapb::tenancy

@@ -1,0 +1,194 @@
+#include "tenancy/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vapb::tenancy {
+namespace {
+
+void expect_equal(const TenancyTrace& a, const TenancyTrace& b) {
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.budget_cm_w, b.budget_cm_w);
+  EXPECT_EQ(a.placement, b.placement);
+  EXPECT_EQ(a.partition, b.partition);
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.arrival_scale, b.arrival_scale);
+  EXPECT_EQ(a.fail_module, b.fail_module);
+  EXPECT_EQ(a.fail_time_s, b.fail_time_s);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t k = 0; k < a.jobs.size(); ++k) {
+    EXPECT_EQ(a.jobs[k].name, b.jobs[k].name);
+    EXPECT_EQ(a.jobs[k].workload, b.jobs[k].workload);
+    EXPECT_EQ(a.jobs[k].modules, b.jobs[k].modules);
+    EXPECT_EQ(a.jobs[k].mix, b.jobs[k].mix);
+    EXPECT_EQ(a.jobs[k].arrival_s, b.jobs[k].arrival_s);
+    EXPECT_EQ(a.jobs[k].iterations, b.jobs[k].iterations);
+  }
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TenancyTrace sample_trace() {
+  TenancyTrace t;
+  t.seed = 7;
+  t.budget_cm_w = 65.0;
+  t.placement = "variation-aware";
+  t.partition = "water-fill";
+  t.arrival_scale = 0.5;
+  t.fail_module = 3;
+  t.fail_time_s = 12.5;
+  t.jobs.push_back({"a", "MHD", 16, "", 0.0, 0});
+  t.jobs.push_back({"b", "*DGEMM", 0, "cpu:8", 10.0, 6});
+  return t;
+}
+
+TEST(TenancyTrace, PolicyNamesRoundTrip) {
+  for (const PlacementPolicy p : all_placement_policies()) {
+    EXPECT_EQ(placement_policy_by_name(placement_policy_name(p)), p);
+  }
+  for (const PartitionPolicy p : all_partition_policies()) {
+    EXPECT_EQ(partition_policy_by_name(partition_policy_name(p)), p);
+  }
+}
+
+TEST(TenancyTrace, UnknownPolicySuggestsNearest) {
+  try {
+    (void)placement_policy_by_name("variatoin-aware");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'variation-aware'"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)partition_policy_by_name("water-filling");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'water-fill'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TenancyTrace, SerializeParseRoundTripIsExact) {
+  const TenancyTrace t = sample_trace();
+  const TenancyTrace back = TenancyTrace::parse(t.serialize());
+  expect_equal(t, back);
+  // And the canonical form is a fixed point.
+  EXPECT_EQ(back.serialize(), t.serialize());
+}
+
+TEST(TenancyTrace, FingerprintIsStableAndSensitive) {
+  const TenancyTrace t = sample_trace();
+  EXPECT_NE(t.fingerprint(), 0u);
+  EXPECT_EQ(t.fingerprint(), sample_trace().fingerprint());
+  TenancyTrace u = sample_trace();
+  u.jobs[1].iterations = 7;
+  EXPECT_NE(t.fingerprint(), u.fingerprint());
+  TenancyTrace v = sample_trace();
+  v.partition = "equal-share";
+  EXPECT_NE(t.fingerprint(), v.fingerprint());
+}
+
+TEST(TenancyTrace, ParseStripsCommentsAndAutoNamesJobs) {
+  const TenancyTrace t = TenancyTrace::parse(R"({
+    // line comment
+    "seed": 9, /* block comment */
+    "jobs": [
+      {"workload": "MHD", "modules": 4, "arrival_s": 0.0},
+      {"workload": "*STREAM", "mix": "cpu:2", "arrival_s": 5.0}
+    ]
+  })");
+  EXPECT_EQ(t.seed, 9u);
+  ASSERT_EQ(t.jobs.size(), 2u);
+  EXPECT_EQ(t.jobs[0].name, "j0");
+  EXPECT_EQ(t.jobs[1].name, "j1");
+  EXPECT_EQ(t.jobs[1].mix, "cpu:2");
+}
+
+TEST(TenancyTrace, ParseRejectsUnknownFieldWithSuggestion) {
+  try {
+    (void)TenancyTrace::parse(
+        R"({"arrival_scal": 2.0, "jobs": [{"workload": "MHD", "modules": 1}]})");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'arrival_scale'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TenancyTrace, ParseRejectsDuplicateAndMistypedFields) {
+  EXPECT_THROW((void)TenancyTrace::parse(R"({"seed": 1, "seed": 2})"),
+               InvalidArgument);
+  EXPECT_THROW(
+      (void)TenancyTrace::parse(
+          R"({"jobs": [{"workload": "MHD", "modules": 1, "modules": 2}]})"),
+      InvalidArgument);
+  // String fields must be quoted, numbers must not be.
+  EXPECT_THROW((void)TenancyTrace::parse(R"({"seed": "1"})"), InvalidArgument);
+  EXPECT_THROW((void)TenancyTrace::parse(R"({"scheme": 5})"), InvalidArgument);
+  EXPECT_THROW((void)TenancyTrace::parse(R"({"seed": 1} trailing)"),
+               InvalidArgument);
+}
+
+TEST(TenancyTrace, ParseKvShorthand) {
+  const TenancyTrace t = TenancyTrace::parse_kv(
+      "seed=11,partition=water-fill,budget_cm_w=70,"
+      "jobs=MHD:64@0|*DGEMM:cpu48+gpu16@5x8");
+  EXPECT_EQ(t.seed, 11u);
+  EXPECT_EQ(t.partition, "water-fill");
+  EXPECT_EQ(t.budget_cm_w, 70.0);
+  ASSERT_EQ(t.jobs.size(), 2u);
+  EXPECT_EQ(t.jobs[0].name, "j0");
+  EXPECT_EQ(t.jobs[0].workload, "MHD");
+  EXPECT_EQ(t.jobs[0].modules, 64u);
+  EXPECT_EQ(t.jobs[1].workload, "*DGEMM");
+  EXPECT_EQ(t.jobs[1].mix, "cpu:48,gpu:16");
+  EXPECT_EQ(t.jobs[1].arrival_s, 5.0);
+  EXPECT_EQ(t.jobs[1].iterations, 8);
+}
+
+TEST(TenancyTrace, ValidateRejectsBadValues) {
+  TenancyTrace t = sample_trace();
+  t.budget_cm_w = 0.0;
+  EXPECT_THROW(t.validate(), InvalidArgument);
+  t = sample_trace();
+  t.arrival_scale = -1.0;
+  EXPECT_THROW(t.validate(), InvalidArgument);
+  t = sample_trace();
+  t.jobs.clear();
+  EXPECT_THROW(t.validate(), InvalidArgument);
+  t = sample_trace();
+  t.jobs[0].modules = 0;  // neither count nor mix
+  EXPECT_THROW(t.validate(), InvalidArgument);
+  t = sample_trace();
+  t.jobs[0].mix = "cpu:4";  // both count and mix
+  EXPECT_THROW(t.validate(), InvalidArgument);
+  t = sample_trace();
+  t.jobs[1].name = "a";  // duplicate
+  EXPECT_THROW(t.validate(), InvalidArgument);
+  t = sample_trace();
+  t.placement = "bogus";
+  EXPECT_THROW(t.validate(), InvalidArgument);
+}
+
+TEST(TenancyTrace, ExampleFileParsesAndRoundTrips) {
+  std::ifstream f(VAPB_EXAMPLES_DIR "/tenancy_trace.json");
+  ASSERT_TRUE(f.is_open());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const TenancyTrace t = TenancyTrace::parse(ss.str());
+  EXPECT_EQ(t.placement, "variation-aware");
+  EXPECT_EQ(t.partition, "water-fill");
+  ASSERT_EQ(t.jobs.size(), 3u);
+  EXPECT_EQ(t.jobs[2].name, "j2");
+  // serialize() is canonical: parsing it back reproduces the value exactly.
+  expect_equal(t, TenancyTrace::parse(t.serialize()));
+}
+
+}  // namespace
+}  // namespace vapb::tenancy

@@ -55,11 +55,12 @@ bool sanctioned_random(const std::string& path) {
 // that the golden digests pin down. The service request/reply pair is on the
 // list because vapbd promises bit-identical replies across client thread
 // counts — a reply is as externally observable as a campaign cell.
-constexpr std::array<std::string_view, 10> kSinkTypes = {
+constexpr std::array<std::string_view, 14> kSinkTypes = {
     "RunResult",         "RunMetrics",       "RunContext",
     "CampaignResult",    "BudgetResult",     "FaultCampaignResult",
     "FaultPointResult",  "CampaignSpec",     "BudgetRequest",
-    "BudgetReply"};
+    "BudgetReply",       "TenancyTrace",     "TenancyResult",
+    "TenancyCampaignResult",                 "JobOutcome"};
 
 bool mentions_sink_type(const std::string& joined) {
   std::size_t start = 0;

@@ -15,6 +15,10 @@
 //            [--scenario "k=v,.." | --scenario-file F] [--noise "0,0.05"]
 //            [--drift "0,0.04"] [--failures "0,1"] [--out F]
 //                                         fault-injection degradation sweep
+//   tenancy  (--trace "k=v,.." | --trace-file F)
+//            [--arrival-scales "1,0.5"] [--placements "contiguous,.."]
+//            [--partitions "equal-share,.."] [--threads N] [--out F]
+//                                         multi-tenant co-scheduling sweep
 //   report   [--workload W] [--out F]     full Markdown campaign report
 //   serve    [--socket PATH | --stdio] [--snapshot F] [--threads N]
 //            [--max-batch N] [--reply-cache N] [--iterations N]
@@ -52,6 +56,7 @@
 #include "hw/arch_io.hpp"
 #include "service/server.hpp"
 #include "service/snapshot.hpp"
+#include "tenancy/campaign.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -544,6 +549,86 @@ int cmd_fault(const util::CliArgs& args) {
   return 0;
 }
 
+int cmd_tenancy(const util::CliArgs& args) {
+  Context ctx = make_context(args);
+
+  tenancy::TenancyGrid grid;
+  if (args.has("trace-file")) {
+    std::ifstream in(args.get("trace-file"));
+    if (!in) throw Error("cannot open trace file: " + args.get("trace-file"));
+    std::stringstream ss;
+    ss << in.rdbuf();
+    grid.base = tenancy::TenancyTrace::parse(ss.str());
+  } else if (args.has("trace")) {
+    grid.base = tenancy::TenancyTrace::parse_kv(args.get("trace"));
+  } else {
+    throw InvalidArgument(
+        "tenancy: pass --trace \"budget_cm_w=80,jobs=MHD:16@0|..\" or "
+        "--trace-file F");
+  }
+  if (args.has("arrival-scales")) {
+    grid.arrival_scales =
+        parse_double_list(args.get("arrival-scales"), "--arrival-scales");
+  }
+  // --placements x --partitions is a cross product; the grid needs the
+  // naive (contiguous, equal-share) point per scale for the vs-naive
+  // ratios, so the defaults always include it.
+  if (args.has("placements") || args.has("partitions")) {
+    std::vector<std::string> placements =
+        util::split(args.get_or("placements", "contiguous,variation-aware"),
+                    ',');
+    std::vector<std::string> partitions =
+        util::split(args.get_or("partitions", "equal-share,water-fill"), ',');
+    grid.policies.clear();
+    for (const std::string& pl : placements) {
+      // Resolve early so a typo is a suggestion, not a mid-sweep throw.
+      static_cast<void>(tenancy::placement_policy_by_name(pl));
+      for (const std::string& pa : partitions) {
+        static_cast<void>(tenancy::partition_policy_by_name(pa));
+        grid.policies.push_back({pl, pa});
+      }
+    }
+  }
+  if (args.has("out")) require_parent_dir(args.get("out"), "--out");
+  auto threads = static_cast<std::size_t>(args.get_long_or("threads", 0));
+
+  tenancy::TenancyCampaign sweep(ctx.cluster, ctx.pvt, threads);
+  tenancy::TenancyCampaignResult result = sweep.run(grid);
+
+  if (ctx.cluster.heterogeneous()) {
+    std::printf("fleet: %s\n\n", ctx.cluster.mix().str().c_str());
+  }
+  util::Table t({"scale", "placement", "partition", "jobs", "makespan",
+                 "jobs/h", "mean wait", "Jain", "thr vs naive",
+                 "mk vs naive"});
+  for (const tenancy::TenancyPointResult& p : result.points) {
+    t.add_row();
+    t.add_cell(util::fmt_double(p.trace.arrival_scale, 2));
+    t.add_cell(p.trace.placement);
+    t.add_cell(p.trace.partition);
+    t.add_cell(static_cast<long long>(p.result.jobs.size()));
+    t.add_cell(util::fmt_seconds(p.result.makespan_s));
+    t.add_cell(util::fmt_double(p.result.throughput_jph, 1));
+    t.add_cell(util::fmt_seconds(p.result.mean_wait_s));
+    t.add_cell(util::fmt_double(p.result.jain_fairness, 3));
+    t.add_cell(std::isfinite(p.throughput_vs_naive)
+                   ? util::fmt_double(p.throughput_vs_naive, 3) + "x"
+                   : "-");
+    t.add_cell(std::isfinite(p.makespan_vs_naive)
+                   ? util::fmt_double(p.makespan_vs_naive, 3) + "x"
+                   : "-");
+  }
+  std::printf("%s", t.str().c_str());
+
+  if (args.has("out")) {
+    std::ofstream f(args.get("out"));
+    if (!f) throw Error("cannot write " + args.get("out"));
+    tenancy::write_tenancy_campaign_json(result, f);
+    std::printf("tenancy JSON written to %s\n", args.get("out").c_str());
+  }
+  return 0;
+}
+
 int cmd_serve(const util::CliArgs& args) {
   service::DaemonOptions opt;
   opt.arch = args.get_or("arch", opt.arch);
@@ -658,8 +743,8 @@ int cmd_report(const util::CliArgs& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: vapbctl "
-               "<systems|workloads|pvt|solve|run|campaign|fault|report|"
-               "serve|snapshot> "
+               "<systems|workloads|pvt|solve|run|campaign|fault|tenancy|"
+               "report|serve|snapshot> "
                "[--arch A | --arch-file F] [--arch-mix \"cpu:96,gpu:24\"] "
                "[--modules N] [--seed S] "
                "[--pvt FILE] [--alloc-policy P]\n"
@@ -671,6 +756,11 @@ int usage() {
                "               fault: [--scenario \"k=v,..\" | "
                "--scenario-file F] [--noise \"0,0.05\"] [--drift \"0,0.04\"] "
                "[--failures \"0,1\"] [--out F]\n"
+               "               tenancy: (--trace \"k=v,..\" | "
+               "--trace-file F) [--arrival-scales \"1,0.5\"] "
+               "[--placements \"contiguous,variation-aware\"] "
+               "[--partitions \"equal-share,water-fill\"] [--threads N] "
+               "[--out F]\n"
                "               serve: [--socket PATH | --stdio] "
                "[--snapshot F] [--threads N] [--max-batch N] "
                "[--reply-cache N] [--iterations N] [--max-allocations N]\n"
@@ -703,6 +793,12 @@ const std::vector<std::string>& subcommand_flags(const std::string& cmd) {
   static const std::vector<std::string> kFault = with_common(
       {"workload", "threads", "repetitions", "budgets", "schemes", "scenario",
        "scenario-file", "noise", "drift", "failures", "out"});
+  // tenancy jobs place themselves inside the simulation (the trace's
+  // placement policy), so --alloc-policy is rejected.
+  static const std::vector<std::string> kTenancy = {
+      "arch", "arch-file", "arch-mix", "modules", "seed", "pvt", "trace",
+      "trace-file", "arrival-scales", "placements", "partitions", "threads",
+      "out"};
   static const std::vector<std::string> kReport =
       with_common({"workload", "out"});
   // serve fabricates from (arch, seed, modules) or a snapshot — the other
@@ -720,6 +816,7 @@ const std::vector<std::string>& subcommand_flags(const std::string& cmd) {
   if (cmd == "run") return kRun;
   if (cmd == "campaign") return kCampaign;
   if (cmd == "fault") return kFault;
+  if (cmd == "tenancy") return kTenancy;
   if (cmd == "report") return kReport;
   if (cmd == "serve") return kServe;
   if (cmd == "snapshot") return kSnapshot;
@@ -750,6 +847,8 @@ int main(int argc, char** argv) {
                         "out", "threads", "repetitions", "budgets", "schemes",
                         "csv", "json", "telemetry-out", "scenario",
                         "scenario-file", "noise", "drift", "failures",
+                        "trace", "trace-file", "arrival-scales", "placements",
+                        "partitions",
                         "cache-capacity", "snapshot", "socket", "stdio",
                         "max-batch", "reply-cache", "iterations",
                         "max-allocations", "in", "workloads"});
@@ -763,6 +862,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "fault") return cmd_fault(args);
+    if (cmd == "tenancy") return cmd_tenancy(args);
     if (cmd == "report") return cmd_report(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "snapshot") return cmd_snapshot(args);
