@@ -157,8 +157,9 @@ void write_tenancy_campaign_json(const TenancyCampaignResult& result,
     for (std::size_t j = 0; j < point.result.jobs.size(); ++j) {
       const JobOutcome& o = point.result.jobs[j];
       if (j) out << ',';
-      out << "{\"name\":\"" << o.name << "\",\"workload\":\"" << o.workload
-          << "\",\"modules\":" << o.modules << ",\"arrival_s\":";
+      out << "{\"name\":\"" << json_escape(o.name) << "\",\"workload\":\""
+          << json_escape(o.workload) << "\",\"modules\":" << o.modules
+          << ",\"arrival_s\":";
       write_json_number(out, o.arrival_s);
       out << ",\"start_s\":";
       write_json_number(out, o.start_s);

@@ -378,15 +378,22 @@ TenancyResult MachineScheduler::run(const TenancyTrace& trace) const {
 
   // Cuts the active segment at time t, banking completed iterations (floor,
   // never the full segment — completion is its own event) and the energy
-  // the job actually drew.
+  // the job actually drew. The banked interval is consumed: the segment
+  // shrinks to its unbanked remainder, so cutting twice at the same t (the
+  // failure handler cuts, then the re-partition cuts again) banks nothing
+  // the second time.
   const auto advance = [&](Running& r, double t) {
     if (r.stalled || !(t > r.seg_start_s) || r.seg_iterations == 0) return;
-    const double frac = (t - r.seg_start_s) / r.seg_makespan_s;
+    const double elapsed = t - r.seg_start_s;
+    const double frac = elapsed / r.seg_makespan_s;
     int done = static_cast<int>(
         std::floor(static_cast<double>(r.seg_iterations) * frac));
     done = std::clamp(done, 0, r.seg_iterations - 1);
     r.remaining -= done;
-    result.jobs[r.job].energy_j += r.seg_power_w * (t - r.seg_start_s);
+    result.jobs[r.job].energy_j += r.seg_power_w * elapsed;
+    r.seg_start_s = t;
+    r.seg_makespan_s -= elapsed;
+    r.seg_iterations -= done;
   };
 
   // Starts a fresh pipeline segment at time t under power share b_w: the
@@ -481,10 +488,17 @@ TenancyResult MachineScheduler::run(const TenancyTrace& trace) const {
           advance(*it, t);
           it->alloc.erase(hit);
           ++result.jobs[it->job].modules_lost;
-          if (!pool.empty()) {
-            // The lowest-id spare replaces the dead module.
-            it->alloc.push_back(pool.front());
-            pool.erase(pool.begin());
+          // The lowest-id spare of the dead module's device class replaces
+          // it, preserving the class composition admission validated; with
+          // no same-class spare the job runs on one module fewer.
+          const hw::DeviceClass dead_class = cluster_.device_class(dead);
+          const auto spare =
+              std::find_if(pool.begin(), pool.end(), [&](hw::ModuleId id) {
+                return cluster_.device_class(id) == dead_class;
+              });
+          if (spare != pool.end()) {
+            it->alloc.push_back(*spare);
+            pool.erase(spare);
             std::sort(it->alloc.begin(), it->alloc.end());
           }
           if (it->alloc.empty()) {

@@ -262,7 +262,17 @@ class JsonReader {
   std::string read_string() {
     expect('"');
     std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') out += text_[pos_++];
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      // A backslash escapes the next character verbatim — the same rule
+      // strip_comments applies, so the two never disagree on where a
+      // string ends, and serialize()'s \" and \\ round-trip exactly.
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated string");
+        c = text_[pos_++];
+      }
+      out += c;
+    }
     if (pos_ >= text_.size()) fail("unterminated string");
     ++pos_;
     return out;
@@ -369,8 +379,13 @@ JobSpec parse_cli_job(const std::string& entry) {
   std::string tail = entry.substr(at + 1);
   const std::size_t x = tail.find('x');
   if (x != std::string::npos) {
-    job.iterations = static_cast<int>(std::strtol(tail.c_str() + x + 1,
-                                                  nullptr, 10));
+    const char* iter_text = tail.c_str() + x + 1;
+    char* iter_end = nullptr;
+    job.iterations = static_cast<int>(std::strtol(iter_text, &iter_end, 10));
+    if (iter_end == iter_text || *iter_end != '\0') {
+      throw InvalidArgument("TenancyTrace: bad iterations '" +
+                            tail.substr(x + 1) + "' in job '" + entry + "'");
+    }
     tail = tail.substr(0, x);
   }
   const char* text = tail.c_str();
@@ -398,6 +413,16 @@ std::string auto_job_name(std::size_t index) {
 }
 
 }  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
 
 std::string placement_policy_name(PlacementPolicy p) {
   switch (p) {
@@ -504,21 +529,21 @@ std::string TenancyTrace::serialize() const {
   os << "{\n";
   os << "  \"seed\": " << seed << ",\n";
   os << "  \"budget_cm_w\": " << budget_cm_w << ",\n";
-  os << "  \"placement\": \"" << placement << "\",\n";
-  os << "  \"partition\": \"" << partition << "\",\n";
-  os << "  \"scheme\": \"" << scheme << "\",\n";
+  os << "  \"placement\": \"" << json_escape(placement) << "\",\n";
+  os << "  \"partition\": \"" << json_escape(partition) << "\",\n";
+  os << "  \"scheme\": \"" << json_escape(scheme) << "\",\n";
   os << "  \"arrival_scale\": " << arrival_scale << ",\n";
   os << "  \"fail_module\": " << fail_module << ",\n";
   os << "  \"fail_time_s\": " << fail_time_s << ",\n";
   os << "  \"jobs\": [\n";
   for (std::size_t k = 0; k < jobs.size(); ++k) {
     const JobSpec& j = jobs[k];
-    os << "    {\"name\": \"" << j.name << "\", \"workload\": \"" << j.workload
-       << "\", ";
+    os << "    {\"name\": \"" << json_escape(j.name) << "\", \"workload\": \""
+       << json_escape(j.workload) << "\", ";
     if (j.mix.empty()) {
       os << "\"modules\": " << j.modules;
     } else {
-      os << "\"mix\": \"" << j.mix << "\"";
+      os << "\"mix\": \"" << json_escape(j.mix) << "\"";
     }
     os << ", \"arrival_s\": " << j.arrival_s
        << ", \"iterations\": " << j.iterations << "}";

@@ -50,6 +50,11 @@ enum class PartitionPolicy {
 [[nodiscard]] std::vector<PlacementPolicy> all_placement_policies();
 [[nodiscard]] std::vector<PartitionPolicy> all_partition_policies();
 
+/// Backslash-escapes '"' and '\' for embedding in trace/campaign JSON; the
+/// trace reader unescapes the same two, keeping parse(serialize()) exact
+/// even when a job name contains a quote.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
 /// One job of the trace: a workload, a module request (homogeneous count or
 /// per-class mix) and an arrival time.
 struct JobSpec {

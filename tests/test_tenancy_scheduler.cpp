@@ -194,6 +194,99 @@ TEST_F(TenancyFixture, ModuleFailureForcesReallocation) {
   EXPECT_NE(r.jobs[0].finish_s, dry.jobs[0].finish_s);
 }
 
+TEST_F(TenancyFixture, MidRunFailureBanksTheCutSegmentExactlyOnce) {
+  // Strike halfway through the run so the cut segment has banked work
+  // (floor(6 * 0.5) = 3 iterations) — a regression guard for the failure
+  // path double-counting the pre-failure interval via two advance() cuts
+  // at the same instant.
+  TenancyTrace t = base_trace();
+  t.jobs.push_back({"victim", "MHD", 16, "", 0.0, 6});
+  const TenancyResult dry = scheduler_->run(t);
+  // Single job, single segment: the dry run's mean power is the power of
+  // the pre-failure segment (same allocation, same full envelope).
+  const double power1 = dry.jobs[0].energy_j / dry.jobs[0].finish_s;
+
+  t.fail_module = static_cast<int>(dry.jobs[0].allocation[3]);
+  t.fail_time_s = 0.5 * dry.jobs[0].finish_s;
+  const TenancyResult r = scheduler_->run(t);
+  const JobOutcome& o = r.jobs[0];
+  EXPECT_EQ(o.modules_lost, 1);
+  EXPECT_EQ(o.segments, 2);
+  // Energy: the cut segment banked once at the pre-failure power, the
+  // re-solved remainder at its own power for the remaining wall time.
+  const double head_j = power1 * t.fail_time_s;
+  const double tail_j =
+      o.final_metrics.total_power_w * (o.finish_s - t.fail_time_s);
+  EXPECT_DOUBLE_EQ(o.energy_j, head_j + tail_j);
+}
+
+TEST_F(TenancyFixture, FailedModuleReplacedBySameClassSpare) {
+  const cluster::Cluster fleet(hw::ha8k(), util::SeedSequence(11),
+                               hw::ClassMix::parse("cpu:8,gpu:3,dram:1"));
+  auto pvt = core::CalibrationCache::global().pvt(
+      fleet, workloads::pvt_microbench(), fleet.seed().fork("pvt"));
+  const MachineScheduler scheduler(fleet, pvt);
+  TenancyTrace t;
+  t.budget_cm_w = 80.0;
+  t.jobs.push_back({"mixed", "MHD", 0, "cpu:4,gpu:2", 0.0, 4});
+  const TenancyResult dry = scheduler.run(t);
+  hw::ModuleId dead_gpu = 0;
+  for (const hw::ModuleId id : dry.jobs[0].allocation) {
+    if (fleet.device_class(id) == hw::DeviceClass::kGpu) dead_gpu = id;
+  }
+  t.fail_module = static_cast<int>(dead_gpu);
+  t.fail_time_s = 1.0e-3;
+  const TenancyResult r = scheduler.run(t);
+  const JobOutcome& o = r.jobs[0];
+  EXPECT_EQ(o.modules_lost, 1);
+  // The one idle GPU — not a lower-id CPU — replaced the dead GPU, so the
+  // job keeps the cpu:4,gpu:2 composition admission validated.
+  ASSERT_EQ(o.modules, 6u);
+  std::size_t cpus = 0;
+  std::size_t gpus = 0;
+  for (const hw::ModuleId id : o.allocation) {
+    if (fleet.device_class(id) == hw::DeviceClass::kCpu) ++cpus;
+    if (fleet.device_class(id) == hw::DeviceClass::kGpu) ++gpus;
+  }
+  EXPECT_EQ(cpus, 4u);
+  EXPECT_EQ(gpus, 2u);
+  EXPECT_EQ(std::find(o.allocation.begin(), o.allocation.end(), dead_gpu),
+            o.allocation.end());
+}
+
+TEST_F(TenancyFixture, NoSameClassSpareLeavesTheJobShort) {
+  const cluster::Cluster fleet(hw::ha8k(), util::SeedSequence(11),
+                               hw::ClassMix::parse("cpu:8,gpu:3,dram:1"));
+  auto pvt = core::CalibrationCache::global().pvt(
+      fleet, workloads::pvt_microbench(), fleet.seed().fork("pvt"));
+  const MachineScheduler scheduler(fleet, pvt);
+  TenancyTrace t;
+  t.budget_cm_w = 80.0;
+  // The job holds every GPU, so a GPU death has no same-class spare even
+  // though idle CPU and DRAM modules exist: the job must run short rather
+  // than silently absorb a different device class.
+  t.jobs.push_back({"allgpu", "MHD", 0, "cpu:4,gpu:3", 0.0, 4});
+  const TenancyResult dry = scheduler.run(t);
+  hw::ModuleId dead_gpu = 0;
+  for (const hw::ModuleId id : dry.jobs[0].allocation) {
+    if (fleet.device_class(id) == hw::DeviceClass::kGpu) dead_gpu = id;
+  }
+  t.fail_module = static_cast<int>(dead_gpu);
+  t.fail_time_s = 1.0e-3;
+  const TenancyResult r = scheduler.run(t);
+  const JobOutcome& o = r.jobs[0];
+  EXPECT_EQ(o.modules_lost, 1);
+  ASSERT_EQ(o.modules, 6u);
+  std::size_t cpus = 0;
+  std::size_t gpus = 0;
+  for (const hw::ModuleId id : o.allocation) {
+    if (fleet.device_class(id) == hw::DeviceClass::kCpu) ++cpus;
+    if (fleet.device_class(id) == hw::DeviceClass::kGpu) ++gpus;
+  }
+  EXPECT_EQ(cpus, 4u);
+  EXPECT_EQ(gpus, 2u);
+}
+
 TEST_F(TenancyFixture, IdlePoolFailureRetiresTheModule) {
   TenancyTrace t = base_trace();
   t.jobs.push_back({"a", "MHD", 8, "", 0.0, 3});

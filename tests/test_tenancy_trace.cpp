@@ -81,6 +81,16 @@ TEST(TenancyTrace, SerializeParseRoundTripIsExact) {
   EXPECT_EQ(back.serialize(), t.serialize());
 }
 
+TEST(TenancyTrace, SerializeEscapesQuotesAndBackslashes) {
+  TenancyTrace t = sample_trace();
+  t.jobs[0].name = R"(quo"te)";
+  t.jobs[0].workload = R"(back\slash)";
+  const std::string json = t.serialize();
+  EXPECT_NE(json.find(R"("quo\"te")"), std::string::npos) << json;
+  EXPECT_NE(json.find(R"("back\\slash")"), std::string::npos) << json;
+  expect_equal(t, TenancyTrace::parse(json));
+}
+
 TEST(TenancyTrace, FingerprintIsStableAndSensitive) {
   const TenancyTrace t = sample_trace();
   EXPECT_NE(t.fingerprint(), 0u);
@@ -150,6 +160,21 @@ TEST(TenancyTrace, ParseKvShorthand) {
   EXPECT_EQ(t.jobs[1].mix, "cpu:48,gpu:16");
   EXPECT_EQ(t.jobs[1].arrival_s, 5.0);
   EXPECT_EQ(t.jobs[1].iterations, 8);
+}
+
+TEST(TenancyTrace, ParseKvRejectsBadIterationsSuffix) {
+  try {
+    (void)TenancyTrace::parse_kv("jobs=MHD:16@0xzz");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("bad iterations 'zz'"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)TenancyTrace::parse_kv("jobs=MHD:16@0x"),
+               InvalidArgument);
+  EXPECT_THROW((void)TenancyTrace::parse_kv("jobs=MHD:16@0x5junk"),
+               InvalidArgument);
 }
 
 TEST(TenancyTrace, ValidateRejectsBadValues) {
